@@ -1,0 +1,127 @@
+// E5 — Barren plateaus in random parameterized circuits.
+//
+// Regenerates the McClean/Cerezo-style trainability figure the tutorial
+// cites as the central obstacle for variational QML: the variance (over
+// random parameter draws and circuit instances) of ∂E/∂θ_0 for a random
+// hardware-efficient ansatz. Two series:
+//  * global cost (⟨Z⊗...⊗Z⟩ over all qubits): Var decays exponentially in
+//    the qubit count even at modest depth (Cerezo et al. — global cost
+//    functions always plateau);
+//  * local cost (⟨Z_0 Z_1⟩): Var saturates once the causal cone of the
+//    differentiated gate stops growing — local costs remain trainable at
+//    moderate depth.
+// The depth sweep at fixed width shows the approach to the 2-design value.
+
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+
+#include "autodiff/parameter_shift.h"
+#include "common/rng.h"
+#include "variational/ansatz.h"
+
+namespace qdb {
+namespace {
+
+PauliSum GlobalCost(int num_qubits) {
+  PauliSum obs(num_qubits);
+  PauliString all_z(num_qubits);
+  for (int q = 0; q < num_qubits; ++q) all_z.set_op(q, PauliOp::kZ);
+  obs.Add(1.0, all_z);
+  return obs;
+}
+
+PauliSum LocalCost(int num_qubits) {
+  PauliSum obs(num_qubits);
+  PauliString zz(num_qubits);
+  zz.set_op(0, PauliOp::kZ);
+  if (num_qubits > 1) zz.set_op(1, PauliOp::kZ);
+  obs.Add(1.0, zz);
+  return obs;
+}
+
+double GradientVariance(int num_qubits, int layers, int samples,
+                        const PauliSum& obs, uint64_t seed) {
+  Rng rng(seed);
+  double sum = 0.0, sum_sq = 0.0;
+  for (int s = 0; s < samples; ++s) {
+    Circuit ansatz =
+        RandomHardwareEfficientAnsatz(num_qubits, layers, rng.Next());
+    ExpectationFunction f(ansatz, obs);
+    DVector params = rng.UniformVector(ansatz.num_parameters(), 0.0, 2 * M_PI);
+    // Gradient of the first parameter only (the standard statistic).
+    DVector grad = ParameterShiftGradient(f, params).ValueOrDie();
+    sum += grad[0];
+    sum_sq += grad[0] * grad[0];
+  }
+  const double mean = sum / samples;
+  return sum_sq / samples - mean * mean;
+}
+
+void BM_BarrenPlateauGlobalCost(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const int layers = 12;  // Deep enough to scramble.
+  const int samples = 60;
+  double variance = 0.0;
+  for (auto _ : state) {
+    variance = GradientVariance(n, layers, samples, GlobalCost(n), 17);
+  }
+  state.SetLabel("global Z^n cost");
+  state.counters["qubits"] = n;
+  state.counters["grad_variance"] = variance;
+  state.counters["log2_variance"] =
+      variance > 0 ? std::log2(variance) : -60.0;
+}
+
+BENCHMARK(BM_BarrenPlateauGlobalCost)
+    ->DenseRange(2, 10, 1)
+    ->Iterations(1)
+    ->Unit(benchmark::kSecond);
+
+void BM_BarrenPlateauLocalCost(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const int layers = 12;
+  const int samples = 60;
+  double variance = 0.0;
+  for (auto _ : state) {
+    variance = GradientVariance(n, layers, samples, LocalCost(n), 17);
+  }
+  state.SetLabel("local ZZ cost");
+  state.counters["qubits"] = n;
+  state.counters["grad_variance"] = variance;
+  state.counters["log2_variance"] =
+      variance > 0 ? std::log2(variance) : -60.0;
+}
+
+BENCHMARK(BM_BarrenPlateauLocalCost)
+    ->DenseRange(2, 10, 1)
+    ->Iterations(1)
+    ->Unit(benchmark::kSecond);
+
+void BM_BarrenPlateauVsDepth(benchmark::State& state) {
+  const int layers = static_cast<int>(state.range(0));
+  const int n = 6;
+  const int samples = 60;
+  double variance = 0.0;
+  for (auto _ : state) {
+    variance = GradientVariance(n, layers, samples, GlobalCost(n), 23);
+  }
+  state.SetLabel("global cost, n=6");
+  state.counters["layers"] = layers;
+  state.counters["grad_variance"] = variance;
+}
+
+BENCHMARK(BM_BarrenPlateauVsDepth)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Arg(16)
+    ->Arg(32)
+    ->Iterations(1)
+    ->Unit(benchmark::kSecond);
+
+}  // namespace
+}  // namespace qdb
+
+BENCHMARK_MAIN();

@@ -1,0 +1,136 @@
+// E13 — Data-encoding comparison.
+//
+// Regenerates the encoding-choice table of the tutorial's data-loading
+// section: for angle, ZZ feature-map, and amplitude encodings, report (a)
+// centered kernel-target alignment on circles/XOR, (b) downstream
+// quantum-kernel SVM accuracy, and (c) circuit depth / 2-qubit gate cost.
+// Expected shape: angle encoding is cheap but low-rank (underfits XOR);
+// the ZZ map buys alignment on structured data at quadratic gate cost;
+// amplitude encoding compresses dimensions but its kernel (plain squared
+// inner product) is the weakest learner here.
+
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+
+#include "classical/metrics.h"
+#include "classical/svm.h"
+#include "encoding/encodings.h"
+#include "kernel/alignment.h"
+#include "kernel/quantum_kernel.h"
+
+namespace qdb {
+namespace {
+
+enum DatasetKind { kCircles = 0, kXor = 1 };
+enum EncodingKind { kAngle = 0, kZZ = 1, kAmplitude = 2 };
+
+const char* Label(int dataset, int encoding) {
+  static std::string label;
+  label = std::string(dataset == kCircles ? "circles" : "xor") + "/" +
+          (encoding == kAngle ? "angle"
+           : encoding == kZZ  ? "zzmap"
+                              : "amplitude");
+  return label.c_str();
+}
+
+FidelityQuantumKernel MakeKernel(int encoding) {
+  switch (encoding) {
+    case kAngle: return MakeAngleKernel();
+    case kZZ: return MakeZZFeatureMapKernel(2);
+    default: return MakeAmplitudeKernel();
+  }
+}
+
+void BM_EncodingQuality(benchmark::State& state) {
+  const int dataset = static_cast<int>(state.range(0));
+  const int encoding = static_cast<int>(state.range(1));
+  Rng rng(19);
+  Dataset all = dataset == kCircles ? MakeCircles(56, 0.08, 0.5, rng)
+                                    : MakeXor(56, 0.15, rng);
+  auto [train, test] = TrainTestSplit(all, 0.25, rng);
+  // Amplitude encoding needs non-zero vectors: shift into [0.2, π].
+  MinMaxScale(train, test, 0.2, M_PI);
+  MinMaxScale(train, train, 0.2, M_PI);
+
+  FidelityQuantumKernel kernel = MakeKernel(encoding);
+  double alignment = 0.0, test_acc = 0.0;
+  for (auto _ : state) {
+    auto gram = kernel.GramMatrix(train.features);
+    if (!gram.ok()) {
+      state.SkipWithError(gram.status().ToString().c_str());
+      return;
+    }
+    alignment =
+        CenteredKernelAlignment(gram.value(), train.labels).ValueOrDie();
+    SvmOptions opts;
+    opts.kernel = SvmKernel::kPrecomputed;
+    opts.c = 20.0;
+    auto svm = Svm::Train(train, opts, &gram.value());
+    if (!svm.ok()) {
+      state.SkipWithError(svm.status().ToString().c_str());
+      return;
+    }
+    auto cross = kernel.CrossMatrix(test.features, train.features);
+    if (!cross.ok()) {
+      state.SkipWithError(cross.status().ToString().c_str());
+      return;
+    }
+    std::vector<int> preds;
+    for (size_t i = 0; i < test.size(); ++i) {
+      DVector row(train.size());
+      for (size_t j = 0; j < train.size(); ++j) {
+        row[j] = cross.value()(i, j).real();
+      }
+      preds.push_back(svm.value().PredictFromKernelRow(row));
+    }
+    test_acc = Accuracy(test.labels, preds);
+  }
+
+  // Circuit-cost columns for this encoding on a representative point.
+  Circuit probe = encoding == kAngle ? AngleEncoding(train.features[0])
+                  : encoding == kZZ  ? ZZFeatureMap(train.features[0], 2)
+                                     : AmplitudeEncoding(train.features[0])
+                                           .ValueOrDie();
+  state.SetLabel(Label(dataset, encoding));
+  state.counters["alignment"] = alignment;
+  state.counters["test_acc"] = test_acc;
+  state.counters["circuit_depth"] = probe.Depth();
+  state.counters["two_qubit_gates"] = probe.TwoQubitGateCount();
+  state.counters["qubits"] = probe.num_qubits();
+}
+
+BENCHMARK(BM_EncodingQuality)
+    ->ArgsProduct({{kCircles, kXor}, {kAngle, kZZ, kAmplitude}})
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_AmplitudeEncodingCost(benchmark::State& state) {
+  // Gate cost of exact amplitude state preparation vs vector length:
+  // Θ(2^n) CX gates — the data-loading bottleneck the tutorial flags.
+  const int length = static_cast<int>(state.range(0));
+  Rng rng(23);
+  DVector x(length);
+  for (auto& v : x) v = rng.Uniform(0.1, 1.0);
+  Circuit circuit = AmplitudeEncoding(x).ValueOrDie();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(AmplitudeEncoding(x));
+  }
+  state.counters["vector_len"] = length;
+  state.counters["qubits"] = circuit.num_qubits();
+  state.counters["cx_gates"] = circuit.TwoQubitGateCount();
+  state.counters["depth"] = circuit.Depth();
+}
+
+BENCHMARK(BM_AmplitudeEncodingCost)
+    ->Arg(4)
+    ->Arg(16)
+    ->Arg(64)
+    ->Arg(256)
+    ->Arg(1024)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace qdb
+
+BENCHMARK_MAIN();

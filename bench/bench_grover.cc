@@ -1,0 +1,88 @@
+// E11 — Grover search over an unstructured key space.
+//
+// Regenerates the Grover figure: success probability vs iteration count
+// (the sine-squared oscillation peaking at ⌊π/4·√N⌋) and the simulation
+// cost of the search as the database grows. Expected shape: the optimal
+// iteration count grows as √N while classical linear scan grows as N —
+// the quadratic "database search" speedup the tutorial opens with.
+
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+
+#include "algo/grover.h"
+
+namespace qdb {
+namespace {
+
+void BM_GroverSuccessCurve(benchmark::State& state) {
+  // Fixed n = 8 (N = 256): sweep the iteration count across the first peak.
+  const int iterations = static_cast<int>(state.range(0));
+  const int n = 8;
+  double success = 0.0;
+  for (auto _ : state) {
+    success = GroverSuccessProbability(n, {123}, iterations).ValueOrDie();
+  }
+  state.counters["iterations"] = iterations;
+  state.counters["success_prob"] = success;
+  const double theta = std::asin(1.0 / 16.0);
+  state.counters["theory"] = std::pow(std::sin((2 * iterations + 1) * theta), 2);
+}
+
+BENCHMARK(BM_GroverSuccessCurve)
+    ->DenseRange(0, 18, 2)
+    ->Arg(12)  // The optimum ⌊π/4·16⌋ = 12.
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_GroverAtOptimalIterations(benchmark::State& state) {
+  // Scaling series: success at the optimal count, and the √N iteration
+  // growth, for n = 4…14.
+  const int n = static_cast<int>(state.range(0));
+  const uint64_t marked = (uint64_t{1} << n) / 3;
+  const int iters = OptimalGroverIterations(n);
+  double success = 0.0;
+  for (auto _ : state) {
+    success = GroverSuccessProbability(n, {marked}, iters).ValueOrDie();
+  }
+  state.counters["qubits"] = n;
+  state.counters["db_size"] = static_cast<double>(uint64_t{1} << n);
+  state.counters["optimal_iters"] = iters;
+  state.counters["success_prob"] = success;
+  state.counters["classical_expected_probes"] =
+      static_cast<double>(uint64_t{1} << n) / 2.0;
+}
+
+BENCHMARK(BM_GroverAtOptimalIterations)
+    ->DenseRange(4, 14, 2)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_GroverMultipleMarked(benchmark::State& state) {
+  // M marked of N=1024: optimal iterations shrink as √(N/M).
+  const int m = static_cast<int>(state.range(0));
+  const int n = 10;
+  std::vector<uint64_t> marked;
+  for (int i = 0; i < m; ++i) marked.push_back(37 * (i + 1) % 1024);
+  const int iters = OptimalGroverIterations(n, m);
+  double success = 0.0;
+  for (auto _ : state) {
+    success = GroverSuccessProbability(n, marked, iters).ValueOrDie();
+  }
+  state.counters["num_marked"] = m;
+  state.counters["optimal_iters"] = iters;
+  state.counters["success_prob"] = success;
+}
+
+BENCHMARK(BM_GroverMultipleMarked)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Arg(16)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace qdb
+
+BENCHMARK_MAIN();

@@ -1,0 +1,102 @@
+// E17 — HHL quantum linear-system solver.
+//
+// Regenerates the HHL behaviour study: solution fidelity and
+// post-selection success probability vs (a) clock precision and (b) the
+// condition number κ of A. Expected shape: fidelity → 1 exponentially in
+// the clock qubits (phase-grid resolution is the only error source in
+// exact simulation); the success probability falls as ~1/κ² — the cost of
+// the eigenvalue-conditioned rotation that the amplitude-amplification
+// step of the full algorithm would recover.
+
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+
+#include "algo/hhl.h"
+#include "common/rng.h"
+#include "linalg/random_unitary.h"
+
+namespace qdb {
+namespace {
+
+Matrix ConditionedSystem(double kappa, Rng& rng) {
+  // Hermitian 4x4 with spectrum spread [1, κ].
+  Matrix v = RandomUnitary(4, rng);
+  CVector diag = {Complex(1.0, 0), Complex(1.0 + kappa / 3.0, 0),
+                  Complex(1.0 + 2.0 * kappa / 3.0, 0), Complex(kappa, 0)};
+  Matrix a = v * Matrix::Diagonal(diag) * v.Adjoint();
+  return (a + a.Adjoint()) * Complex(0.5, 0.0);
+}
+
+void BM_HhlVsClockPrecision(benchmark::State& state) {
+  const int clock = static_cast<int>(state.range(0));
+  Rng rng(91);
+  Matrix a = ConditionedSystem(3.0, rng);
+  CVector b = RandomState(4, rng);
+  double fidelity = 0.0, success = 0.0;
+  for (auto _ : state) {
+    HhlOptions opts;
+    opts.clock_qubits = clock;
+    auto result = HhlSolve(a, b, opts);
+    if (!result.ok()) {
+      state.SkipWithError(result.status().ToString().c_str());
+      return;
+    }
+    fidelity = result.value().fidelity;
+    success = result.value().success_probability;
+  }
+  state.counters["clock_qubits"] = clock;
+  state.counters["fidelity"] = fidelity;
+  state.counters["infidelity"] = 1.0 - fidelity;
+  state.counters["success_prob"] = success;
+}
+
+BENCHMARK(BM_HhlVsClockPrecision)
+    ->DenseRange(3, 10)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_HhlVsConditionNumber(benchmark::State& state) {
+  // The canonical worst case: b along the top eigenvector, C pinned near
+  // λ_min = 1 — the success probability then falls exactly as (C/κ)².
+  const double kappa = static_cast<double>(state.range(0));
+  Rng rng(93);
+  Matrix v = RandomUnitary(4, rng);
+  CVector diag = {Complex(1.0, 0), Complex(1.0 + kappa / 3.0, 0),
+                  Complex(1.0 + 2.0 * kappa / 3.0, 0), Complex(kappa, 0)};
+  Matrix a = v * Matrix::Diagonal(diag) * v.Adjoint();
+  a = (a + a.Adjoint()) * Complex(0.5, 0.0);
+  CVector b(4);
+  for (int i = 0; i < 4; ++i) b[i] = v(i, 3);  // Top eigenvector.
+  double fidelity = 0.0, success = 0.0;
+  for (auto _ : state) {
+    HhlOptions opts;
+    opts.clock_qubits = 9;
+    opts.c_constant = 0.9;  // λ_min = 1.
+    auto result = HhlSolve(a, b, opts);
+    if (!result.ok()) {
+      state.SkipWithError(result.status().ToString().c_str());
+      return;
+    }
+    fidelity = result.value().fidelity;
+    success = result.value().success_probability;
+  }
+  state.counters["kappa"] = kappa;
+  state.counters["fidelity"] = fidelity;
+  state.counters["success_prob"] = success;
+  state.counters["kappa_sq_x_success"] = kappa * kappa * success;
+}
+
+BENCHMARK(BM_HhlVsConditionNumber)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Arg(16)
+    ->Arg(32)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace qdb
+
+BENCHMARK_MAIN();

@@ -1,0 +1,124 @@
+// E10 — Index selection under a storage budget via QUBO.
+//
+// Regenerates the index-advisor comparison: benefit ratio to the
+// exhaustive optimum for the annealed QUBO vs benefit/size greedy, across
+// candidate-set sizes and interaction densities. Expected shape: with no
+// interactions greedy is near-optimal (plain knapsack); once redundancy
+// interactions appear, greedy over-commits to overlapping indexes and the
+// annealed QUBO pulls ahead.
+
+#include <benchmark/benchmark.h>
+
+#include "anneal/quantum_annealing.h"
+#include "anneal/simulated_annealing.h"
+#include "db/index_selection.h"
+
+namespace qdb {
+namespace {
+
+struct Instance {
+  IndexSelectionInstance inst;
+  double optimal;
+};
+
+Instance MakeInstance(int candidates, double interaction, uint64_t seed) {
+  Rng rng(seed);
+  IndexSelectionInstance inst =
+      RandomIndexInstance(candidates, 0.4, interaction, rng);
+  double optimal = ExhaustiveIndexBenefit(inst).ValueOrDie();
+  return {std::move(inst), optimal};
+}
+
+void BM_IndexSelectionSa(benchmark::State& state) {
+  const int candidates = static_cast<int>(state.range(0));
+  const double interaction = static_cast<double>(state.range(1)) / 100.0;
+  Instance inst = MakeInstance(candidates, interaction, 400 + candidates);
+  auto qubo = IndexSelectionQubo::Create(inst.inst).ValueOrDie();
+
+  double ratio = 0.0, feasible = 0.0;
+  for (auto _ : state) {
+    SaOptions opts;
+    opts.num_sweeps = 2500;
+    opts.num_restarts = 4;
+    auto solved = SimulatedAnnealing(qubo.qubo().ToIsing(), opts);
+    if (!solved.ok()) {
+      state.SkipWithError(solved.status().ToString().c_str());
+      return;
+    }
+    std::vector<uint8_t> selection =
+        qubo.Decode(SpinsToBits(solved.value().best_spins));
+    feasible = inst.inst.Feasible(selection) ? 1.0 : 0.0;
+    ratio = inst.optimal > 0 ? inst.inst.BenefitOf(selection) / inst.optimal
+                             : 1.0;
+  }
+  state.SetLabel("sa-qubo");
+  state.counters["candidates"] = candidates;
+  state.counters["interaction_pct"] = interaction * 100;
+  state.counters["benefit_ratio"] = ratio;
+  state.counters["feasible"] = feasible;
+}
+
+void BM_IndexSelectionSqa(benchmark::State& state) {
+  const int candidates = static_cast<int>(state.range(0));
+  const double interaction = static_cast<double>(state.range(1)) / 100.0;
+  Instance inst = MakeInstance(candidates, interaction, 400 + candidates);
+  auto qubo = IndexSelectionQubo::Create(inst.inst).ValueOrDie();
+
+  double ratio = 0.0;
+  for (auto _ : state) {
+    SqaOptions opts;
+    opts.num_sweeps = 900;
+    opts.num_replicas = 16;
+    opts.num_restarts = 2;
+    auto solved = SimulatedQuantumAnnealing(qubo.qubo().ToIsing(), opts);
+    if (!solved.ok()) {
+      state.SkipWithError(solved.status().ToString().c_str());
+      return;
+    }
+    std::vector<uint8_t> selection =
+        qubo.Decode(SpinsToBits(solved.value().best_spins));
+    ratio = inst.optimal > 0 ? inst.inst.BenefitOf(selection) / inst.optimal
+                             : 1.0;
+  }
+  state.SetLabel("sqa-qubo");
+  state.counters["candidates"] = candidates;
+  state.counters["interaction_pct"] = interaction * 100;
+  state.counters["benefit_ratio"] = ratio;
+}
+
+void BM_IndexSelectionGreedy(benchmark::State& state) {
+  const int candidates = static_cast<int>(state.range(0));
+  const double interaction = static_cast<double>(state.range(1)) / 100.0;
+  Instance inst = MakeInstance(candidates, interaction, 400 + candidates);
+  double ratio = 0.0;
+  for (auto _ : state) {
+    std::vector<uint8_t> selection = GreedyIndexSelection(inst.inst);
+    ratio = inst.optimal > 0 ? inst.inst.BenefitOf(selection) / inst.optimal
+                             : 1.0;
+  }
+  state.SetLabel("greedy-ratio");
+  state.counters["candidates"] = candidates;
+  state.counters["interaction_pct"] = interaction * 100;
+  state.counters["benefit_ratio"] = ratio;
+}
+
+const std::vector<std::vector<int64_t>> kGrid = {{6, 10, 14, 18},
+                                                 {0, 20, 40}};
+
+BENCHMARK(BM_IndexSelectionSa)
+    ->ArgsProduct(kGrid)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_IndexSelectionSqa)
+    ->ArgsProduct(kGrid)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_IndexSelectionGreedy)
+    ->ArgsProduct(kGrid)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace qdb
+
+BENCHMARK_MAIN();

@@ -1,0 +1,167 @@
+// E1 — Simulator scaling (foundation section).
+//
+// Regenerates the "cost of classical simulation" series: wall time and
+// per-amplitude-gate throughput of the state-vector simulator on random
+// dense circuits of depth 20, for n = 4…18 qubits. Expected shape: time
+// grows as Θ(2^n) per gate (the exponential wall motivating quantum
+// hardware), while ns/amplitude-op stays roughly flat.
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "circuit/circuit.h"
+#include "sim/mps.h"
+#include "sim/statevector_simulator.h"
+
+namespace qdb {
+namespace {
+
+Circuit RandomDenseCircuit(int num_qubits, int depth, uint64_t seed) {
+  Rng rng(seed);
+  Circuit c(num_qubits);
+  for (int layer = 0; layer < depth; ++layer) {
+    for (int q = 0; q < num_qubits; ++q) {
+      switch (rng.UniformInt(uint64_t{3})) {
+        case 0: c.RX(q, rng.Uniform(-3.0, 3.0)); break;
+        case 1: c.RY(q, rng.Uniform(-3.0, 3.0)); break;
+        default: c.H(q); break;
+      }
+    }
+    for (int q = layer % 2; q + 1 < num_qubits; q += 2) c.CX(q, q + 1);
+  }
+  return c;
+}
+
+void BM_StateVectorRandomCircuit(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const int depth = 20;
+  Circuit c = RandomDenseCircuit(n, depth, 42);
+  StateVectorSimulator sim;
+  for (auto _ : state) {
+    auto result = sim.Run(c);
+    benchmark::DoNotOptimize(result);
+  }
+  const double amps = static_cast<double>(uint64_t{1} << n);
+  const double amp_gate_ops = amps * static_cast<double>(c.size());
+  state.counters["qubits"] = n;
+  state.counters["gates"] = static_cast<double>(c.size());
+  state.counters["ns_per_amp_gate"] = benchmark::Counter(
+      amp_gate_ops, benchmark::Counter::kIsIterationInvariantRate |
+                        benchmark::Counter::kInvert);
+}
+
+BENCHMARK(BM_StateVectorRandomCircuit)
+    ->DenseRange(4, 18, 2)
+    ->Unit(benchmark::kMillisecond);
+
+Circuit ShallowChainCircuit(int num_qubits, int depth, uint64_t seed) {
+  // Brick-wall nearest-neighbor layers: entanglement grows with depth, not
+  // width — the regime where MPS escapes the exponential wall.
+  Rng rng(seed);
+  Circuit c(num_qubits);
+  for (int layer = 0; layer < depth; ++layer) {
+    for (int q = 0; q < num_qubits; ++q) c.RY(q, rng.Uniform(-3.0, 3.0));
+    for (int q = layer % 2; q + 1 < num_qubits; q += 2) {
+      c.RZZ(q, q + 1, rng.Uniform(-1.0, 1.0));
+    }
+  }
+  return c;
+}
+
+void BM_MpsChainCircuit(benchmark::State& state) {
+  // The tensor-network contrast series: depth-6 nearest-neighbor circuits
+  // at widths far beyond the state-vector simulator's reach; runtime grows
+  // ~linearly in n at fixed depth instead of 2^n.
+  const int n = static_cast<int>(state.range(0));
+  Circuit c = ShallowChainCircuit(n, 6, 42);
+  MpsSimulator sim({/*max_bond=*/32, 1e-12});
+  double max_bond = 0.0, truncation = 0.0;
+  for (auto _ : state) {
+    auto result = sim.Run(c);
+    if (!result.ok()) {
+      state.SkipWithError(result.status().ToString().c_str());
+      return;
+    }
+    max_bond = result.value().MaxBondDimension();
+    truncation = result.value().truncation_weight();
+  }
+  state.counters["qubits"] = n;
+  state.counters["max_bond"] = max_bond;
+  state.counters["truncation_weight"] = truncation;
+}
+
+BENCHMARK(BM_MpsChainCircuit)
+    ->Arg(8)
+    ->Arg(16)
+    ->Arg(32)
+    ->Arg(64)
+    ->Arg(96)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_SingleQubitGateKernel(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  StateVector psi(n);
+  const Matrix h = GateMatrix(GateType::kH, {});
+  for (auto _ : state) {
+    psi.Apply1Q(0, h);
+    benchmark::ClobberMemory();
+  }
+  state.counters["qubits"] = n;
+  state.counters["amps_per_s"] = benchmark::Counter(
+      static_cast<double>(uint64_t{1} << n),
+      benchmark::Counter::kIsIterationInvariantRate);
+}
+
+BENCHMARK(BM_SingleQubitGateKernel)->DenseRange(10, 20, 2);
+
+void BM_TwoQubitGateKernel(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  StateVector psi(n);
+  const Matrix rxx = GateMatrix(GateType::kRXX, {0.3});
+  for (auto _ : state) {
+    psi.Apply2Q(0, n - 1, rxx);
+    benchmark::ClobberMemory();
+  }
+  state.counters["qubits"] = n;
+  state.counters["amps_per_s"] = benchmark::Counter(
+      static_cast<double>(uint64_t{1} << n),
+      benchmark::Counter::kIsIterationInvariantRate);
+}
+
+BENCHMARK(BM_TwoQubitGateKernel)->DenseRange(10, 20, 2);
+
+void BM_DiagonalGateKernel(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  StateVector psi(n);
+  for (auto _ : state) {
+    psi.ApplyDiagonal1Q(0, Complex(1, 0), Complex(0, 1));
+    benchmark::ClobberMemory();
+  }
+  state.counters["qubits"] = n;
+  state.counters["amps_per_s"] = benchmark::Counter(
+      static_cast<double>(uint64_t{1} << n),
+      benchmark::Counter::kIsIterationInvariantRate);
+}
+
+BENCHMARK(BM_DiagonalGateKernel)->DenseRange(10, 20, 2);
+
+void BM_PauliExpectation(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  StateVector psi(n);
+  const Matrix h = GateMatrix(GateType::kH, {});
+  for (int q = 0; q < n; ++q) psi.Apply1Q(q, h);
+  PauliString pauli(n);
+  for (int q = 0; q < n; q += 2) pauli.set_op(q, PauliOp::kZ);
+  for (int q = 1; q < n; q += 2) pauli.set_op(q, PauliOp::kX);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Expectation(psi, pauli));
+  }
+  state.counters["qubits"] = n;
+}
+
+BENCHMARK(BM_PauliExpectation)->DenseRange(10, 20, 2);
+
+}  // namespace
+}  // namespace qdb
+
+BENCHMARK_MAIN();

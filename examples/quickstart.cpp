@@ -1,0 +1,51 @@
+// Quickstart: circuits, simulation, measurement, observables, and a
+// three-line VQE — the tour of qdb's core API.
+
+#include <cstdio>
+
+#include "common/rng.h"
+#include "circuit/circuit.h"
+#include "sim/statevector_simulator.h"
+#include "variational/ansatz.h"
+#include "variational/vqe.h"
+
+int main() {
+  using namespace qdb;
+
+  // 1. Build a Bell-pair circuit with the fluent builder.
+  Circuit bell(2);
+  bell.H(0).CX(0, 1);
+  std::printf("Circuit:\n%s\n", bell.ToString().c_str());
+
+  // 2. Simulate it exactly.
+  StateVectorSimulator simulator;
+  StateVector state = simulator.Run(bell).ValueOrDie();
+  std::printf("P(|00>) = %.3f, P(|11>) = %.3f\n", state.Probability(0),
+              state.Probability(3));
+
+  // 3. Sample measurement shots.
+  Rng rng(7);
+  auto counts = state.SampleCounts(rng, 1000);
+  for (const auto& [outcome, count] : counts) {
+    std::printf("  measured %s: %d times\n",
+                state.BitString(outcome).c_str(), count);
+  }
+
+  // 4. Expectation values of Pauli observables.
+  PauliSum zz(2);
+  zz.Add(1.0, "ZZ");
+  std::printf("<ZZ> on the Bell state = %.3f (expect 1.0)\n",
+              Expectation(state, zz));
+
+  // 5. VQE: find the ground state of a tiny transverse-field Ising model.
+  PauliSum hamiltonian(2);
+  hamiltonian.Add(-1.0, "ZZ").Add(-0.5, "XI").Add(-0.5, "IX");
+  Circuit ansatz = EfficientSU2Ansatz(2, 2);
+  VqeOptions options;
+  options.adam.max_iterations = 150;
+  VqeResult result = RunVqe(ansatz, hamiltonian, options).ValueOrDie();
+  double exact = ExactGroundStateEnergy(hamiltonian).ValueOrDie();
+  std::printf("VQE energy %.6f vs exact %.6f (%ld circuit evaluations)\n",
+              result.energy, exact, result.circuit_evaluations);
+  return 0;
+}

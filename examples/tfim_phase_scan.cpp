@@ -1,0 +1,51 @@
+// Scans the transverse-field Ising model across its phase transition with
+// VQE, validating against exact diagonalization — the "simulating quantum
+// systems" workload of the tutorial's foundations, and a showcase of the
+// model-Hamiltonian library, adjoint-gradient training, and the MPS
+// simulator for wide chains.
+
+#include <cstdio>
+
+#include "ops/model_hamiltonians.h"
+#include "sim/mps.h"
+#include "variational/ansatz.h"
+#include "variational/vqe.h"
+
+int main() {
+  using namespace qdb;
+
+  const int n = 4;
+  std::printf("TFIM chain, %d sites: H = -J Σ ZZ - h Σ X (J = 1)\n", n);
+  std::printf("%8s %14s %14s %10s\n", "h", "VQE energy", "exact", "error");
+
+  for (double h : {0.2, 0.6, 1.0, 1.4, 2.0}) {
+    PauliSum hamiltonian =
+        TransverseFieldIsing(n, 1.0, h).ValueOrDie();
+    const double exact = ExactGroundStateEnergy(hamiltonian).ValueOrDie();
+
+    Circuit ansatz = EfficientSU2Ansatz(n, 2);
+    VqeOptions options;
+    options.adam.max_iterations = 300;
+    options.adam.learning_rate = 0.1;
+    options.seed = 13;
+    VqeResult result = RunVqe(ansatz, hamiltonian, options).ValueOrDie();
+    std::printf("%8.2f %14.6f %14.6f %10.2e\n", h, result.energy, exact,
+                result.energy - exact);
+  }
+
+  // The MPS simulator handles the same physics at widths no state vector
+  // can touch: prepare a 64-site paramagnetic product ansatz and check its
+  // norm and entanglement stay controlled.
+  const int wide = 64;
+  Circuit wide_circuit(wide);
+  for (int q = 0; q < wide; ++q) wide_circuit.RY(q, 1.2);
+  for (int q = 0; q + 1 < wide; ++q) wide_circuit.RZZ(q, q + 1, 0.4);
+  MpsSimulator mps_sim({/*max_bond=*/16, 1e-12});
+  MpsState mps = mps_sim.Run(wide_circuit).ValueOrDie();
+  std::printf(
+      "\nMPS: %d-site entangled chain simulated exactly "
+      "(max bond %d, truncation %.1e, norm %.6f)\n",
+      wide, mps.MaxBondDimension(), mps.truncation_weight(),
+      mps.NormSquared());
+  return 0;
+}

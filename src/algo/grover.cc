@@ -1,0 +1,112 @@
+#include "algo/grover.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/strings.h"
+#include "sim/statevector_simulator.h"
+
+namespace qdb {
+namespace {
+
+/// Phase-flips the all-ones state via MCZ; X-conjugation retargets it to
+/// an arbitrary basis state.
+void AppendMarkedStateFlip(Circuit& circuit, uint64_t index) {
+  const int n = circuit.num_qubits();
+  std::vector<int> zero_bits;
+  for (int q = 0; q < n; ++q) {
+    if (!(index & (uint64_t{1} << (n - 1 - q)))) zero_bits.push_back(q);
+  }
+  for (int q : zero_bits) circuit.X(q);
+  if (n == 1) {
+    circuit.Z(0);
+  } else {
+    std::vector<int> controls;
+    for (int q = 0; q + 1 < n; ++q) controls.push_back(q);
+    circuit.MCZ(controls, n - 1);
+  }
+  for (int q : zero_bits) circuit.X(q);
+}
+
+}  // namespace
+
+void AppendPhaseOracle(Circuit& circuit, const std::vector<uint64_t>& marked) {
+  for (uint64_t m : marked) AppendMarkedStateFlip(circuit, m);
+}
+
+void AppendDiffusion(Circuit& circuit) {
+  const int n = circuit.num_qubits();
+  for (int q = 0; q < n; ++q) circuit.H(q);
+  // 2|0⟩⟨0| − I = X⊗n · MCZ · X⊗n (up to global phase).
+  AppendMarkedStateFlip(circuit, 0);
+  for (int q = 0; q < n; ++q) circuit.H(q);
+}
+
+Result<Circuit> GroverCircuit(int num_qubits,
+                              const std::vector<uint64_t>& marked,
+                              int iterations) {
+  if (num_qubits < 1 || num_qubits > 24) {
+    return Status::InvalidArgument(
+        StrCat("num_qubits must be in [1, 24], got ", num_qubits));
+  }
+  if (marked.empty()) {
+    return Status::InvalidArgument("need at least one marked state");
+  }
+  const uint64_t dim = uint64_t{1} << num_qubits;
+  for (uint64_t m : marked) {
+    if (m >= dim) {
+      return Status::OutOfRange(StrCat("marked index ", m, " >= ", dim));
+    }
+  }
+  if (iterations < 0) {
+    return Status::InvalidArgument("iterations must be non-negative");
+  }
+  Circuit c(num_qubits);
+  for (int q = 0; q < num_qubits; ++q) c.H(q);
+  for (int it = 0; it < iterations; ++it) {
+    AppendPhaseOracle(c, marked);
+    AppendDiffusion(c);
+  }
+  return c;
+}
+
+int OptimalGroverIterations(int num_qubits, int num_marked) {
+  QDB_CHECK_GE(num_qubits, 1);
+  QDB_CHECK_GE(num_marked, 1);
+  const double n = static_cast<double>(uint64_t{1} << num_qubits);
+  const int k = static_cast<int>(
+      std::floor(M_PI / 4.0 * std::sqrt(n / num_marked)));
+  return std::max(k, 1);
+}
+
+Result<double> GroverSuccessProbability(int num_qubits,
+                                        const std::vector<uint64_t>& marked,
+                                        int iterations) {
+  QDB_ASSIGN_OR_RETURN(Circuit c,
+                       GroverCircuit(num_qubits, marked, iterations));
+  StateVectorSimulator sim;
+  QDB_ASSIGN_OR_RETURN(StateVector state, sim.Run(c));
+  double p = 0.0;
+  for (uint64_t m : marked) p += state.Probability(m);
+  return p;
+}
+
+Result<GroverResult> GroverSearch(int num_qubits,
+                                  const std::vector<uint64_t>& marked,
+                                  Rng& rng, int iterations) {
+  const int iters = iterations >= 0
+                        ? iterations
+                        : OptimalGroverIterations(
+                              num_qubits, static_cast<int>(marked.size()));
+  QDB_ASSIGN_OR_RETURN(Circuit c, GroverCircuit(num_qubits, marked, iters));
+  StateVectorSimulator sim;
+  QDB_ASSIGN_OR_RETURN(StateVector state, sim.Run(c));
+  GroverResult result;
+  result.iterations = iters;
+  result.measured = state.SampleOnce(rng);
+  result.found = std::find(marked.begin(), marked.end(), result.measured) !=
+                 marked.end();
+  return result;
+}
+
+}  // namespace qdb

@@ -1,0 +1,55 @@
+/// \file grover.h
+/// \brief Grover search over an unstructured key space — the "quantum
+/// database search" primitive (E11), including circuit construction,
+/// success-probability analysis, and sampled end-to-end search.
+
+#ifndef QDB_ALGO_GROVER_H_
+#define QDB_ALGO_GROVER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "circuit/circuit.h"
+#include "common/result.h"
+#include "common/rng.h"
+
+namespace qdb {
+
+/// \brief Appends a phase oracle flipping the sign of every |m⟩, m ∈ marked.
+void AppendPhaseOracle(Circuit& circuit, const std::vector<uint64_t>& marked);
+
+/// \brief Appends the Grover diffusion operator 2|s⟩⟨s| − I.
+void AppendDiffusion(Circuit& circuit);
+
+/// \brief Full Grover circuit: H⊗n, then `iterations` oracle+diffusion
+/// rounds. All marked indices must be < 2^num_qubits.
+Result<Circuit> GroverCircuit(int num_qubits,
+                              const std::vector<uint64_t>& marked,
+                              int iterations);
+
+/// \brief ⌊(π/4)·√(N/M)⌋ — the optimal iteration count for M marked items
+/// among N = 2^num_qubits (at least 1).
+int OptimalGroverIterations(int num_qubits, int num_marked = 1);
+
+/// \brief Exact probability that measuring after `iterations` rounds yields
+/// a marked index (analysis of E11's success curve).
+Result<double> GroverSuccessProbability(int num_qubits,
+                                        const std::vector<uint64_t>& marked,
+                                        int iterations);
+
+/// \brief Outcome of a sampled Grover run.
+struct GroverResult {
+  uint64_t measured = 0;
+  bool found = false;   ///< measured ∈ marked.
+  int iterations = 0;
+};
+
+/// \brief End-to-end search: builds the circuit with the optimal iteration
+/// count (or `iterations` if ≥ 0), runs it, and measures once.
+Result<GroverResult> GroverSearch(int num_qubits,
+                                  const std::vector<uint64_t>& marked,
+                                  Rng& rng, int iterations = -1);
+
+}  // namespace qdb
+
+#endif  // QDB_ALGO_GROVER_H_

@@ -1,0 +1,203 @@
+#include "algo/hhl.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "algo/phase_estimation.h"
+#include "common/strings.h"
+#include "linalg/eigen.h"
+#include "linalg/vector_ops.h"
+#include "sim/state_vector.h"
+#include "sim/statevector_simulator.h"
+
+namespace qdb {
+namespace {
+
+/// e^{iAτ} from the eigendecomposition A = V Λ V†.
+Matrix Exponential(const EigenDecomposition& eig, double tau) {
+  const size_t dim = eig.eigenvectors.rows();
+  CVector phases(dim);
+  for (size_t i = 0; i < dim; ++i) {
+    phases[i] = std::exp(Complex(0.0, eig.eigenvalues[i] * tau));
+  }
+  return eig.eigenvectors * Matrix::Diagonal(phases) *
+         eig.eigenvectors.Adjoint();
+}
+
+/// Controlled-U as a dense matrix: block diag(I, U) with the control as
+/// the high index bit.
+Matrix Controlled(const Matrix& u) {
+  const size_t d = u.rows();
+  Matrix c = Matrix::Identity(2 * d);
+  for (size_t r = 0; r < d; ++r) {
+    for (size_t col = 0; col < d; ++col) c(d + r, d + col) = u(r, col);
+  }
+  return c;
+}
+
+}  // namespace
+
+Result<CVector> ClassicalSolveNormalized(const Matrix& a, const CVector& b) {
+  if (a.rows() != a.cols() || a.rows() != b.size()) {
+    return Status::InvalidArgument("shape mismatch");
+  }
+  QDB_ASSIGN_OR_RETURN(EigenDecomposition eig, HermitianEigen(a));
+  for (double lambda : eig.eigenvalues) {
+    if (std::abs(lambda) < 1e-12) {
+      return Status::InvalidArgument("matrix is singular");
+    }
+  }
+  // x = V Λ⁻¹ V† b.
+  CVector vtb = eig.eigenvectors.Adjoint().Apply(b);
+  for (size_t i = 0; i < vtb.size(); ++i) vtb[i] /= eig.eigenvalues[i];
+  CVector x = eig.eigenvectors.Apply(vtb);
+  Normalize(x);
+  return x;
+}
+
+Result<HhlResult> HhlSolve(const Matrix& a, const CVector& b,
+                           const HhlOptions& options) {
+  const size_t dim = a.rows();
+  if (dim != a.cols() || dim == 0 || (dim & (dim - 1)) != 0 || dim > 8) {
+    return Status::InvalidArgument(
+        "A must be square with power-of-two dimension <= 8");
+  }
+  if (b.size() != dim) {
+    return Status::InvalidArgument("b has wrong dimension");
+  }
+  if (!a.IsHermitian(1e-9)) {
+    return Status::InvalidArgument("A must be Hermitian");
+  }
+  if (Norm(b) < 1e-12) {
+    return Status::InvalidArgument("b must be non-zero");
+  }
+  if (options.clock_qubits < 2 || options.clock_qubits > 10) {
+    return Status::InvalidArgument("clock_qubits must be in [2, 10]");
+  }
+
+  QDB_ASSIGN_OR_RETURN(EigenDecomposition eig, HermitianEigen(a));
+  double lambda_max = 0.0;
+  for (double lambda : eig.eigenvalues) {
+    if (std::abs(lambda) < 1e-12) {
+      return Status::InvalidArgument("matrix is singular");
+    }
+    lambda_max = std::max(lambda_max, std::abs(lambda));
+  }
+  // Auto t₀ maps the spectrum into phases ±0.4: t₀ = 0.8π/‖A‖. (Exactly
+  // π/‖A‖ would collide +λ_max and −λ_max at the wrap-around phase 1/2.)
+  const double t0 = options.evolution_time > 0.0 ? options.evolution_time
+                                                 : 0.8 * M_PI / lambda_max;
+
+  int m = 0;
+  while ((size_t{1} << m) < dim) ++m;
+  const int t = options.clock_qubits;
+  const int n = 1 + t + m;  // ancilla | clock | system.
+  const uint64_t clock_size = uint64_t{1} << t;
+
+  // Register layout (qubit 0 = MSB of the index): ancilla, clock, system.
+  StateVector state(n);
+  {
+    // Prepare |0⟩_anc |0⟩_clock |b⟩_sys.
+    CVector normalized_b = b;
+    Normalize(normalized_b);
+    CVector amps(uint64_t{1} << n, Complex(0.0, 0.0));
+    for (size_t i = 0; i < dim; ++i) amps[i] = normalized_b[i];
+    state.amplitudes() = std::move(amps);
+  }
+
+  StateVectorSimulator sim;
+  std::vector<int> system_qubits;
+  for (int q = 0; q < m; ++q) system_qubits.push_back(1 + t + q);
+
+  // --- QPE forward ---------------------------------------------------------
+  Circuit hadamards(n);
+  for (int c = 0; c < t; ++c) hadamards.H(1 + c);
+  QDB_RETURN_IF_ERROR(sim.RunInPlace(hadamards, state));
+  for (int c = 0; c < t; ++c) {
+    // Clock qubit (1 + c) is phase bit c (MSB first): controls U^{2^{t−1−c}}.
+    const double tau = t0 * static_cast<double>(uint64_t{1} << (t - 1 - c));
+    Matrix cu = Controlled(Exponential(eig, tau));
+    std::vector<int> operands = {1 + c};
+    operands.insert(operands.end(), system_qubits.begin(), system_qubits.end());
+    state.ApplyKQ(operands, cu);
+  }
+  Circuit iqft_clock(n);
+  {
+    Circuit iqft = InverseQftCircuit(t);
+    std::vector<int> mapping(t);
+    for (int c = 0; c < t; ++c) mapping[c] = 1 + c;
+    iqft_clock.AppendMapped(iqft, mapping);
+  }
+  QDB_RETURN_IF_ERROR(sim.RunInPlace(iqft_clock, state));
+
+  // --- Eigenvalue-conditioned ancilla rotation -----------------------------
+  // λ(y) = 2π·φ/t₀ with φ = y/2^t, wrapped to (−½, ½] for negative λ.
+  // Default C = the smallest representable |λ| (one phase-grid step).
+  const double c_const =
+      options.c_constant > 0.0
+          ? options.c_constant
+          : 2.0 * M_PI / (t0 * static_cast<double>(clock_size));
+  {
+    CVector& amps = state.amplitudes();
+    const uint64_t sys_size = uint64_t{1} << m;
+    const uint64_t anc_stride = uint64_t{1} << (t + m);
+    for (uint64_t y = 1; y < clock_size; ++y) {  // y = 0 → λ = 0: skip.
+      double phase = static_cast<double>(y) / static_cast<double>(clock_size);
+      if (phase > 0.5) phase -= 1.0;
+      const double lambda = 2.0 * M_PI * phase / t0;
+      const double ratio = std::clamp(c_const / lambda, -1.0, 1.0);
+      const double sin_theta = ratio;
+      const double cos_theta = std::sqrt(1.0 - ratio * ratio);
+      for (uint64_t s = 0; s < sys_size; ++s) {
+        const uint64_t i0 = y * sys_size + s;       // ancilla = 0
+        const uint64_t i1 = i0 + anc_stride;        // ancilla = 1
+        const Complex a0 = amps[i0];
+        const Complex a1 = amps[i1];
+        amps[i0] = cos_theta * a0 - sin_theta * a1;
+        amps[i1] = sin_theta * a0 + cos_theta * a1;
+      }
+    }
+  }
+
+  // --- QPE inverse ----------------------------------------------------------
+  Circuit qft_clock(n);
+  {
+    Circuit qft = QftCircuit(t);
+    std::vector<int> mapping(t);
+    for (int c = 0; c < t; ++c) mapping[c] = 1 + c;
+    qft_clock.AppendMapped(qft, mapping);
+  }
+  QDB_RETURN_IF_ERROR(sim.RunInPlace(qft_clock, state));
+  for (int c = t - 1; c >= 0; --c) {
+    const double tau = -t0 * static_cast<double>(uint64_t{1} << (t - 1 - c));
+    Matrix cu = Controlled(Exponential(eig, tau));
+    std::vector<int> operands = {1 + c};
+    operands.insert(operands.end(), system_qubits.begin(), system_qubits.end());
+    state.ApplyKQ(operands, cu);
+  }
+  QDB_RETURN_IF_ERROR(sim.RunInPlace(hadamards, state));
+
+  // --- Post-select ancilla = 1, clock = 0 -----------------------------------
+  HhlResult result;
+  result.total_qubits = n;
+  const uint64_t anc_stride = uint64_t{1} << (t + m);
+  CVector solution(dim);
+  double prob = 0.0;
+  for (size_t s = 0; s < dim; ++s) {
+    const Complex amp = state.amplitude(anc_stride + s);  // clock = 0.
+    solution[s] = amp;
+    prob += std::norm(amp);
+  }
+  result.success_probability = prob;
+  if (prob < 1e-12) {
+    return Status::Internal("HHL post-selection probability vanished");
+  }
+  Normalize(solution);
+  result.solution = solution;
+
+  QDB_ASSIGN_OR_RETURN(CVector exact, ClassicalSolveNormalized(a, b));
+  result.fidelity = Fidelity(solution, exact);
+  return result;
+}
+
+}  // namespace qdb

@@ -1,0 +1,56 @@
+/// \file hhl.h
+/// \brief HHL quantum linear-system solver: |x⟩ ∝ A⁻¹|b⟩ via phase
+/// estimation on e^{iAt₀} and an eigenvalue-conditioned ancilla rotation —
+/// the algorithm behind the "exponential speedups for linear algebra"
+/// claims the QML literature builds on (least squares, SVMs, regression).
+///
+/// This implementation runs the full coherent protocol (QPE → conditioned
+/// rotation → inverse QPE → post-selection) on the state-vector simulator;
+/// the controlled evolutions are dense small-register unitaries, which is
+/// exactly what a fault-tolerant device would implement with Hamiltonian
+/// simulation.
+
+#ifndef QDB_ALGO_HHL_H_
+#define QDB_ALGO_HHL_H_
+
+#include "common/result.h"
+#include "linalg/matrix.h"
+#include "linalg/types.h"
+
+namespace qdb {
+
+/// \brief HHL configuration.
+struct HhlOptions {
+  int clock_qubits = 6;        ///< Phase-estimation precision t.
+  /// Evolution time t₀ for U = e^{iAt₀}; ≤ 0 selects 0.8π/‖A‖
+  /// automatically (eigenphases stay within ±0.4, clear of the ±1/2
+  /// wrap-around collision).
+  double evolution_time = -1.0;
+  /// Rotation constant C in sin θ = C/λ; ≤ 0 selects the smallest
+  /// phase-grid-representable |λ| (resolution-limited, always valid).
+  /// Supplying C ≈ λ_min maximizes the post-selection probability.
+  double c_constant = -1.0;
+};
+
+/// \brief Outcome of an HHL run.
+struct HhlResult {
+  CVector solution;            ///< Normalized post-selected |x⟩.
+  double success_probability = 0.0;  ///< P(ancilla = 1 ∧ clock = 0).
+  double fidelity = 0.0;       ///< |⟨x_exact|x⟩|² against the classical solve.
+  int total_qubits = 0;        ///< 1 + clock + system.
+};
+
+/// \brief Solves A x = b for Hermitian, invertible A of power-of-two
+/// dimension ≤ 8 (the coherent register is 1 + t + log₂(dim) qubits).
+///
+/// \return InvalidArgument for non-Hermitian/singular/mis-sized inputs.
+Result<HhlResult> HhlSolve(const Matrix& a, const CVector& b,
+                           const HhlOptions& options = {});
+
+/// \brief Classical reference: x = A⁻¹ b via eigendecomposition, normalized
+/// (the direction HHL produces).
+Result<CVector> ClassicalSolveNormalized(const Matrix& a, const CVector& b);
+
+}  // namespace qdb
+
+#endif  // QDB_ALGO_HHL_H_

@@ -1,0 +1,83 @@
+#include "algo/phase_estimation.h"
+
+#include <cmath>
+#include <map>
+
+#include "common/strings.h"
+#include "sim/statevector_simulator.h"
+
+namespace qdb {
+
+Circuit QftCircuit(int num_qubits) {
+  QDB_CHECK_GE(num_qubits, 1);
+  Circuit c(num_qubits);
+  // Standard textbook QFT: H then controlled phases with halving angles,
+  // finished by reversing the qubit order.
+  for (int q = 0; q < num_qubits; ++q) {
+    c.H(q);
+    for (int k = q + 1; k < num_qubits; ++k) {
+      c.CP(k, q, M_PI / static_cast<double>(uint64_t{1} << (k - q)));
+    }
+  }
+  for (int q = 0; q < num_qubits / 2; ++q) c.Swap(q, num_qubits - 1 - q);
+  return c;
+}
+
+Circuit InverseQftCircuit(int num_qubits) {
+  return QftCircuit(num_qubits).Inverse();
+}
+
+Result<Circuit> PhaseEstimationCircuit(double phase, int precision_qubits) {
+  if (precision_qubits < 1 || precision_qubits > 16) {
+    return Status::InvalidArgument(
+        StrCat("precision_qubits must be in [1, 16], got ", precision_qubits));
+  }
+  const int t = precision_qubits;
+  Circuit c(t + 1);
+  const int target = t;
+  c.X(target);  // Eigenstate |1⟩ of P(2πφ).
+  for (int q = 0; q < t; ++q) c.H(q);
+  // Ancilla q (MSB of the readout) controls U^{2^{t−1−q}}.
+  for (int q = 0; q < t; ++q) {
+    const uint64_t power = uint64_t{1} << (t - 1 - q);
+    c.CP(q, target, 2.0 * M_PI * phase * static_cast<double>(power));
+  }
+  // Inverse QFT on the ancilla register (qubits 0..t−1).
+  Circuit iqft = InverseQftCircuit(t);
+  std::vector<int> mapping(t);
+  for (int q = 0; q < t; ++q) mapping[q] = q;
+  c.AppendMapped(iqft, mapping);
+  return c;
+}
+
+Result<PhaseEstimate> EstimatePhase(double phase, int precision_qubits,
+                                    int shots, Rng& rng) {
+  if (shots < 1) {
+    return Status::InvalidArgument("shots must be >= 1");
+  }
+  QDB_ASSIGN_OR_RETURN(Circuit c,
+                       PhaseEstimationCircuit(phase, precision_qubits));
+  StateVectorSimulator sim;
+  QDB_ASSIGN_OR_RETURN(StateVector state, sim.Run(c));
+  auto counts = state.SampleCounts(rng, shots);
+
+  // Aggregate over the ancilla register (drop the target qubit, the LSB).
+  std::map<uint64_t, int> readings;
+  for (const auto& [outcome, count] : counts) {
+    readings[outcome >> 1] += count;
+  }
+  PhaseEstimate best;
+  int best_count = -1;
+  for (const auto& [reading, count] : readings) {
+    if (count > best_count) {
+      best_count = count;
+      best.raw_outcome = reading;
+    }
+  }
+  best.estimated_phase = static_cast<double>(best.raw_outcome) /
+                         static_cast<double>(uint64_t{1} << precision_qubits);
+  best.top_probability = static_cast<double>(best_count) / shots;
+  return best;
+}
+
+}  // namespace qdb

@@ -1,0 +1,42 @@
+/// \file phase_estimation.h
+/// \brief Quantum Fourier transform and quantum phase estimation — the
+/// eigenvalue-extraction building block behind the "quantum linear algebra"
+/// speedups surveyed in the tutorial's foundations.
+
+#ifndef QDB_ALGO_PHASE_ESTIMATION_H_
+#define QDB_ALGO_PHASE_ESTIMATION_H_
+
+#include <cstdint>
+
+#include "circuit/circuit.h"
+#include "common/result.h"
+#include "common/rng.h"
+
+namespace qdb {
+
+/// \brief QFT on `num_qubits` qubits (with the final qubit-reversal swaps).
+Circuit QftCircuit(int num_qubits);
+
+/// \brief Inverse QFT.
+Circuit InverseQftCircuit(int num_qubits);
+
+/// \brief Phase-estimation circuit for the single-qubit unitary
+/// U = P(2πφ) acting on its |1⟩ eigenstate: `precision_qubits` ancillas,
+/// one target (the last qubit), controlled-U^{2^k} powers, inverse QFT.
+Result<Circuit> PhaseEstimationCircuit(double phase, int precision_qubits);
+
+/// \brief Outcome of a sampled phase-estimation run.
+struct PhaseEstimate {
+  double estimated_phase = 0.0;  ///< Most frequent reading / 2^t.
+  uint64_t raw_outcome = 0;      ///< That reading.
+  double top_probability = 0.0;  ///< Its empirical frequency.
+};
+
+/// \brief Runs phase estimation with `shots` samples and returns the modal
+/// estimate; the error is ≤ 2^{−t} with high probability.
+Result<PhaseEstimate> EstimatePhase(double phase, int precision_qubits,
+                                    int shots, Rng& rng);
+
+}  // namespace qdb
+
+#endif  // QDB_ALGO_PHASE_ESTIMATION_H_

@@ -1,0 +1,145 @@
+#include "algo/quantum_counting.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "algo/phase_estimation.h"
+#include "common/strings.h"
+#include "sim/statevector_simulator.h"
+
+namespace qdb {
+namespace {
+
+/// Appends the controlled phase flip of one system basis state: X-conjugate
+/// the zero bits, then an MCZ whose control set includes `control`. The
+/// X layers need no control — conjugation commutes with adding controls.
+void AppendControlledStateFlip(Circuit& circuit, int control, int sys_offset,
+                               int num_sys, uint64_t index) {
+  std::vector<int> zero_bits;
+  for (int q = 0; q < num_sys; ++q) {
+    if (!(index & (uint64_t{1} << (num_sys - 1 - q)))) {
+      zero_bits.push_back(sys_offset + q);
+    }
+  }
+  for (int q : zero_bits) circuit.X(q);
+  std::vector<int> controls = {control};
+  for (int q = 0; q + 1 < num_sys; ++q) controls.push_back(sys_offset + q);
+  circuit.MCZ(controls, sys_offset + num_sys - 1);
+  for (int q : zero_bits) circuit.X(q);
+}
+
+/// Appends one controlled Grover iterate C-G, G = D·O with
+/// O = I − 2Σ|m⟩⟨m| and D = I − 2|s⟩⟨s| (this library's convention;
+/// G here equals −G_textbook, which shifts every eigenphase by π — the
+/// decode formula below accounts for it).
+void AppendControlledGrover(Circuit& circuit, int control, int sys_offset,
+                            int num_sys,
+                            const std::vector<uint64_t>& marked) {
+  for (uint64_t m : marked) {
+    AppendControlledStateFlip(circuit, control, sys_offset, num_sys, m);
+  }
+  for (int q = 0; q < num_sys; ++q) circuit.H(sys_offset + q);
+  AppendControlledStateFlip(circuit, control, sys_offset, num_sys, 0);
+  for (int q = 0; q < num_sys; ++q) circuit.H(sys_offset + q);
+}
+
+}  // namespace
+
+Result<Circuit> QuantumCountingCircuit(int num_qubits,
+                                       const std::vector<uint64_t>& marked,
+                                       int precision_qubits) {
+  if (num_qubits < 1 || num_qubits > 12) {
+    return Status::InvalidArgument(
+        StrCat("num_qubits must be in [1, 12], got ", num_qubits));
+  }
+  if (precision_qubits < 1 || precision_qubits > 10) {
+    return Status::InvalidArgument(
+        StrCat("precision_qubits must be in [1, 10], got ", precision_qubits));
+  }
+  if (marked.empty()) {
+    return Status::InvalidArgument("need at least one marked state");
+  }
+  const uint64_t dim = uint64_t{1} << num_qubits;
+  for (uint64_t m : marked) {
+    if (m >= dim) {
+      return Status::OutOfRange(StrCat("marked index ", m, " >= ", dim));
+    }
+  }
+  const int t = precision_qubits;
+  Circuit circuit(t + num_qubits);
+  for (int a = 0; a < t; ++a) circuit.H(a);
+  for (int q = 0; q < num_qubits; ++q) circuit.H(t + q);
+  // Ancilla a (MSB of the reading) controls G^(2^{t−1−a}).
+  for (int a = 0; a < t; ++a) {
+    const uint64_t power = uint64_t{1} << (t - 1 - a);
+    for (uint64_t rep = 0; rep < power; ++rep) {
+      AppendControlledGrover(circuit, a, t, num_qubits, marked);
+    }
+  }
+  Circuit iqft = InverseQftCircuit(t);
+  std::vector<int> mapping(t);
+  for (int a = 0; a < t; ++a) mapping[a] = a;
+  circuit.AppendMapped(iqft, mapping);
+  return circuit;
+}
+
+Result<CountEstimate> EstimateMarkedCount(int num_qubits,
+                                          const std::vector<uint64_t>& marked,
+                                          int precision_qubits, int shots,
+                                          Rng& rng) {
+  if (shots < 1) {
+    return Status::InvalidArgument("shots must be >= 1");
+  }
+  QDB_ASSIGN_OR_RETURN(
+      Circuit circuit,
+      QuantumCountingCircuit(num_qubits, marked, precision_qubits));
+  StateVectorSimulator sim;
+  QDB_ASSIGN_OR_RETURN(StateVector state, sim.Run(circuit));
+  auto counts = state.SampleCounts(rng, shots);
+
+  // Aggregate over the ancilla register (top t qubits of the index).
+  std::map<uint64_t, int> readings;
+  for (const auto& [outcome, count] : counts) {
+    readings[outcome >> num_qubits] += count;
+  }
+  uint64_t modal = 0;
+  int modal_count = -1;
+  for (const auto& [reading, count] : readings) {
+    if (count > modal_count) {
+      modal_count = count;
+      modal = reading;
+    }
+  }
+
+  const double n_states = static_cast<double>(uint64_t{1} << num_qubits);
+  const double phase = static_cast<double>(modal) /
+                       static_cast<double>(uint64_t{1} << precision_qubits);
+  // This G equals −G_textbook: eigenphases are π ± 2θ instead of ±2θ, so
+  // sin²θ = cos²(π·phase).
+  const double fraction = std::pow(std::cos(M_PI * phase), 2);
+
+  CountEstimate estimate;
+  estimate.raw_reading = modal;
+  estimate.estimated_fraction = fraction;
+  estimate.estimated_count = fraction * n_states;
+  estimate.oracle_calls =
+      static_cast<long>(shots) *
+      ((long{1} << precision_qubits) - 1);
+  return estimate;
+}
+
+double ClassicalSampledFraction(int num_qubits,
+                                const std::vector<uint64_t>& marked,
+                                int samples, Rng& rng) {
+  QDB_CHECK_GE(samples, 1);
+  const uint64_t dim = uint64_t{1} << num_qubits;
+  int hits = 0;
+  for (int s = 0; s < samples; ++s) {
+    const uint64_t key = rng.UniformInt(dim);
+    hits += std::find(marked.begin(), marked.end(), key) != marked.end();
+  }
+  return static_cast<double>(hits) / samples;
+}
+
+}  // namespace qdb

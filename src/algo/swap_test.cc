@@ -1,0 +1,69 @@
+#include "algo/swap_test.h"
+
+#include <algorithm>
+
+#include "common/strings.h"
+#include "linalg/vector_ops.h"
+#include "sim/statevector_simulator.h"
+
+namespace qdb {
+
+Circuit SwapTestCircuit(int register_qubits) {
+  QDB_CHECK_GE(register_qubits, 1);
+  const int n = register_qubits;
+  Circuit c(1 + 2 * n);
+  c.H(0);
+  for (int q = 0; q < n; ++q) c.CSwap(0, 1 + q, 1 + n + q);
+  c.H(0);
+  return c;
+}
+
+namespace {
+
+Result<StateVector> PrepareJointState(const StateVector& psi,
+                                      const StateVector& phi) {
+  if (psi.num_qubits() != phi.num_qubits()) {
+    return Status::InvalidArgument(
+        StrCat("swap test needs equal register widths, got ",
+               psi.num_qubits(), " and ", phi.num_qubits()));
+  }
+  const int n = psi.num_qubits();
+  if (1 + 2 * n > 24) {
+    return Status::InvalidArgument("register too wide for the swap test");
+  }
+  // |0⟩_ancilla ⊗ |ψ⟩ ⊗ |φ⟩, then run the swap-test circuit.
+  CVector joint = Kron(CVector{Complex(1.0, 0.0), Complex(0.0, 0.0)},
+                       Kron(psi.amplitudes(), phi.amplitudes()));
+  QDB_ASSIGN_OR_RETURN(StateVector state,
+                       StateVector::FromAmplitudes(std::move(joint)));
+  StateVectorSimulator sim;
+  QDB_RETURN_IF_ERROR(sim.RunInPlace(SwapTestCircuit(n), state));
+  return state;
+}
+
+}  // namespace
+
+Result<double> SwapTestOverlap(const StateVector& psi, const StateVector& phi) {
+  QDB_ASSIGN_OR_RETURN(StateVector state, PrepareJointState(psi, phi));
+  const double p1 = state.ProbabilityOfOne(0);
+  // P(1) = (1 − |⟨ψ|φ⟩|²) / 2 ⇒ overlap² = 1 − 2·P(1).
+  return std::clamp(1.0 - 2.0 * p1, 0.0, 1.0);
+}
+
+Result<double> SwapTestOverlapSampled(const StateVector& psi,
+                                      const StateVector& phi, int shots,
+                                      Rng& rng) {
+  if (shots < 1) {
+    return Status::InvalidArgument("shots must be >= 1");
+  }
+  QDB_ASSIGN_OR_RETURN(StateVector state, PrepareJointState(psi, phi));
+  const double p1 = state.ProbabilityOfOne(0);
+  int ones = 0;
+  for (int s = 0; s < shots; ++s) {
+    if (rng.Bernoulli(p1)) ++ones;
+  }
+  const double p1_hat = static_cast<double>(ones) / shots;
+  return std::clamp(1.0 - 2.0 * p1_hat, 0.0, 1.0);
+}
+
+}  // namespace qdb

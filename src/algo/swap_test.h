@@ -1,0 +1,33 @@
+/// \file swap_test.h
+/// \brief The swap test: estimating |⟨ψ|φ⟩|² with one ancilla — the
+/// hardware-realizable primitive behind fidelity kernels and quantum
+/// distance subroutines.
+
+#ifndef QDB_ALGO_SWAP_TEST_H_
+#define QDB_ALGO_SWAP_TEST_H_
+
+#include "circuit/circuit.h"
+#include "common/result.h"
+#include "common/rng.h"
+#include "sim/state_vector.h"
+
+namespace qdb {
+
+/// \brief The swap-test circuit on 1 + 2n qubits: ancilla q0, register A =
+/// q1..qn, register B = q_{n+1}..q_{2n}; H, CSWAPs, H. P(ancilla = 0) =
+/// (1 + |⟨ψ_A|ψ_B⟩|²) / 2.
+Circuit SwapTestCircuit(int register_qubits);
+
+/// \brief Exact overlap |⟨ψ|φ⟩|² read from the swap-test circuit's ancilla
+/// statistics (states must share a width).
+Result<double> SwapTestOverlap(const StateVector& psi, const StateVector& phi);
+
+/// \brief Shot-based estimate: runs the swap test `shots` times and inverts
+/// the ancilla statistic; the estimate clamps to [0, 1].
+Result<double> SwapTestOverlapSampled(const StateVector& psi,
+                                      const StateVector& phi, int shots,
+                                      Rng& rng);
+
+}  // namespace qdb
+
+#endif  // QDB_ALGO_SWAP_TEST_H_

@@ -1,0 +1,55 @@
+#include "anneal/exhaustive.h"
+
+#include <limits>
+
+#include "common/strings.h"
+
+namespace qdb {
+
+Result<SolveResult> ExhaustiveSolve(const IsingModel& model) {
+  const int n = model.num_spins();
+  if (n > 26) {
+    return Status::InvalidArgument(
+        StrCat("exhaustive search limited to 26 spins, got ", n));
+  }
+  SolveResult result;
+  result.best_energy = std::numeric_limits<double>::infinity();
+  std::vector<int8_t> spins(n);
+  const uint64_t total = uint64_t{1} << n;
+  for (uint64_t mask = 0; mask < total; ++mask) {
+    for (int i = 0; i < n; ++i) {
+      spins[i] = (mask >> i) & 1 ? 1 : -1;
+    }
+    const double e = model.Energy(spins);
+    if (e < result.best_energy) {
+      result.best_energy = e;
+      result.best_spins = spins;
+    }
+  }
+  result.sweeps = static_cast<long>(total);
+  return result;
+}
+
+Result<SolveResult> ExhaustiveSolveQubo(const Qubo& qubo) {
+  const int n = qubo.num_vars();
+  if (n > 26) {
+    return Status::InvalidArgument(
+        StrCat("exhaustive search limited to 26 variables, got ", n));
+  }
+  SolveResult result;
+  result.best_energy = std::numeric_limits<double>::infinity();
+  std::vector<uint8_t> bits(n);
+  const uint64_t total = uint64_t{1} << n;
+  for (uint64_t mask = 0; mask < total; ++mask) {
+    for (int i = 0; i < n; ++i) bits[i] = (mask >> i) & 1;
+    const double e = qubo.Energy(bits);
+    if (e < result.best_energy) {
+      result.best_energy = e;
+      result.best_spins = BitsToSpins(bits);
+    }
+  }
+  result.sweeps = static_cast<long>(total);
+  return result;
+}
+
+}  // namespace qdb

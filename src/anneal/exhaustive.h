@@ -1,0 +1,24 @@
+/// \file exhaustive.h
+/// \brief Exact ground states by exhaustive enumeration — the ground truth
+/// for solution-quality ratios in E7–E10 and E12.
+
+#ifndef QDB_ANNEAL_EXHAUSTIVE_H_
+#define QDB_ANNEAL_EXHAUSTIVE_H_
+
+#include "anneal/types.h"
+#include "common/result.h"
+#include "ops/ising.h"
+#include "ops/qubo.h"
+
+namespace qdb {
+
+/// \brief Exact minimum of an Ising instance (n ≤ 26 enforced).
+Result<SolveResult> ExhaustiveSolve(const IsingModel& model);
+
+/// \brief Exact minimum of a QUBO instance (n ≤ 26); best_spins holds the
+/// algebraic spin image (s = 2x − 1) of the optimal bits.
+Result<SolveResult> ExhaustiveSolveQubo(const Qubo& qubo);
+
+}  // namespace qdb
+
+#endif  // QDB_ANNEAL_EXHAUSTIVE_H_

@@ -1,0 +1,77 @@
+#include "anneal/parallel_tempering.h"
+
+#include <cmath>
+#include <limits>
+
+#include "common/rng.h"
+
+namespace qdb {
+
+Result<SolveResult> ParallelTempering(const IsingModel& model,
+                                      const PtOptions& options) {
+  if (options.num_replicas < 2) {
+    return Status::InvalidArgument("parallel tempering needs >= 2 replicas");
+  }
+  if (options.num_sweeps < 1) {
+    return Status::InvalidArgument("sweeps must be >= 1");
+  }
+  if (options.beta_min <= 0.0 || options.beta_max <= options.beta_min) {
+    return Status::InvalidArgument("need 0 < beta_min < beta_max");
+  }
+  const int n = model.num_spins();
+  const int k = options.num_replicas;
+  const double scale = options.scale_to_coefficients
+                           ? std::max(model.MaxAbsCoefficient(), 1e-12)
+                           : 1.0;
+  // Geometric temperature ladder, rung 0 hottest.
+  std::vector<double> betas(k);
+  const double ratio =
+      std::pow(options.beta_max / options.beta_min, 1.0 / (k - 1));
+  betas[0] = options.beta_min / scale;
+  for (int r = 1; r < k; ++r) betas[r] = betas[r - 1] * ratio;
+
+  Rng rng(options.seed);
+  std::vector<std::vector<int8_t>> replicas(k, std::vector<int8_t>(n));
+  std::vector<double> energies(k);
+  for (int r = 0; r < k; ++r) {
+    for (auto& s : replicas[r]) s = rng.Bernoulli(0.5) ? 1 : -1;
+    energies[r] = model.Energy(replicas[r]);
+  }
+
+  SolveResult result;
+  result.best_energy = std::numeric_limits<double>::infinity();
+  auto track_best = [&](int r) {
+    if (energies[r] < result.best_energy) {
+      result.best_energy = energies[r];
+      result.best_spins = replicas[r];
+    }
+  };
+  for (int r = 0; r < k; ++r) track_best(r);
+
+  for (int sweep = 0; sweep < options.num_sweeps; ++sweep) {
+    // Metropolis sweep on every rung.
+    for (int r = 0; r < k; ++r) {
+      for (int i = 0; i < n; ++i) {
+        const double delta = model.FlipDelta(replicas[r], i);
+        if (delta <= 0.0 || rng.Uniform() < std::exp(-betas[r] * delta)) {
+          replicas[r][i] = -replicas[r][i];
+          energies[r] += delta;
+        }
+      }
+      track_best(r);
+    }
+    // Neighbor exchanges: alternate even/odd pairs per sweep.
+    for (int r = sweep % 2; r + 1 < k; r += 2) {
+      const double arg =
+          (betas[r + 1] - betas[r]) * (energies[r + 1] - energies[r]);
+      if (arg >= 0.0 || rng.Uniform() < std::exp(arg)) {
+        std::swap(replicas[r], replicas[r + 1]);
+        std::swap(energies[r], energies[r + 1]);
+      }
+    }
+    ++result.sweeps;
+  }
+  return result;
+}
+
+}  // namespace qdb

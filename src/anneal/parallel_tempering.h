@@ -1,0 +1,34 @@
+/// \file parallel_tempering.h
+/// \brief Parallel tempering (replica-exchange Monte Carlo) — the strongest
+/// standard classical sampler, added as the third point of comparison in
+/// the annealer study (E12): K replicas at a temperature ladder exchange
+/// configurations, letting hot replicas carry cold ones across barriers.
+
+#ifndef QDB_ANNEAL_PARALLEL_TEMPERING_H_
+#define QDB_ANNEAL_PARALLEL_TEMPERING_H_
+
+#include "anneal/types.h"
+#include "common/result.h"
+#include "ops/ising.h"
+
+namespace qdb {
+
+/// \brief Parallel-tempering ladder and budget.
+struct PtOptions {
+  int num_replicas = 12;       ///< Temperature rungs.
+  int num_sweeps = 1000;       ///< Metropolis sweeps (each followed by a
+                               ///< neighbor-exchange attempt round).
+  double beta_min = 0.1;       ///< Hottest rung (× scale⁻¹).
+  double beta_max = 10.0;      ///< Coldest rung.
+  bool scale_to_coefficients = true;  ///< Normalize by max |coefficient|.
+  uint64_t seed = 53;
+};
+
+/// \brief Runs replica-exchange Monte Carlo and returns the best
+/// configuration observed on any rung.
+Result<SolveResult> ParallelTempering(const IsingModel& model,
+                                      const PtOptions& options = {});
+
+}  // namespace qdb
+
+#endif  // QDB_ANNEAL_PARALLEL_TEMPERING_H_

@@ -1,0 +1,47 @@
+/// \file quantum_annealing.h
+/// \brief Simulated quantum annealing (SQA): path-integral Monte Carlo over
+/// the transverse-field Ising model — the software substitute for D-Wave
+/// hardware used throughout the database experiments (E7–E10, E12).
+///
+/// The quantum system at inverse temperature β with transverse field Γ(t)
+/// is Trotterized into P coupled replicas of the classical instance; the
+/// replica coupling J⊥(t) = ½·ln coth(βΓ(t)/P) grows as Γ shrinks, freezing
+/// the replicas into a common low-energy configuration. Tunneling events
+/// correspond to replica-coordinated flips (figure 2A of the survey
+/// discussion).
+
+#ifndef QDB_ANNEAL_QUANTUM_ANNEALING_H_
+#define QDB_ANNEAL_QUANTUM_ANNEALING_H_
+
+#include "anneal/types.h"
+#include "common/result.h"
+#include "ops/ising.h"
+
+namespace qdb {
+
+/// \brief SQA schedule and budget.
+struct SqaOptions {
+  int num_replicas = 16;     ///< Trotter slices P.
+  int num_sweeps = 1000;     ///< Sweeps over all replicas per restart.
+  int num_restarts = 1;
+  double gamma_initial = 3.0;  ///< Transverse field start (× coefficient scale).
+  double gamma_final = 0.01;   ///< Transverse field end.
+  /// Fixed inverse temperature (× scale⁻¹). The default follows the
+  /// Martoňák et al. PIMC convention P·T ≈ 1, i.e. β ≈ num_replicas.
+  double beta = 16.0;
+  /// Normalize the schedule by max |coefficient| as in SaOptions.
+  bool scale_to_coefficients = true;
+  /// Attempt one global (all-replica) flip sweep per local sweep — the
+  /// move class that mimics coherent multi-slice tunneling.
+  bool global_moves = true;
+  uint64_t seed = 43;
+};
+
+/// \brief Runs SQA and returns the best single-replica configuration seen
+/// (evaluated under the classical problem energy).
+Result<SolveResult> SimulatedQuantumAnnealing(const IsingModel& model,
+                                              const SqaOptions& options = {});
+
+}  // namespace qdb
+
+#endif  // QDB_ANNEAL_QUANTUM_ANNEALING_H_

@@ -1,0 +1,58 @@
+#include "anneal/simulated_annealing.h"
+
+#include <cmath>
+#include <limits>
+
+#include "common/rng.h"
+
+namespace qdb {
+
+Result<SolveResult> SimulatedAnnealing(const IsingModel& model,
+                                       const SaOptions& options) {
+  if (options.num_sweeps < 1 || options.num_restarts < 1) {
+    return Status::InvalidArgument("sweeps and restarts must be >= 1");
+  }
+  if (options.beta_initial <= 0.0 || options.beta_final < options.beta_initial) {
+    return Status::InvalidArgument(
+        "need 0 < beta_initial <= beta_final for an annealing ramp");
+  }
+  const int n = model.num_spins();
+  const double scale = options.scale_to_coefficients
+                           ? std::max(model.MaxAbsCoefficient(), 1e-12)
+                           : 1.0;
+  const double beta0 = options.beta_initial / scale;
+  const double beta1 = options.beta_final / scale;
+  const double ratio =
+      options.num_sweeps > 1
+          ? std::pow(beta1 / beta0, 1.0 / (options.num_sweeps - 1))
+          : 1.0;
+
+  Rng rng(options.seed);
+  SolveResult result;
+  result.best_energy = std::numeric_limits<double>::infinity();
+
+  for (int restart = 0; restart < options.num_restarts; ++restart) {
+    std::vector<int8_t> spins(n);
+    for (auto& s : spins) s = rng.Bernoulli(0.5) ? 1 : -1;
+    double energy = model.Energy(spins);
+    double beta = beta0;
+    for (int sweep = 0; sweep < options.num_sweeps; ++sweep) {
+      for (int i = 0; i < n; ++i) {
+        const double delta = model.FlipDelta(spins, i);
+        if (delta <= 0.0 || rng.Uniform() < std::exp(-beta * delta)) {
+          spins[i] = -spins[i];
+          energy += delta;
+        }
+      }
+      ++result.sweeps;
+      if (energy < result.best_energy) {
+        result.best_energy = energy;
+        result.best_spins = spins;
+      }
+      beta *= ratio;
+    }
+  }
+  return result;
+}
+
+}  // namespace qdb

@@ -1,0 +1,33 @@
+/// \file simulated_annealing.h
+/// \brief Metropolis simulated annealing over Ising instances — the
+/// classical thermal baseline the quantum annealer is compared against
+/// (figure 2A of the annealing discussion).
+
+#ifndef QDB_ANNEAL_SIMULATED_ANNEALING_H_
+#define QDB_ANNEAL_SIMULATED_ANNEALING_H_
+
+#include "common/result.h"
+#include "ops/ising.h"
+#include "anneal/types.h"
+
+namespace qdb {
+
+/// \brief Simulated-annealing schedule and budget.
+struct SaOptions {
+  int num_sweeps = 1000;    ///< Full single-spin-flip sweeps per restart.
+  int num_restarts = 1;
+  double beta_initial = 0.1;  ///< Inverse temperature at the start...
+  double beta_final = 10.0;   ///< ...and at the end (geometric ramp).
+  /// Divide the β schedule by the instance's max |coefficient| so the same
+  /// schedule works across problem scales.
+  bool scale_to_coefficients = true;
+  uint64_t seed = 41;
+};
+
+/// \brief Runs SA and returns the best configuration over all restarts.
+Result<SolveResult> SimulatedAnnealing(const IsingModel& model,
+                                       const SaOptions& options = {});
+
+}  // namespace qdb
+
+#endif  // QDB_ANNEAL_SIMULATED_ANNEALING_H_

@@ -1,0 +1,59 @@
+#include "anneal/tabu.h"
+
+#include <limits>
+
+#include "common/rng.h"
+
+namespace qdb {
+
+Result<SolveResult> TabuSearch(const IsingModel& model,
+                               const TabuOptions& options) {
+  if (options.max_iterations < 1 || options.num_restarts < 1) {
+    return Status::InvalidArgument("iterations and restarts must be >= 1");
+  }
+  if (options.tenure < 0) {
+    return Status::InvalidArgument("tenure must be non-negative");
+  }
+  const int n = model.num_spins();
+  Rng rng(options.seed);
+  SolveResult result;
+  result.best_energy = std::numeric_limits<double>::infinity();
+
+  for (int restart = 0; restart < options.num_restarts; ++restart) {
+    std::vector<int8_t> spins(n);
+    for (auto& s : spins) s = rng.Bernoulli(0.5) ? 1 : -1;
+    double energy = model.Energy(spins);
+    if (energy < result.best_energy) {
+      result.best_energy = energy;
+      result.best_spins = spins;
+    }
+    std::vector<int> tabu_until(n, -1);
+
+    for (int iter = 0; iter < options.max_iterations; ++iter) {
+      int best_move = -1;
+      double best_delta = std::numeric_limits<double>::infinity();
+      for (int i = 0; i < n; ++i) {
+        const double delta = model.FlipDelta(spins, i);
+        const bool is_tabu = tabu_until[i] > iter;
+        // Aspiration: a tabu move that beats the global best is allowed.
+        if (is_tabu && energy + delta >= result.best_energy) continue;
+        if (delta < best_delta) {
+          best_delta = delta;
+          best_move = i;
+        }
+      }
+      if (best_move < 0) break;  // Everything tabu and nothing aspires.
+      spins[best_move] = -spins[best_move];
+      energy += best_delta;
+      tabu_until[best_move] = iter + options.tenure;
+      ++result.sweeps;
+      if (energy < result.best_energy) {
+        result.best_energy = energy;
+        result.best_spins = spins;
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace qdb

@@ -1,0 +1,29 @@
+/// \file tabu.h
+/// \brief Tabu search over Ising instances — the strong classical
+/// local-search baseline used alongside SA/SQA in E8.
+
+#ifndef QDB_ANNEAL_TABU_H_
+#define QDB_ANNEAL_TABU_H_
+
+#include "anneal/types.h"
+#include "common/result.h"
+#include "ops/ising.h"
+
+namespace qdb {
+
+/// \brief Tabu-search budget and tenure.
+struct TabuOptions {
+  int max_iterations = 2000;  ///< Single-flip moves per restart.
+  int tenure = 10;            ///< Iterations a reversed move stays tabu.
+  int num_restarts = 1;
+  uint64_t seed = 47;
+};
+
+/// \brief Best-improvement tabu search with aspiration (a tabu move is
+/// allowed when it would beat the incumbent best).
+Result<SolveResult> TabuSearch(const IsingModel& model,
+                               const TabuOptions& options = {});
+
+}  // namespace qdb
+
+#endif  // QDB_ANNEAL_TABU_H_

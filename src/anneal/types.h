@@ -1,0 +1,21 @@
+/// \file types.h
+/// \brief Shared result type for the Ising/QUBO solvers in src/anneal/.
+
+#ifndef QDB_ANNEAL_TYPES_H_
+#define QDB_ANNEAL_TYPES_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace qdb {
+
+/// \brief Best configuration found by a heuristic or exact solver.
+struct SolveResult {
+  std::vector<int8_t> best_spins;  ///< Entries ±1.
+  double best_energy = 0.0;        ///< Ising energy of best_spins.
+  long sweeps = 0;                 ///< Sweeps / iterations performed.
+};
+
+}  // namespace qdb
+
+#endif  // QDB_ANNEAL_TYPES_H_

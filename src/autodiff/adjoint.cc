@@ -1,0 +1,202 @@
+#include "autodiff/adjoint.h"
+
+#include <cmath>
+
+#include "common/strings.h"
+#include "sim/state_vector.h"
+#include "sim/statevector_simulator.h"
+
+namespace qdb {
+namespace {
+
+/// t = P·in for a Pauli string given as bit masks (qubit 0 = MSB):
+/// P|i⟩ = phase(i)|i ^ xmask⟩ with the Y/Z sign bookkeeping of
+/// sim/statevector_simulator.cc.
+CVector ApplyPauliMasks(const CVector& in, uint64_t xmask, uint64_t ymask,
+                        uint64_t zmask) {
+  Complex i_power(1.0, 0.0);
+  switch (__builtin_popcountll(ymask) & 3) {
+    case 0: i_power = {1.0, 0.0}; break;
+    case 1: i_power = {0.0, 1.0}; break;
+    case 2: i_power = {-1.0, 0.0}; break;
+    case 3: i_power = {0.0, -1.0}; break;
+  }
+  CVector out(in.size(), Complex(0.0, 0.0));
+  for (uint64_t i = 0; i < in.size(); ++i) {
+    const int sign =
+        (__builtin_popcountll(i & ymask) + __builtin_popcountll(i & zmask)) & 1;
+    out[i ^ xmask] = i_power * (sign ? -1.0 : 1.0) * in[i];
+  }
+  return out;
+}
+
+void PauliStringMasks(const PauliString& pauli, uint64_t* xmask,
+                      uint64_t* ymask, uint64_t* zmask) {
+  const int n = pauli.num_qubits();
+  *xmask = *ymask = *zmask = 0;
+  for (int q = 0; q < n; ++q) {
+    const uint64_t bit = uint64_t{1} << (n - 1 - q);
+    switch (pauli.op(q)) {
+      case PauliOp::kI: break;
+      case PauliOp::kX: *xmask |= bit; break;
+      case PauliOp::kY: *xmask |= bit; *ymask |= bit; break;
+      case PauliOp::kZ: *zmask |= bit; break;
+    }
+  }
+}
+
+/// φ = H·ψ for a Pauli-sum observable.
+CVector ApplyObservable(const PauliSum& observable, const CVector& psi) {
+  CVector phi(psi.size(), Complex(0.0, 0.0));
+  for (const auto& term : observable.terms()) {
+    uint64_t xm, ym, zm;
+    PauliStringMasks(term.pauli, &xm, &ym, &zm);
+    CVector t = ApplyPauliMasks(psi, xm, ym, zm);
+    for (size_t i = 0; i < phi.size(); ++i) {
+      phi[i] += term.coefficient * t[i];
+    }
+  }
+  return phi;
+}
+
+Complex InnerOf(const CVector& a, const CVector& b) {
+  Complex acc(0.0, 0.0);
+  for (size_t i = 0; i < a.size(); ++i) acc += std::conj(a[i]) * b[i];
+  return acc;
+}
+
+/// Single-qubit bit mask for `qubit` in an n-qubit register.
+uint64_t BitOf(int n, int qubit) { return uint64_t{1} << (n - 1 - qubit); }
+
+/// ⟨φ| G |ψ⟩ for the gate's generator written as e^{−i·angle·G}; returns
+/// the contribution via grad_angle = 2·Im⟨φ|G|ψ⟩.
+Result<double> GeneratorGradient(const Gate& gate, int n, const CVector& psi,
+                                 const CVector& phi) {
+  auto pauli_grad = [&](uint64_t xm, uint64_t ym, uint64_t zm) {
+    // G = P/2 ⇒ 2·Im⟨φ|G|ψ⟩ = Im⟨φ|P|ψ⟩.
+    CVector t = ApplyPauliMasks(psi, xm, ym, zm);
+    return InnerOf(phi, t).imag();
+  };
+  switch (gate.type) {
+    case GateType::kRX:
+      return pauli_grad(BitOf(n, gate.qubits[0]), 0, 0);
+    case GateType::kRY: {
+      const uint64_t bit = BitOf(n, gate.qubits[0]);
+      return pauli_grad(bit, bit, 0);
+    }
+    case GateType::kRZ:
+      return pauli_grad(0, 0, BitOf(n, gate.qubits[0]));
+    case GateType::kRXX:
+      return pauli_grad(BitOf(n, gate.qubits[0]) | BitOf(n, gate.qubits[1]),
+                        0, 0);
+    case GateType::kRYY: {
+      const uint64_t bits =
+          BitOf(n, gate.qubits[0]) | BitOf(n, gate.qubits[1]);
+      return pauli_grad(bits, bits, 0);
+    }
+    case GateType::kRZZ:
+      return pauli_grad(0, 0,
+                        BitOf(n, gate.qubits[0]) | BitOf(n, gate.qubits[1]));
+    case GateType::kPhase:
+    case GateType::kCPhase: {
+      // U = e^{+iλΠ} with Π projecting onto all-ones of the operands:
+      // ∂E = 2·Re⟨φ|iΠψ⟩ = −2·Im⟨φ|Πψ⟩.
+      uint64_t mask = 0;
+      for (int q : gate.qubits) mask |= BitOf(n, q);
+      Complex acc(0.0, 0.0);
+      for (uint64_t i = 0; i < psi.size(); ++i) {
+        if ((i & mask) == mask) acc += std::conj(phi[i]) * psi[i];
+      }
+      return -2.0 * acc.imag();
+    }
+    case GateType::kCRX:
+    case GateType::kCRY:
+    case GateType::kCRZ: {
+      // U = e^{−iθ(Π_c ⊗ P_t)/2}: grad = Im⟨φ|(Π_c ⊗ P_t)ψ⟩.
+      const uint64_t cmask = BitOf(n, gate.qubits[0]);
+      const uint64_t tbit = BitOf(n, gate.qubits[1]);
+      uint64_t xm = 0, ym = 0, zm = 0;
+      if (gate.type == GateType::kCRX) xm = tbit;
+      if (gate.type == GateType::kCRY) { xm = tbit; ym = tbit; }
+      if (gate.type == GateType::kCRZ) zm = tbit;
+      // Project onto control = 1 before applying the target Pauli.
+      CVector projected(psi.size(), Complex(0.0, 0.0));
+      for (uint64_t i = 0; i < psi.size(); ++i) {
+        if (i & cmask) projected[i] = psi[i];
+      }
+      CVector t = ApplyPauliMasks(projected, xm, ym, zm);
+      return InnerOf(phi, t).imag();
+    }
+    default:
+      return Status::Unimplemented(
+          StrCat("adjoint gradient for gate '", GateTypeName(gate.type),
+                 "' with symbolic parameters"));
+  }
+}
+
+}  // namespace
+
+Result<AdjointResult> AdjointGradient(const Circuit& circuit,
+                                      const PauliSum& observable,
+                                      const DVector& params) {
+  if (observable.num_qubits() != circuit.num_qubits()) {
+    return Status::InvalidArgument("observable width mismatch");
+  }
+  if (static_cast<int>(params.size()) < circuit.num_parameters()) {
+    return Status::InvalidArgument("too few parameters bound");
+  }
+  const int n = circuit.num_qubits();
+  StateVectorSimulator sim;
+
+  // Forward pass.
+  StateVector psi(n);
+  QDB_RETURN_IF_ERROR(sim.RunInPlace(circuit, psi, params));
+
+  AdjointResult result;
+  result.gradient.assign(
+      std::max<size_t>(params.size(), circuit.num_parameters()), 0.0);
+
+  // φ = H ψ; E = ⟨ψ|φ⟩.
+  CVector phi_amps = ApplyObservable(observable, psi.amplitudes());
+  result.value = InnerOf(psi.amplitudes(), phi_amps).real();
+  auto phi_sv = StateVector(n);
+  phi_sv.amplitudes() = std::move(phi_amps);  // Not unit norm; kernels are
+                                              // linear so this is fine.
+
+  // Backward pass.
+  for (int k = static_cast<int>(circuit.size()) - 1; k >= 0; --k) {
+    const Gate& gate = circuit.gates()[k];
+    DVector angles = circuit.EvaluateAngles(k, params);
+
+    // Gradient contribution at ψ_k (before rewinding this gate).
+    for (size_t slot = 0; slot < gate.params.size(); ++slot) {
+      const ParamExpr& expr = gate.params[slot];
+      if (expr.is_constant() || expr.multiplier == 0.0) continue;
+      QDB_ASSIGN_OR_RETURN(
+          double dangle,
+          GeneratorGradient(gate, n, psi.amplitudes(), phi_sv.amplitudes()));
+      result.gradient[expr.index] += expr.multiplier * dangle;
+      // All supported gates have exactly one angle slot, and the generator
+      // gradient above is with respect to that angle.
+      (void)slot;
+    }
+
+    // Rewind ψ and φ through U_k†.
+    Circuit single(n);
+    Gate bound = gate;
+    for (size_t s = 0; s < bound.params.size(); ++s) {
+      bound.params[s] = ParamExpr::Constant(angles[s]);
+    }
+    single.Append(bound);
+    Circuit inverse = single.Inverse();
+    for (size_t gi = 0; gi < inverse.gates().size(); ++gi) {
+      DVector inv_angles = inverse.EvaluateAngles(gi, {});
+      QDB_RETURN_IF_ERROR(sim.ApplyGate(inverse.gates()[gi], inv_angles, psi));
+      QDB_RETURN_IF_ERROR(
+          sim.ApplyGate(inverse.gates()[gi], inv_angles, phi_sv));
+    }
+  }
+  return result;
+}
+
+}  // namespace qdb

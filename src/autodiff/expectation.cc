@@ -1,0 +1,53 @@
+#include "autodiff/expectation.h"
+
+#include "common/strings.h"
+
+namespace qdb {
+
+ExpectationFunction::ExpectationFunction(Circuit circuit, PauliSum observable)
+    : circuit_(std::move(circuit)), observable_(std::move(observable)) {
+  QDB_CHECK_EQ(circuit_.num_qubits(), observable_.num_qubits());
+}
+
+void ExpectationFunction::set_initial_state(StateVector state) {
+  QDB_CHECK_EQ(state.num_qubits(), circuit_.num_qubits());
+  initial_state_ = std::move(state);
+}
+
+Result<double> ExpectationFunction::RunAndMeasure(const Circuit& circuit,
+                                                  const DVector& params) const {
+  StateVector state =
+      initial_state_ ? *initial_state_ : StateVector(circuit.num_qubits());
+  QDB_RETURN_IF_ERROR(simulator_.RunInPlace(circuit, state, params));
+  ++evaluations_;
+  return Expectation(state, observable_);
+}
+
+Result<double> ExpectationFunction::Evaluate(const DVector& params) const {
+  return RunAndMeasure(circuit_, params);
+}
+
+Result<double> ExpectationFunction::EvaluateWithShift(const DVector& params,
+                                                      size_t gate_index,
+                                                      size_t slot,
+                                                      double delta) const {
+  if (gate_index >= circuit_.size()) {
+    return Status::OutOfRange(StrCat("gate index ", gate_index, " out of range"));
+  }
+  // Rebuild with the single slot's offset shifted. Circuit exposes no
+  // mutable gate access by design, so reconstruct.
+  Circuit rebuilt(circuit_.num_qubits());
+  for (size_t i = 0; i < circuit_.gates().size(); ++i) {
+    Gate g = circuit_.gates()[i];
+    if (i == gate_index) {
+      if (slot >= g.params.size()) {
+        return Status::OutOfRange(StrCat("slot ", slot, " out of range"));
+      }
+      g.params[slot].offset += delta;
+    }
+    rebuilt.Append(g);
+  }
+  return RunAndMeasure(rebuilt, params);
+}
+
+}  // namespace qdb

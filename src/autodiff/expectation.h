@@ -1,0 +1,62 @@
+/// \file expectation.h
+/// \brief E(θ) = ⟨ψ(θ)|H|ψ(θ)⟩ as a differentiable objective — the loss
+/// plumbing shared by VQE, QAOA, and the variational classifier.
+
+#ifndef QDB_AUTODIFF_EXPECTATION_H_
+#define QDB_AUTODIFF_EXPECTATION_H_
+
+#include <optional>
+
+#include "circuit/circuit.h"
+#include "common/result.h"
+#include "ops/pauli.h"
+#include "sim/state_vector.h"
+#include "sim/statevector_simulator.h"
+
+namespace qdb {
+
+/// \brief Evaluates (and differentiates, see parameter_shift.h) the
+/// expectation of an observable after running a parameterized circuit.
+///
+/// The circuit starts from |0...0⟩ unless an initial state is set (e.g. an
+/// amplitude-encoded data point). Evaluation counts are tracked so benches
+/// can report circuit-execution budgets.
+class ExpectationFunction {
+ public:
+  /// The observable width must match the circuit width.
+  ExpectationFunction(Circuit circuit, PauliSum observable);
+
+  /// Starts runs from `state` instead of |0...0⟩ (width must match).
+  void set_initial_state(StateVector state);
+
+  const Circuit& circuit() const { return circuit_; }
+  const PauliSum& observable() const { return observable_; }
+  int num_parameters() const { return circuit_.num_parameters(); }
+
+  /// E(θ). Fails if θ binds fewer parameters than the circuit references.
+  Result<double> Evaluate(const DVector& params) const;
+
+  /// E(θ) with one gate's angle expression additionally shifted: the
+  /// `slot`-th angle of gate `gate_index` gets `delta` added to its offset.
+  /// This is the primitive the parameter-shift rule is built on.
+  Result<double> EvaluateWithShift(const DVector& params, size_t gate_index,
+                                   size_t slot, double delta) const;
+
+  /// Total circuit executions performed through this object.
+  long evaluation_count() const { return evaluations_; }
+  void reset_evaluation_count() { evaluations_ = 0; }
+
+ private:
+  Result<double> RunAndMeasure(const Circuit& circuit,
+                               const DVector& params) const;
+
+  Circuit circuit_;
+  PauliSum observable_;
+  std::optional<StateVector> initial_state_;
+  StateVectorSimulator simulator_;
+  mutable long evaluations_ = 0;
+};
+
+}  // namespace qdb
+
+#endif  // QDB_AUTODIFF_EXPECTATION_H_

@@ -1,0 +1,104 @@
+#include "autodiff/parameter_shift.h"
+
+#include <cmath>
+
+#include "common/strings.h"
+
+namespace qdb {
+namespace {
+
+enum class ShiftRule { kTwoTerm, kFourTerm, kUnsupported };
+
+ShiftRule RuleFor(GateType type) {
+  switch (type) {
+    case GateType::kRX:
+    case GateType::kRY:
+    case GateType::kRZ:
+    case GateType::kRXX:
+    case GateType::kRYY:
+    case GateType::kRZZ:
+    case GateType::kPhase:
+    case GateType::kCPhase:
+      return ShiftRule::kTwoTerm;
+    case GateType::kCRX:
+    case GateType::kCRY:
+    case GateType::kCRZ:
+      return ShiftRule::kFourTerm;
+    default:
+      return ShiftRule::kUnsupported;
+  }
+}
+
+}  // namespace
+
+Result<DVector> ParameterShiftGradient(const ExpectationFunction& f,
+                                       const DVector& params) {
+  const Circuit& circuit = f.circuit();
+  DVector grad(std::max<size_t>(params.size(), circuit.num_parameters()), 0.0);
+  const double kHalfPi = M_PI / 2.0;
+  const double kThreeHalfPi = 3.0 * M_PI / 2.0;
+  // Coefficients of the four-term rule for generator eigenvalues {0, ±1/2}.
+  const double kFourTermA = (std::sqrt(2.0) + 2.0) / 8.0;
+  const double kFourTermB = (std::sqrt(2.0) - 2.0) / 8.0;
+
+  for (size_t gi = 0; gi < circuit.gates().size(); ++gi) {
+    const Gate& gate = circuit.gates()[gi];
+    for (size_t slot = 0; slot < gate.params.size(); ++slot) {
+      const ParamExpr& expr = gate.params[slot];
+      if (expr.is_constant() || expr.multiplier == 0.0) continue;
+      const ShiftRule rule = RuleFor(gate.type);
+      double dangle = 0.0;
+      switch (rule) {
+        case ShiftRule::kTwoTerm: {
+          QDB_ASSIGN_OR_RETURN(double plus,
+                               f.EvaluateWithShift(params, gi, slot, kHalfPi));
+          QDB_ASSIGN_OR_RETURN(double minus,
+                               f.EvaluateWithShift(params, gi, slot, -kHalfPi));
+          dangle = (plus - minus) / 2.0;
+          break;
+        }
+        case ShiftRule::kFourTerm: {
+          QDB_ASSIGN_OR_RETURN(double p1,
+                               f.EvaluateWithShift(params, gi, slot, kHalfPi));
+          QDB_ASSIGN_OR_RETURN(double m1,
+                               f.EvaluateWithShift(params, gi, slot, -kHalfPi));
+          QDB_ASSIGN_OR_RETURN(
+              double p2, f.EvaluateWithShift(params, gi, slot, kThreeHalfPi));
+          QDB_ASSIGN_OR_RETURN(
+              double m2, f.EvaluateWithShift(params, gi, slot, -kThreeHalfPi));
+          dangle = kFourTermA * (p1 - m1) + kFourTermB * (p2 - m2);
+          break;
+        }
+        case ShiftRule::kUnsupported:
+          return Status::Unimplemented(
+              StrCat("parameter-shift rule not implemented for gate '",
+                     GateTypeName(gate.type),
+                     "' with symbolic parameters; bind it or use "
+                     "FiniteDifferenceGradient"));
+      }
+      grad[expr.index] += expr.multiplier * dangle;
+    }
+  }
+  return grad;
+}
+
+Result<DVector> FiniteDifferenceGradient(const ExpectationFunction& f,
+                                         const DVector& params,
+                                         double epsilon) {
+  if (epsilon <= 0.0) {
+    return Status::InvalidArgument("epsilon must be positive");
+  }
+  DVector grad(params.size(), 0.0);
+  DVector work = params;
+  for (size_t k = 0; k < params.size(); ++k) {
+    work[k] = params[k] + epsilon;
+    QDB_ASSIGN_OR_RETURN(double plus, f.Evaluate(work));
+    work[k] = params[k] - epsilon;
+    QDB_ASSIGN_OR_RETURN(double minus, f.Evaluate(work));
+    work[k] = params[k];
+    grad[k] = (plus - minus) / (2.0 * epsilon);
+  }
+  return grad;
+}
+
+}  // namespace qdb

@@ -1,0 +1,232 @@
+#include "circuit/circuit.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/strings.h"
+
+namespace qdb {
+
+Circuit::Circuit(int num_qubits) : num_qubits_(num_qubits) {
+  QDB_CHECK_GT(num_qubits, 0);
+}
+
+void Circuit::ValidateQubits(const std::vector<int>& qubits) const {
+  QDB_CHECK(!qubits.empty());
+  for (size_t i = 0; i < qubits.size(); ++i) {
+    QDB_CHECK_GE(qubits[i], 0);
+    QDB_CHECK_LT(qubits[i], num_qubits_);
+    for (size_t j = i + 1; j < qubits.size(); ++j) {
+      QDB_CHECK_NE(qubits[i], qubits[j]) << "duplicate qubit operand";
+    }
+  }
+}
+
+void Circuit::TrackParams(const std::vector<ParamExpr>& params) {
+  for (const auto& p : params) {
+    if (p.index >= 0) num_parameters_ = std::max(num_parameters_, p.index + 1);
+  }
+}
+
+Circuit& Circuit::AddGate(GateType type, std::vector<int> qubits,
+                          std::vector<ParamExpr> params) {
+  ValidateQubits(qubits);
+  int arity = GateArity(type);
+  if (arity > 0) QDB_CHECK_EQ(static_cast<int>(qubits.size()), arity);
+  QDB_CHECK_EQ(static_cast<int>(params.size()), GateParamCount(type));
+  TrackParams(params);
+  gates_.push_back(Gate{type, std::move(qubits), std::move(params)});
+  return *this;
+}
+
+Circuit& Circuit::Add1Q(GateType type, int q) { return AddGate(type, {q}, {}); }
+
+Circuit& Circuit::Add2Q(GateType type, int a, int b) {
+  return AddGate(type, {a, b}, {});
+}
+
+Circuit& Circuit::RX(int q, ParamExpr theta) {
+  return AddGate(GateType::kRX, {q}, {theta});
+}
+Circuit& Circuit::RY(int q, ParamExpr theta) {
+  return AddGate(GateType::kRY, {q}, {theta});
+}
+Circuit& Circuit::RZ(int q, ParamExpr theta) {
+  return AddGate(GateType::kRZ, {q}, {theta});
+}
+Circuit& Circuit::P(int q, ParamExpr lambda) {
+  return AddGate(GateType::kPhase, {q}, {lambda});
+}
+Circuit& Circuit::U(int q, ParamExpr theta, ParamExpr phi, ParamExpr lambda) {
+  return AddGate(GateType::kU, {q}, {theta, phi, lambda});
+}
+Circuit& Circuit::CRX(int c, int t, ParamExpr theta) {
+  return AddGate(GateType::kCRX, {c, t}, {theta});
+}
+Circuit& Circuit::CRY(int c, int t, ParamExpr theta) {
+  return AddGate(GateType::kCRY, {c, t}, {theta});
+}
+Circuit& Circuit::CRZ(int c, int t, ParamExpr theta) {
+  return AddGate(GateType::kCRZ, {c, t}, {theta});
+}
+Circuit& Circuit::CP(int c, int t, ParamExpr lambda) {
+  return AddGate(GateType::kCPhase, {c, t}, {lambda});
+}
+Circuit& Circuit::RXX(int a, int b, ParamExpr theta) {
+  return AddGate(GateType::kRXX, {a, b}, {theta});
+}
+Circuit& Circuit::RYY(int a, int b, ParamExpr theta) {
+  return AddGate(GateType::kRYY, {a, b}, {theta});
+}
+Circuit& Circuit::RZZ(int a, int b, ParamExpr theta) {
+  return AddGate(GateType::kRZZ, {a, b}, {theta});
+}
+Circuit& Circuit::CCX(int c1, int c2, int target) {
+  return AddGate(GateType::kCCX, {c1, c2, target}, {});
+}
+Circuit& Circuit::CSwap(int control, int a, int b) {
+  return AddGate(GateType::kCSwap, {control, a, b}, {});
+}
+
+Circuit& Circuit::MCX(const std::vector<int>& controls, int target) {
+  std::vector<int> qubits = controls;
+  qubits.push_back(target);
+  return AddGate(GateType::kMCX, std::move(qubits), {});
+}
+
+Circuit& Circuit::MCZ(const std::vector<int>& controls, int target) {
+  std::vector<int> qubits = controls;
+  qubits.push_back(target);
+  return AddGate(GateType::kMCZ, std::move(qubits), {});
+}
+
+Circuit& Circuit::Append(const Gate& gate) {
+  return AddGate(gate.type, gate.qubits, gate.params);
+}
+
+Circuit& Circuit::Append(const Circuit& other) {
+  QDB_CHECK_EQ(num_qubits_, other.num_qubits_);
+  for (const auto& g : other.gates_) Append(g);
+  return *this;
+}
+
+Circuit& Circuit::AppendMapped(const Circuit& other,
+                               const std::vector<int>& mapping) {
+  QDB_CHECK_EQ(mapping.size(), static_cast<size_t>(other.num_qubits_));
+  for (const auto& g : other.gates_) {
+    Gate mapped = g;
+    for (auto& q : mapped.qubits) q = mapping[q];
+    Append(mapped);
+  }
+  return *this;
+}
+
+Circuit Circuit::Inverse() const {
+  Circuit inv(num_qubits_);
+  for (auto it = gates_.rbegin(); it != gates_.rend(); ++it) {
+    const Gate& g = *it;
+    switch (g.type) {
+      case GateType::kS:
+      case GateType::kSdg:
+      case GateType::kT:
+      case GateType::kTdg: {
+        Gate adj = g;
+        adj.type = AdjointType(g.type);
+        inv.Append(adj);
+        break;
+      }
+      case GateType::kSX:
+        // SX† = SX³ exactly (SX⁴ = I including global phase).
+        inv.SX(g.qubits[0]).SX(g.qubits[0]).SX(g.qubits[0]);
+        break;
+      case GateType::kU: {
+        // U(θ, φ, λ)† = U(−θ, −λ, −φ): negate all and swap φ ↔ λ.
+        Gate adj = g.WithNegatedParams();
+        std::swap(adj.params[1], adj.params[2]);
+        inv.Append(adj);
+        break;
+      }
+      default:
+        if (GateParamCount(g.type) > 0) {
+          inv.Append(g.WithNegatedParams());
+        } else {
+          inv.Append(g);  // Self-inverse fixed gates (X, H, CX, CCX, ...).
+        }
+        break;
+    }
+  }
+  return inv;
+}
+
+Circuit Circuit::Bind(const DVector& params) const {
+  QDB_CHECK_GE(params.size(), static_cast<size_t>(num_parameters_));
+  Circuit bound(num_qubits_);
+  for (const auto& g : gates_) {
+    Gate b = g;
+    for (auto& p : b.params) p = ParamExpr::Constant(p.Evaluate(params));
+    bound.Append(b);
+  }
+  return bound;
+}
+
+DVector Circuit::EvaluateAngles(size_t gate_index, const DVector& params) const {
+  QDB_CHECK_LT(gate_index, gates_.size());
+  const Gate& g = gates_[gate_index];
+  DVector out;
+  out.reserve(g.params.size());
+  for (const auto& p : g.params) out.push_back(p.Evaluate(params));
+  return out;
+}
+
+int Circuit::TwoQubitGateCount() const {
+  int count = 0;
+  for (const auto& g : gates_) {
+    if (g.qubits.size() >= 2) ++count;
+  }
+  return count;
+}
+
+int Circuit::Depth() const {
+  std::vector<int> frontier(num_qubits_, 0);
+  for (const auto& g : gates_) {
+    int level = 0;
+    for (int q : g.qubits) level = std::max(level, frontier[q]);
+    ++level;
+    for (int q : g.qubits) frontier[q] = level;
+  }
+  return *std::max_element(frontier.begin(), frontier.end());
+}
+
+std::string Circuit::ToString() const {
+  std::ostringstream os;
+  os << "// qdb circuit: " << num_qubits_ << " qubits, " << gates_.size()
+     << " gates, " << num_parameters_ << " parameters\n";
+  for (const auto& g : gates_) {
+    os << GateTypeName(g.type);
+    if (!g.params.empty()) {
+      os << "(";
+      for (size_t i = 0; i < g.params.size(); ++i) {
+        if (i > 0) os << ", ";
+        const ParamExpr& p = g.params[i];
+        if (p.is_constant()) {
+          os << ToStringPrecise(p.offset, 6);
+        } else {
+          if (p.multiplier != 1.0) os << ToStringPrecise(p.multiplier, 6) << "*";
+          os << "t" << p.index;
+          if (p.offset != 0.0)
+            os << (p.offset > 0 ? "+" : "") << ToStringPrecise(p.offset, 6);
+        }
+      }
+      os << ")";
+    }
+    os << " ";
+    for (size_t i = 0; i < g.qubits.size(); ++i) {
+      if (i > 0) os << ", ";
+      os << "q[" << g.qubits[i] << "]";
+    }
+    os << ";\n";
+  }
+  return os.str();
+}
+
+}  // namespace qdb

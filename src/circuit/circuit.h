@@ -1,0 +1,133 @@
+/// \file circuit.h
+/// \brief The quantum circuit IR: an ordered gate list over n qubits with a
+/// symbolic parameter table.
+///
+/// Circuits are built fluently (`c.H(0).CX(0, 1).RY(1, ParamExpr::Variable(0))`),
+/// can be appended, inverted, bound to concrete parameter values, and
+/// rendered as OpenQASM-flavoured text. Simulation lives in sim/.
+
+#ifndef QDB_CIRCUIT_CIRCUIT_H_
+#define QDB_CIRCUIT_CIRCUIT_H_
+
+#include <string>
+#include <vector>
+
+#include "circuit/gate.h"
+#include "common/result.h"
+#include "linalg/types.h"
+
+namespace qdb {
+
+/// \brief An ordered sequence of gates on a fixed-width qubit register.
+class Circuit {
+ public:
+  /// Creates an empty circuit on `num_qubits` qubits (> 0).
+  explicit Circuit(int num_qubits);
+
+  int num_qubits() const { return num_qubits_; }
+  const std::vector<Gate>& gates() const { return gates_; }
+  size_t size() const { return gates_.size(); }
+  bool empty() const { return gates_.empty(); }
+
+  /// Number of distinct symbolic parameters referenced (max index + 1).
+  int num_parameters() const { return num_parameters_; }
+
+  // ---- Fixed 1-qubit gates -------------------------------------------------
+  Circuit& I(int q) { return Add1Q(GateType::kI, q); }
+  Circuit& X(int q) { return Add1Q(GateType::kX, q); }
+  Circuit& Y(int q) { return Add1Q(GateType::kY, q); }
+  Circuit& Z(int q) { return Add1Q(GateType::kZ, q); }
+  Circuit& H(int q) { return Add1Q(GateType::kH, q); }
+  Circuit& S(int q) { return Add1Q(GateType::kS, q); }
+  Circuit& Sdg(int q) { return Add1Q(GateType::kSdg, q); }
+  Circuit& T(int q) { return Add1Q(GateType::kT, q); }
+  Circuit& Tdg(int q) { return Add1Q(GateType::kTdg, q); }
+  Circuit& SX(int q) { return Add1Q(GateType::kSX, q); }
+
+  // ---- Parameterized 1-qubit gates (constant or symbolic angles) -----------
+  Circuit& RX(int q, double theta) { return RX(q, ParamExpr::Constant(theta)); }
+  Circuit& RY(int q, double theta) { return RY(q, ParamExpr::Constant(theta)); }
+  Circuit& RZ(int q, double theta) { return RZ(q, ParamExpr::Constant(theta)); }
+  Circuit& P(int q, double lambda) { return P(q, ParamExpr::Constant(lambda)); }
+  Circuit& RX(int q, ParamExpr theta);
+  Circuit& RY(int q, ParamExpr theta);
+  Circuit& RZ(int q, ParamExpr theta);
+  Circuit& P(int q, ParamExpr lambda);
+  Circuit& U(int q, ParamExpr theta, ParamExpr phi, ParamExpr lambda);
+
+  // ---- 2-qubit gates --------------------------------------------------------
+  Circuit& CX(int control, int target) { return Add2Q(GateType::kCX, control, target); }
+  Circuit& CY(int control, int target) { return Add2Q(GateType::kCY, control, target); }
+  Circuit& CZ(int control, int target) { return Add2Q(GateType::kCZ, control, target); }
+  Circuit& CH(int control, int target) { return Add2Q(GateType::kCH, control, target); }
+  Circuit& Swap(int a, int b) { return Add2Q(GateType::kSwap, a, b); }
+  Circuit& CRX(int c, int t, ParamExpr theta);
+  Circuit& CRY(int c, int t, ParamExpr theta);
+  Circuit& CRZ(int c, int t, ParamExpr theta);
+  Circuit& CP(int c, int t, ParamExpr lambda);
+  Circuit& CRX(int c, int t, double v) { return CRX(c, t, ParamExpr::Constant(v)); }
+  Circuit& CRY(int c, int t, double v) { return CRY(c, t, ParamExpr::Constant(v)); }
+  Circuit& CRZ(int c, int t, double v) { return CRZ(c, t, ParamExpr::Constant(v)); }
+  Circuit& CP(int c, int t, double v) { return CP(c, t, ParamExpr::Constant(v)); }
+  Circuit& RXX(int a, int b, ParamExpr theta);
+  Circuit& RYY(int a, int b, ParamExpr theta);
+  Circuit& RZZ(int a, int b, ParamExpr theta);
+  Circuit& RXX(int a, int b, double v) { return RXX(a, b, ParamExpr::Constant(v)); }
+  Circuit& RYY(int a, int b, double v) { return RYY(a, b, ParamExpr::Constant(v)); }
+  Circuit& RZZ(int a, int b, double v) { return RZZ(a, b, ParamExpr::Constant(v)); }
+
+  // ---- 3-qubit and variadic gates -------------------------------------------
+  Circuit& CCX(int c1, int c2, int target);
+  Circuit& CSwap(int control, int a, int b);
+  /// Multi-controlled X: flips `target` when all `controls` are |1⟩.
+  Circuit& MCX(const std::vector<int>& controls, int target);
+  /// Multi-controlled Z: phase −1 on the all-ones subspace of
+  /// controls ∪ {target}.
+  Circuit& MCZ(const std::vector<int>& controls, int target);
+
+  /// Appends a raw gate (validated).
+  Circuit& Append(const Gate& gate);
+
+  /// Appends every gate of `other` (widths must match).
+  Circuit& Append(const Circuit& other);
+
+  /// Appends `other` with its qubit k mapped to `mapping[k]`.
+  Circuit& AppendMapped(const Circuit& other, const std::vector<int>& mapping);
+
+  /// Returns the adjoint circuit: gates reversed, each inverted. Exact for
+  /// every gate type in the IR.
+  Circuit Inverse() const;
+
+  /// Returns a copy with every symbolic parameter replaced by its value
+  /// under `params` (the copy has num_parameters() == 0).
+  Circuit Bind(const DVector& params) const;
+
+  /// Evaluates the angle values of gate `gate_index` under `params`.
+  DVector EvaluateAngles(size_t gate_index, const DVector& params) const;
+
+  /// Total number of 2-qubit (and wider) gates — the standard NISQ cost
+  /// metric.
+  int TwoQubitGateCount() const;
+
+  /// Circuit depth: length of the longest qubit-dependency chain.
+  int Depth() const;
+
+  /// OpenQASM-flavoured rendering, one gate per line.
+  std::string ToString() const;
+
+ private:
+  Circuit& Add1Q(GateType type, int q);
+  Circuit& Add2Q(GateType type, int a, int b);
+  Circuit& AddGate(GateType type, std::vector<int> qubits,
+                   std::vector<ParamExpr> params);
+  void ValidateQubits(const std::vector<int>& qubits) const;
+  void TrackParams(const std::vector<ParamExpr>& params);
+
+  int num_qubits_;
+  int num_parameters_ = 0;
+  std::vector<Gate> gates_;
+};
+
+}  // namespace qdb
+
+#endif  // QDB_CIRCUIT_CIRCUIT_H_

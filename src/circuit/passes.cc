@@ -1,0 +1,194 @@
+#include "circuit/passes.h"
+
+#include <cmath>
+
+namespace qdb {
+namespace {
+
+bool IsConstantGate(const Gate& g) {
+  for (const auto& p : g.params) {
+    if (!p.is_constant()) return false;
+  }
+  return true;
+}
+
+bool IsSelfInverse(GateType t) {
+  switch (t) {
+    case GateType::kI:
+    case GateType::kX:
+    case GateType::kY:
+    case GateType::kZ:
+    case GateType::kH:
+    case GateType::kCX:
+    case GateType::kCY:
+    case GateType::kCZ:
+    case GateType::kCH:
+    case GateType::kSwap:
+    case GateType::kCCX:
+    case GateType::kCSwap:
+    case GateType::kMCX:
+    case GateType::kMCZ:
+      return true;
+    default:
+      return false;
+  }
+}
+
+/// True if the gate's action is invariant under operand reordering.
+bool IsSymmetricGate(GateType t) {
+  switch (t) {
+    case GateType::kCZ:
+    case GateType::kCPhase:
+    case GateType::kSwap:
+    case GateType::kRXX:
+    case GateType::kRYY:
+    case GateType::kRZZ:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool SameOperands(const Gate& a, const Gate& b) {
+  if (a.qubits.size() != b.qubits.size()) return false;
+  if (a.qubits == b.qubits) return true;
+  if (IsSymmetricGate(a.type) && a.qubits.size() == 2) {
+    return a.qubits[0] == b.qubits[1] && a.qubits[1] == b.qubits[0];
+  }
+  return false;
+}
+
+/// True when b directly undoes a (assuming b immediately follows a on the
+/// same operands).
+bool ArePairwiseInverse(const Gate& a, const Gate& b, double tol) {
+  if (!SameOperands(a, b)) return false;
+  if (a.type == b.type && IsSelfInverse(a.type)) return true;
+  if (AdjointType(a.type) == b.type && a.type != b.type) return true;  // S/Sdg, T/Tdg
+  if (a.type == b.type && GateParamCount(a.type) == 1 && IsConstantGate(a) &&
+      IsConstantGate(b)) {
+    return std::abs(a.params[0].offset + b.params[0].offset) <= tol;
+  }
+  return false;
+}
+
+bool IsMergeableRotation(GateType t) {
+  switch (t) {
+    case GateType::kRX:
+    case GateType::kRY:
+    case GateType::kRZ:
+    case GateType::kPhase:
+    case GateType::kCRX:
+    case GateType::kCRY:
+    case GateType::kCRZ:
+    case GateType::kCPhase:
+    case GateType::kRXX:
+    case GateType::kRYY:
+    case GateType::kRZZ:
+      return true;
+    default:
+      return false;
+  }
+}
+
+Circuit FromGates(int num_qubits, const std::vector<Gate>& gates) {
+  Circuit out(num_qubits);
+  for (const auto& g : gates) out.Append(g);
+  return out;
+}
+
+/// Finds the index in `gates` of the previous gate touching any qubit of
+/// `gate`, or -1.
+int PreviousTouching(const std::vector<Gate>& gates, const Gate& gate) {
+  for (int i = static_cast<int>(gates.size()) - 1; i >= 0; --i) {
+    for (int q : gates[i].qubits) {
+      for (int p : gate.qubits) {
+        if (p == q) return i;
+      }
+    }
+  }
+  return -1;
+}
+
+/// True if the last gate touching every operand qubit of `gate` is the
+/// single gate at `idx` — i.e. no other gate interleaves on any operand.
+bool IsDirectPredecessor(const std::vector<Gate>& gates, int idx,
+                         const Gate& gate) {
+  if (idx < 0) return false;
+  // The candidate must also not act on qubits outside `gate`'s operand set
+  // that saw later gates — operand-set equality is checked by callers via
+  // SameOperands, so here idx being the max touching index suffices.
+  return PreviousTouching(gates, gate) == idx;
+}
+
+}  // namespace
+
+Circuit RemoveIdentities(const Circuit& circuit, double tol) {
+  std::vector<Gate> out;
+  for (const auto& g : circuit.gates()) {
+    if (g.type == GateType::kI) continue;
+    if (GateParamCount(g.type) == 1 && IsConstantGate(g) &&
+        std::abs(g.params[0].offset) <= tol) {
+      continue;
+    }
+    out.push_back(g);
+  }
+  return FromGates(circuit.num_qubits(), out);
+}
+
+Circuit CancelAdjacentInverses(const Circuit& circuit, double tol) {
+  std::vector<Gate> out;
+  out.reserve(circuit.size());
+  for (const auto& g : circuit.gates()) {
+    int prev = PreviousTouching(out, g);
+    if (prev >= 0 && ArePairwiseInverse(out[prev], g, tol) &&
+        IsDirectPredecessor(out, prev, g)) {
+      // The pair composes to identity; erasing re-exposes earlier gates to
+      // later cancellation automatically since we scan forward.
+      out.erase(out.begin() + prev);
+      continue;
+    }
+    out.push_back(g);
+  }
+  return FromGates(circuit.num_qubits(), out);
+}
+
+Circuit MergeRotations(const Circuit& circuit, double tol) {
+  std::vector<Gate> out;
+  out.reserve(circuit.size());
+  for (const auto& g : circuit.gates()) {
+    int prev = PreviousTouching(out, g);
+    if (prev >= 0 && out[prev].type == g.type && IsMergeableRotation(g.type) &&
+        SameOperands(out[prev], g) && IsConstantGate(out[prev]) &&
+        IsConstantGate(g) && IsDirectPredecessor(out, prev, g)) {
+      double merged = out[prev].params[0].offset + g.params[0].offset;
+      if (std::abs(merged) <= tol) {
+        out.erase(out.begin() + prev);
+      } else {
+        out[prev].params[0] = ParamExpr::Constant(merged);
+      }
+      continue;
+    }
+    out.push_back(g);
+  }
+  return FromGates(circuit.num_qubits(), out);
+}
+
+Circuit OptimizeCircuit(const Circuit& circuit, double tol) {
+  Circuit current = circuit;
+  while (true) {
+    size_t before = current.size();
+    current = RemoveIdentities(current, tol);
+    current = MergeRotations(current, tol);
+    current = CancelAdjacentInverses(current, tol);
+    if (current.size() >= before) break;
+  }
+  return current;
+}
+
+std::map<std::string, int> GateCounts(const Circuit& circuit) {
+  std::map<std::string, int> counts;
+  for (const auto& g : circuit.gates()) ++counts[GateTypeName(g.type)];
+  return counts;
+}
+
+}  // namespace qdb

@@ -1,0 +1,39 @@
+/// \file passes.h
+/// \brief Circuit optimization passes: identity removal, adjacent-inverse
+/// cancellation, constant-rotation merging, and gate statistics.
+///
+/// Passes are semantics-preserving: the optimized circuit implements the
+/// same unitary (tests verify this against the UnitarySimulator).
+
+#ifndef QDB_CIRCUIT_PASSES_H_
+#define QDB_CIRCUIT_PASSES_H_
+
+#include <map>
+#include <string>
+
+#include "circuit/circuit.h"
+
+namespace qdb {
+
+/// \brief Drops identity gates and constant rotations with angle ≈ 0.
+Circuit RemoveIdentities(const Circuit& circuit, double tol = 1e-12);
+
+/// \brief Cancels adjacent gate pairs that compose to the identity
+/// (H·H, X·X, CX·CX, S·S†, constant Rθ·R−θ, ...). Adjacency means no
+/// intervening gate touches any operand qubit. Runs to fixpoint.
+Circuit CancelAdjacentInverses(const Circuit& circuit, double tol = 1e-12);
+
+/// \brief Merges runs of same-axis constant rotations on identical operands
+/// into a single rotation (RZ(a)·RZ(b) → RZ(a+b); likewise RX/RY/RZZ/...).
+Circuit MergeRotations(const Circuit& circuit, double tol = 1e-12);
+
+/// \brief Applies the full pipeline (identities → merge → cancel) until the
+/// gate count stops shrinking.
+Circuit OptimizeCircuit(const Circuit& circuit, double tol = 1e-12);
+
+/// \brief Histogram of gate-name → count.
+std::map<std::string, int> GateCounts(const Circuit& circuit);
+
+}  // namespace qdb
+
+#endif  // QDB_CIRCUIT_PASSES_H_

@@ -1,0 +1,356 @@
+#include "circuit/qasm.h"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <sstream>
+#include <tuple>
+#include <vector>
+
+#include "common/strings.h"
+
+namespace qdb {
+namespace {
+
+/// Shortest decimal string that round-trips the double exactly.
+std::string Angle(const ParamExpr& p) {
+  QDB_CHECK(p.is_constant());
+  char buffer[32];
+  auto [end, ec] = std::to_chars(buffer, buffer + sizeof(buffer), p.offset);
+  QDB_CHECK(ec == std::errc());
+  return std::string(buffer, end);
+}
+
+std::string Q(int qubit) { return StrCat("q[", qubit, "]"); }
+
+/// Emits one gate; returns false if the gate cannot be represented.
+Status EmitGate(const Gate& g, std::ostringstream& os) {
+  const auto& q = g.qubits;
+  switch (g.type) {
+    case GateType::kI:
+      os << "id " << Q(q[0]) << ";\n";
+      return Status::OK();
+    case GateType::kX:
+    case GateType::kY:
+    case GateType::kZ:
+    case GateType::kH:
+    case GateType::kS:
+    case GateType::kSdg:
+    case GateType::kT:
+    case GateType::kTdg:
+    case GateType::kSX:
+      os << GateTypeName(g.type) << " " << Q(q[0]) << ";\n";
+      return Status::OK();
+    case GateType::kRX:
+    case GateType::kRY:
+    case GateType::kRZ:
+      os << GateTypeName(g.type) << "(" << Angle(g.params[0]) << ") "
+         << Q(q[0]) << ";\n";
+      return Status::OK();
+    case GateType::kPhase:
+      // qelib1's u1 is the phase gate.
+      os << "u1(" << Angle(g.params[0]) << ") " << Q(q[0]) << ";\n";
+      return Status::OK();
+    case GateType::kU:
+      os << "u3(" << Angle(g.params[0]) << "," << Angle(g.params[1]) << ","
+         << Angle(g.params[2]) << ") " << Q(q[0]) << ";\n";
+      return Status::OK();
+    case GateType::kCX:
+    case GateType::kCY:
+    case GateType::kCZ:
+    case GateType::kCH:
+      os << GateTypeName(g.type) << " " << Q(q[0]) << "," << Q(q[1]) << ";\n";
+      return Status::OK();
+    case GateType::kSwap:
+      os << "swap " << Q(q[0]) << "," << Q(q[1]) << ";\n";
+      return Status::OK();
+    case GateType::kCRX:
+    case GateType::kCRY:
+    case GateType::kCRZ:
+      os << GateTypeName(g.type) << "(" << Angle(g.params[0]) << ") "
+         << Q(q[0]) << "," << Q(q[1]) << ";\n";
+      return Status::OK();
+    case GateType::kCPhase:
+      os << "cu1(" << Angle(g.params[0]) << ") " << Q(q[0]) << "," << Q(q[1])
+         << ";\n";
+      return Status::OK();
+    case GateType::kRXX:
+      os << "rxx(" << Angle(g.params[0]) << ") " << Q(q[0]) << "," << Q(q[1])
+         << ";\n";
+      return Status::OK();
+    case GateType::kRZZ:
+      os << "rzz(" << Angle(g.params[0]) << ") " << Q(q[0]) << "," << Q(q[1])
+         << ";\n";
+      return Status::OK();
+    case GateType::kRYY:
+      // qelib1 lacks ryy; use the standard RX-conjugated RZZ identity:
+      // RYY(θ) = (RX(π/2)⊗RX(π/2)) RZZ(θ) (RX(−π/2)⊗RX(−π/2)).
+      os << "rx(pi/2) " << Q(q[0]) << ";\nrx(pi/2) " << Q(q[1]) << ";\n"
+         << "rzz(" << Angle(g.params[0]) << ") " << Q(q[0]) << "," << Q(q[1])
+         << ";\n"
+         << "rx(-pi/2) " << Q(q[0]) << ";\nrx(-pi/2) " << Q(q[1]) << ";\n";
+      return Status::OK();
+    case GateType::kCCX:
+      os << "ccx " << Q(q[0]) << "," << Q(q[1]) << "," << Q(q[2]) << ";\n";
+      return Status::OK();
+    case GateType::kCSwap:
+      os << "cswap " << Q(q[0]) << "," << Q(q[1]) << "," << Q(q[2]) << ";\n";
+      return Status::OK();
+    case GateType::kMCX: {
+      const size_t controls = q.size() - 1;
+      if (controls == 1) {
+        os << "cx " << Q(q[0]) << "," << Q(q[1]) << ";\n";
+        return Status::OK();
+      }
+      if (controls == 2) {
+        os << "ccx " << Q(q[0]) << "," << Q(q[1]) << "," << Q(q[2]) << ";\n";
+        return Status::OK();
+      }
+      return Status::Unimplemented(
+          StrCat("OpenQASM 2 export of mcx with ", controls, " controls"));
+    }
+    case GateType::kMCZ: {
+      const size_t controls = q.size() - 1;
+      if (controls == 1) {
+        os << "cz " << Q(q[0]) << "," << Q(q[1]) << ";\n";
+        return Status::OK();
+      }
+      if (controls == 2) {
+        // CCZ = H(target) CCX H(target).
+        os << "h " << Q(q[2]) << ";\nccx " << Q(q[0]) << "," << Q(q[1]) << ","
+           << Q(q[2]) << ";\nh " << Q(q[2]) << ";\n";
+        return Status::OK();
+      }
+      return Status::Unimplemented(
+          StrCat("OpenQASM 2 export of mcz with ", controls, " controls"));
+    }
+  }
+  return Status::Internal("unhandled gate type");
+}
+
+}  // namespace
+
+namespace {
+
+/// Parses one angle token: [−]?(number | pi)(/number)? (the grammar this
+/// exporter emits).
+Result<double> ParseAngle(std::string token) {
+  double sign = 1.0;
+  if (!token.empty() && token[0] == '-') {
+    sign = -1.0;
+    token = token.substr(1);
+  }
+  double denominator = 1.0;
+  const size_t slash = token.find('/');
+  if (slash != std::string::npos) {
+    try {
+      denominator = std::stod(token.substr(slash + 1));
+    } catch (...) {
+      return Status::InvalidArgument(StrCat("bad angle denominator: ", token));
+    }
+    token = token.substr(0, slash);
+  }
+  double numerator;
+  if (token == "pi") {
+    numerator = M_PI;
+  } else {
+    try {
+      size_t used = 0;
+      numerator = std::stod(token, &used);
+      if (used != token.size()) {
+        return Status::InvalidArgument(StrCat("bad angle: ", token));
+      }
+    } catch (...) {
+      return Status::InvalidArgument(StrCat("bad angle: ", token));
+    }
+  }
+  if (denominator == 0.0) {
+    return Status::InvalidArgument("zero angle denominator");
+  }
+  return sign * numerator / denominator;
+}
+
+/// Splits "a,b,c" on commas, trimming blanks.
+std::vector<std::string> SplitList(const std::string& text) {
+  std::vector<std::string> out;
+  std::string current;
+  for (char c : text) {
+    if (c == ',') {
+      out.push_back(current);
+      current.clear();
+    } else if (!std::isspace(static_cast<unsigned char>(c))) {
+      current.push_back(c);
+    }
+  }
+  if (!current.empty()) out.push_back(current);
+  return out;
+}
+
+Result<int> ParseQubitRef(const std::string& token) {
+  // Expect q[<index>].
+  if (token.size() < 4 || token.substr(0, 2) != "q[" || token.back() != ']') {
+    return Status::InvalidArgument(StrCat("bad qubit reference: ", token));
+  }
+  try {
+    return std::stoi(token.substr(2, token.size() - 3));
+  } catch (...) {
+    return Status::InvalidArgument(StrCat("bad qubit index: ", token));
+  }
+}
+
+Status ApplyParsedGate(Circuit& circuit, const std::string& name,
+                       const DVector& angles, const std::vector<int>& qubits) {
+  auto expect = [&](size_t nq, size_t na) -> Status {
+    if (qubits.size() != nq || angles.size() != na) {
+      return Status::InvalidArgument(
+          StrCat("gate '", name, "' expects ", nq, " qubits and ", na,
+                 " angles"));
+    }
+    return Status::OK();
+  };
+  if (name == "id") { QDB_RETURN_IF_ERROR(expect(1, 0)); circuit.I(qubits[0]); return Status::OK(); }
+  if (name == "x") { QDB_RETURN_IF_ERROR(expect(1, 0)); circuit.X(qubits[0]); return Status::OK(); }
+  if (name == "y") { QDB_RETURN_IF_ERROR(expect(1, 0)); circuit.Y(qubits[0]); return Status::OK(); }
+  if (name == "z") { QDB_RETURN_IF_ERROR(expect(1, 0)); circuit.Z(qubits[0]); return Status::OK(); }
+  if (name == "h") { QDB_RETURN_IF_ERROR(expect(1, 0)); circuit.H(qubits[0]); return Status::OK(); }
+  if (name == "s") { QDB_RETURN_IF_ERROR(expect(1, 0)); circuit.S(qubits[0]); return Status::OK(); }
+  if (name == "sdg") { QDB_RETURN_IF_ERROR(expect(1, 0)); circuit.Sdg(qubits[0]); return Status::OK(); }
+  if (name == "t") { QDB_RETURN_IF_ERROR(expect(1, 0)); circuit.T(qubits[0]); return Status::OK(); }
+  if (name == "tdg") { QDB_RETURN_IF_ERROR(expect(1, 0)); circuit.Tdg(qubits[0]); return Status::OK(); }
+  if (name == "sx") { QDB_RETURN_IF_ERROR(expect(1, 0)); circuit.SX(qubits[0]); return Status::OK(); }
+  if (name == "rx") { QDB_RETURN_IF_ERROR(expect(1, 1)); circuit.RX(qubits[0], angles[0]); return Status::OK(); }
+  if (name == "ry") { QDB_RETURN_IF_ERROR(expect(1, 1)); circuit.RY(qubits[0], angles[0]); return Status::OK(); }
+  if (name == "rz") { QDB_RETURN_IF_ERROR(expect(1, 1)); circuit.RZ(qubits[0], angles[0]); return Status::OK(); }
+  if (name == "u1" || name == "p") { QDB_RETURN_IF_ERROR(expect(1, 1)); circuit.P(qubits[0], angles[0]); return Status::OK(); }
+  if (name == "u3" || name == "u") {
+    QDB_RETURN_IF_ERROR(expect(1, 3));
+    circuit.U(qubits[0], ParamExpr::Constant(angles[0]),
+              ParamExpr::Constant(angles[1]), ParamExpr::Constant(angles[2]));
+    return Status::OK();
+  }
+  if (name == "cx") { QDB_RETURN_IF_ERROR(expect(2, 0)); circuit.CX(qubits[0], qubits[1]); return Status::OK(); }
+  if (name == "cy") { QDB_RETURN_IF_ERROR(expect(2, 0)); circuit.CY(qubits[0], qubits[1]); return Status::OK(); }
+  if (name == "cz") { QDB_RETURN_IF_ERROR(expect(2, 0)); circuit.CZ(qubits[0], qubits[1]); return Status::OK(); }
+  if (name == "ch") { QDB_RETURN_IF_ERROR(expect(2, 0)); circuit.CH(qubits[0], qubits[1]); return Status::OK(); }
+  if (name == "swap") { QDB_RETURN_IF_ERROR(expect(2, 0)); circuit.Swap(qubits[0], qubits[1]); return Status::OK(); }
+  if (name == "crx") { QDB_RETURN_IF_ERROR(expect(2, 1)); circuit.CRX(qubits[0], qubits[1], angles[0]); return Status::OK(); }
+  if (name == "cry") { QDB_RETURN_IF_ERROR(expect(2, 1)); circuit.CRY(qubits[0], qubits[1], angles[0]); return Status::OK(); }
+  if (name == "crz") { QDB_RETURN_IF_ERROR(expect(2, 1)); circuit.CRZ(qubits[0], qubits[1], angles[0]); return Status::OK(); }
+  if (name == "cu1" || name == "cp") { QDB_RETURN_IF_ERROR(expect(2, 1)); circuit.CP(qubits[0], qubits[1], angles[0]); return Status::OK(); }
+  if (name == "rxx") { QDB_RETURN_IF_ERROR(expect(2, 1)); circuit.RXX(qubits[0], qubits[1], angles[0]); return Status::OK(); }
+  if (name == "ryy") { QDB_RETURN_IF_ERROR(expect(2, 1)); circuit.RYY(qubits[0], qubits[1], angles[0]); return Status::OK(); }
+  if (name == "rzz") { QDB_RETURN_IF_ERROR(expect(2, 1)); circuit.RZZ(qubits[0], qubits[1], angles[0]); return Status::OK(); }
+  if (name == "ccx") { QDB_RETURN_IF_ERROR(expect(3, 0)); circuit.CCX(qubits[0], qubits[1], qubits[2]); return Status::OK(); }
+  if (name == "cswap") { QDB_RETURN_IF_ERROR(expect(3, 0)); circuit.CSwap(qubits[0], qubits[1], qubits[2]); return Status::OK(); }
+  if (name == "barrier" || name == "gate" || name == "if") {
+    return Status::Unimplemented(StrCat("QASM statement '", name, "'"));
+  }
+  return Status::InvalidArgument(StrCat("unknown gate '", name, "'"));
+}
+
+}  // namespace
+
+Result<Circuit> ParseQasm(const std::string& source) {
+  std::istringstream lines(source);
+  std::string line;
+  int num_qubits = -1;
+  std::vector<std::tuple<std::string, DVector, std::vector<int>>> pending;
+
+  while (std::getline(lines, line)) {
+    // Strip comments and whitespace.
+    const size_t comment = line.find("//");
+    if (comment != std::string::npos) line = line.substr(0, comment);
+    size_t start = line.find_first_not_of(" \t\r");
+    if (start == std::string::npos) continue;
+    size_t end = line.find_last_not_of(" \t\r");
+    line = line.substr(start, end - start + 1);
+    if (line.empty()) continue;
+    if (line.back() != ';') {
+      return Status::InvalidArgument(StrCat("missing ';': ", line));
+    }
+    line.pop_back();
+
+    if (line.rfind("OPENQASM", 0) == 0 || line.rfind("include", 0) == 0 ||
+        line.rfind("creg", 0) == 0 || line.rfind("measure", 0) == 0) {
+      continue;
+    }
+    if (line.rfind("qreg", 0) == 0) {
+      const size_t lb = line.find('[');
+      const size_t rb = line.find(']');
+      if (lb == std::string::npos || rb == std::string::npos || rb <= lb) {
+        return Status::InvalidArgument(StrCat("bad qreg: ", line));
+      }
+      try {
+        num_qubits = std::stoi(line.substr(lb + 1, rb - lb - 1));
+      } catch (...) {
+        return Status::InvalidArgument(StrCat("bad qreg size: ", line));
+      }
+      continue;
+    }
+
+    // Gate statement: name[(angles)] operands.
+    std::string name, angle_text, operand_text;
+    const size_t paren = line.find('(');
+    if (paren != std::string::npos) {
+      const size_t close = line.find(')', paren);
+      if (close == std::string::npos) {
+        return Status::InvalidArgument(StrCat("unbalanced '(': ", line));
+      }
+      name = line.substr(0, paren);
+      angle_text = line.substr(paren + 1, close - paren - 1);
+      operand_text = line.substr(close + 1);
+    } else {
+      const size_t space = line.find_first_of(" \t");
+      if (space == std::string::npos) {
+        return Status::InvalidArgument(StrCat("bad gate statement: ", line));
+      }
+      name = line.substr(0, space);
+      operand_text = line.substr(space + 1);
+    }
+    DVector angles;
+    if (!angle_text.empty()) {
+      for (const auto& token : SplitList(angle_text)) {
+        QDB_ASSIGN_OR_RETURN(double angle, ParseAngle(token));
+        angles.push_back(angle);
+      }
+    }
+    std::vector<int> qubits;
+    for (const auto& token : SplitList(operand_text)) {
+      QDB_ASSIGN_OR_RETURN(int q, ParseQubitRef(token));
+      qubits.push_back(q);
+    }
+    pending.emplace_back(name, std::move(angles), std::move(qubits));
+  }
+
+  if (num_qubits <= 0) {
+    return Status::InvalidArgument("no qreg declaration found");
+  }
+  Circuit circuit(num_qubits);
+  for (const auto& [name, angles, qubits] : pending) {
+    for (int q : qubits) {
+      if (q < 0 || q >= num_qubits) {
+        return Status::OutOfRange(StrCat("qubit ", q, " out of range"));
+      }
+    }
+    QDB_RETURN_IF_ERROR(ApplyParsedGate(circuit, name, angles, qubits));
+  }
+  return circuit;
+}
+
+Result<std::string> ToQasm(const Circuit& circuit, bool measure_all) {
+  if (circuit.num_parameters() > 0) {
+    return Status::FailedPrecondition(
+        "OpenQASM 2 export requires a fully bound circuit; call Bind() first");
+  }
+  std::ostringstream os;
+  os << "OPENQASM 2.0;\ninclude \"qelib1.inc\";\n";
+  os << "qreg q[" << circuit.num_qubits() << "];\n";
+  if (measure_all) os << "creg c[" << circuit.num_qubits() << "];\n";
+  for (const auto& gate : circuit.gates()) {
+    QDB_RETURN_IF_ERROR(EmitGate(gate, os));
+  }
+  if (measure_all) os << "measure q -> c;\n";
+  return os.str();
+}
+
+}  // namespace qdb

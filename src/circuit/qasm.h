@@ -1,0 +1,33 @@
+/// \file qasm.h
+/// \brief OpenQASM 2.0 export — interoperability with Qiskit/Cirq
+/// toolchains (the ecosystems the tutorial's audience already uses).
+
+#ifndef QDB_CIRCUIT_QASM_H_
+#define QDB_CIRCUIT_QASM_H_
+
+#include <string>
+
+#include "circuit/circuit.h"
+#include "common/result.h"
+
+namespace qdb {
+
+/// \brief Renders a circuit as an OpenQASM 2.0 program (qelib1.inc gate
+/// vocabulary). Requirements:
+///  * all symbolic parameters must be bound (num_parameters() == 0) —
+///    OpenQASM 2 has no parameter symbols; Bind() first;
+///  * variadic kMCX/kMCZ are emitted natively only up to 2 controls
+///    (cx/ccx and cz/h-ccx-h); wider ones return Unimplemented.
+/// A trailing full-register measurement is appended when
+/// `measure_all` is true.
+Result<std::string> ToQasm(const Circuit& circuit, bool measure_all = false);
+
+/// \brief Parses the OpenQASM 2.0 subset this library emits (qelib1 gate
+/// names, one `qreg`, literal or `±pi/k` angles). `creg` declarations and
+/// `measure` statements are accepted and ignored; `barrier`, custom gate
+/// definitions, and classical control return Unimplemented.
+Result<Circuit> ParseQasm(const std::string& source);
+
+}  // namespace qdb
+
+#endif  // QDB_CIRCUIT_QASM_H_

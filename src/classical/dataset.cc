@@ -1,0 +1,122 @@
+#include "classical/dataset.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "common/check.h"
+
+namespace qdb {
+
+Dataset MakeMoons(int samples, double noise, Rng& rng) {
+  QDB_CHECK_GE(samples, 2);
+  Dataset data;
+  for (int i = 0; i < samples; ++i) {
+    const bool upper = i % 2 == 0;
+    const double t = rng.Uniform(0.0, M_PI);
+    double x, y;
+    if (upper) {
+      x = std::cos(t);
+      y = std::sin(t);
+    } else {
+      x = 1.0 - std::cos(t);
+      y = 0.5 - std::sin(t);
+    }
+    x += rng.Normal(0.0, noise);
+    y += rng.Normal(0.0, noise);
+    data.features.push_back({x, y});
+    data.labels.push_back(upper ? 1 : -1);
+  }
+  return data;
+}
+
+Dataset MakeCircles(int samples, double noise, double factor, Rng& rng) {
+  QDB_CHECK_GE(samples, 2);
+  QDB_CHECK_GT(factor, 0.0);
+  QDB_CHECK_LT(factor, 1.0);
+  Dataset data;
+  for (int i = 0; i < samples; ++i) {
+    const bool outer = i % 2 == 0;
+    const double r = outer ? 1.0 : factor;
+    const double t = rng.Uniform(0.0, 2.0 * M_PI);
+    const double x = r * std::cos(t) + rng.Normal(0.0, noise);
+    const double y = r * std::sin(t) + rng.Normal(0.0, noise);
+    data.features.push_back({x, y});
+    data.labels.push_back(outer ? 1 : -1);
+  }
+  return data;
+}
+
+Dataset MakeXor(int samples, double noise, Rng& rng) {
+  QDB_CHECK_GE(samples, 4);
+  Dataset data;
+  for (int i = 0; i < samples; ++i) {
+    const int quadrant = i % 4;
+    const double cx = (quadrant & 1) ? 1.0 : -1.0;
+    const double cy = (quadrant & 2) ? 1.0 : -1.0;
+    const double x = cx + rng.Normal(0.0, noise);
+    const double y = cy + rng.Normal(0.0, noise);
+    data.features.push_back({x, y});
+    data.labels.push_back(cx * cy > 0 ? 1 : -1);
+  }
+  return data;
+}
+
+Dataset MakeBlobs(int samples, int num_features, double separation,
+                  double stddev, Rng& rng) {
+  QDB_CHECK_GE(samples, 2);
+  QDB_CHECK_GE(num_features, 1);
+  Dataset data;
+  for (int i = 0; i < samples; ++i) {
+    const bool positive = i % 2 == 0;
+    const double center = (positive ? 1.0 : -1.0) * separation / 2.0;
+    DVector x(num_features);
+    for (auto& v : x) v = center + rng.Normal(0.0, stddev);
+    data.features.push_back(std::move(x));
+    data.labels.push_back(positive ? 1 : -1);
+  }
+  return data;
+}
+
+std::pair<Dataset, Dataset> TrainTestSplit(const Dataset& data,
+                                           double test_fraction, Rng& rng) {
+  QDB_CHECK_GE(test_fraction, 0.0);
+  QDB_CHECK_LE(test_fraction, 1.0);
+  std::vector<size_t> order(data.size());
+  std::iota(order.begin(), order.end(), 0);
+  rng.Shuffle(order);
+  const size_t test_count = static_cast<size_t>(
+      std::ceil(test_fraction * static_cast<double>(data.size())));
+  Dataset train, test;
+  for (size_t k = 0; k < order.size(); ++k) {
+    Dataset& dst = k < test_count ? test : train;
+    dst.features.push_back(data.features[order[k]]);
+    dst.labels.push_back(data.labels[order[k]]);
+  }
+  return {std::move(train), std::move(test)};
+}
+
+void MinMaxScale(const Dataset& reference, Dataset& data, double lo,
+                 double hi) {
+  QDB_CHECK(!reference.features.empty());
+  QDB_CHECK_LT(lo, hi);
+  const int d = reference.num_features();
+  DVector mins(d, std::numeric_limits<double>::infinity());
+  DVector maxs(d, -std::numeric_limits<double>::infinity());
+  for (const auto& row : reference.features) {
+    for (int j = 0; j < d; ++j) {
+      mins[j] = std::min(mins[j], row[j]);
+      maxs[j] = std::max(maxs[j], row[j]);
+    }
+  }
+  for (auto& row : data.features) {
+    QDB_CHECK_EQ(static_cast<int>(row.size()), d);
+    for (int j = 0; j < d; ++j) {
+      const double range = maxs[j] - mins[j];
+      row[j] = range > 0.0 ? lo + (hi - lo) * (row[j] - mins[j]) / range : lo;
+    }
+  }
+}
+
+}  // namespace qdb

@@ -1,0 +1,54 @@
+/// \file dataset.h
+/// \brief Binary-classification datasets and generators (moons, circles,
+/// XOR, Gaussian blobs) shared by the quantum and classical learners.
+
+#ifndef QDB_CLASSICAL_DATASET_H_
+#define QDB_CLASSICAL_DATASET_H_
+
+#include <utility>
+#include <vector>
+
+#include "common/rng.h"
+#include "linalg/types.h"
+
+namespace qdb {
+
+/// \brief A labelled dataset: feature rows with ±1 labels.
+struct Dataset {
+  std::vector<DVector> features;
+  std::vector<int> labels;  ///< Entries are +1 or −1.
+
+  size_t size() const { return features.size(); }
+  int num_features() const {
+    return features.empty() ? 0 : static_cast<int>(features.front().size());
+  }
+};
+
+/// Two interleaving half-moons (2 features). `noise` is the Gaussian jitter
+/// standard deviation.
+Dataset MakeMoons(int samples, double noise, Rng& rng);
+
+/// Two concentric circles; `factor` ∈ (0, 1) is the inner radius ratio.
+Dataset MakeCircles(int samples, double noise, double factor, Rng& rng);
+
+/// XOR pattern: four Gaussian clusters at (±1, ±1) with XOR labels — not
+/// linearly separable, the canonical quantum-kernel showcase.
+Dataset MakeXor(int samples, double noise, Rng& rng);
+
+/// Two Gaussian blobs in `num_features` dimensions, centers ±`separation`/2
+/// along every axis — an easy linearly separable control.
+Dataset MakeBlobs(int samples, int num_features, double separation,
+                  double stddev, Rng& rng);
+
+/// Shuffles and splits into (train, test); test gets ⌈fraction·n⌉ samples.
+std::pair<Dataset, Dataset> TrainTestSplit(const Dataset& data,
+                                           double test_fraction, Rng& rng);
+
+/// Rescales each feature linearly onto [lo, hi] using the ranges of
+/// `reference` (fit on train, apply to test). Constant features map to lo.
+void MinMaxScale(const Dataset& reference, Dataset& data, double lo,
+                 double hi);
+
+}  // namespace qdb
+
+#endif  // QDB_CLASSICAL_DATASET_H_

@@ -1,0 +1,54 @@
+#include "classical/knn.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/strings.h"
+
+namespace qdb {
+
+Result<KnnClassifier> KnnClassifier::Create(Dataset training_data, int k) {
+  if (training_data.size() == 0) {
+    return Status::InvalidArgument("kNN needs a non-empty training set");
+  }
+  if (k < 1 || static_cast<size_t>(k) > training_data.size()) {
+    return Status::InvalidArgument(
+        StrCat("k must be in [1, ", training_data.size(), "], got ", k));
+  }
+  for (int y : training_data.labels) {
+    if (y != 1 && y != -1) {
+      return Status::InvalidArgument("labels must be +1 or -1");
+    }
+  }
+  return KnnClassifier(std::move(training_data), k);
+}
+
+Result<int> KnnClassifier::Predict(const DVector& x) const {
+  if (static_cast<int>(x.size()) != data_.num_features()) {
+    return Status::InvalidArgument("feature dimension mismatch");
+  }
+  const size_t n = data_.size();
+  DVector dist_sq(n);
+  for (size_t i = 0; i < n; ++i) {
+    double acc = 0.0;
+    for (size_t j = 0; j < x.size(); ++j) {
+      const double d = data_.features[i][j] - x[j];
+      acc += d * d;
+    }
+    dist_sq[i] = acc;
+  }
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::partial_sort(order.begin(), order.begin() + k_, order.end(),
+                    [&](size_t a, size_t b) { return dist_sq[a] < dist_sq[b]; });
+  // Weighted vote: closest neighbors carry slightly more weight so even-k
+  // ties resolve deterministically toward the nearer class.
+  double vote = 0.0;
+  for (int r = 0; r < k_; ++r) {
+    const size_t idx = order[r];
+    vote += data_.labels[idx] / (1.0 + dist_sq[idx]);
+  }
+  return vote >= 0.0 ? 1 : -1;
+}
+
+}  // namespace qdb

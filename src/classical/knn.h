@@ -1,0 +1,34 @@
+/// \file knn.h
+/// \brief k-nearest-neighbor classifier (instance-based baseline; the
+/// classical counterpart of the quantum nearest-neighbor discussion).
+
+#ifndef QDB_CLASSICAL_KNN_H_
+#define QDB_CLASSICAL_KNN_H_
+
+#include "classical/dataset.h"
+#include "common/result.h"
+#include "linalg/types.h"
+
+namespace qdb {
+
+/// \brief Stores the training set and classifies by majority vote among the
+/// k nearest points (Euclidean metric; ties break toward the closer class).
+class KnnClassifier {
+ public:
+  static Result<KnnClassifier> Create(Dataset training_data, int k);
+
+  int k() const { return k_; }
+
+  /// Majority ±1 label among the k nearest training points.
+  Result<int> Predict(const DVector& x) const;
+
+ private:
+  KnnClassifier(Dataset data, int k) : data_(std::move(data)), k_(k) {}
+
+  Dataset data_;
+  int k_;
+};
+
+}  // namespace qdb
+
+#endif  // QDB_CLASSICAL_KNN_H_

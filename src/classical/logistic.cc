@@ -1,0 +1,74 @@
+#include "classical/logistic.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "linalg/vector_ops.h"
+
+namespace qdb {
+namespace {
+
+double Sigmoid(double z) {
+  // Numerically stable in both tails.
+  if (z >= 0.0) {
+    const double e = std::exp(-z);
+    return 1.0 / (1.0 + e);
+  }
+  const double e = std::exp(z);
+  return e / (1.0 + e);
+}
+
+}  // namespace
+
+Result<LogisticRegression> LogisticRegression::Train(
+    const Dataset& data, const LogisticOptions& options) {
+  const size_t n = data.size();
+  if (n == 0) {
+    return Status::InvalidArgument("empty training set");
+  }
+  if (data.labels.size() != n) {
+    return Status::InvalidArgument("feature/label count mismatch");
+  }
+  const int d = data.num_features();
+  LogisticRegression model;
+  model.weights_.assign(d, 0.0);
+  model.bias_ = 0.0;
+
+  DVector grad_w(d);
+  for (int iter = 0; iter < options.max_iterations; ++iter) {
+    std::fill(grad_w.begin(), grad_w.end(), 0.0);
+    double grad_b = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      // y ∈ {−1, +1}: ∇ of −log σ(y(wᵀx+b)) is −y(1−σ(y z))·x.
+      const double z = Dot(model.weights_, data.features[i]) + model.bias_;
+      const double y = data.labels[i];
+      const double coeff = -y * (1.0 - Sigmoid(y * z));
+      for (int j = 0; j < d; ++j) grad_w[j] += coeff * data.features[i][j];
+      grad_b += coeff;
+    }
+    double grad_inf = std::abs(grad_b);
+    for (int j = 0; j < d; ++j) {
+      grad_w[j] = grad_w[j] / n + options.l2 * model.weights_[j];
+      grad_inf = std::max(grad_inf, std::abs(grad_w[j]));
+    }
+    grad_b /= n;
+    if (grad_inf < options.tolerance) break;
+    for (int j = 0; j < d; ++j) {
+      model.weights_[j] -= options.learning_rate * grad_w[j];
+    }
+    model.bias_ -= options.learning_rate * grad_b;
+  }
+  return model;
+}
+
+double LogisticRegression::ProbabilityPositive(const DVector& x) const {
+  QDB_CHECK_EQ(x.size(), weights_.size());
+  return Sigmoid(Dot(weights_, x) + bias_);
+}
+
+int LogisticRegression::Predict(const DVector& x) const {
+  return ProbabilityPositive(x) >= 0.5 ? 1 : -1;
+}
+
+}  // namespace qdb

@@ -1,0 +1,47 @@
+/// \file logistic.h
+/// \brief L2-regularized logistic regression (the linear classical
+/// baseline of E2).
+
+#ifndef QDB_CLASSICAL_LOGISTIC_H_
+#define QDB_CLASSICAL_LOGISTIC_H_
+
+#include "classical/dataset.h"
+#include "common/result.h"
+#include "linalg/types.h"
+
+namespace qdb {
+
+/// \brief Hyperparameters for logistic-regression training.
+struct LogisticOptions {
+  double learning_rate = 0.5;
+  double l2 = 1e-4;         ///< L2 penalty on weights (not the bias).
+  int max_iterations = 500;
+  double tolerance = 1e-7;  ///< Stop when ‖∇‖∞ drops below this.
+};
+
+/// \brief A trained logistic-regression classifier over ±1 labels.
+class LogisticRegression {
+ public:
+  /// Trains by full-batch gradient descent.
+  static Result<LogisticRegression> Train(const Dataset& data,
+                                          const LogisticOptions& options = {});
+
+  /// P(y = +1 | x).
+  double ProbabilityPositive(const DVector& x) const;
+
+  /// sign(wᵀx + b) as ±1.
+  int Predict(const DVector& x) const;
+
+  const DVector& weights() const { return weights_; }
+  double bias() const { return bias_; }
+
+ private:
+  LogisticRegression() = default;
+
+  DVector weights_;
+  double bias_ = 0.0;
+};
+
+}  // namespace qdb
+
+#endif  // QDB_CLASSICAL_LOGISTIC_H_

@@ -1,0 +1,59 @@
+#include "classical/metrics.h"
+
+#include "common/check.h"
+
+namespace qdb {
+
+double Accuracy(const std::vector<int>& labels,
+                const std::vector<int>& predictions) {
+  QDB_CHECK_EQ(labels.size(), predictions.size());
+  QDB_CHECK(!labels.empty());
+  int correct = 0;
+  for (size_t i = 0; i < labels.size(); ++i) {
+    if (labels[i] == predictions[i]) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(labels.size());
+}
+
+ConfusionMatrix Confusion(const std::vector<int>& labels,
+                          const std::vector<int>& predictions) {
+  QDB_CHECK_EQ(labels.size(), predictions.size());
+  ConfusionMatrix cm;
+  for (size_t i = 0; i < labels.size(); ++i) {
+    if (labels[i] == 1) {
+      predictions[i] == 1 ? ++cm.true_positive : ++cm.false_negative;
+    } else {
+      predictions[i] == 1 ? ++cm.false_positive : ++cm.true_negative;
+    }
+  }
+  return cm;
+}
+
+double ConfusionMatrix::Precision() const {
+  const int denom = true_positive + false_positive;
+  return denom == 0 ? 0.0 : static_cast<double>(true_positive) / denom;
+}
+
+double ConfusionMatrix::Recall() const {
+  const int denom = true_positive + false_negative;
+  return denom == 0 ? 0.0 : static_cast<double>(true_positive) / denom;
+}
+
+double ConfusionMatrix::F1() const {
+  const double p = Precision();
+  const double r = Recall();
+  return (p + r) == 0.0 ? 0.0 : 2.0 * p * r / (p + r);
+}
+
+double MeanSquaredError(const std::vector<int>& labels, const DVector& scores) {
+  QDB_CHECK_EQ(labels.size(), scores.size());
+  QDB_CHECK(!labels.empty());
+  double acc = 0.0;
+  for (size_t i = 0; i < labels.size(); ++i) {
+    const double diff = scores[i] - labels[i];
+    acc += diff * diff;
+  }
+  return acc / static_cast<double>(labels.size());
+}
+
+}  // namespace qdb

@@ -1,0 +1,37 @@
+/// \file metrics.h
+/// \brief Classification metrics shared by the experiment harnesses.
+
+#ifndef QDB_CLASSICAL_METRICS_H_
+#define QDB_CLASSICAL_METRICS_H_
+
+#include <vector>
+
+#include "linalg/types.h"
+
+namespace qdb {
+
+/// Fraction of positions where predictions match labels (entries ±1).
+double Accuracy(const std::vector<int>& labels,
+                const std::vector<int>& predictions);
+
+/// \brief 2x2 confusion counts for ±1 labels (+1 = positive class).
+struct ConfusionMatrix {
+  int true_positive = 0;
+  int false_positive = 0;
+  int true_negative = 0;
+  int false_negative = 0;
+
+  double Precision() const;
+  double Recall() const;
+  double F1() const;
+};
+
+ConfusionMatrix Confusion(const std::vector<int>& labels,
+                          const std::vector<int>& predictions);
+
+/// Mean squared error between real-valued scores and ±1 labels.
+double MeanSquaredError(const std::vector<int>& labels, const DVector& scores);
+
+}  // namespace qdb
+
+#endif  // QDB_CLASSICAL_METRICS_H_

@@ -1,0 +1,194 @@
+#include "classical/svm.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.h"
+#include "common/strings.h"
+#include "linalg/vector_ops.h"
+
+namespace qdb {
+
+double Svm::Kernel(const DVector& a, const DVector& b) const {
+  switch (options_.kernel) {
+    case SvmKernel::kLinear:
+      return Dot(a, b);
+    case SvmKernel::kRbf: {
+      double dist_sq = 0.0;
+      for (size_t i = 0; i < a.size(); ++i) {
+        const double d = a[i] - b[i];
+        dist_sq += d * d;
+      }
+      return std::exp(-options_.gamma * dist_sq);
+    }
+    case SvmKernel::kPrecomputed:
+      QDB_CHECK(false) << "precomputed kernel has no feature-space form";
+  }
+  return 0.0;
+}
+
+Result<Svm> Svm::Train(const Dataset& data, const SvmOptions& options,
+                       const Matrix* gram) {
+  const size_t n = data.size();
+  if (n < 2) {
+    return Status::InvalidArgument("SVM needs at least two training samples");
+  }
+  if (data.labels.size() != n) {
+    return Status::InvalidArgument("feature/label count mismatch");
+  }
+  bool has_pos = false, has_neg = false;
+  for (int y : data.labels) {
+    if (y == 1) has_pos = true;
+    else if (y == -1) has_neg = true;
+    else return Status::InvalidArgument("labels must be +1 or -1");
+  }
+  if (!has_pos || !has_neg) {
+    return Status::InvalidArgument("training set needs both classes");
+  }
+  if (options.kernel == SvmKernel::kPrecomputed) {
+    if (gram == nullptr) {
+      return Status::InvalidArgument("precomputed kernel requires a Gram matrix");
+    }
+    if (gram->rows() != n || gram->cols() != n) {
+      return Status::InvalidArgument(
+          StrCat("Gram matrix must be ", n, "x", n, ", got ", gram->rows(),
+                 "x", gram->cols()));
+    }
+  }
+  if (options.c <= 0.0) {
+    return Status::InvalidArgument("box constraint C must be positive");
+  }
+
+  Svm svm;
+  svm.options_ = options;
+  svm.train_features_ = data.features;
+  svm.train_labels_ = data.labels;
+  svm.alphas_.assign(n, 0.0);
+  svm.bias_ = 0.0;
+
+  // Cache the full kernel matrix (training sets here are small).
+  std::vector<DVector> k(n, DVector(n));
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i; j < n; ++j) {
+      const double v = options.kernel == SvmKernel::kPrecomputed
+                           ? (*gram)(i, j).real()
+                           : svm.Kernel(data.features[i], data.features[j]);
+      k[i][j] = v;
+      k[j][i] = v;
+    }
+  }
+
+  auto decision = [&](size_t i) {
+    double acc = svm.bias_;
+    for (size_t j = 0; j < n; ++j) {
+      if (svm.alphas_[j] > 0.0) {
+        acc += svm.alphas_[j] * data.labels[j] * k[j][i];
+      }
+    }
+    return acc;
+  };
+
+  // Simplified SMO (Platt; CS229 variant): pick violating i, random j ≠ i,
+  // solve the 2-variable subproblem analytically.
+  Rng rng(options.seed);
+  const double c_box = options.c;
+  const double tol = options.tolerance;
+  int passes = 0;
+  int iterations = 0;
+  while (passes < options.max_passes && iterations < options.max_iterations) {
+    ++iterations;
+    int changed = 0;
+    for (size_t i = 0; i < n; ++i) {
+      const double yi = data.labels[i];
+      const double ei = decision(i) - yi;
+      const bool violates = (yi * ei < -tol && svm.alphas_[i] < c_box) ||
+                            (yi * ei > tol && svm.alphas_[i] > 0.0);
+      if (!violates) continue;
+      size_t j = rng.UniformInt(static_cast<uint64_t>(n - 1));
+      if (j >= i) ++j;
+      const double yj = data.labels[j];
+      const double ej = decision(j) - yj;
+      const double ai_old = svm.alphas_[i];
+      const double aj_old = svm.alphas_[j];
+      double lo, hi;
+      if (yi != yj) {
+        lo = std::max(0.0, aj_old - ai_old);
+        hi = std::min(c_box, c_box + aj_old - ai_old);
+      } else {
+        lo = std::max(0.0, ai_old + aj_old - c_box);
+        hi = std::min(c_box, ai_old + aj_old);
+      }
+      if (lo >= hi) continue;
+      const double eta = 2.0 * k[i][j] - k[i][i] - k[j][j];
+      if (eta >= 0.0) continue;
+      double aj = aj_old - yj * (ei - ej) / eta;
+      aj = std::clamp(aj, lo, hi);
+      if (std::abs(aj - aj_old) < 1e-5) continue;
+      const double ai = ai_old + yi * yj * (aj_old - aj);
+      svm.alphas_[i] = ai;
+      svm.alphas_[j] = aj;
+      const double b1 = svm.bias_ - ei - yi * (ai - ai_old) * k[i][i] -
+                        yj * (aj - aj_old) * k[i][j];
+      const double b2 = svm.bias_ - ej - yi * (ai - ai_old) * k[i][j] -
+                        yj * (aj - aj_old) * k[j][j];
+      if (ai > 0.0 && ai < c_box) {
+        svm.bias_ = b1;
+      } else if (aj > 0.0 && aj < c_box) {
+        svm.bias_ = b2;
+      } else {
+        svm.bias_ = (b1 + b2) / 2.0;
+      }
+      ++changed;
+    }
+    passes = changed == 0 ? passes + 1 : 0;
+  }
+  return svm;
+}
+
+Result<double> Svm::DecisionValue(const DVector& x) const {
+  if (options_.kernel == SvmKernel::kPrecomputed) {
+    return Status::FailedPrecondition(
+        "precomputed-kernel SVM needs DecisionValueFromKernelRow");
+  }
+  if (static_cast<int>(x.size()) !=
+      static_cast<int>(train_features_.front().size())) {
+    return Status::InvalidArgument("feature dimension mismatch");
+  }
+  double acc = bias_;
+  for (size_t j = 0; j < train_features_.size(); ++j) {
+    if (alphas_[j] > 0.0) {
+      acc += alphas_[j] * train_labels_[j] * Kernel(train_features_[j], x);
+    }
+  }
+  return acc;
+}
+
+double Svm::DecisionValueFromKernelRow(const DVector& kernel_row) const {
+  QDB_CHECK_EQ(kernel_row.size(), train_features_.size());
+  double acc = bias_;
+  for (size_t j = 0; j < kernel_row.size(); ++j) {
+    if (alphas_[j] > 0.0) {
+      acc += alphas_[j] * train_labels_[j] * kernel_row[j];
+    }
+  }
+  return acc;
+}
+
+Result<int> Svm::Predict(const DVector& x) const {
+  QDB_ASSIGN_OR_RETURN(double value, DecisionValue(x));
+  return value >= 0.0 ? 1 : -1;
+}
+
+int Svm::PredictFromKernelRow(const DVector& kernel_row) const {
+  return DecisionValueFromKernelRow(kernel_row) >= 0.0 ? 1 : -1;
+}
+
+int Svm::NumSupportVectors() const {
+  int count = 0;
+  for (double a : alphas_) {
+    if (a > 1e-8) ++count;
+  }
+  return count;
+}
+
+}  // namespace qdb

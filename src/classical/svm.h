@@ -1,0 +1,77 @@
+/// \file svm.h
+/// \brief C-SVM trained by simplified SMO, with linear, RBF, and
+/// precomputed (quantum) kernels — the classical backbone of E2/E3 and the
+/// consumer of fidelity kernel matrices.
+
+#ifndef QDB_CLASSICAL_SVM_H_
+#define QDB_CLASSICAL_SVM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "classical/dataset.h"
+#include "common/result.h"
+#include "linalg/matrix.h"
+#include "linalg/types.h"
+
+namespace qdb {
+
+/// Kernel selector.
+enum class SvmKernel {
+  kLinear,       ///< k(x, y) = x·y
+  kRbf,          ///< k(x, y) = exp(−γ‖x−y‖²)
+  kPrecomputed,  ///< caller supplies the Gram matrix (e.g. quantum kernel)
+};
+
+/// \brief SVM hyperparameters.
+struct SvmOptions {
+  SvmKernel kernel = SvmKernel::kRbf;
+  double c = 1.0;        ///< Box constraint.
+  double gamma = 1.0;    ///< RBF width.
+  double tolerance = 1e-3;
+  int max_passes = 10;   ///< SMO passes without change before stopping.
+  int max_iterations = 2000;
+  uint64_t seed = 23;
+};
+
+/// \brief A trained support-vector classifier.
+class Svm {
+ public:
+  /// Trains on `data`; with kPrecomputed, `gram` must be the n x n kernel
+  /// matrix of the training set (symmetric PSD expected).
+  static Result<Svm> Train(const Dataset& data, const SvmOptions& options,
+                           const Matrix* gram = nullptr);
+
+  /// Decision value Σ α_i y_i k(x_i, x) + b for a raw feature vector
+  /// (kLinear / kRbf only).
+  Result<double> DecisionValue(const DVector& x) const;
+
+  /// Decision value when the caller supplies k(x_i, x) for every training
+  /// point (any kernel, required for kPrecomputed).
+  double DecisionValueFromKernelRow(const DVector& kernel_row) const;
+
+  /// sign(DecisionValue); ties break to +1.
+  Result<int> Predict(const DVector& x) const;
+  int PredictFromKernelRow(const DVector& kernel_row) const;
+
+  /// Number of support vectors (α_i > 0).
+  int NumSupportVectors() const;
+
+  const DVector& alphas() const { return alphas_; }
+  double bias() const { return bias_; }
+
+ private:
+  Svm() = default;
+
+  double Kernel(const DVector& a, const DVector& b) const;
+
+  SvmOptions options_;
+  std::vector<DVector> train_features_;
+  std::vector<int> train_labels_;
+  DVector alphas_;
+  double bias_ = 0.0;
+};
+
+}  // namespace qdb
+
+#endif  // QDB_CLASSICAL_SVM_H_

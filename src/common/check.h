@@ -1,0 +1,64 @@
+/// \file check.h
+/// \brief Precondition checking macros (abort-on-failure, always on).
+///
+/// QDB_CHECK guards programmer errors: violated invariants and API misuse
+/// that cannot be triggered by well-formed user data. Data-dependent
+/// failures go through Status/Result instead.
+
+#ifndef QDB_COMMON_CHECK_H_
+#define QDB_COMMON_CHECK_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+
+namespace qdb {
+namespace internal {
+
+/// Accumulates a failure message via operator<< and aborts on destruction.
+class CheckFailureStream {
+ public:
+  CheckFailureStream(const char* condition, const char* file, int line) {
+    stream_ << "QDB_CHECK failed: " << condition << " at " << file << ":"
+            << line << " ";
+  }
+
+  [[noreturn]] ~CheckFailureStream() {
+    std::cerr << stream_.str() << std::endl;
+    std::abort();
+  }
+
+  template <typename T>
+  CheckFailureStream& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  std::ostringstream stream_;
+};
+
+/// Binds tighter than ?: but looser than <<, so the whole streamed chain is
+/// consumed before being discarded (the glog voidify trick).
+struct Voidify {
+  void operator&(CheckFailureStream&&) {}
+  void operator&(CheckFailureStream&) {}
+};
+
+}  // namespace internal
+}  // namespace qdb
+
+#define QDB_CHECK(condition)                  \
+  (condition) ? (void)0                       \
+              : ::qdb::internal::Voidify() &  \
+                    ::qdb::internal::CheckFailureStream(#condition, __FILE__, \
+                                                        __LINE__)
+
+#define QDB_CHECK_EQ(a, b) QDB_CHECK((a) == (b)) << " (" << (a) << " vs " << (b) << ") "
+#define QDB_CHECK_NE(a, b) QDB_CHECK((a) != (b)) << " (" << (a) << " vs " << (b) << ") "
+#define QDB_CHECK_LT(a, b) QDB_CHECK((a) < (b)) << " (" << (a) << " vs " << (b) << ") "
+#define QDB_CHECK_LE(a, b) QDB_CHECK((a) <= (b)) << " (" << (a) << " vs " << (b) << ") "
+#define QDB_CHECK_GT(a, b) QDB_CHECK((a) > (b)) << " (" << (a) << " vs " << (b) << ") "
+#define QDB_CHECK_GE(a, b) QDB_CHECK((a) >= (b)) << " (" << (a) << " vs " << (b) << ") "
+
+#endif  // QDB_COMMON_CHECK_H_

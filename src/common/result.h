@@ -1,0 +1,81 @@
+/// \file result.h
+/// \brief Result<T>: a value-or-Status sum type (the Arrow idiom).
+
+#ifndef QDB_COMMON_RESULT_H_
+#define QDB_COMMON_RESULT_H_
+
+#include <optional>
+#include <utility>
+
+#include "common/check.h"
+#include "common/status.h"
+
+namespace qdb {
+
+/// \brief Holds either a value of type T or a non-OK Status explaining why
+/// the value could not be produced.
+///
+/// Access the value only after checking ok(); ValueOrDie() aborts on error
+/// (use in tests and examples where failure is a bug).
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (success).
+  Result(T value)  // NOLINT(google-explicit-constructor)
+      : status_(Status::OK()), value_(std::move(value)) {}
+
+  /// Implicit construction from a non-OK status (failure).
+  Result(Status status)  // NOLINT(google-explicit-constructor)
+      : status_(std::move(status)) {
+    QDB_CHECK(!status_.ok()) << "Result constructed from OK status without a value";
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  /// Returns the held value; requires ok().
+  const T& value() const& {
+    QDB_CHECK(ok()) << "Result::value() on error: " << status_.ToString();
+    return *value_;
+  }
+  T& value() & {
+    QDB_CHECK(ok()) << "Result::value() on error: " << status_.ToString();
+    return *value_;
+  }
+  T&& value() && {
+    QDB_CHECK(ok()) << "Result::value() on error: " << status_.ToString();
+    return std::move(*value_);
+  }
+
+  /// Returns the held value or aborts with the error message.
+  const T& ValueOrDie() const& { return value(); }
+  T&& ValueOrDie() && { return std::move(*this).value(); }
+
+  /// Returns the held value or `fallback` when this holds an error.
+  T ValueOr(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+/// Evaluates `rexpr` (a Result<T>), propagating its Status on failure,
+/// otherwise assigning the value to `lhs` (which must name a declaration,
+/// e.g. `QDB_ASSIGN_OR_RETURN(auto x, MakeX())`).
+#define QDB_ASSIGN_OR_RETURN(lhs, rexpr)                        \
+  QDB_ASSIGN_OR_RETURN_IMPL_(                                   \
+      QDB_STATUS_MACROS_CONCAT_(_qdb_result, __LINE__), lhs, rexpr)
+
+#define QDB_ASSIGN_OR_RETURN_IMPL_(result, lhs, rexpr) \
+  auto result = (rexpr);                               \
+  if (!result.ok()) return result.status();            \
+  lhs = std::move(result).value()
+
+#define QDB_STATUS_MACROS_CONCAT_(x, y) QDB_STATUS_MACROS_CONCAT_IMPL_(x, y)
+#define QDB_STATUS_MACROS_CONCAT_IMPL_(x, y) x##y
+
+}  // namespace qdb
+
+#endif  // QDB_COMMON_RESULT_H_

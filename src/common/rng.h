@@ -1,0 +1,86 @@
+/// \file rng.h
+/// \brief Deterministic pseudo-random number generation (xoshiro256**).
+///
+/// Every stochastic component of qdb takes an explicit 64-bit seed and
+/// derives its randomness from this generator, so all experiments and tests
+/// are reproducible bit-for-bit across runs on the same platform.
+
+#ifndef QDB_COMMON_RNG_H_
+#define QDB_COMMON_RNG_H_
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace qdb {
+
+/// \brief xoshiro256** generator (Blackman & Vigna), seeded via SplitMix64.
+///
+/// Satisfies the UniformRandomBitGenerator concept so it can drive
+/// std::shuffle, but the canonical sampling helpers below avoid libstdc++
+/// distribution objects whose streams differ across versions.
+class Rng {
+ public:
+  using result_type = uint64_t;
+
+  /// Seeds the four 64-bit lanes by iterating SplitMix64 over `seed`.
+  explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ull);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~uint64_t{0}; }
+
+  /// Returns the next 64 random bits.
+  uint64_t Next();
+  result_type operator()() { return Next(); }
+
+  /// Returns a double uniform in [0, 1) with 53 bits of precision.
+  double Uniform();
+
+  /// Returns a double uniform in [lo, hi).
+  double Uniform(double lo, double hi);
+
+  /// Returns an integer uniform in [0, n) using Lemire rejection; n > 0.
+  uint64_t UniformInt(uint64_t n);
+
+  /// Returns an integer uniform in [lo, hi] inclusive; lo <= hi.
+  int64_t UniformInt(int64_t lo, int64_t hi);
+
+  /// Returns a standard normal sample (Box–Muller; caches the pair).
+  double Normal();
+
+  /// Returns a normal sample with the given mean and standard deviation.
+  double Normal(double mean, double stddev);
+
+  /// Returns true with probability p (p clamped to [0, 1]).
+  bool Bernoulli(double p);
+
+  /// Returns `count` uniform doubles in [lo, hi).
+  std::vector<double> UniformVector(size_t count, double lo, double hi);
+
+  /// Fisher–Yates shuffles `values` in place.
+  template <typename T>
+  void Shuffle(std::vector<T>& values) {
+    for (size_t i = values.size(); i > 1; --i) {
+      size_t j = UniformInt(i);
+      std::swap(values[i - 1], values[j]);
+    }
+  }
+
+  /// Draws an index in [0, weights.size()) with probability proportional to
+  /// weights[i]; weights must be non-negative with a positive sum.
+  size_t Categorical(const std::vector<double>& weights);
+
+  /// Spawns an independent generator seeded from this one's stream; use to
+  /// give parallel or repeated sub-tasks decorrelated randomness.
+  Rng Split();
+
+ private:
+  std::array<uint64_t, 4> state_;
+  double cached_normal_ = 0.0;
+  bool has_cached_normal_ = false;
+};
+
+}  // namespace qdb
+
+#endif  // QDB_COMMON_RNG_H_

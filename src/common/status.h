@@ -1,0 +1,105 @@
+/// \file status.h
+/// \brief Error-handling primitives following the Arrow/RocksDB Status idiom.
+///
+/// Public qdb APIs that can fail at runtime (bad user input, numerical
+/// non-convergence, dimension mismatches discovered from data) return a
+/// Status or Result<T> instead of throwing. Programmer errors (violated
+/// preconditions) are guarded by QDB_CHECK in check.h and abort.
+
+#ifndef QDB_COMMON_STATUS_H_
+#define QDB_COMMON_STATUS_H_
+
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace qdb {
+
+/// Machine-readable category of a failure.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kOutOfRange = 2,
+  kNotFound = 3,
+  kAlreadyExists = 4,
+  kFailedPrecondition = 5,
+  kNotConverged = 6,
+  kUnimplemented = 7,
+  kInternal = 8,
+};
+
+/// \brief Returns the canonical lower-case name of a status code
+/// (e.g. "invalid argument").
+const char* StatusCodeToString(StatusCode code);
+
+/// \brief A success-or-error outcome with a code and a human-readable message.
+///
+/// Cheap to copy in the OK case (no allocation); the error case carries a
+/// heap-allocated message. Statuses are ordinary values: test with ok(),
+/// propagate with QDB_RETURN_IF_ERROR.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  /// Constructs a status with the given code and message. An OK code with a
+  /// non-empty message is allowed but the message is ignored by ok().
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status NotConverged(std::string msg) {
+    return Status(StatusCode::kNotConverged, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Returns "OK" or "<code name>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Status& s) {
+  return os << s.ToString();
+}
+
+/// Propagates a non-OK Status to the caller.
+#define QDB_RETURN_IF_ERROR(expr)             \
+  do {                                        \
+    ::qdb::Status _qdb_status = (expr);       \
+    if (!_qdb_status.ok()) return _qdb_status; \
+  } while (false)
+
+}  // namespace qdb
+
+#endif  // QDB_COMMON_STATUS_H_

@@ -1,0 +1,32 @@
+#include "common/strings.h"
+
+#include <cstdarg>
+#include <cstdio>
+#include <iomanip>
+
+namespace qdb {
+
+std::string StrFormat(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  va_list args_copy;
+  va_copy(args_copy, args);
+  int needed = std::vsnprintf(nullptr, 0, fmt, args);
+  va_end(args);
+  if (needed < 0) {
+    va_end(args_copy);
+    return {};
+  }
+  std::string out(static_cast<size_t>(needed), '\0');
+  std::vsnprintf(out.data(), out.size() + 1, fmt, args_copy);
+  va_end(args_copy);
+  return out;
+}
+
+std::string ToStringPrecise(double value, int digits) {
+  std::ostringstream os;
+  os << std::setprecision(digits) << value;
+  return os.str();
+}
+
+}  // namespace qdb

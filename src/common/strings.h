@@ -1,0 +1,42 @@
+/// \file strings.h
+/// \brief Small string formatting utilities (no std::format on this
+/// toolchain).
+
+#ifndef QDB_COMMON_STRINGS_H_
+#define QDB_COMMON_STRINGS_H_
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace qdb {
+
+/// \brief Concatenates the string representations of all arguments.
+template <typename... Args>
+std::string StrCat(const Args&... args) {
+  std::ostringstream os;
+  (void)(os << ... << args);
+  return os.str();
+}
+
+/// \brief Joins the string representations of `parts` with `sep`.
+template <typename T>
+std::string StrJoin(const std::vector<T>& parts, const std::string& sep) {
+  std::ostringstream os;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) os << sep;
+    os << parts[i];
+  }
+  return os.str();
+}
+
+/// \brief printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// \brief Formats `value` with `digits` significant digits.
+std::string ToStringPrecise(double value, int digits = 6);
+
+}  // namespace qdb
+
+#endif  // QDB_COMMON_STRINGS_H_

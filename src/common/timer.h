@@ -1,0 +1,37 @@
+/// \file timer.h
+/// \brief Wall-clock timing helper for benches and examples.
+
+#ifndef QDB_COMMON_TIMER_H_
+#define QDB_COMMON_TIMER_H_
+
+#include <chrono>
+
+namespace qdb {
+
+/// \brief Measures elapsed wall time from construction or the last Reset().
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  /// Restarts the measurement window.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Elapsed time in seconds.
+  double Seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Elapsed time in milliseconds.
+  double Millis() const { return Seconds() * 1e3; }
+
+  /// Elapsed time in microseconds.
+  double Micros() const { return Seconds() * 1e6; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace qdb
+
+#endif  // QDB_COMMON_TIMER_H_

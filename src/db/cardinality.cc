@@ -1,0 +1,151 @@
+#include "db/cardinality.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace qdb {
+namespace {
+
+/// Standard normal CDF (for the Gaussian copula's uniform marginals).
+double NormalCdf(double x) { return 0.5 * std::erfc(-x / std::sqrt(2.0)); }
+
+}  // namespace
+
+SyntheticTable MakeCorrelatedTable(int rows, int columns, double correlation,
+                                   Rng& rng) {
+  QDB_CHECK_GE(rows, 1);
+  QDB_CHECK_GE(columns, 1);
+  QDB_CHECK_GE(correlation, 0.0);
+  QDB_CHECK_LT(correlation, 1.0);
+  const double residual = std::sqrt(1.0 - correlation * correlation);
+  SyntheticTable table;
+  table.rows.reserve(rows);
+  for (int r = 0; r < rows; ++r) {
+    const double latent = rng.Normal();
+    DVector row(columns);
+    for (int c = 0; c < columns; ++c) {
+      const double z = correlation * latent + residual * rng.Normal();
+      row[c] = std::clamp(NormalCdf(z), 0.0, std::nextafter(1.0, 0.0));
+    }
+    table.rows.push_back(std::move(row));
+  }
+  return table;
+}
+
+double RangeQuery::TrueSelectivity(const SyntheticTable& table) const {
+  QDB_CHECK_EQ(static_cast<int>(lo.size()), table.num_columns());
+  QDB_CHECK_EQ(lo.size(), hi.size());
+  QDB_CHECK_GT(table.num_rows(), 0);
+  int hits = 0;
+  for (const auto& row : table.rows) {
+    bool match = true;
+    for (size_t c = 0; c < lo.size() && match; ++c) {
+      match = row[c] >= lo[c] && row[c] < hi[c];
+    }
+    hits += match;
+  }
+  return static_cast<double>(hits) / table.num_rows();
+}
+
+DVector RangeQuery::ToFeatures() const {
+  DVector features;
+  features.reserve(2 * lo.size());
+  for (size_t c = 0; c < lo.size(); ++c) {
+    features.push_back(lo[c]);
+    features.push_back(hi[c]);
+  }
+  return features;
+}
+
+RangeQuery RandomRangeQuery(int columns, Rng& rng, double min_width) {
+  QDB_CHECK_GE(columns, 1);
+  QDB_CHECK_GT(min_width, 0.0);
+  QDB_CHECK_LE(min_width, 1.0);
+  RangeQuery query;
+  query.lo.resize(columns);
+  query.hi.resize(columns);
+  for (int c = 0; c < columns; ++c) {
+    const double width = rng.Uniform(min_width, 1.0);
+    const double start = rng.Uniform(0.0, 1.0 - width);
+    query.lo[c] = start;
+    query.hi[c] = start + width;
+  }
+  return query;
+}
+
+IndependenceEstimator IndependenceEstimator::Build(const SyntheticTable& table,
+                                                   int buckets) {
+  QDB_CHECK_GE(buckets, 1);
+  QDB_CHECK_GT(table.num_rows(), 0);
+  IndependenceEstimator est;
+  est.histograms_.assign(table.num_columns(), DVector(buckets, 0.0));
+  const double inv_rows = 1.0 / table.num_rows();
+  for (const auto& row : table.rows) {
+    for (int c = 0; c < table.num_columns(); ++c) {
+      int bucket = static_cast<int>(row[c] * buckets);
+      bucket = std::clamp(bucket, 0, buckets - 1);
+      est.histograms_[c][bucket] += inv_rows;
+    }
+  }
+  return est;
+}
+
+double IndependenceEstimator::Estimate(const RangeQuery& query) const {
+  QDB_CHECK_EQ(query.lo.size(), histograms_.size());
+  const int buckets = static_cast<int>(histograms_.front().size());
+  double selectivity = 1.0;
+  for (size_t c = 0; c < histograms_.size(); ++c) {
+    // Per-column fraction with linear interpolation inside edge buckets.
+    double column_sel = 0.0;
+    for (int b = 0; b < buckets; ++b) {
+      const double bucket_lo = static_cast<double>(b) / buckets;
+      const double bucket_hi = static_cast<double>(b + 1) / buckets;
+      const double overlap =
+          std::max(0.0, std::min(query.hi[c], bucket_hi) -
+                            std::max(query.lo[c], bucket_lo));
+      column_sel += histograms_[c][b] * overlap * buckets;
+    }
+    selectivity *= std::clamp(column_sel, 0.0, 1.0);
+  }
+  return selectivity;
+}
+
+double SamplingEstimate(const SyntheticTable& table, const RangeQuery& query,
+                        int samples, Rng& rng) {
+  QDB_CHECK_GE(samples, 1);
+  QDB_CHECK_GT(table.num_rows(), 0);
+  int hits = 0;
+  for (int s = 0; s < samples; ++s) {
+    const auto& row =
+        table.rows[rng.UniformInt(static_cast<uint64_t>(table.num_rows()))];
+    bool match = true;
+    for (size_t c = 0; c < query.lo.size() && match; ++c) {
+      match = row[c] >= query.lo[c] && row[c] < query.hi[c];
+    }
+    hits += match;
+  }
+  // Half-hit floor: avoids zero estimates (infinite q-error) on misses.
+  return std::max(0.5, static_cast<double>(hits)) / samples;
+}
+
+double QError(double estimate, double truth, double floor_sel) {
+  QDB_CHECK_GT(floor_sel, 0.0);
+  const double e = std::max(estimate, floor_sel);
+  const double t = std::max(truth, floor_sel);
+  return std::max(e / t, t / e);
+}
+
+double SelectivityToTarget(double selectivity) {
+  // log₁₀ over [1e-4, 1] → [−1, 1]: target = 1 + log₁₀(sel)/2.
+  const double clamped = std::clamp(selectivity, 1e-4, 1.0);
+  return 1.0 + std::log10(clamped) / 2.0;
+}
+
+double TargetToSelectivity(double target) {
+  const double clamped = std::clamp(target, -1.0, 1.0);
+  return std::pow(10.0, 2.0 * (clamped - 1.0));
+}
+
+}  // namespace qdb

@@ -1,0 +1,86 @@
+/// \file cardinality.h
+/// \brief Cardinality / selectivity estimation substrate for the
+/// quantum-learned-estimator experiment (E16): synthetic tables with
+/// tunable inter-column correlation (Gaussian copula), conjunctive range
+/// queries with exact ground-truth selectivities, and the classical
+/// baselines (attribute-independence histograms, uniform sampling) that
+/// learned estimators are measured against.
+
+#ifndef QDB_DB_CARDINALITY_H_
+#define QDB_DB_CARDINALITY_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "linalg/types.h"
+
+namespace qdb {
+
+/// \brief A synthetic table whose column values lie in [0, 1).
+struct SyntheticTable {
+  std::vector<DVector> rows;
+
+  int num_rows() const { return static_cast<int>(rows.size()); }
+  int num_columns() const {
+    return rows.empty() ? 0 : static_cast<int>(rows.front().size());
+  }
+};
+
+/// \brief Generates rows from a Gaussian copula: a shared latent factor
+/// with weight `correlation` ∈ [0, 1) couples all columns (0 = independent
+/// columns, → 1 = perfectly correlated). Marginals are uniform on [0, 1).
+SyntheticTable MakeCorrelatedTable(int rows, int columns, double correlation,
+                                   Rng& rng);
+
+/// \brief A conjunctive range predicate: lo[j] ≤ col_j < hi[j] for all j.
+struct RangeQuery {
+  DVector lo;
+  DVector hi;
+
+  /// Exact selectivity by scanning the table (the ground truth).
+  double TrueSelectivity(const SyntheticTable& table) const;
+
+  /// Flattened [lo₀, hi₀, lo₁, hi₁, …] feature vector for learned models.
+  DVector ToFeatures() const;
+};
+
+/// \brief A random range query: each column gets a uniform random interval
+/// with width at least `min_width`.
+RangeQuery RandomRangeQuery(int columns, Rng& rng, double min_width = 0.05);
+
+/// \brief The classical textbook estimator: per-column equi-width
+/// histograms combined under the attribute-value-independence assumption —
+/// exact for independent columns, increasingly wrong as correlation grows.
+class IndependenceEstimator {
+ public:
+  static IndependenceEstimator Build(const SyntheticTable& table, int buckets);
+
+  /// Product of the per-column histogram selectivities.
+  double Estimate(const RangeQuery& query) const;
+
+ private:
+  IndependenceEstimator() = default;
+  /// histograms_[col][bucket] = fraction of rows in the bucket.
+  std::vector<DVector> histograms_;
+};
+
+/// \brief Uniform-sampling estimator with `samples` probes (floor of one
+/// half-hit to avoid zero estimates).
+double SamplingEstimate(const SyntheticTable& table, const RangeQuery& query,
+                        int samples, Rng& rng);
+
+/// \brief The q-error metric of the cardinality-estimation literature:
+/// max(est/truth, truth/est), with both sides floored at `floor_sel` to
+/// keep the metric finite.
+double QError(double estimate, double truth, double floor_sel = 1e-4);
+
+/// \brief Maps a selectivity to a [−1, 1] regression target
+/// (log₁₀ scale over [10^−4, 1]) and back — the label transform used when
+/// training the VQR on selectivities.
+double SelectivityToTarget(double selectivity);
+double TargetToSelectivity(double target);
+
+}  // namespace qdb
+
+#endif  // QDB_DB_CARDINALITY_H_

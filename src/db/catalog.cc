@@ -1,0 +1,80 @@
+#include "db/catalog.h"
+
+#include "common/strings.h"
+
+namespace qdb {
+
+Status Catalog::AddTable(const std::string& name, double cardinality) {
+  if (name.empty()) {
+    return Status::InvalidArgument("table name must be non-empty");
+  }
+  if (cardinality <= 0.0) {
+    return Status::InvalidArgument(
+        StrCat("cardinality for '", name, "' must be positive, got ",
+               cardinality));
+  }
+  if (index_.count(name)) {
+    return Status::AlreadyExists(StrCat("table '", name, "' already registered"));
+  }
+  index_[name] = static_cast<int>(tables_.size());
+  tables_.push_back(TableStats{name, cardinality});
+  return Status::OK();
+}
+
+Status Catalog::SetSelectivity(const std::string& a, const std::string& b,
+                               double selectivity) {
+  QDB_ASSIGN_OR_RETURN(int ia, TableIndex(a));
+  QDB_ASSIGN_OR_RETURN(int ib, TableIndex(b));
+  if (ia == ib) {
+    return Status::InvalidArgument("selectivity needs two distinct tables");
+  }
+  if (selectivity <= 0.0 || selectivity > 1.0) {
+    return Status::InvalidArgument(
+        StrCat("selectivity must be in (0, 1], got ", selectivity));
+  }
+  selectivities_[{std::min(ia, ib), std::max(ia, ib)}] = selectivity;
+  return Status::OK();
+}
+
+Result<TableStats> Catalog::GetTable(const std::string& name) const {
+  QDB_ASSIGN_OR_RETURN(int i, TableIndex(name));
+  return tables_[i];
+}
+
+Result<double> Catalog::GetSelectivity(const std::string& a,
+                                       const std::string& b) const {
+  QDB_ASSIGN_OR_RETURN(int ia, TableIndex(a));
+  QDB_ASSIGN_OR_RETURN(int ib, TableIndex(b));
+  auto it = selectivities_.find({std::min(ia, ib), std::max(ia, ib)});
+  return it == selectivities_.end() ? 1.0 : it->second;
+}
+
+Result<JoinQueryGraph> Catalog::BuildJoinGraph(
+    const std::vector<std::pair<std::string, std::string>>& joins) const {
+  if (tables_.size() < 2) {
+    return Status::FailedPrecondition(
+        "building a join graph needs at least two registered tables");
+  }
+  std::vector<double> cards;
+  cards.reserve(tables_.size());
+  for (const auto& t : tables_) cards.push_back(t.cardinality);
+  QDB_ASSIGN_OR_RETURN(JoinQueryGraph graph,
+                       JoinQueryGraph::Create(std::move(cards)));
+  for (const auto& [a, b] : joins) {
+    QDB_ASSIGN_OR_RETURN(int ia, TableIndex(a));
+    QDB_ASSIGN_OR_RETURN(int ib, TableIndex(b));
+    QDB_ASSIGN_OR_RETURN(double sel, GetSelectivity(a, b));
+    QDB_RETURN_IF_ERROR(graph.AddJoin(ia, ib, sel));
+  }
+  return graph;
+}
+
+Result<int> Catalog::TableIndex(const std::string& name) const {
+  auto it = index_.find(name);
+  if (it == index_.end()) {
+    return Status::NotFound(StrCat("table '", name, "' not in catalog"));
+  }
+  return it->second;
+}
+
+}  // namespace qdb

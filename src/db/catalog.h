@@ -1,0 +1,64 @@
+/// \file catalog.h
+/// \brief Minimal relational catalog: tables, cardinalities, and join
+/// selectivities — the statistics layer the optimizers consume.
+
+#ifndef QDB_DB_CATALOG_H_
+#define QDB_DB_CATALOG_H_
+
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+#include "db/query_graph.h"
+
+namespace qdb {
+
+/// \brief Statistics for one base table.
+struct TableStats {
+  std::string name;
+  double cardinality = 0.0;  ///< Estimated row count (> 0).
+};
+
+/// \brief A name-keyed collection of table statistics plus pairwise join
+/// selectivities (defaulting to 1.0 — a cross product — when unset).
+class Catalog {
+ public:
+  Catalog() = default;
+
+  /// Registers a table; fails on duplicates or non-positive cardinality.
+  Status AddTable(const std::string& name, double cardinality);
+
+  /// Sets the selectivity of joining `a` with `b` (symmetric, in (0, 1]).
+  Status SetSelectivity(const std::string& a, const std::string& b,
+                        double selectivity);
+
+  Result<TableStats> GetTable(const std::string& name) const;
+
+  /// Selectivity between two registered tables (1.0 when unset).
+  Result<double> GetSelectivity(const std::string& a,
+                                const std::string& b) const;
+
+  size_t num_tables() const { return tables_.size(); }
+  const std::vector<TableStats>& tables() const { return tables_; }
+
+  /// Index of a table in tables(), or NotFound.
+  Result<int> TableIndex(const std::string& name) const;
+
+  /// \brief Builds the join query graph over all registered tables, with
+  /// one join edge per (a, b) pair in `joins`, using this catalog's
+  /// cardinalities and selectivities — the bridge from schema statistics
+  /// to the optimizers in db/join_order_*.
+  Result<JoinQueryGraph> BuildJoinGraph(
+      const std::vector<std::pair<std::string, std::string>>& joins) const;
+
+ private:
+  std::vector<TableStats> tables_;
+  std::map<std::string, int> index_;
+  std::map<std::pair<int, int>, double> selectivities_;  ///< Keyed (min, max).
+};
+
+}  // namespace qdb
+
+#endif  // QDB_DB_CATALOG_H_

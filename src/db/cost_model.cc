@@ -1,0 +1,105 @@
+#include "db/cost_model.h"
+
+#include "common/check.h"
+#include "common/strings.h"
+
+namespace qdb {
+
+std::unique_ptr<JoinTree> JoinTree::Leaf(int relation) {
+  QDB_CHECK_GE(relation, 0);
+  auto node = std::make_unique<JoinTree>();
+  node->relation = relation;
+  return node;
+}
+
+std::unique_ptr<JoinTree> JoinTree::Join(std::unique_ptr<JoinTree> left,
+                                         std::unique_ptr<JoinTree> right) {
+  QDB_CHECK(left != nullptr);
+  QDB_CHECK(right != nullptr);
+  auto node = std::make_unique<JoinTree>();
+  node->left = std::move(left);
+  node->right = std::move(right);
+  return node;
+}
+
+uint64_t JoinTree::RelationMask() const {
+  if (IsLeaf()) return uint64_t{1} << relation;
+  uint64_t mask = 0;
+  if (left) mask |= left->RelationMask();
+  if (right) mask |= right->RelationMask();
+  return mask;
+}
+
+double SubsetCardinality(const JoinQueryGraph& graph, uint64_t mask) {
+  double card = 1.0;
+  for (int r = 0; r < graph.num_relations(); ++r) {
+    if (mask & (uint64_t{1} << r)) card *= graph.cardinality(r);
+  }
+  for (const auto& e : graph.edges()) {
+    if ((mask & (uint64_t{1} << e.a)) && (mask & (uint64_t{1} << e.b))) {
+      card *= e.selectivity;
+    }
+  }
+  return card;
+}
+
+namespace {
+
+Status AccumulateCost(const JoinQueryGraph& graph, const JoinTree& tree,
+                      double* cost) {
+  if (tree.IsLeaf()) {
+    if (tree.relation >= graph.num_relations()) {
+      return Status::OutOfRange(
+          StrCat("relation ", tree.relation, " not in the query graph"));
+    }
+    return Status::OK();
+  }
+  if (!tree.left || !tree.right) {
+    return Status::InvalidArgument("inner join node missing a child");
+  }
+  QDB_RETURN_IF_ERROR(AccumulateCost(graph, *tree.left, cost));
+  QDB_RETURN_IF_ERROR(AccumulateCost(graph, *tree.right, cost));
+  const uint64_t left_mask = tree.left->RelationMask();
+  const uint64_t right_mask = tree.right->RelationMask();
+  if (left_mask & right_mask) {
+    return Status::InvalidArgument("join tree repeats a base relation");
+  }
+  *cost += SubsetCardinality(graph, left_mask | right_mask);
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<double> CostOfTree(const JoinQueryGraph& graph, const JoinTree& tree) {
+  double cost = 0.0;
+  QDB_RETURN_IF_ERROR(AccumulateCost(graph, tree, &cost));
+  return cost;
+}
+
+Result<double> CostOfLeftDeepOrder(const JoinQueryGraph& graph,
+                                   const std::vector<int>& order) {
+  const int n = graph.num_relations();
+  if (static_cast<int>(order.size()) != n) {
+    return Status::InvalidArgument(
+        StrCat("order has ", order.size(), " entries for ", n, " relations"));
+  }
+  uint64_t seen = 0;
+  for (int r : order) {
+    if (r < 0 || r >= n) {
+      return Status::OutOfRange(StrCat("relation ", r, " out of range"));
+    }
+    if (seen & (uint64_t{1} << r)) {
+      return Status::InvalidArgument(StrCat("relation ", r, " repeated"));
+    }
+    seen |= uint64_t{1} << r;
+  }
+  double cost = 0.0;
+  uint64_t mask = uint64_t{1} << order[0];
+  for (int k = 1; k < n; ++k) {
+    mask |= uint64_t{1} << order[k];
+    cost += SubsetCardinality(graph, mask);
+  }
+  return cost;
+}
+
+}  // namespace qdb

@@ -1,0 +1,51 @@
+/// \file cost_model.h
+/// \brief The C_out cost model: cost of a plan = sum of intermediate join
+/// result cardinalities (the standard analytical model of the join-ordering
+/// literature).
+
+#ifndef QDB_DB_COST_MODEL_H_
+#define QDB_DB_COST_MODEL_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/result.h"
+#include "db/query_graph.h"
+
+namespace qdb {
+
+/// \brief A (possibly bushy) join tree node: either a base relation leaf or
+/// an inner join of two subtrees.
+struct JoinTree {
+  int relation = -1;  ///< Leaf: base relation index; inner: −1.
+  std::unique_ptr<JoinTree> left;
+  std::unique_ptr<JoinTree> right;
+
+  static std::unique_ptr<JoinTree> Leaf(int relation);
+  static std::unique_ptr<JoinTree> Join(std::unique_ptr<JoinTree> left,
+                                        std::unique_ptr<JoinTree> right);
+  bool IsLeaf() const { return relation >= 0; }
+
+  /// Set of base relations in this subtree, as a bitmask.
+  uint64_t RelationMask() const;
+};
+
+/// \brief Cardinality of joining the set of relations in `mask`: product of
+/// base cardinalities times the selectivities of every join edge internal
+/// to the set (independence assumption).
+double SubsetCardinality(const JoinQueryGraph& graph, uint64_t mask);
+
+/// \brief C_out of a join tree: Σ over inner nodes of the node's result
+/// cardinality.
+Result<double> CostOfTree(const JoinQueryGraph& graph, const JoinTree& tree);
+
+/// \brief C_out of a left-deep plan given as a relation order: the cost of
+/// (((R_{o0} ⋈ R_{o1}) ⋈ R_{o2}) ⋈ ...). `order` must be a permutation of
+/// 0..n−1.
+Result<double> CostOfLeftDeepOrder(const JoinQueryGraph& graph,
+                                   const std::vector<int>& order);
+
+}  // namespace qdb
+
+#endif  // QDB_DB_COST_MODEL_H_

@@ -1,0 +1,195 @@
+#include "db/index_selection.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "common/check.h"
+#include "common/strings.h"
+
+namespace qdb {
+
+double IndexSelectionInstance::BenefitOf(
+    const std::vector<uint8_t>& selection) const {
+  QDB_CHECK_EQ(static_cast<int>(selection.size()), num_candidates());
+  double total = 0.0;
+  for (int i = 0; i < num_candidates(); ++i) {
+    if (selection[i]) total += benefits[i];
+  }
+  for (const auto& inter : interactions) {
+    if (selection[inter.i] && selection[inter.j]) total += inter.delta;
+  }
+  return total;
+}
+
+double IndexSelectionInstance::SizeOf(
+    const std::vector<uint8_t>& selection) const {
+  QDB_CHECK_EQ(static_cast<int>(selection.size()), num_candidates());
+  double total = 0.0;
+  for (int i = 0; i < num_candidates(); ++i) {
+    if (selection[i]) total += sizes[i];
+  }
+  return total;
+}
+
+bool IndexSelectionInstance::Feasible(
+    const std::vector<uint8_t>& selection) const {
+  return SizeOf(selection) <= budget + 1e-9;
+}
+
+IndexSelectionInstance RandomIndexInstance(int num_candidates,
+                                           double budget_fraction,
+                                           double interaction_probability,
+                                           Rng& rng) {
+  QDB_CHECK_GE(num_candidates, 1);
+  QDB_CHECK_GT(budget_fraction, 0.0);
+  IndexSelectionInstance instance;
+  instance.benefits.resize(num_candidates);
+  instance.sizes.resize(num_candidates);
+  double total_size = 0.0;
+  for (int i = 0; i < num_candidates; ++i) {
+    instance.benefits[i] = rng.Uniform(10.0, 100.0);
+    instance.sizes[i] = std::round(rng.Uniform(1.0, 20.0));
+    total_size += instance.sizes[i];
+  }
+  instance.budget = std::round(budget_fraction * total_size);
+  for (int i = 0; i < num_candidates; ++i) {
+    for (int j = i + 1; j < num_candidates; ++j) {
+      if (rng.Bernoulli(interaction_probability)) {
+        // Redundant index pair: keeping both loses part of the benefit.
+        const double smaller =
+            std::min(instance.benefits[i], instance.benefits[j]);
+        instance.interactions.push_back({i, j, -rng.Uniform(0.2, 0.8) * smaller});
+      }
+    }
+  }
+  return instance;
+}
+
+Result<IndexSelectionQubo> IndexSelectionQubo::Create(
+    const IndexSelectionInstance& instance, double penalty_weight) {
+  const int n = instance.num_candidates();
+  if (n < 1) {
+    return Status::InvalidArgument("instance has no candidate indexes");
+  }
+  if (instance.budget <= 0.0) {
+    return Status::InvalidArgument("budget must be positive");
+  }
+  for (int i = 0; i < n; ++i) {
+    if (instance.benefits[i] <= 0.0 || instance.sizes[i] <= 0.0) {
+      return Status::InvalidArgument("benefits and sizes must be positive");
+    }
+  }
+  // Slack bits cover [0, budget]: Σ size·x + slack = budget at feasible,
+  // fully-used-slack points; the squared penalty then vanishes exactly.
+  int slack_bits = 1;
+  while ((double)((uint64_t{1} << slack_bits) - 1) < instance.budget) {
+    ++slack_bits;
+    if (slack_bits > 24) {
+      return Status::InvalidArgument("budget too large for slack encoding");
+    }
+  }
+  double total_benefit = 0.0;
+  for (double b : instance.benefits) total_benefit += b;
+  const double penalty =
+      penalty_weight > 0.0 ? penalty_weight : total_benefit + 1.0;
+
+  const int total_vars = n + slack_bits;
+  Qubo qubo(total_vars);
+
+  // Objective: maximize benefit ⇒ minimize −benefit.
+  for (int i = 0; i < n; ++i) qubo.AddLinear(i, -instance.benefits[i]);
+  for (const auto& inter : instance.interactions) {
+    if (inter.i < 0 || inter.i >= n || inter.j < 0 || inter.j >= n ||
+        inter.i == inter.j) {
+      return Status::InvalidArgument("bad interaction pair");
+    }
+    qubo.AddQuadratic(inter.i, inter.j, -inter.delta);
+  }
+
+  // Budget: P·(Σ a_k v_k − budget)² over index vars (a = size) and slack
+  // vars (a = 2^k). Expansion: P·(Σ a_k² v_k + 2Σ_{k<l} a_k a_l v_k v_l −
+  // 2·budget·Σ a_k v_k + budget²).
+  DVector coeff(total_vars);
+  for (int i = 0; i < n; ++i) coeff[i] = instance.sizes[i];
+  for (int k = 0; k < slack_bits; ++k) {
+    coeff[n + k] = static_cast<double>(uint64_t{1} << k);
+  }
+  qubo.AddOffset(penalty * instance.budget * instance.budget);
+  for (int k = 0; k < total_vars; ++k) {
+    qubo.AddLinear(k, penalty * coeff[k] * (coeff[k] - 2.0 * instance.budget));
+    for (int l = k + 1; l < total_vars; ++l) {
+      qubo.AddQuadratic(k, l, 2.0 * penalty * coeff[k] * coeff[l]);
+    }
+  }
+  return IndexSelectionQubo(instance, std::move(qubo), slack_bits);
+}
+
+std::vector<uint8_t> IndexSelectionQubo::Decode(
+    const std::vector<uint8_t>& bits) const {
+  QDB_CHECK_EQ(static_cast<int>(bits.size()), qubo_.num_vars());
+  const int n = instance_.num_candidates();
+  std::vector<uint8_t> selection(bits.begin(), bits.begin() + n);
+  // Repair budget overflow: drop the worst benefit/size candidates first.
+  while (!instance_.Feasible(selection)) {
+    int worst = -1;
+    double worst_ratio = std::numeric_limits<double>::infinity();
+    for (int i = 0; i < n; ++i) {
+      if (!selection[i]) continue;
+      const double ratio = instance_.benefits[i] / instance_.sizes[i];
+      if (ratio < worst_ratio) {
+        worst_ratio = ratio;
+        worst = i;
+      }
+    }
+    QDB_CHECK_GE(worst, 0);
+    selection[worst] = 0;
+  }
+  return selection;
+}
+
+std::vector<uint8_t> GreedyIndexSelection(
+    const IndexSelectionInstance& instance) {
+  const int n = instance.num_candidates();
+  std::vector<uint8_t> selection(n, 0);
+  std::vector<int> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](int a, int b) {
+    return instance.benefits[a] / instance.sizes[a] >
+           instance.benefits[b] / instance.sizes[b];
+  });
+  double used = 0.0;
+  double current_benefit = 0.0;
+  for (int i : order) {
+    if (used + instance.sizes[i] > instance.budget + 1e-9) continue;
+    selection[i] = 1;
+    const double benefit = instance.BenefitOf(selection);
+    // Interactions can make an addition net-negative; skip those.
+    if (benefit <= current_benefit) {
+      selection[i] = 0;
+      continue;
+    }
+    current_benefit = benefit;
+    used += instance.sizes[i];
+  }
+  return selection;
+}
+
+Result<double> ExhaustiveIndexBenefit(const IndexSelectionInstance& instance) {
+  const int n = instance.num_candidates();
+  if (n > 24) {
+    return Status::InvalidArgument("exhaustive search limited to 24 candidates");
+  }
+  double best = 0.0;
+  std::vector<uint8_t> selection(n);
+  const uint64_t total = uint64_t{1} << n;
+  for (uint64_t mask = 0; mask < total; ++mask) {
+    for (int i = 0; i < n; ++i) selection[i] = (mask >> i) & 1;
+    if (!instance.Feasible(selection)) continue;
+    best = std::max(best, instance.BenefitOf(selection));
+  }
+  return best;
+}
+
+}  // namespace qdb

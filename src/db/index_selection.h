@@ -1,0 +1,88 @@
+/// \file index_selection.h
+/// \brief Index selection under a storage budget as QUBO (E10): choose a
+/// subset of candidate indexes maximizing workload benefit, with pairwise
+/// interaction terms (overlapping indexes yield diminishing returns) and a
+/// slack-encoded budget constraint.
+
+#ifndef QDB_DB_INDEX_SELECTION_H_
+#define QDB_DB_INDEX_SELECTION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "linalg/types.h"
+#include "ops/qubo.h"
+
+namespace qdb {
+
+/// \brief One index-selection instance.
+struct IndexSelectionInstance {
+  DVector benefits;   ///< Per-index workload benefit (> 0).
+  DVector sizes;      ///< Per-index storage size (> 0).
+  double budget = 0;  ///< Storage budget.
+  /// Pairwise interaction: selecting both i and j changes total benefit by
+  /// `delta` (negative models redundancy between overlapping indexes).
+  struct Interaction {
+    int i, j;
+    double delta;
+  };
+  std::vector<Interaction> interactions;
+
+  int num_candidates() const { return static_cast<int>(benefits.size()); }
+
+  /// Total benefit of a selection (bits 0/1), interactions included.
+  double BenefitOf(const std::vector<uint8_t>& selection) const;
+
+  /// Total size of a selection.
+  double SizeOf(const std::vector<uint8_t>& selection) const;
+
+  /// True when SizeOf ≤ budget.
+  bool Feasible(const std::vector<uint8_t>& selection) const;
+};
+
+/// \brief Random instance: benefits in [10, 100], sizes in [1, 20], budget
+/// = `budget_fraction` × total size, negative interactions with probability
+/// `interaction_probability`.
+IndexSelectionInstance RandomIndexInstance(int num_candidates,
+                                           double budget_fraction,
+                                           double interaction_probability,
+                                           Rng& rng);
+
+/// \brief QUBO: minimize −benefit(x) + penalty·max(0, size−budget)²
+/// (the overflow is encoded exactly with binary slack variables:
+/// Σ size_i x_i + Σ 2^k s_k = budget for feasible points).
+class IndexSelectionQubo {
+ public:
+  static Result<IndexSelectionQubo> Create(
+      const IndexSelectionInstance& instance, double penalty_weight = -1.0);
+
+  const Qubo& qubo() const { return qubo_; }
+  int num_slack_bits() const { return num_slack_; }
+
+  /// Extracts the index-selection bits (dropping slack) and repairs budget
+  /// overflow by dropping lowest benefit/size items until feasible.
+  std::vector<uint8_t> Decode(const std::vector<uint8_t>& bits) const;
+
+ private:
+  IndexSelectionQubo(IndexSelectionInstance instance, Qubo qubo, int slack)
+      : instance_(std::move(instance)),
+        qubo_(std::move(qubo)),
+        num_slack_(slack) {}
+
+  IndexSelectionInstance instance_;
+  Qubo qubo_;
+  int num_slack_;
+};
+
+/// \brief Greedy baseline: add candidates by benefit/size ratio while the
+/// budget allows (re-evaluating interactions incrementally).
+std::vector<uint8_t> GreedyIndexSelection(const IndexSelectionInstance& instance);
+
+/// \brief Exact optimum by enumeration (n ≤ 24).
+Result<double> ExhaustiveIndexBenefit(const IndexSelectionInstance& instance);
+
+}  // namespace qdb
+
+#endif  // QDB_DB_INDEX_SELECTION_H_

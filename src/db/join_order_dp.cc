@@ -1,0 +1,79 @@
+#include "db/join_order_dp.h"
+
+#include <limits>
+
+#include "common/strings.h"
+
+namespace qdb {
+
+Result<DpPlanResult> OptimalLeftDeepPlan(const JoinQueryGraph& graph) {
+  const int n = graph.num_relations();
+  if (n > 20) {
+    return Status::InvalidArgument(
+        StrCat("left-deep DP limited to 20 relations, got ", n));
+  }
+  const uint64_t full = (uint64_t{1} << n) - 1;
+  const double inf = std::numeric_limits<double>::infinity();
+  // dp[S] = cheapest C_out of a left-deep prefix joining exactly set S;
+  // parent[S] = last relation appended to reach S.
+  std::vector<double> dp(full + 1, inf);
+  std::vector<int> parent(full + 1, -1);
+  for (int r = 0; r < n; ++r) {
+    dp[uint64_t{1} << r] = 0.0;  // C_out counts no cost for a base scan.
+    parent[uint64_t{1} << r] = r;
+  }
+  DpPlanResult result;
+  for (uint64_t s = 1; s <= full; ++s) {
+    if (dp[s] == inf || __builtin_popcountll(s) < 1) continue;
+    ++result.subproblems;
+    // Appending any absent relation keeps the plan left-deep.
+    for (int r = 0; r < n; ++r) {
+      const uint64_t bit = uint64_t{1} << r;
+      if (s & bit) continue;
+      const uint64_t next = s | bit;
+      const double cost = dp[s] + SubsetCardinality(graph, next);
+      if (cost < dp[next]) {
+        dp[next] = cost;
+        parent[next] = r;
+      }
+    }
+  }
+  result.cost = dp[full];
+  // Reconstruct the order by walking parents backward.
+  result.order.resize(n);
+  uint64_t s = full;
+  for (int k = n - 1; k >= 0; --k) {
+    const int r = parent[s];
+    result.order[k] = r;
+    s &= ~(uint64_t{1} << r);
+  }
+  return result;
+}
+
+Result<double> OptimalBushyCost(const JoinQueryGraph& graph) {
+  const int n = graph.num_relations();
+  if (n > 16) {
+    return Status::InvalidArgument(
+        StrCat("bushy DP limited to 16 relations, got ", n));
+  }
+  const uint64_t full = (uint64_t{1} << n) - 1;
+  const double inf = std::numeric_limits<double>::infinity();
+  std::vector<double> dp(full + 1, inf);
+  for (int r = 0; r < n; ++r) dp[uint64_t{1} << r] = 0.0;
+
+  for (uint64_t s = 1; s <= full; ++s) {
+    if (__builtin_popcountll(s) < 2) continue;
+    // Enumerate proper subsets s1 ⊂ s; consider each unordered split once.
+    const double join_card = SubsetCardinality(graph, s);
+    for (uint64_t s1 = (s - 1) & s; s1 > 0; s1 = (s1 - 1) & s) {
+      const uint64_t s2 = s & ~s1;
+      if (s1 < s2) continue;  // Symmetric split: handle one orientation.
+      if (dp[s1] == inf || dp[s2] == inf) continue;
+      const double cost = dp[s1] + dp[s2] + join_card;
+      if (cost < dp[s]) dp[s] = cost;
+    }
+  }
+  return dp[full];
+}
+
+}  // namespace qdb

@@ -1,0 +1,34 @@
+/// \file join_order_dp.h
+/// \brief Exact join-order optimization by dynamic programming over
+/// relation subsets — the classical optimal baselines of E7.
+
+#ifndef QDB_DB_JOIN_ORDER_DP_H_
+#define QDB_DB_JOIN_ORDER_DP_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "db/cost_model.h"
+#include "db/query_graph.h"
+
+namespace qdb {
+
+/// \brief Result of an exact plan search.
+struct DpPlanResult {
+  double cost = 0.0;            ///< Optimal C_out.
+  std::vector<int> order;       ///< Left-deep order (left-deep DP only).
+  long subproblems = 0;         ///< DP table entries filled.
+};
+
+/// \brief Optimal left-deep plan by Selinger-style DP over subsets
+/// (n ≤ 20). Cross products are allowed so every permutation is feasible —
+/// the same search space the QUBO encodes.
+Result<DpPlanResult> OptimalLeftDeepPlan(const JoinQueryGraph& graph);
+
+/// \brief Optimal bushy plan cost by DPsub over connected complements
+/// (n ≤ 16); cross products allowed when the graph is disconnected.
+Result<double> OptimalBushyCost(const JoinQueryGraph& graph);
+
+}  // namespace qdb
+
+#endif  // QDB_DB_JOIN_ORDER_DP_H_

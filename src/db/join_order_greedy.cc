@@ -1,0 +1,96 @@
+#include "db/join_order_greedy.h"
+
+#include <limits>
+
+#include "db/cost_model.h"
+
+namespace qdb {
+
+Result<GreedyPlanResult> GreedyLeftDeepPlan(const JoinQueryGraph& graph) {
+  const int n = graph.num_relations();
+  GreedyPlanResult result;
+  // Seed with the smallest base relation.
+  int first = 0;
+  for (int r = 1; r < n; ++r) {
+    if (graph.cardinality(r) < graph.cardinality(first)) first = r;
+  }
+  result.order.push_back(first);
+  uint64_t mask = uint64_t{1} << first;
+
+  while (static_cast<int>(result.order.size()) < n) {
+    int best = -1;
+    double best_card = std::numeric_limits<double>::infinity();
+    for (int r = 0; r < n; ++r) {
+      const uint64_t bit = uint64_t{1} << r;
+      if (mask & bit) continue;
+      const double card = SubsetCardinality(graph, mask | bit);
+      if (card < best_card) {
+        best_card = card;
+        best = r;
+      }
+    }
+    result.order.push_back(best);
+    mask |= uint64_t{1} << best;
+    result.cost += best_card;
+  }
+  return result;
+}
+
+Result<std::vector<int>> ImproveOrderBySwaps(const JoinQueryGraph& graph,
+                                             std::vector<int> order) {
+  QDB_ASSIGN_OR_RETURN(double current, CostOfLeftDeepOrder(graph, order));
+  const int n = graph.num_relations();
+  bool improved = true;
+  while (improved) {
+    improved = false;
+    int best_i = -1, best_j = -1;
+    double best_cost = current;
+    for (int i = 0; i < n; ++i) {
+      for (int j = i + 1; j < n; ++j) {
+        std::swap(order[i], order[j]);
+        QDB_ASSIGN_OR_RETURN(double cost, CostOfLeftDeepOrder(graph, order));
+        std::swap(order[i], order[j]);
+        if (cost < best_cost * (1.0 - 1e-12)) {
+          best_cost = cost;
+          best_i = i;
+          best_j = j;
+        }
+      }
+    }
+    if (best_i >= 0) {
+      std::swap(order[best_i], order[best_j]);
+      current = best_cost;
+      improved = true;
+    }
+  }
+  return order;
+}
+
+Result<double> GreedyOperatorOrderingCost(const JoinQueryGraph& graph) {
+  const int n = graph.num_relations();
+  std::vector<uint64_t> partials;
+  partials.reserve(n);
+  for (int r = 0; r < n; ++r) partials.push_back(uint64_t{1} << r);
+  double total = 0.0;
+  while (partials.size() > 1) {
+    size_t best_i = 0, best_j = 1;
+    double best_card = std::numeric_limits<double>::infinity();
+    for (size_t i = 0; i < partials.size(); ++i) {
+      for (size_t j = i + 1; j < partials.size(); ++j) {
+        const double card =
+            SubsetCardinality(graph, partials[i] | partials[j]);
+        if (card < best_card) {
+          best_card = card;
+          best_i = i;
+          best_j = j;
+        }
+      }
+    }
+    total += best_card;
+    partials[best_i] |= partials[best_j];
+    partials.erase(partials.begin() + best_j);
+  }
+  return total;
+}
+
+}  // namespace qdb

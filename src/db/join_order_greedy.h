@@ -1,0 +1,38 @@
+/// \file join_order_greedy.h
+/// \brief Greedy join-ordering heuristics: GOO (greedy operator ordering,
+/// bushy) and min-cardinality left-deep — the cheap classical baselines.
+
+#ifndef QDB_DB_JOIN_ORDER_GREEDY_H_
+#define QDB_DB_JOIN_ORDER_GREEDY_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "db/query_graph.h"
+
+namespace qdb {
+
+/// \brief Greedy left-deep order: start from the smallest relation, then
+/// repeatedly append the relation minimizing the next intermediate
+/// cardinality. Returns the order and its C_out.
+struct GreedyPlanResult {
+  double cost = 0.0;
+  std::vector<int> order;
+};
+
+Result<GreedyPlanResult> GreedyLeftDeepPlan(const JoinQueryGraph& graph);
+
+/// \brief GOO (Fegaras): repeatedly merge the pair of partial results whose
+/// join has the smallest cardinality; returns the bushy plan's C_out.
+Result<double> GreedyOperatorOrderingCost(const JoinQueryGraph& graph);
+
+/// \brief Polishes a left-deep order by best-improvement pairwise swaps in
+/// true C_out space until a local optimum — the standard post-processing
+/// after annealing a surrogate QUBO objective. `order` must be a valid
+/// permutation.
+Result<std::vector<int>> ImproveOrderBySwaps(const JoinQueryGraph& graph,
+                                             std::vector<int> order);
+
+}  // namespace qdb
+
+#endif  // QDB_DB_JOIN_ORDER_GREEDY_H_

@@ -1,0 +1,141 @@
+#include "db/join_order_qubo.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "common/strings.h"
+
+namespace qdb {
+
+int JoinOrderQubo::VarIndex(int relation, int position) const {
+  QDB_CHECK_GE(relation, 0);
+  QDB_CHECK_LT(relation, num_relations_);
+  QDB_CHECK_GE(position, 0);
+  QDB_CHECK_LT(position, num_relations_);
+  return relation * num_relations_ + position;
+}
+
+Result<JoinOrderQubo> JoinOrderQubo::Create(
+    const JoinQueryGraph& graph, const JoinOrderQuboOptions& options) {
+  const int n = graph.num_relations();
+  if (n > 16) {
+    return Status::InvalidArgument(
+        StrCat("join-order QUBO limited to 16 relations (", n * n,
+               " variables), got ", n));
+  }
+  auto var = [n](int r, int p) { return r * n + p; };
+
+  // Log-domain weights of the surrogate objective.
+  std::vector<double> w_rel(n);
+  for (int r = 0; r < n; ++r) w_rel[r] = std::log2(graph.cardinality(r));
+  // max_r (w_r + Σ_{edges at r} |w_e|) bounds one prefix's sensitivity to
+  // relation r; (n−1)× that bounds the whole objective's sensitivity.
+  std::vector<double> sensitivity(w_rel);
+  for (const auto& e : graph.edges()) {
+    const double we = std::abs(std::log2(e.selectivity));
+    sensitivity[e.a] += we;
+    sensitivity[e.b] += we;
+  }
+  double max_sensitivity = 0.0;
+  for (double s : sensitivity) max_sensitivity = std::max(max_sensitivity, s);
+  const double penalty = options.penalty_weight > 0.0
+                             ? options.penalty_weight
+                             : (n - 1) * max_sensitivity + 1.0;
+
+  Qubo qubo(n * n);
+
+  // Objective, linear part: relation r placed at position q contributes its
+  // log-cardinality to every prefix p ≥ max(q, 1).
+  for (int r = 0; r < n; ++r) {
+    for (int q = 0; q < n; ++q) {
+      const int reach = n - std::max(q, 1);
+      if (reach > 0) qubo.AddLinear(var(r, q), w_rel[r] * reach);
+    }
+  }
+  // Objective, quadratic part: an internal join edge contributes its
+  // log-selectivity to every prefix containing both endpoints.
+  for (const auto& e : graph.edges()) {
+    const double we = std::log2(e.selectivity);
+    for (int q = 0; q < n; ++q) {
+      for (int q2 = 0; q2 < n; ++q2) {
+        const int reach = n - std::max({q, q2, 1});
+        if (reach > 0) {
+          qubo.AddQuadratic(var(e.a, q), var(e.b, q2), we * reach);
+        }
+      }
+    }
+  }
+  // One-hot penalties: each relation at exactly one position...
+  for (int r = 0; r < n; ++r) {
+    qubo.AddOffset(penalty);
+    for (int p = 0; p < n; ++p) {
+      qubo.AddLinear(var(r, p), -penalty);
+      for (int p2 = p + 1; p2 < n; ++p2) {
+        qubo.AddQuadratic(var(r, p), var(r, p2), 2.0 * penalty);
+      }
+    }
+  }
+  // ...and each position holding exactly one relation.
+  for (int p = 0; p < n; ++p) {
+    qubo.AddOffset(penalty);
+    for (int r = 0; r < n; ++r) {
+      qubo.AddLinear(var(r, p), -penalty);
+      for (int r2 = r + 1; r2 < n; ++r2) {
+        qubo.AddQuadratic(var(r, p), var(r2, p), 2.0 * penalty);
+      }
+    }
+  }
+
+  return JoinOrderQubo(n, penalty, std::move(qubo));
+}
+
+bool JoinOrderQubo::IsValid(const std::vector<uint8_t>& bits) const {
+  QDB_CHECK_EQ(static_cast<int>(bits.size()), num_relations_ * num_relations_);
+  const int n = num_relations_;
+  for (int r = 0; r < n; ++r) {
+    int count = 0;
+    for (int p = 0; p < n; ++p) count += bits[r * n + p];
+    if (count != 1) return false;
+  }
+  for (int p = 0; p < n; ++p) {
+    int count = 0;
+    for (int r = 0; r < n; ++r) count += bits[r * n + p];
+    if (count != 1) return false;
+  }
+  return true;
+}
+
+std::vector<int> JoinOrderQubo::Decode(const std::vector<uint8_t>& bits) const {
+  QDB_CHECK_EQ(static_cast<int>(bits.size()), num_relations_ * num_relations_);
+  const int n = num_relations_;
+  std::vector<int> order(n, -1);
+  std::vector<bool> used(n, false);
+  // First pass: honor unambiguous placements.
+  for (int p = 0; p < n; ++p) {
+    int chosen = -1;
+    for (int r = 0; r < n; ++r) {
+      if (!bits[r * n + p]) continue;
+      if (chosen >= 0 || used[r]) {
+        chosen = -2;  // Conflict: leave for repair.
+        break;
+      }
+      chosen = r;
+    }
+    if (chosen >= 0) {
+      order[p] = chosen;
+      used[chosen] = true;
+    }
+  }
+  // Repair pass: fill gaps with unused relations in index order.
+  int next_unused = 0;
+  for (int p = 0; p < n; ++p) {
+    if (order[p] >= 0) continue;
+    while (used[next_unused]) ++next_unused;
+    order[p] = next_unused;
+    used[next_unused] = true;
+  }
+  return order;
+}
+
+}  // namespace qdb

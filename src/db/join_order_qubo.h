@@ -1,0 +1,69 @@
+/// \file join_order_qubo.h
+/// \brief QUBO encoding of left-deep join ordering — the quantum-annealing
+/// formulation (after Schönberger/Trummer-style encodings) evaluated in E7.
+///
+/// Variables x_{r,p} ∈ {0,1} place relation r at position p of a left-deep
+/// order (n² variables). Validity is enforced by one-hot penalties per row
+/// and per column. The C_out objective is not quadratic, so the encoding
+/// minimizes the standard quadratic surrogate Σ_p log₂ card(prefix_p):
+/// with y_{r,p} = Σ_{q≤p} x_{r,q} ("r placed by position p"), each prefix
+/// log-cardinality is Σ_r log₂(card_r)·y_{r,p} + Σ_{(r,r')} log₂(sel)·y·y' —
+/// linear + quadratic in x. Decoding repairs invalid assignments greedily
+/// and reports the true C_out of the decoded permutation.
+
+#ifndef QDB_DB_JOIN_ORDER_QUBO_H_
+#define QDB_DB_JOIN_ORDER_QUBO_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "db/query_graph.h"
+#include "ops/qubo.h"
+
+namespace qdb {
+
+/// \brief Encoding options.
+struct JoinOrderQuboOptions {
+  /// One-hot penalty weight; ≤ 0 selects an automatic weight larger than
+  /// the objective's dynamic range.
+  double penalty_weight = -1.0;
+};
+
+/// \brief Builds and decodes the join-order QUBO for one query graph.
+class JoinOrderQubo {
+ public:
+  static Result<JoinOrderQubo> Create(const JoinQueryGraph& graph,
+                                      const JoinOrderQuboOptions& options = {});
+
+  /// The QUBO over n² variables.
+  const Qubo& qubo() const { return qubo_; }
+
+  int num_relations() const { return num_relations_; }
+
+  /// Variable index of x_{relation, position}.
+  int VarIndex(int relation, int position) const;
+
+  /// Decodes a bit assignment into a permutation. Valid one-hot rows and
+  /// columns are honored; conflicts and gaps are repaired greedily (first
+  /// unassigned relation into first free slot), so the result is always a
+  /// valid left-deep order.
+  std::vector<int> Decode(const std::vector<uint8_t>& bits) const;
+
+  /// True when `bits` is a perfectly valid permutation matrix.
+  bool IsValid(const std::vector<uint8_t>& bits) const;
+
+  /// The penalty weight actually used.
+  double penalty_weight() const { return penalty_; }
+
+ private:
+  JoinOrderQubo(int n, double penalty, Qubo qubo)
+      : num_relations_(n), penalty_(penalty), qubo_(std::move(qubo)) {}
+
+  int num_relations_;
+  double penalty_;
+  Qubo qubo_;
+};
+
+}  // namespace qdb
+
+#endif  // QDB_DB_JOIN_ORDER_QUBO_H_

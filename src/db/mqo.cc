@@ -1,0 +1,236 @@
+#include "db/mqo.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/check.h"
+#include "common/strings.h"
+
+namespace qdb {
+
+double MqoInstance::SelectionCost(const std::vector<int>& selection) const {
+  QDB_CHECK_EQ(selection.size(), plan_costs.size());
+  double total = 0.0;
+  for (int q = 0; q < num_queries(); ++q) {
+    QDB_CHECK_GE(selection[q], 0);
+    QDB_CHECK_LT(selection[q], static_cast<int>(plan_costs[q].size()));
+    total += plan_costs[q][selection[q]];
+  }
+  for (const auto& s : sharings) {
+    if (selection[s.query1] == s.plan1 && selection[s.query2] == s.plan2) {
+      total -= s.saving;
+    }
+  }
+  return total;
+}
+
+MqoInstance RandomMqoInstance(int num_queries, int plans_per_query,
+                              double sharing_probability, Rng& rng) {
+  QDB_CHECK_GE(num_queries, 1);
+  QDB_CHECK_GE(plans_per_query, 1);
+  MqoInstance instance;
+  instance.plan_costs.resize(num_queries);
+  for (auto& costs : instance.plan_costs) {
+    costs.resize(plans_per_query);
+    for (auto& c : costs) c = rng.Uniform(10.0, 100.0);
+  }
+  for (int q1 = 0; q1 < num_queries; ++q1) {
+    for (int q2 = q1 + 1; q2 < num_queries; ++q2) {
+      for (int p1 = 0; p1 < plans_per_query; ++p1) {
+        for (int p2 = 0; p2 < plans_per_query; ++p2) {
+          if (rng.Bernoulli(sharing_probability)) {
+            instance.sharings.push_back(
+                {q1, p1, q2, p2, rng.Uniform(5.0, 40.0)});
+          }
+        }
+      }
+    }
+  }
+  return instance;
+}
+
+int MqoQubo::VarIndex(int query, int plan) const {
+  QDB_CHECK_GE(query, 0);
+  QDB_CHECK_LT(query, static_cast<int>(plans_per_query_.size()));
+  QDB_CHECK_GE(plan, 0);
+  QDB_CHECK_LT(plan, plans_per_query_[query]);
+  int base = 0;
+  for (int q = 0; q < query; ++q) base += plans_per_query_[q];
+  return base + plan;
+}
+
+Result<MqoQubo> MqoQubo::Create(const MqoInstance& instance,
+                                double penalty_weight) {
+  if (instance.num_queries() == 0) {
+    return Status::InvalidArgument("MQO instance has no queries");
+  }
+  std::vector<int> plans_per_query;
+  int total_vars = 0;
+  for (const auto& costs : instance.plan_costs) {
+    if (costs.empty()) {
+      return Status::InvalidArgument("every query needs at least one plan");
+    }
+    plans_per_query.push_back(static_cast<int>(costs.size()));
+    total_vars += static_cast<int>(costs.size());
+  }
+  // One-hot violations for query q can gain at most its maximum plan cost
+  // plus every saving its plans participate in; the penalty only needs to
+  // beat the worst query, not the global sum — a tight weight keeps the
+  // annealing landscape well scaled.
+  DVector query_sensitivity(instance.num_queries(), 0.0);
+  for (int q = 0; q < instance.num_queries(); ++q) {
+    for (double c : instance.plan_costs[q]) {
+      query_sensitivity[q] = std::max(query_sensitivity[q], c);
+    }
+  }
+  for (const auto& s : instance.sharings) {
+    if (s.query1 >= 0 && s.query1 < instance.num_queries()) {
+      query_sensitivity[s.query1] += s.saving;
+    }
+    if (s.query2 >= 0 && s.query2 < instance.num_queries()) {
+      query_sensitivity[s.query2] += s.saving;
+    }
+  }
+  double max_sensitivity = 0.0;
+  for (double v : query_sensitivity) {
+    max_sensitivity = std::max(max_sensitivity, v);
+  }
+  const double penalty =
+      penalty_weight > 0.0 ? penalty_weight : max_sensitivity + 1.0;
+
+  Qubo qubo(total_vars);
+  MqoQubo mqo(instance, Qubo(total_vars), plans_per_query);
+
+  // Plan costs (linear) and sharing savings (negative quadratic).
+  for (int q = 0; q < instance.num_queries(); ++q) {
+    for (int p = 0; p < plans_per_query[q]; ++p) {
+      qubo.AddLinear(mqo.VarIndex(q, p), instance.plan_costs[q][p]);
+    }
+  }
+  for (const auto& s : instance.sharings) {
+    if (s.query1 == s.query2) {
+      return Status::InvalidArgument("sharing must involve distinct queries");
+    }
+    qubo.AddQuadratic(mqo.VarIndex(s.query1, s.plan1),
+                      mqo.VarIndex(s.query2, s.plan2), -s.saving);
+  }
+  // One-hot per query.
+  for (int q = 0; q < instance.num_queries(); ++q) {
+    qubo.AddOffset(penalty);
+    for (int p = 0; p < plans_per_query[q]; ++p) {
+      qubo.AddLinear(mqo.VarIndex(q, p), -penalty);
+      for (int p2 = p + 1; p2 < plans_per_query[q]; ++p2) {
+        qubo.AddQuadratic(mqo.VarIndex(q, p), mqo.VarIndex(q, p2),
+                          2.0 * penalty);
+      }
+    }
+  }
+  mqo.qubo_ = std::move(qubo);
+  return mqo;
+}
+
+std::vector<int> MqoQubo::Decode(const std::vector<uint8_t>& bits) const {
+  QDB_CHECK_EQ(static_cast<int>(bits.size()), qubo_.num_vars());
+  std::vector<int> selection(plans_per_query_.size(), -1);
+  int base = 0;
+  for (size_t q = 0; q < plans_per_query_.size(); ++q) {
+    int chosen = -1;
+    bool conflict = false;
+    for (int p = 0; p < plans_per_query_[q]; ++p) {
+      if (bits[base + p]) {
+        if (chosen >= 0) conflict = true;
+        chosen = p;
+      }
+    }
+    if (chosen < 0 || conflict) {
+      // Repair: cheapest plan for this query.
+      chosen = 0;
+      for (int p = 1; p < plans_per_query_[q]; ++p) {
+        if (instance_.plan_costs[q][p] < instance_.plan_costs[q][chosen]) {
+          chosen = p;
+        }
+      }
+    }
+    selection[q] = chosen;
+    base += plans_per_query_[q];
+  }
+  return selection;
+}
+
+Result<double> MqoExhaustiveCost(const MqoInstance& instance) {
+  double combinations = 1.0;
+  for (const auto& costs : instance.plan_costs) {
+    combinations *= static_cast<double>(costs.size());
+    if (combinations > 2e6) {
+      return Status::InvalidArgument(
+          "too many plan combinations for exhaustive search");
+    }
+  }
+  const int q = instance.num_queries();
+  std::vector<int> selection(q, 0);
+  double best = std::numeric_limits<double>::infinity();
+  while (true) {
+    best = std::min(best, instance.SelectionCost(selection));
+    int idx = q - 1;
+    while (idx >= 0) {
+      if (++selection[idx] <
+          static_cast<int>(instance.plan_costs[idx].size())) {
+        break;
+      }
+      selection[idx] = 0;
+      --idx;
+    }
+    if (idx < 0) break;
+  }
+  return best;
+}
+
+double MqoCheapestPlanCost(const MqoInstance& instance) {
+  const int q = instance.num_queries();
+  std::vector<int> selection(q);
+  for (int i = 0; i < q; ++i) {
+    int best = 0;
+    for (int p = 1; p < static_cast<int>(instance.plan_costs[i].size()); ++p) {
+      if (instance.plan_costs[i][p] < instance.plan_costs[i][best]) best = p;
+    }
+    selection[i] = best;
+  }
+  return instance.SelectionCost(selection);
+}
+
+double MqoGreedyCost(const MqoInstance& instance) {
+  const int q = instance.num_queries();
+  std::vector<int> selection(q);
+  for (int i = 0; i < q; ++i) {
+    int best = 0;
+    for (int p = 1; p < static_cast<int>(instance.plan_costs[i].size()); ++p) {
+      if (instance.plan_costs[i][p] < instance.plan_costs[i][best]) best = p;
+    }
+    selection[i] = best;
+  }
+  double current = instance.SelectionCost(selection);
+  bool improved = true;
+  while (improved) {
+    improved = false;
+    for (int i = 0; i < q; ++i) {
+      const int original = selection[i];
+      for (int p = 0; p < static_cast<int>(instance.plan_costs[i].size());
+           ++p) {
+        if (p == original) continue;
+        selection[i] = p;
+        const double cost = instance.SelectionCost(selection);
+        if (cost < current - 1e-12) {
+          current = cost;
+          improved = true;
+        } else {
+          selection[i] = original;
+        }
+        if (selection[i] != original) break;  // Accepted; rescan from here.
+      }
+    }
+  }
+  return current;
+}
+
+}  // namespace qdb

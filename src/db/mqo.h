@@ -1,0 +1,83 @@
+/// \file mqo.h
+/// \brief Multi-query optimization as QUBO (after Trummer & Koch, SIGMOD'16
+/// — the first DB problem run on quantum annealers, E8): pick one plan per
+/// query to minimize total cost minus inter-plan sharing savings.
+
+#ifndef QDB_DB_MQO_H_
+#define QDB_DB_MQO_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "linalg/types.h"
+#include "ops/qubo.h"
+
+namespace qdb {
+
+/// \brief One MQO problem instance.
+struct MqoInstance {
+  /// plan_costs[q][p]: execution cost of plan p for query q.
+  std::vector<DVector> plan_costs;
+  /// Sharing opportunity: picking plan (q1, p1) together with (q2, p2)
+  /// saves `saving` (q1 ≠ q2).
+  struct Sharing {
+    int query1, plan1;
+    int query2, plan2;
+    double saving;
+  };
+  std::vector<Sharing> sharings;
+
+  int num_queries() const { return static_cast<int>(plan_costs.size()); }
+
+  /// Total cost of a plan selection (selection[q] = chosen plan index).
+  double SelectionCost(const std::vector<int>& selection) const;
+};
+
+/// \brief Random instance: costs uniform in [10, 100]; each cross-query
+/// plan pair shares with probability `sharing_probability`, saving uniform
+/// in [5, 40] (bounded below the smaller plan cost is not enforced —
+/// savings model common subexpressions).
+MqoInstance RandomMqoInstance(int num_queries, int plans_per_query,
+                              double sharing_probability, Rng& rng);
+
+/// \brief QUBO over q·p variables x_{q,p} with one-hot penalties per query.
+class MqoQubo {
+ public:
+  static Result<MqoQubo> Create(const MqoInstance& instance,
+                                double penalty_weight = -1.0);
+
+  const Qubo& qubo() const { return qubo_; }
+  int VarIndex(int query, int plan) const;
+
+  /// Decodes bits into a plan selection (repairing empty/multiple picks to
+  /// the cheapest plan of the affected query).
+  std::vector<int> Decode(const std::vector<uint8_t>& bits) const;
+
+ private:
+  MqoQubo(MqoInstance instance, Qubo qubo, std::vector<int> plans_per_query)
+      : instance_(std::move(instance)),
+        qubo_(std::move(qubo)),
+        plans_per_query_(std::move(plans_per_query)) {}
+
+  MqoInstance instance_;
+  Qubo qubo_;
+  std::vector<int> plans_per_query_;
+};
+
+/// \brief Exact optimum by enumerating all plan combinations (product of
+/// plan counts ≤ 2·10⁶ enforced).
+Result<double> MqoExhaustiveCost(const MqoInstance& instance);
+
+/// \brief Pure greedy baseline: the cheapest plan per query, ignoring
+/// sharing entirely (Trummer & Koch's naive baseline).
+double MqoCheapestPlanCost(const MqoInstance& instance);
+
+/// \brief Greedy baseline: cheapest plan per query ignoring sharing,
+/// followed by single-query local improvement to a fixpoint.
+double MqoGreedyCost(const MqoInstance& instance);
+
+}  // namespace qdb
+
+#endif  // QDB_DB_MQO_H_

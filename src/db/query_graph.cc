@@ -1,0 +1,166 @@
+#include "db/query_graph.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "common/check.h"
+#include "common/strings.h"
+
+namespace qdb {
+
+Result<JoinQueryGraph> JoinQueryGraph::Create(
+    std::vector<double> cardinalities) {
+  if (cardinalities.size() < 2) {
+    return Status::InvalidArgument("a join query needs at least two relations");
+  }
+  for (double c : cardinalities) {
+    if (c <= 0.0) {
+      return Status::InvalidArgument("cardinalities must be positive");
+    }
+  }
+  return JoinQueryGraph(std::move(cardinalities));
+}
+
+double JoinQueryGraph::cardinality(int relation) const {
+  QDB_CHECK_GE(relation, 0);
+  QDB_CHECK_LT(relation, num_relations());
+  return cardinalities_[relation];
+}
+
+Status JoinQueryGraph::AddJoin(int a, int b, double selectivity) {
+  if (a < 0 || a >= num_relations() || b < 0 || b >= num_relations()) {
+    return Status::OutOfRange("relation index out of range");
+  }
+  if (a == b) {
+    return Status::InvalidArgument("self-joins are not modeled");
+  }
+  if (selectivity <= 0.0 || selectivity > 1.0) {
+    return Status::InvalidArgument(
+        StrCat("selectivity must be in (0, 1], got ", selectivity));
+  }
+  if (HasEdge(a, b)) {
+    return Status::AlreadyExists(
+        StrCat("join edge (", a, ", ", b, ") already present"));
+  }
+  edges_.push_back({std::min(a, b), std::max(a, b), selectivity});
+  return Status::OK();
+}
+
+double JoinQueryGraph::Selectivity(int a, int b) const {
+  for (const auto& e : edges_) {
+    if ((e.a == a && e.b == b) || (e.a == b && e.b == a)) return e.selectivity;
+  }
+  return 1.0;
+}
+
+bool JoinQueryGraph::HasEdge(int a, int b) const {
+  for (const auto& e : edges_) {
+    if ((e.a == a && e.b == b) || (e.a == b && e.b == a)) return true;
+  }
+  return false;
+}
+
+bool JoinQueryGraph::IsConnected() const {
+  const int n = num_relations();
+  std::vector<bool> seen(n, false);
+  std::vector<int> stack = {0};
+  seen[0] = true;
+  int visited = 1;
+  while (!stack.empty()) {
+    const int u = stack.back();
+    stack.pop_back();
+    for (const auto& e : edges_) {
+      const int other = e.a == u ? e.b : (e.b == u ? e.a : -1);
+      if (other >= 0 && !seen[other]) {
+        seen[other] = true;
+        ++visited;
+        stack.push_back(other);
+      }
+    }
+  }
+  return visited == n;
+}
+
+std::vector<int> JoinQueryGraph::NeighborsOf(int relation) const {
+  std::vector<int> out;
+  for (const auto& e : edges_) {
+    if (e.a == relation) out.push_back(e.b);
+    if (e.b == relation) out.push_back(e.a);
+  }
+  return out;
+}
+
+std::string JoinQueryGraph::ToString() const {
+  std::ostringstream os;
+  os << "JoinQueryGraph(" << num_relations() << " relations)\n";
+  for (int r = 0; r < num_relations(); ++r) {
+    os << "  R" << r << ": |" << cardinalities_[r] << "|\n";
+  }
+  for (const auto& e : edges_) {
+    os << "  R" << e.a << " ⋈ R" << e.b << " sel=" << e.selectivity << "\n";
+  }
+  return os.str();
+}
+
+namespace {
+
+double LogUniform(Rng& rng, double lo, double hi) {
+  return std::exp(rng.Uniform(std::log(lo), std::log(hi)));
+}
+
+}  // namespace
+
+Result<JoinQueryGraph> RandomQuery(QueryShape shape, int num_relations,
+                                   Rng& rng, double sel_min, double sel_max) {
+  if (num_relations < 2) {
+    return Status::InvalidArgument("need at least two relations");
+  }
+  if (sel_min <= 0.0 || sel_min > sel_max || sel_max > 1.0) {
+    return Status::InvalidArgument("need 0 < sel_min <= sel_max <= 1");
+  }
+  std::vector<double> cards(num_relations);
+  for (auto& c : cards) c = std::round(LogUniform(rng, 100.0, 100000.0));
+  QDB_ASSIGN_OR_RETURN(JoinQueryGraph graph,
+                       JoinQueryGraph::Create(std::move(cards)));
+  auto sel = [&] { return LogUniform(rng, sel_min, sel_max); };
+  switch (shape) {
+    case QueryShape::kChain:
+      for (int r = 0; r + 1 < num_relations; ++r) {
+        QDB_RETURN_IF_ERROR(graph.AddJoin(r, r + 1, sel()));
+      }
+      break;
+    case QueryShape::kStar:
+      for (int r = 1; r < num_relations; ++r) {
+        QDB_RETURN_IF_ERROR(graph.AddJoin(0, r, sel()));
+      }
+      break;
+    case QueryShape::kCycle:
+      if (num_relations < 3) {
+        return Status::InvalidArgument("a cycle query needs >= 3 relations");
+      }
+      for (int r = 0; r < num_relations; ++r) {
+        QDB_RETURN_IF_ERROR(graph.AddJoin(r, (r + 1) % num_relations, sel()));
+      }
+      break;
+    case QueryShape::kClique:
+      for (int a = 0; a < num_relations; ++a) {
+        for (int b = a + 1; b < num_relations; ++b) {
+          QDB_RETURN_IF_ERROR(graph.AddJoin(a, b, sel()));
+        }
+      }
+      break;
+  }
+  return graph;
+}
+
+const char* QueryShapeName(QueryShape shape) {
+  switch (shape) {
+    case QueryShape::kChain: return "chain";
+    case QueryShape::kStar: return "star";
+    case QueryShape::kCycle: return "cycle";
+    case QueryShape::kClique: return "clique";
+  }
+  return "?";
+}
+
+}  // namespace qdb

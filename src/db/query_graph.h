@@ -1,0 +1,74 @@
+/// \file query_graph.h
+/// \brief Join query graphs: relations with cardinalities and join edges
+/// with selectivities, plus the standard topology generators (chain, star,
+/// cycle, clique) used across the join-ordering literature.
+
+#ifndef QDB_DB_QUERY_GRAPH_H_
+#define QDB_DB_QUERY_GRAPH_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+
+namespace qdb {
+
+/// \brief A join query over `num_relations` base relations.
+class JoinQueryGraph {
+ public:
+  struct JoinEdge {
+    int a;
+    int b;
+    double selectivity;  ///< In (0, 1].
+  };
+
+  /// Creates a graph with the given base cardinalities (all > 0) and no
+  /// join predicates yet.
+  static Result<JoinQueryGraph> Create(std::vector<double> cardinalities);
+
+  int num_relations() const { return static_cast<int>(cardinalities_.size()); }
+  double cardinality(int relation) const;
+  const std::vector<JoinEdge>& edges() const { return edges_; }
+
+  /// Adds a join predicate between two distinct relations.
+  Status AddJoin(int a, int b, double selectivity);
+
+  /// Selectivity between two relations (1.0 when no predicate exists).
+  double Selectivity(int a, int b) const;
+
+  /// True if a join predicate connects the two relations.
+  bool HasEdge(int a, int b) const;
+
+  /// True if the join graph is connected (required by the DP optimizer's
+  /// no-cross-product mode).
+  bool IsConnected() const;
+
+  /// Relations adjacent to `relation` through join predicates.
+  std::vector<int> NeighborsOf(int relation) const;
+
+  std::string ToString() const;
+
+ private:
+  explicit JoinQueryGraph(std::vector<double> cardinalities)
+      : cardinalities_(std::move(cardinalities)) {}
+
+  std::vector<double> cardinalities_;
+  std::vector<JoinEdge> edges_;
+};
+
+/// Query-graph topology selector for the generators.
+enum class QueryShape { kChain, kStar, kCycle, kClique };
+
+/// \brief Random query of the given shape: cardinalities log-uniform in
+/// [100, 100000], selectivities log-uniform in [sel_min, sel_max].
+Result<JoinQueryGraph> RandomQuery(QueryShape shape, int num_relations,
+                                   Rng& rng, double sel_min = 1e-4,
+                                   double sel_max = 0.5);
+
+const char* QueryShapeName(QueryShape shape);
+
+}  // namespace qdb
+
+#endif  // QDB_DB_QUERY_GRAPH_H_

@@ -1,0 +1,163 @@
+#include "db/transactions.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "common/strings.h"
+
+namespace qdb {
+
+bool TxnScheduleInstance::Conflicts(int t1, int t2) const {
+  for (const auto& [a, b] : conflicts) {
+    if ((a == t1 && b == t2) || (a == t2 && b == t1)) return true;
+  }
+  return false;
+}
+
+int TxnScheduleInstance::ConflictViolations(
+    const std::vector<int>& slots) const {
+  QDB_CHECK_EQ(static_cast<int>(slots.size()), num_transactions);
+  int violations = 0;
+  for (const auto& [a, b] : conflicts) {
+    if (slots[a] == slots[b]) ++violations;
+  }
+  return violations;
+}
+
+int TxnScheduleInstance::Makespan(const std::vector<int>& slots) const {
+  QDB_CHECK_EQ(static_cast<int>(slots.size()), num_transactions);
+  int highest = -1;
+  for (int s : slots) highest = std::max(highest, s);
+  return highest + 1;
+}
+
+TxnScheduleInstance RandomTxnInstance(int num_transactions, int num_slots,
+                                      double conflict_probability, Rng& rng) {
+  QDB_CHECK_GE(num_transactions, 1);
+  QDB_CHECK_GE(num_slots, 1);
+  TxnScheduleInstance instance;
+  instance.num_transactions = num_transactions;
+  instance.num_slots = num_slots;
+  for (int a = 0; a < num_transactions; ++a) {
+    for (int b = a + 1; b < num_transactions; ++b) {
+      if (rng.Bernoulli(conflict_probability)) {
+        instance.conflicts.push_back({a, b});
+      }
+    }
+  }
+  return instance;
+}
+
+int TxnScheduleQubo::VarIndex(int transaction, int slot) const {
+  QDB_CHECK_GE(transaction, 0);
+  QDB_CHECK_LT(transaction, instance_.num_transactions);
+  QDB_CHECK_GE(slot, 0);
+  QDB_CHECK_LT(slot, instance_.num_slots);
+  return transaction * instance_.num_slots + slot;
+}
+
+Result<TxnScheduleQubo> TxnScheduleQubo::Create(
+    const TxnScheduleInstance& instance, double penalty_weight) {
+  if (instance.num_transactions < 1 || instance.num_slots < 1) {
+    return Status::InvalidArgument("instance needs transactions and slots");
+  }
+  const int t_count = instance.num_transactions;
+  const int s_count = instance.num_slots;
+  // Early-slot preference: weight s per slot index; its maximum total is
+  // bounded by T·(S−1), so penalties above that dominate.
+  const double slot_weight = 1.0;
+  const double penalty =
+      penalty_weight > 0.0
+          ? penalty_weight
+          : slot_weight * t_count * std::max(s_count - 1, 1) + 1.0;
+
+  TxnScheduleQubo sched(instance, Qubo(t_count * s_count));
+  Qubo& qubo = sched.qubo_;
+
+  // Early-slot preference (linear).
+  for (int t = 0; t < t_count; ++t) {
+    for (int s = 1; s < s_count; ++s) {
+      qubo.AddLinear(sched.VarIndex(t, s), slot_weight * s);
+    }
+  }
+  // One-hot per transaction.
+  for (int t = 0; t < t_count; ++t) {
+    qubo.AddOffset(penalty);
+    for (int s = 0; s < s_count; ++s) {
+      qubo.AddLinear(sched.VarIndex(t, s), -penalty);
+      for (int s2 = s + 1; s2 < s_count; ++s2) {
+        qubo.AddQuadratic(sched.VarIndex(t, s), sched.VarIndex(t, s2),
+                          2.0 * penalty);
+      }
+    }
+  }
+  // Conflicting transactions must not share a slot.
+  for (const auto& [a, b] : instance.conflicts) {
+    if (a < 0 || a >= t_count || b < 0 || b >= t_count || a == b) {
+      return Status::InvalidArgument(
+          StrCat("bad conflict pair (", a, ", ", b, ")"));
+    }
+    for (int s = 0; s < s_count; ++s) {
+      qubo.AddQuadratic(sched.VarIndex(a, s), sched.VarIndex(b, s), penalty);
+    }
+  }
+  return sched;
+}
+
+std::vector<int> TxnScheduleQubo::Decode(
+    const std::vector<uint8_t>& bits) const {
+  QDB_CHECK_EQ(static_cast<int>(bits.size()), qubo_.num_vars());
+  const int t_count = instance_.num_transactions;
+  const int s_count = instance_.num_slots;
+  std::vector<int> slots(t_count, -1);
+  for (int t = 0; t < t_count; ++t) {
+    int chosen = -1;
+    bool conflict = false;
+    for (int s = 0; s < s_count; ++s) {
+      if (bits[t * s_count + s]) {
+        if (chosen >= 0) conflict = true;
+        chosen = s;
+      }
+    }
+    if (chosen >= 0 && !conflict) slots[t] = chosen;
+  }
+  // Repair: place each unassigned transaction into its least-conflicting
+  // (then earliest) slot given the current partial schedule.
+  for (int t = 0; t < t_count; ++t) {
+    if (slots[t] >= 0) continue;
+    int best_slot = 0;
+    int best_conflicts = t_count + 1;
+    for (int s = 0; s < s_count; ++s) {
+      int conflicts_here = 0;
+      for (int other = 0; other < t_count; ++other) {
+        if (other != t && slots[other] == s && instance_.Conflicts(t, other)) {
+          ++conflicts_here;
+        }
+      }
+      if (conflicts_here < best_conflicts) {
+        best_conflicts = conflicts_here;
+        best_slot = s;
+      }
+    }
+    slots[t] = best_slot;
+  }
+  return slots;
+}
+
+std::vector<int> GreedyFirstFitSchedule(const TxnScheduleInstance& instance) {
+  std::vector<int> slots(instance.num_transactions, -1);
+  for (int t = 0; t < instance.num_transactions; ++t) {
+    int placed = -1;
+    for (int s = 0; s < instance.num_slots && placed < 0; ++s) {
+      bool clash = false;
+      for (int other = 0; other < t && !clash; ++other) {
+        clash = slots[other] == s && instance.Conflicts(t, other);
+      }
+      if (!clash) placed = s;
+    }
+    slots[t] = placed >= 0 ? placed : instance.num_slots - 1;
+  }
+  return slots;
+}
+
+}  // namespace qdb

@@ -1,0 +1,71 @@
+/// \file transactions.h
+/// \brief Conflict-aware transaction scheduling as QUBO (after
+/// Bittner & Groppe, E9): assign transactions to execution slots so that
+/// conflicting transactions never share a slot, preferring early slots
+/// (a makespan proxy).
+
+#ifndef QDB_DB_TRANSACTIONS_H_
+#define QDB_DB_TRANSACTIONS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "ops/qubo.h"
+
+namespace qdb {
+
+/// \brief A scheduling instance: `num_transactions` transactions, pairwise
+/// conflicts (e.g. overlapping write sets), `num_slots` sequential slots.
+struct TxnScheduleInstance {
+  int num_transactions = 0;
+  int num_slots = 0;
+  std::vector<std::pair<int, int>> conflicts;  ///< Unordered pairs.
+
+  bool Conflicts(int t1, int t2) const;
+
+  /// Number of conflicting pairs co-scheduled by `slots` (slots[t] ∈
+  /// [0, num_slots)); 0 means the schedule is serializable as given.
+  int ConflictViolations(const std::vector<int>& slots) const;
+
+  /// Makespan: highest used slot index + 1.
+  int Makespan(const std::vector<int>& slots) const;
+};
+
+/// \brief Random instance: each transaction pair conflicts with probability
+/// `conflict_probability`.
+TxnScheduleInstance RandomTxnInstance(int num_transactions, int num_slots,
+                                      double conflict_probability, Rng& rng);
+
+/// \brief QUBO over T·S variables x_{t,s}: one-hot per transaction,
+/// `conflict` penalty per conflicting pair sharing a slot, and a small
+/// linear preference s·w for early slots.
+class TxnScheduleQubo {
+ public:
+  static Result<TxnScheduleQubo> Create(const TxnScheduleInstance& instance,
+                                        double penalty_weight = -1.0);
+
+  const Qubo& qubo() const { return qubo_; }
+  int VarIndex(int transaction, int slot) const;
+
+  /// Decodes into slots[t]; missing/multiple assignments are repaired to
+  /// the first slot with no conflicts (or the least-conflicting slot).
+  std::vector<int> Decode(const std::vector<uint8_t>& bits) const;
+
+ private:
+  TxnScheduleQubo(TxnScheduleInstance instance, Qubo qubo)
+      : instance_(std::move(instance)), qubo_(std::move(qubo)) {}
+
+  TxnScheduleInstance instance_;
+  Qubo qubo_;
+};
+
+/// \brief Greedy first-fit baseline: transactions in index order take the
+/// first conflict-free slot (falls back to the last slot when none fits —
+/// violations then count against it).
+std::vector<int> GreedyFirstFitSchedule(const TxnScheduleInstance& instance);
+
+}  // namespace qdb
+
+#endif  // QDB_DB_TRANSACTIONS_H_

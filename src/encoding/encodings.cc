@@ -1,0 +1,144 @@
+#include "encoding/encodings.h"
+
+#include <cmath>
+
+#include "common/strings.h"
+#include "linalg/vector_ops.h"
+
+namespace qdb {
+
+Circuit BasisEncoding(const std::vector<uint8_t>& bits) {
+  QDB_CHECK(!bits.empty());
+  Circuit c(static_cast<int>(bits.size()));
+  for (size_t q = 0; q < bits.size(); ++q) {
+    QDB_CHECK(bits[q] == 0 || bits[q] == 1);
+    if (bits[q]) c.X(static_cast<int>(q));
+  }
+  return c;
+}
+
+Circuit AngleEncoding(const DVector& features, RotationAxis axis,
+                      double scale) {
+  QDB_CHECK(!features.empty());
+  Circuit c(static_cast<int>(features.size()));
+  for (size_t q = 0; q < features.size(); ++q) {
+    const int qi = static_cast<int>(q);
+    const double angle = scale * features[q];
+    switch (axis) {
+      case RotationAxis::kX:
+        c.RX(qi, angle);
+        break;
+      case RotationAxis::kY:
+        c.RY(qi, angle);
+        break;
+      case RotationAxis::kZ:
+        c.H(qi);
+        c.RZ(qi, angle);
+        break;
+    }
+  }
+  return c;
+}
+
+Circuit ZZFeatureMap(const DVector& features, int reps) {
+  QDB_CHECK(!features.empty());
+  QDB_CHECK_GE(reps, 1);
+  const int n = static_cast<int>(features.size());
+  Circuit c(n);
+  for (int r = 0; r < reps; ++r) {
+    for (int q = 0; q < n; ++q) c.H(q);
+    for (int q = 0; q < n; ++q) c.P(q, 2.0 * features[q]);
+    for (int i = 0; i < n; ++i) {
+      for (int j = i + 1; j < n; ++j) {
+        c.RZZ(i, j, 2.0 * (M_PI - features[i]) * (M_PI - features[j]));
+      }
+    }
+  }
+  return c;
+}
+
+void AppendMultiplexedRY(Circuit& circuit, const std::vector<int>& controls,
+                         int target, const DVector& angles) {
+  QDB_CHECK_EQ(angles.size(), size_t{1} << controls.size());
+  if (controls.empty()) {
+    if (angles[0] != 0.0) circuit.RY(target, angles[0]);
+    return;
+  }
+  // Split on the most significant selector bit c: conditioned on c = 0 the
+  // target sees the first-half angle, on c = 1 the second-half angle.
+  // Using RY(u)·CX·RY(v)·CX with u = (f+s)/2, v = (f−s)/2: the CX pair
+  // conjugates the second RY into RY(−v) exactly when c = 1, giving
+  // u + v = f (c = 0) and u − v = s (c = 1).
+  const int c = controls.front();
+  const std::vector<int> rest(controls.begin() + 1, controls.end());
+  const size_t half = angles.size() / 2;
+  DVector sum_half(half), diff_half(half);
+  for (size_t i = 0; i < half; ++i) {
+    sum_half[i] = (angles[i] + angles[i + half]) / 2.0;
+    diff_half[i] = (angles[i] - angles[i + half]) / 2.0;
+  }
+  AppendMultiplexedRY(circuit, rest, target, sum_half);
+  circuit.CX(c, target);
+  AppendMultiplexedRY(circuit, rest, target, diff_half);
+  circuit.CX(c, target);
+}
+
+Result<CVector> AmplitudeEncodedState(const DVector& x) {
+  if (x.empty()) {
+    return Status::InvalidArgument("amplitude encoding needs a non-empty vector");
+  }
+  double norm = Norm(x);
+  if (norm <= 0.0) {
+    return Status::InvalidArgument("amplitude encoding needs a non-zero vector");
+  }
+  size_t dim = 1;
+  int n = 0;
+  while (dim < x.size()) {
+    dim <<= 1;
+    ++n;
+  }
+  if (n == 0) {
+    dim = 2;  // At least one qubit.
+    n = 1;
+  }
+  CVector state(dim, Complex(0.0, 0.0));
+  for (size_t i = 0; i < x.size(); ++i) state[i] = Complex(x[i] / norm, 0.0);
+  return state;
+}
+
+Result<Circuit> AmplitudeEncoding(const DVector& x) {
+  QDB_ASSIGN_OR_RETURN(CVector state, AmplitudeEncodedState(x));
+  const size_t dim = state.size();
+  int n = 0;
+  while ((size_t{1} << n) < dim) ++n;
+
+  // Bottom-up tree of magnitudes: level ℓ has 2^ℓ nodes; leaves are the
+  // (real) amplitudes. Each parent stores the Euclidean norm of its
+  // children and the RY angle steering between them.
+  std::vector<DVector> angles(n);  // angles[ℓ] has 2^ℓ entries.
+  DVector values(dim);
+  for (size_t i = 0; i < dim; ++i) values[i] = state[i].real();
+  for (int level = n - 1; level >= 0; --level) {
+    const size_t count = size_t{1} << level;
+    DVector parents(count);
+    angles[level].resize(count);
+    for (size_t i = 0; i < count; ++i) {
+      const double left = values[2 * i];
+      const double right = values[2 * i + 1];
+      const double r = std::hypot(left, right);
+      parents[i] = r;
+      angles[level][i] = r > 0.0 ? 2.0 * std::atan2(right, left) : 0.0;
+    }
+    values = std::move(parents);
+  }
+
+  Circuit circuit(n);
+  for (int level = 0; level < n; ++level) {
+    std::vector<int> controls;
+    for (int q = 0; q < level; ++q) controls.push_back(q);
+    AppendMultiplexedRY(circuit, controls, level, angles[level]);
+  }
+  return circuit;
+}
+
+}  // namespace qdb

@@ -1,0 +1,57 @@
+/// \file encodings.h
+/// \brief Classical-data → quantum-state encodings (the tutorial's "data
+/// loading" layer): basis, angle, ZZ/IQP feature maps, and exact amplitude
+/// encoding via multiplexed-RY state preparation.
+
+#ifndef QDB_ENCODING_ENCODINGS_H_
+#define QDB_ENCODING_ENCODINGS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "circuit/circuit.h"
+#include "common/result.h"
+#include "linalg/types.h"
+
+namespace qdb {
+
+/// \brief Basis encoding: |x⟩ for a bitstring x (X gates on set bits).
+Circuit BasisEncoding(const std::vector<uint8_t>& bits);
+
+/// Rotation axis selector for angle encoding.
+enum class RotationAxis { kX, kY, kZ };
+
+/// \brief Angle encoding: one qubit per feature, R_axis(scale · x_i) on
+/// qubit i. With kZ an H precedes each rotation (otherwise RZ acts trivially
+/// on |0⟩).
+Circuit AngleEncoding(const DVector& features,
+                      RotationAxis axis = RotationAxis::kY,
+                      double scale = 1.0);
+
+/// \brief ZZ feature map (IQP-style, Havlíček et al. form): `reps`
+/// repetitions of H⊗n followed by P(2x_i) and pairwise
+/// RZZ(2(π−x_i)(π−x_j)) over all pairs — classically hard to simulate at
+/// scale, the canonical quantum-kernel map.
+Circuit ZZFeatureMap(const DVector& features, int reps = 2);
+
+/// \brief Exact amplitude encoding of a real vector: prepares
+/// Σ_i (x_i/‖x‖)|i⟩ on ⌈log2 |x|⌉ qubits via a tree of multiplexed RY
+/// rotations (Möttönen-style, RY-only since x is real).
+///
+/// \return InvalidArgument when x is empty or the zero vector.
+Result<Circuit> AmplitudeEncoding(const DVector& x);
+
+/// \brief The normalized, zero-padded amplitude vector AmplitudeEncoding
+/// prepares (for direct state construction and kernel shortcuts).
+Result<CVector> AmplitudeEncodedState(const DVector& x);
+
+/// \brief Multiplexed RY: applies RY(angles[j]) to `target` where j is the
+/// value of the `controls` bits (controls[0] = most significant). Requires
+/// angles.size() == 2^controls.size(). Exposed for tests and for state-prep
+/// construction; appends to `circuit`.
+void AppendMultiplexedRY(Circuit& circuit, const std::vector<int>& controls,
+                         int target, const DVector& angles);
+
+}  // namespace qdb
+
+#endif  // QDB_ENCODING_ENCODINGS_H_

@@ -1,0 +1,103 @@
+#include "kernel/alignment.h"
+
+#include <cmath>
+
+#include "common/strings.h"
+
+namespace qdb {
+namespace {
+
+Status ValidateInputs(const Matrix& gram, const std::vector<int>& labels) {
+  if (gram.rows() != gram.cols() || gram.rows() == 0) {
+    return Status::InvalidArgument("Gram matrix must be square and non-empty");
+  }
+  if (labels.size() != gram.rows()) {
+    return Status::InvalidArgument(
+        StrCat("label count ", labels.size(), " != Gram size ", gram.rows()));
+  }
+  for (int y : labels) {
+    if (y != 1 && y != -1) {
+      return Status::InvalidArgument("labels must be +1 or -1");
+    }
+  }
+  return Status::OK();
+}
+
+/// Frobenius inner products against yyᵀ computed without materializing yyᵀ.
+double AlignmentOf(const Matrix& k, const std::vector<int>& labels) {
+  const size_t n = k.rows();
+  double k_dot_t = 0.0;  // ⟨K, yyᵀ⟩
+  double k_norm_sq = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < n; ++j) {
+      const double v = k(i, j).real();
+      k_dot_t += v * labels[i] * labels[j];
+      k_norm_sq += v * v;
+    }
+  }
+  const double t_norm = static_cast<double>(n);  // ‖yyᵀ‖_F = n for ±1 labels.
+  const double denom = std::sqrt(k_norm_sq) * t_norm;
+  return denom > 0.0 ? k_dot_t / denom : 0.0;
+}
+
+}  // namespace
+
+Result<double> KernelTargetAlignment(const Matrix& gram,
+                                     const std::vector<int>& labels) {
+  QDB_RETURN_IF_ERROR(ValidateInputs(gram, labels));
+  return AlignmentOf(gram, labels);
+}
+
+Result<Matrix> CenterKernel(const Matrix& gram) {
+  if (gram.rows() != gram.cols() || gram.rows() == 0) {
+    return Status::InvalidArgument("Gram matrix must be square and non-empty");
+  }
+  const size_t n = gram.rows();
+  // (HKH)_ij = K_ij − rowmean_i − colmean_j + grandmean.
+  DVector row_mean(n, 0.0);
+  double grand = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < n; ++j) row_mean[i] += gram(i, j).real();
+    row_mean[i] /= static_cast<double>(n);
+    grand += row_mean[i];
+  }
+  grand /= static_cast<double>(n);
+  Matrix centered(n, n);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < n; ++j) {
+      centered(i, j) =
+          Complex(gram(i, j).real() - row_mean[i] - row_mean[j] + grand, 0.0);
+    }
+  }
+  return centered;
+}
+
+Result<double> CenteredKernelAlignment(const Matrix& gram,
+                                       const std::vector<int>& labels) {
+  QDB_RETURN_IF_ERROR(ValidateInputs(gram, labels));
+  QDB_ASSIGN_OR_RETURN(Matrix centered_k, CenterKernel(gram));
+  // Center the target: yyᵀ centered is (Hy)(Hy)ᵀ with Hy = y − mean(y).
+  const size_t n = labels.size();
+  double mean = 0.0;
+  for (int y : labels) mean += y;
+  mean /= static_cast<double>(n);
+  DVector centered_y(n);
+  for (size_t i = 0; i < n; ++i) centered_y[i] = labels[i] - mean;
+
+  double k_dot_t = 0.0, k_norm_sq = 0.0, t_norm_sq = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    t_norm_sq += centered_y[i] * centered_y[i];
+  }
+  t_norm_sq *= t_norm_sq;  // ‖(Hy)(Hy)ᵀ‖_F² = (‖Hy‖²)².
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < n; ++j) {
+      const double v = centered_k(i, j).real();
+      k_dot_t += v * centered_y[i] * centered_y[j];
+      k_norm_sq += v * v;
+    }
+  }
+  const double denom = std::sqrt(k_norm_sq) * std::sqrt(t_norm_sq);
+  return denom > 0.0 ? k_dot_t / denom : 0.0;
+}
+
+}  // namespace qdb

@@ -1,0 +1,30 @@
+/// \file alignment.h
+/// \brief Kernel quality diagnostics: kernel–target alignment and kernel
+/// centering (used by E3/E13 to explain which encodings suit which data).
+
+#ifndef QDB_KERNEL_ALIGNMENT_H_
+#define QDB_KERNEL_ALIGNMENT_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "linalg/matrix.h"
+
+namespace qdb {
+
+/// \brief Kernel–target alignment A(K, yyᵀ) = ⟨K, yyᵀ⟩_F / (‖K‖_F·‖yyᵀ‖_F)
+/// ∈ [−1, 1]; higher means the kernel geometry matches the labels better.
+Result<double> KernelTargetAlignment(const Matrix& gram,
+                                     const std::vector<int>& labels);
+
+/// \brief Centered variant (Cortes et al.): both K and yyᵀ are centered by
+/// H = I − 11ᵀ/n before aligning — removes the constant-offset component.
+Result<double> CenteredKernelAlignment(const Matrix& gram,
+                                       const std::vector<int>& labels);
+
+/// \brief Returns H K H with H = I − 11ᵀ/n (feature-space mean removal).
+Result<Matrix> CenterKernel(const Matrix& gram);
+
+}  // namespace qdb
+
+#endif  // QDB_KERNEL_ALIGNMENT_H_

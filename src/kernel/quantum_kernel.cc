@@ -1,0 +1,104 @@
+#include "kernel/quantum_kernel.h"
+
+#include "common/check.h"
+#include "encoding/encodings.h"
+#include "linalg/vector_ops.h"
+#include "sim/statevector_simulator.h"
+
+namespace qdb {
+
+FidelityQuantumKernel::FidelityQuantumKernel(EncodingFn encoder)
+    : encoder_(std::move(encoder)) {
+  QDB_CHECK(encoder_ != nullptr);
+}
+
+Result<CVector> FidelityQuantumKernel::EncodedState(const DVector& x) const {
+  if (x.empty()) {
+    return Status::InvalidArgument("cannot encode an empty feature vector");
+  }
+  Circuit circuit = encoder_(x);
+  StateVectorSimulator sim;
+  QDB_ASSIGN_OR_RETURN(StateVector state, sim.Run(circuit));
+  return state.amplitudes();
+}
+
+Result<double> FidelityQuantumKernel::Evaluate(const DVector& x,
+                                               const DVector& y) const {
+  QDB_ASSIGN_OR_RETURN(CVector phi_x, EncodedState(x));
+  QDB_ASSIGN_OR_RETURN(CVector phi_y, EncodedState(y));
+  if (phi_x.size() != phi_y.size()) {
+    return Status::InvalidArgument("encoded states have different widths");
+  }
+  return Fidelity(phi_x, phi_y);
+}
+
+Result<Matrix> FidelityQuantumKernel::GramMatrix(
+    const std::vector<DVector>& xs) const {
+  if (xs.empty()) {
+    return Status::InvalidArgument("empty data set");
+  }
+  std::vector<CVector> states;
+  states.reserve(xs.size());
+  for (const auto& x : xs) {
+    QDB_ASSIGN_OR_RETURN(CVector s, EncodedState(x));
+    if (!states.empty() && s.size() != states.front().size()) {
+      return Status::InvalidArgument("encoded states have different widths");
+    }
+    states.push_back(std::move(s));
+  }
+  Matrix gram(xs.size(), xs.size());
+  for (size_t i = 0; i < xs.size(); ++i) {
+    gram(i, i) = Complex(1.0, 0.0);
+    for (size_t j = i + 1; j < xs.size(); ++j) {
+      const double k = Fidelity(states[i], states[j]);
+      gram(i, j) = Complex(k, 0.0);
+      gram(j, i) = Complex(k, 0.0);
+    }
+  }
+  return gram;
+}
+
+Result<Matrix> FidelityQuantumKernel::CrossMatrix(
+    const std::vector<DVector>& test, const std::vector<DVector>& train) const {
+  if (test.empty() || train.empty()) {
+    return Status::InvalidArgument("empty data set");
+  }
+  std::vector<CVector> train_states;
+  train_states.reserve(train.size());
+  for (const auto& x : train) {
+    QDB_ASSIGN_OR_RETURN(CVector s, EncodedState(x));
+    train_states.push_back(std::move(s));
+  }
+  Matrix cross(test.size(), train.size());
+  for (size_t i = 0; i < test.size(); ++i) {
+    QDB_ASSIGN_OR_RETURN(CVector phi, EncodedState(test[i]));
+    for (size_t j = 0; j < train.size(); ++j) {
+      if (phi.size() != train_states[j].size()) {
+        return Status::InvalidArgument("encoded states have different widths");
+      }
+      cross(i, j) = Complex(Fidelity(phi, train_states[j]), 0.0);
+    }
+  }
+  return cross;
+}
+
+FidelityQuantumKernel MakeAngleKernel(double scale) {
+  return FidelityQuantumKernel([scale](const DVector& x) {
+    return AngleEncoding(x, RotationAxis::kY, scale);
+  });
+}
+
+FidelityQuantumKernel MakeZZFeatureMapKernel(int reps) {
+  return FidelityQuantumKernel(
+      [reps](const DVector& x) { return ZZFeatureMap(x, reps); });
+}
+
+FidelityQuantumKernel MakeAmplitudeKernel() {
+  return FidelityQuantumKernel([](const DVector& x) {
+    auto circuit = AmplitudeEncoding(x);
+    QDB_CHECK(circuit.ok()) << circuit.status().ToString();
+    return std::move(circuit).value();
+  });
+}
+
+}  // namespace qdb

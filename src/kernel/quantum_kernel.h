@@ -1,0 +1,55 @@
+/// \file quantum_kernel.h
+/// \brief Fidelity quantum kernel k(x, y) = |⟨φ(x)|φ(y)⟩|² for an arbitrary
+/// encoding circuit — feeds precomputed-kernel SVMs (the quantum-kernel
+/// method of the tutorial's techniques section).
+
+#ifndef QDB_KERNEL_QUANTUM_KERNEL_H_
+#define QDB_KERNEL_QUANTUM_KERNEL_H_
+
+#include <functional>
+#include <vector>
+
+#include "circuit/circuit.h"
+#include "common/result.h"
+#include "linalg/matrix.h"
+#include "linalg/types.h"
+
+namespace qdb {
+
+/// \brief Computes fidelity-kernel entries by simulating the encoding
+/// circuit once per data point and overlapping the resulting states (the
+/// exact-simulation analogue of the swap/inversion test on hardware).
+class FidelityQuantumKernel {
+ public:
+  /// Maps a feature vector to its encoding circuit; all circuits produced
+  /// must share one width.
+  using EncodingFn = std::function<Circuit(const DVector&)>;
+
+  explicit FidelityQuantumKernel(EncodingFn encoder);
+
+  /// |φ(x)⟩ as an amplitude vector.
+  Result<CVector> EncodedState(const DVector& x) const;
+
+  /// k(x, y) = |⟨φ(x)|φ(y)⟩|² ∈ [0, 1].
+  Result<double> Evaluate(const DVector& x, const DVector& y) const;
+
+  /// Symmetric Gram matrix K_ij = k(x_i, x_j); unit diagonal by
+  /// construction. Each point is encoded exactly once.
+  Result<Matrix> GramMatrix(const std::vector<DVector>& xs) const;
+
+  /// Rectangular kernel K_ij = k(test_i, train_j) for prediction.
+  Result<Matrix> CrossMatrix(const std::vector<DVector>& test,
+                             const std::vector<DVector>& train) const;
+
+ private:
+  EncodingFn encoder_;
+};
+
+/// Convenience factories for the standard encodings of E3/E13.
+FidelityQuantumKernel MakeAngleKernel(double scale = 1.0);
+FidelityQuantumKernel MakeZZFeatureMapKernel(int reps = 2);
+FidelityQuantumKernel MakeAmplitudeKernel();
+
+}  // namespace qdb
+
+#endif  // QDB_KERNEL_QUANTUM_KERNEL_H_

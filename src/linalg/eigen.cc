@@ -1,0 +1,134 @@
+#include "linalg/eigen.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/strings.h"
+
+namespace qdb {
+namespace {
+
+/// Sum of squared magnitudes of strictly-upper-triangular entries.
+double OffDiagonalNormSq(const Matrix& a) {
+  double acc = 0.0;
+  for (size_t i = 0; i < a.rows(); ++i)
+    for (size_t j = i + 1; j < a.cols(); ++j) acc += std::norm(a(i, j));
+  return acc;
+}
+
+/// Applies the complex Jacobi rotation J on the (p, q) plane to both the
+/// working matrix (A ← J† A J) and the accumulated eigenvector matrix
+/// (V ← V J). J is the identity except
+///   J(p,p) = c, J(p,q) = s, J(q,p) = -s·e^{-iα}, J(q,q) = c·e^{-iα},
+/// where α = arg A(p,q); the phase factor makes the pivot real so the
+/// classical real-rotation angle formulas apply.
+void Rotate(Matrix& a, Matrix& v, size_t p, size_t q) {
+  const Complex apq = a(p, q);
+  const double mag = std::abs(apq);
+  if (mag == 0.0) return;
+  const Complex phase = apq / mag;  // e^{iα}
+  const double app = a(p, p).real();
+  const double aqq = a(q, q).real();
+
+  const double tau = (aqq - app) / (2.0 * mag);
+  const double t = (tau >= 0.0 ? 1.0 : -1.0) /
+                   (std::abs(tau) + std::sqrt(1.0 + tau * tau));
+  const double c = 1.0 / std::sqrt(1.0 + t * t);
+  const double s = t * c;
+
+  const Complex jqp = -s * std::conj(phase);
+  const Complex jqq = c * std::conj(phase);
+  const size_t n = a.rows();
+
+  // Column update: M[:,p] ← M[:,p]·c + M[:,q]·jqp ; M[:,q] ← M[:,p]·s + M[:,q]·jqq.
+  for (size_t i = 0; i < n; ++i) {
+    const Complex aip = a(i, p);
+    const Complex aiq = a(i, q);
+    a(i, p) = aip * c + aiq * jqp;
+    a(i, q) = aip * s + aiq * jqq;
+  }
+  // Row update with J†: row p ← c·row p + conj(jqp)·row q, etc.
+  for (size_t j = 0; j < n; ++j) {
+    const Complex apj = a(p, j);
+    const Complex aqj = a(q, j);
+    a(p, j) = c * apj + std::conj(jqp) * aqj;
+    a(q, j) = s * apj + std::conj(jqq) * aqj;
+  }
+  // Enforce exact zero at the pivot and real diagonal to stop error creep.
+  a(p, q) = Complex(0.0, 0.0);
+  a(q, p) = Complex(0.0, 0.0);
+  a(p, p) = Complex(a(p, p).real(), 0.0);
+  a(q, q) = Complex(a(q, q).real(), 0.0);
+
+  for (size_t i = 0; i < n; ++i) {
+    const Complex vip = v(i, p);
+    const Complex viq = v(i, q);
+    v(i, p) = vip * c + viq * jqp;
+    v(i, q) = vip * s + viq * jqq;
+  }
+}
+
+}  // namespace
+
+Result<EigenDecomposition> HermitianEigen(const Matrix& a, double tol,
+                                          int max_sweeps) {
+  if (a.rows() != a.cols() || a.rows() == 0) {
+    return Status::InvalidArgument(
+        StrCat("HermitianEigen requires a square non-empty matrix, got ",
+               a.rows(), "x", a.cols()));
+  }
+  if (!a.IsHermitian(1e-9)) {
+    return Status::InvalidArgument("HermitianEigen: matrix is not Hermitian");
+  }
+  const size_t n = a.rows();
+  Matrix work = a;
+  Matrix v = Matrix::Identity(n);
+
+  bool converged = false;
+  for (int sweep = 0; sweep < max_sweeps; ++sweep) {
+    if (OffDiagonalNormSq(work) <= tol * tol) {
+      converged = true;
+      break;
+    }
+    for (size_t p = 0; p < n; ++p) {
+      for (size_t q = p + 1; q < n; ++q) {
+        if (std::abs(work(p, q)) > tol / (n * n)) Rotate(work, v, p, q);
+      }
+    }
+  }
+  if (!converged && OffDiagonalNormSq(work) > tol * tol) {
+    return Status::NotConverged(
+        StrCat("Jacobi eigensolver did not converge in ", max_sweeps,
+               " sweeps; off-diagonal norm ",
+               std::sqrt(OffDiagonalNormSq(work))));
+  }
+
+  // Sort ascending and permute eigenvector columns to match.
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](size_t i, size_t j) {
+    return work(i, i).real() < work(j, j).real();
+  });
+
+  EigenDecomposition out;
+  out.eigenvalues.resize(n);
+  out.eigenvectors = Matrix(n, n);
+  for (size_t k = 0; k < n; ++k) {
+    out.eigenvalues[k] = work(order[k], order[k]).real();
+    for (size_t i = 0; i < n; ++i) out.eigenvectors(i, k) = v(i, order[k]);
+  }
+  return out;
+}
+
+Result<double> MinEigenvalue(const Matrix& a) {
+  QDB_ASSIGN_OR_RETURN(EigenDecomposition decomp, HermitianEigen(a));
+  return decomp.eigenvalues.front();
+}
+
+Result<bool> IsPositiveSemidefinite(const Matrix& a, double tol) {
+  QDB_ASSIGN_OR_RETURN(double min_eig, MinEigenvalue(a));
+  return min_eig >= -tol;
+}
+
+}  // namespace qdb

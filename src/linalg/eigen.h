@@ -1,0 +1,46 @@
+/// \file eigen.h
+/// \brief Hermitian eigendecomposition via the cyclic Jacobi method.
+///
+/// Used for exact ground states in VQE validation, spectral checks of
+/// kernel matrices (positive semidefiniteness), and density-matrix
+/// diagnostics. Intended for small-to-medium matrices (n ≲ a few hundred);
+/// the simulators never call into this on hot paths.
+
+#ifndef QDB_LINALG_EIGEN_H_
+#define QDB_LINALG_EIGEN_H_
+
+#include "common/result.h"
+#include "linalg/matrix.h"
+#include "linalg/types.h"
+
+namespace qdb {
+
+/// \brief Result of a Hermitian eigendecomposition A = V diag(λ) V†.
+struct EigenDecomposition {
+  /// Eigenvalues in ascending order (real, since A is Hermitian).
+  DVector eigenvalues;
+  /// Unitary matrix whose columns are the corresponding eigenvectors.
+  Matrix eigenvectors;
+};
+
+/// \brief Diagonalizes a Hermitian matrix with cyclic Jacobi rotations.
+///
+/// \param a the Hermitian input matrix (validated within `tol`).
+/// \param tol convergence threshold on the off-diagonal Frobenius norm.
+/// \param max_sweeps maximum number of full cyclic sweeps.
+/// \return eigenvalues (ascending) and eigenvectors, or InvalidArgument if
+///   `a` is not Hermitian, or NotConverged if max_sweeps is exhausted.
+Result<EigenDecomposition> HermitianEigen(const Matrix& a,
+                                          double tol = 1e-12,
+                                          int max_sweeps = 100);
+
+/// \brief Smallest eigenvalue of a Hermitian matrix (convenience wrapper).
+Result<double> MinEigenvalue(const Matrix& a);
+
+/// \brief Returns true if the Hermitian matrix is positive semidefinite
+/// within `tol` (all eigenvalues ≥ -tol).
+Result<bool> IsPositiveSemidefinite(const Matrix& a, double tol = 1e-8);
+
+}  // namespace qdb
+
+#endif  // QDB_LINALG_EIGEN_H_

@@ -1,0 +1,216 @@
+#include "linalg/matrix.h"
+
+#include <cmath>
+#include <iomanip>
+#include <sstream>
+
+namespace qdb {
+
+Matrix::Matrix(size_t rows, size_t cols)
+    : rows_(rows), cols_(cols), data_(rows * cols, Complex(0.0, 0.0)) {}
+
+Matrix::Matrix(std::initializer_list<std::initializer_list<Complex>> rows) {
+  rows_ = rows.size();
+  cols_ = rows_ == 0 ? 0 : rows.begin()->size();
+  data_.reserve(rows_ * cols_);
+  for (const auto& row : rows) {
+    QDB_CHECK_EQ(row.size(), cols_) << "ragged initializer list";
+    data_.insert(data_.end(), row.begin(), row.end());
+  }
+}
+
+Matrix Matrix::Identity(size_t n) {
+  Matrix m(n, n);
+  for (size_t i = 0; i < n; ++i) m(i, i) = Complex(1.0, 0.0);
+  return m;
+}
+
+Matrix Matrix::Zero(size_t rows, size_t cols) { return Matrix(rows, cols); }
+
+Matrix Matrix::Diagonal(const CVector& diag) {
+  Matrix m(diag.size(), diag.size());
+  for (size_t i = 0; i < diag.size(); ++i) m(i, i) = diag[i];
+  return m;
+}
+
+Matrix Matrix::operator+(const Matrix& other) const {
+  QDB_CHECK_EQ(rows_, other.rows_);
+  QDB_CHECK_EQ(cols_, other.cols_);
+  Matrix out = *this;
+  out += other;
+  return out;
+}
+
+Matrix Matrix::operator-(const Matrix& other) const {
+  QDB_CHECK_EQ(rows_, other.rows_);
+  QDB_CHECK_EQ(cols_, other.cols_);
+  Matrix out = *this;
+  out -= other;
+  return out;
+}
+
+Matrix& Matrix::operator+=(const Matrix& other) {
+  QDB_CHECK_EQ(rows_, other.rows_);
+  QDB_CHECK_EQ(cols_, other.cols_);
+  for (size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+  return *this;
+}
+
+Matrix& Matrix::operator-=(const Matrix& other) {
+  QDB_CHECK_EQ(rows_, other.rows_);
+  QDB_CHECK_EQ(cols_, other.cols_);
+  for (size_t i = 0; i < data_.size(); ++i) data_[i] -= other.data_[i];
+  return *this;
+}
+
+Matrix& Matrix::operator*=(Complex scalar) {
+  for (auto& v : data_) v *= scalar;
+  return *this;
+}
+
+Matrix Matrix::operator*(Complex scalar) const {
+  Matrix out = *this;
+  out *= scalar;
+  return out;
+}
+
+Matrix Matrix::operator*(const Matrix& other) const {
+  QDB_CHECK_EQ(cols_, other.rows_) << "matmul shape mismatch";
+  Matrix out(rows_, other.cols_);
+  // ikj loop order: streams through `other` rows for cache friendliness.
+  for (size_t i = 0; i < rows_; ++i) {
+    for (size_t k = 0; k < cols_; ++k) {
+      const Complex a = data_[i * cols_ + k];
+      if (a == Complex(0.0, 0.0)) continue;
+      const Complex* brow = &other.data_[k * other.cols_];
+      Complex* orow = &out.data_[i * other.cols_];
+      for (size_t j = 0; j < other.cols_; ++j) orow[j] += a * brow[j];
+    }
+  }
+  return out;
+}
+
+CVector Matrix::Apply(const CVector& v) const {
+  QDB_CHECK_EQ(cols_, v.size());
+  CVector out(rows_, Complex(0.0, 0.0));
+  for (size_t i = 0; i < rows_; ++i) {
+    Complex acc(0.0, 0.0);
+    const Complex* row = &data_[i * cols_];
+    for (size_t j = 0; j < cols_; ++j) acc += row[j] * v[j];
+    out[i] = acc;
+  }
+  return out;
+}
+
+Matrix Matrix::Adjoint() const {
+  Matrix out(cols_, rows_);
+  for (size_t i = 0; i < rows_; ++i)
+    for (size_t j = 0; j < cols_; ++j) out(j, i) = std::conj(data_[i * cols_ + j]);
+  return out;
+}
+
+Matrix Matrix::Transpose() const {
+  Matrix out(cols_, rows_);
+  for (size_t i = 0; i < rows_; ++i)
+    for (size_t j = 0; j < cols_; ++j) out(j, i) = data_[i * cols_ + j];
+  return out;
+}
+
+Matrix Matrix::Conjugate() const {
+  Matrix out = *this;
+  for (auto& v : out.data_) v = std::conj(v);
+  return out;
+}
+
+Matrix Matrix::Kron(const Matrix& other) const {
+  Matrix out(rows_ * other.rows_, cols_ * other.cols_);
+  for (size_t i = 0; i < rows_; ++i) {
+    for (size_t j = 0; j < cols_; ++j) {
+      const Complex a = data_[i * cols_ + j];
+      if (a == Complex(0.0, 0.0)) continue;
+      for (size_t k = 0; k < other.rows_; ++k) {
+        for (size_t l = 0; l < other.cols_; ++l) {
+          out(i * other.rows_ + k, j * other.cols_ + l) = a * other(k, l);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+Complex Matrix::Trace() const {
+  QDB_CHECK_EQ(rows_, cols_) << "trace of non-square matrix";
+  Complex acc(0.0, 0.0);
+  for (size_t i = 0; i < rows_; ++i) acc += data_[i * cols_ + i];
+  return acc;
+}
+
+double Matrix::FrobeniusNorm() const {
+  double acc = 0.0;
+  for (const auto& v : data_) acc += std::norm(v);
+  return std::sqrt(acc);
+}
+
+bool Matrix::IsUnitary(double tol) const {
+  if (rows_ != cols_ || rows_ == 0) return false;
+  Matrix product = Adjoint() * (*this);
+  return product.ApproxEqual(Identity(rows_), tol);
+}
+
+bool Matrix::IsHermitian(double tol) const {
+  if (rows_ != cols_) return false;
+  for (size_t i = 0; i < rows_; ++i) {
+    for (size_t j = i; j < cols_; ++j) {
+      if (std::abs(data_[i * cols_ + j] - std::conj(data_[j * cols_ + i])) > tol)
+        return false;
+    }
+  }
+  return true;
+}
+
+bool Matrix::ApproxEqual(const Matrix& other, double tol) const {
+  if (rows_ != other.rows_ || cols_ != other.cols_) return false;
+  for (size_t i = 0; i < data_.size(); ++i) {
+    if (std::abs(data_[i] - other.data_[i]) > tol) return false;
+  }
+  return true;
+}
+
+bool Matrix::EqualUpToGlobalPhase(const Matrix& other, double tol) const {
+  if (rows_ != other.rows_ || cols_ != other.cols_) return false;
+  // Find the largest-magnitude entry to fix the phase reference.
+  size_t ref = 0;
+  double best = 0.0;
+  for (size_t i = 0; i < data_.size(); ++i) {
+    double mag = std::abs(data_[i]);
+    if (mag > best) {
+      best = mag;
+      ref = i;
+    }
+  }
+  if (best < tol) return other.FrobeniusNorm() < tol * data_.size();
+  if (std::abs(other.data_[ref]) < tol) return false;
+  Complex phase = data_[ref] / other.data_[ref];
+  double phase_mag = std::abs(phase);
+  if (std::abs(phase_mag - 1.0) > tol) return false;
+  for (size_t i = 0; i < data_.size(); ++i) {
+    if (std::abs(data_[i] - phase * other.data_[i]) > tol) return false;
+  }
+  return true;
+}
+
+std::string Matrix::ToString(int precision) const {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision);
+  for (size_t i = 0; i < rows_; ++i) {
+    os << "[ ";
+    for (size_t j = 0; j < cols_; ++j) {
+      const Complex& v = data_[i * cols_ + j];
+      os << "(" << v.real() << (v.imag() >= 0 ? "+" : "") << v.imag() << "i) ";
+    }
+    os << "]\n";
+  }
+  return os.str();
+}
+
+}  // namespace qdb

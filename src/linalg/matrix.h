@@ -1,0 +1,118 @@
+/// \file matrix.h
+/// \brief Dense row-major complex matrix with the operations the simulators
+/// and observables need: product, adjoint, Kronecker product, trace,
+/// unitarity/Hermiticity predicates.
+
+#ifndef QDB_LINALG_MATRIX_H_
+#define QDB_LINALG_MATRIX_H_
+
+#include <cstddef>
+#include <initializer_list>
+#include <string>
+
+#include "common/check.h"
+#include "linalg/types.h"
+
+namespace qdb {
+
+/// \brief Dense complex matrix, row-major storage.
+///
+/// Sized at construction; element access is bounds-checked via QDB_CHECK in
+/// debug semantics (always on — the hot simulator paths do not go through
+/// Matrix, they use specialized amplitude kernels).
+class Matrix {
+ public:
+  /// Constructs an empty 0x0 matrix.
+  Matrix() = default;
+
+  /// Constructs a zero-initialized rows x cols matrix.
+  Matrix(size_t rows, size_t cols);
+
+  /// Constructs from nested initializer lists; all rows must have equal
+  /// length.
+  Matrix(std::initializer_list<std::initializer_list<Complex>> rows);
+
+  /// Returns the n x n identity.
+  static Matrix Identity(size_t n);
+
+  /// Returns a rows x cols matrix of zeros.
+  static Matrix Zero(size_t rows, size_t cols);
+
+  /// Returns the n x n diagonal matrix with the given diagonal entries.
+  static Matrix Diagonal(const CVector& diag);
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+  bool empty() const { return data_.empty(); }
+
+  /// Element access (bounds-checked).
+  Complex& operator()(size_t r, size_t c) {
+    QDB_CHECK_LT(r, rows_);
+    QDB_CHECK_LT(c, cols_);
+    return data_[r * cols_ + c];
+  }
+  const Complex& operator()(size_t r, size_t c) const {
+    QDB_CHECK_LT(r, rows_);
+    QDB_CHECK_LT(c, cols_);
+    return data_[r * cols_ + c];
+  }
+
+  /// Raw row-major storage (size rows()*cols()).
+  const CVector& data() const { return data_; }
+  CVector& data() { return data_; }
+
+  Matrix operator+(const Matrix& other) const;
+  Matrix operator-(const Matrix& other) const;
+  Matrix operator*(const Matrix& other) const;
+  Matrix operator*(Complex scalar) const;
+  Matrix& operator+=(const Matrix& other);
+  Matrix& operator-=(const Matrix& other);
+  Matrix& operator*=(Complex scalar);
+
+  /// Matrix-vector product; v.size() must equal cols().
+  CVector Apply(const CVector& v) const;
+
+  /// Conjugate transpose.
+  Matrix Adjoint() const;
+
+  /// Plain transpose (no conjugation).
+  Matrix Transpose() const;
+
+  /// Element-wise complex conjugate.
+  Matrix Conjugate() const;
+
+  /// Kronecker (tensor) product: (this ⊗ other).
+  Matrix Kron(const Matrix& other) const;
+
+  /// Sum of diagonal entries; requires a square matrix.
+  Complex Trace() const;
+
+  /// Frobenius norm.
+  double FrobeniusNorm() const;
+
+  /// Returns true if this is square and A†A = I within `tol`.
+  bool IsUnitary(double tol = kDefaultTol) const;
+
+  /// Returns true if this is square and A = A† within `tol`.
+  bool IsHermitian(double tol = kDefaultTol) const;
+
+  /// Returns true if both shapes match and all entries agree within `tol`.
+  bool ApproxEqual(const Matrix& other, double tol = kDefaultTol) const;
+
+  /// Returns true if this equals `other` up to a global phase e^{iφ}.
+  bool EqualUpToGlobalPhase(const Matrix& other, double tol = 1e-9) const;
+
+  /// Multi-line human-readable rendering (for debugging and tests).
+  std::string ToString(int precision = 4) const;
+
+ private:
+  size_t rows_ = 0;
+  size_t cols_ = 0;
+  CVector data_;
+};
+
+inline Matrix operator*(Complex scalar, const Matrix& m) { return m * scalar; }
+
+}  // namespace qdb
+
+#endif  // QDB_LINALG_MATRIX_H_

@@ -1,0 +1,64 @@
+#include "linalg/random_unitary.h"
+
+#include <cmath>
+
+#include "linalg/vector_ops.h"
+
+namespace qdb {
+
+Matrix RandomUnitary(size_t n, Rng& rng) {
+  QDB_CHECK_GT(n, 0u);
+  // Ginibre ensemble: i.i.d. complex Gaussian entries.
+  Matrix g(n, n);
+  for (size_t i = 0; i < n; ++i)
+    for (size_t j = 0; j < n; ++j)
+      g(i, j) = Complex(rng.Normal(), rng.Normal());
+
+  // Modified Gram-Schmidt on columns → Q of the QR decomposition.
+  Matrix q(n, n);
+  for (size_t j = 0; j < n; ++j) {
+    CVector col(n);
+    for (size_t i = 0; i < n; ++i) col[i] = g(i, j);
+    for (size_t k = 0; k < j; ++k) {
+      Complex proj(0.0, 0.0);
+      for (size_t i = 0; i < n; ++i) proj += std::conj(q(i, k)) * col[i];
+      for (size_t i = 0; i < n; ++i) col[i] -= proj * q(i, k);
+    }
+    Normalize(col);
+    for (size_t i = 0; i < n; ++i) q(i, j) = col[i];
+  }
+
+  // Mezzadri phase fix: multiply each column by the phase of the R diagonal
+  // so the distribution is exactly Haar. R_jj = ⟨q_j, g_j⟩.
+  for (size_t j = 0; j < n; ++j) {
+    Complex rjj(0.0, 0.0);
+    for (size_t i = 0; i < n; ++i) rjj += std::conj(q(i, j)) * g(i, j);
+    double mag = std::abs(rjj);
+    Complex phase = mag > 0 ? rjj / mag : Complex(1.0, 0.0);
+    for (size_t i = 0; i < n; ++i) q(i, j) *= phase;
+  }
+  return q;
+}
+
+CVector RandomState(size_t n, Rng& rng) {
+  QDB_CHECK_GT(n, 0u);
+  CVector v(n);
+  for (auto& x : v) x = Complex(rng.Normal(), rng.Normal());
+  Normalize(v);
+  return v;
+}
+
+Matrix RandomHermitian(size_t n, Rng& rng) {
+  Matrix a(n, n);
+  for (size_t i = 0; i < n; ++i) {
+    a(i, i) = Complex(rng.Normal(), 0.0);
+    for (size_t j = i + 1; j < n; ++j) {
+      Complex v(rng.Normal(), rng.Normal());
+      a(i, j) = v;
+      a(j, i) = std::conj(v);
+    }
+  }
+  return a;
+}
+
+}  // namespace qdb

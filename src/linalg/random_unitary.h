@@ -1,0 +1,26 @@
+/// \file random_unitary.h
+/// \brief Haar-distributed random unitaries and random states / Hermitians.
+
+#ifndef QDB_LINALG_RANDOM_UNITARY_H_
+#define QDB_LINALG_RANDOM_UNITARY_H_
+
+#include "common/rng.h"
+#include "linalg/matrix.h"
+#include "linalg/types.h"
+
+namespace qdb {
+
+/// \brief Returns an n x n Haar-random unitary (Ginibre matrix + QR with
+/// phase correction, Mezzadri's algorithm).
+Matrix RandomUnitary(size_t n, Rng& rng);
+
+/// \brief Returns a Haar-random pure state of dimension n (unit norm).
+CVector RandomState(size_t n, Rng& rng);
+
+/// \brief Returns an n x n random Hermitian matrix with Gaussian entries
+/// (GUE-like, not normalized).
+Matrix RandomHermitian(size_t n, Rng& rng);
+
+}  // namespace qdb
+
+#endif  // QDB_LINALG_RANDOM_UNITARY_H_

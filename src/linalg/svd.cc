@@ -1,0 +1,114 @@
+#include "linalg/svd.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "linalg/eigen.h"
+
+namespace qdb {
+
+Matrix SvdResult::Reconstruct() const {
+  CVector sigma(singular_values.size());
+  for (size_t i = 0; i < sigma.size(); ++i) {
+    sigma[i] = Complex(singular_values[i], 0.0);
+  }
+  return u * Matrix::Diagonal(sigma) * v.Adjoint();
+}
+
+Result<SvdResult> Svd(const Matrix& a, double tol) {
+  if (a.rows() == 0 || a.cols() == 0) {
+    return Status::InvalidArgument("SVD of an empty matrix");
+  }
+  // Eigen-decompose the smaller Gram matrix for stability and speed.
+  const bool tall = a.rows() >= a.cols();
+  const Matrix gram = tall ? a.Adjoint() * a : a * a.Adjoint();
+  QDB_ASSIGN_OR_RETURN(EigenDecomposition eig, HermitianEigen(gram));
+
+  const size_t k = gram.rows();
+  double lambda_max = 0.0;
+  for (double lambda : eig.eigenvalues) {
+    lambda_max = std::max(lambda_max, lambda);
+  }
+  // Two floors on λ = σ²: the caller's relative σ tolerance, and the
+  // eigensolver's numerical noise floor (the Gram-matrix route squares the
+  // condition number, so λ carries ~1e-13·λ_max of noise).
+  const double cutoff_lambda =
+      std::max({tol * tol * lambda_max, 1e-13 * lambda_max, 1e-300});
+
+  // Eigenvalues ascend; walk from the back for descending σ.
+  SvdResult out;
+  std::vector<size_t> keep;
+  for (size_t i = k; i-- > 0;) {
+    if (eig.eigenvalues[i] > cutoff_lambda) {
+      keep.push_back(i);
+      out.singular_values.push_back(std::sqrt(eig.eigenvalues[i]));
+    }
+  }
+  const size_t r = keep.size();
+  if (r == 0) {
+    // The zero matrix: return an empty decomposition with rank 0.
+    out.u = Matrix(a.rows(), 0);
+    out.v = Matrix(a.cols(), 0);
+    return out;
+  }
+
+  if (tall) {
+    // gram = A†A: eigenvectors are V; U = A V Σ⁻¹.
+    out.v = Matrix(a.cols(), r);
+    for (size_t c = 0; c < r; ++c) {
+      for (size_t i = 0; i < a.cols(); ++i) {
+        out.v(i, c) = eig.eigenvectors(i, keep[c]);
+      }
+    }
+    Matrix av = a * out.v;
+    out.u = Matrix(a.rows(), r);
+    for (size_t c = 0; c < r; ++c) {
+      for (size_t i = 0; i < a.rows(); ++i) {
+        out.u(i, c) = av(i, c) / out.singular_values[c];
+      }
+    }
+  } else {
+    // gram = AA†: eigenvectors are U; V = A†U Σ⁻¹.
+    out.u = Matrix(a.rows(), r);
+    for (size_t c = 0; c < r; ++c) {
+      for (size_t i = 0; i < a.rows(); ++i) {
+        out.u(i, c) = eig.eigenvectors(i, keep[c]);
+      }
+    }
+    Matrix atu = a.Adjoint() * out.u;
+    out.v = Matrix(a.cols(), r);
+    for (size_t c = 0; c < r; ++c) {
+      for (size_t i = 0; i < a.cols(); ++i) {
+        out.v(i, c) = atu(i, c) / out.singular_values[c];
+      }
+    }
+  }
+  return out;
+}
+
+Result<SvdResult> TruncatedSvd(const Matrix& a, size_t max_rank,
+                               double* discarded_weight, double tol) {
+  if (max_rank == 0) {
+    return Status::InvalidArgument("max_rank must be positive");
+  }
+  QDB_ASSIGN_OR_RETURN(SvdResult full, Svd(a, tol));
+  double discarded = 0.0;
+  if (full.rank() > max_rank) {
+    for (size_t i = max_rank; i < full.rank(); ++i) {
+      discarded += full.singular_values[i] * full.singular_values[i];
+    }
+    full.singular_values.resize(max_rank);
+    Matrix u(full.u.rows(), max_rank);
+    Matrix v(full.v.rows(), max_rank);
+    for (size_t c = 0; c < max_rank; ++c) {
+      for (size_t i = 0; i < u.rows(); ++i) u(i, c) = full.u(i, c);
+      for (size_t i = 0; i < v.rows(); ++i) v(i, c) = full.v(i, c);
+    }
+    full.u = std::move(u);
+    full.v = std::move(v);
+  }
+  if (discarded_weight != nullptr) *discarded_weight = discarded;
+  return full;
+}
+
+}  // namespace qdb

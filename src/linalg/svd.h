@@ -1,0 +1,40 @@
+/// \file svd.h
+/// \brief Singular value decomposition (via the Hermitian eigensolver on
+/// A†A) — the workhorse of the MPS simulator's bond truncation.
+
+#ifndef QDB_LINALG_SVD_H_
+#define QDB_LINALG_SVD_H_
+
+#include "common/result.h"
+#include "linalg/matrix.h"
+#include "linalg/types.h"
+
+namespace qdb {
+
+/// \brief A = U · diag(σ) · V†, with σ descending and U, V having
+/// orthonormal columns (thin decomposition: rank columns only).
+struct SvdResult {
+  Matrix u;                 ///< m × r.
+  DVector singular_values;  ///< r values, descending, > tol.
+  Matrix v;                 ///< n × r (so A ≈ U Σ V†).
+
+  size_t rank() const { return singular_values.size(); }
+
+  /// Reconstructs U Σ V† (for tests and error measurement).
+  Matrix Reconstruct() const;
+};
+
+/// \brief Thin SVD of an arbitrary complex matrix. Singular values below
+/// `tol` (relative to the largest) are dropped.
+Result<SvdResult> Svd(const Matrix& a, double tol = 1e-12);
+
+/// \brief Thin SVD truncated to at most `max_rank` singular values;
+/// `discarded_weight`, when non-null, receives Σ of the squared dropped
+/// singular values (the truncation error measure used by MPS).
+Result<SvdResult> TruncatedSvd(const Matrix& a, size_t max_rank,
+                               double* discarded_weight = nullptr,
+                               double tol = 1e-12);
+
+}  // namespace qdb
+
+#endif  // QDB_LINALG_SVD_H_

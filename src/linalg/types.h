@@ -1,0 +1,34 @@
+/// \file types.h
+/// \brief Shared scalar/vector typedefs and numeric tolerances for qdb.
+
+#ifndef QDB_LINALG_TYPES_H_
+#define QDB_LINALG_TYPES_H_
+
+#include <complex>
+#include <vector>
+
+namespace qdb {
+
+/// Complex amplitude scalar used throughout the simulators.
+using Complex = std::complex<double>;
+
+/// Dense complex vector (e.g. a quantum state's amplitudes).
+using CVector = std::vector<Complex>;
+
+/// Dense real vector (parameters, features, energies).
+using DVector = std::vector<double>;
+
+/// Default absolute tolerance for numeric comparisons of amplitudes,
+/// unitarity residues, and eigenvalues.
+inline constexpr double kDefaultTol = 1e-10;
+
+/// Looser tolerance for iteratively computed quantities (eigensolver,
+/// optimizer convergence).
+inline constexpr double kLooseTol = 1e-8;
+
+/// The imaginary unit.
+inline constexpr Complex kI = Complex(0.0, 1.0);
+
+}  // namespace qdb
+
+#endif  // QDB_LINALG_TYPES_H_

@@ -1,0 +1,47 @@
+/// \file vector_ops.h
+/// \brief Free functions on complex/real vectors: inner products, norms,
+/// normalization, Kronecker products, and state fidelity.
+
+#ifndef QDB_LINALG_VECTOR_OPS_H_
+#define QDB_LINALG_VECTOR_OPS_H_
+
+#include "linalg/types.h"
+
+namespace qdb {
+
+/// Hermitian inner product ⟨a|b⟩ = Σ conj(a_i) b_i; sizes must match.
+Complex InnerProduct(const CVector& a, const CVector& b);
+
+/// Euclidean (L2) norm of a complex vector.
+double Norm(const CVector& v);
+
+/// Euclidean (L2) norm of a real vector.
+double Norm(const DVector& v);
+
+/// Normalizes `v` in place to unit L2 norm; no-op on the zero vector.
+void Normalize(CVector& v);
+
+/// Kronecker (tensor) product a ⊗ b.
+CVector Kron(const CVector& a, const CVector& b);
+
+/// State fidelity |⟨a|b⟩|² of two (assumed normalized) pure states.
+double Fidelity(const CVector& a, const CVector& b);
+
+/// Real dot product; sizes must match.
+double Dot(const DVector& a, const DVector& b);
+
+/// Returns a + b element-wise; sizes must match.
+DVector Add(const DVector& a, const DVector& b);
+
+/// Returns a - b element-wise; sizes must match.
+DVector Sub(const DVector& a, const DVector& b);
+
+/// Returns s * v.
+DVector Scale(double s, const DVector& v);
+
+/// Max |a_i - b_i|; sizes must match.
+double MaxAbsDiff(const DVector& a, const DVector& b);
+
+}  // namespace qdb
+
+#endif  // QDB_LINALG_VECTOR_OPS_H_

@@ -1,0 +1,91 @@
+#include "mitigation/readout.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/strings.h"
+
+namespace qdb {
+
+Result<ReadoutMitigator> ReadoutMitigator::Create(int num_qubits, double p01,
+                                                  double p10) {
+  if (num_qubits < 1 || num_qubits > 16) {
+    return Status::InvalidArgument(
+        StrCat("num_qubits must be in [1, 16], got ", num_qubits));
+  }
+  if (p01 < 0.0 || p10 < 0.0 || p01 + p10 >= 1.0) {
+    return Status::InvalidArgument(
+        StrCat("need p01, p10 >= 0 and p01 + p10 < 1; got ", p01, ", ", p10));
+  }
+  return ReadoutMitigator(num_qubits, p01, p10);
+}
+
+Result<DVector> ReadoutMitigator::MitigateCounts(
+    const std::map<uint64_t, int>& counts) const {
+  const uint64_t dim = uint64_t{1} << num_qubits_;
+  long total = 0;
+  DVector probs(dim, 0.0);
+  for (const auto& [outcome, count] : counts) {
+    if (outcome >= dim) {
+      return Status::OutOfRange(StrCat("outcome ", outcome, " >= ", dim));
+    }
+    if (count < 0) {
+      return Status::InvalidArgument("negative count");
+    }
+    probs[outcome] += count;
+    total += count;
+  }
+  if (total == 0) {
+    return Status::InvalidArgument("empty counts");
+  }
+  for (auto& p : probs) p /= static_cast<double>(total);
+
+  // Per-qubit inverse confusion:
+  //   M = [[1−p01, p10], [p01, 1−p10]],  M⁻¹ = 1/det · [[1−p10, −p10],
+  //                                                     [−p01, 1−p01]].
+  const double det = 1.0 - p01_ - p10_;
+  const double inv00 = (1.0 - p10_) / det;
+  const double inv01 = -p10_ / det;
+  const double inv10 = -p01_ / det;
+  const double inv11 = (1.0 - p01_) / det;
+  for (int q = 0; q < num_qubits_; ++q) {
+    const uint64_t stride = uint64_t{1} << (num_qubits_ - 1 - q);
+    for (uint64_t base = 0; base < dim; base += 2 * stride) {
+      for (uint64_t offset = 0; offset < stride; ++offset) {
+        const uint64_t i0 = base + offset;
+        const uint64_t i1 = i0 + stride;
+        const double v0 = probs[i0];
+        const double v1 = probs[i1];
+        probs[i0] = inv00 * v0 + inv01 * v1;
+        probs[i1] = inv10 * v0 + inv11 * v1;
+      }
+    }
+  }
+  // Clip the quasi-probabilities and renormalize.
+  double norm = 0.0;
+  for (auto& p : probs) {
+    p = std::max(p, 0.0);
+    norm += p;
+  }
+  if (norm <= 0.0) {
+    return Status::Internal("mitigation produced an all-zero distribution");
+  }
+  for (auto& p : probs) p /= norm;
+  return probs;
+}
+
+Result<double> ReadoutMitigator::MitigatedExpectationZ(
+    const std::map<uint64_t, int>& counts, int qubit) const {
+  if (qubit < 0 || qubit >= num_qubits_) {
+    return Status::OutOfRange(StrCat("qubit ", qubit, " out of range"));
+  }
+  QDB_ASSIGN_OR_RETURN(DVector probs, MitigateCounts(counts));
+  const uint64_t mask = uint64_t{1} << (num_qubits_ - 1 - qubit);
+  double expectation = 0.0;
+  for (uint64_t i = 0; i < probs.size(); ++i) {
+    expectation += (i & mask) ? -probs[i] : probs[i];
+  }
+  return expectation;
+}
+
+}  // namespace qdb

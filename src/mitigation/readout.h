@@ -1,0 +1,49 @@
+/// \file readout.h
+/// \brief Readout-error mitigation by confusion-matrix inversion: undo the
+/// classical bit-flip channel measurement hardware applies to outcomes.
+
+#ifndef QDB_MITIGATION_READOUT_H_
+#define QDB_MITIGATION_READOUT_H_
+
+#include <cstdint>
+#include <map>
+
+#include "common/result.h"
+#include "linalg/types.h"
+
+namespace qdb {
+
+/// \brief Inverts a tensor product of per-qubit 2×2 confusion matrices over
+/// sampled counts. With p01 = P(read 1 | true 0) and p10 = P(read 0 |
+/// true 1), the per-qubit confusion is [[1−p01, p10], [p01, 1−p10]]; its
+/// inverse applies qubit-by-qubit in O(n·2ⁿ).
+class ReadoutMitigator {
+ public:
+  /// Builds the mitigator; requires p01 + p10 < 1 (otherwise the confusion
+  /// matrix is singular or anti-diagonal-dominant and inversion is
+  /// meaningless).
+  static Result<ReadoutMitigator> Create(int num_qubits, double p01,
+                                         double p10);
+
+  int num_qubits() const { return num_qubits_; }
+
+  /// Converts raw counts into a mitigated quasi-probability vector
+  /// (entries can be slightly negative; they are clipped and renormalized).
+  Result<DVector> MitigateCounts(const std::map<uint64_t, int>& counts) const;
+
+  /// Mitigated ⟨Z_qubit⟩ from raw counts.
+  Result<double> MitigatedExpectationZ(const std::map<uint64_t, int>& counts,
+                                       int qubit) const;
+
+ private:
+  ReadoutMitigator(int num_qubits, double p01, double p10)
+      : num_qubits_(num_qubits), p01_(p01), p10_(p10) {}
+
+  int num_qubits_;
+  double p01_;
+  double p10_;
+};
+
+}  // namespace qdb
+
+#endif  // QDB_MITIGATION_READOUT_H_

@@ -1,0 +1,78 @@
+#include "mitigation/zne.h"
+
+#include <cmath>
+#include <set>
+
+#include "common/strings.h"
+
+namespace qdb {
+
+Result<Circuit> FoldCircuit(const Circuit& circuit, int scale) {
+  if (scale < 1 || scale % 2 == 0) {
+    return Status::InvalidArgument(
+        StrCat("fold scale must be odd and >= 1, got ", scale));
+  }
+  Circuit folded = circuit;
+  const Circuit inverse = circuit.Inverse();
+  const int pairs = (scale - 1) / 2;
+  for (int k = 0; k < pairs; ++k) {
+    folded.Append(inverse);
+    folded.Append(circuit);
+  }
+  return folded;
+}
+
+Result<double> RichardsonExtrapolate(const DVector& xs, const DVector& ys) {
+  if (xs.size() != ys.size() || xs.size() < 2) {
+    return Status::InvalidArgument(
+        "Richardson extrapolation needs >= 2 matching points");
+  }
+  for (size_t i = 0; i < xs.size(); ++i) {
+    for (size_t j = i + 1; j < xs.size(); ++j) {
+      if (xs[i] == xs[j]) {
+        return Status::InvalidArgument("extrapolation points must be distinct");
+      }
+    }
+  }
+  // Lagrange polynomial evaluated at x = 0.
+  double result = 0.0;
+  for (size_t i = 0; i < xs.size(); ++i) {
+    double weight = 1.0;
+    for (size_t j = 0; j < xs.size(); ++j) {
+      if (j != i) weight *= xs[j] / (xs[j] - xs[i]);
+    }
+    result += weight * ys[i];
+  }
+  return result;
+}
+
+Result<ZneResult> ZeroNoiseExtrapolate(const Circuit& circuit,
+                                       const PauliSum& observable,
+                                       const DensitySimulator& simulator,
+                                       const ZneOptions& options,
+                                       const DVector& params) {
+  if (options.scale_factors.size() < 2) {
+    return Status::InvalidArgument("ZNE needs at least two scale factors");
+  }
+  std::set<int> distinct(options.scale_factors.begin(),
+                         options.scale_factors.end());
+  if (distinct.size() != options.scale_factors.size()) {
+    return Status::InvalidArgument("ZNE scale factors must be distinct");
+  }
+
+  ZneResult result;
+  DVector xs;
+  for (int scale : options.scale_factors) {
+    QDB_ASSIGN_OR_RETURN(Circuit folded, FoldCircuit(circuit, scale));
+    QDB_ASSIGN_OR_RETURN(DensityMatrix rho, simulator.Run(folded, params));
+    const double value = rho.ExpectationOf(observable);
+    result.raw_values.push_back(value);
+    xs.push_back(static_cast<double>(scale));
+    if (scale == 1) result.unmitigated = value;
+  }
+  QDB_ASSIGN_OR_RETURN(result.mitigated,
+                       RichardsonExtrapolate(xs, result.raw_values));
+  return result;
+}
+
+}  // namespace qdb

@@ -1,0 +1,52 @@
+/// \file zne.h
+/// \brief Zero-noise extrapolation (ZNE): amplify hardware noise by unitary
+/// folding, measure the observable at several noise scales, and Richardson-
+/// extrapolate to the zero-noise limit — the error-mitigation technique the
+/// NISQ literature leans on while error correction is out of reach.
+
+#ifndef QDB_MITIGATION_ZNE_H_
+#define QDB_MITIGATION_ZNE_H_
+
+#include <vector>
+
+#include "circuit/circuit.h"
+#include "common/result.h"
+#include "ops/pauli.h"
+#include "sim/density_simulator.h"
+
+namespace qdb {
+
+/// \brief Global unitary folding: C → C·(C†·C)^k for scale = 2k+1. The
+/// folded circuit implements the same unitary but passes through the noise
+/// channels `scale` times. The scale must be odd and ≥ 1; symbolic
+/// parameters are preserved (the inverse negates them consistently).
+Result<Circuit> FoldCircuit(const Circuit& circuit, int scale);
+
+/// \brief ZNE configuration.
+struct ZneOptions {
+  /// Odd noise-scale factors; at least two distinct values.
+  std::vector<int> scale_factors = {1, 3, 5};
+};
+
+/// \brief Outcome of a ZNE run.
+struct ZneResult {
+  double mitigated = 0.0;     ///< Richardson-extrapolated ⟨H⟩ at scale 0.
+  DVector raw_values;         ///< ⟨H⟩ at each scale factor (for plots).
+  double unmitigated = 0.0;   ///< ⟨H⟩ at scale 1 (the bare noisy value).
+};
+
+/// \brief Runs the folded circuits on the (noisy) density simulator and
+/// Richardson-extrapolates the expectation to zero noise.
+Result<ZneResult> ZeroNoiseExtrapolate(const Circuit& circuit,
+                                       const PauliSum& observable,
+                                       const DensitySimulator& simulator,
+                                       const ZneOptions& options = {},
+                                       const DVector& params = {});
+
+/// \brief Richardson extrapolation to x = 0 through the points (x_i, y_i)
+/// (Lagrange evaluation; the x_i must be distinct).
+Result<double> RichardsonExtrapolate(const DVector& xs, const DVector& ys);
+
+}  // namespace qdb
+
+#endif  // QDB_MITIGATION_ZNE_H_

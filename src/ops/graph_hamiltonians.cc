@@ -1,0 +1,117 @@
+#include "ops/graph_hamiltonians.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace qdb {
+
+double WeightedGraph::CutValue(const std::vector<int8_t>& assignment) const {
+  QDB_CHECK_EQ(static_cast<int>(assignment.size()), num_nodes);
+  double cut = 0.0;
+  for (const auto& e : edges) {
+    if (assignment[e.u] != assignment[e.v]) cut += e.weight;
+  }
+  return cut;
+}
+
+double WeightedGraph::TotalWeight() const {
+  double total = 0.0;
+  for (const auto& e : edges) total += e.weight;
+  return total;
+}
+
+WeightedGraph ErdosRenyiGraph(int num_nodes, double edge_probability, Rng& rng,
+                              double min_weight, double max_weight) {
+  QDB_CHECK_GT(num_nodes, 0);
+  QDB_CHECK_GE(edge_probability, 0.0);
+  QDB_CHECK_LE(edge_probability, 1.0);
+  QDB_CHECK_LE(min_weight, max_weight);
+  WeightedGraph g;
+  g.num_nodes = num_nodes;
+  for (int u = 0; u < num_nodes; ++u) {
+    for (int v = u + 1; v < num_nodes; ++v) {
+      if (rng.Bernoulli(edge_probability)) {
+        double w = min_weight == max_weight ? min_weight
+                                            : rng.Uniform(min_weight, max_weight);
+        g.edges.push_back({u, v, w});
+      }
+    }
+  }
+  return g;
+}
+
+WeightedGraph RingGraph(int num_nodes) {
+  QDB_CHECK_GE(num_nodes, 3);
+  WeightedGraph g;
+  g.num_nodes = num_nodes;
+  for (int u = 0; u < num_nodes; ++u) {
+    g.edges.push_back({u, (u + 1) % num_nodes, 1.0});
+  }
+  return g;
+}
+
+WeightedGraph CompleteGraph(int num_nodes) {
+  QDB_CHECK_GT(num_nodes, 0);
+  WeightedGraph g;
+  g.num_nodes = num_nodes;
+  for (int u = 0; u < num_nodes; ++u) {
+    for (int v = u + 1; v < num_nodes; ++v) g.edges.push_back({u, v, 1.0});
+  }
+  return g;
+}
+
+IsingModel MaxCutIsing(const WeightedGraph& graph) {
+  QDB_CHECK_GT(graph.num_nodes, 0);
+  IsingModel ising(graph.num_nodes);
+  for (const auto& e : graph.edges) {
+    // s_u·s_v = −1 exactly when the edge is cut, so minimizing Σ w·s_u·s_v
+    // maximizes the cut: cut(s) = (TotalWeight − Energy(s)) / 2.
+    ising.AddCoupling(e.u, e.v, e.weight);
+  }
+  return ising;
+}
+
+double MaxCutBruteForce(const WeightedGraph& graph) {
+  QDB_CHECK_LE(graph.num_nodes, 24);
+  const uint64_t half = uint64_t{1} << (graph.num_nodes - 1);
+  double best = 0.0;
+  std::vector<int8_t> assignment(graph.num_nodes);
+  // Fix node 0 in partition +1 (cut is symmetric under global flip).
+  for (uint64_t mask = 0; mask < half; ++mask) {
+    assignment[0] = 1;
+    for (int v = 1; v < graph.num_nodes; ++v) {
+      assignment[v] = (mask >> (v - 1)) & 1 ? -1 : 1;
+    }
+    best = std::max(best, graph.CutValue(assignment));
+  }
+  return best;
+}
+
+double MaxCutGreedy(const WeightedGraph& graph) {
+  std::vector<int8_t> assignment(graph.num_nodes, 1);
+  double current = graph.CutValue(assignment);
+  bool improved = true;
+  while (improved) {
+    improved = false;
+    int best_node = -1;
+    double best_value = current;
+    for (int v = 0; v < graph.num_nodes; ++v) {
+      assignment[v] = -assignment[v];
+      double value = graph.CutValue(assignment);
+      assignment[v] = -assignment[v];
+      if (value > best_value + 1e-12) {
+        best_value = value;
+        best_node = v;
+      }
+    }
+    if (best_node >= 0) {
+      assignment[best_node] = -assignment[best_node];
+      current = best_value;
+      improved = true;
+    }
+  }
+  return current;
+}
+
+}  // namespace qdb

@@ -1,0 +1,60 @@
+/// \file graph_hamiltonians.h
+/// \brief Weighted graphs, generators, and graph-problem Hamiltonians
+/// (MaxCut) used by the QAOA and annealing experiments.
+
+#ifndef QDB_OPS_GRAPH_HAMILTONIANS_H_
+#define QDB_OPS_GRAPH_HAMILTONIANS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "ops/ising.h"
+
+namespace qdb {
+
+/// \brief An undirected weighted graph on nodes 0..n−1.
+struct WeightedGraph {
+  struct Edge {
+    int u;
+    int v;
+    double weight;
+  };
+
+  int num_nodes = 0;
+  std::vector<Edge> edges;
+
+  /// Total weight of edges cut by the ±1 assignment (crossing edges).
+  double CutValue(const std::vector<int8_t>& assignment) const;
+
+  /// Sum of all edge weights.
+  double TotalWeight() const;
+};
+
+/// Erdős–Rényi G(n, p) with each present edge weighted uniformly in
+/// [min_weight, max_weight].
+WeightedGraph ErdosRenyiGraph(int num_nodes, double edge_probability, Rng& rng,
+                              double min_weight = 1.0, double max_weight = 1.0);
+
+/// Cycle graph 0−1−...−(n−1)−0, unit weights.
+WeightedGraph RingGraph(int num_nodes);
+
+/// Complete graph with unit weights.
+WeightedGraph CompleteGraph(int num_nodes);
+
+/// \brief MaxCut as an Ising minimization: E(s) = Σ_{(u,v)} w_uv·s_u·s_v so
+/// that cut(s) = (W − E(s) + offsetless terms)/2; concretely
+/// cut(s) = (TotalWeight − Energy(s)) / 2 when the returned model has no
+/// fields or offset. Minimizing energy maximizes the cut.
+IsingModel MaxCutIsing(const WeightedGraph& graph);
+
+/// Exact maximum cut by exhaustive search (n ≤ 24).
+double MaxCutBruteForce(const WeightedGraph& graph);
+
+/// Greedy local-move heuristic cut (starts all-+1, flips best-improvement
+/// until local optimum) — the classical baseline in E6.
+double MaxCutGreedy(const WeightedGraph& graph);
+
+}  // namespace qdb
+
+#endif  // QDB_OPS_GRAPH_HAMILTONIANS_H_

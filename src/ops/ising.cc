@@ -1,0 +1,163 @@
+#include "ops/ising.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "common/check.h"
+#include "ops/qubo.h"
+
+namespace qdb {
+
+IsingModel::IsingModel(int num_spins)
+    : fields_(static_cast<size_t>(num_spins), 0.0),
+      adjacency_(static_cast<size_t>(num_spins)) {
+  QDB_CHECK_GT(num_spins, 0);
+}
+
+void IsingModel::AddField(int i, double value) {
+  QDB_CHECK_GE(i, 0);
+  QDB_CHECK_LT(i, num_spins());
+  fields_[i] += value;
+}
+
+void IsingModel::AddCoupling(int i, int j, double value) {
+  QDB_CHECK_GE(i, 0);
+  QDB_CHECK_LT(i, num_spins());
+  QDB_CHECK_GE(j, 0);
+  QDB_CHECK_LT(j, num_spins());
+  QDB_CHECK_NE(i, j) << "Ising coupling needs distinct spins";
+  if (i > j) std::swap(i, j);
+  couplings_[{i, j}] += value;
+  auto update = [value](std::vector<std::pair<int, double>>& list, int other) {
+    for (auto& [n, w] : list) {
+      if (n == other) {
+        w += value;
+        return true;
+      }
+    }
+    return false;
+  };
+  if (!update(adjacency_[i], j)) adjacency_[i].push_back({j, value});
+  if (!update(adjacency_[j], i)) adjacency_[j].push_back({i, value});
+}
+
+void IsingModel::AddOffset(double value) { offset_ += value; }
+
+double IsingModel::field(int i) const {
+  QDB_CHECK_GE(i, 0);
+  QDB_CHECK_LT(i, num_spins());
+  return fields_[i];
+}
+
+double IsingModel::Energy(const std::vector<int8_t>& spins) const {
+  QDB_CHECK_EQ(static_cast<int>(spins.size()), num_spins());
+  double e = offset_;
+  for (int i = 0; i < num_spins(); ++i) e += fields_[i] * spins[i];
+  for (const auto& [ij, v] : couplings_) {
+    e += v * spins[ij.first] * spins[ij.second];
+  }
+  return e;
+}
+
+double IsingModel::FlipDelta(const std::vector<int8_t>& spins, int i) const {
+  QDB_CHECK_EQ(static_cast<int>(spins.size()), num_spins());
+  QDB_CHECK_GE(i, 0);
+  QDB_CHECK_LT(i, num_spins());
+  double local = fields_[i];
+  for (const auto& [j, w] : adjacency_[i]) local += w * spins[j];
+  return -2.0 * spins[i] * local;
+}
+
+const std::vector<std::pair<int, double>>& IsingModel::Neighbors(int i) const {
+  QDB_CHECK_GE(i, 0);
+  QDB_CHECK_LT(i, num_spins());
+  return adjacency_[i];
+}
+
+Qubo IsingModel::ToQubo() const {
+  // Substitute s_i = 2 x_i − 1.
+  Qubo qubo(num_spins());
+  qubo.AddOffset(offset_);
+  for (int i = 0; i < num_spins(); ++i) {
+    if (fields_[i] != 0.0) {
+      qubo.AddLinear(i, 2.0 * fields_[i]);
+      qubo.AddOffset(-fields_[i]);
+    }
+  }
+  for (const auto& [ij, v] : couplings_) {
+    if (v == 0.0) continue;
+    qubo.AddQuadratic(ij.first, ij.second, 4.0 * v);
+    qubo.AddLinear(ij.first, -2.0 * v);
+    qubo.AddLinear(ij.second, -2.0 * v);
+    qubo.AddOffset(v);
+  }
+  return qubo;
+}
+
+PauliSum IsingModel::ToPauliSum() const {
+  PauliSum sum(num_spins());
+  if (offset_ != 0.0) sum.Add(offset_, PauliString(num_spins()));
+  for (int i = 0; i < num_spins(); ++i) {
+    if (fields_[i] != 0.0) {
+      sum.Add(fields_[i], PauliString::Single(num_spins(), i, PauliOp::kZ));
+    }
+  }
+  for (const auto& [ij, v] : couplings_) {
+    if (v == 0.0) continue;
+    PauliString zz(num_spins());
+    zz.set_op(ij.first, PauliOp::kZ);
+    zz.set_op(ij.second, PauliOp::kZ);
+    sum.Add(v, zz);
+  }
+  return sum;
+}
+
+double IsingModel::MaxAbsCoefficient() const {
+  double best = 0.0;
+  for (double h : fields_) best = std::max(best, std::abs(h));
+  for (const auto& [ij, v] : couplings_) best = std::max(best, std::abs(v));
+  return best;
+}
+
+std::string IsingModel::ToString() const {
+  std::ostringstream os;
+  os << "Ising(" << num_spins() << " spins, offset " << offset_ << ")\n";
+  for (int i = 0; i < num_spins(); ++i) {
+    if (fields_[i] != 0.0) os << "  " << fields_[i] << " s" << i << "\n";
+  }
+  for (const auto& [ij, v] : couplings_) {
+    if (v != 0.0)
+      os << "  " << v << " s" << ij.first << " s" << ij.second << "\n";
+  }
+  return os.str();
+}
+
+std::vector<int8_t> IndexToSpins(uint64_t index, int num_spins) {
+  QDB_CHECK_GT(num_spins, 0);
+  std::vector<int8_t> spins(num_spins);
+  for (int q = 0; q < num_spins; ++q) {
+    const bool bit = index & (uint64_t{1} << (num_spins - 1 - q));
+    spins[q] = bit ? -1 : 1;  // |0⟩ has Z eigenvalue +1.
+  }
+  return spins;
+}
+
+std::vector<uint8_t> SpinsToBits(const std::vector<int8_t>& spins) {
+  std::vector<uint8_t> bits(spins.size());
+  for (size_t i = 0; i < spins.size(); ++i) {
+    QDB_CHECK(spins[i] == 1 || spins[i] == -1);
+    bits[i] = spins[i] > 0 ? 1 : 0;
+  }
+  return bits;
+}
+
+std::vector<int8_t> BitsToSpins(const std::vector<uint8_t>& bits) {
+  std::vector<int8_t> spins(bits.size());
+  for (size_t i = 0; i < bits.size(); ++i) {
+    QDB_CHECK(bits[i] == 0 || bits[i] == 1);
+    spins[i] = bits[i] ? 1 : -1;
+  }
+  return spins;
+}
+
+}  // namespace qdb

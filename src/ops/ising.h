@@ -1,0 +1,88 @@
+/// \file ising.h
+/// \brief Ising spin-glass model: fields h, couplings J, over s ∈ {−1,+1}^n.
+///
+/// E(s) = Σ_i h_i s_i + Σ_{i<j} J_ij s_i s_j + c. This is the native input
+/// of the (simulated) quantum annealer and, via ToPauliSum(), the cost
+/// Hamiltonian of QAOA.
+
+#ifndef QDB_OPS_ISING_H_
+#define QDB_OPS_ISING_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "linalg/types.h"
+#include "ops/pauli.h"
+
+namespace qdb {
+
+class Qubo;
+
+/// \brief An Ising instance with dense fields and sparse couplings.
+class IsingModel {
+ public:
+  explicit IsingModel(int num_spins);
+
+  int num_spins() const { return static_cast<int>(fields_.size()); }
+
+  /// Adds `value` to the field h_i.
+  void AddField(int i, double value);
+
+  /// Adds `value` to the coupling J_ij (i ≠ j, stored with i < j).
+  void AddCoupling(int i, int j, double value);
+
+  /// Adds `value` to the constant offset.
+  void AddOffset(double value);
+
+  double field(int i) const;
+  double offset() const { return offset_; }
+  const std::map<std::pair<int, int>, double>& couplings() const {
+    return couplings_;
+  }
+
+  /// Energy of a spin configuration (entries ±1).
+  double Energy(const std::vector<int8_t>& spins) const;
+
+  /// Energy change from flipping spin i: E(s') − E(s) = −2 s_i (h_i + Σ_j J_ij s_j).
+  double FlipDelta(const std::vector<int8_t>& spins, int i) const;
+
+  /// Neighbors of spin i with coupling strengths.
+  const std::vector<std::pair<int, double>>& Neighbors(int i) const;
+
+  /// Equivalent QUBO under s_i = 2 x_i − 1.
+  Qubo ToQubo() const;
+
+  /// Cost Hamiltonian Σ h_i Z_i + Σ J_ij Z_i Z_j + c·I as a PauliSum
+  /// (spin +1 ↔ |0⟩ since Z|0⟩ = +|0⟩).
+  PauliSum ToPauliSum() const;
+
+  /// Largest |h| or |J| coefficient (used to scale annealing schedules).
+  double MaxAbsCoefficient() const;
+
+  std::string ToString() const;
+
+ private:
+  DVector fields_;
+  std::map<std::pair<int, int>, double> couplings_;
+  double offset_ = 0.0;
+  std::vector<std::vector<std::pair<int, double>>> adjacency_;
+};
+
+/// Measurement map: converts a basis index (qubit 0 = MSB) to spins with
+/// bit 0 ↔ s = +1 (the Z eigenvalue of |0⟩). Used when reading QAOA samples.
+std::vector<int8_t> IndexToSpins(uint64_t index, int num_spins);
+
+/// Algebraic map x = (1 + s) / 2 (s = +1 → x = 1), the inverse of the
+/// substitution used by Qubo::ToIsing / IsingModel::ToQubo. Note this is a
+/// *different* convention from IndexToSpins' measurement map.
+std::vector<uint8_t> SpinsToBits(const std::vector<int8_t>& spins);
+
+/// Algebraic map s = 2x − 1 (x = 1 → s = +1).
+std::vector<int8_t> BitsToSpins(const std::vector<uint8_t>& bits);
+
+}  // namespace qdb
+
+#endif  // QDB_OPS_ISING_H_

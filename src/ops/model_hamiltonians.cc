@@ -1,0 +1,53 @@
+#include "ops/model_hamiltonians.h"
+
+#include "common/strings.h"
+
+namespace qdb {
+namespace {
+
+Status ValidateWidth(int num_qubits) {
+  if (num_qubits < 2) {
+    return Status::InvalidArgument(
+        StrCat("spin chain needs at least 2 sites, got ", num_qubits));
+  }
+  return Status::OK();
+}
+
+PauliString TwoSite(int n, int i, int j, PauliOp op) {
+  PauliString p(n);
+  p.set_op(i, op);
+  p.set_op(j, op);
+  return p;
+}
+
+}  // namespace
+
+Result<PauliSum> TransverseFieldIsing(int num_qubits, double j, double h,
+                                      bool periodic) {
+  QDB_RETURN_IF_ERROR(ValidateWidth(num_qubits));
+  PauliSum sum(num_qubits);
+  const int bonds = periodic ? num_qubits : num_qubits - 1;
+  for (int i = 0; i < bonds; ++i) {
+    sum.Add(-j, TwoSite(num_qubits, i, (i + 1) % num_qubits, PauliOp::kZ));
+  }
+  for (int i = 0; i < num_qubits; ++i) {
+    sum.Add(-h, PauliString::Single(num_qubits, i, PauliOp::kX));
+  }
+  return sum;
+}
+
+Result<PauliSum> HeisenbergXXZ(int num_qubits, double j_xy, double j_z,
+                               bool periodic) {
+  QDB_RETURN_IF_ERROR(ValidateWidth(num_qubits));
+  PauliSum sum(num_qubits);
+  const int bonds = periodic ? num_qubits : num_qubits - 1;
+  for (int i = 0; i < bonds; ++i) {
+    const int next = (i + 1) % num_qubits;
+    sum.Add(j_xy, TwoSite(num_qubits, i, next, PauliOp::kX));
+    sum.Add(j_xy, TwoSite(num_qubits, i, next, PauliOp::kY));
+    sum.Add(j_z, TwoSite(num_qubits, i, next, PauliOp::kZ));
+  }
+  return sum;
+}
+
+}  // namespace qdb

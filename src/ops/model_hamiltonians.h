@@ -1,0 +1,26 @@
+/// \file model_hamiltonians.h
+/// \brief Standard spin-model Hamiltonians (transverse-field Ising,
+/// Heisenberg XXZ) — the VQE workloads of the tutorial's foundations
+/// section, with known exact small-system energies for validation.
+
+#ifndef QDB_OPS_MODEL_HAMILTONIANS_H_
+#define QDB_OPS_MODEL_HAMILTONIANS_H_
+
+#include "common/result.h"
+#include "ops/pauli.h"
+
+namespace qdb {
+
+/// \brief Transverse-field Ising model
+/// H = −J Σ Z_i Z_{i+1} − h Σ X_i on a chain (periodic optional).
+Result<PauliSum> TransverseFieldIsing(int num_qubits, double j, double h,
+                                      bool periodic = false);
+
+/// \brief Heisenberg XXZ chain
+/// H = Σ [J_xy (X_iX_{i+1} + Y_iY_{i+1}) + J_z Z_iZ_{i+1}].
+Result<PauliSum> HeisenbergXXZ(int num_qubits, double j_xy, double j_z,
+                               bool periodic = false);
+
+}  // namespace qdb
+
+#endif  // QDB_OPS_MODEL_HAMILTONIANS_H_

@@ -1,0 +1,122 @@
+#include "ops/qubo.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "common/strings.h"
+#include "ops/ising.h"
+
+namespace qdb {
+
+Qubo::Qubo(int num_vars)
+    : linear_(static_cast<size_t>(num_vars), 0.0),
+      adjacency_(static_cast<size_t>(num_vars)) {
+  QDB_CHECK_GT(num_vars, 0);
+}
+
+void Qubo::AddLinear(int i, double value) {
+  QDB_CHECK_GE(i, 0);
+  QDB_CHECK_LT(i, num_vars());
+  linear_[i] += value;
+}
+
+void Qubo::AddQuadratic(int i, int j, double value) {
+  QDB_CHECK_GE(i, 0);
+  QDB_CHECK_LT(i, num_vars());
+  QDB_CHECK_GE(j, 0);
+  QDB_CHECK_LT(j, num_vars());
+  if (i == j) {
+    // x² = x for binary variables.
+    AddLinear(i, value);
+    return;
+  }
+  if (i > j) std::swap(i, j);
+  quadratic_[{i, j}] += value;
+  // Keep the adjacency index consistent: update in place if present.
+  auto update = [value](std::vector<std::pair<int, double>>& list, int other) {
+    for (auto& [n, w] : list) {
+      if (n == other) {
+        w += value;
+        return true;
+      }
+    }
+    return false;
+  };
+  if (!update(adjacency_[i], j)) adjacency_[i].push_back({j, value});
+  if (!update(adjacency_[j], i)) adjacency_[j].push_back({i, value});
+}
+
+void Qubo::AddOffset(double value) { offset_ += value; }
+
+double Qubo::linear(int i) const {
+  QDB_CHECK_GE(i, 0);
+  QDB_CHECK_LT(i, num_vars());
+  return linear_[i];
+}
+
+double Qubo::Energy(const std::vector<uint8_t>& bits) const {
+  QDB_CHECK_EQ(static_cast<int>(bits.size()), num_vars());
+  double e = offset_;
+  for (int i = 0; i < num_vars(); ++i) {
+    if (bits[i]) e += linear_[i];
+  }
+  for (const auto& [ij, v] : quadratic_) {
+    if (bits[ij.first] && bits[ij.second]) e += v;
+  }
+  return e;
+}
+
+double Qubo::FlipDelta(const std::vector<uint8_t>& bits, int i) const {
+  QDB_CHECK_EQ(static_cast<int>(bits.size()), num_vars());
+  QDB_CHECK_GE(i, 0);
+  QDB_CHECK_LT(i, num_vars());
+  // Flipping x_i toggles its linear term and every quadratic term whose
+  // partner bit is set. sign = +1 when turning on, −1 when turning off.
+  const double sign = bits[i] ? -1.0 : 1.0;
+  double delta = sign * linear_[i];
+  for (const auto& [j, w] : adjacency_[i]) {
+    if (bits[j]) delta += sign * w;
+  }
+  return delta;
+}
+
+const std::vector<std::pair<int, double>>& Qubo::Neighbors(int i) const {
+  QDB_CHECK_GE(i, 0);
+  QDB_CHECK_LT(i, num_vars());
+  return adjacency_[i];
+}
+
+IsingModel Qubo::ToIsing() const {
+  // Substitute x_i = (1 + s_i) / 2.
+  IsingModel ising(num_vars());
+  ising.AddOffset(offset_);
+  for (int i = 0; i < num_vars(); ++i) {
+    if (linear_[i] != 0.0) {
+      ising.AddField(i, linear_[i] / 2.0);
+      ising.AddOffset(linear_[i] / 2.0);
+    }
+  }
+  for (const auto& [ij, v] : quadratic_) {
+    if (v == 0.0) continue;
+    ising.AddCoupling(ij.first, ij.second, v / 4.0);
+    ising.AddField(ij.first, v / 4.0);
+    ising.AddField(ij.second, v / 4.0);
+    ising.AddOffset(v / 4.0);
+  }
+  return ising;
+}
+
+std::string Qubo::ToString() const {
+  std::ostringstream os;
+  os << "QUBO(" << num_vars() << " vars, offset " << offset_ << ")\n";
+  for (int i = 0; i < num_vars(); ++i) {
+    if (linear_[i] != 0.0) os << "  " << linear_[i] << " x" << i << "\n";
+  }
+  for (const auto& [ij, v] : quadratic_) {
+    if (v != 0.0)
+      os << "  " << v << " x" << ij.first << " x" << ij.second << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace qdb

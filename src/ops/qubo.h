@@ -1,0 +1,79 @@
+/// \file qubo.h
+/// \brief Quadratic Unconstrained Binary Optimization model — the lingua
+/// franca between database optimization problems and annealing hardware.
+///
+/// A QUBO instance is min_x Σ_i q_i x_i + Σ_{i<j} q_ij x_i x_j + c over
+/// x ∈ {0,1}^n. The database formulations (join ordering, MQO, transaction
+/// scheduling, index selection) all lower to this form, which the annealers
+/// in src/anneal/ consume either directly or via the Ising conversion.
+
+#ifndef QDB_OPS_QUBO_H_
+#define QDB_OPS_QUBO_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/check.h"
+#include "linalg/types.h"
+
+namespace qdb {
+
+class IsingModel;
+
+/// \brief A QUBO instance with dense linear terms and sparse quadratic terms.
+class Qubo {
+ public:
+  /// Creates a zero objective over `num_vars` binary variables.
+  explicit Qubo(int num_vars);
+
+  int num_vars() const { return static_cast<int>(linear_.size()); }
+
+  /// Adds `value` to the linear coefficient of x_i.
+  void AddLinear(int i, double value);
+
+  /// Adds `value` to the coefficient of x_i·x_j (i ≠ j; stored canonically
+  /// with i < j). Adding with i == j folds into the linear term since
+  /// x² = x for binaries.
+  void AddQuadratic(int i, int j, double value);
+
+  /// Adds `value` to the constant offset.
+  void AddOffset(double value);
+
+  double linear(int i) const;
+  double offset() const { return offset_; }
+
+  /// Sparse map {(i, j) → coefficient}, i < j.
+  const std::map<std::pair<int, int>, double>& quadratic() const {
+    return quadratic_;
+  }
+
+  /// Objective value of an assignment (bits.size() == num_vars, entries 0/1).
+  double Energy(const std::vector<uint8_t>& bits) const;
+
+  /// Change in energy from flipping bit `i` of `bits` (O(degree) via the
+  /// adjacency index, used by the annealers' inner loops).
+  double FlipDelta(const std::vector<uint8_t>& bits, int i) const;
+
+  /// Neighbors of variable i with their coupling coefficients.
+  const std::vector<std::pair<int, double>>& Neighbors(int i) const;
+
+  /// Equivalent Ising model under x_i = (1 + s_i) / 2.
+  IsingModel ToIsing() const;
+
+  /// Human-readable listing of non-zero terms.
+  std::string ToString() const;
+
+ private:
+  DVector linear_;
+  std::map<std::pair<int, int>, double> quadratic_;
+  double offset_ = 0.0;
+  // Adjacency index kept in sync with quadratic_ for O(degree) flip deltas.
+  std::vector<std::vector<std::pair<int, double>>> adjacency_;
+};
+
+}  // namespace qdb
+
+#endif  // QDB_OPS_QUBO_H_

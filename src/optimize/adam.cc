@@ -1,0 +1,51 @@
+#include "optimize/adam.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace qdb {
+
+Result<OptimizeResult> MinimizeAdam(const Objective& objective,
+                                    const GradientFn& gradient,
+                                    const DVector& initial,
+                                    const AdamOptions& options) {
+  if (options.learning_rate <= 0.0) {
+    return Status::InvalidArgument("learning rate must be positive");
+  }
+  if (options.beta1 < 0.0 || options.beta1 >= 1.0 || options.beta2 < 0.0 ||
+      options.beta2 >= 1.0) {
+    return Status::InvalidArgument("betas must be in [0, 1)");
+  }
+  OptimizeResult result;
+  result.params = initial;
+  DVector m(initial.size(), 0.0);
+  DVector v(initial.size(), 0.0);
+
+  for (int iter = 1; iter <= options.max_iterations; ++iter) {
+    QDB_ASSIGN_OR_RETURN(DVector grad, gradient(result.params));
+    double grad_inf = 0.0;
+    for (double g : grad) grad_inf = std::max(grad_inf, std::abs(g));
+    if (grad_inf < options.gradient_tolerance) {
+      result.converged = true;
+      break;
+    }
+    const double bc1 = 1.0 - std::pow(options.beta1, iter);
+    const double bc2 = 1.0 - std::pow(options.beta2, iter);
+    for (size_t k = 0; k < result.params.size(); ++k) {
+      const double g = k < grad.size() ? grad[k] : 0.0;
+      m[k] = options.beta1 * m[k] + (1.0 - options.beta1) * g;
+      v[k] = options.beta2 * v[k] + (1.0 - options.beta2) * g * g;
+      const double m_hat = m[k] / bc1;
+      const double v_hat = v[k] / bc2;
+      result.params[k] -=
+          options.learning_rate * m_hat / (std::sqrt(v_hat) + options.epsilon);
+    }
+    ++result.iterations;
+    QDB_ASSIGN_OR_RETURN(double value, objective(result.params));
+    result.history.push_back(value);
+  }
+  QDB_ASSIGN_OR_RETURN(result.value, objective(result.params));
+  return result;
+}
+
+}  // namespace qdb

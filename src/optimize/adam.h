@@ -1,0 +1,30 @@
+/// \file adam.h
+/// \brief Adam optimizer (Kingma & Ba) — the default trainer for VQC/VQE.
+
+#ifndef QDB_OPTIMIZE_ADAM_H_
+#define QDB_OPTIMIZE_ADAM_H_
+
+#include "optimize/optimizer.h"
+
+namespace qdb {
+
+/// \brief Configuration for Adam.
+struct AdamOptions {
+  double learning_rate = 0.05;
+  double beta1 = 0.9;
+  double beta2 = 0.999;
+  double epsilon = 1e-8;
+  int max_iterations = 200;
+  double gradient_tolerance = 1e-6;  ///< Stop when ‖∇f‖∞ falls below this.
+};
+
+/// \brief Minimizes `objective` from `initial` using `gradient` with Adam
+/// updates and bias correction.
+Result<OptimizeResult> MinimizeAdam(const Objective& objective,
+                                    const GradientFn& gradient,
+                                    const DVector& initial,
+                                    const AdamOptions& options = {});
+
+}  // namespace qdb
+
+#endif  // QDB_OPTIMIZE_ADAM_H_

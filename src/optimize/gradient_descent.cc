@@ -1,0 +1,42 @@
+#include "optimize/gradient_descent.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace qdb {
+
+Result<OptimizeResult> MinimizeGradientDescent(
+    const Objective& objective, const GradientFn& gradient,
+    const DVector& initial, const GradientDescentOptions& options) {
+  if (options.learning_rate <= 0.0) {
+    return Status::InvalidArgument("learning rate must be positive");
+  }
+  if (options.momentum < 0.0 || options.momentum >= 1.0) {
+    return Status::InvalidArgument("momentum must be in [0, 1)");
+  }
+  OptimizeResult result;
+  result.params = initial;
+  DVector velocity(initial.size(), 0.0);
+
+  for (int iter = 0; iter < options.max_iterations; ++iter) {
+    QDB_ASSIGN_OR_RETURN(DVector grad, gradient(result.params));
+    double grad_inf = 0.0;
+    for (double g : grad) grad_inf = std::max(grad_inf, std::abs(g));
+    if (grad_inf < options.gradient_tolerance) {
+      result.converged = true;
+      break;
+    }
+    for (size_t k = 0; k < result.params.size(); ++k) {
+      velocity[k] = options.momentum * velocity[k] -
+                    options.learning_rate * (k < grad.size() ? grad[k] : 0.0);
+      result.params[k] += velocity[k];
+    }
+    ++result.iterations;
+    QDB_ASSIGN_OR_RETURN(double value, objective(result.params));
+    result.history.push_back(value);
+  }
+  QDB_ASSIGN_OR_RETURN(result.value, objective(result.params));
+  return result;
+}
+
+}  // namespace qdb

@@ -1,0 +1,26 @@
+/// \file gradient_descent.h
+/// \brief Vanilla / momentum gradient descent.
+
+#ifndef QDB_OPTIMIZE_GRADIENT_DESCENT_H_
+#define QDB_OPTIMIZE_GRADIENT_DESCENT_H_
+
+#include "optimize/optimizer.h"
+
+namespace qdb {
+
+/// \brief Configuration for gradient descent.
+struct GradientDescentOptions {
+  double learning_rate = 0.1;
+  double momentum = 0.0;       ///< 0 = vanilla; classical momentum otherwise.
+  int max_iterations = 200;
+  double gradient_tolerance = 1e-6;  ///< Stop when ‖∇f‖∞ falls below this.
+};
+
+/// \brief Minimizes `objective` from `initial` using `gradient`.
+Result<OptimizeResult> MinimizeGradientDescent(
+    const Objective& objective, const GradientFn& gradient,
+    const DVector& initial, const GradientDescentOptions& options = {});
+
+}  // namespace qdb
+
+#endif  // QDB_OPTIMIZE_GRADIENT_DESCENT_H_

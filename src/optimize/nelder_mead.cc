@@ -1,0 +1,115 @@
+#include "optimize/nelder_mead.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace qdb {
+
+Result<OptimizeResult> MinimizeNelderMead(const Objective& objective,
+                                          const DVector& initial,
+                                          const NelderMeadOptions& options) {
+  const size_t n = initial.size();
+  if (n == 0) {
+    return Status::InvalidArgument("Nelder-Mead needs at least one dimension");
+  }
+  // Initial simplex: x0 plus one vertex per coordinate offset.
+  std::vector<DVector> simplex;
+  simplex.push_back(initial);
+  for (size_t i = 0; i < n; ++i) {
+    DVector v = initial;
+    v[i] += options.initial_step;
+    simplex.push_back(v);
+  }
+  DVector values(n + 1);
+  for (size_t i = 0; i <= n; ++i) {
+    QDB_ASSIGN_OR_RETURN(values[i], objective(simplex[i]));
+  }
+
+  OptimizeResult result;
+  std::vector<size_t> order(n + 1);
+
+  for (int iter = 0; iter < options.max_iterations; ++iter) {
+    std::iota(order.begin(), order.end(), 0);
+    std::sort(order.begin(), order.end(),
+              [&](size_t a, size_t b) { return values[a] < values[b]; });
+    const size_t best = order.front();
+    const size_t worst = order.back();
+    const size_t second_worst = order[n - 1];
+
+    ++result.iterations;
+    result.history.push_back(values[best]);
+    if (std::abs(values[worst] - values[best]) < options.value_tolerance) {
+      result.converged = true;
+      break;
+    }
+
+    // Centroid of all but the worst vertex.
+    DVector centroid(n, 0.0);
+    for (size_t i = 0; i <= n; ++i) {
+      if (i == worst) continue;
+      for (size_t k = 0; k < n; ++k) centroid[k] += simplex[i][k];
+    }
+    for (auto& c : centroid) c /= static_cast<double>(n);
+
+    auto blend = [&](double coeff) {
+      DVector x(n);
+      for (size_t k = 0; k < n; ++k) {
+        x[k] = centroid[k] + coeff * (centroid[k] - simplex[worst][k]);
+      }
+      return x;
+    };
+
+    DVector reflected = blend(options.reflection);
+    QDB_ASSIGN_OR_RETURN(double f_reflected, objective(reflected));
+
+    if (f_reflected < values[best]) {
+      DVector expanded = blend(options.reflection * options.expansion);
+      QDB_ASSIGN_OR_RETURN(double f_expanded, objective(expanded));
+      if (f_expanded < f_reflected) {
+        simplex[worst] = std::move(expanded);
+        values[worst] = f_expanded;
+      } else {
+        simplex[worst] = std::move(reflected);
+        values[worst] = f_reflected;
+      }
+      continue;
+    }
+    if (f_reflected < values[second_worst]) {
+      simplex[worst] = std::move(reflected);
+      values[worst] = f_reflected;
+      continue;
+    }
+    // Contraction (outside if the reflected point improved on the worst).
+    const bool outside = f_reflected < values[worst];
+    DVector contracted =
+        blend(outside ? options.reflection * options.contraction
+                      : -options.contraction);
+    QDB_ASSIGN_OR_RETURN(double f_contracted, objective(contracted));
+    const double reference = outside ? f_reflected : values[worst];
+    if (f_contracted < reference) {
+      simplex[worst] = std::move(contracted);
+      values[worst] = f_contracted;
+      continue;
+    }
+    // Shrink toward the best vertex.
+    for (size_t i = 0; i <= n; ++i) {
+      if (i == best) continue;
+      for (size_t k = 0; k < n; ++k) {
+        simplex[i][k] = simplex[best][k] +
+                        options.shrink * (simplex[i][k] - simplex[best][k]);
+      }
+      QDB_ASSIGN_OR_RETURN(values[i], objective(simplex[i]));
+    }
+  }
+
+  size_t best = 0;
+  for (size_t i = 1; i <= n; ++i) {
+    if (values[i] < values[best]) best = i;
+  }
+  result.params = simplex[best];
+  result.value = values[best];
+  return result;
+}
+
+}  // namespace qdb

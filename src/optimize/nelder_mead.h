@@ -1,0 +1,30 @@
+/// \file nelder_mead.h
+/// \brief Nelder–Mead downhill simplex (derivative-free local search).
+
+#ifndef QDB_OPTIMIZE_NELDER_MEAD_H_
+#define QDB_OPTIMIZE_NELDER_MEAD_H_
+
+#include "optimize/optimizer.h"
+
+namespace qdb {
+
+/// \brief Configuration for Nelder–Mead.
+struct NelderMeadOptions {
+  double initial_step = 0.5;   ///< Offset of initial simplex vertices.
+  double reflection = 1.0;
+  double expansion = 2.0;
+  double contraction = 0.5;
+  double shrink = 0.5;
+  int max_iterations = 500;
+  /// Stop when the simplex value spread falls below this.
+  double value_tolerance = 1e-9;
+};
+
+/// \brief Minimizes `objective` from `initial` with the downhill simplex.
+Result<OptimizeResult> MinimizeNelderMead(const Objective& objective,
+                                          const DVector& initial,
+                                          const NelderMeadOptions& options = {});
+
+}  // namespace qdb
+
+#endif  // QDB_OPTIMIZE_NELDER_MEAD_H_

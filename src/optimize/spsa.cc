@@ -1,0 +1,51 @@
+#include "optimize/spsa.h"
+
+#include <cmath>
+
+namespace qdb {
+
+Result<OptimizeResult> MinimizeSpsa(const Objective& objective,
+                                    const DVector& initial,
+                                    const SpsaOptions& options) {
+  if (options.a <= 0.0 || options.c <= 0.0) {
+    return Status::InvalidArgument("SPSA gains a and c must be positive");
+  }
+  Rng rng(options.seed);
+  OptimizeResult result;
+  DVector params = initial;
+  QDB_ASSIGN_OR_RETURN(double best_value, objective(params));
+  result.params = params;
+  result.value = best_value;
+
+  const size_t n = params.size();
+  DVector delta(n);
+  DVector perturbed(n);
+
+  for (int k = 0; k < options.max_iterations; ++k) {
+    const double ak = options.a / std::pow(k + 1 + options.big_a, options.alpha);
+    const double ck = options.c / std::pow(k + 1, options.gamma);
+    // Rademacher perturbation direction.
+    for (auto& d : delta) d = rng.Bernoulli(0.5) ? 1.0 : -1.0;
+
+    for (size_t i = 0; i < n; ++i) perturbed[i] = params[i] + ck * delta[i];
+    QDB_ASSIGN_OR_RETURN(double f_plus, objective(perturbed));
+    for (size_t i = 0; i < n; ++i) perturbed[i] = params[i] - ck * delta[i];
+    QDB_ASSIGN_OR_RETURN(double f_minus, objective(perturbed));
+
+    const double diff = (f_plus - f_minus) / (2.0 * ck);
+    for (size_t i = 0; i < n; ++i) params[i] -= ak * diff / delta[i];
+
+    ++result.iterations;
+    QDB_ASSIGN_OR_RETURN(double value, objective(params));
+    result.history.push_back(value);
+    if (value < best_value) {
+      best_value = value;
+      result.params = params;
+      result.value = value;
+    }
+  }
+  result.converged = true;  // SPSA runs a fixed budget by design.
+  return result;
+}
+
+}  // namespace qdb

@@ -1,0 +1,34 @@
+/// \file spsa.h
+/// \brief Simultaneous Perturbation Stochastic Approximation — the
+/// gradient-free optimizer of choice on sampled/noisy quantum hardware
+/// (two objective evaluations per step regardless of dimension).
+
+#ifndef QDB_OPTIMIZE_SPSA_H_
+#define QDB_OPTIMIZE_SPSA_H_
+
+#include "common/rng.h"
+#include "optimize/optimizer.h"
+
+namespace qdb {
+
+/// \brief SPSA gain schedules a_k = a/(k+1+A)^alpha, c_k = c/(k+1)^gamma
+/// (Spall's standard coefficients).
+struct SpsaOptions {
+  double a = 0.2;
+  double c = 0.1;
+  double big_a = 10.0;    ///< Stability constant A.
+  double alpha = 0.602;
+  double gamma = 0.101;
+  int max_iterations = 300;
+  uint64_t seed = 7;
+};
+
+/// \brief Minimizes `objective` from `initial` with SPSA; tracks and
+/// returns the best parameters seen (SPSA iterates are noisy).
+Result<OptimizeResult> MinimizeSpsa(const Objective& objective,
+                                    const DVector& initial,
+                                    const SpsaOptions& options = {});
+
+}  // namespace qdb
+
+#endif  // QDB_OPTIMIZE_SPSA_H_

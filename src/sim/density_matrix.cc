@@ -1,0 +1,199 @@
+#include "sim/density_matrix.h"
+
+#include <cmath>
+
+namespace qdb {
+
+DensityMatrix::DensityMatrix(int num_qubits)
+    : num_qubits_(num_qubits), vec_(2 * num_qubits) {
+  QDB_CHECK_GT(num_qubits, 0);
+  QDB_CHECK_LE(num_qubits, 12);
+  // |0⟩⟨0| vectorizes to amplitude 1 at index 0 — the StateVector default.
+}
+
+DensityMatrix DensityMatrix::FromStateVector(const StateVector& psi) {
+  DensityMatrix rho(psi.num_qubits());
+  const uint64_t d = psi.dim();
+  CVector& v = rho.vec_.amplitudes();
+  const CVector& a = psi.amplitudes();
+  for (uint64_t r = 0; r < d; ++r) {
+    for (uint64_t c = 0; c < d; ++c) {
+      v[r * d + c] = a[r] * std::conj(a[c]);
+    }
+  }
+  return rho;
+}
+
+Complex DensityMatrix::Element(uint64_t row, uint64_t col) const {
+  QDB_CHECK_LT(row, dim());
+  QDB_CHECK_LT(col, dim());
+  return vec_.amplitudes()[row * dim() + col];
+}
+
+double DensityMatrix::TraceValue() const {
+  const uint64_t d = dim();
+  double acc = 0.0;
+  for (uint64_t i = 0; i < d; ++i) acc += vec_.amplitudes()[i * d + i].real();
+  return acc;
+}
+
+double DensityMatrix::Purity() const {
+  // Tr(ρ²) = Σ_{rc} |ρ_rc|² for Hermitian ρ — the vectorized L2 norm².
+  double acc = 0.0;
+  for (const auto& x : vec_.amplitudes()) acc += std::norm(x);
+  return acc;
+}
+
+DVector DensityMatrix::Probabilities() const {
+  const uint64_t d = dim();
+  DVector out(d);
+  for (uint64_t i = 0; i < d; ++i) out[i] = vec_.amplitudes()[i * d + i].real();
+  return out;
+}
+
+double DensityMatrix::ProbabilityOfOne(int qubit) const {
+  QDB_CHECK_GE(qubit, 0);
+  QDB_CHECK_LT(qubit, num_qubits_);
+  const uint64_t mask = uint64_t{1} << (num_qubits_ - 1 - qubit);
+  const uint64_t d = dim();
+  double p = 0.0;
+  for (uint64_t i = 0; i < d; ++i) {
+    if (i & mask) p += vec_.amplitudes()[i * d + i].real();
+  }
+  return p;
+}
+
+double DensityMatrix::ExpectationOf(const PauliString& pauli) const {
+  QDB_CHECK_EQ(pauli.num_qubits(), num_qubits_);
+  const int n = num_qubits_;
+  uint64_t xmask = 0, ymask = 0, zmask = 0;
+  for (int q = 0; q < n; ++q) {
+    const uint64_t bit = uint64_t{1} << (n - 1 - q);
+    switch (pauli.op(q)) {
+      case PauliOp::kI: break;
+      case PauliOp::kX: xmask |= bit; break;
+      case PauliOp::kY: xmask |= bit; ymask |= bit; break;
+      case PauliOp::kZ: zmask |= bit; break;
+    }
+  }
+  Complex i_power(1.0, 0.0);
+  switch (__builtin_popcountll(ymask) & 3) {
+    case 0: i_power = {1.0, 0.0}; break;
+    case 1: i_power = {0.0, 1.0}; break;
+    case 2: i_power = {-1.0, 0.0}; break;
+    case 3: i_power = {0.0, -1.0}; break;
+  }
+  // P|i⟩ = phase(i)|i ^ xmask⟩ ⇒ Tr(ρP) = Σ_i ρ(i, i ^ xmask) · phase(i).
+  const uint64_t d = dim();
+  Complex acc(0.0, 0.0);
+  for (uint64_t i = 0; i < d; ++i) {
+    const int sign =
+        (__builtin_popcountll(i & ymask) + __builtin_popcountll(i & zmask)) & 1;
+    const Complex phase = i_power * (sign ? -1.0 : 1.0);
+    acc += vec_.amplitudes()[i * d + (i ^ xmask)] * phase;
+  }
+  return acc.real();
+}
+
+double DensityMatrix::ExpectationOf(const PauliSum& observable) const {
+  QDB_CHECK_EQ(observable.num_qubits(), num_qubits_);
+  double total = 0.0;
+  for (const auto& t : observable.terms()) {
+    total += t.coefficient * ExpectationOf(t.pauli);
+  }
+  return total;
+}
+
+void DensityMatrix::ApplyUnitary(const std::vector<int>& qubits,
+                                 const Matrix& u) {
+  // Row side: qubits as-is; column side: shifted by n with conj(U).
+  vec_.ApplyKQ(qubits, u);
+  std::vector<int> col_qubits;
+  col_qubits.reserve(qubits.size());
+  for (int q : qubits) col_qubits.push_back(q + num_qubits_);
+  vec_.ApplyKQ(col_qubits, u.Conjugate());
+}
+
+void DensityMatrix::ApplyKraus(const std::vector<int>& qubits,
+                               const std::vector<Matrix>& kraus_ops) {
+  QDB_CHECK(!kraus_ops.empty());
+  std::vector<int> col_qubits;
+  col_qubits.reserve(qubits.size());
+  for (int q : qubits) col_qubits.push_back(q + num_qubits_);
+
+  CVector accumulated(vec_.amplitudes().size(), Complex(0.0, 0.0));
+  const CVector original = vec_.amplitudes();
+  for (const auto& k : kraus_ops) {
+    vec_.amplitudes() = original;
+    vec_.ApplyKQ(qubits, k);
+    vec_.ApplyKQ(col_qubits, k.Conjugate());
+    for (size_t i = 0; i < accumulated.size(); ++i) {
+      accumulated[i] += vec_.amplitudes()[i];
+    }
+  }
+  vec_.amplitudes() = std::move(accumulated);
+}
+
+void DensityMatrix::ApplyMCX(const std::vector<int>& controls, int target) {
+  vec_.ApplyMCX(controls, target);
+  std::vector<int> col_controls;
+  for (int c : controls) col_controls.push_back(c + num_qubits_);
+  vec_.ApplyMCX(col_controls, target + num_qubits_);
+}
+
+void DensityMatrix::ApplyMCZ(const std::vector<int>& controls, int target) {
+  vec_.ApplyMCZ(controls, target);
+  std::vector<int> col_controls;
+  for (int c : controls) col_controls.push_back(c + num_qubits_);
+  vec_.ApplyMCZ(col_controls, target + num_qubits_);
+}
+
+std::map<uint64_t, int> DensityMatrix::SampleCounts(Rng& rng, int shots,
+                                                    double readout_flip) const {
+  QDB_CHECK_GE(shots, 0);
+  QDB_CHECK_GE(readout_flip, 0.0);
+  QDB_CHECK_LE(readout_flip, 1.0);
+  DVector probs = Probabilities();
+  // Clamp tiny negative diagonal values from numerical error.
+  double total = 0.0;
+  for (auto& p : probs) {
+    if (p < 0.0) p = 0.0;
+    total += p;
+  }
+  QDB_CHECK_GT(total, 0.0);
+  std::map<uint64_t, int> counts;
+  for (int s = 0; s < shots; ++s) {
+    double target = rng.Uniform() * total;
+    double acc = 0.0;
+    uint64_t outcome = dim() - 1;
+    for (uint64_t i = 0; i < dim(); ++i) {
+      acc += probs[i];
+      if (target < acc) {
+        outcome = i;
+        break;
+      }
+    }
+    if (readout_flip > 0.0) {
+      for (int q = 0; q < num_qubits_; ++q) {
+        if (rng.Bernoulli(readout_flip)) {
+          outcome ^= uint64_t{1} << (num_qubits_ - 1 - q);
+        }
+      }
+    }
+    ++counts[outcome];
+  }
+  return counts;
+}
+
+Matrix DensityMatrix::ToMatrix() const {
+  const uint64_t d = dim();
+  Matrix out(d, d);
+  for (uint64_t r = 0; r < d; ++r) {
+    for (uint64_t c = 0; c < d; ++c) {
+      out(r, c) = vec_.amplitudes()[r * d + c];
+    }
+  }
+  return out;
+}
+
+}  // namespace qdb

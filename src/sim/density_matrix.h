@@ -1,0 +1,85 @@
+/// \file density_matrix.h
+/// \brief Mixed-state representation via the vectorization trick.
+///
+/// ρ (2^n x 2^n) is stored row-major as the amplitude vector of a 2n-qubit
+/// StateVector: the first n "qubits" index rows, the last n index columns.
+/// A unitary U on circuit qubits then acts as U on the row qubits and
+/// conj(U) on the column qubits, so every StateVector gate kernel is reused
+/// verbatim. The vector is not L2-normalized — Tr(ρ) = 1 is the invariant.
+
+#ifndef QDB_SIM_DENSITY_MATRIX_H_
+#define QDB_SIM_DENSITY_MATRIX_H_
+
+#include <map>
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "linalg/matrix.h"
+#include "ops/pauli.h"
+#include "sim/state_vector.h"
+
+namespace qdb {
+
+/// \brief An n-qubit density matrix with in-place gate and channel kernels.
+class DensityMatrix {
+ public:
+  /// Initializes the pure state |0...0⟩⟨0...0|.
+  explicit DensityMatrix(int num_qubits);
+
+  /// Builds ρ = |ψ⟩⟨ψ| from a pure state.
+  static DensityMatrix FromStateVector(const StateVector& psi);
+
+  int num_qubits() const { return num_qubits_; }
+  uint64_t dim() const { return uint64_t{1} << num_qubits_; }
+
+  /// Entry ρ(row, col).
+  Complex Element(uint64_t row, uint64_t col) const;
+
+  /// Tr(ρ) — should be 1 for a valid state.
+  double TraceValue() const;
+
+  /// Tr(ρ²) ∈ (0, 1]; equals 1 exactly for pure states.
+  double Purity() const;
+
+  /// Diagonal of ρ: basis-state probabilities.
+  DVector Probabilities() const;
+
+  /// Probability that measuring `qubit` yields 1.
+  double ProbabilityOfOne(int qubit) const;
+
+  /// Tr(ρ P) for a Pauli string (real for valid states).
+  double ExpectationOf(const PauliString& pauli) const;
+
+  /// Tr(ρ H) for a Pauli-sum observable.
+  double ExpectationOf(const PauliSum& observable) const;
+
+  /// Applies a unitary gate's matrix on the given qubits: ρ → UρU†.
+  void ApplyUnitary(const std::vector<int>& qubits, const Matrix& u);
+
+  /// Applies a Kraus channel on the given qubits: ρ → Σ K ρ K†.
+  void ApplyKraus(const std::vector<int>& qubits,
+                  const std::vector<Matrix>& kraus_ops);
+
+  /// Multi-controlled X/Z fast paths (real matrices: row/col sides match).
+  void ApplyMCX(const std::vector<int>& controls, int target);
+  void ApplyMCZ(const std::vector<int>& controls, int target);
+
+  /// Samples `shots` measurement outcomes from the diagonal; applies a
+  /// symmetric per-bit readout flip with probability `readout_flip`.
+  std::map<uint64_t, int> SampleCounts(Rng& rng, int shots,
+                                       double readout_flip = 0.0) const;
+
+  /// Dense matrix copy (for tests and diagnostics).
+  Matrix ToMatrix() const;
+
+ private:
+  /// Row-side qubit q of the circuit ↔ vectorized qubit q.
+  /// Column-side ↔ vectorized qubit q + n.
+  int num_qubits_;
+  StateVector vec_;  ///< 2n-qubit vectorized ρ (unnormalized in L2).
+};
+
+}  // namespace qdb
+
+#endif  // QDB_SIM_DENSITY_MATRIX_H_

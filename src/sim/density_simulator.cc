@@ -1,0 +1,66 @@
+#include "sim/density_simulator.h"
+
+#include "common/strings.h"
+
+namespace qdb {
+
+Result<DensityMatrix> DensitySimulator::Run(const Circuit& circuit,
+                                            const DVector& params) const {
+  DensityMatrix rho(circuit.num_qubits());
+  QDB_RETURN_IF_ERROR(RunInPlace(circuit, rho, params));
+  return rho;
+}
+
+Status DensitySimulator::RunInPlace(const Circuit& circuit, DensityMatrix& rho,
+                                    const DVector& params) const {
+  if (rho.num_qubits() != circuit.num_qubits()) {
+    return Status::InvalidArgument(
+        StrCat("state has ", rho.num_qubits(), " qubits but circuit has ",
+               circuit.num_qubits()));
+  }
+  if (static_cast<int>(params.size()) < circuit.num_parameters()) {
+    return Status::InvalidArgument(
+        StrCat("circuit references ", circuit.num_parameters(),
+               " parameters but only ", params.size(), " were bound"));
+  }
+  for (size_t i = 0; i < circuit.gates().size(); ++i) {
+    const Gate& gate = circuit.gates()[i];
+    DVector angles = circuit.EvaluateAngles(i, params);
+    QDB_RETURN_IF_ERROR(ApplyGateWithNoise(gate, angles, rho));
+  }
+  return Status::OK();
+}
+
+Status DensitySimulator::ApplyGateWithNoise(const Gate& gate,
+                                            const DVector& angles,
+                                            DensityMatrix& rho) const {
+  switch (gate.type) {
+    case GateType::kMCX: {
+      std::vector<int> controls(gate.qubits.begin(), gate.qubits.end() - 1);
+      rho.ApplyMCX(controls, gate.qubits.back());
+      break;
+    }
+    case GateType::kMCZ: {
+      std::vector<int> controls(gate.qubits.begin(), gate.qubits.end() - 1);
+      rho.ApplyMCZ(controls, gate.qubits.back());
+      break;
+    }
+    default:
+      rho.ApplyUnitary(gate.qubits, GateMatrix(gate.type, angles));
+      break;
+  }
+  const auto& channels =
+      gate.qubits.size() == 1 ? noise_.after_1q : noise_.after_2q;
+  for (const auto& channel : channels) {
+    if (channel.num_qubits() != 1) {
+      return Status::Unimplemented(
+          "NoiseModel currently supports only 1-qubit attached channels");
+    }
+    for (int q : gate.qubits) {
+      rho.ApplyKraus({q}, channel.operators());
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace qdb

@@ -1,0 +1,43 @@
+/// \file density_simulator.h
+/// \brief Noisy circuit execution on density matrices: gate, then attached
+/// Kraus channels per operand qubit — the NISQ-hardware substitute.
+
+#ifndef QDB_SIM_DENSITY_SIMULATOR_H_
+#define QDB_SIM_DENSITY_SIMULATOR_H_
+
+#include "circuit/circuit.h"
+#include "common/result.h"
+#include "sim/density_matrix.h"
+#include "sim/noise.h"
+
+namespace qdb {
+
+/// \brief Runs circuits under a NoiseModel, producing exact mixed states.
+///
+/// Cost is O(4^n) per gate, so this simulator targets n ≲ 10 — ample for
+/// the noise-impact experiments (E14). The noiseless state-vector simulator
+/// remains the default substrate everywhere else.
+class DensitySimulator {
+ public:
+  explicit DensitySimulator(NoiseModel noise = {}) : noise_(std::move(noise)) {}
+
+  const NoiseModel& noise() const { return noise_; }
+
+  /// Runs `circuit` from |0...0⟩⟨0...0| with `params` bound.
+  Result<DensityMatrix> Run(const Circuit& circuit,
+                            const DVector& params = {}) const;
+
+  /// Runs `circuit` on an existing state (in place).
+  Status RunInPlace(const Circuit& circuit, DensityMatrix& rho,
+                    const DVector& params = {}) const;
+
+ private:
+  Status ApplyGateWithNoise(const Gate& gate, const DVector& angles,
+                            DensityMatrix& rho) const;
+
+  NoiseModel noise_;
+};
+
+}  // namespace qdb
+
+#endif  // QDB_SIM_DENSITY_SIMULATOR_H_

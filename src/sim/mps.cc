@@ -1,0 +1,205 @@
+#include "sim/mps.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/strings.h"
+#include "linalg/svd.h"
+
+namespace qdb {
+
+MpsState::MpsState(int num_qubits, int max_bond, double svd_tol)
+    : max_bond_(max_bond), svd_tol_(svd_tol) {
+  QDB_CHECK_GT(num_qubits, 0);
+  QDB_CHECK_GT(max_bond, 0);
+  tensors_.resize(num_qubits);
+  for (auto& site : tensors_) {
+    site[0] = Matrix(1, 1);
+    site[0](0, 0) = Complex(1.0, 0.0);  // |0⟩ component.
+    site[1] = Matrix(1, 1);             // |1⟩ component: zero.
+  }
+}
+
+int MpsState::MaxBondDimension() const {
+  int best = 1;
+  for (const auto& site : tensors_) {
+    best = std::max(best, static_cast<int>(site[0].cols()));
+  }
+  return best;
+}
+
+void MpsState::Apply1Q(int site, const Matrix& u) {
+  QDB_CHECK_GE(site, 0);
+  QDB_CHECK_LT(site, num_qubits());
+  QDB_CHECK_EQ(u.rows(), 2u);
+  // A'[s] = Σ_t U(s, t) A[t].
+  Matrix a0 = tensors_[site][0] * u(0, 0) + tensors_[site][1] * u(0, 1);
+  Matrix a1 = tensors_[site][0] * u(1, 0) + tensors_[site][1] * u(1, 1);
+  tensors_[site][0] = std::move(a0);
+  tensors_[site][1] = std::move(a1);
+}
+
+Status MpsState::Apply2QAdjacent(int site, const Matrix& u) {
+  if (site < 0 || site + 1 >= num_qubits()) {
+    return Status::OutOfRange(StrCat("adjacent pair (", site, ", ", site + 1,
+                                     ") out of range"));
+  }
+  if (u.rows() != 4 || u.cols() != 4) {
+    return Status::InvalidArgument("two-qubit gate matrix must be 4x4");
+  }
+  const auto& left = tensors_[site];
+  const auto& right = tensors_[site + 1];
+  const size_t a = left[0].rows();
+  const size_t b = right[0].cols();
+
+  // Θ[s1][s2] = A_k[s1] · A_{k+1}[s2]  (a × b each).
+  Matrix theta[2][2];
+  for (int s1 = 0; s1 < 2; ++s1) {
+    for (int s2 = 0; s2 < 2; ++s2) theta[s1][s2] = left[s1] * right[s2];
+  }
+  // Gate application: Θ'[s] = Σ_t U(s, t) Θ[t], s = (s1, s2) with s1 high.
+  Matrix transformed[2][2];
+  for (int s1 = 0; s1 < 2; ++s1) {
+    for (int s2 = 0; s2 < 2; ++s2) {
+      Matrix acc(a, b);
+      for (int t1 = 0; t1 < 2; ++t1) {
+        for (int t2 = 0; t2 < 2; ++t2) {
+          const Complex coeff = u(2 * s1 + s2, 2 * t1 + t2);
+          if (coeff != Complex(0.0, 0.0)) acc += theta[t1][t2] * coeff;
+        }
+      }
+      transformed[s1][s2] = std::move(acc);
+    }
+  }
+  // Reshape to (2a) × (2b) and split with a truncated SVD.
+  Matrix merged(2 * a, 2 * b);
+  for (int s1 = 0; s1 < 2; ++s1) {
+    for (int s2 = 0; s2 < 2; ++s2) {
+      for (size_t i = 0; i < a; ++i) {
+        for (size_t j = 0; j < b; ++j) {
+          merged(s1 * a + i, s2 * b + j) = transformed[s1][s2](i, j);
+        }
+      }
+    }
+  }
+  double discarded = 0.0;
+  QDB_ASSIGN_OR_RETURN(
+      SvdResult svd,
+      TruncatedSvd(merged, static_cast<size_t>(max_bond_), &discarded,
+                   svd_tol_));
+  truncation_weight_ += discarded;
+  const size_t r = std::max<size_t>(svd.rank(), 1);
+
+  // Left site keeps U; σ·V† folds into the right site.
+  for (int s1 = 0; s1 < 2; ++s1) {
+    Matrix t(a, r);
+    for (size_t i = 0; i < a; ++i) {
+      for (size_t c = 0; c < svd.rank(); ++c) t(i, c) = svd.u(s1 * a + i, c);
+    }
+    tensors_[site][s1] = std::move(t);
+  }
+  for (int s2 = 0; s2 < 2; ++s2) {
+    Matrix t(r, b);
+    for (size_t c = 0; c < svd.rank(); ++c) {
+      for (size_t j = 0; j < b; ++j) {
+        t(c, j) = svd.singular_values[c] * std::conj(svd.v(s2 * b + j, c));
+      }
+    }
+    tensors_[site + 1][s2] = std::move(t);
+  }
+  return Status::OK();
+}
+
+void MpsState::SwapAdjacent(int site) {
+  Status s = Apply2QAdjacent(site, GateMatrix(GateType::kSwap, {}));
+  QDB_CHECK(s.ok()) << s.ToString();
+}
+
+Status MpsState::ApplyGate(const Gate& gate, const DVector& angles) {
+  if (gate.type == GateType::kI) return Status::OK();
+  if (gate.qubits.size() == 1) {
+    Apply1Q(gate.qubits[0], GateMatrix(gate.type, angles));
+    return Status::OK();
+  }
+  if (gate.qubits.size() != 2) {
+    return Status::Unimplemented(
+        StrCat("MPS simulator does not support ", gate.qubits.size(),
+               "-qubit gate '", GateTypeName(gate.type), "'"));
+  }
+  Matrix u = GateMatrix(gate.type, angles);
+  int high = gate.qubits[0];
+  int low = gate.qubits[1];
+  if (high > low) {
+    // Reverse the operand order by conjugating with SWAP: the routed pair
+    // will be (low, high) with `low` as the high matrix bit.
+    const Matrix swap = GateMatrix(GateType::kSwap, {});
+    u = swap * u * swap;
+    std::swap(high, low);
+  }
+  // Route `low` leftward until adjacent to `high`, apply, route back.
+  int pos = low;
+  while (pos > high + 1) {
+    SwapAdjacent(pos - 1);
+    --pos;
+  }
+  QDB_RETURN_IF_ERROR(Apply2QAdjacent(high, u));
+  while (pos < low) {
+    SwapAdjacent(pos);
+    ++pos;
+  }
+  return Status::OK();
+}
+
+Complex MpsState::Amplitude(uint64_t index) const {
+  const int n = num_qubits();
+  QDB_CHECK_LT(index, n >= 64 ? ~uint64_t{0} : (uint64_t{1} << n));
+  // Row vector contraction left to right.
+  Matrix v(1, 1);
+  v(0, 0) = Complex(1.0, 0.0);
+  for (int k = 0; k < n; ++k) {
+    const int bit = (index >> (n - 1 - k)) & 1;
+    v = v * tensors_[k][bit];
+  }
+  return v(0, 0);
+}
+
+Result<CVector> MpsState::ToAmplitudes() const {
+  if (num_qubits() > 20) {
+    return Status::InvalidArgument(
+        "ToAmplitudes limited to 20 qubits; use Amplitude()");
+  }
+  const uint64_t dim = uint64_t{1} << num_qubits();
+  CVector out(dim);
+  for (uint64_t i = 0; i < dim; ++i) out[i] = Amplitude(i);
+  return out;
+}
+
+double MpsState::NormSquared() const {
+  // E_k = Σ_s A_k[s]† ⊗-contracted transfer; track as a χ×χ matrix.
+  Matrix env(1, 1);
+  env(0, 0) = Complex(1.0, 0.0);
+  for (const auto& site : tensors_) {
+    const size_t r = site[0].cols();
+    Matrix next(r, r);
+    for (int s = 0; s < 2; ++s) {
+      next += site[s].Adjoint() * env * site[s];
+    }
+    env = std::move(next);
+  }
+  return env(0, 0).real();
+}
+
+Result<MpsState> MpsSimulator::Run(const Circuit& circuit,
+                                   const DVector& params) const {
+  if (static_cast<int>(params.size()) < circuit.num_parameters()) {
+    return Status::InvalidArgument("too few parameters bound");
+  }
+  MpsState state(circuit.num_qubits(), options_.max_bond, options_.svd_tol);
+  for (size_t i = 0; i < circuit.gates().size(); ++i) {
+    DVector angles = circuit.EvaluateAngles(i, params);
+    QDB_RETURN_IF_ERROR(state.ApplyGate(circuit.gates()[i], angles));
+  }
+  return state;
+}
+
+}  // namespace qdb

@@ -1,0 +1,94 @@
+/// \file mps.h
+/// \brief Matrix-product-state simulator: the tensor-network technique the
+/// QML literature borrows from many-body physics. Simulates circuits whose
+/// entanglement stays bounded — chain-like circuits on far more qubits
+/// than the 2^n state vector allows — with controllable truncation.
+
+#ifndef QDB_SIM_MPS_H_
+#define QDB_SIM_MPS_H_
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "circuit/circuit.h"
+#include "common/result.h"
+#include "linalg/matrix.h"
+#include "linalg/types.h"
+
+namespace qdb {
+
+/// \brief An n-qubit state as a chain of site tensors A_k[s] (χ_l × χ_r
+/// matrices per physical index s ∈ {0, 1}).
+///
+/// Two-qubit gates on adjacent sites contract the pair, apply the 4×4
+/// matrix, and split back with a truncated SVD (bond ≤ max_bond);
+/// non-adjacent operands are routed with adjacent swaps. With
+/// max_bond ≥ 2^{n/2} the representation is exact; smaller bonds trade
+/// fidelity for memory/time, with the discarded weight tracked.
+class MpsState {
+ public:
+  /// |0…0⟩ with every bond dimension 1.
+  MpsState(int num_qubits, int max_bond = 64, double svd_tol = 1e-12);
+
+  int num_qubits() const { return static_cast<int>(tensors_.size()); }
+  int max_bond() const { return max_bond_; }
+
+  /// Accumulated discarded squared singular-value weight (0 = exact).
+  double truncation_weight() const { return truncation_weight_; }
+
+  /// Largest current bond dimension.
+  int MaxBondDimension() const;
+
+  /// Applies a 2×2 unitary to one site (never grows bonds).
+  void Apply1Q(int site, const Matrix& u);
+
+  /// Applies a 4×4 unitary to sites (site, site+1), with `site` the high
+  /// bit of the matrix index.
+  Status Apply2QAdjacent(int site, const Matrix& u);
+
+  /// Applies any 1- or 2-qubit gate (non-adjacent operands are swap-routed
+  /// there and back). Gates on ≥3 qubits return Unimplemented.
+  Status ApplyGate(const Gate& gate, const DVector& angles);
+
+  /// ⟨index|ψ⟩ by contracting the chain (O(n·χ²)).
+  Complex Amplitude(uint64_t index) const;
+
+  /// Full amplitude vector (n ≤ 20 enforced; for tests and diagnostics).
+  Result<CVector> ToAmplitudes() const;
+
+  /// ⟨ψ|ψ⟩ — drifts below 1 exactly by the truncated weight.
+  double NormSquared() const;
+
+ private:
+  void SwapAdjacent(int site);
+
+  int max_bond_;
+  double svd_tol_;
+  double truncation_weight_ = 0.0;
+  /// tensors_[k][s]: χ_{k} × χ_{k+1} matrix.
+  std::vector<std::array<Matrix, 2>> tensors_;
+};
+
+/// \brief Runs circuits on MpsState, mirroring StateVectorSimulator.
+class MpsSimulator {
+ public:
+  struct Options {
+    int max_bond = 64;
+    double svd_tol = 1e-12;
+  };
+
+  MpsSimulator() : options_(Options{}) {}
+  explicit MpsSimulator(Options options) : options_(options) {}
+
+  /// Runs `circuit` from |0…0⟩ with `params` bound.
+  Result<MpsState> Run(const Circuit& circuit,
+                       const DVector& params = {}) const;
+
+ private:
+  Options options_;
+};
+
+}  // namespace qdb
+
+#endif  // QDB_SIM_MPS_H_

@@ -1,0 +1,110 @@
+#include "sim/noise.h"
+
+#include <cmath>
+
+#include "common/strings.h"
+#include "ops/pauli.h"
+
+namespace qdb {
+
+Result<KrausChannel> KrausChannel::Create(std::vector<Matrix> kraus_ops,
+                                          double tol) {
+  if (kraus_ops.empty()) {
+    return Status::InvalidArgument("Kraus channel needs at least one operator");
+  }
+  const size_t dim = kraus_ops.front().rows();
+  if (dim == 0 || (dim & (dim - 1)) != 0) {
+    return Status::InvalidArgument("Kraus operator dimension must be 2^k");
+  }
+  Matrix completeness(dim, dim);
+  for (const auto& k : kraus_ops) {
+    if (k.rows() != dim || k.cols() != dim) {
+      return Status::InvalidArgument("Kraus operators must share a square shape");
+    }
+    completeness += k.Adjoint() * k;
+  }
+  if (!completeness.ApproxEqual(Matrix::Identity(dim), tol)) {
+    return Status::InvalidArgument(
+        "Kraus operators do not satisfy the completeness relation");
+  }
+  int num_qubits = 0;
+  while ((size_t{1} << num_qubits) < dim) ++num_qubits;
+  return KrausChannel(std::move(kraus_ops), num_qubits);
+}
+
+namespace {
+
+Status ValidateProbability(double p, const char* name) {
+  if (p < 0.0 || p > 1.0) {
+    return Status::InvalidArgument(
+        StrCat(name, " must be in [0, 1], got ", p));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<KrausChannel> DepolarizingChannel(double p) {
+  QDB_RETURN_IF_ERROR(ValidateProbability(p, "depolarizing probability"));
+  const double k0 = std::sqrt(1.0 - 3.0 * p / 4.0);
+  const double kp = std::sqrt(p / 4.0);
+  std::vector<Matrix> ops;
+  ops.push_back(Matrix::Identity(2) * Complex(k0, 0.0));
+  ops.push_back(PauliMatrix(PauliOp::kX) * Complex(kp, 0.0));
+  ops.push_back(PauliMatrix(PauliOp::kY) * Complex(kp, 0.0));
+  ops.push_back(PauliMatrix(PauliOp::kZ) * Complex(kp, 0.0));
+  return KrausChannel::Create(std::move(ops));
+}
+
+Result<KrausChannel> AmplitudeDampingChannel(double gamma) {
+  QDB_RETURN_IF_ERROR(ValidateProbability(gamma, "damping gamma"));
+  Matrix k0(2, 2);
+  k0(0, 0) = Complex(1.0, 0.0);
+  k0(1, 1) = Complex(std::sqrt(1.0 - gamma), 0.0);
+  Matrix k1(2, 2);
+  k1(0, 1) = Complex(std::sqrt(gamma), 0.0);
+  return KrausChannel::Create({k0, k1});
+}
+
+Result<KrausChannel> PhaseDampingChannel(double lambda) {
+  QDB_RETURN_IF_ERROR(ValidateProbability(lambda, "damping lambda"));
+  Matrix k0(2, 2);
+  k0(0, 0) = Complex(1.0, 0.0);
+  k0(1, 1) = Complex(std::sqrt(1.0 - lambda), 0.0);
+  Matrix k1(2, 2);
+  k1(1, 1) = Complex(std::sqrt(lambda), 0.0);
+  return KrausChannel::Create({k0, k1});
+}
+
+Result<KrausChannel> BitFlipChannel(double p) {
+  QDB_RETURN_IF_ERROR(ValidateProbability(p, "bit-flip probability"));
+  std::vector<Matrix> ops;
+  ops.push_back(Matrix::Identity(2) * Complex(std::sqrt(1.0 - p), 0.0));
+  ops.push_back(PauliMatrix(PauliOp::kX) * Complex(std::sqrt(p), 0.0));
+  return KrausChannel::Create(std::move(ops));
+}
+
+Result<KrausChannel> PhaseFlipChannel(double p) {
+  QDB_RETURN_IF_ERROR(ValidateProbability(p, "phase-flip probability"));
+  std::vector<Matrix> ops;
+  ops.push_back(Matrix::Identity(2) * Complex(std::sqrt(1.0 - p), 0.0));
+  ops.push_back(PauliMatrix(PauliOp::kZ) * Complex(std::sqrt(p), 0.0));
+  return KrausChannel::Create(std::move(ops));
+}
+
+Result<NoiseModel> NoiseModel::Depolarizing(double p1, double p2, double r) {
+  QDB_RETURN_IF_ERROR(ValidateProbability(r, "readout flip probability"));
+  NoiseModel model;
+  if (p1 > 0.0) {
+    QDB_ASSIGN_OR_RETURN(KrausChannel c1, DepolarizingChannel(p1));
+    model.after_1q.push_back(std::move(c1));
+  }
+  if (p2 > 0.0) {
+    QDB_ASSIGN_OR_RETURN(KrausChannel c2, DepolarizingChannel(p2));
+    model.after_2q.push_back(std::move(c2));
+  }
+  model.readout_flip_probability = r;
+  return model;
+}
+
+}  // namespace qdb

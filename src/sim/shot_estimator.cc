@@ -1,0 +1,185 @@
+#include "sim/shot_estimator.h"
+
+#include <cmath>
+
+#include "circuit/circuit.h"
+#include "sim/statevector_simulator.h"
+
+namespace qdb {
+
+void AppendMeasurementBasisChange(Circuit& circuit, const PauliString& pauli) {
+  QDB_CHECK_EQ(circuit.num_qubits(), pauli.num_qubits());
+  for (int q = 0; q < pauli.num_qubits(); ++q) {
+    switch (pauli.op(q)) {
+      case PauliOp::kI:
+      case PauliOp::kZ:
+        break;
+      case PauliOp::kX:
+        circuit.H(q);
+        break;
+      case PauliOp::kY:
+        // Y = (S H)† Z (S H): measure Y by applying S† then H.
+        circuit.Sdg(q);
+        circuit.H(q);
+        break;
+    }
+  }
+}
+
+Result<double> EstimatePauliExpectation(const StateVector& state,
+                                        const PauliString& pauli, int shots,
+                                        Rng& rng) {
+  if (shots < 1) {
+    return Status::InvalidArgument("shots must be >= 1");
+  }
+  if (pauli.num_qubits() != state.num_qubits()) {
+    return Status::InvalidArgument("observable width mismatch");
+  }
+  if (pauli.Weight() == 0) return 1.0;  // ⟨I⟩ = 1 exactly.
+
+  // Rotate a copy into the measurement basis.
+  StateVector rotated = state;
+  Circuit basis_change(state.num_qubits());
+  AppendMeasurementBasisChange(basis_change, pauli);
+  StateVectorSimulator sim;
+  QDB_RETURN_IF_ERROR(sim.RunInPlace(basis_change, rotated));
+
+  // Support mask: qubits where the string is non-identity.
+  const int n = state.num_qubits();
+  uint64_t support = 0;
+  for (int q = 0; q < n; ++q) {
+    if (pauli.op(q) != PauliOp::kI) {
+      support |= uint64_t{1} << (n - 1 - q);
+    }
+  }
+  auto counts = rotated.SampleCounts(rng, shots);
+  long acc = 0;
+  for (const auto& [outcome, count] : counts) {
+    const int parity = __builtin_popcountll(outcome & support) & 1;
+    acc += static_cast<long>(count) * (parity ? -1 : 1);
+  }
+  return static_cast<double>(acc) / shots;
+}
+
+std::vector<std::vector<size_t>> GroupQubitWiseCommuting(
+    const PauliSum& observable) {
+  const int n = observable.num_qubits();
+  std::vector<std::vector<size_t>> groups;
+  std::vector<PauliString> bases;  // The merged basis of each group.
+  for (size_t t = 0; t < observable.terms().size(); ++t) {
+    const PauliString& term = observable.terms()[t].pauli;
+    if (term.Weight() == 0) continue;  // Identity: exact, no measurement.
+    bool placed = false;
+    for (size_t g = 0; g < groups.size() && !placed; ++g) {
+      bool compatible = true;
+      for (int q = 0; q < n && compatible; ++q) {
+        const PauliOp a = term.op(q);
+        const PauliOp b = bases[g].op(q);
+        compatible = a == PauliOp::kI || b == PauliOp::kI || a == b;
+      }
+      if (compatible) {
+        groups[g].push_back(t);
+        for (int q = 0; q < n; ++q) {
+          if (term.op(q) != PauliOp::kI) bases[g].set_op(q, term.op(q));
+        }
+        placed = true;
+      }
+    }
+    if (!placed) {
+      groups.push_back({t});
+      bases.push_back(term);
+    }
+  }
+  return groups;
+}
+
+Result<ShotEstimate> EstimateExpectationGrouped(const StateVector& state,
+                                                const PauliSum& observable,
+                                                int shots_per_group,
+                                                Rng& rng) {
+  if (shots_per_group < 2) {
+    return Status::InvalidArgument("need at least 2 shots per group");
+  }
+  if (observable.num_qubits() != state.num_qubits()) {
+    return Status::InvalidArgument("observable width mismatch");
+  }
+  const int n = state.num_qubits();
+  ShotEstimate estimate;
+  // Identity terms contribute exactly.
+  for (const auto& term : observable.terms()) {
+    if (term.pauli.Weight() == 0) estimate.value += term.coefficient;
+  }
+
+  double variance_sum = 0.0;
+  StateVectorSimulator sim;
+  for (const auto& group : GroupQubitWiseCommuting(observable)) {
+    // Merge the group's basis and rotate once.
+    PauliString basis(n);
+    for (size_t t : group) {
+      const PauliString& term = observable.terms()[t].pauli;
+      for (int q = 0; q < n; ++q) {
+        if (term.op(q) != PauliOp::kI) basis.set_op(q, term.op(q));
+      }
+    }
+    StateVector rotated = state;
+    Circuit change(n);
+    AppendMeasurementBasisChange(change, basis);
+    QDB_RETURN_IF_ERROR(sim.RunInPlace(change, rotated));
+    auto counts = rotated.SampleCounts(rng, shots_per_group);
+    estimate.total_shots += shots_per_group;
+
+    for (size_t t : group) {
+      const auto& term = observable.terms()[t];
+      uint64_t support = 0;
+      for (int q = 0; q < n; ++q) {
+        if (term.pauli.op(q) != PauliOp::kI) {
+          support |= uint64_t{1} << (n - 1 - q);
+        }
+      }
+      long acc = 0;
+      for (const auto& [outcome, count] : counts) {
+        const int parity = __builtin_popcountll(outcome & support) & 1;
+        acc += static_cast<long>(count) * (parity ? -1 : 1);
+      }
+      const double mean = static_cast<double>(acc) / shots_per_group;
+      estimate.value += term.coefficient * mean;
+      const double sample_var = std::max(0.0, 1.0 - mean * mean);
+      variance_sum +=
+          term.coefficient * term.coefficient * sample_var / shots_per_group;
+    }
+  }
+  estimate.standard_error = std::sqrt(variance_sum);
+  return estimate;
+}
+
+Result<ShotEstimate> EstimateExpectation(const StateVector& state,
+                                         const PauliSum& observable,
+                                         int shots_per_term, Rng& rng) {
+  if (shots_per_term < 2) {
+    return Status::InvalidArgument("need at least 2 shots per term");
+  }
+  if (observable.num_qubits() != state.num_qubits()) {
+    return Status::InvalidArgument("observable width mismatch");
+  }
+  ShotEstimate estimate;
+  double variance_sum = 0.0;
+  for (const auto& term : observable.terms()) {
+    if (term.pauli.Weight() == 0) {
+      estimate.value += term.coefficient;
+      continue;
+    }
+    QDB_ASSIGN_OR_RETURN(
+        double mean,
+        EstimatePauliExpectation(state, term.pauli, shots_per_term, rng));
+    estimate.value += term.coefficient * mean;
+    estimate.total_shots += shots_per_term;
+    // ±1-valued samples: Var = 1 − mean²; standard error of the mean.
+    const double sample_var = std::max(0.0, 1.0 - mean * mean);
+    variance_sum +=
+        term.coefficient * term.coefficient * sample_var / shots_per_term;
+  }
+  estimate.standard_error = std::sqrt(variance_sum);
+  return estimate;
+}
+
+}  // namespace qdb

@@ -1,0 +1,60 @@
+/// \file shot_estimator.h
+/// \brief Shot-based (sampled) expectation estimation — the hardware-
+/// realistic readout path: each Pauli term is measured in its own rotated
+/// basis with a finite number of shots, so estimates carry statistical
+/// noise of order 1/√shots.
+
+#ifndef QDB_SIM_SHOT_ESTIMATOR_H_
+#define QDB_SIM_SHOT_ESTIMATOR_H_
+
+#include "circuit/circuit.h"
+#include "common/result.h"
+#include "common/rng.h"
+#include "ops/pauli.h"
+#include "sim/state_vector.h"
+
+namespace qdb {
+
+/// \brief Outcome of a sampled estimation.
+struct ShotEstimate {
+  double value = 0.0;           ///< The estimate of ⟨H⟩.
+  double standard_error = 0.0;  ///< Propagated per-term standard errors.
+  long total_shots = 0;         ///< Shots consumed across all terms.
+};
+
+/// \brief Appends the basis-change gates mapping `pauli`'s measurement onto
+/// the computational basis (H for X factors, S†·H for Y factors).
+void AppendMeasurementBasisChange(Circuit& circuit, const PauliString& pauli);
+
+/// \brief Estimates ⟨ψ|P|ψ⟩ for one Pauli string with `shots` samples:
+/// rotates into the Z basis, samples bitstrings, averages the ±1
+/// eigenvalues over the string's support.
+Result<double> EstimatePauliExpectation(const StateVector& state,
+                                        const PauliString& pauli, int shots,
+                                        Rng& rng);
+
+/// \brief Estimates ⟨ψ|H|ψ⟩ for a Pauli sum, spending `shots_per_term` on
+/// each non-identity term (identity terms are exact). The standard error
+/// combines the per-term sample variances with the coefficients.
+Result<ShotEstimate> EstimateExpectation(const StateVector& state,
+                                         const PauliSum& observable,
+                                         int shots_per_term, Rng& rng);
+
+/// \brief Partitions term indices into qubit-wise-commuting (QWC) groups by
+/// greedy first-fit: two strings share a group iff on every qubit their
+/// operators are equal or one is the identity, so one rotated basis
+/// measures the whole group. Identity-only terms are excluded.
+std::vector<std::vector<size_t>> GroupQubitWiseCommuting(
+    const PauliSum& observable);
+
+/// \brief Like EstimateExpectation but spends `shots_per_group` per QWC
+/// group: every member term is evaluated from the same samples. Cuts the
+/// measurement budget by the grouping factor (per-term standard errors
+/// ignore the within-group covariances, as is conventional).
+Result<ShotEstimate> EstimateExpectationGrouped(const StateVector& state,
+                                                const PauliSum& observable,
+                                                int shots_per_group, Rng& rng);
+
+}  // namespace qdb
+
+#endif  // QDB_SIM_SHOT_ESTIMATOR_H_

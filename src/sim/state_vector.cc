@@ -1,0 +1,308 @@
+#include "sim/state_vector.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/strings.h"
+#include "linalg/vector_ops.h"
+
+namespace qdb {
+
+StateVector::StateVector(int num_qubits) : num_qubits_(num_qubits) {
+  QDB_CHECK_GT(num_qubits, 0);
+  QDB_CHECK_LE(num_qubits, 30);
+  amps_.assign(dim(), Complex(0.0, 0.0));
+  amps_[0] = Complex(1.0, 0.0);
+}
+
+Result<StateVector> StateVector::FromAmplitudes(CVector amplitudes,
+                                                double norm_tol) {
+  const size_t n = amplitudes.size();
+  if (n == 0 || (n & (n - 1)) != 0) {
+    return Status::InvalidArgument(
+        StrCat("amplitude vector size must be a power of two, got ", n));
+  }
+  double norm = Norm(amplitudes);
+  if (std::abs(norm - 1.0) > norm_tol) {
+    return Status::InvalidArgument(
+        StrCat("amplitude vector norm must be 1, got ", norm));
+  }
+  int num_qubits = 0;
+  while ((size_t{1} << num_qubits) < n) ++num_qubits;
+  StateVector out(std::max(num_qubits, 1));
+  out.amps_ = std::move(amplitudes);
+  return out;
+}
+
+StateVector StateVector::BasisState(int num_qubits, uint64_t index) {
+  StateVector out(num_qubits);
+  QDB_CHECK_LT(index, out.dim());
+  out.amps_[0] = Complex(0.0, 0.0);
+  out.amps_[index] = Complex(1.0, 0.0);
+  return out;
+}
+
+Complex StateVector::amplitude(uint64_t index) const {
+  QDB_CHECK_LT(index, dim());
+  return amps_[index];
+}
+
+double StateVector::Probability(uint64_t index) const {
+  QDB_CHECK_LT(index, dim());
+  return std::norm(amps_[index]);
+}
+
+DVector StateVector::Probabilities() const {
+  DVector out(dim());
+  for (uint64_t i = 0; i < dim(); ++i) out[i] = std::norm(amps_[i]);
+  return out;
+}
+
+double StateVector::ProbabilityOfOne(int qubit) const {
+  QDB_CHECK_GE(qubit, 0);
+  QDB_CHECK_LT(qubit, num_qubits_);
+  const uint64_t mask = uint64_t{1} << BitPos(qubit);
+  double p = 0.0;
+  for (uint64_t i = 0; i < dim(); ++i) {
+    if (i & mask) p += std::norm(amps_[i]);
+  }
+  return p;
+}
+
+double StateVector::NormValue() const { return Norm(amps_); }
+
+void StateVector::Renormalize() {
+  double n = NormValue();
+  QDB_CHECK_GT(n, 0.0) << "cannot renormalize the zero vector";
+  for (auto& a : amps_) a /= n;
+}
+
+Complex StateVector::InnerProductWith(const StateVector& other) const {
+  QDB_CHECK_EQ(num_qubits_, other.num_qubits_);
+  return InnerProduct(amps_, other.amps_);
+}
+
+void StateVector::Apply1Q(int qubit, Complex m00, Complex m01, Complex m10,
+                          Complex m11) {
+  QDB_CHECK_GE(qubit, 0);
+  QDB_CHECK_LT(qubit, num_qubits_);
+  const uint64_t stride = uint64_t{1} << BitPos(qubit);
+  const uint64_t n = dim();
+  // Iterate pairs (i, i | stride) where the qubit's bit is 0 in i.
+  for (uint64_t base = 0; base < n; base += 2 * stride) {
+    for (uint64_t offset = 0; offset < stride; ++offset) {
+      const uint64_t i0 = base + offset;
+      const uint64_t i1 = i0 + stride;
+      const Complex a0 = amps_[i0];
+      const Complex a1 = amps_[i1];
+      amps_[i0] = m00 * a0 + m01 * a1;
+      amps_[i1] = m10 * a0 + m11 * a1;
+    }
+  }
+}
+
+void StateVector::Apply1Q(int qubit, const Matrix& u) {
+  QDB_CHECK_EQ(u.rows(), 2u);
+  QDB_CHECK_EQ(u.cols(), 2u);
+  Apply1Q(qubit, u(0, 0), u(0, 1), u(1, 0), u(1, 1));
+}
+
+void StateVector::ApplyDiagonal1Q(int qubit, Complex d0, Complex d1) {
+  QDB_CHECK_GE(qubit, 0);
+  QDB_CHECK_LT(qubit, num_qubits_);
+  const uint64_t mask = uint64_t{1} << BitPos(qubit);
+  for (uint64_t i = 0; i < dim(); ++i) amps_[i] *= (i & mask) ? d1 : d0;
+}
+
+void StateVector::ApplyControlled1Q(int control, int target, Complex m00,
+                                    Complex m01, Complex m10, Complex m11) {
+  QDB_CHECK_NE(control, target);
+  QDB_CHECK_GE(control, 0);
+  QDB_CHECK_LT(control, num_qubits_);
+  QDB_CHECK_GE(target, 0);
+  QDB_CHECK_LT(target, num_qubits_);
+  const uint64_t cmask = uint64_t{1} << BitPos(control);
+  const uint64_t stride = uint64_t{1} << BitPos(target);
+  const uint64_t n = dim();
+  for (uint64_t base = 0; base < n; base += 2 * stride) {
+    for (uint64_t offset = 0; offset < stride; ++offset) {
+      const uint64_t i0 = base + offset;
+      if (!(i0 & cmask)) continue;
+      const uint64_t i1 = i0 + stride;
+      const Complex a0 = amps_[i0];
+      const Complex a1 = amps_[i1];
+      amps_[i0] = m00 * a0 + m01 * a1;
+      amps_[i1] = m10 * a0 + m11 * a1;
+    }
+  }
+}
+
+void StateVector::Apply2Q(int a, int b, const Matrix& u) {
+  QDB_CHECK_EQ(u.rows(), 4u);
+  QDB_CHECK_EQ(u.cols(), 4u);
+  QDB_CHECK_NE(a, b);
+  const uint64_t amask = uint64_t{1} << BitPos(a);
+  const uint64_t bmask = uint64_t{1} << BitPos(b);
+  const uint64_t n = dim();
+  for (uint64_t i = 0; i < n; ++i) {
+    if (i & (amask | bmask)) continue;  // i has both operand bits clear.
+    const uint64_t i00 = i;
+    const uint64_t i01 = i | bmask;
+    const uint64_t i10 = i | amask;
+    const uint64_t i11 = i | amask | bmask;
+    const Complex a00 = amps_[i00];
+    const Complex a01 = amps_[i01];
+    const Complex a10 = amps_[i10];
+    const Complex a11 = amps_[i11];
+    amps_[i00] = u(0, 0) * a00 + u(0, 1) * a01 + u(0, 2) * a10 + u(0, 3) * a11;
+    amps_[i01] = u(1, 0) * a00 + u(1, 1) * a01 + u(1, 2) * a10 + u(1, 3) * a11;
+    amps_[i10] = u(2, 0) * a00 + u(2, 1) * a01 + u(2, 2) * a10 + u(2, 3) * a11;
+    amps_[i11] = u(3, 0) * a00 + u(3, 1) * a01 + u(3, 2) * a10 + u(3, 3) * a11;
+  }
+}
+
+void StateVector::ApplyDiagonal2Q(int a, int b, Complex d0, Complex d1,
+                                  Complex d2, Complex d3) {
+  QDB_CHECK_NE(a, b);
+  const uint64_t amask = uint64_t{1} << BitPos(a);
+  const uint64_t bmask = uint64_t{1} << BitPos(b);
+  for (uint64_t i = 0; i < dim(); ++i) {
+    const int idx = ((i & amask) ? 2 : 0) | ((i & bmask) ? 1 : 0);
+    switch (idx) {
+      case 0: amps_[i] *= d0; break;
+      case 1: amps_[i] *= d1; break;
+      case 2: amps_[i] *= d2; break;
+      case 3: amps_[i] *= d3; break;
+    }
+  }
+}
+
+void StateVector::ApplySwap(int a, int b) {
+  QDB_CHECK_NE(a, b);
+  const uint64_t amask = uint64_t{1} << BitPos(a);
+  const uint64_t bmask = uint64_t{1} << BitPos(b);
+  for (uint64_t i = 0; i < dim(); ++i) {
+    const bool abit = i & amask;
+    const bool bbit = i & bmask;
+    if (abit && !bbit) {
+      const uint64_t j = (i & ~amask) | bmask;
+      std::swap(amps_[i], amps_[j]);
+    }
+  }
+}
+
+void StateVector::ApplyKQ(const std::vector<int>& qubits, const Matrix& u) {
+  const int k = static_cast<int>(qubits.size());
+  QDB_CHECK_GT(k, 0);
+  QDB_CHECK_EQ(u.rows(), size_t{1} << k);
+  QDB_CHECK_EQ(u.cols(), size_t{1} << k);
+  std::vector<uint64_t> masks(k);
+  uint64_t all_mask = 0;
+  for (int j = 0; j < k; ++j) {
+    masks[j] = uint64_t{1} << BitPos(qubits[j]);
+    all_mask |= masks[j];
+  }
+  const uint64_t group = uint64_t{1} << k;
+  std::vector<uint64_t> indices(group);
+  std::vector<Complex> old_vals(group);
+  for (uint64_t i = 0; i < dim(); ++i) {
+    if (i & all_mask) continue;  // i is the group representative (all clear).
+    for (uint64_t g = 0; g < group; ++g) {
+      uint64_t idx = i;
+      for (int j = 0; j < k; ++j) {
+        if (g & (uint64_t{1} << (k - 1 - j))) idx |= masks[j];
+      }
+      indices[g] = idx;
+      old_vals[g] = amps_[idx];
+    }
+    for (uint64_t r = 0; r < group; ++r) {
+      Complex acc(0.0, 0.0);
+      for (uint64_t c = 0; c < group; ++c) acc += u(r, c) * old_vals[c];
+      amps_[indices[r]] = acc;
+    }
+  }
+}
+
+void StateVector::ApplyMCX(const std::vector<int>& controls, int target) {
+  uint64_t cmask = 0;
+  for (int c : controls) {
+    QDB_CHECK_NE(c, target);
+    cmask |= uint64_t{1} << BitPos(c);
+  }
+  const uint64_t tmask = uint64_t{1} << BitPos(target);
+  for (uint64_t i = 0; i < dim(); ++i) {
+    if ((i & cmask) == cmask && !(i & tmask)) {
+      std::swap(amps_[i], amps_[i | tmask]);
+    }
+  }
+}
+
+void StateVector::ApplyMCZ(const std::vector<int>& controls, int target) {
+  uint64_t mask = uint64_t{1} << BitPos(target);
+  for (int c : controls) {
+    QDB_CHECK_NE(c, target);
+    mask |= uint64_t{1} << BitPos(c);
+  }
+  for (uint64_t i = 0; i < dim(); ++i) {
+    if ((i & mask) == mask) amps_[i] = -amps_[i];
+  }
+}
+
+uint64_t StateVector::SampleOnce(Rng& rng) const {
+  double target = rng.Uniform();
+  double acc = 0.0;
+  for (uint64_t i = 0; i < dim(); ++i) {
+    acc += std::norm(amps_[i]);
+    if (target < acc) return i;
+  }
+  return dim() - 1;  // Floating-point slack: fall to the last state.
+}
+
+std::map<uint64_t, int> StateVector::SampleCounts(Rng& rng, int shots) const {
+  QDB_CHECK_GE(shots, 0);
+  std::map<uint64_t, int> counts;
+  // CDF + binary search: O(2^n + shots log 2^n).
+  DVector cdf(dim());
+  double acc = 0.0;
+  for (uint64_t i = 0; i < dim(); ++i) {
+    acc += std::norm(amps_[i]);
+    cdf[i] = acc;
+  }
+  for (int s = 0; s < shots; ++s) {
+    double target = rng.Uniform() * acc;
+    auto it = std::upper_bound(cdf.begin(), cdf.end(), target);
+    uint64_t idx = static_cast<uint64_t>(it - cdf.begin());
+    if (idx >= dim()) idx = dim() - 1;
+    ++counts[idx];
+  }
+  return counts;
+}
+
+int StateVector::MeasureQubit(int qubit, Rng& rng) {
+  const double p1 = ProbabilityOfOne(qubit);
+  const int outcome = rng.Bernoulli(p1) ? 1 : 0;
+  const uint64_t mask = uint64_t{1} << BitPos(qubit);
+  for (uint64_t i = 0; i < dim(); ++i) {
+    const bool bit = i & mask;
+    if (bit != (outcome == 1)) amps_[i] = Complex(0.0, 0.0);
+  }
+  Renormalize();
+  return outcome;
+}
+
+uint64_t StateVector::MeasureAll(Rng& rng) {
+  const uint64_t outcome = SampleOnce(rng);
+  std::fill(amps_.begin(), amps_.end(), Complex(0.0, 0.0));
+  amps_[outcome] = Complex(1.0, 0.0);
+  return outcome;
+}
+
+std::string StateVector::BitString(uint64_t index) const {
+  std::string out(num_qubits_, '0');
+  for (int q = 0; q < num_qubits_; ++q) {
+    if (index & (uint64_t{1} << BitPos(q))) out[q] = '1';
+  }
+  return out;
+}
+
+}  // namespace qdb

@@ -1,0 +1,162 @@
+#include "sim/statevector_simulator.h"
+
+#include <cmath>
+
+#include "common/strings.h"
+
+namespace qdb {
+
+Result<StateVector> StateVectorSimulator::Run(const Circuit& circuit,
+                                              const DVector& params) const {
+  StateVector state(circuit.num_qubits());
+  QDB_RETURN_IF_ERROR(RunInPlace(circuit, state, params));
+  return state;
+}
+
+Status StateVectorSimulator::RunInPlace(const Circuit& circuit,
+                                        StateVector& state,
+                                        const DVector& params) const {
+  if (state.num_qubits() != circuit.num_qubits()) {
+    return Status::InvalidArgument(
+        StrCat("state has ", state.num_qubits(), " qubits but circuit has ",
+               circuit.num_qubits()));
+  }
+  if (static_cast<int>(params.size()) < circuit.num_parameters()) {
+    return Status::InvalidArgument(
+        StrCat("circuit references ", circuit.num_parameters(),
+               " parameters but only ", params.size(), " were bound"));
+  }
+  for (size_t i = 0; i < circuit.gates().size(); ++i) {
+    const Gate& gate = circuit.gates()[i];
+    DVector angles = circuit.EvaluateAngles(i, params);
+    QDB_RETURN_IF_ERROR(ApplyGate(gate, angles, state));
+  }
+  return Status::OK();
+}
+
+Status StateVectorSimulator::ApplyGate(const Gate& gate, const DVector& angles,
+                                       StateVector& state) const {
+  switch (gate.type) {
+    case GateType::kI:
+      return Status::OK();
+    case GateType::kMCX: {
+      std::vector<int> controls(gate.qubits.begin(), gate.qubits.end() - 1);
+      state.ApplyMCX(controls, gate.qubits.back());
+      return Status::OK();
+    }
+    case GateType::kMCZ: {
+      std::vector<int> controls(gate.qubits.begin(), gate.qubits.end() - 1);
+      state.ApplyMCZ(controls, gate.qubits.back());
+      return Status::OK();
+    }
+    case GateType::kSwap:
+      state.ApplySwap(gate.qubits[0], gate.qubits[1]);
+      return Status::OK();
+    case GateType::kCX:
+      state.ApplyControlled1Q(gate.qubits[0], gate.qubits[1], {0, 0}, {1, 0},
+                              {1, 0}, {0, 0});
+      return Status::OK();
+    case GateType::kCZ:
+      state.ApplyDiagonal2Q(gate.qubits[0], gate.qubits[1], {1, 0}, {1, 0},
+                            {1, 0}, {-1, 0});
+      return Status::OK();
+    default:
+      break;
+  }
+
+  const Matrix u = GateMatrix(gate.type, angles);
+  const int arity = static_cast<int>(gate.qubits.size());
+  if (arity == 1) {
+    if (IsDiagonalGate(gate.type)) {
+      state.ApplyDiagonal1Q(gate.qubits[0], u(0, 0), u(1, 1));
+    } else {
+      state.Apply1Q(gate.qubits[0], u);
+    }
+    return Status::OK();
+  }
+  if (arity == 2) {
+    if (IsDiagonalGate(gate.type)) {
+      state.ApplyDiagonal2Q(gate.qubits[0], gate.qubits[1], u(0, 0), u(1, 1),
+                            u(2, 2), u(3, 3));
+    } else {
+      switch (gate.type) {
+        case GateType::kCY:
+        case GateType::kCH:
+        case GateType::kCRX:
+        case GateType::kCRY:
+        case GateType::kCRZ:
+          // Controlled forms: the 2x2 block lives at rows/cols {2, 3}.
+          state.ApplyControlled1Q(gate.qubits[0], gate.qubits[1], u(2, 2),
+                                  u(2, 3), u(3, 2), u(3, 3));
+          break;
+        default:
+          state.Apply2Q(gate.qubits[0], gate.qubits[1], u);
+          break;
+      }
+    }
+    return Status::OK();
+  }
+  state.ApplyKQ(gate.qubits, u);
+  return Status::OK();
+}
+
+double Expectation(const StateVector& state, const PauliString& pauli) {
+  QDB_CHECK_EQ(pauli.num_qubits(), state.num_qubits());
+  const int n = state.num_qubits();
+  uint64_t xmask = 0;  // bits flipped by X or Y
+  uint64_t ymask = 0;
+  uint64_t zmask = 0;
+  for (int q = 0; q < n; ++q) {
+    const uint64_t bit = uint64_t{1} << (n - 1 - q);
+    switch (pauli.op(q)) {
+      case PauliOp::kI:
+        break;
+      case PauliOp::kX:
+        xmask |= bit;
+        break;
+      case PauliOp::kY:
+        xmask |= bit;
+        ymask |= bit;
+        break;
+      case PauliOp::kZ:
+        zmask |= bit;
+        break;
+    }
+  }
+  const CVector& amps = state.amplitudes();
+  const uint64_t dim = state.dim();
+  Complex acc(0.0, 0.0);
+  const int y_count = __builtin_popcountll(ymask);
+  // P|i⟩ = phase(i)|i ^ xmask⟩ with
+  // phase(i) = i^{y_count} · (−1)^{popcount(i & ymask)} · (−1)^{popcount(i & zmask)}
+  // (each Y contributes i·(−1)^{bit}; each Z contributes (−1)^{bit}).
+  Complex i_power(1.0, 0.0);
+  switch (y_count & 3) {
+    case 0: i_power = {1.0, 0.0}; break;
+    case 1: i_power = {0.0, 1.0}; break;
+    case 2: i_power = {-1.0, 0.0}; break;
+    case 3: i_power = {0.0, -1.0}; break;
+  }
+  for (uint64_t i = 0; i < dim; ++i) {
+    const int sign_bits =
+        (__builtin_popcountll(i & ymask) + __builtin_popcountll(i & zmask)) & 1;
+    Complex phase = i_power * (sign_bits ? -1.0 : 1.0);
+    acc += std::conj(amps[i ^ xmask]) * phase * amps[i];
+  }
+  return acc.real();
+}
+
+double Expectation(const StateVector& state, const PauliSum& observable) {
+  QDB_CHECK_EQ(observable.num_qubits(), state.num_qubits());
+  double total = 0.0;
+  for (const auto& term : observable.terms()) {
+    total += term.coefficient * Expectation(state, term.pauli);
+  }
+  return total;
+}
+
+double ExpectationZ(const StateVector& state, int qubit) {
+  return 1.0 - 2.0 * state.ProbabilityOfOne(qubit);
+}
+
+}  // namespace qdb

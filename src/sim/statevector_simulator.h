@@ -1,0 +1,50 @@
+/// \file statevector_simulator.h
+/// \brief Executes circuits on StateVector and computes observable
+/// expectation values — the main gate-model substrate of qdb.
+
+#ifndef QDB_SIM_STATEVECTOR_SIMULATOR_H_
+#define QDB_SIM_STATEVECTOR_SIMULATOR_H_
+
+#include "circuit/circuit.h"
+#include "common/result.h"
+#include "ops/pauli.h"
+#include "sim/state_vector.h"
+
+namespace qdb {
+
+/// \brief Exact (noise-free) state-vector execution of circuits.
+///
+/// Stateless apart from configuration; safe to share across calls. Gate
+/// dispatch picks a specialized kernel per gate class: diagonal gates touch
+/// each amplitude once, controlled gates skip the untouched half, generic
+/// k-qubit gates fall back to the 2^k-group kernel.
+class StateVectorSimulator {
+ public:
+  StateVectorSimulator() = default;
+
+  /// Runs `circuit` from |0...0⟩ with `params` bound to the symbolic
+  /// parameters. Fails if fewer parameters are supplied than referenced.
+  Result<StateVector> Run(const Circuit& circuit,
+                          const DVector& params = {}) const;
+
+  /// Runs `circuit` from the given initial state (in place).
+  Status RunInPlace(const Circuit& circuit, StateVector& state,
+                    const DVector& params = {}) const;
+
+  /// Applies a single bound gate to `state`.
+  Status ApplyGate(const Gate& gate, const DVector& angles,
+                   StateVector& state) const;
+};
+
+/// \brief ⟨ψ|P|ψ⟩ for a single Pauli string (real by Hermiticity).
+double Expectation(const StateVector& state, const PauliString& pauli);
+
+/// \brief ⟨ψ|H|ψ⟩ for a Pauli-sum observable.
+double Expectation(const StateVector& state, const PauliSum& observable);
+
+/// \brief ⟨ψ|Z_q|ψ⟩ convenience (= 1 − 2·P[q = 1]).
+double ExpectationZ(const StateVector& state, int qubit);
+
+}  // namespace qdb
+
+#endif  // QDB_SIM_STATEVECTOR_SIMULATOR_H_

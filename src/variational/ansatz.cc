@@ -1,0 +1,112 @@
+#include "variational/ansatz.h"
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace qdb {
+namespace {
+
+void AppendEntanglers(Circuit& circuit, Entanglement entanglement) {
+  const int n = circuit.num_qubits();
+  switch (entanglement) {
+    case Entanglement::kLinear:
+      for (int q = 0; q + 1 < n; ++q) circuit.CX(q, q + 1);
+      break;
+    case Entanglement::kCircular:
+      for (int q = 0; q + 1 < n; ++q) circuit.CX(q, q + 1);
+      if (n > 2) circuit.CX(n - 1, 0);
+      break;
+    case Entanglement::kFull:
+      for (int i = 0; i < n; ++i) {
+        for (int j = i + 1; j < n; ++j) circuit.CX(i, j);
+      }
+      break;
+  }
+}
+
+}  // namespace
+
+Circuit RealAmplitudesAnsatz(int num_qubits, int layers,
+                             Entanglement entanglement, int first_param) {
+  QDB_CHECK_GT(num_qubits, 0);
+  QDB_CHECK_GE(layers, 0);
+  QDB_CHECK_GE(first_param, 0);
+  Circuit c(num_qubits);
+  int p = first_param;
+  for (int q = 0; q < num_qubits; ++q) c.RY(q, ParamExpr::Variable(p++));
+  for (int layer = 0; layer < layers; ++layer) {
+    if (num_qubits > 1) AppendEntanglers(c, entanglement);
+    for (int q = 0; q < num_qubits; ++q) c.RY(q, ParamExpr::Variable(p++));
+  }
+  return c;
+}
+
+Circuit EfficientSU2Ansatz(int num_qubits, int layers, Entanglement entanglement,
+                           int first_param) {
+  QDB_CHECK_GT(num_qubits, 0);
+  QDB_CHECK_GE(layers, 0);
+  QDB_CHECK_GE(first_param, 0);
+  Circuit c(num_qubits);
+  int p = first_param;
+  auto rotation_layer = [&] {
+    for (int q = 0; q < num_qubits; ++q) c.RY(q, ParamExpr::Variable(p++));
+    for (int q = 0; q < num_qubits; ++q) c.RZ(q, ParamExpr::Variable(p++));
+  };
+  rotation_layer();
+  for (int layer = 0; layer < layers; ++layer) {
+    if (num_qubits > 1) AppendEntanglers(c, entanglement);
+    rotation_layer();
+  }
+  return c;
+}
+
+Circuit RandomHardwareEfficientAnsatz(int num_qubits, int layers,
+                                      uint64_t axis_seed, int first_param) {
+  QDB_CHECK_GT(num_qubits, 0);
+  QDB_CHECK_GE(layers, 1);
+  Rng rng(axis_seed);
+  Circuit c(num_qubits);
+  // Initial RY(π/4) layer breaks the computational-basis symmetry, as in
+  // the McClean et al. barren-plateau construction.
+  for (int q = 0; q < num_qubits; ++q) c.RY(q, M_PI / 4.0);
+  int p = first_param;
+  for (int layer = 0; layer < layers; ++layer) {
+    for (int q = 0; q < num_qubits; ++q) {
+      switch (rng.UniformInt(uint64_t{3})) {
+        case 0: c.RX(q, ParamExpr::Variable(p++)); break;
+        case 1: c.RY(q, ParamExpr::Variable(p++)); break;
+        default: c.RZ(q, ParamExpr::Variable(p++)); break;
+      }
+    }
+    for (int q = 0; q + 1 < num_qubits; ++q) c.CZ(q, q + 1);
+  }
+  return c;
+}
+
+Circuit DataReuploadingCircuit(const DVector& features, int layers,
+                               double feature_scale) {
+  QDB_CHECK(!features.empty());
+  QDB_CHECK_GE(layers, 1);
+  const int n = static_cast<int>(features.size());
+  Circuit c(n);
+  int p = 0;
+  for (int layer = 0; layer < layers; ++layer) {
+    for (int q = 0; q < n; ++q) c.RY(q, feature_scale * features[q]);
+    for (int q = 0; q < n; ++q) c.RY(q, ParamExpr::Variable(p++));
+    for (int q = 0; q < n; ++q) c.RZ(q, ParamExpr::Variable(p++));
+    if (n > 1) {
+      for (int q = 0; q + 1 < n; ++q) c.CX(q, q + 1);
+    }
+  }
+  return c;
+}
+
+int RealAmplitudesParamCount(int num_qubits, int layers) {
+  return (layers + 1) * num_qubits;
+}
+
+int EfficientSU2ParamCount(int num_qubits, int layers) {
+  return 2 * (layers + 1) * num_qubits;
+}
+
+}  // namespace qdb

@@ -1,0 +1,53 @@
+/// \file ansatz.h
+/// \brief Parameterized ansatz circuits for variational algorithms:
+/// hardware-efficient, RealAmplitudes-style, and EfficientSU2-style
+/// families with configurable entanglement.
+
+#ifndef QDB_VARIATIONAL_ANSATZ_H_
+#define QDB_VARIATIONAL_ANSATZ_H_
+
+#include "circuit/circuit.h"
+
+namespace qdb {
+
+/// CX-entangler topology within an ansatz layer.
+enum class Entanglement {
+  kLinear,    ///< CX(i, i+1) chain.
+  kCircular,  ///< chain plus CX(n−1, 0).
+  kFull,      ///< CX(i, j) for all i < j.
+};
+
+/// \brief RY-rotation layers with CX entanglers (RealAmplitudes style:
+/// real-valued statevector). Parameters: (layers + 1) · n, indices starting
+/// at `first_param`.
+Circuit RealAmplitudesAnsatz(int num_qubits, int layers,
+                             Entanglement entanglement = Entanglement::kLinear,
+                             int first_param = 0);
+
+/// \brief RY+RZ rotation layers with CX entanglers (EfficientSU2 style).
+/// Parameters: 2 · (layers + 1) · n.
+Circuit EfficientSU2Ansatz(int num_qubits, int layers,
+                           Entanglement entanglement = Entanglement::kLinear,
+                           int first_param = 0);
+
+/// \brief The random hardware-efficient ansatz of the barren-plateau
+/// experiment (McClean et al. style): per layer a uniformly chosen
+/// RX/RY/RZ on each qubit followed by a CZ ladder. Gate axes are drawn with
+/// `axis_seed`; parameters: layers · n.
+Circuit RandomHardwareEfficientAnsatz(int num_qubits, int layers,
+                                      uint64_t axis_seed, int first_param = 0);
+
+/// \brief Data re-uploading circuit (Pérez-Salinas et al.): per layer, the
+/// features enter as RY(scale·x_q) rotations followed by trainable RY+RZ
+/// and a CX chain. Shared by the VQC classifier and the VQR regressor.
+/// Parameters: 2 · layers · |features|.
+Circuit DataReuploadingCircuit(const DVector& features, int layers,
+                               double feature_scale = 1.0);
+
+/// Number of parameters the named ansatz consumes (convenience mirrors).
+int RealAmplitudesParamCount(int num_qubits, int layers);
+int EfficientSU2ParamCount(int num_qubits, int layers);
+
+}  // namespace qdb
+
+#endif  // QDB_VARIATIONAL_ANSATZ_H_

@@ -1,0 +1,17 @@
+/// \file gradient_method.h
+/// \brief Gradient-backend selector shared by the variational trainers.
+
+#ifndef QDB_VARIATIONAL_GRADIENT_METHOD_H_
+#define QDB_VARIATIONAL_GRADIENT_METHOD_H_
+
+namespace qdb {
+
+/// How variational trainers compute ∇E.
+enum class GradientMethod {
+  kAdjoint,         ///< Reverse-mode sweep: fastest, simulator-native.
+  kParameterShift,  ///< Hardware-compatible two-evaluation rule.
+};
+
+}  // namespace qdb
+
+#endif  // QDB_VARIATIONAL_GRADIENT_METHOD_H_

@@ -1,0 +1,61 @@
+#include "variational/vqe.h"
+
+#include "autodiff/adjoint.h"
+#include "autodiff/parameter_shift.h"
+#include "common/rng.h"
+#include "linalg/eigen.h"
+
+namespace qdb {
+
+Result<VqeResult> RunVqe(const Circuit& ansatz, const PauliSum& hamiltonian,
+                         const VqeOptions& options) {
+  if (ansatz.num_qubits() != hamiltonian.num_qubits()) {
+    return Status::InvalidArgument("ansatz and Hamiltonian widths differ");
+  }
+  if (ansatz.num_parameters() == 0) {
+    return Status::InvalidArgument("ansatz has no trainable parameters");
+  }
+  ExpectationFunction f(ansatz, hamiltonian);
+
+  Rng rng(options.seed);
+  DVector initial =
+      rng.UniformVector(f.num_parameters(), -options.init_scale,
+                        options.init_scale);
+
+  Objective objective = [&f](const DVector& p) { return f.Evaluate(p); };
+  GradientFn gradient;
+  if (options.gradient == GradientMethod::kAdjoint) {
+    gradient = [&ansatz, &hamiltonian](const DVector& p) -> Result<DVector> {
+      QDB_ASSIGN_OR_RETURN(AdjointResult r,
+                           AdjointGradient(ansatz, hamiltonian, p));
+      return r.gradient;
+    };
+  } else {
+    gradient = [&f](const DVector& p) { return ParameterShiftGradient(f, p); };
+  }
+  QDB_ASSIGN_OR_RETURN(OptimizeResult opt,
+                       MinimizeAdam(objective, gradient, initial, options.adam));
+
+  VqeResult result;
+  result.energy = opt.value;
+  result.params = std::move(opt.params);
+  result.history = std::move(opt.history);
+  result.circuit_evaluations = f.evaluation_count();
+  return result;
+}
+
+Result<double> ExactGroundStateEnergy(const PauliSum& hamiltonian) {
+  if (hamiltonian.num_qubits() > 10) {
+    return Status::InvalidArgument(
+        "exact diagonalization limited to 10 qubits");
+  }
+  if (hamiltonian.IsDiagonal()) {
+    QDB_ASSIGN_OR_RETURN(DVector diag, hamiltonian.DiagonalValues());
+    double best = diag[0];
+    for (double v : diag) best = std::min(best, v);
+    return best;
+  }
+  return MinEigenvalue(hamiltonian.ToMatrix());
+}
+
+}  // namespace qdb

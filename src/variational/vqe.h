@@ -1,0 +1,43 @@
+/// \file vqe.h
+/// \brief Variational Quantum Eigensolver: minimizes ⟨ψ(θ)|H|ψ(θ)⟩ with
+/// parameter-shift gradients and Adam.
+
+#ifndef QDB_VARIATIONAL_VQE_H_
+#define QDB_VARIATIONAL_VQE_H_
+
+#include "autodiff/expectation.h"
+#include "circuit/circuit.h"
+#include "common/result.h"
+#include "ops/pauli.h"
+#include "optimize/adam.h"
+#include "variational/gradient_method.h"
+
+namespace qdb {
+
+/// \brief Configuration for a VQE run.
+struct VqeOptions {
+  AdamOptions adam;
+  GradientMethod gradient = GradientMethod::kAdjoint;
+  uint64_t seed = 11;        ///< Seed for the initial parameter draw.
+  double init_scale = 0.1;   ///< Initial parameters ~ U(−scale, scale).
+};
+
+/// \brief Outcome of a VQE run.
+struct VqeResult {
+  double energy = 0.0;       ///< Best variational energy found.
+  DVector params;            ///< Parameters achieving it.
+  DVector history;           ///< Energy per optimizer iteration.
+  long circuit_evaluations = 0;
+};
+
+/// \brief Runs VQE for `hamiltonian` over the given ansatz.
+Result<VqeResult> RunVqe(const Circuit& ansatz, const PauliSum& hamiltonian,
+                         const VqeOptions& options = {});
+
+/// \brief Exact ground-state energy by dense diagonalization (small n),
+/// for validating VQE results.
+Result<double> ExactGroundStateEnergy(const PauliSum& hamiltonian);
+
+}  // namespace qdb
+
+#endif  // QDB_VARIATIONAL_VQE_H_

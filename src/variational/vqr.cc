@@ -1,0 +1,114 @@
+#include "variational/vqr.h"
+
+#include <cmath>
+
+#include "autodiff/adjoint.h"
+#include "autodiff/expectation.h"
+#include "autodiff/parameter_shift.h"
+#include "common/rng.h"
+#include "common/strings.h"
+#include "variational/ansatz.h"
+
+namespace qdb {
+
+Result<VqrRegressor> VqrRegressor::Train(const std::vector<DVector>& features,
+                                         const DVector& targets,
+                                         const VqrOptions& options) {
+  if (features.size() < 2) {
+    return Status::InvalidArgument("VQR needs at least two training samples");
+  }
+  if (targets.size() != features.size()) {
+    return Status::InvalidArgument("feature/target count mismatch");
+  }
+  for (double y : targets) {
+    if (y < -1.0 - 1e-9 || y > 1.0 + 1e-9) {
+      return Status::InvalidArgument(
+          StrCat("targets must lie in [-1, 1], got ", y));
+    }
+  }
+  if (options.ansatz_layers < 1) {
+    return Status::InvalidArgument("ansatz_layers must be >= 1");
+  }
+  const int d = static_cast<int>(features.front().size());
+  for (const auto& x : features) {
+    if (static_cast<int>(x.size()) != d) {
+      return Status::InvalidArgument("inconsistent feature dimensions");
+    }
+  }
+
+  VqrRegressor model;
+  model.options_ = options;
+  model.num_features_ = d;
+
+  const PauliSum observable =
+      PauliSum(d).Add(1.0, PauliString::Single(d, 0, PauliOp::kZ));
+  std::vector<ExpectationFunction> sample_fns;
+  sample_fns.reserve(features.size());
+  for (const auto& x : features) {
+    sample_fns.emplace_back(
+        DataReuploadingCircuit(x, options.ansatz_layers,
+                               options.feature_scale),
+        observable);
+  }
+  const int num_params = sample_fns.front().num_parameters();
+
+  const double inv_n = 1.0 / static_cast<double>(features.size());
+  Objective loss = [&](const DVector& theta) -> Result<double> {
+    double acc = 0.0;
+    for (size_t i = 0; i < sample_fns.size(); ++i) {
+      QDB_ASSIGN_OR_RETURN(double value, sample_fns[i].Evaluate(theta));
+      const double diff = value - targets[i];
+      acc += diff * diff;
+    }
+    return acc * inv_n;
+  };
+  GradientFn grad = [&](const DVector& theta) -> Result<DVector> {
+    DVector total(theta.size(), 0.0);
+    for (size_t i = 0; i < sample_fns.size(); ++i) {
+      double value = 0.0;
+      DVector g;
+      if (options.gradient == GradientMethod::kAdjoint) {
+        QDB_ASSIGN_OR_RETURN(
+            AdjointResult r,
+            AdjointGradient(sample_fns[i].circuit(), observable, theta));
+        value = r.value;
+        g = std::move(r.gradient);
+      } else {
+        QDB_ASSIGN_OR_RETURN(value, sample_fns[i].Evaluate(theta));
+        QDB_ASSIGN_OR_RETURN(g, ParameterShiftGradient(sample_fns[i], theta));
+      }
+      const double coeff = 2.0 * (value - targets[i]) * inv_n;
+      for (size_t k = 0; k < total.size(); ++k) total[k] += coeff * g[k];
+    }
+    return total;
+  };
+
+  Rng rng(options.seed);
+  DVector initial =
+      rng.UniformVector(num_params, -options.init_scale, options.init_scale);
+  QDB_ASSIGN_OR_RETURN(OptimizeResult opt,
+                       MinimizeAdam(loss, grad, initial, options.adam));
+
+  model.params_ = std::move(opt.params);
+  model.loss_history_ = std::move(opt.history);
+  for (const auto& fn : sample_fns) {
+    model.circuit_evaluations_ += fn.evaluation_count();
+  }
+  return model;
+}
+
+Result<double> VqrRegressor::Predict(const DVector& x) const {
+  if (static_cast<int>(x.size()) != num_features_) {
+    return Status::InvalidArgument("feature dimension mismatch");
+  }
+  const PauliSum observable =
+      PauliSum(num_features_)
+          .Add(1.0, PauliString::Single(num_features_, 0, PauliOp::kZ));
+  ExpectationFunction fn(
+      DataReuploadingCircuit(x, options_.ansatz_layers,
+                             options_.feature_scale),
+      observable);
+  return fn.Evaluate(params_);
+}
+
+}  // namespace qdb

@@ -1,0 +1,61 @@
+/// \file vqr.h
+/// \brief Variational Quantum Regressor: a data re-uploading circuit whose
+/// ⟨Z_0⟩ ∈ [−1, 1] readout is trained against continuous targets — the
+/// learned-model component of the quantum cardinality-estimation
+/// experiment (E16).
+
+#ifndef QDB_VARIATIONAL_VQR_H_
+#define QDB_VARIATIONAL_VQR_H_
+
+#include <vector>
+
+#include "circuit/circuit.h"
+#include "common/result.h"
+#include "linalg/types.h"
+#include "optimize/adam.h"
+#include "variational/gradient_method.h"
+
+namespace qdb {
+
+/// \brief VQR hyperparameters.
+struct VqrOptions {
+  int ansatz_layers = 3;
+  double feature_scale = 1.0;  ///< Multiplier on encoded feature angles.
+  AdamOptions adam;
+  GradientMethod gradient = GradientMethod::kAdjoint;
+  uint64_t seed = 61;
+  double init_scale = 0.3;
+};
+
+/// \brief A trained variational regressor with range [−1, 1].
+class VqrRegressor {
+ public:
+  /// Trains on (features[i] → targets[i]); every target must lie in
+  /// [−1, 1] (scale your labels; see db/cardinality.h for the selectivity
+  /// mapping). Minimizes mean squared error via parameter-shift + Adam.
+  static Result<VqrRegressor> Train(const std::vector<DVector>& features,
+                                    const DVector& targets,
+                                    const VqrOptions& options = {});
+
+  /// ⟨Z_0⟩ of the trained circuit on x.
+  Result<double> Predict(const DVector& x) const;
+
+  const DVector& params() const { return params_; }
+  const DVector& loss_history() const { return loss_history_; }
+  /// Circuit executions through the expectation path (see the note on
+  /// VqcClassifier::circuit_evaluations about the adjoint backend).
+  long circuit_evaluations() const { return circuit_evaluations_; }
+
+ private:
+  VqrRegressor() = default;
+
+  VqrOptions options_;
+  int num_features_ = 0;
+  DVector params_;
+  DVector loss_history_;
+  long circuit_evaluations_ = 0;
+};
+
+}  // namespace qdb
+
+#endif  // QDB_VARIATIONAL_VQR_H_

@@ -1,0 +1,185 @@
+// Tests for adjoint (reverse-mode) gradients: must agree with the
+// parameter-shift rule everywhere both are defined.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "autodiff/adjoint.h"
+#include "autodiff/parameter_shift.h"
+#include "common/rng.h"
+#include "variational/ansatz.h"
+
+namespace qdb {
+namespace {
+
+TEST(AdjointTest, ValueMatchesDirectExpectation) {
+  Circuit c(2);
+  c.H(0).CRY(0, 1, ParamExpr::Variable(0)).RZZ(0, 1, ParamExpr::Variable(1));
+  PauliSum obs(2);
+  obs.Add(0.7, "ZI").Add(-0.3, "XX");
+  const DVector params = {0.8, -0.5};
+  auto adjoint = AdjointGradient(c, obs, params);
+  ASSERT_TRUE(adjoint.ok()) << adjoint.status();
+  ExpectationFunction f(c, obs);
+  EXPECT_NEAR(adjoint.value().value, f.Evaluate(params).ValueOrDie(), 1e-12);
+}
+
+TEST(AdjointTest, SingleRotationAnalytic) {
+  Circuit c(1);
+  c.RX(0, ParamExpr::Variable(0));
+  PauliSum obs(1);
+  obs.Add(1.0, "Z");
+  for (double theta : {0.0, 0.4, 1.3, 2.9, -1.1}) {
+    auto adjoint = AdjointGradient(c, obs, {theta});
+    ASSERT_TRUE(adjoint.ok());
+    EXPECT_NEAR(adjoint.value().value, std::cos(theta), 1e-12);
+    EXPECT_NEAR(adjoint.value().gradient[0], -std::sin(theta), 1e-12);
+  }
+}
+
+class AdjointAgreementTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(AdjointAgreementTest, MatchesParameterShiftOnRandomAnsatz) {
+  Rng rng(GetParam());
+  Circuit ansatz = EfficientSU2Ansatz(3, 2, Entanglement::kCircular);
+  PauliSum obs(3);
+  obs.Add(0.8, "ZII").Add(-0.5, "IXY").Add(0.3, "ZZZ").Add(1.0, "III");
+  DVector params = rng.UniformVector(ansatz.num_parameters(), -M_PI, M_PI);
+
+  auto adjoint = AdjointGradient(ansatz, obs, params);
+  ASSERT_TRUE(adjoint.ok());
+  ExpectationFunction f(ansatz, obs);
+  auto shift = ParameterShiftGradient(f, params);
+  ASSERT_TRUE(shift.ok());
+  for (size_t k = 0; k < params.size(); ++k) {
+    EXPECT_NEAR(adjoint.value().gradient[k], shift.value()[k], 1e-10)
+        << "k=" << k;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AdjointAgreementTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6));
+
+TEST(AdjointTest, AllSupportedGateFamilies) {
+  // One circuit touching every differentiable gate class, checked against
+  // parameter shift.
+  Circuit c(3);
+  c.H(0).H(1).H(2);
+  c.RX(0, ParamExpr::Variable(0));
+  c.RY(1, ParamExpr::Variable(1));
+  c.RZ(2, ParamExpr::Variable(2));
+  c.P(0, ParamExpr::Variable(3));
+  c.CP(0, 1, ParamExpr::Variable(4));
+  c.CRX(1, 2, ParamExpr::Variable(5));
+  c.CRY(2, 0, ParamExpr::Variable(6));
+  c.CRZ(0, 2, ParamExpr::Variable(7));
+  c.RXX(0, 1, ParamExpr::Variable(8));
+  c.RYY(1, 2, ParamExpr::Variable(9));
+  c.RZZ(0, 2, ParamExpr::Variable(10));
+  PauliSum obs(3);
+  obs.Add(1.0, "ZXY").Add(0.5, "XZI").Add(-0.25, "IIZ");
+  Rng rng(9);
+  DVector params = rng.UniformVector(11, -2.0, 2.0);
+
+  auto adjoint = AdjointGradient(c, obs, params);
+  ASSERT_TRUE(adjoint.ok()) << adjoint.status();
+  ExpectationFunction f(c, obs);
+  auto shift = ParameterShiftGradient(f, params);
+  ASSERT_TRUE(shift.ok());
+  for (size_t k = 0; k < params.size(); ++k) {
+    EXPECT_NEAR(adjoint.value().gradient[k], shift.value()[k], 1e-10)
+        << "k=" << k;
+  }
+}
+
+TEST(AdjointTest, ChainRuleThroughAffineParams) {
+  // E = cos(2θ + 0.3) via RX(2θ + 0.3): dE/dθ = −2 sin(2θ + 0.3).
+  Circuit c(1);
+  c.RX(0, ParamExpr::Affine(0, 2.0, 0.3));
+  PauliSum obs(1);
+  obs.Add(1.0, "Z");
+  const double theta = 0.7;
+  auto adjoint = AdjointGradient(c, obs, {theta});
+  ASSERT_TRUE(adjoint.ok());
+  EXPECT_NEAR(adjoint.value().gradient[0], -2.0 * std::sin(2 * theta + 0.3),
+              1e-12);
+}
+
+TEST(AdjointTest, SharedParameterAccumulates) {
+  Circuit c(2);
+  c.RY(0, ParamExpr::Variable(0)).RY(1, ParamExpr::Variable(0)).CX(0, 1);
+  PauliSum obs(2);
+  obs.Add(1.0, "IZ");
+  Rng rng(5);
+  const DVector params = {0.9};
+  auto adjoint = AdjointGradient(c, obs, params);
+  ASSERT_TRUE(adjoint.ok());
+  ExpectationFunction f(c, obs);
+  auto shift = ParameterShiftGradient(f, params);
+  ASSERT_TRUE(shift.ok());
+  EXPECT_NEAR(adjoint.value().gradient[0], shift.value()[0], 1e-10);
+}
+
+TEST(AdjointTest, QaoaStyleMultiUseParameters) {
+  // γ appears in several RZZ gates with different multipliers (like a
+  // weighted-QAOA layer): chain rule across occurrences.
+  Circuit c(3);
+  for (int q = 0; q < 3; ++q) c.H(q);
+  c.RZZ(0, 1, ParamExpr::Affine(0, 1.4, 0.0));
+  c.RZZ(1, 2, ParamExpr::Affine(0, -0.6, 0.0));
+  c.RX(0, ParamExpr::Affine(1, 2.0, 0.0));
+  c.RX(1, ParamExpr::Affine(1, 2.0, 0.0));
+  c.RX(2, ParamExpr::Affine(1, 2.0, 0.0));
+  PauliSum obs(3);
+  obs.Add(1.4, "ZZI").Add(-0.6, "IZZ");
+  const DVector params = {0.37, 0.81};
+  auto adjoint = AdjointGradient(c, obs, params);
+  ASSERT_TRUE(adjoint.ok());
+  ExpectationFunction f(c, obs);
+  auto shift = ParameterShiftGradient(f, params);
+  ASSERT_TRUE(shift.ok());
+  EXPECT_NEAR(adjoint.value().gradient[0], shift.value()[0], 1e-10);
+  EXPECT_NEAR(adjoint.value().gradient[1], shift.value()[1], 1e-10);
+}
+
+TEST(AdjointTest, SymbolicUGateUnimplemented) {
+  Circuit c(1);
+  c.U(0, ParamExpr::Variable(0), ParamExpr::Constant(0.0),
+      ParamExpr::Constant(0.0));
+  PauliSum obs(1);
+  obs.Add(1.0, "Z");
+  auto adjoint = AdjointGradient(c, obs, {0.5});
+  ASSERT_FALSE(adjoint.ok());
+  EXPECT_EQ(adjoint.status().code(), StatusCode::kUnimplemented);
+}
+
+TEST(AdjointTest, ConstantUGateIsFine) {
+  // A bound kU gate has no gradient slots and must rewind correctly.
+  Circuit c(1);
+  c.U(0, ParamExpr::Constant(0.4), ParamExpr::Constant(1.1),
+      ParamExpr::Constant(-0.6));
+  c.RX(0, ParamExpr::Variable(0));
+  PauliSum obs(1);
+  obs.Add(1.0, "Z");
+  auto adjoint = AdjointGradient(c, obs, {0.8});
+  ASSERT_TRUE(adjoint.ok()) << adjoint.status();
+  ExpectationFunction f(c, obs);
+  auto shift = ParameterShiftGradient(f, {0.8});
+  ASSERT_TRUE(shift.ok());
+  EXPECT_NEAR(adjoint.value().gradient[0], shift.value()[0], 1e-10);
+}
+
+TEST(AdjointTest, Validation) {
+  Circuit c(2);
+  c.RX(0, ParamExpr::Variable(0));
+  PauliSum narrow(1);
+  narrow.Add(1.0, "Z");
+  EXPECT_FALSE(AdjointGradient(c, narrow, {0.1}).ok());
+  PauliSum obs(2);
+  obs.Add(1.0, "ZI");
+  EXPECT_FALSE(AdjointGradient(c, obs, {}).ok());
+}
+
+}  // namespace
+}  // namespace qdb

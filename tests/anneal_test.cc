@@ -1,0 +1,200 @@
+// Tests for the annealing substrate: SA, SQA, tabu, exhaustive.
+
+#include <gtest/gtest.h>
+
+#include "anneal/exhaustive.h"
+#include "anneal/quantum_annealing.h"
+#include "anneal/simulated_annealing.h"
+#include "anneal/tabu.h"
+#include "common/rng.h"
+#include "ops/graph_hamiltonians.h"
+
+namespace qdb {
+namespace {
+
+IsingModel FerromagneticChain(int n, double j = -1.0) {
+  IsingModel m(n);
+  for (int i = 0; i + 1 < n; ++i) m.AddCoupling(i, i + 1, j);
+  return m;
+}
+
+IsingModel RandomSpinGlass(int n, Rng& rng) {
+  IsingModel m(n);
+  for (int i = 0; i < n; ++i) m.AddField(i, rng.Uniform(-0.5, 0.5));
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) {
+      if (rng.Bernoulli(0.5)) m.AddCoupling(i, j, rng.Uniform(-1.0, 1.0));
+    }
+  }
+  return m;
+}
+
+TEST(ExhaustiveTest, FerromagneticChainGroundState) {
+  IsingModel m = FerromagneticChain(6);
+  auto result = ExhaustiveSolve(m);
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(result.value().best_energy, -5.0, 1e-12);
+  // All spins aligned (either orientation).
+  for (size_t i = 1; i < result.value().best_spins.size(); ++i) {
+    EXPECT_EQ(result.value().best_spins[i], result.value().best_spins[0]);
+  }
+}
+
+TEST(ExhaustiveTest, QuboVariantMatchesIsing) {
+  Rng rng(3);
+  IsingModel m = RandomSpinGlass(6, rng);
+  Qubo q = m.ToQubo();
+  auto ising_result = ExhaustiveSolve(m);
+  auto qubo_result = ExhaustiveSolveQubo(q);
+  ASSERT_TRUE(ising_result.ok());
+  ASSERT_TRUE(qubo_result.ok());
+  EXPECT_NEAR(ising_result.value().best_energy,
+              qubo_result.value().best_energy, 1e-9);
+}
+
+TEST(ExhaustiveTest, RejectsHugeInstances) {
+  IsingModel m(27);
+  m.AddCoupling(0, 1, 1.0);
+  EXPECT_FALSE(ExhaustiveSolve(m).ok());
+}
+
+class SolverGroundStateTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SolverGroundStateTest, SaFindsGroundStateOfSmallGlass) {
+  Rng rng(GetParam());
+  IsingModel m = RandomSpinGlass(8, rng);
+  auto exact = ExhaustiveSolve(m);
+  ASSERT_TRUE(exact.ok());
+  SaOptions opts;
+  opts.num_sweeps = 400;
+  opts.num_restarts = 4;
+  opts.seed = GetParam() * 13 + 1;
+  auto sa = SimulatedAnnealing(m, opts);
+  ASSERT_TRUE(sa.ok());
+  EXPECT_NEAR(sa.value().best_energy, exact.value().best_energy, 1e-9);
+}
+
+TEST_P(SolverGroundStateTest, SqaFindsGroundStateOfSmallGlass) {
+  Rng rng(100 + GetParam());
+  IsingModel m = RandomSpinGlass(8, rng);
+  auto exact = ExhaustiveSolve(m);
+  ASSERT_TRUE(exact.ok());
+  SqaOptions opts;
+  opts.num_sweeps = 300;
+  opts.num_replicas = 12;
+  opts.num_restarts = 2;
+  opts.seed = GetParam() * 17 + 3;
+  auto sqa = SimulatedQuantumAnnealing(m, opts);
+  ASSERT_TRUE(sqa.ok());
+  EXPECT_NEAR(sqa.value().best_energy, exact.value().best_energy, 1e-9);
+}
+
+TEST_P(SolverGroundStateTest, TabuFindsGroundStateOfSmallGlass) {
+  Rng rng(200 + GetParam());
+  IsingModel m = RandomSpinGlass(8, rng);
+  auto exact = ExhaustiveSolve(m);
+  ASSERT_TRUE(exact.ok());
+  TabuOptions opts;
+  opts.max_iterations = 800;
+  opts.num_restarts = 6;
+  opts.tenure = 8;
+  opts.seed = GetParam() * 19 + 7;
+  auto tabu = TabuSearch(m, opts);
+  ASSERT_TRUE(tabu.ok());
+  EXPECT_NEAR(tabu.value().best_energy, exact.value().best_energy, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SolverGroundStateTest,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+TEST(SaTest, DeterministicBySeed) {
+  Rng rng(5);
+  IsingModel m = RandomSpinGlass(10, rng);
+  SaOptions opts;
+  opts.num_sweeps = 100;
+  auto a = SimulatedAnnealing(m, opts);
+  auto b = SimulatedAnnealing(m, opts);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a.value().best_spins, b.value().best_spins);
+}
+
+TEST(SaTest, ValidatesOptions) {
+  IsingModel m = FerromagneticChain(3);
+  SaOptions bad_sweeps;
+  bad_sweeps.num_sweeps = 0;
+  EXPECT_FALSE(SimulatedAnnealing(m, bad_sweeps).ok());
+  SaOptions bad_beta;
+  bad_beta.beta_initial = 5.0;
+  bad_beta.beta_final = 1.0;
+  EXPECT_FALSE(SimulatedAnnealing(m, bad_beta).ok());
+}
+
+TEST(SqaTest, ValidatesOptions) {
+  IsingModel m = FerromagneticChain(3);
+  SqaOptions bad_replicas;
+  bad_replicas.num_replicas = 1;
+  EXPECT_FALSE(SimulatedQuantumAnnealing(m, bad_replicas).ok());
+  SqaOptions bad_gamma;
+  bad_gamma.gamma_initial = 0.1;
+  bad_gamma.gamma_final = 1.0;
+  EXPECT_FALSE(SimulatedQuantumAnnealing(m, bad_gamma).ok());
+  SqaOptions bad_beta;
+  bad_beta.beta = 0.0;
+  EXPECT_FALSE(SimulatedQuantumAnnealing(m, bad_beta).ok());
+}
+
+TEST(SqaTest, GlobalMovesToggleStillSolves) {
+  IsingModel m = FerromagneticChain(6);
+  SqaOptions opts;
+  opts.global_moves = false;
+  opts.num_sweeps = 400;
+  auto result = SimulatedQuantumAnnealing(m, opts);
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(result.value().best_energy, -5.0, 1e-9);
+}
+
+TEST(TabuTest, ValidatesOptions) {
+  IsingModel m = FerromagneticChain(3);
+  TabuOptions bad;
+  bad.tenure = -1;
+  EXPECT_FALSE(TabuSearch(m, bad).ok());
+}
+
+TEST(TabuTest, EscapesLocalOptimaViaTenure) {
+  // A frustrated triangle plus chain has local optima; tabu with tenure
+  // should still reach the exhaustive optimum.
+  IsingModel m(6);
+  m.AddCoupling(0, 1, 1.0);
+  m.AddCoupling(1, 2, 1.0);
+  m.AddCoupling(0, 2, 1.0);  // Frustration.
+  m.AddCoupling(2, 3, -1.0);
+  m.AddCoupling(3, 4, 1.0);
+  m.AddCoupling(4, 5, -1.0);
+  auto exact = ExhaustiveSolve(m);
+  ASSERT_TRUE(exact.ok());
+  TabuOptions opts;
+  opts.max_iterations = 300;
+  opts.tenure = 5;
+  auto result = TabuSearch(m, opts);
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(result.value().best_energy, exact.value().best_energy, 1e-9);
+}
+
+TEST(AnnealersTest, SolversAgreeOnMaxCut) {
+  Rng rng(31);
+  WeightedGraph g = ErdosRenyiGraph(10, 0.5, rng);
+  IsingModel ising = MaxCutIsing(g);
+  auto exact = ExhaustiveSolve(ising);
+  ASSERT_TRUE(exact.ok());
+  SaOptions sa_opts;
+  sa_opts.num_sweeps = 500;
+  sa_opts.num_restarts = 3;
+  auto sa = SimulatedAnnealing(ising, sa_opts);
+  ASSERT_TRUE(sa.ok());
+  EXPECT_NEAR(sa.value().best_energy, exact.value().best_energy, 1e-9);
+  EXPECT_NEAR(g.CutValue(sa.value().best_spins), MaxCutBruteForce(g), 1e-9);
+}
+
+}  // namespace
+}  // namespace qdb

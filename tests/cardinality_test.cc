@@ -1,0 +1,178 @@
+// Tests for the cardinality-estimation substrate and the VQR regressor.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "db/cardinality.h"
+#include "variational/vqr.h"
+
+namespace qdb {
+namespace {
+
+TEST(SyntheticTableTest, UniformMarginals) {
+  Rng rng(3);
+  SyntheticTable table = MakeCorrelatedTable(4000, 2, 0.8, rng);
+  EXPECT_EQ(table.num_rows(), 4000);
+  EXPECT_EQ(table.num_columns(), 2);
+  // Despite correlation, each column's marginal stays uniform: mean ≈ 0.5.
+  for (int c = 0; c < 2; ++c) {
+    double mean = 0.0;
+    for (const auto& row : table.rows) mean += row[c];
+    mean /= table.num_rows();
+    EXPECT_NEAR(mean, 0.5, 0.02);
+  }
+}
+
+TEST(SyntheticTableTest, CorrelationKnobWorks) {
+  Rng rng(5);
+  auto column_correlation = [](const SyntheticTable& t) {
+    double mx = 0, my = 0;
+    for (const auto& r : t.rows) {
+      mx += r[0];
+      my += r[1];
+    }
+    mx /= t.num_rows();
+    my /= t.num_rows();
+    double cov = 0, vx = 0, vy = 0;
+    for (const auto& r : t.rows) {
+      cov += (r[0] - mx) * (r[1] - my);
+      vx += (r[0] - mx) * (r[0] - mx);
+      vy += (r[1] - my) * (r[1] - my);
+    }
+    return cov / std::sqrt(vx * vy);
+  };
+  SyntheticTable indep = MakeCorrelatedTable(3000, 2, 0.0, rng);
+  SyntheticTable strong = MakeCorrelatedTable(3000, 2, 0.95, rng);
+  EXPECT_NEAR(column_correlation(indep), 0.0, 0.05);
+  EXPECT_GT(column_correlation(strong), 0.7);
+}
+
+TEST(RangeQueryTest, TrueSelectivityByScan) {
+  SyntheticTable table;
+  table.rows = {{0.1, 0.9}, {0.5, 0.5}, {0.9, 0.1}};
+  RangeQuery q{{0.0, 0.4}, {0.6, 1.0}};  // col0 in [0, .6), col1 in [.4, 1).
+  EXPECT_NEAR(q.TrueSelectivity(table), 2.0 / 3.0, 1e-12);
+}
+
+TEST(RangeQueryTest, FeatureFlattening) {
+  RangeQuery q{{0.1, 0.3}, {0.2, 0.8}};
+  EXPECT_EQ(q.ToFeatures(), (DVector{0.1, 0.2, 0.3, 0.8}));
+}
+
+TEST(RangeQueryTest, RandomQueriesAreValidIntervals) {
+  Rng rng(7);
+  for (int i = 0; i < 50; ++i) {
+    RangeQuery q = RandomRangeQuery(3, rng, 0.1);
+    for (int c = 0; c < 3; ++c) {
+      EXPECT_GE(q.lo[c], 0.0);
+      EXPECT_LE(q.hi[c], 1.0 + 1e-12);
+      EXPECT_GE(q.hi[c] - q.lo[c], 0.1 - 1e-12);
+    }
+  }
+}
+
+TEST(IndependenceEstimatorTest, ExactOnIndependentData) {
+  Rng rng(9);
+  SyntheticTable table = MakeCorrelatedTable(8000, 2, 0.0, rng);
+  auto est = IndependenceEstimator::Build(table, 32);
+  Rng qrng(11);
+  for (int i = 0; i < 10; ++i) {
+    RangeQuery q = RandomRangeQuery(2, qrng, 0.2);
+    const double truth = q.TrueSelectivity(table);
+    EXPECT_NEAR(est.Estimate(q), truth, 0.05) << i;
+  }
+}
+
+TEST(IndependenceEstimatorTest, BreaksOnCorrelatedData) {
+  // The attribute-independence assumption must visibly fail on strongly
+  // correlated columns for some diagonal-ish query.
+  Rng rng(13);
+  SyntheticTable table = MakeCorrelatedTable(8000, 2, 0.95, rng);
+  auto est = IndependenceEstimator::Build(table, 32);
+  // Anti-diagonal box: low col0, high col1 — rare under correlation but
+  // "likely" under independence.
+  RangeQuery q{{0.0, 0.6}, {0.4, 1.0}};
+  const double truth = q.TrueSelectivity(table);
+  const double estimate = est.Estimate(q);
+  EXPECT_GT(QError(estimate, truth), 1.5);
+}
+
+TEST(SamplingEstimateTest, ConvergesWithSamples) {
+  Rng rng(15);
+  SyntheticTable table = MakeCorrelatedTable(5000, 2, 0.5, rng);
+  RangeQuery q{{0.2, 0.2}, {0.8, 0.8}};
+  const double truth = q.TrueSelectivity(table);
+  Rng srng(17);
+  const double estimate = SamplingEstimate(table, q, 5000, srng);
+  EXPECT_NEAR(estimate, truth, 0.03);
+}
+
+TEST(QErrorTest, SymmetricAndFloored) {
+  EXPECT_NEAR(QError(0.1, 0.2), 2.0, 1e-12);
+  EXPECT_NEAR(QError(0.2, 0.1), 2.0, 1e-12);
+  EXPECT_NEAR(QError(1.0, 1.0), 1.0, 1e-12);
+  EXPECT_NEAR(QError(0.0, 1.0), 1.0 / 1e-4, 1e-6);  // Floor kicks in.
+}
+
+TEST(SelectivityTargetTest, RoundTripOnLogGrid) {
+  for (double sel : {1.0, 0.1, 0.01, 0.001, 0.0001}) {
+    const double target = SelectivityToTarget(sel);
+    EXPECT_GE(target, -1.0);
+    EXPECT_LE(target, 1.0);
+    EXPECT_NEAR(TargetToSelectivity(target), sel, 1e-9 * sel + 1e-12);
+  }
+  EXPECT_NEAR(SelectivityToTarget(1.0), 1.0, 1e-12);
+  EXPECT_NEAR(SelectivityToTarget(1e-4), -1.0, 1e-12);
+}
+
+TEST(VqrTest, FitsSmoothFunction) {
+  // Regression sanity: learn y = sin(x) on [0, π] from 12 points.
+  std::vector<DVector> xs;
+  DVector ys;
+  for (int i = 0; i < 12; ++i) {
+    const double x = M_PI * i / 11.0;
+    xs.push_back({x});
+    ys.push_back(std::sin(x) * 0.9);  // Keep targets inside (−1, 1).
+  }
+  VqrOptions opts;
+  opts.ansatz_layers = 3;
+  opts.adam.max_iterations = 150;
+  opts.adam.learning_rate = 0.15;
+  auto model = VqrRegressor::Train(xs, ys, opts);
+  ASSERT_TRUE(model.ok()) << model.status();
+  double worst = 0.0;
+  for (size_t i = 0; i < xs.size(); ++i) {
+    worst = std::max(worst,
+                     std::abs(model.value().Predict(xs[i]).ValueOrDie() - ys[i]));
+  }
+  EXPECT_LT(worst, 0.15);
+  EXPECT_LT(model.value().loss_history().back(),
+            model.value().loss_history().front());
+}
+
+TEST(VqrTest, Validation) {
+  EXPECT_FALSE(VqrRegressor::Train({{0.1}}, {0.5}, {}).ok());  // One sample.
+  EXPECT_FALSE(
+      VqrRegressor::Train({{0.1}, {0.2}}, {0.5}, {}).ok());  // Count mismatch.
+  EXPECT_FALSE(
+      VqrRegressor::Train({{0.1}, {0.2}}, {0.5, 2.0}, {}).ok());  // Range.
+  EXPECT_FALSE(
+      VqrRegressor::Train({{0.1}, {0.2, 0.3}}, {0.5, 0.1}, {}).ok());  // Dims.
+  VqrOptions bad;
+  bad.ansatz_layers = 0;
+  EXPECT_FALSE(VqrRegressor::Train({{0.1}, {0.2}}, {0.5, 0.1}, bad).ok());
+}
+
+TEST(VqrTest, PredictValidatesDimensions) {
+  std::vector<DVector> xs = {{0.1, 0.2}, {0.3, 0.4}, {0.5, 0.6}};
+  DVector ys = {0.1, 0.2, 0.3};
+  VqrOptions opts;
+  opts.adam.max_iterations = 3;
+  auto model = VqrRegressor::Train(xs, ys, opts);
+  ASSERT_TRUE(model.ok());
+  EXPECT_FALSE(model.value().Predict({0.1}).ok());
+}
+
+}  // namespace
+}  // namespace qdb

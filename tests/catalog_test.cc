@@ -1,0 +1,97 @@
+// Tests for the relational catalog.
+
+#include <gtest/gtest.h>
+
+#include "db/catalog.h"
+
+namespace qdb {
+namespace {
+
+TEST(CatalogTest, AddAndRetrieveTables) {
+  Catalog catalog;
+  ASSERT_TRUE(catalog.AddTable("orders", 1e6).ok());
+  ASSERT_TRUE(catalog.AddTable("customers", 5e4).ok());
+  EXPECT_EQ(catalog.num_tables(), 2u);
+  auto t = catalog.GetTable("orders");
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t.value().cardinality, 1e6);
+  EXPECT_EQ(catalog.TableIndex("customers").value(), 1);
+}
+
+TEST(CatalogTest, RejectsDuplicatesAndBadInput) {
+  Catalog catalog;
+  ASSERT_TRUE(catalog.AddTable("t", 10).ok());
+  EXPECT_EQ(catalog.AddTable("t", 20).code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(catalog.AddTable("", 10).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(catalog.AddTable("u", 0).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(catalog.AddTable("v", -5).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(CatalogTest, UnknownTableIsNotFound) {
+  Catalog catalog;
+  EXPECT_EQ(catalog.GetTable("nope").status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(catalog.TableIndex("nope").status().code(), StatusCode::kNotFound);
+}
+
+TEST(CatalogTest, SelectivityDefaultsToOne) {
+  Catalog catalog;
+  ASSERT_TRUE(catalog.AddTable("a", 10).ok());
+  ASSERT_TRUE(catalog.AddTable("b", 20).ok());
+  auto s = catalog.GetSelectivity("a", "b");
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(s.value(), 1.0);
+}
+
+TEST(CatalogTest, SelectivityIsSymmetric) {
+  Catalog catalog;
+  ASSERT_TRUE(catalog.AddTable("a", 10).ok());
+  ASSERT_TRUE(catalog.AddTable("b", 20).ok());
+  ASSERT_TRUE(catalog.SetSelectivity("a", "b", 0.01).ok());
+  EXPECT_EQ(catalog.GetSelectivity("b", "a").value(), 0.01);
+  EXPECT_EQ(catalog.GetSelectivity("a", "b").value(), 0.01);
+}
+
+TEST(CatalogTest, BuildJoinGraphBridgesToOptimizer) {
+  Catalog catalog;
+  ASSERT_TRUE(catalog.AddTable("orders", 1e5).ok());
+  ASSERT_TRUE(catalog.AddTable("customers", 1e3).ok());
+  ASSERT_TRUE(catalog.AddTable("items", 1e4).ok());
+  ASSERT_TRUE(catalog.SetSelectivity("orders", "customers", 1e-3).ok());
+  ASSERT_TRUE(catalog.SetSelectivity("orders", "items", 1e-4).ok());
+  auto graph = catalog.BuildJoinGraph(
+      {{"orders", "customers"}, {"orders", "items"}});
+  ASSERT_TRUE(graph.ok()) << graph.status();
+  EXPECT_EQ(graph.value().num_relations(), 3);
+  EXPECT_EQ(graph.value().edges().size(), 2u);
+  EXPECT_NEAR(graph.value().cardinality(0), 1e5, 1e-6);
+  EXPECT_NEAR(graph.value().Selectivity(0, 1), 1e-3, 1e-12);
+  EXPECT_TRUE(graph.value().IsConnected());
+}
+
+TEST(CatalogTest, BuildJoinGraphValidation) {
+  Catalog catalog;
+  ASSERT_TRUE(catalog.AddTable("only", 10).ok());
+  EXPECT_EQ(catalog.BuildJoinGraph({}).status().code(),
+            StatusCode::kFailedPrecondition);
+  ASSERT_TRUE(catalog.AddTable("other", 20).ok());
+  EXPECT_EQ(catalog.BuildJoinGraph({{"only", "ghost"}}).status().code(),
+            StatusCode::kNotFound);
+  // Duplicate join pairs surface the graph's AlreadyExists error.
+  ASSERT_TRUE(catalog.SetSelectivity("only", "other", 0.5).ok());
+  auto dup = catalog.BuildJoinGraph(
+      {{"only", "other"}, {"other", "only"}});
+  EXPECT_EQ(dup.status().code(), StatusCode::kAlreadyExists);
+}
+
+TEST(CatalogTest, SelectivityValidation) {
+  Catalog catalog;
+  ASSERT_TRUE(catalog.AddTable("a", 10).ok());
+  ASSERT_TRUE(catalog.AddTable("b", 20).ok());
+  EXPECT_FALSE(catalog.SetSelectivity("a", "a", 0.5).ok());
+  EXPECT_FALSE(catalog.SetSelectivity("a", "b", 0.0).ok());
+  EXPECT_FALSE(catalog.SetSelectivity("a", "b", 1.5).ok());
+  EXPECT_FALSE(catalog.SetSelectivity("a", "c", 0.5).ok());
+}
+
+}  // namespace
+}  // namespace qdb

@@ -1,0 +1,93 @@
+// Tests for the C_out cost model and join trees.
+
+#include <gtest/gtest.h>
+
+#include "db/cost_model.h"
+
+namespace qdb {
+namespace {
+
+JoinQueryGraph ThreeChain() {
+  // R0 (1000) — R1 (100) — R2 (10); sel(0,1)=0.1, sel(1,2)=0.01.
+  auto g = JoinQueryGraph::Create({1000, 100, 10}).value();
+  EXPECT_TRUE(g.AddJoin(0, 1, 0.1).ok());
+  EXPECT_TRUE(g.AddJoin(1, 2, 0.01).ok());
+  return g;
+}
+
+TEST(CostModelTest, SubsetCardinalitySingleton) {
+  JoinQueryGraph g = ThreeChain();
+  EXPECT_NEAR(SubsetCardinality(g, 0b001), 1000.0, 1e-9);
+  EXPECT_NEAR(SubsetCardinality(g, 0b100), 10.0, 1e-9);
+}
+
+TEST(CostModelTest, SubsetCardinalityWithEdges) {
+  JoinQueryGraph g = ThreeChain();
+  // {R0, R1}: 1000·100·0.1 = 10000.
+  EXPECT_NEAR(SubsetCardinality(g, 0b011), 10000.0, 1e-9);
+  // {R0, R2}: no predicate → cross product 1000·10 = 10000.
+  EXPECT_NEAR(SubsetCardinality(g, 0b101), 10000.0, 1e-9);
+  // All: 1000·100·10·0.1·0.01 = 1000.
+  EXPECT_NEAR(SubsetCardinality(g, 0b111), 1000.0, 1e-9);
+}
+
+TEST(CostModelTest, LeftDeepOrderCosts) {
+  JoinQueryGraph g = ThreeChain();
+  // Order (0,1,2): cost = |{0,1}| + |{0,1,2}| = 10000 + 1000.
+  auto c012 = CostOfLeftDeepOrder(g, {0, 1, 2});
+  ASSERT_TRUE(c012.ok());
+  EXPECT_NEAR(c012.value(), 11000.0, 1e-9);
+  // Order (2,1,0): |{1,2}| = 100·10·0.01 = 10, then 1000 → 1010.
+  auto c210 = CostOfLeftDeepOrder(g, {2, 1, 0});
+  ASSERT_TRUE(c210.ok());
+  EXPECT_NEAR(c210.value(), 1010.0, 1e-9);
+}
+
+TEST(CostModelTest, LeftDeepOrderValidation) {
+  JoinQueryGraph g = ThreeChain();
+  EXPECT_FALSE(CostOfLeftDeepOrder(g, {0, 1}).ok());        // Too short.
+  EXPECT_FALSE(CostOfLeftDeepOrder(g, {0, 1, 1}).ok());     // Repeat.
+  EXPECT_FALSE(CostOfLeftDeepOrder(g, {0, 1, 7}).ok());     // Out of range.
+}
+
+TEST(CostModelTest, JoinTreeLeafMask) {
+  auto tree = JoinTree::Join(JoinTree::Leaf(0),
+                             JoinTree::Join(JoinTree::Leaf(2),
+                                            JoinTree::Leaf(1)));
+  EXPECT_EQ(tree->RelationMask(), 0b111u);
+  EXPECT_FALSE(tree->IsLeaf());
+  EXPECT_TRUE(JoinTree::Leaf(3)->IsLeaf());
+}
+
+TEST(CostModelTest, BushyTreeCostMatchesHandComputation) {
+  JoinQueryGraph g = ThreeChain();
+  // ((R2 ⋈ R1) ⋈ R0): inner = 10, outer = 1000 → 1010.
+  auto tree = JoinTree::Join(
+      JoinTree::Join(JoinTree::Leaf(2), JoinTree::Leaf(1)),
+      JoinTree::Leaf(0));
+  auto cost = CostOfTree(g, *tree);
+  ASSERT_TRUE(cost.ok());
+  EXPECT_NEAR(cost.value(), 1010.0, 1e-9);
+}
+
+TEST(CostModelTest, TreeValidation) {
+  JoinQueryGraph g = ThreeChain();
+  // Repeated relation.
+  auto bad = JoinTree::Join(JoinTree::Leaf(0), JoinTree::Leaf(0));
+  EXPECT_FALSE(CostOfTree(g, *bad).ok());
+  // Relation outside the graph.
+  auto out = JoinTree::Join(JoinTree::Leaf(0), JoinTree::Leaf(9));
+  EXPECT_FALSE(CostOfTree(g, *out).ok());
+}
+
+TEST(CostModelTest, LeftDeepTreeEqualsOrderCost) {
+  JoinQueryGraph g = ThreeChain();
+  auto tree = JoinTree::Join(
+      JoinTree::Join(JoinTree::Leaf(0), JoinTree::Leaf(1)),
+      JoinTree::Leaf(2));
+  EXPECT_NEAR(CostOfTree(g, *tree).value(),
+              CostOfLeftDeepOrder(g, {0, 1, 2}).value(), 1e-9);
+}
+
+}  // namespace
+}  // namespace qdb

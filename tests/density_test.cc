@@ -1,0 +1,207 @@
+// Tests for the density-matrix simulator and noise channels.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sim/density_simulator.h"
+#include "sim/statevector_simulator.h"
+
+namespace qdb {
+namespace {
+
+TEST(DensityMatrixTest, InitialPureState) {
+  DensityMatrix rho(2);
+  EXPECT_NEAR(rho.TraceValue(), 1.0, 1e-12);
+  EXPECT_NEAR(rho.Purity(), 1.0, 1e-12);
+  EXPECT_EQ(rho.Element(0, 0), Complex(1, 0));
+}
+
+TEST(DensityMatrixTest, FromStateVectorMatchesOuterProduct) {
+  StateVector psi(1);
+  psi.Apply1Q(0, GateMatrix(GateType::kH, {}));
+  DensityMatrix rho = DensityMatrix::FromStateVector(psi);
+  EXPECT_NEAR(rho.Element(0, 0).real(), 0.5, 1e-12);
+  EXPECT_NEAR(rho.Element(0, 1).real(), 0.5, 1e-12);
+  EXPECT_NEAR(rho.Element(1, 0).real(), 0.5, 1e-12);
+  EXPECT_NEAR(rho.Element(1, 1).real(), 0.5, 1e-12);
+}
+
+class NoiselessAgreementTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(NoiselessAgreementTest, MatchesStateVectorSimulator) {
+  // Property: without noise the density simulator reproduces |ψ⟩⟨ψ| of the
+  // state-vector simulator for random circuits.
+  Rng rng(GetParam());
+  Circuit c(3);
+  for (int g = 0; g < 15; ++g) {
+    const int q = static_cast<int>(rng.UniformInt(uint64_t{3}));
+    int q2 = static_cast<int>(rng.UniformInt(uint64_t{2}));
+    if (q2 >= q) ++q2;
+    switch (rng.UniformInt(uint64_t{6})) {
+      case 0: c.H(q); break;
+      case 1: c.RY(q, rng.Uniform(-2.0, 2.0)); break;
+      case 2: c.RZ(q, rng.Uniform(-2.0, 2.0)); break;
+      case 3: c.CX(q, q2); break;
+      case 4: c.RZZ(q, q2, rng.Uniform(-2.0, 2.0)); break;
+      default: c.T(q); break;
+    }
+  }
+  StateVectorSimulator sv_sim;
+  auto psi = sv_sim.Run(c);
+  ASSERT_TRUE(psi.ok());
+  DensitySimulator dm_sim;
+  auto rho = dm_sim.Run(c);
+  ASSERT_TRUE(rho.ok());
+
+  Matrix expected =
+      DensityMatrix::FromStateVector(psi.value()).ToMatrix();
+  EXPECT_TRUE(rho.value().ToMatrix().ApproxEqual(expected, 1e-10));
+  EXPECT_NEAR(rho.value().Purity(), 1.0, 1e-10);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, NoiselessAgreementTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6));
+
+TEST(KrausChannelTest, ValidatesCompleteness) {
+  // A lone X/2 operator is not trace preserving.
+  std::vector<Matrix> bad = {GateMatrix(GateType::kX, {}) * Complex(0.5, 0)};
+  EXPECT_FALSE(KrausChannel::Create(bad).ok());
+  auto good = DepolarizingChannel(0.1);
+  ASSERT_TRUE(good.ok());
+  EXPECT_EQ(good.value().num_qubits(), 1);
+}
+
+TEST(KrausChannelTest, RejectsBadProbabilities) {
+  EXPECT_FALSE(DepolarizingChannel(-0.1).ok());
+  EXPECT_FALSE(DepolarizingChannel(1.5).ok());
+  EXPECT_FALSE(AmplitudeDampingChannel(2.0).ok());
+  EXPECT_FALSE(BitFlipChannel(-1.0).ok());
+}
+
+TEST(NoiseTest, FullDepolarizingGivesMaximallyMixed) {
+  DensityMatrix rho(1);
+  rho.ApplyUnitary({0}, GateMatrix(GateType::kH, {}));
+  auto channel = DepolarizingChannel(1.0);
+  ASSERT_TRUE(channel.ok());
+  rho.ApplyKraus({0}, channel.value().operators());
+  EXPECT_NEAR(rho.Element(0, 0).real(), 0.5, 1e-10);
+  EXPECT_NEAR(rho.Element(1, 1).real(), 0.5, 1e-10);
+  EXPECT_NEAR(std::abs(rho.Element(0, 1)), 0.0, 1e-10);
+  EXPECT_NEAR(rho.Purity(), 0.5, 1e-10);
+}
+
+TEST(NoiseTest, AmplitudeDampingDecaysExcitedState) {
+  DensityMatrix rho(1);
+  rho.ApplyUnitary({0}, GateMatrix(GateType::kX, {}));  // |1⟩⟨1|
+  auto channel = AmplitudeDampingChannel(0.3);
+  ASSERT_TRUE(channel.ok());
+  rho.ApplyKraus({0}, channel.value().operators());
+  EXPECT_NEAR(rho.Element(1, 1).real(), 0.7, 1e-10);
+  EXPECT_NEAR(rho.Element(0, 0).real(), 0.3, 1e-10);
+}
+
+TEST(NoiseTest, PhaseDampingKillsCoherencesOnly) {
+  DensityMatrix rho(1);
+  rho.ApplyUnitary({0}, GateMatrix(GateType::kH, {}));
+  auto channel = PhaseDampingChannel(1.0);
+  ASSERT_TRUE(channel.ok());
+  rho.ApplyKraus({0}, channel.value().operators());
+  EXPECT_NEAR(rho.Element(0, 0).real(), 0.5, 1e-10);  // Populations kept.
+  EXPECT_NEAR(std::abs(rho.Element(0, 1)), 0.0, 1e-10);  // Coherence gone.
+}
+
+TEST(NoiseTest, BitFlipChannelMixesPopulations) {
+  DensityMatrix rho(1);  // |0⟩⟨0|
+  auto channel = BitFlipChannel(0.25);
+  ASSERT_TRUE(channel.ok());
+  rho.ApplyKraus({0}, channel.value().operators());
+  EXPECT_NEAR(rho.Element(0, 0).real(), 0.75, 1e-10);
+  EXPECT_NEAR(rho.Element(1, 1).real(), 0.25, 1e-10);
+}
+
+class ChannelPropertyTest
+    : public ::testing::TestWithParam<std::tuple<int, double>> {};
+
+TEST_P(ChannelPropertyTest, TracePreservedPurityNonIncreasing) {
+  // Property: every channel preserves trace and cannot increase purity of
+  // the maximally-coherent one-qubit state.
+  const auto& [which, p] = GetParam();
+  Result<KrausChannel> channel =
+      which == 0   ? DepolarizingChannel(p)
+      : which == 1 ? AmplitudeDampingChannel(p)
+      : which == 2 ? PhaseDampingChannel(p)
+      : which == 3 ? BitFlipChannel(p)
+                   : PhaseFlipChannel(p);
+  ASSERT_TRUE(channel.ok());
+  DensityMatrix rho(2);
+  rho.ApplyUnitary({0}, GateMatrix(GateType::kH, {}));
+  rho.ApplyUnitary({0, 1}, GateMatrix(GateType::kCX, {}));
+  const double purity_before = rho.Purity();
+  rho.ApplyKraus({1}, channel.value().operators());
+  EXPECT_NEAR(rho.TraceValue(), 1.0, 1e-9);
+  EXPECT_LE(rho.Purity(), purity_before + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Channels, ChannelPropertyTest,
+    ::testing::Combine(::testing::Values(0, 1, 2, 3, 4),
+                       ::testing::Values(0.0, 0.05, 0.3, 1.0)));
+
+TEST(DensitySimulatorTest, NoisyBellStateLosesCorrelation) {
+  Circuit bell(2);
+  bell.H(0).CX(0, 1);
+  auto noiseless = DensitySimulator().Run(bell);
+  ASSERT_TRUE(noiseless.ok());
+  auto noise = NoiseModel::Depolarizing(0.05, 0.1);
+  ASSERT_TRUE(noise.ok());
+  auto noisy = DensitySimulator(noise.value()).Run(bell);
+  ASSERT_TRUE(noisy.ok());
+
+  PauliSum zz(2);
+  zz.Add(1.0, "ZZ");
+  const double clean_corr = noiseless.value().ExpectationOf(zz);
+  const double noisy_corr = noisy.value().ExpectationOf(zz);
+  EXPECT_NEAR(clean_corr, 1.0, 1e-10);
+  EXPECT_LT(noisy_corr, clean_corr);
+  EXPECT_GT(noisy_corr, 0.5);  // Mild noise: correlation reduced, not gone.
+  EXPECT_NEAR(noisy.value().TraceValue(), 1.0, 1e-9);
+}
+
+TEST(DensitySimulatorTest, ExpectationMatchesStateVectorWhenNoiseless) {
+  Circuit c(2);
+  c.H(0).CRY(0, 1, 0.8).RZZ(0, 1, 0.4);
+  StateVectorSimulator sv;
+  auto psi = sv.Run(c);
+  ASSERT_TRUE(psi.ok());
+  auto rho = DensitySimulator().Run(c);
+  ASSERT_TRUE(rho.ok());
+  PauliSum obs(2);
+  obs.Add(0.7, "XY").Add(-1.2, "ZZ").Add(0.3, "IX");
+  EXPECT_NEAR(rho.value().ExpectationOf(obs), Expectation(psi.value(), obs),
+              1e-10);
+}
+
+TEST(DensitySimulatorTest, SamplingWithReadoutError) {
+  Circuit c(1);  // Stay in |0⟩.
+  auto rho = DensitySimulator().Run(c);
+  ASSERT_TRUE(rho.ok());
+  Rng rng(11);
+  auto counts = rho.value().SampleCounts(rng, 10000, /*readout_flip=*/0.1);
+  // ~10% of shots should read |1⟩ purely from readout error.
+  EXPECT_NEAR(counts[1] / 10000.0, 0.1, 0.02);
+}
+
+TEST(DensitySimulatorTest, ProbabilityOfOneUnderNoise) {
+  Circuit c(1);
+  c.X(0);
+  auto noise = NoiseModel::Depolarizing(0.2, 0.0);
+  ASSERT_TRUE(noise.ok());
+  auto rho = DensitySimulator(noise.value()).Run(c);
+  ASSERT_TRUE(rho.ok());
+  // Depolarizing(p) keeps ⟨Z⟩ scaled by (1−p): P(1) = (1 + (1−p)) / 2.
+  EXPECT_NEAR(rho.value().ProbabilityOfOne(0), 0.9, 1e-10);
+}
+
+}  // namespace
+}  // namespace qdb

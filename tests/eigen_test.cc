@@ -1,0 +1,125 @@
+// Tests for the Jacobi Hermitian eigensolver.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "linalg/eigen.h"
+#include "linalg/random_unitary.h"
+
+namespace qdb {
+namespace {
+
+TEST(EigenTest, DiagonalMatrixIsItsOwnDecomposition) {
+  Matrix d = Matrix::Diagonal({Complex(3, 0), Complex(-1, 0), Complex(2, 0)});
+  auto result = HermitianEigen(d);
+  ASSERT_TRUE(result.ok()) << result.status();
+  const auto& decomp = result.value();
+  EXPECT_NEAR(decomp.eigenvalues[0], -1.0, 1e-10);
+  EXPECT_NEAR(decomp.eigenvalues[1], 2.0, 1e-10);
+  EXPECT_NEAR(decomp.eigenvalues[2], 3.0, 1e-10);
+}
+
+TEST(EigenTest, PauliXEigenvalues) {
+  Matrix x{{{0, 0}, {1, 0}}, {{1, 0}, {0, 0}}};
+  auto result = HermitianEigen(x);
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(result.value().eigenvalues[0], -1.0, 1e-10);
+  EXPECT_NEAR(result.value().eigenvalues[1], 1.0, 1e-10);
+}
+
+TEST(EigenTest, PauliYComplexEntries) {
+  Matrix y{{{0, 0}, {0, -1}}, {{0, 1}, {0, 0}}};
+  auto result = HermitianEigen(y);
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(result.value().eigenvalues[0], -1.0, 1e-10);
+  EXPECT_NEAR(result.value().eigenvalues[1], 1.0, 1e-10);
+}
+
+TEST(EigenTest, RejectsNonHermitian) {
+  Matrix m{{{1, 0}, {2, 0}}, {{3, 0}, {4, 0}}};
+  EXPECT_FALSE(HermitianEigen(m).ok());
+}
+
+TEST(EigenTest, RejectsNonSquare) {
+  EXPECT_FALSE(HermitianEigen(Matrix(2, 3)).ok());
+  EXPECT_FALSE(HermitianEigen(Matrix()).ok());
+}
+
+TEST(EigenTest, EigenvectorsAreOrthonormal) {
+  Rng rng(5);
+  Matrix a = RandomHermitian(6, rng);
+  auto result = HermitianEigen(a);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result.value().eigenvectors.IsUnitary(1e-8));
+}
+
+class EigenReconstructionTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(EigenReconstructionTest, ReconstructsInput) {
+  // Property: V diag(λ) V† = A for random Hermitian matrices of varying n.
+  Rng rng(100 + GetParam());
+  const size_t n = GetParam();
+  Matrix a = RandomHermitian(n, rng);
+  auto result = HermitianEigen(a);
+  ASSERT_TRUE(result.ok()) << result.status();
+  const auto& [values, vectors] = result.value();
+
+  CVector diag(n);
+  for (size_t i = 0; i < n; ++i) diag[i] = Complex(values[i], 0.0);
+  Matrix reconstructed =
+      vectors * Matrix::Diagonal(diag) * vectors.Adjoint();
+  EXPECT_TRUE(reconstructed.ApproxEqual(a, 1e-8))
+      << "n=" << n << "\nA=\n" << a.ToString() << "\nrec=\n"
+      << reconstructed.ToString();
+}
+
+TEST_P(EigenReconstructionTest, EigenvaluesSortedAscending) {
+  Rng rng(200 + GetParam());
+  Matrix a = RandomHermitian(GetParam(), rng);
+  auto result = HermitianEigen(a);
+  ASSERT_TRUE(result.ok());
+  const auto& values = result.value().eigenvalues;
+  for (size_t i = 1; i < values.size(); ++i) {
+    EXPECT_LE(values[i - 1], values[i] + 1e-12);
+  }
+}
+
+TEST_P(EigenReconstructionTest, TraceEqualsEigenvalueSum) {
+  Rng rng(300 + GetParam());
+  Matrix a = RandomHermitian(GetParam(), rng);
+  auto result = HermitianEigen(a);
+  ASSERT_TRUE(result.ok());
+  double sum = 0.0;
+  for (double v : result.value().eigenvalues) sum += v;
+  EXPECT_NEAR(sum, a.Trace().real(), 1e-8);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, EigenReconstructionTest,
+                         ::testing::Values(1, 2, 3, 4, 6, 8, 12, 16));
+
+TEST(EigenTest, MinEigenvalueOfKnownMatrix) {
+  // ZZ has eigenvalues {+1, −1, −1, +1}.
+  Matrix z{{{1, 0}, {0, 0}}, {{0, 0}, {-1, 0}}};
+  Matrix zz = z.Kron(z);
+  auto min_eig = MinEigenvalue(zz);
+  ASSERT_TRUE(min_eig.ok());
+  EXPECT_NEAR(min_eig.value(), -1.0, 1e-10);
+}
+
+TEST(EigenTest, PsdDetection) {
+  Rng rng(7);
+  Matrix g = RandomHermitian(4, rng);
+  Matrix psd = g * g.Adjoint();  // Gram form is always PSD.
+  auto is_psd = IsPositiveSemidefinite(psd);
+  ASSERT_TRUE(is_psd.ok());
+  EXPECT_TRUE(is_psd.value());
+
+  Matrix negative = Matrix::Identity(3) * Complex(-1.0, 0.0);
+  auto not_psd = IsPositiveSemidefinite(negative);
+  ASSERT_TRUE(not_psd.ok());
+  EXPECT_FALSE(not_psd.value());
+}
+
+}  // namespace
+}  // namespace qdb

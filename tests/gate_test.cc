@@ -1,0 +1,209 @@
+// Tests for the gate vocabulary: matrices, parameter expressions, arity
+// metadata, and adjoint relations.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "circuit/gate.h"
+
+namespace qdb {
+namespace {
+
+const std::vector<GateType> kFixedGates = {
+    GateType::kI,  GateType::kX,    GateType::kY,     GateType::kZ,
+    GateType::kH,  GateType::kS,    GateType::kSdg,   GateType::kT,
+    GateType::kTdg, GateType::kSX,  GateType::kCX,    GateType::kCY,
+    GateType::kCZ, GateType::kCH,   GateType::kSwap,  GateType::kCCX,
+    GateType::kCSwap};
+
+const std::vector<GateType> kOneParamGates = {
+    GateType::kRX,  GateType::kRY,  GateType::kRZ,  GateType::kPhase,
+    GateType::kCRX, GateType::kCRY, GateType::kCRZ, GateType::kCPhase,
+    GateType::kRXX, GateType::kRYY, GateType::kRZZ};
+
+TEST(GateTest, AllFixedGateMatricesAreUnitary) {
+  for (GateType t : kFixedGates) {
+    EXPECT_TRUE(GateMatrix(t, {}).IsUnitary(1e-12)) << GateTypeName(t);
+  }
+}
+
+TEST(GateTest, AllParameterizedMatricesAreUnitary) {
+  for (GateType t : kOneParamGates) {
+    for (double theta : {-2.1, 0.0, 0.3, M_PI, 5.0}) {
+      EXPECT_TRUE(GateMatrix(t, {theta}).IsUnitary(1e-12))
+          << GateTypeName(t) << "(" << theta << ")";
+    }
+  }
+  EXPECT_TRUE(GateMatrix(GateType::kU, {0.4, 1.1, -0.6}).IsUnitary(1e-12));
+}
+
+TEST(GateTest, HadamardValues) {
+  Matrix h = GateMatrix(GateType::kH, {});
+  const double s = 1.0 / std::sqrt(2.0);
+  EXPECT_NEAR(h(0, 0).real(), s, 1e-15);
+  EXPECT_NEAR(h(1, 1).real(), -s, 1e-15);
+}
+
+TEST(GateTest, SSquaredIsZ) {
+  Matrix s = GateMatrix(GateType::kS, {});
+  EXPECT_TRUE((s * s).ApproxEqual(GateMatrix(GateType::kZ, {})));
+}
+
+TEST(GateTest, TSquaredIsS) {
+  Matrix t = GateMatrix(GateType::kT, {});
+  EXPECT_TRUE((t * t).ApproxEqual(GateMatrix(GateType::kS, {}), 1e-12));
+}
+
+TEST(GateTest, SXSquaredIsX) {
+  Matrix sx = GateMatrix(GateType::kSX, {});
+  EXPECT_TRUE((sx * sx).ApproxEqual(GateMatrix(GateType::kX, {}), 1e-12));
+}
+
+TEST(GateTest, SdgTdgAreAdjoints) {
+  Matrix s = GateMatrix(GateType::kS, {});
+  EXPECT_TRUE(GateMatrix(GateType::kSdg, {}).ApproxEqual(s.Adjoint()));
+  Matrix t = GateMatrix(GateType::kT, {});
+  EXPECT_TRUE(GateMatrix(GateType::kTdg, {}).ApproxEqual(t.Adjoint()));
+}
+
+TEST(GateTest, RotationsAtTwoPiAreMinusIdentity) {
+  for (GateType t : {GateType::kRX, GateType::kRY, GateType::kRZ}) {
+    Matrix m = GateMatrix(t, {2.0 * M_PI});
+    EXPECT_TRUE(m.ApproxEqual(Matrix::Identity(2) * Complex(-1, 0), 1e-12))
+        << GateTypeName(t);
+  }
+}
+
+TEST(GateTest, RyAtPiIsMinusIY) {
+  Matrix ry = GateMatrix(GateType::kRY, {M_PI});
+  Matrix expected{{{0, 0}, {-1, 0}}, {{1, 0}, {0, 0}}};
+  EXPECT_TRUE(ry.ApproxEqual(expected, 1e-12));
+}
+
+TEST(GateTest, PhaseGateValues) {
+  Matrix p = GateMatrix(GateType::kPhase, {M_PI / 2});
+  EXPECT_NEAR(p(1, 1).imag(), 1.0, 1e-12);  // P(π/2) = S.
+  EXPECT_TRUE(p.ApproxEqual(GateMatrix(GateType::kS, {}), 1e-12));
+}
+
+TEST(GateTest, UGateGeneralizesRotations) {
+  // U(θ, −π/2, π/2) = RX(θ); U(θ, 0, 0) = RY(θ).
+  for (double theta : {0.3, 1.2}) {
+    Matrix u_ry = GateMatrix(GateType::kU, {theta, 0.0, 0.0});
+    EXPECT_TRUE(u_ry.ApproxEqual(GateMatrix(GateType::kRY, {theta}), 1e-12));
+    Matrix u_rx = GateMatrix(GateType::kU, {theta, -M_PI / 2, M_PI / 2});
+    EXPECT_TRUE(u_rx.ApproxEqual(GateMatrix(GateType::kRX, {theta}), 1e-12));
+  }
+}
+
+TEST(GateTest, ControlledGatesBlockStructure) {
+  Matrix cx = GateMatrix(GateType::kCX, {});
+  // Control = qubit 0 (high bit): the |0⟩ block is identity.
+  EXPECT_EQ(cx(0, 0), Complex(1, 0));
+  EXPECT_EQ(cx(1, 1), Complex(1, 0));
+  EXPECT_EQ(cx(2, 3), Complex(1, 0));
+  EXPECT_EQ(cx(3, 2), Complex(1, 0));
+  EXPECT_EQ(cx(2, 2), Complex(0, 0));
+}
+
+TEST(GateTest, RzzIsDiagonalWithCorrectPhases) {
+  const double theta = 0.8;
+  Matrix rzz = GateMatrix(GateType::kRZZ, {theta});
+  EXPECT_NEAR(std::arg(rzz(0, 0)), -theta / 2, 1e-12);
+  EXPECT_NEAR(std::arg(rzz(1, 1)), theta / 2, 1e-12);
+  EXPECT_NEAR(std::arg(rzz(2, 2)), theta / 2, 1e-12);
+  EXPECT_NEAR(std::arg(rzz(3, 3)), -theta / 2, 1e-12);
+}
+
+TEST(GateTest, RxxMatchesExponentialDefinition) {
+  // exp(−iθ/2 X⊗X) = cos(θ/2) I − i sin(θ/2) X⊗X.
+  const double theta = 1.1;
+  Matrix x = GateMatrix(GateType::kX, {});
+  Matrix xx = x.Kron(x);
+  Matrix expected = Matrix::Identity(4) * Complex(std::cos(theta / 2), 0) +
+                    xx * Complex(0, -std::sin(theta / 2));
+  EXPECT_TRUE(GateMatrix(GateType::kRXX, {theta}).ApproxEqual(expected, 1e-12));
+}
+
+TEST(GateTest, RyyMatchesExponentialDefinition) {
+  const double theta = 0.7;
+  Matrix y = GateMatrix(GateType::kY, {});
+  Matrix yy = y.Kron(y);
+  Matrix expected = Matrix::Identity(4) * Complex(std::cos(theta / 2), 0) +
+                    yy * Complex(0, -std::sin(theta / 2));
+  EXPECT_TRUE(GateMatrix(GateType::kRYY, {theta}).ApproxEqual(expected, 1e-12));
+}
+
+TEST(GateTest, ToffoliPermutation) {
+  Matrix ccx = GateMatrix(GateType::kCCX, {});
+  EXPECT_EQ(ccx(6, 7), Complex(1, 0));
+  EXPECT_EQ(ccx(7, 6), Complex(1, 0));
+  for (int i = 0; i < 6; ++i) EXPECT_EQ(ccx(i, i), Complex(1, 0));
+}
+
+TEST(GateTest, FredkinPermutation) {
+  Matrix cswap = GateMatrix(GateType::kCSwap, {});
+  EXPECT_EQ(cswap(5, 6), Complex(1, 0));
+  EXPECT_EQ(cswap(6, 5), Complex(1, 0));
+  EXPECT_EQ(cswap(4, 4), Complex(1, 0));
+  EXPECT_EQ(cswap(7, 7), Complex(1, 0));
+}
+
+TEST(GateTest, ArityAndParamCounts) {
+  EXPECT_EQ(GateArity(GateType::kH), 1);
+  EXPECT_EQ(GateArity(GateType::kCX), 2);
+  EXPECT_EQ(GateArity(GateType::kCCX), 3);
+  EXPECT_EQ(GateArity(GateType::kMCX), 0);  // variadic
+  EXPECT_EQ(GateParamCount(GateType::kU), 3);
+  EXPECT_EQ(GateParamCount(GateType::kRZZ), 1);
+  EXPECT_EQ(GateParamCount(GateType::kH), 0);
+}
+
+TEST(GateTest, DiagonalGatePredicate) {
+  EXPECT_TRUE(IsDiagonalGate(GateType::kRZ));
+  EXPECT_TRUE(IsDiagonalGate(GateType::kCZ));
+  EXPECT_TRUE(IsDiagonalGate(GateType::kRZZ));
+  EXPECT_TRUE(IsDiagonalGate(GateType::kMCZ));
+  EXPECT_FALSE(IsDiagonalGate(GateType::kRX));
+  EXPECT_FALSE(IsDiagonalGate(GateType::kCX));
+}
+
+TEST(GateTest, AdjointTypeMapping) {
+  EXPECT_EQ(AdjointType(GateType::kS), GateType::kSdg);
+  EXPECT_EQ(AdjointType(GateType::kSdg), GateType::kS);
+  EXPECT_EQ(AdjointType(GateType::kT), GateType::kTdg);
+  EXPECT_EQ(AdjointType(GateType::kTdg), GateType::kT);
+  EXPECT_EQ(AdjointType(GateType::kH), GateType::kH);
+}
+
+TEST(ParamExprTest, ConstantEvaluation) {
+  ParamExpr c = ParamExpr::Constant(0.5);
+  EXPECT_TRUE(c.is_constant());
+  EXPECT_EQ(c.Evaluate({}), 0.5);
+}
+
+TEST(ParamExprTest, VariableAndAffine) {
+  ParamExpr v = ParamExpr::Variable(1);
+  EXPECT_FALSE(v.is_constant());
+  EXPECT_EQ(v.Evaluate({10.0, 20.0}), 20.0);
+  ParamExpr a = ParamExpr::Affine(0, 2.0, 1.0);
+  EXPECT_EQ(a.Evaluate({3.0}), 7.0);
+}
+
+TEST(ParamExprTest, GateParamNegation) {
+  Gate g{GateType::kRZ, {0}, {ParamExpr::Affine(2, 1.5, -0.25)}};
+  Gate neg = g.WithNegatedParams();
+  EXPECT_EQ(neg.params[0].multiplier, -1.5);
+  EXPECT_EQ(neg.params[0].offset, 0.25);
+  EXPECT_EQ(neg.params[0].index, 2);
+}
+
+TEST(GateTest, GateTypeNames) {
+  EXPECT_STREQ(GateTypeName(GateType::kCX), "cx");
+  EXPECT_STREQ(GateTypeName(GateType::kRZZ), "rzz");
+  EXPECT_STREQ(GateTypeName(GateType::kMCZ), "mcz");
+}
+
+}  // namespace
+}  // namespace qdb

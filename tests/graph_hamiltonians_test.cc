@@ -1,0 +1,93 @@
+// Tests for graphs, generators, and the MaxCut Hamiltonian identities.
+
+#include <gtest/gtest.h>
+
+#include "anneal/exhaustive.h"
+#include "ops/graph_hamiltonians.h"
+
+namespace qdb {
+namespace {
+
+TEST(GraphTest, RingGraphStructure) {
+  WeightedGraph g = RingGraph(5);
+  EXPECT_EQ(g.num_nodes, 5);
+  EXPECT_EQ(g.edges.size(), 5u);
+  EXPECT_NEAR(g.TotalWeight(), 5.0, 1e-12);
+}
+
+TEST(GraphTest, CompleteGraphEdgeCount) {
+  WeightedGraph g = CompleteGraph(6);
+  EXPECT_EQ(g.edges.size(), 15u);
+}
+
+TEST(GraphTest, ErdosRenyiDensity) {
+  Rng rng(3);
+  WeightedGraph g = ErdosRenyiGraph(40, 0.5, rng);
+  const double expected = 0.5 * 40 * 39 / 2;
+  EXPECT_NEAR(static_cast<double>(g.edges.size()), expected, 80.0);
+}
+
+TEST(GraphTest, ErdosRenyiWeightRange) {
+  Rng rng(5);
+  WeightedGraph g = ErdosRenyiGraph(20, 0.8, rng, 2.0, 3.0);
+  for (const auto& e : g.edges) {
+    EXPECT_GE(e.weight, 2.0);
+    EXPECT_LE(e.weight, 3.0);
+  }
+}
+
+TEST(GraphTest, CutValueCountsCrossingEdges) {
+  WeightedGraph g;
+  g.num_nodes = 3;
+  g.edges = {{0, 1, 1.0}, {1, 2, 2.0}, {0, 2, 4.0}};
+  EXPECT_NEAR(g.CutValue({1, -1, 1}), 3.0, 1e-12);   // Edges 0-1, 1-2 cut.
+  EXPECT_NEAR(g.CutValue({1, 1, 1}), 0.0, 1e-12);
+  EXPECT_NEAR(g.CutValue({1, -1, -1}), 5.0, 1e-12);  // Edges 0-1, 0-2 cut.
+}
+
+TEST(MaxCutTest, EvenRingFullCut) {
+  WeightedGraph g = RingGraph(6);
+  EXPECT_NEAR(MaxCutBruteForce(g), 6.0, 1e-12);  // Alternating 2-coloring.
+}
+
+TEST(MaxCutTest, OddRingDropsOneEdge) {
+  WeightedGraph g = RingGraph(5);
+  EXPECT_NEAR(MaxCutBruteForce(g), 4.0, 1e-12);
+}
+
+TEST(MaxCutTest, CompleteGraphBalancedCut) {
+  // K4: best cut splits 2/2 → 4 crossing edges.
+  EXPECT_NEAR(MaxCutBruteForce(CompleteGraph(4)), 4.0, 1e-12);
+}
+
+TEST(MaxCutTest, IsingGroundStateEqualsMaxCut) {
+  // Identity: cut(s) = (TotalWeight − E(s)) / 2 for the MaxCut Ising, so
+  // the ground energy gives exactly the max cut.
+  Rng rng(9);
+  WeightedGraph g = ErdosRenyiGraph(8, 0.6, rng, 0.5, 2.0);
+  IsingModel ising = MaxCutIsing(g);
+  auto ground = ExhaustiveSolve(ising);
+  ASSERT_TRUE(ground.ok());
+  const double via_ising = (g.TotalWeight() - ground.value().best_energy) / 2.0;
+  EXPECT_NEAR(via_ising, MaxCutBruteForce(g), 1e-9);
+  // And the argmin spins realize that cut.
+  EXPECT_NEAR(g.CutValue(ground.value().best_spins), MaxCutBruteForce(g),
+              1e-9);
+}
+
+TEST(MaxCutTest, GreedyIsFeasibleAndBounded) {
+  Rng rng(13);
+  for (int trial = 0; trial < 5; ++trial) {
+    WeightedGraph g = ErdosRenyiGraph(10, 0.5, rng);
+    const double greedy = MaxCutGreedy(g);
+    const double optimal = MaxCutBruteForce(g);
+    EXPECT_LE(greedy, optimal + 1e-9);
+    if (!g.edges.empty()) {
+      // A local optimum of single flips cuts at least half the weight.
+      EXPECT_GE(greedy, g.TotalWeight() / 2.0 - 1e-9);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace qdb

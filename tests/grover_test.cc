@@ -1,0 +1,107 @@
+// Tests for Grover search.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "algo/grover.h"
+#include "sim/statevector_simulator.h"
+
+namespace qdb {
+namespace {
+
+TEST(GroverTest, OptimalIterationCounts) {
+  EXPECT_EQ(OptimalGroverIterations(2, 1), 1);   // ⌊π/4·2⌋ = 1.
+  EXPECT_EQ(OptimalGroverIterations(4, 1), 3);   // ⌊π/4·4⌋ = 3.
+  EXPECT_EQ(OptimalGroverIterations(8, 1), 12);  // ⌊π/4·16⌋ = 12.
+  EXPECT_EQ(OptimalGroverIterations(4, 4), 1);   // ⌊π/4·2⌋ = 1.
+}
+
+TEST(GroverTest, CircuitValidation) {
+  EXPECT_FALSE(GroverCircuit(0, {0}, 1).ok());
+  EXPECT_FALSE(GroverCircuit(3, {}, 1).ok());
+  EXPECT_FALSE(GroverCircuit(3, {8}, 1).ok());   // Index out of range.
+  EXPECT_FALSE(GroverCircuit(3, {0}, -1).ok());
+  EXPECT_TRUE(GroverCircuit(3, {5}, 2).ok());
+}
+
+TEST(GroverTest, ZeroIterationsIsUniform) {
+  auto c = GroverCircuit(3, {5}, 0);
+  ASSERT_TRUE(c.ok());
+  StateVectorSimulator sim;
+  auto state = sim.Run(c.value());
+  ASSERT_TRUE(state.ok());
+  for (uint64_t i = 0; i < 8; ++i) {
+    EXPECT_NEAR(state.value().Probability(i), 0.125, 1e-12);
+  }
+}
+
+class GroverSuccessTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(GroverSuccessTest, OptimalIterationsAmplifyMarkedState) {
+  const int n = GetParam();
+  const uint64_t marked = (uint64_t{1} << n) - 2;  // An arbitrary index.
+  const int iters = OptimalGroverIterations(n);
+  auto p = GroverSuccessProbability(n, {marked}, iters);
+  ASSERT_TRUE(p.ok());
+  // Theory: success ≥ 1 − 1/N at the optimal count; allow slack for the
+  // floor in the iteration count.
+  EXPECT_GT(p.value(), 0.85) << "n=" << n;
+}
+
+TEST_P(GroverSuccessTest, SuccessFollowsSineSquaredLaw) {
+  const int n = GetParam();
+  const uint64_t dim = uint64_t{1} << n;
+  const double theta = std::asin(1.0 / std::sqrt(static_cast<double>(dim)));
+  for (int k : {0, 1, 2}) {
+    auto p = GroverSuccessProbability(n, {3}, k);
+    ASSERT_TRUE(p.ok());
+    const double expected = std::pow(std::sin((2 * k + 1) * theta), 2);
+    EXPECT_NEAR(p.value(), expected, 1e-9) << "n=" << n << " k=" << k;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, GroverSuccessTest,
+                         ::testing::Values(3, 4, 5, 6, 7));
+
+TEST(GroverTest, MultipleMarkedStates) {
+  const int n = 4;
+  const std::vector<uint64_t> marked = {2, 9, 13};
+  const int iters = OptimalGroverIterations(n, 3);
+  auto p = GroverSuccessProbability(n, marked, iters);
+  ASSERT_TRUE(p.ok());
+  EXPECT_GT(p.value(), 0.8);
+}
+
+TEST(GroverTest, OvershootingDecreasesSuccess) {
+  const int n = 5;
+  const int optimal = OptimalGroverIterations(n);
+  auto at_optimal = GroverSuccessProbability(n, {7}, optimal);
+  auto overshot = GroverSuccessProbability(n, {7}, 2 * optimal);
+  ASSERT_TRUE(at_optimal.ok());
+  ASSERT_TRUE(overshot.ok());
+  EXPECT_GT(at_optimal.value(), overshot.value());
+}
+
+TEST(GroverTest, EndToEndSearchFindsKey) {
+  Rng rng(3);
+  int found = 0;
+  const int trials = 20;
+  for (int t = 0; t < trials; ++t) {
+    auto result = GroverSearch(5, {19}, rng);
+    ASSERT_TRUE(result.ok());
+    found += result.value().found;
+  }
+  EXPECT_GE(found, 17);  // ~99.9% per-trial success at n=5.
+}
+
+TEST(GroverTest, SingleQubitDegenerateCase) {
+  // N = 2: θ = π/4, so one iteration gives sin²(3π/4) = 1/2 — Grover
+  // cannot exceed coin-flip odds on a 1-qubit database.
+  auto p = GroverSuccessProbability(1, {1}, 1);
+  ASSERT_TRUE(p.ok());
+  EXPECT_NEAR(p.value(), 0.5, 1e-9);
+}
+
+}  // namespace
+}  // namespace qdb

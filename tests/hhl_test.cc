@@ -1,0 +1,113 @@
+// Tests for the HHL linear-system solver.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "algo/hhl.h"
+#include "common/rng.h"
+#include "linalg/random_unitary.h"
+
+namespace qdb {
+namespace {
+
+TEST(ClassicalSolveTest, KnownSystem) {
+  // A = diag(2, 4), b = (1, 1): x ∝ (1/2, 1/4) ∝ (2, 1)/√5.
+  Matrix a = Matrix::Diagonal({Complex(2, 0), Complex(4, 0)});
+  auto x = ClassicalSolveNormalized(a, {{1, 0}, {1, 0}});
+  ASSERT_TRUE(x.ok());
+  EXPECT_NEAR(std::abs(x.value()[0]), 2.0 / std::sqrt(5.0), 1e-10);
+  EXPECT_NEAR(std::abs(x.value()[1]), 1.0 / std::sqrt(5.0), 1e-10);
+}
+
+TEST(ClassicalSolveTest, RejectsSingular) {
+  Matrix a = Matrix::Diagonal({Complex(1, 0), Complex(0, 0)});
+  EXPECT_FALSE(ClassicalSolveNormalized(a, {{1, 0}, {1, 0}}).ok());
+}
+
+TEST(HhlTest, InputValidation) {
+  Matrix a = Matrix::Diagonal({Complex(1, 0), Complex(2, 0)});
+  CVector b = {{1, 0}, {0, 0}};
+  EXPECT_FALSE(HhlSolve(Matrix(3, 3), {{1, 0}, {1, 0}, {1, 0}}).ok());  // Dim 3.
+  EXPECT_FALSE(HhlSolve(a, {{1, 0}}).ok());  // b wrong size.
+  Matrix non_herm{{{1, 0}, {1, 0}}, {{0, 0}, {1, 0}}};
+  EXPECT_FALSE(HhlSolve(non_herm, b).ok());
+  EXPECT_FALSE(HhlSolve(a, {{0, 0}, {0, 0}}).ok());  // Zero b.
+  HhlOptions bad;
+  bad.clock_qubits = 1;
+  EXPECT_FALSE(HhlSolve(a, b, bad).ok());
+  Matrix singular = Matrix::Diagonal({Complex(1, 0), Complex(0, 0)});
+  EXPECT_FALSE(HhlSolve(singular, b).ok());
+}
+
+TEST(HhlTest, DiagonalSystemHighFidelity) {
+  // Eigenvalues exactly representable on the phase grid: near-exact HHL.
+  Matrix a = Matrix::Diagonal({Complex(1, 0), Complex(2, 0)});
+  CVector b = {{1.0 / std::sqrt(2.0), 0}, {1.0 / std::sqrt(2.0), 0}};
+  HhlOptions opts;
+  opts.clock_qubits = 6;
+  opts.evolution_time = M_PI / 2.0;  // λt₀/2π ∈ {1/4, 1/2}·... exact grid.
+  auto result = HhlSolve(a, b, opts);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_GT(result.value().fidelity, 0.999);
+  EXPECT_GT(result.value().success_probability, 1e-4);
+}
+
+TEST(HhlTest, NegativeEigenvaluesHandled) {
+  // A = Z (eigenvalues ±1): the phase wrap-around branch must engage.
+  Matrix a{{{1, 0}, {0, 0}}, {{0, 0}, {-1, 0}}};
+  CVector b = {{0.6, 0}, {0.8, 0}};
+  HhlOptions opts;
+  opts.clock_qubits = 6;
+  auto result = HhlSolve(a, b, opts);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_GT(result.value().fidelity, 0.99);
+}
+
+class HhlRandomSystemTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(HhlRandomSystemTest, WellConditionedSystemsSolveAccurately) {
+  // Random well-conditioned Hermitian 4x4 systems: fidelity ≥ 0.98 with an
+  // 8-bit clock (finite phase resolution is the only error source).
+  Rng rng(GetParam());
+  // Build A with controlled spectrum: λ ∈ [1, 3].
+  Matrix v = RandomUnitary(4, rng);
+  CVector diag(4);
+  for (int i = 0; i < 4; ++i) diag[i] = Complex(rng.Uniform(1.0, 3.0), 0.0);
+  Matrix a = v * Matrix::Diagonal(diag) * v.Adjoint();
+  // Hermitize against roundoff.
+  a = (a + a.Adjoint()) * Complex(0.5, 0.0);
+  CVector b = RandomState(4, rng);
+
+  HhlOptions opts;
+  opts.clock_qubits = 8;
+  auto result = HhlSolve(a, b, opts);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_GT(result.value().fidelity, 0.98) << "seed " << GetParam();
+  EXPECT_EQ(result.value().total_qubits, 1 + 8 + 2);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HhlRandomSystemTest,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+TEST(HhlTest, MorePrecisionImprovesFidelity) {
+  Rng rng(11);
+  Matrix v = RandomUnitary(2, rng);
+  Matrix a = v * Matrix::Diagonal({Complex(1.3, 0), Complex(2.7, 0)}) *
+             v.Adjoint();
+  a = (a + a.Adjoint()) * Complex(0.5, 0.0);
+  CVector b = RandomState(2, rng);
+  HhlOptions coarse;
+  coarse.clock_qubits = 3;
+  HhlOptions fine;
+  fine.clock_qubits = 9;
+  auto lo = HhlSolve(a, b, coarse);
+  auto hi = HhlSolve(a, b, fine);
+  ASSERT_TRUE(lo.ok());
+  ASSERT_TRUE(hi.ok());
+  EXPECT_GE(hi.value().fidelity, lo.value().fidelity - 1e-6);
+  EXPECT_GT(hi.value().fidelity, 0.99);
+}
+
+}  // namespace
+}  // namespace qdb

@@ -1,0 +1,123 @@
+// Tests for the index-selection QUBO.
+
+#include <gtest/gtest.h>
+
+#include "anneal/exhaustive.h"
+#include "anneal/simulated_annealing.h"
+#include "db/index_selection.h"
+
+namespace qdb {
+namespace {
+
+IndexSelectionInstance HandInstance() {
+  // Knapsack-like: budget 10; best = {0, 2} with benefit 90.
+  IndexSelectionInstance inst;
+  inst.benefits = {50.0, 45.0, 40.0};
+  inst.sizes = {5.0, 8.0, 4.0};
+  inst.budget = 10.0;
+  return inst;
+}
+
+TEST(IndexInstanceTest, BenefitAndFeasibility) {
+  IndexSelectionInstance inst = HandInstance();
+  EXPECT_NEAR(inst.BenefitOf({1, 0, 1}), 90.0, 1e-12);
+  EXPECT_NEAR(inst.SizeOf({1, 0, 1}), 9.0, 1e-12);
+  EXPECT_TRUE(inst.Feasible({1, 0, 1}));
+  EXPECT_FALSE(inst.Feasible({1, 1, 0}));  // 13 > 10.
+}
+
+TEST(IndexInstanceTest, InteractionsReduceBenefit) {
+  IndexSelectionInstance inst = HandInstance();
+  inst.interactions.push_back({0, 2, -30.0});
+  EXPECT_NEAR(inst.BenefitOf({1, 0, 1}), 60.0, 1e-12);
+  EXPECT_NEAR(inst.BenefitOf({1, 0, 0}), 50.0, 1e-12);
+}
+
+TEST(IndexExhaustiveTest, FindsKnapsackOptimum) {
+  IndexSelectionInstance inst = HandInstance();
+  auto best = ExhaustiveIndexBenefit(inst);
+  ASSERT_TRUE(best.ok());
+  EXPECT_NEAR(best.value(), 90.0, 1e-12);
+}
+
+TEST(IndexGreedyTest, RatioGreedyIsFeasible) {
+  Rng rng(3);
+  IndexSelectionInstance inst = RandomIndexInstance(10, 0.4, 0.1, rng);
+  std::vector<uint8_t> selection = GreedyIndexSelection(inst);
+  EXPECT_TRUE(inst.Feasible(selection));
+  auto exact = ExhaustiveIndexBenefit(inst);
+  ASSERT_TRUE(exact.ok());
+  EXPECT_LE(inst.BenefitOf(selection), exact.value() + 1e-9);
+}
+
+TEST(IndexQuboTest, GroundStateMatchesExhaustiveOptimum) {
+  IndexSelectionInstance inst = HandInstance();
+  auto qubo = IndexSelectionQubo::Create(inst);
+  ASSERT_TRUE(qubo.ok());
+  auto ground = ExhaustiveSolveQubo(qubo.value().qubo());
+  ASSERT_TRUE(ground.ok());
+  std::vector<uint8_t> selection =
+      qubo.value().Decode(SpinsToBits(ground.value().best_spins));
+  EXPECT_TRUE(inst.Feasible(selection));
+  EXPECT_NEAR(inst.BenefitOf(selection), 90.0, 1e-9);
+}
+
+TEST(IndexQuboTest, GroundStateWithInteractions) {
+  Rng rng(5);
+  IndexSelectionInstance inst = RandomIndexInstance(6, 0.5, 0.3, rng);
+  auto qubo = IndexSelectionQubo::Create(inst);
+  ASSERT_TRUE(qubo.ok());
+  auto ground = ExhaustiveSolveQubo(qubo.value().qubo());
+  ASSERT_TRUE(ground.ok());
+  std::vector<uint8_t> selection =
+      qubo.value().Decode(SpinsToBits(ground.value().best_spins));
+  EXPECT_TRUE(inst.Feasible(selection));
+  auto exact = ExhaustiveIndexBenefit(inst);
+  ASSERT_TRUE(exact.ok());
+  // The slack encoding is exact for integer sizes, so the optimum matches.
+  EXPECT_NEAR(inst.BenefitOf(selection), exact.value(), 1e-6);
+}
+
+TEST(IndexQuboTest, DecodeRepairsOverflow) {
+  IndexSelectionInstance inst = HandInstance();
+  auto qubo = IndexSelectionQubo::Create(inst).value();
+  std::vector<uint8_t> bits(qubo.qubo().num_vars(), 0);
+  bits[0] = bits[1] = bits[2] = 1;  // Size 17 > 10: infeasible.
+  std::vector<uint8_t> selection = qubo.Decode(bits);
+  EXPECT_TRUE(inst.Feasible(selection));
+}
+
+TEST(IndexQuboTest, AnnealingApproachesOptimum) {
+  Rng rng(7);
+  IndexSelectionInstance inst = RandomIndexInstance(8, 0.4, 0.2, rng);
+  auto qubo = IndexSelectionQubo::Create(inst);
+  ASSERT_TRUE(qubo.ok());
+  SaOptions opts;
+  opts.num_sweeps = 1000;
+  opts.num_restarts = 4;
+  auto annealed = SimulatedAnnealing(qubo.value().qubo().ToIsing(), opts);
+  ASSERT_TRUE(annealed.ok());
+  std::vector<uint8_t> selection =
+      qubo.value().Decode(SpinsToBits(annealed.value().best_spins));
+  auto exact = ExhaustiveIndexBenefit(inst);
+  ASSERT_TRUE(exact.ok());
+  EXPECT_TRUE(inst.Feasible(selection));
+  EXPECT_GE(inst.BenefitOf(selection), 0.85 * exact.value());
+}
+
+TEST(IndexQuboTest, Validation) {
+  IndexSelectionInstance empty;
+  EXPECT_FALSE(IndexSelectionQubo::Create(empty).ok());
+  IndexSelectionInstance bad = HandInstance();
+  bad.budget = 0.0;
+  EXPECT_FALSE(IndexSelectionQubo::Create(bad).ok());
+  IndexSelectionInstance neg = HandInstance();
+  neg.sizes[0] = -1.0;
+  EXPECT_FALSE(IndexSelectionQubo::Create(neg).ok());
+  IndexSelectionInstance bad_inter = HandInstance();
+  bad_inter.interactions.push_back({0, 0, -1.0});
+  EXPECT_FALSE(IndexSelectionQubo::Create(bad_inter).ok());
+}
+
+}  // namespace
+}  // namespace qdb

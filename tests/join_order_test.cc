@@ -1,0 +1,282 @@
+// Tests for the join-ordering optimizers: DP, greedy, and the QUBO encoding.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "anneal/exhaustive.h"
+#include "anneal/simulated_annealing.h"
+#include "db/join_order_dp.h"
+#include "db/join_order_greedy.h"
+#include "db/join_order_qubo.h"
+
+namespace qdb {
+namespace {
+
+double BruteForceBestLeftDeep(const JoinQueryGraph& g) {
+  std::vector<int> order(g.num_relations());
+  std::iota(order.begin(), order.end(), 0);
+  double best = std::numeric_limits<double>::infinity();
+  do {
+    best = std::min(best, CostOfLeftDeepOrder(g, order).value());
+  } while (std::next_permutation(order.begin(), order.end()));
+  return best;
+}
+
+class JoinOrderShapeTest : public ::testing::TestWithParam<QueryShape> {};
+
+TEST_P(JoinOrderShapeTest, DpMatchesPermutationBruteForce) {
+  Rng rng(static_cast<uint64_t>(GetParam()) + 50);
+  auto g = RandomQuery(GetParam(), 7, rng);
+  ASSERT_TRUE(g.ok());
+  auto dp = OptimalLeftDeepPlan(g.value());
+  ASSERT_TRUE(dp.ok());
+  EXPECT_NEAR(dp.value().cost, BruteForceBestLeftDeep(g.value()),
+              1e-6 * dp.value().cost);
+  // The reconstructed order realizes the reported cost.
+  EXPECT_NEAR(CostOfLeftDeepOrder(g.value(), dp.value().order).value(),
+              dp.value().cost, 1e-6 * dp.value().cost);
+}
+
+TEST_P(JoinOrderShapeTest, GreedyNeverBeatsDp) {
+  Rng rng(static_cast<uint64_t>(GetParam()) + 80);
+  auto g = RandomQuery(GetParam(), 9, rng);
+  ASSERT_TRUE(g.ok());
+  auto dp = OptimalLeftDeepPlan(g.value());
+  auto greedy = GreedyLeftDeepPlan(g.value());
+  ASSERT_TRUE(dp.ok());
+  ASSERT_TRUE(greedy.ok());
+  EXPECT_GE(greedy.value().cost, dp.value().cost - 1e-9);
+  EXPECT_NEAR(CostOfLeftDeepOrder(g.value(), greedy.value().order).value(),
+              greedy.value().cost, 1e-6 * greedy.value().cost + 1e-9);
+}
+
+TEST_P(JoinOrderShapeTest, BushyNeverWorseThanLeftDeep) {
+  Rng rng(static_cast<uint64_t>(GetParam()) + 110);
+  auto g = RandomQuery(GetParam(), 8, rng);
+  ASSERT_TRUE(g.ok());
+  auto left_deep = OptimalLeftDeepPlan(g.value());
+  auto bushy = OptimalBushyCost(g.value());
+  ASSERT_TRUE(left_deep.ok());
+  ASSERT_TRUE(bushy.ok());
+  EXPECT_LE(bushy.value(), left_deep.value().cost + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, JoinOrderShapeTest,
+                         ::testing::Values(QueryShape::kChain,
+                                           QueryShape::kStar,
+                                           QueryShape::kCycle,
+                                           QueryShape::kClique));
+
+TEST(JoinOrderDpTest, ChainPrefersSmallIntermediates) {
+  // Chain with tiny tail relation: starting from the small end wins.
+  auto g = JoinQueryGraph::Create({1000, 100, 10}).value();
+  ASSERT_TRUE(g.AddJoin(0, 1, 0.1).ok());
+  ASSERT_TRUE(g.AddJoin(1, 2, 0.01).ok());
+  auto dp = OptimalLeftDeepPlan(g);
+  ASSERT_TRUE(dp.ok());
+  EXPECT_NEAR(dp.value().cost, 1010.0, 1e-9);
+}
+
+TEST(JoinOrderDpTest, SizeLimits) {
+  auto g = JoinQueryGraph::Create(std::vector<double>(21, 100.0));
+  ASSERT_TRUE(g.ok());
+  EXPECT_FALSE(OptimalLeftDeepPlan(g.value()).ok());
+  auto g2 = JoinQueryGraph::Create(std::vector<double>(17, 100.0));
+  ASSERT_TRUE(g2.ok());
+  EXPECT_FALSE(OptimalBushyCost(g2.value()).ok());
+}
+
+TEST(JoinOrderQuboTest, VariableLayout) {
+  Rng rng(7);
+  auto g = RandomQuery(QueryShape::kChain, 4, rng);
+  ASSERT_TRUE(g.ok());
+  auto encoding = JoinOrderQubo::Create(g.value());
+  ASSERT_TRUE(encoding.ok());
+  EXPECT_EQ(encoding.value().qubo().num_vars(), 16);
+  EXPECT_EQ(encoding.value().VarIndex(0, 0), 0);
+  EXPECT_EQ(encoding.value().VarIndex(3, 3), 15);
+}
+
+TEST(JoinOrderQuboTest, ValidityDetection) {
+  Rng rng(7);
+  auto g = RandomQuery(QueryShape::kChain, 3, rng);
+  ASSERT_TRUE(g.ok());
+  auto enc = JoinOrderQubo::Create(g.value()).value();
+  // Permutation (1, 0, 2) as a permutation matrix.
+  std::vector<uint8_t> bits(9, 0);
+  bits[enc.VarIndex(1, 0)] = 1;
+  bits[enc.VarIndex(0, 1)] = 1;
+  bits[enc.VarIndex(2, 2)] = 1;
+  EXPECT_TRUE(enc.IsValid(bits));
+  EXPECT_EQ(enc.Decode(bits), (std::vector<int>{1, 0, 2}));
+  bits[enc.VarIndex(2, 2)] = 0;
+  EXPECT_FALSE(enc.IsValid(bits));
+}
+
+TEST(JoinOrderQuboTest, DecodeRepairsInvalidAssignments) {
+  Rng rng(9);
+  auto g = RandomQuery(QueryShape::kStar, 4, rng);
+  ASSERT_TRUE(g.ok());
+  auto enc = JoinOrderQubo::Create(g.value()).value();
+  // All-zero bits: repair must still yield a valid permutation.
+  std::vector<uint8_t> zeros(16, 0);
+  std::vector<int> order = enc.Decode(zeros);
+  std::vector<int> sorted = order;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(sorted, (std::vector<int>{0, 1, 2, 3}));
+  // Conflicting bits (two relations at one position).
+  std::vector<uint8_t> conflict(16, 0);
+  conflict[enc.VarIndex(0, 0)] = 1;
+  conflict[enc.VarIndex(1, 0)] = 1;
+  order = enc.Decode(conflict);
+  sorted = order;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(sorted, (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST(JoinOrderQuboTest, GroundStateIsValidPermutation) {
+  // The penalty weight must force the exact QUBO optimum to be one-hot
+  // valid on a small instance.
+  Rng rng(11);
+  auto g = RandomQuery(QueryShape::kChain, 4, rng);
+  ASSERT_TRUE(g.ok());
+  auto enc = JoinOrderQubo::Create(g.value()).value();
+  auto ground = ExhaustiveSolveQubo(enc.qubo());
+  ASSERT_TRUE(ground.ok());
+  std::vector<uint8_t> bits = SpinsToBits(ground.value().best_spins);
+  EXPECT_TRUE(enc.IsValid(bits));
+}
+
+TEST(JoinOrderQuboTest, GroundStateMinimizesLogSurrogate) {
+  // Among all permutations, the QUBO ground state attains the smallest
+  // Σ_p log2 card(prefix_p) (its declared objective).
+  Rng rng(13);
+  auto g = RandomQuery(QueryShape::kCycle, 4, rng);
+  ASSERT_TRUE(g.ok());
+  auto enc = JoinOrderQubo::Create(g.value()).value();
+  auto ground = ExhaustiveSolveQubo(enc.qubo());
+  ASSERT_TRUE(ground.ok());
+  std::vector<int> decoded =
+      enc.Decode(SpinsToBits(ground.value().best_spins));
+
+  auto surrogate = [&](const std::vector<int>& order) {
+    double total = 0.0;
+    uint64_t mask = uint64_t{1} << order[0];
+    for (size_t k = 1; k < order.size(); ++k) {
+      mask |= uint64_t{1} << order[k];
+      total += std::log2(SubsetCardinality(g.value(), mask));
+    }
+    return total;
+  };
+  std::vector<int> perm = {0, 1, 2, 3};
+  double best = std::numeric_limits<double>::infinity();
+  do {
+    best = std::min(best, surrogate(perm));
+  } while (std::next_permutation(perm.begin(), perm.end()));
+  EXPECT_NEAR(surrogate(decoded), best, 1e-6);
+}
+
+TEST(JoinOrderQuboTest, AnnealedSolutionBeatsWorstCase) {
+  Rng rng(17);
+  auto g = RandomQuery(QueryShape::kStar, 6, rng);
+  ASSERT_TRUE(g.ok());
+  auto enc = JoinOrderQubo::Create(g.value()).value();
+  SaOptions opts;
+  opts.num_sweeps = 800;
+  opts.num_restarts = 3;
+  auto annealed = SimulatedAnnealing(enc.qubo().ToIsing(), opts);
+  ASSERT_TRUE(annealed.ok());
+  std::vector<int> order = enc.Decode(SpinsToBits(annealed.value().best_spins));
+  const double annealed_cost = CostOfLeftDeepOrder(g.value(), order).value();
+  // Find the worst left-deep cost for scale.
+  std::vector<int> perm(6);
+  std::iota(perm.begin(), perm.end(), 0);
+  double worst = 0.0;
+  do {
+    worst = std::max(worst, CostOfLeftDeepOrder(g.value(), perm).value());
+  } while (std::next_permutation(perm.begin(), perm.end()));
+  EXPECT_LT(annealed_cost, worst);
+}
+
+TEST(JoinOrderGreedyTest, GooIsBoundedByBushyOptimum) {
+  Rng rng(41);
+  for (auto shape : {QueryShape::kChain, QueryShape::kStar,
+                     QueryShape::kCycle, QueryShape::kClique}) {
+    auto g = RandomQuery(shape, 8, rng);
+    ASSERT_TRUE(g.ok());
+    auto goo = GreedyOperatorOrderingCost(g.value());
+    auto bushy = OptimalBushyCost(g.value());
+    ASSERT_TRUE(goo.ok());
+    ASSERT_TRUE(bushy.ok());
+    EXPECT_GE(goo.value(), bushy.value() - 1e-9) << QueryShapeName(shape);
+    // GOO may build bushy trees, so it can also beat the best left-deep.
+    auto left_deep = OptimalLeftDeepPlan(g.value());
+    ASSERT_TRUE(left_deep.ok());
+    EXPECT_GT(goo.value(), 0.0);
+    EXPECT_LE(bushy.value(), left_deep.value().cost + 1e-9);
+  }
+}
+
+TEST(JoinOrderGreedyTest, GooHandComputedExample) {
+  // R0(10) ⋈ R1(10) with sel 0.1 is the cheapest first merge (card 10);
+  // the final join has card 10·10·100·0.1·0.01 = 10. GOO total: 20.
+  auto g = JoinQueryGraph::Create({10, 10, 100}).value();
+  ASSERT_TRUE(g.AddJoin(0, 1, 0.1).ok());
+  ASSERT_TRUE(g.AddJoin(1, 2, 0.01).ok());
+  auto goo = GreedyOperatorOrderingCost(g);
+  ASSERT_TRUE(goo.ok());
+  EXPECT_NEAR(goo.value(), 20.0, 1e-9);
+}
+
+TEST(JoinOrderGreedyTest, SwapPolishNeverWorsens) {
+  Rng rng(23);
+  for (auto shape : {QueryShape::kChain, QueryShape::kClique}) {
+    auto g = RandomQuery(shape, 7, rng);
+    ASSERT_TRUE(g.ok());
+    std::vector<int> order = {6, 5, 4, 3, 2, 1, 0};  // Deliberately poor.
+    const double before = CostOfLeftDeepOrder(g.value(), order).value();
+    auto polished = ImproveOrderBySwaps(g.value(), order);
+    ASSERT_TRUE(polished.ok());
+    const double after =
+        CostOfLeftDeepOrder(g.value(), polished.value()).value();
+    EXPECT_LE(after, before + 1e-9);
+    // Polished order is still a permutation.
+    std::vector<int> sorted = polished.value();
+    std::sort(sorted.begin(), sorted.end());
+    EXPECT_EQ(sorted, (std::vector<int>{0, 1, 2, 3, 4, 5, 6}));
+  }
+}
+
+TEST(JoinOrderGreedyTest, SwapPolishReachesOptimumOnSmallInstances) {
+  Rng rng(29);
+  auto g = RandomQuery(QueryShape::kStar, 5, rng);
+  ASSERT_TRUE(g.ok());
+  auto dp = OptimalLeftDeepPlan(g.value());
+  ASSERT_TRUE(dp.ok());
+  // From any start, pairwise-swap descent on 5 relations should land at or
+  // near the optimum; assert within 2x (it is a local search).
+  auto polished = ImproveOrderBySwaps(g.value(), {4, 3, 2, 1, 0});
+  ASSERT_TRUE(polished.ok());
+  EXPECT_LE(CostOfLeftDeepOrder(g.value(), polished.value()).value(),
+            2.0 * dp.value().cost);
+}
+
+TEST(JoinOrderGreedyTest, SwapPolishRejectsInvalidOrder) {
+  Rng rng(31);
+  auto g = RandomQuery(QueryShape::kChain, 4, rng);
+  ASSERT_TRUE(g.ok());
+  EXPECT_FALSE(ImproveOrderBySwaps(g.value(), {0, 1, 2}).ok());
+  EXPECT_FALSE(ImproveOrderBySwaps(g.value(), {0, 1, 2, 2}).ok());
+}
+
+TEST(JoinOrderQuboTest, RejectsOversizedInstances) {
+  auto g = JoinQueryGraph::Create(std::vector<double>(17, 100.0));
+  ASSERT_TRUE(g.ok());
+  EXPECT_FALSE(JoinOrderQubo::Create(g.value()).ok());
+}
+
+}  // namespace
+}  // namespace qdb

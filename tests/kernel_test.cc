@@ -1,0 +1,174 @@
+// Tests for fidelity quantum kernels and alignment diagnostics.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "classical/dataset.h"
+#include "kernel/alignment.h"
+#include "kernel/quantum_kernel.h"
+#include "linalg/eigen.h"
+
+namespace qdb {
+namespace {
+
+std::vector<DVector> SmallDataset(int count, int dims, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<DVector> xs(count, DVector(dims));
+  for (auto& x : xs) {
+    for (auto& v : x) v = rng.Uniform(0.0, M_PI);
+  }
+  return xs;
+}
+
+TEST(QuantumKernelTest, SelfKernelIsOne) {
+  FidelityQuantumKernel kernel = MakeAngleKernel();
+  const DVector x = {0.3, 1.1};
+  auto k = kernel.Evaluate(x, x);
+  ASSERT_TRUE(k.ok());
+  EXPECT_NEAR(k.value(), 1.0, 1e-10);
+}
+
+TEST(QuantumKernelTest, KernelValuesInUnitInterval) {
+  FidelityQuantumKernel kernel = MakeZZFeatureMapKernel(2);
+  auto xs = SmallDataset(6, 2, 3);
+  for (size_t i = 0; i < xs.size(); ++i) {
+    for (size_t j = 0; j < xs.size(); ++j) {
+      auto k = kernel.Evaluate(xs[i], xs[j]);
+      ASSERT_TRUE(k.ok());
+      EXPECT_GE(k.value(), -1e-12);
+      EXPECT_LE(k.value(), 1.0 + 1e-12);
+    }
+  }
+}
+
+TEST(QuantumKernelTest, AngleKernelAnalyticValue) {
+  // 1 feature, RY encoding: k(x, y) = cos²((x−y)/2).
+  FidelityQuantumKernel kernel = MakeAngleKernel();
+  const double x = 0.7, y = 1.9;
+  auto k = kernel.Evaluate({x}, {y});
+  ASSERT_TRUE(k.ok());
+  const double expected = std::pow(std::cos((x - y) / 2.0), 2);
+  EXPECT_NEAR(k.value(), expected, 1e-10);
+}
+
+class GramMatrixPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(GramMatrixPropertyTest, SymmetricUnitDiagonalPsd) {
+  // Property: every fidelity Gram matrix is symmetric, has unit diagonal,
+  // and is positive semidefinite.
+  FidelityQuantumKernel kernel =
+      GetParam() == 0 ? MakeAngleKernel()
+      : GetParam() == 1 ? MakeZZFeatureMapKernel(1)
+                        : MakeAmplitudeKernel();
+  auto xs = SmallDataset(8, 2, 40 + GetParam());
+  // Amplitude encoding rejects zero vectors; our samples are positive.
+  auto gram = kernel.GramMatrix(xs);
+  ASSERT_TRUE(gram.ok()) << gram.status();
+  const Matrix& k = gram.value();
+  for (size_t i = 0; i < k.rows(); ++i) {
+    EXPECT_NEAR(k(i, i).real(), 1.0, 1e-10);
+    for (size_t j = 0; j < k.cols(); ++j) {
+      EXPECT_NEAR(k(i, j).real(), k(j, i).real(), 1e-12);
+      EXPECT_NEAR(k(i, j).imag(), 0.0, 1e-12);
+    }
+  }
+  auto psd = IsPositiveSemidefinite(k, 1e-7);
+  ASSERT_TRUE(psd.ok());
+  EXPECT_TRUE(psd.value());
+}
+
+INSTANTIATE_TEST_SUITE_P(Kernels, GramMatrixPropertyTest,
+                         ::testing::Values(0, 1, 2));
+
+TEST(QuantumKernelTest, CrossMatrixMatchesPairwiseEvaluation) {
+  FidelityQuantumKernel kernel = MakeAngleKernel();
+  auto train = SmallDataset(4, 2, 7);
+  auto test = SmallDataset(3, 2, 8);
+  auto cross = kernel.CrossMatrix(test, train);
+  ASSERT_TRUE(cross.ok());
+  for (size_t i = 0; i < test.size(); ++i) {
+    for (size_t j = 0; j < train.size(); ++j) {
+      auto direct = kernel.Evaluate(test[i], train[j]);
+      ASSERT_TRUE(direct.ok());
+      EXPECT_NEAR(cross.value()(i, j).real(), direct.value(), 1e-10);
+    }
+  }
+}
+
+TEST(QuantumKernelTest, EmptyInputsRejected) {
+  FidelityQuantumKernel kernel = MakeAngleKernel();
+  EXPECT_FALSE(kernel.GramMatrix({}).ok());
+  EXPECT_FALSE(kernel.CrossMatrix({}, SmallDataset(2, 2, 1)).ok());
+  EXPECT_FALSE(kernel.EncodedState({}).ok());
+}
+
+TEST(AlignmentTest, PerfectKernelAlignsToOne) {
+  // K = yyᵀ (up to PSD scaling) has alignment exactly 1.
+  std::vector<int> labels = {1, -1, 1, -1};
+  Matrix k(4, 4);
+  for (int i = 0; i < 4; ++i) {
+    for (int j = 0; j < 4; ++j) {
+      k(i, j) = Complex(labels[i] * labels[j], 0.0);
+    }
+  }
+  auto a = KernelTargetAlignment(k, labels);
+  ASSERT_TRUE(a.ok());
+  EXPECT_NEAR(a.value(), 1.0, 1e-12);
+}
+
+TEST(AlignmentTest, AntiAlignedKernelIsNegative) {
+  std::vector<int> labels = {1, -1};
+  Matrix k(2, 2);
+  k(0, 0) = k(1, 1) = Complex(1, 0);
+  k(0, 1) = k(1, 0) = Complex(1, 0);  // Constant kernel: sees no structure.
+  auto a = KernelTargetAlignment(k, labels);
+  ASSERT_TRUE(a.ok());
+  EXPECT_NEAR(a.value(), 0.0, 1e-12);  // ⟨K, yyᵀ⟩ = 2−2 = 0... constant.
+}
+
+TEST(AlignmentTest, InputValidation) {
+  Matrix k = Matrix::Identity(3);
+  EXPECT_FALSE(KernelTargetAlignment(k, {1, -1}).ok());         // Size.
+  EXPECT_FALSE(KernelTargetAlignment(k, {1, 2, -1}).ok());      // Labels.
+  EXPECT_FALSE(KernelTargetAlignment(Matrix(2, 3), {1, -1}).ok());
+}
+
+TEST(AlignmentTest, CenteredKernelRowSumsVanish) {
+  Rng rng(9);
+  Matrix k(5, 5);
+  for (int i = 0; i < 5; ++i) {
+    for (int j = i; j < 5; ++j) {
+      double v = rng.Uniform(0.0, 1.0);
+      k(i, j) = Complex(v, 0);
+      k(j, i) = Complex(v, 0);
+    }
+  }
+  auto centered = CenterKernel(k);
+  ASSERT_TRUE(centered.ok());
+  for (size_t i = 0; i < 5; ++i) {
+    double row_sum = 0.0;
+    for (size_t j = 0; j < 5; ++j) row_sum += centered.value()(i, j).real();
+    EXPECT_NEAR(row_sum, 0.0, 1e-10);
+  }
+}
+
+TEST(AlignmentTest, CenteredAlignmentDetectsStructure) {
+  // Labels follow feature sign; the angle kernel on well-separated points
+  // should align positively once centered.
+  std::vector<DVector> xs;
+  std::vector<int> labels;
+  for (int i = 0; i < 6; ++i) {
+    const bool pos = i % 2 == 0;
+    xs.push_back({pos ? 0.3 : 2.8});
+    labels.push_back(pos ? 1 : -1);
+  }
+  auto gram = MakeAngleKernel().GramMatrix(xs);
+  ASSERT_TRUE(gram.ok());
+  auto alignment = CenteredKernelAlignment(gram.value(), labels);
+  ASSERT_TRUE(alignment.ok());
+  EXPECT_GT(alignment.value(), 0.5);
+}
+
+}  // namespace
+}  // namespace qdb

@@ -1,0 +1,189 @@
+// Tests for error mitigation: zero-noise extrapolation and readout
+// confusion inversion.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "mitigation/readout.h"
+#include "mitigation/zne.h"
+#include "sim/statevector_simulator.h"
+#include "sim/unitary_simulator.h"
+
+namespace qdb {
+namespace {
+
+TEST(FoldTest, ScaleOnePassesThrough) {
+  Circuit c(2);
+  c.H(0).CX(0, 1);
+  auto folded = FoldCircuit(c, 1);
+  ASSERT_TRUE(folded.ok());
+  EXPECT_EQ(folded.value().size(), c.size());
+}
+
+TEST(FoldTest, FoldingPreservesUnitary) {
+  Circuit c(2);
+  c.H(0).CRY(0, 1, 0.7).RZZ(0, 1, 0.3).T(1);
+  for (int scale : {3, 5}) {
+    auto folded = FoldCircuit(c, scale);
+    ASSERT_TRUE(folded.ok());
+    EXPECT_EQ(folded.value().size(), c.size() * scale);
+    Matrix u_orig = CircuitUnitary(c).ValueOrDie();
+    Matrix u_folded = CircuitUnitary(folded.value()).ValueOrDie();
+    EXPECT_TRUE(u_orig.ApproxEqual(u_folded, 1e-9)) << "scale " << scale;
+  }
+}
+
+TEST(FoldTest, RejectsEvenOrNonPositiveScales) {
+  Circuit c(1);
+  c.H(0);
+  EXPECT_FALSE(FoldCircuit(c, 0).ok());
+  EXPECT_FALSE(FoldCircuit(c, 2).ok());
+  EXPECT_FALSE(FoldCircuit(c, -3).ok());
+}
+
+TEST(RichardsonTest, ExactForPolynomials) {
+  // Data from y = 2 − 3x + x²: three points recover y(0) = 2 exactly.
+  DVector xs = {1.0, 3.0, 5.0};
+  DVector ys;
+  for (double x : xs) ys.push_back(2.0 - 3.0 * x + x * x);
+  auto r = RichardsonExtrapolate(xs, ys);
+  ASSERT_TRUE(r.ok());
+  EXPECT_NEAR(r.value(), 2.0, 1e-10);
+}
+
+TEST(RichardsonTest, Validation) {
+  EXPECT_FALSE(RichardsonExtrapolate({1.0}, {2.0}).ok());
+  EXPECT_FALSE(RichardsonExtrapolate({1.0, 1.0}, {2.0, 3.0}).ok());
+  EXPECT_FALSE(RichardsonExtrapolate({1.0, 2.0}, {2.0}).ok());
+}
+
+TEST(ZneTest, RecoversGhzWitnessUnderDepolarizingNoise) {
+  // The canonical demo: a GHZ witness decays under noise; ZNE pulls the
+  // estimate most of the way back to the ideal value 1.0.
+  Circuit ghz(3);
+  ghz.H(0).CX(0, 1).CX(1, 2);
+  PauliSum witness(3);
+  PauliString xxx(3);
+  for (int q = 0; q < 3; ++q) xxx.set_op(q, PauliOp::kX);
+  witness.Add(1.0, xxx);
+
+  auto noise = NoiseModel::Depolarizing(0.004, 0.008);
+  ASSERT_TRUE(noise.ok());
+  DensitySimulator sim(noise.value());
+  auto zne = ZeroNoiseExtrapolate(ghz, witness, sim);
+  ASSERT_TRUE(zne.ok()) << zne.status();
+
+  EXPECT_LT(zne.value().unmitigated, 0.98);  // Noise visibly bites.
+  const double raw_error = std::abs(zne.value().unmitigated - 1.0);
+  const double mitigated_error = std::abs(zne.value().mitigated - 1.0);
+  EXPECT_LT(mitigated_error, raw_error / 3.0);  // ≥3x improvement.
+  // Raw values decay monotonically with the fold scale.
+  const auto& raw = zne.value().raw_values;
+  ASSERT_EQ(raw.size(), 3u);
+  EXPECT_GT(raw[0], raw[1]);
+  EXPECT_GT(raw[1], raw[2]);
+}
+
+TEST(ZneTest, NoiselessIsFixedPoint) {
+  Circuit c(2);
+  c.H(0).CX(0, 1);
+  PauliSum zz(2);
+  zz.Add(1.0, "ZZ");
+  DensitySimulator noiseless;
+  auto zne = ZeroNoiseExtrapolate(c, zz, noiseless);
+  ASSERT_TRUE(zne.ok());
+  EXPECT_NEAR(zne.value().mitigated, 1.0, 1e-9);
+  EXPECT_NEAR(zne.value().unmitigated, 1.0, 1e-9);
+}
+
+TEST(ZneTest, Validation) {
+  Circuit c(1);
+  c.H(0);
+  PauliSum z(1);
+  z.Add(1.0, "Z");
+  DensitySimulator sim;
+  ZneOptions too_few;
+  too_few.scale_factors = {1};
+  EXPECT_FALSE(ZeroNoiseExtrapolate(c, z, sim, too_few).ok());
+  ZneOptions duplicate;
+  duplicate.scale_factors = {1, 1, 3};
+  EXPECT_FALSE(ZeroNoiseExtrapolate(c, z, sim, duplicate).ok());
+  ZneOptions even;
+  even.scale_factors = {1, 2};
+  EXPECT_FALSE(ZeroNoiseExtrapolate(c, z, sim, even).ok());
+}
+
+TEST(ReadoutTest, Validation) {
+  EXPECT_FALSE(ReadoutMitigator::Create(0, 0.1, 0.1).ok());
+  EXPECT_FALSE(ReadoutMitigator::Create(2, 0.6, 0.5).ok());
+  EXPECT_FALSE(ReadoutMitigator::Create(2, -0.1, 0.1).ok());
+  EXPECT_TRUE(ReadoutMitigator::Create(2, 0.05, 0.1).ok());
+}
+
+TEST(ReadoutTest, InvertsKnownConfusionExactly) {
+  // Feed the *expected* corrupted distribution of |0⟩ through the
+  // mitigator: it must return the clean one.
+  const double p01 = 0.1, p10 = 0.05;
+  auto mitigator = ReadoutMitigator::Create(1, p01, p10);
+  ASSERT_TRUE(mitigator.ok());
+  // True state |0⟩ → measured 0 with 1−p01, measured 1 with p01.
+  std::map<uint64_t, int> counts = {{0, 9000}, {1, 1000}};  // p01 = 0.1.
+  auto probs = mitigator.value().MitigateCounts(counts);
+  ASSERT_TRUE(probs.ok());
+  EXPECT_NEAR(probs.value()[0], 1.0, 1e-9);
+  EXPECT_NEAR(probs.value()[1], 0.0, 1e-9);
+}
+
+TEST(ReadoutTest, RestoresSampledNoisyDistribution) {
+  // End-to-end: Bell state sampled with a 10% symmetric readout flip; the
+  // mitigated ⟨Z₀Z₁⟩-ish marginals get close to ideal.
+  Circuit bell(2);
+  bell.H(0).CX(0, 1);
+  StateVectorSimulator sim;
+  StateVector psi = sim.Run(bell).ValueOrDie();
+  Rng rng(7);
+  const double flip = 0.1;
+  std::map<uint64_t, int> noisy_counts;
+  for (int s = 0; s < 40000; ++s) {
+    uint64_t outcome = psi.SampleOnce(rng);
+    for (int q = 0; q < 2; ++q) {
+      if (rng.Bernoulli(flip)) outcome ^= uint64_t{1} << (1 - q);
+    }
+    ++noisy_counts[outcome];
+  }
+  auto mitigator = ReadoutMitigator::Create(2, flip, flip);
+  ASSERT_TRUE(mitigator.ok());
+  auto probs = mitigator.value().MitigateCounts(noisy_counts);
+  ASSERT_TRUE(probs.ok());
+  EXPECT_NEAR(probs.value()[0b00], 0.5, 0.02);
+  EXPECT_NEAR(probs.value()[0b11], 0.5, 0.02);
+  EXPECT_NEAR(probs.value()[0b01], 0.0, 0.02);
+  // Unmitigated, P(01) would sit near flip·(1−flip)·... ≈ 0.09.
+  double raw01 = noisy_counts[0b01] / 40000.0;
+  EXPECT_GT(raw01, 0.05);
+}
+
+TEST(ReadoutTest, MitigatedExpectationZ) {
+  auto mitigator = ReadoutMitigator::Create(1, 0.2, 0.2);
+  ASSERT_TRUE(mitigator.ok());
+  // True |0⟩ read through 20% symmetric flips: P(read 1) = 0.2,
+  // raw ⟨Z⟩ = 0.6; mitigation restores 1.0.
+  std::map<uint64_t, int> counts = {{0, 8000}, {1, 2000}};
+  auto z = mitigator.value().MitigatedExpectationZ(counts, 0);
+  ASSERT_TRUE(z.ok());
+  EXPECT_NEAR(z.value(), 1.0, 1e-9);
+}
+
+TEST(ReadoutTest, CountValidation) {
+  auto mitigator = ReadoutMitigator::Create(2, 0.1, 0.1);
+  ASSERT_TRUE(mitigator.ok());
+  EXPECT_FALSE(mitigator.value().MitigateCounts({}).ok());
+  EXPECT_FALSE(mitigator.value().MitigateCounts({{9, 10}}).ok());
+  EXPECT_FALSE(mitigator.value().MitigateCounts({{0, -5}}).ok());
+  EXPECT_FALSE(
+      mitigator.value().MitigatedExpectationZ({{0, 10}}, 5).ok());
+}
+
+}  // namespace
+}  // namespace qdb

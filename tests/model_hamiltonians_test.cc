@@ -1,0 +1,99 @@
+// Tests for the model-Hamiltonian builders against known exact energies.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ops/model_hamiltonians.h"
+#include "variational/ansatz.h"
+#include "variational/vqe.h"
+
+namespace qdb {
+namespace {
+
+TEST(TfimTest, TermStructure) {
+  auto h = TransverseFieldIsing(4, 1.0, 0.5);
+  ASSERT_TRUE(h.ok());
+  // 3 ZZ bonds + 4 X fields.
+  EXPECT_EQ(h.value().size(), 7u);
+  auto periodic = TransverseFieldIsing(4, 1.0, 0.5, true);
+  ASSERT_TRUE(periodic.ok());
+  EXPECT_EQ(periodic.value().size(), 8u);
+}
+
+TEST(TfimTest, ClassicalLimitGroundEnergy) {
+  // h = 0: pure ferromagnetic chain, ground energy −J·(n−1).
+  auto h = TransverseFieldIsing(4, 2.0, 0.0);
+  ASSERT_TRUE(h.ok());
+  auto e = ExactGroundStateEnergy(h.value());
+  ASSERT_TRUE(e.ok());
+  EXPECT_NEAR(e.value(), -6.0, 1e-8);
+}
+
+TEST(TfimTest, ParamagneticLimitGroundEnergy) {
+  // J = 0: independent spins in a transverse field, ground energy −h·n.
+  auto h = TransverseFieldIsing(3, 0.0, 1.5);
+  ASSERT_TRUE(h.ok());
+  auto e = ExactGroundStateEnergy(h.value());
+  ASSERT_TRUE(e.ok());
+  EXPECT_NEAR(e.value(), -4.5, 1e-8);
+}
+
+TEST(TfimTest, TwoSiteCriticalExact) {
+  // n = 2, J = h = 1: H = −ZZ − X₁ − X₂; ground energy −√(1+... known:
+  // eigenvalues of this 4x4 are ±√5 and ±1; ground = −√5.
+  auto h = TransverseFieldIsing(2, 1.0, 1.0);
+  ASSERT_TRUE(h.ok());
+  auto e = ExactGroundStateEnergy(h.value());
+  ASSERT_TRUE(e.ok());
+  EXPECT_NEAR(e.value(), -std::sqrt(5.0), 1e-8);
+}
+
+TEST(HeisenbergTest, TermStructure) {
+  auto h = HeisenbergXXZ(3, 1.0, 0.7);
+  ASSERT_TRUE(h.ok());
+  EXPECT_EQ(h.value().size(), 6u);  // 2 bonds × 3 terms.
+}
+
+TEST(HeisenbergTest, TwoSiteSingletEnergy) {
+  // Two-site isotropic Heisenberg (J = 1): H = XX + YY + ZZ has singlet
+  // ground energy −3.
+  auto h = HeisenbergXXZ(2, 1.0, 1.0);
+  ASSERT_TRUE(h.ok());
+  auto e = ExactGroundStateEnergy(h.value());
+  ASSERT_TRUE(e.ok());
+  EXPECT_NEAR(e.value(), -3.0, 1e-8);
+}
+
+TEST(HeisenbergTest, ThreeSiteOpenChainExact) {
+  // Known: 3-site open isotropic chain ground energy = −4 (in units where
+  // H = Σ σ·σ on the two bonds).
+  auto h = HeisenbergXXZ(3, 1.0, 1.0);
+  ASSERT_TRUE(h.ok());
+  auto e = ExactGroundStateEnergy(h.value());
+  ASSERT_TRUE(e.ok());
+  EXPECT_NEAR(e.value(), -4.0, 1e-8);
+}
+
+TEST(ModelHamiltonianTest, Validation) {
+  EXPECT_FALSE(TransverseFieldIsing(1, 1.0, 1.0).ok());
+  EXPECT_FALSE(HeisenbergXXZ(1, 1.0, 1.0).ok());
+}
+
+TEST(ModelHamiltonianTest, VqeSolvesTfim) {
+  auto h = TransverseFieldIsing(3, 1.0, 0.8);
+  ASSERT_TRUE(h.ok());
+  auto exact = ExactGroundStateEnergy(h.value());
+  ASSERT_TRUE(exact.ok());
+  Circuit ansatz = EfficientSU2Ansatz(3, 2);
+  VqeOptions opts;
+  opts.adam.max_iterations = 250;
+  opts.adam.learning_rate = 0.1;
+  opts.seed = 7;
+  auto result = RunVqe(ansatz, h.value(), opts);
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(result.value().energy, exact.value(), 2e-2);
+}
+
+}  // namespace
+}  // namespace qdb

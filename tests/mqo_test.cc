@@ -1,0 +1,135 @@
+// Tests for the multi-query optimization QUBO.
+
+#include <gtest/gtest.h>
+
+#include "anneal/exhaustive.h"
+#include "anneal/simulated_annealing.h"
+#include "db/mqo.h"
+
+namespace qdb {
+namespace {
+
+MqoInstance HandInstance() {
+  // Two queries, two plans each; sharing makes (q0p1, q1p1) jointly best.
+  MqoInstance instance;
+  instance.plan_costs = {{10.0, 12.0}, {20.0, 21.0}};
+  instance.sharings.push_back({0, 1, 1, 1, 8.0});
+  return instance;
+}
+
+TEST(MqoInstanceTest, SelectionCostHandComputed) {
+  MqoInstance inst = HandInstance();
+  EXPECT_NEAR(inst.SelectionCost({0, 0}), 30.0, 1e-12);
+  EXPECT_NEAR(inst.SelectionCost({1, 1}), 12.0 + 21.0 - 8.0, 1e-12);
+  EXPECT_NEAR(inst.SelectionCost({1, 0}), 32.0, 1e-12);
+}
+
+TEST(MqoInstanceTest, RandomGeneratorShape) {
+  Rng rng(5);
+  MqoInstance inst = RandomMqoInstance(4, 3, 0.2, rng);
+  EXPECT_EQ(inst.num_queries(), 4);
+  for (const auto& costs : inst.plan_costs) {
+    EXPECT_EQ(costs.size(), 3u);
+    for (double c : costs) {
+      EXPECT_GE(c, 10.0);
+      EXPECT_LE(c, 100.0);
+    }
+  }
+  for (const auto& s : inst.sharings) {
+    EXPECT_NE(s.query1, s.query2);
+    EXPECT_GT(s.saving, 0.0);
+  }
+}
+
+TEST(MqoTest, ExhaustiveFindsSharingOptimum) {
+  MqoInstance inst = HandInstance();
+  auto best = MqoExhaustiveCost(inst);
+  ASSERT_TRUE(best.ok());
+  EXPECT_NEAR(best.value(), 25.0, 1e-12);
+}
+
+TEST(MqoTest, CheapestPlanBaselineIgnoresSharing) {
+  MqoInstance inst = HandInstance();
+  // Pure greedy: picks (0, 0) at cost 30 even though (1, 1) costs 25.
+  EXPECT_NEAR(MqoCheapestPlanCost(inst), 30.0, 1e-12);
+  EXPECT_GE(MqoCheapestPlanCost(inst), MqoGreedyCost(inst) - 1e-12);
+}
+
+TEST(MqoTest, GreedyMissesSharingButImprovesLocally) {
+  MqoInstance inst = HandInstance();
+  const double greedy = MqoGreedyCost(inst);
+  // Greedy starts at cheapest-per-query (0,0)=30; local moves: switching
+  // q1 alone: (0,1) = 31; switching q0 alone: (1,0) = 32 → stuck at 30.
+  EXPECT_NEAR(greedy, 30.0, 1e-12);
+  EXPECT_GE(greedy, MqoExhaustiveCost(inst).value());
+}
+
+TEST(MqoQuboTest, GroundStateMatchesExhaustive) {
+  Rng rng(7);
+  for (int trial = 0; trial < 3; ++trial) {
+    MqoInstance inst = RandomMqoInstance(3, 3, 0.3, rng);
+    auto qubo = MqoQubo::Create(inst);
+    ASSERT_TRUE(qubo.ok());
+    auto ground = ExhaustiveSolveQubo(qubo.value().qubo());
+    ASSERT_TRUE(ground.ok());
+    std::vector<int> selection =
+        qubo.value().Decode(SpinsToBits(ground.value().best_spins));
+    auto exact = MqoExhaustiveCost(inst);
+    ASSERT_TRUE(exact.ok());
+    EXPECT_NEAR(inst.SelectionCost(selection), exact.value(), 1e-6);
+    // QUBO energy at the ground state equals the MQO objective (offsets
+    // cancel the satisfied one-hot penalties).
+    EXPECT_NEAR(ground.value().best_energy, exact.value(), 1e-6);
+  }
+}
+
+TEST(MqoQuboTest, DecodeRepairsMissingSelections) {
+  MqoInstance inst = HandInstance();
+  auto qubo = MqoQubo::Create(inst).value();
+  std::vector<uint8_t> zeros(4, 0);
+  std::vector<int> selection = qubo.Decode(zeros);
+  EXPECT_EQ(selection[0], 0);  // Cheapest plan of query 0.
+  EXPECT_EQ(selection[1], 0);
+  std::vector<uint8_t> both(4, 1);  // Conflicts everywhere.
+  selection = qubo.Decode(both);
+  EXPECT_EQ(selection[0], 0);
+  EXPECT_EQ(selection[1], 0);
+}
+
+TEST(MqoQuboTest, AnnealingSolvesModerateInstance) {
+  Rng rng(11);
+  MqoInstance inst = RandomMqoInstance(5, 3, 0.2, rng);
+  auto qubo = MqoQubo::Create(inst);
+  ASSERT_TRUE(qubo.ok());
+  SaOptions opts;
+  opts.num_sweeps = 2000;
+  opts.num_restarts = 6;
+  auto annealed = SimulatedAnnealing(qubo.value().qubo().ToIsing(), opts);
+  ASSERT_TRUE(annealed.ok());
+  std::vector<int> selection =
+      qubo.value().Decode(SpinsToBits(annealed.value().best_spins));
+  auto exact = MqoExhaustiveCost(inst);
+  ASSERT_TRUE(exact.ok());
+  EXPECT_NEAR(inst.SelectionCost(selection), exact.value(),
+              0.10 * exact.value());
+}
+
+TEST(MqoQuboTest, Validation) {
+  MqoInstance empty;
+  EXPECT_FALSE(MqoQubo::Create(empty).ok());
+  MqoInstance no_plans;
+  no_plans.plan_costs = {{}};
+  EXPECT_FALSE(MqoQubo::Create(no_plans).ok());
+  MqoInstance self_share = HandInstance();
+  self_share.sharings.push_back({0, 0, 0, 1, 1.0});
+  EXPECT_FALSE(MqoQubo::Create(self_share).ok());
+}
+
+TEST(MqoTest, ExhaustiveRejectsHugeInstances) {
+  MqoInstance big;
+  big.plan_costs.assign(25, DVector(4, 1.0));  // 4^25 combinations.
+  EXPECT_FALSE(MqoExhaustiveCost(big).ok());
+}
+
+}  // namespace
+}  // namespace qdb

@@ -1,0 +1,89 @@
+// Tests for the parallel-tempering (replica exchange) solver.
+
+#include <gtest/gtest.h>
+
+#include "anneal/exhaustive.h"
+#include "anneal/parallel_tempering.h"
+#include "common/rng.h"
+
+namespace qdb {
+namespace {
+
+IsingModel RandomSpinGlass(int n, Rng& rng) {
+  IsingModel m(n);
+  for (int i = 0; i < n; ++i) m.AddField(i, rng.Uniform(-0.5, 0.5));
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) {
+      if (rng.Bernoulli(0.5)) m.AddCoupling(i, j, rng.Uniform(-1.0, 1.0));
+    }
+  }
+  return m;
+}
+
+class PtGroundStateTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(PtGroundStateTest, FindsGroundStateOfSmallGlass) {
+  Rng rng(GetParam());
+  IsingModel m = RandomSpinGlass(9, rng);
+  auto exact = ExhaustiveSolve(m);
+  ASSERT_TRUE(exact.ok());
+  PtOptions opts;
+  opts.num_sweeps = 400;
+  opts.seed = GetParam() * 7 + 1;
+  auto pt = ParallelTempering(m, opts);
+  ASSERT_TRUE(pt.ok());
+  EXPECT_NEAR(pt.value().best_energy, exact.value().best_energy, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PtGroundStateTest,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+TEST(PtTest, DeterministicBySeed) {
+  Rng rng(3);
+  IsingModel m = RandomSpinGlass(10, rng);
+  PtOptions opts;
+  opts.num_sweeps = 100;
+  auto a = ParallelTempering(m, opts);
+  auto b = ParallelTempering(m, opts);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a.value().best_spins, b.value().best_spins);
+  EXPECT_EQ(a.value().best_energy, b.value().best_energy);
+}
+
+TEST(PtTest, ValidatesOptions) {
+  IsingModel m(3);
+  m.AddCoupling(0, 1, -1.0);
+  PtOptions bad_replicas;
+  bad_replicas.num_replicas = 1;
+  EXPECT_FALSE(ParallelTempering(m, bad_replicas).ok());
+  PtOptions bad_betas;
+  bad_betas.beta_min = 5.0;
+  bad_betas.beta_max = 1.0;
+  EXPECT_FALSE(ParallelTempering(m, bad_betas).ok());
+  PtOptions bad_sweeps;
+  bad_sweeps.num_sweeps = 0;
+  EXPECT_FALSE(ParallelTempering(m, bad_sweeps).ok());
+}
+
+TEST(PtTest, SolvesFrustratedInstance) {
+  // Frustrated triangles chained together: many degenerate local optima.
+  IsingModel m(9);
+  for (int t = 0; t < 3; ++t) {
+    const int base = 3 * t;
+    m.AddCoupling(base, base + 1, 1.0);
+    m.AddCoupling(base + 1, base + 2, 1.0);
+    m.AddCoupling(base, base + 2, 1.0);
+    if (t > 0) m.AddCoupling(base - 1, base, -2.0);
+  }
+  auto exact = ExhaustiveSolve(m);
+  ASSERT_TRUE(exact.ok());
+  PtOptions opts;
+  opts.num_sweeps = 600;
+  auto pt = ParallelTempering(m, opts);
+  ASSERT_TRUE(pt.ok());
+  EXPECT_NEAR(pt.value().best_energy, exact.value().best_energy, 1e-9);
+}
+
+}  // namespace
+}  // namespace qdb

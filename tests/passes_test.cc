@@ -1,0 +1,147 @@
+// Tests for the circuit optimization passes: gates shrink, semantics hold.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "circuit/passes.h"
+#include "common/rng.h"
+#include "sim/unitary_simulator.h"
+
+namespace qdb {
+namespace {
+
+TEST(PassesTest, RemoveIdentitiesDropsIdAndZeroRotations) {
+  Circuit c(2);
+  c.I(0).H(0).RX(1, 0.0).RZ(0, 1e-15).CX(0, 1);
+  Circuit out = RemoveIdentities(c);
+  EXPECT_EQ(out.size(), 2u);
+  EXPECT_EQ(out.gates()[0].type, GateType::kH);
+  EXPECT_EQ(out.gates()[1].type, GateType::kCX);
+}
+
+TEST(PassesTest, RemoveIdentitiesKeepsSymbolicZero) {
+  Circuit c(1);
+  c.RX(0, ParamExpr::Variable(0));  // Symbolic: must never be dropped.
+  EXPECT_EQ(RemoveIdentities(c).size(), 1u);
+}
+
+TEST(PassesTest, CancelAdjacentSelfInverses) {
+  Circuit c(2);
+  c.H(0).H(0).X(1).X(1).CX(0, 1).CX(0, 1);
+  EXPECT_EQ(CancelAdjacentInverses(c).size(), 0u);
+}
+
+TEST(PassesTest, CancelSAndSdg) {
+  Circuit c(1);
+  c.S(0).Sdg(0).T(0).Tdg(0);
+  EXPECT_EQ(CancelAdjacentInverses(c).size(), 0u);
+}
+
+TEST(PassesTest, CancelOppositeRotations) {
+  Circuit c(1);
+  c.RX(0, 0.7).RX(0, -0.7);
+  EXPECT_EQ(CancelAdjacentInverses(c).size(), 0u);
+}
+
+TEST(PassesTest, NoCancellationAcrossInterveningGate) {
+  Circuit c(2);
+  c.H(0).CX(0, 1).H(0);  // CX touches qubit 0 between the Hs.
+  EXPECT_EQ(CancelAdjacentInverses(c).size(), 3u);
+}
+
+TEST(PassesTest, CancellationCascades) {
+  Circuit c(1);
+  c.X(0).H(0).H(0).X(0);  // Inner pair exposes the outer pair.
+  EXPECT_EQ(CancelAdjacentInverses(c).size(), 0u);
+}
+
+TEST(PassesTest, SymmetricGateCancelsWithSwappedOperands) {
+  Circuit c(2);
+  c.CZ(0, 1).CZ(1, 0);
+  EXPECT_EQ(CancelAdjacentInverses(c).size(), 0u);
+  Circuit d(2);
+  d.CX(0, 1).CX(1, 0);  // CX is directional: must NOT cancel.
+  EXPECT_EQ(CancelAdjacentInverses(d).size(), 2u);
+}
+
+TEST(PassesTest, MergeRotations) {
+  Circuit c(1);
+  c.RZ(0, 0.25).RZ(0, 0.5);
+  Circuit out = MergeRotations(c);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_NEAR(out.gates()[0].params[0].offset, 0.75, 1e-15);
+}
+
+TEST(PassesTest, MergeToZeroRemovesGate) {
+  Circuit c(1);
+  c.RY(0, 0.4).RY(0, -0.4);
+  EXPECT_EQ(MergeRotations(c).size(), 0u);
+}
+
+TEST(PassesTest, MergeRzzOnSwappedOperands) {
+  Circuit c(2);
+  c.RZZ(0, 1, 0.2).RZZ(1, 0, 0.3);
+  Circuit out = MergeRotations(c);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_NEAR(out.gates()[0].params[0].offset, 0.5, 1e-15);
+}
+
+TEST(PassesTest, SymbolicRotationsNotMerged) {
+  Circuit c(1);
+  c.RZ(0, ParamExpr::Variable(0)).RZ(0, ParamExpr::Variable(0));
+  EXPECT_EQ(MergeRotations(c).size(), 2u);
+}
+
+TEST(PassesTest, GateCounts) {
+  Circuit c(2);
+  c.H(0).H(1).CX(0, 1).RZ(0, 0.1);
+  auto counts = GateCounts(c);
+  EXPECT_EQ(counts["h"], 2);
+  EXPECT_EQ(counts["cx"], 1);
+  EXPECT_EQ(counts["rz"], 1);
+}
+
+class PassEquivalenceTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(PassEquivalenceTest, OptimizePreservesUnitary) {
+  // Property: the full pipeline never changes the implemented unitary, even
+  // on circuits dense with cancellation opportunities.
+  Rng rng(GetParam());
+  Circuit c(3);
+  for (int g = 0; g < 40; ++g) {
+    const int q = static_cast<int>(rng.UniformInt(uint64_t{3}));
+    int q2 = static_cast<int>(rng.UniformInt(uint64_t{2}));
+    if (q2 >= q) ++q2;
+    switch (rng.UniformInt(uint64_t{8})) {
+      case 0: c.H(q); break;
+      case 1: c.X(q); break;
+      case 2: c.S(q); break;
+      case 3: c.Sdg(q); break;
+      case 4: c.RZ(q, rng.Uniform(-1.0, 1.0)); break;
+      case 5: c.RZ(q, 0.0); break;
+      case 6: c.CX(q, q2); break;
+      default: c.CZ(q, q2); break;
+    }
+  }
+  Circuit optimized = OptimizeCircuit(c);
+  EXPECT_LE(optimized.size(), c.size());
+  auto u_orig = CircuitUnitary(c);
+  auto u_opt = CircuitUnitary(optimized);
+  ASSERT_TRUE(u_orig.ok());
+  ASSERT_TRUE(u_opt.ok());
+  EXPECT_TRUE(u_orig.value().ApproxEqual(u_opt.value(), 1e-9));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PassEquivalenceTest,
+                         ::testing::Values(11, 22, 33, 44, 55, 66, 77, 88, 99,
+                                           111));
+
+TEST(PassesTest, OptimizeShrinksRedundantCircuit) {
+  Circuit c(2);
+  c.H(0).H(0).RZ(1, 0.3).RZ(1, -0.3).CX(0, 1).CX(0, 1).I(0);
+  EXPECT_EQ(OptimizeCircuit(c).size(), 0u);
+}
+
+}  // namespace
+}  // namespace qdb

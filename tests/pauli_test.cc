@@ -1,0 +1,142 @@
+// Tests for Pauli strings and Pauli-sum observables.
+
+#include <gtest/gtest.h>
+
+#include "ops/pauli.h"
+
+namespace qdb {
+namespace {
+
+TEST(PauliStringTest, ParseValidLabels) {
+  auto p = PauliString::Parse("XIZY");
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p.value().num_qubits(), 4);
+  EXPECT_EQ(p.value().op(0), PauliOp::kX);
+  EXPECT_EQ(p.value().op(1), PauliOp::kI);
+  EXPECT_EQ(p.value().op(2), PauliOp::kZ);
+  EXPECT_EQ(p.value().op(3), PauliOp::kY);
+  EXPECT_EQ(p.value().ToString(), "XIZY");
+}
+
+TEST(PauliStringTest, ParseRejectsBadInput) {
+  EXPECT_FALSE(PauliString::Parse("").ok());
+  EXPECT_FALSE(PauliString::Parse("XQ").ok());
+  EXPECT_FALSE(PauliString::Parse("xyz").ok());
+}
+
+TEST(PauliStringTest, SingleFactory) {
+  PauliString p = PauliString::Single(3, 1, PauliOp::kY);
+  EXPECT_EQ(p.ToString(), "IYI");
+}
+
+TEST(PauliStringTest, WeightCountsNonIdentity) {
+  EXPECT_EQ(PauliString::Parse("IIII").value().Weight(), 0);
+  EXPECT_EQ(PauliString::Parse("XYZI").value().Weight(), 3);
+}
+
+TEST(PauliStringTest, DiagonalDetection) {
+  EXPECT_TRUE(PauliString::Parse("IZZI").value().IsDiagonal());
+  EXPECT_FALSE(PauliString::Parse("IXZI").value().IsDiagonal());
+  EXPECT_FALSE(PauliString::Parse("YIII").value().IsDiagonal());
+}
+
+TEST(PauliStringTest, MatrixOfZZ) {
+  Matrix zz = PauliString::Parse("ZZ").value().ToMatrix();
+  EXPECT_EQ(zz(0, 0), Complex(1, 0));
+  EXPECT_EQ(zz(1, 1), Complex(-1, 0));
+  EXPECT_EQ(zz(2, 2), Complex(-1, 0));
+  EXPECT_EQ(zz(3, 3), Complex(1, 0));
+}
+
+TEST(PauliStringTest, MatrixOfXYIsKron) {
+  Matrix expected =
+      PauliMatrix(PauliOp::kX).Kron(PauliMatrix(PauliOp::kY));
+  EXPECT_TRUE(PauliString::Parse("XY").value().ToMatrix().ApproxEqual(expected));
+}
+
+TEST(PauliStringTest, OrderingOperator) {
+  auto a = PauliString::Parse("XI").value();
+  auto b = PauliString::Parse("XZ").value();
+  EXPECT_TRUE(a < b);
+  EXPECT_FALSE(b < a);
+  EXPECT_TRUE(a == a);
+}
+
+TEST(PauliSumTest, AddAndRender) {
+  PauliSum h(2);
+  h.Add(1.5, "ZZ").Add(-0.5, "XI");
+  EXPECT_EQ(h.size(), 2u);
+  EXPECT_NE(h.ToString().find("1.5*ZZ"), std::string::npos);
+}
+
+TEST(PauliSumTest, SimplifiedCombinesDuplicates) {
+  PauliSum h(2);
+  h.Add(1.0, "ZZ").Add(2.0, "ZZ").Add(0.5, "XX").Add(-0.5, "XX");
+  PauliSum s = h.Simplified();
+  ASSERT_EQ(s.size(), 1u);
+  EXPECT_NEAR(s.terms()[0].coefficient, 3.0, 1e-12);
+  EXPECT_EQ(s.terms()[0].pauli.ToString(), "ZZ");
+}
+
+TEST(PauliSumTest, ArithmeticOperators) {
+  PauliSum a(1);
+  a.Add(1.0, "Z");
+  PauliSum b(1);
+  b.Add(2.0, "X");
+  PauliSum c = (a + b) * 3.0;
+  EXPECT_EQ(c.size(), 2u);
+  EXPECT_NEAR(c.terms()[0].coefficient, 3.0, 1e-12);
+  EXPECT_NEAR(c.terms()[1].coefficient, 6.0, 1e-12);
+}
+
+TEST(PauliSumTest, ToMatrixMatchesTermSum) {
+  PauliSum h(2);
+  h.Add(0.5, "ZI").Add(0.25, "XX").Add(-1.0, "II");
+  Matrix expected =
+      PauliString::Parse("ZI").value().ToMatrix() * Complex(0.5, 0) +
+      PauliString::Parse("XX").value().ToMatrix() * Complex(0.25, 0) +
+      Matrix::Identity(4) * Complex(-1.0, 0);
+  EXPECT_TRUE(h.ToMatrix().ApproxEqual(expected));
+}
+
+TEST(PauliSumTest, DiagonalValuesMatchMatrixDiagonal) {
+  PauliSum h(3);
+  h.Add(0.7, "ZIZ").Add(-0.2, "IZI").Add(1.1, "III").Add(0.4, "ZZZ");
+  ASSERT_TRUE(h.IsDiagonal());
+  auto diag = h.DiagonalValues();
+  ASSERT_TRUE(diag.ok());
+  Matrix m = h.ToMatrix();
+  for (size_t i = 0; i < 8; ++i) {
+    EXPECT_NEAR(diag.value()[i], m(i, i).real(), 1e-12) << i;
+  }
+}
+
+TEST(PauliSumTest, DiagonalValuesRejectsOffDiagonal) {
+  PauliSum h(1);
+  h.Add(1.0, "X");
+  EXPECT_FALSE(h.DiagonalValues().ok());
+}
+
+TEST(PauliSumTest, IsDiagonalAggregates) {
+  PauliSum h(2);
+  h.Add(1.0, "ZZ");
+  EXPECT_TRUE(h.IsDiagonal());
+  h.Add(1.0, "XI");
+  EXPECT_FALSE(h.IsDiagonal());
+}
+
+TEST(PauliMatrixTest, AllFourMatrices) {
+  EXPECT_TRUE(PauliMatrix(PauliOp::kI).ApproxEqual(Matrix::Identity(2)));
+  Matrix x = PauliMatrix(PauliOp::kX);
+  Matrix y = PauliMatrix(PauliOp::kY);
+  Matrix z = PauliMatrix(PauliOp::kZ);
+  // XY = iZ.
+  EXPECT_TRUE((x * y).ApproxEqual(z * Complex(0, 1)));
+  // Each squares to identity.
+  EXPECT_TRUE((x * x).ApproxEqual(Matrix::Identity(2)));
+  EXPECT_TRUE((y * y).ApproxEqual(Matrix::Identity(2)));
+  EXPECT_TRUE((z * z).ApproxEqual(Matrix::Identity(2)));
+}
+
+}  // namespace
+}  // namespace qdb

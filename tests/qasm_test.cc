@@ -1,0 +1,237 @@
+// Tests for OpenQASM 2.0 export.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "circuit/qasm.h"
+#include "common/rng.h"
+#include "sim/unitary_simulator.h"
+
+namespace qdb {
+namespace {
+
+TEST(QasmTest, HeaderAndRegisters) {
+  Circuit c(3);
+  c.H(0);
+  auto qasm = ToQasm(c);
+  ASSERT_TRUE(qasm.ok());
+  EXPECT_NE(qasm.value().find("OPENQASM 2.0;"), std::string::npos);
+  EXPECT_NE(qasm.value().find("include \"qelib1.inc\";"), std::string::npos);
+  EXPECT_NE(qasm.value().find("qreg q[3];"), std::string::npos);
+  EXPECT_EQ(qasm.value().find("creg"), std::string::npos);
+}
+
+TEST(QasmTest, MeasureAllAppendsClassicalRegister) {
+  Circuit c(2);
+  c.H(0).CX(0, 1);
+  auto qasm = ToQasm(c, /*measure_all=*/true);
+  ASSERT_TRUE(qasm.ok());
+  EXPECT_NE(qasm.value().find("creg c[2];"), std::string::npos);
+  EXPECT_NE(qasm.value().find("measure q -> c;"), std::string::npos);
+}
+
+TEST(QasmTest, StandardGateSpellings) {
+  Circuit c(3);
+  c.X(0).Sdg(1).T(2).CX(0, 1).CZ(1, 2).Swap(0, 2).CCX(0, 1, 2);
+  auto qasm = ToQasm(c);
+  ASSERT_TRUE(qasm.ok());
+  const std::string& text = qasm.value();
+  EXPECT_NE(text.find("x q[0];"), std::string::npos);
+  EXPECT_NE(text.find("sdg q[1];"), std::string::npos);
+  EXPECT_NE(text.find("t q[2];"), std::string::npos);
+  EXPECT_NE(text.find("cx q[0],q[1];"), std::string::npos);
+  EXPECT_NE(text.find("cz q[1],q[2];"), std::string::npos);
+  EXPECT_NE(text.find("swap q[0],q[2];"), std::string::npos);
+  EXPECT_NE(text.find("ccx q[0],q[1],q[2];"), std::string::npos);
+}
+
+TEST(QasmTest, RotationAnglesAreEmittedPrecisely) {
+  Circuit c(1);
+  c.RX(0, 0.5).RZ(0, -2.25);
+  auto qasm = ToQasm(c);
+  ASSERT_TRUE(qasm.ok());
+  EXPECT_NE(qasm.value().find("rx(0.5) q[0];"), std::string::npos);
+  EXPECT_NE(qasm.value().find("rz(-2.25) q[0];"), std::string::npos);
+}
+
+TEST(QasmTest, PhaseGatesMapToU1Family) {
+  Circuit c(2);
+  c.P(0, 0.25).CP(0, 1, 0.5);
+  c.U(1, ParamExpr::Constant(0.1), ParamExpr::Constant(0.2),
+      ParamExpr::Constant(0.3));
+  auto qasm = ToQasm(c);
+  ASSERT_TRUE(qasm.ok());
+  EXPECT_NE(qasm.value().find("u1(0.25) q[0];"), std::string::npos);
+  EXPECT_NE(qasm.value().find("cu1(0.5) q[0],q[1];"), std::string::npos);
+  EXPECT_NE(qasm.value().find("u3(0.1,0.2,0.3) q[1];"), std::string::npos);
+}
+
+TEST(QasmTest, RyyDecomposesViaRzz) {
+  Circuit c(2);
+  c.RYY(0, 1, 0.7);
+  auto qasm = ToQasm(c);
+  ASSERT_TRUE(qasm.ok());
+  EXPECT_NE(qasm.value().find("rx(pi/2) q[0];"), std::string::npos);
+  EXPECT_NE(qasm.value().find("rzz(0.7) q[0],q[1];"), std::string::npos);
+  EXPECT_NE(qasm.value().find("rx(-pi/2) q[1];"), std::string::npos);
+}
+
+TEST(QasmTest, SmallMultiControlledGates) {
+  Circuit c(4);
+  c.MCX({0}, 1);
+  c.MCX({0, 1}, 2);
+  c.MCZ({0}, 1);
+  c.MCZ({0, 1}, 2);
+  auto qasm = ToQasm(c);
+  ASSERT_TRUE(qasm.ok());
+  EXPECT_NE(qasm.value().find("cx q[0],q[1];"), std::string::npos);
+  EXPECT_NE(qasm.value().find("ccx q[0],q[1],q[2];"), std::string::npos);
+  EXPECT_NE(qasm.value().find("cz q[0],q[1];"), std::string::npos);
+  EXPECT_NE(qasm.value().find("h q[2];"), std::string::npos);  // CCZ form.
+}
+
+TEST(QasmTest, WideMcxUnsupported) {
+  Circuit c(5);
+  c.MCX({0, 1, 2}, 4);
+  auto qasm = ToQasm(c);
+  ASSERT_FALSE(qasm.ok());
+  EXPECT_EQ(qasm.status().code(), StatusCode::kUnimplemented);
+}
+
+TEST(QasmTest, UnboundParametersRejected) {
+  Circuit c(1);
+  c.RX(0, ParamExpr::Variable(0));
+  auto qasm = ToQasm(c);
+  ASSERT_FALSE(qasm.ok());
+  EXPECT_EQ(qasm.status().code(), StatusCode::kFailedPrecondition);
+  // Binding first makes it exportable.
+  EXPECT_TRUE(ToQasm(c.Bind({0.5})).ok());
+}
+
+TEST(QasmParseTest, ParsesBellProgram) {
+  const std::string source =
+      "OPENQASM 2.0;\ninclude \"qelib1.inc\";\nqreg q[2];\ncreg c[2];\n"
+      "h q[0];\ncx q[0],q[1];\nmeasure q -> c;\n";
+  auto circuit = ParseQasm(source);
+  ASSERT_TRUE(circuit.ok()) << circuit.status();
+  EXPECT_EQ(circuit.value().num_qubits(), 2);
+  ASSERT_EQ(circuit.value().size(), 2u);
+  EXPECT_EQ(circuit.value().gates()[0].type, GateType::kH);
+  EXPECT_EQ(circuit.value().gates()[1].type, GateType::kCX);
+}
+
+TEST(QasmParseTest, ParsesAnglesIncludingPiForms) {
+  const std::string source =
+      "qreg q[1];\nrx(0.5) q[0];\nrz(-pi/2) q[0];\nu1(pi) q[0];\n";
+  auto circuit = ParseQasm(source);
+  ASSERT_TRUE(circuit.ok()) << circuit.status();
+  ASSERT_EQ(circuit.value().size(), 3u);
+  EXPECT_NEAR(circuit.value().gates()[0].params[0].offset, 0.5, 1e-15);
+  EXPECT_NEAR(circuit.value().gates()[1].params[0].offset, -M_PI / 2, 1e-15);
+  EXPECT_NEAR(circuit.value().gates()[2].params[0].offset, M_PI, 1e-15);
+}
+
+TEST(QasmParseTest, RejectsMalformedInput) {
+  EXPECT_FALSE(ParseQasm("h q[0];").ok());               // No qreg.
+  EXPECT_FALSE(ParseQasm("qreg q[2];\nh q[0]").ok());    // Missing ';'.
+  EXPECT_FALSE(ParseQasm("qreg q[2];\nfoo q[0];").ok()); // Unknown gate.
+  EXPECT_FALSE(ParseQasm("qreg q[2];\nh q[7];").ok());   // Out of range.
+  EXPECT_FALSE(ParseQasm("qreg q[2];\nrx(0.1 q[0];").ok());  // Unbalanced.
+  auto barrier = ParseQasm("qreg q[2];\nbarrier q[0],q[1];");
+  ASSERT_FALSE(barrier.ok());
+  EXPECT_EQ(barrier.status().code(), StatusCode::kUnimplemented);
+}
+
+TEST(QasmParseTest, IgnoresComments) {
+  const std::string source =
+      "// header comment\nqreg q[1];\nh q[0]; // trailing\n";
+  auto circuit = ParseQasm(source);
+  ASSERT_TRUE(circuit.ok());
+  EXPECT_EQ(circuit.value().size(), 1u);
+}
+
+class QasmRoundTripTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(QasmRoundTripTest, ExportParseIsUnitarilyIdentical) {
+  // Property: ToQasm → ParseQasm reproduces the exact unitary for random
+  // circuits over the exportable gate set.
+  Rng rng(GetParam());
+  Circuit original(3);
+  for (int g = 0; g < 25; ++g) {
+    const int q = static_cast<int>(rng.UniformInt(uint64_t{3}));
+    int q2 = static_cast<int>(rng.UniformInt(uint64_t{2}));
+    if (q2 >= q) ++q2;
+    const double angle = rng.Uniform(-3.0, 3.0);
+    switch (rng.UniformInt(uint64_t{12})) {
+      case 0: original.H(q); break;
+      case 1: original.X(q); break;
+      case 2: original.Sdg(q); break;
+      case 3: original.T(q); break;
+      case 4: original.RX(q, angle); break;
+      case 5: original.RY(q, angle); break;
+      case 6: original.P(q, angle); break;
+      case 7: original.CX(q, q2); break;
+      case 8: original.CZ(q, q2); break;
+      case 9: original.RZZ(q, q2, angle); break;
+      case 10: original.CRY(q, q2, angle); break;
+      default: original.RYY(q, q2, angle); break;
+    }
+  }
+  auto qasm = ToQasm(original);
+  ASSERT_TRUE(qasm.ok());
+  auto parsed = ParseQasm(qasm.value());
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  Matrix u_original = CircuitUnitary(original).ValueOrDie();
+  Matrix u_parsed = CircuitUnitary(parsed.value()).ValueOrDie();
+  EXPECT_TRUE(u_original.ApproxEqual(u_parsed, 1e-9));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, QasmRoundTripTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6));
+
+TEST(QasmParseTest, FuzzedGarbageNeverCrashes) {
+  // Robustness: random byte soup and truncations must yield an error (or a
+  // parse), never a crash or a check failure.
+  Rng rng(99);
+  const std::string alphabet = "qregch x[];(),.0123456789-pi/u\n\t ";
+  for (int trial = 0; trial < 300; ++trial) {
+    std::string source = "qreg q[3];\n";
+    const int len = static_cast<int>(rng.UniformInt(uint64_t{120}));
+    for (int i = 0; i < len; ++i) {
+      source.push_back(alphabet[rng.UniformInt(alphabet.size())]);
+    }
+    auto result = ParseQasm(source);  // Outcome irrelevant; no crash.
+    if (result.ok()) {
+      EXPECT_EQ(result.value().num_qubits(), 3);
+    }
+  }
+}
+
+TEST(QasmParseTest, TruncatedRealProgramsErrorCleanly) {
+  Circuit c(3);
+  c.H(0).CX(0, 1).RZZ(1, 2, 0.7).CCX(0, 1, 2);
+  std::string full = ToQasm(c).ValueOrDie();
+  for (size_t cut = 1; cut < full.size(); cut += 7) {
+    auto result = ParseQasm(full.substr(0, cut));
+    if (result.ok()) {
+      EXPECT_LE(result.value().size(), c.size());
+    }
+  }
+}
+
+TEST(QasmTest, EveryLineEndsWithSemicolon) {
+  Circuit c(2);
+  c.H(0).CX(0, 1).RZ(1, 0.3).Swap(0, 1);
+  auto qasm = ToQasm(c, true);
+  ASSERT_TRUE(qasm.ok());
+  std::istringstream lines(qasm.value());
+  std::string line;
+  while (std::getline(lines, line)) {
+    if (line.empty()) continue;
+    EXPECT_EQ(line.back(), ';') << line;
+  }
+}
+
+}  // namespace
+}  // namespace qdb

@@ -1,0 +1,91 @@
+// Tests for quantum counting (amplitude estimation on the Grover iterate).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "algo/quantum_counting.h"
+
+namespace qdb {
+namespace {
+
+TEST(QuantumCountingTest, CircuitValidation) {
+  EXPECT_FALSE(QuantumCountingCircuit(0, {0}, 4).ok());
+  EXPECT_FALSE(QuantumCountingCircuit(3, {}, 4).ok());
+  EXPECT_FALSE(QuantumCountingCircuit(3, {9}, 4).ok());
+  EXPECT_FALSE(QuantumCountingCircuit(3, {1}, 0).ok());
+  EXPECT_FALSE(QuantumCountingCircuit(3, {1}, 11).ok());
+  auto c = QuantumCountingCircuit(3, {1, 5}, 4);
+  ASSERT_TRUE(c.ok());
+  EXPECT_EQ(c.value().num_qubits(), 7);
+}
+
+TEST(QuantumCountingTest, QuarterFractionIsExact) {
+  // M/N = 1/4 ⇒ θ = π/6... not dyadic. Use M/N = 1/2: θ = π/4, eigenphase
+  // (π ± π/2)/2π ∈ {3/8, 1/8} — exactly representable with 3 ancillas.
+  const int n = 3;
+  std::vector<uint64_t> marked = {0, 1, 2, 3};  // M = 4 of N = 8.
+  Rng rng(5);
+  auto est = EstimateMarkedCount(n, marked, /*precision=*/3, 256, rng);
+  ASSERT_TRUE(est.ok());
+  EXPECT_NEAR(est.value().estimated_fraction, 0.5, 1e-9);
+  EXPECT_NEAR(est.value().estimated_count, 4.0, 1e-9);
+}
+
+TEST(QuantumCountingTest, EmptyComplementFullSet) {
+  // All states marked: fraction 1.
+  const int n = 2;
+  std::vector<uint64_t> marked = {0, 1, 2, 3};
+  Rng rng(7);
+  auto est = EstimateMarkedCount(n, marked, 4, 128, rng);
+  ASSERT_TRUE(est.ok());
+  EXPECT_NEAR(est.value().estimated_fraction, 1.0, 0.02);
+}
+
+class CountingAccuracyTest
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(CountingAccuracyTest, EstimateWithinResolution) {
+  // Property: the count estimate lands within the QAE resolution bound
+  // ~2π√(M N)/2^t + π²N/4^t for varying M and t.
+  const auto& [num_marked, precision] = GetParam();
+  const int n = 4;
+  const double n_states = 16.0;
+  std::vector<uint64_t> marked;
+  for (int i = 0; i < num_marked; ++i) marked.push_back((5 * i + 3) % 16);
+  Rng rng(100 + num_marked + precision);
+  auto est = EstimateMarkedCount(n, marked, precision, 512, rng);
+  ASSERT_TRUE(est.ok());
+  const double t_pow = static_cast<double>(uint64_t{1} << precision);
+  const double bound =
+      2.0 * M_PI * std::sqrt(num_marked * n_states) / t_pow +
+      M_PI * M_PI * n_states / (t_pow * t_pow);
+  EXPECT_NEAR(est.value().estimated_count, num_marked, bound + 1e-9)
+      << "M=" << num_marked << " t=" << precision;
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, CountingAccuracyTest,
+                         ::testing::Combine(::testing::Values(1, 3, 5, 8),
+                                            ::testing::Values(5, 6, 7)));
+
+TEST(QuantumCountingTest, OracleCallAccounting) {
+  Rng rng(9);
+  auto est = EstimateMarkedCount(3, {2}, 5, 10, rng);
+  ASSERT_TRUE(est.ok());
+  EXPECT_EQ(est.value().oracle_calls, 10 * 31);  // shots · (2^5 − 1).
+}
+
+TEST(QuantumCountingTest, ClassicalBaselineConverges) {
+  Rng rng(11);
+  std::vector<uint64_t> marked = {0, 1, 2, 3};  // 1/4 of 16.
+  const double estimate = ClassicalSampledFraction(4, marked, 20000, rng);
+  EXPECT_NEAR(estimate, 0.25, 0.02);
+}
+
+TEST(QuantumCountingTest, ShotValidation) {
+  Rng rng(1);
+  EXPECT_FALSE(EstimateMarkedCount(3, {1}, 4, 0, rng).ok());
+}
+
+}  // namespace
+}  // namespace qdb

@@ -1,0 +1,182 @@
+// Tests for the QUBO and Ising models: energies, flip deltas, conversions.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "ops/ising.h"
+#include "ops/pauli.h"
+#include "ops/qubo.h"
+
+namespace qdb {
+namespace {
+
+Qubo RandomQubo(int n, Rng& rng, double density = 0.5) {
+  Qubo q(n);
+  for (int i = 0; i < n; ++i) q.AddLinear(i, rng.Uniform(-2.0, 2.0));
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) {
+      if (rng.Bernoulli(density)) q.AddQuadratic(i, j, rng.Uniform(-2.0, 2.0));
+    }
+  }
+  q.AddOffset(rng.Uniform(-1.0, 1.0));
+  return q;
+}
+
+IsingModel RandomIsing(int n, Rng& rng, double density = 0.5) {
+  IsingModel m(n);
+  for (int i = 0; i < n; ++i) m.AddField(i, rng.Uniform(-2.0, 2.0));
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) {
+      if (rng.Bernoulli(density)) m.AddCoupling(i, j, rng.Uniform(-2.0, 2.0));
+    }
+  }
+  m.AddOffset(rng.Uniform(-1.0, 1.0));
+  return m;
+}
+
+TEST(QuboTest, EnergyHandComputed) {
+  Qubo q(3);
+  q.AddLinear(0, 1.0);
+  q.AddLinear(2, -2.0);
+  q.AddQuadratic(0, 1, 3.0);
+  q.AddQuadratic(1, 2, -1.0);
+  q.AddOffset(0.5);
+  // x = (1, 1, 0): 1 + 3 + 0.5 = 4.5.
+  EXPECT_NEAR(q.Energy({1, 1, 0}), 4.5, 1e-12);
+  // x = (1, 1, 1): 1 − 2 + 3 − 1 + 0.5 = 1.5.
+  EXPECT_NEAR(q.Energy({1, 1, 1}), 1.5, 1e-12);
+  EXPECT_NEAR(q.Energy({0, 0, 0}), 0.5, 1e-12);
+}
+
+TEST(QuboTest, DiagonalQuadraticFoldsToLinear) {
+  Qubo q(2);
+  q.AddQuadratic(1, 1, 4.0);  // x² = x.
+  EXPECT_NEAR(q.linear(1), 4.0, 1e-12);
+  EXPECT_TRUE(q.quadratic().empty());
+}
+
+TEST(QuboTest, QuadraticAccumulatesAcrossOrderings) {
+  Qubo q(2);
+  q.AddQuadratic(0, 1, 1.0);
+  q.AddQuadratic(1, 0, 2.0);
+  ASSERT_EQ(q.quadratic().size(), 1u);
+  EXPECT_NEAR(q.quadratic().at({0, 1}), 3.0, 1e-12);
+  EXPECT_EQ(q.Neighbors(0).size(), 1u);
+  EXPECT_NEAR(q.Neighbors(0)[0].second, 3.0, 1e-12);
+}
+
+class QuboPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(QuboPropertyTest, FlipDeltaMatchesEnergyDifference) {
+  Rng rng(GetParam());
+  const int n = 6;
+  Qubo q = RandomQubo(n, rng);
+  std::vector<uint8_t> bits(n);
+  for (auto& b : bits) b = rng.Bernoulli(0.5);
+  for (int i = 0; i < n; ++i) {
+    const double before = q.Energy(bits);
+    const double delta = q.FlipDelta(bits, i);
+    bits[i] ^= 1;
+    EXPECT_NEAR(q.Energy(bits) - before, delta, 1e-10);
+    bits[i] ^= 1;
+  }
+}
+
+TEST_P(QuboPropertyTest, IsingRoundTripPreservesEnergies) {
+  // QUBO → Ising → QUBO preserves the energy of every assignment.
+  Rng rng(100 + GetParam());
+  const int n = 5;
+  Qubo q = RandomQubo(n, rng);
+  Qubo round_trip = q.ToIsing().ToQubo();
+  std::vector<uint8_t> bits(n);
+  for (uint64_t mask = 0; mask < (uint64_t{1} << n); ++mask) {
+    for (int i = 0; i < n; ++i) bits[i] = (mask >> i) & 1;
+    EXPECT_NEAR(q.Energy(bits), round_trip.Energy(bits), 1e-9) << mask;
+  }
+}
+
+TEST_P(QuboPropertyTest, QuboIsingEnergiesAgreeUnderVariableMap) {
+  // E_qubo(x) == E_ising(s) with s = 2x − 1, for every assignment.
+  Rng rng(200 + GetParam());
+  const int n = 5;
+  Qubo q = RandomQubo(n, rng);
+  IsingModel ising = q.ToIsing();
+  std::vector<uint8_t> bits(n);
+  for (uint64_t mask = 0; mask < (uint64_t{1} << n); ++mask) {
+    for (int i = 0; i < n; ++i) bits[i] = (mask >> i) & 1;
+    EXPECT_NEAR(q.Energy(bits), ising.Energy(BitsToSpins(bits)), 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, QuboPropertyTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+TEST(IsingTest, EnergyHandComputed) {
+  IsingModel m(2);
+  m.AddField(0, 0.5);
+  m.AddCoupling(0, 1, -1.0);
+  m.AddOffset(2.0);
+  EXPECT_NEAR(m.Energy({1, 1}), 0.5 - 1.0 + 2.0, 1e-12);
+  EXPECT_NEAR(m.Energy({-1, 1}), -0.5 + 1.0 + 2.0, 1e-12);
+}
+
+class IsingPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(IsingPropertyTest, FlipDeltaMatchesEnergyDifference) {
+  Rng rng(300 + GetParam());
+  const int n = 6;
+  IsingModel m = RandomIsing(n, rng);
+  std::vector<int8_t> spins(n);
+  for (auto& s : spins) s = rng.Bernoulli(0.5) ? 1 : -1;
+  for (int i = 0; i < n; ++i) {
+    const double before = m.Energy(spins);
+    const double delta = m.FlipDelta(spins, i);
+    spins[i] = -spins[i];
+    EXPECT_NEAR(m.Energy(spins) - before, delta, 1e-10);
+    spins[i] = -spins[i];
+  }
+}
+
+TEST_P(IsingPropertyTest, PauliSumDiagonalMatchesEnergies) {
+  // The ToPauliSum Hamiltonian's diagonal entry at basis index i equals the
+  // Ising energy of the measurement-mapped spin configuration.
+  Rng rng(400 + GetParam());
+  const int n = 4;
+  IsingModel m = RandomIsing(n, rng);
+  PauliSum h = m.ToPauliSum();
+  ASSERT_TRUE(h.IsDiagonal());
+  auto diag = h.DiagonalValues();
+  ASSERT_TRUE(diag.ok());
+  for (uint64_t i = 0; i < (uint64_t{1} << n); ++i) {
+    EXPECT_NEAR(diag.value()[i], m.Energy(IndexToSpins(i, n)), 1e-9) << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IsingPropertyTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6));
+
+TEST(IsingTest, MaxAbsCoefficient) {
+  IsingModel m(3);
+  m.AddField(0, -0.5);
+  m.AddCoupling(1, 2, 3.5);
+  EXPECT_NEAR(m.MaxAbsCoefficient(), 3.5, 1e-12);
+}
+
+TEST(SpinBitConversionTest, AlgebraicMapsAreInverse) {
+  std::vector<uint8_t> bits = {0, 1, 1, 0};
+  EXPECT_EQ(SpinsToBits(BitsToSpins(bits)), bits);
+  std::vector<int8_t> spins = {1, -1, -1, 1};
+  EXPECT_EQ(BitsToSpins(SpinsToBits(spins)), spins);
+}
+
+TEST(SpinBitConversionTest, MeasurementMapConvention) {
+  // Index 0b10 on two qubits: qubit 0 reads 1 (spin −1), qubit 1 reads 0.
+  std::vector<int8_t> spins = IndexToSpins(0b10, 2);
+  EXPECT_EQ(spins[0], -1);
+  EXPECT_EQ(spins[1], 1);
+}
+
+}  // namespace
+}  // namespace qdb

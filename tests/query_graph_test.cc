@@ -1,0 +1,110 @@
+// Tests for join query graphs and topology generators.
+
+#include <gtest/gtest.h>
+
+#include "db/query_graph.h"
+
+namespace qdb {
+namespace {
+
+TEST(QueryGraphTest, CreateValidation) {
+  EXPECT_FALSE(JoinQueryGraph::Create({100.0}).ok());
+  EXPECT_FALSE(JoinQueryGraph::Create({100.0, -1.0}).ok());
+  EXPECT_TRUE(JoinQueryGraph::Create({100.0, 200.0}).ok());
+}
+
+TEST(QueryGraphTest, AddJoinValidation) {
+  auto g = JoinQueryGraph::Create({10, 20, 30}).value();
+  EXPECT_TRUE(g.AddJoin(0, 1, 0.1).ok());
+  EXPECT_EQ(g.AddJoin(0, 1, 0.2).code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(g.AddJoin(1, 0, 0.2).code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(g.AddJoin(1, 1, 0.2).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(g.AddJoin(0, 5, 0.2).code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(g.AddJoin(0, 2, 0.0).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(g.AddJoin(0, 2, 1.1).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(QueryGraphTest, SelectivityLookup) {
+  auto g = JoinQueryGraph::Create({10, 20, 30}).value();
+  ASSERT_TRUE(g.AddJoin(0, 2, 0.05).ok());
+  EXPECT_EQ(g.Selectivity(0, 2), 0.05);
+  EXPECT_EQ(g.Selectivity(2, 0), 0.05);
+  EXPECT_EQ(g.Selectivity(0, 1), 1.0);  // No predicate: cross product.
+  EXPECT_TRUE(g.HasEdge(2, 0));
+  EXPECT_FALSE(g.HasEdge(0, 1));
+}
+
+TEST(QueryGraphTest, Connectivity) {
+  auto g = JoinQueryGraph::Create({10, 20, 30}).value();
+  EXPECT_FALSE(g.IsConnected());
+  ASSERT_TRUE(g.AddJoin(0, 1, 0.1).ok());
+  EXPECT_FALSE(g.IsConnected());
+  ASSERT_TRUE(g.AddJoin(1, 2, 0.1).ok());
+  EXPECT_TRUE(g.IsConnected());
+}
+
+TEST(QueryGraphTest, Neighbors) {
+  auto g = JoinQueryGraph::Create({10, 20, 30, 40}).value();
+  ASSERT_TRUE(g.AddJoin(1, 0, 0.1).ok());
+  ASSERT_TRUE(g.AddJoin(1, 2, 0.1).ok());
+  auto n = g.NeighborsOf(1);
+  EXPECT_EQ(n.size(), 2u);
+  EXPECT_TRUE(g.NeighborsOf(3).empty());
+}
+
+class ShapeGeneratorTest : public ::testing::TestWithParam<QueryShape> {};
+
+TEST_P(ShapeGeneratorTest, GeneratesConnectedGraphWithExpectedEdges) {
+  Rng rng(21);
+  const int n = 7;
+  auto g = RandomQuery(GetParam(), n, rng);
+  ASSERT_TRUE(g.ok()) << g.status();
+  EXPECT_TRUE(g.value().IsConnected());
+  size_t expected_edges = 0;
+  switch (GetParam()) {
+    case QueryShape::kChain: expected_edges = n - 1; break;
+    case QueryShape::kStar: expected_edges = n - 1; break;
+    case QueryShape::kCycle: expected_edges = n; break;
+    case QueryShape::kClique: expected_edges = n * (n - 1) / 2; break;
+  }
+  EXPECT_EQ(g.value().edges().size(), expected_edges);
+  for (int r = 0; r < n; ++r) {
+    EXPECT_GE(g.value().cardinality(r), 100.0);
+    EXPECT_LE(g.value().cardinality(r), 100000.0);
+  }
+  for (const auto& e : g.value().edges()) {
+    EXPECT_GT(e.selectivity, 0.0);
+    EXPECT_LE(e.selectivity, 0.5);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, ShapeGeneratorTest,
+                         ::testing::Values(QueryShape::kChain,
+                                           QueryShape::kStar,
+                                           QueryShape::kCycle,
+                                           QueryShape::kClique));
+
+TEST(ShapeGeneratorTest, StarCenterIsRelationZero) {
+  Rng rng(23);
+  auto g = RandomQuery(QueryShape::kStar, 6, rng);
+  ASSERT_TRUE(g.ok());
+  for (const auto& e : g.value().edges()) {
+    EXPECT_EQ(e.a, 0);  // Canonical edge order puts the center first.
+  }
+}
+
+TEST(ShapeGeneratorTest, Validation) {
+  Rng rng(1);
+  EXPECT_FALSE(RandomQuery(QueryShape::kChain, 1, rng).ok());
+  EXPECT_FALSE(RandomQuery(QueryShape::kCycle, 2, rng).ok());
+  EXPECT_FALSE(RandomQuery(QueryShape::kChain, 4, rng, 0.5, 0.1).ok());
+  EXPECT_FALSE(RandomQuery(QueryShape::kChain, 4, rng, 0.0, 0.1).ok());
+}
+
+TEST(ShapeGeneratorTest, ShapeNames) {
+  EXPECT_STREQ(QueryShapeName(QueryShape::kChain), "chain");
+  EXPECT_STREQ(QueryShapeName(QueryShape::kClique), "clique");
+}
+
+}  // namespace
+}  // namespace qdb

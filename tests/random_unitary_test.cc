@@ -1,0 +1,67 @@
+// Tests for Haar-random unitaries, states, and Hermitian matrices.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "linalg/random_unitary.h"
+#include "linalg/vector_ops.h"
+
+namespace qdb {
+namespace {
+
+class RandomUnitaryTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomUnitaryTest, IsUnitary) {
+  Rng rng(40 + GetParam());
+  Matrix u = RandomUnitary(GetParam(), rng);
+  EXPECT_TRUE(u.IsUnitary(1e-9)) << "n=" << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, RandomUnitaryTest,
+                         ::testing::Values(1, 2, 3, 4, 8, 16));
+
+TEST(RandomUnitaryTest, DeterministicBySeed) {
+  Rng a(9), b(9);
+  Matrix u1 = RandomUnitary(4, a);
+  Matrix u2 = RandomUnitary(4, b);
+  EXPECT_TRUE(u1.ApproxEqual(u2, 0.0));
+}
+
+TEST(RandomUnitaryTest, HaarFirstMomentVanishes) {
+  // E[U_00] = 0 under Haar; the sample mean over many draws should be small.
+  Rng rng(77);
+  Complex mean(0, 0);
+  const int samples = 400;
+  for (int s = 0; s < samples; ++s) {
+    Matrix u = RandomUnitary(2, rng);
+    mean += u(0, 0);
+  }
+  mean /= static_cast<double>(samples);
+  EXPECT_LT(std::abs(mean), 0.08);
+}
+
+TEST(RandomStateTest, UnitNorm) {
+  Rng rng(13);
+  for (int n : {1, 2, 4, 8, 32}) {
+    CVector v = RandomState(n, rng);
+    EXPECT_NEAR(Norm(v), 1.0, 1e-12);
+  }
+}
+
+TEST(RandomStateTest, DistinctDraws) {
+  Rng rng(15);
+  CVector a = RandomState(8, rng);
+  CVector b = RandomState(8, rng);
+  EXPECT_LT(Fidelity(a, b), 0.999);
+}
+
+TEST(RandomHermitianTest, IsHermitian) {
+  Rng rng(17);
+  for (int n : {1, 2, 5, 9}) {
+    EXPECT_TRUE(RandomHermitian(n, rng).IsHermitian(1e-15));
+  }
+}
+
+}  // namespace
+}  // namespace qdb

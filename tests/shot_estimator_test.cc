@@ -1,0 +1,211 @@
+// Tests for shot-based expectation estimation.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sim/shot_estimator.h"
+#include "sim/statevector_simulator.h"
+#include "sim/unitary_simulator.h"
+
+namespace qdb {
+namespace {
+
+TEST(BasisChangeTest, XBasisIsHadamard) {
+  Circuit c(1);
+  AppendMeasurementBasisChange(c, PauliString::Parse("X").value());
+  ASSERT_EQ(c.size(), 1u);
+  EXPECT_EQ(c.gates()[0].type, GateType::kH);
+}
+
+TEST(BasisChangeTest, DiagonalizesEveryPauli) {
+  // Property: V P V† must be diagonal with ±1 entries matching Z-parity,
+  // where V is the appended basis change.
+  for (const char* label : {"X", "Y", "Z", "XY", "YZ", "XX", "ZY"}) {
+    PauliString pauli = PauliString::Parse(label).value();
+    Circuit change(pauli.num_qubits());
+    AppendMeasurementBasisChange(change, pauli);
+    Matrix v = CircuitUnitary(change).ValueOrDie();
+    Matrix transformed = v * pauli.ToMatrix() * v.Adjoint();
+    // Expected diagonal: parity of the support bits.
+    const int n = pauli.num_qubits();
+    uint64_t support = 0;
+    for (int q = 0; q < n; ++q) {
+      if (pauli.op(q) != PauliOp::kI) support |= uint64_t{1} << (n - 1 - q);
+    }
+    for (uint64_t i = 0; i < transformed.rows(); ++i) {
+      const double expected =
+          (__builtin_popcountll(i & support) & 1) ? -1.0 : 1.0;
+      EXPECT_NEAR(transformed(i, i).real(), expected, 1e-10) << label;
+      for (uint64_t j = 0; j < transformed.cols(); ++j) {
+        if (i != j) {
+          EXPECT_NEAR(std::abs(transformed(i, j)), 0.0, 1e-10) << label;
+        }
+      }
+    }
+  }
+}
+
+TEST(ShotEstimatorTest, IdentityIsExact) {
+  StateVector psi(2);
+  Rng rng(1);
+  auto est = EstimatePauliExpectation(psi, PauliString(2), 10, rng);
+  ASSERT_TRUE(est.ok());
+  EXPECT_EQ(est.value(), 1.0);
+}
+
+TEST(ShotEstimatorTest, ConvergesToExactValue) {
+  Circuit c(2);
+  c.H(0).CRY(0, 1, 1.1).RZZ(0, 1, 0.4);
+  StateVectorSimulator sim;
+  StateVector psi = sim.Run(c).ValueOrDie();
+  PauliString pauli = PauliString::Parse("XY").value();
+  const double exact = Expectation(psi, pauli);
+  Rng rng(7);
+  auto est = EstimatePauliExpectation(psi, pauli, 40000, rng);
+  ASSERT_TRUE(est.ok());
+  EXPECT_NEAR(est.value(), exact, 0.02);
+}
+
+TEST(ShotEstimatorTest, ErrorShrinksWithShots) {
+  Circuit c(1);
+  c.RY(0, 1.0);
+  StateVectorSimulator sim;
+  StateVector psi = sim.Run(c).ValueOrDie();
+  PauliString z = PauliString::Parse("Z").value();
+  const double exact = Expectation(psi, z);
+  // Average absolute error over repetitions at two shot budgets.
+  auto mean_abs_error = [&](int shots, uint64_t seed) {
+    Rng rng(seed);
+    double total = 0.0;
+    const int reps = 30;
+    for (int r = 0; r < reps; ++r) {
+      total +=
+          std::abs(EstimatePauliExpectation(psi, z, shots, rng).ValueOrDie() -
+                   exact);
+    }
+    return total / reps;
+  };
+  const double err_small = mean_abs_error(50, 3);
+  const double err_large = mean_abs_error(5000, 4);
+  EXPECT_LT(err_large, err_small);  // ~10x fewer shots → ~√100 more error.
+}
+
+TEST(ShotEstimatorTest, PauliSumEstimateAndStandardError) {
+  Circuit c(2);
+  c.H(0).CX(0, 1);
+  StateVectorSimulator sim;
+  StateVector psi = sim.Run(c).ValueOrDie();
+  PauliSum obs(2);
+  obs.Add(0.5, "ZZ").Add(-1.0, "XX").Add(2.0, "II");
+  const double exact = Expectation(psi, obs);
+  Rng rng(11);
+  auto est = EstimateExpectation(psi, obs, 20000, rng);
+  ASSERT_TRUE(est.ok());
+  EXPECT_NEAR(est.value().value, exact, 0.05);
+  // Bell state: ZZ and XX are deterministic (±1 eigenstates), so the
+  // sample variance — and the standard error — is (near) zero.
+  EXPECT_LT(est.value().standard_error, 0.01);
+  EXPECT_EQ(est.value().total_shots, 2 * 20000);
+}
+
+TEST(ShotEstimatorTest, StandardErrorCoversTrueValue) {
+  Circuit c(2);
+  c.RY(0, 0.7).RY(1, 1.9).CX(0, 1);
+  StateVectorSimulator sim;
+  StateVector psi = sim.Run(c).ValueOrDie();
+  PauliSum obs(2);
+  obs.Add(1.0, "ZI").Add(0.5, "IX");
+  const double exact = Expectation(psi, obs);
+  Rng rng(13);
+  int covered = 0;
+  const int reps = 25;
+  for (int r = 0; r < reps; ++r) {
+    auto est = EstimateExpectation(psi, obs, 500, rng);
+    ASSERT_TRUE(est.ok());
+    if (std::abs(est.value().value - exact) <=
+        3.0 * est.value().standard_error) {
+      ++covered;
+    }
+  }
+  EXPECT_GE(covered, reps - 2);  // 3σ coverage ≈ 99.7%.
+}
+
+TEST(QwcGroupingTest, CompatibleTermsShareAGroup) {
+  PauliSum obs(3);
+  obs.Add(1.0, "ZZI").Add(0.5, "ZIZ").Add(0.2, "IZZ");  // All Z-basis.
+  auto groups = GroupQubitWiseCommuting(obs);
+  ASSERT_EQ(groups.size(), 1u);
+  EXPECT_EQ(groups[0].size(), 3u);
+}
+
+TEST(QwcGroupingTest, ConflictingBasesSplit) {
+  PauliSum obs(2);
+  obs.Add(1.0, "ZZ").Add(1.0, "XX").Add(1.0, "ZI").Add(1.0, "IX");
+  auto groups = GroupQubitWiseCommuting(obs);
+  // {ZZ, ZI} share the Z⊗Z basis; {XX, IX} share X⊗X.
+  ASSERT_EQ(groups.size(), 2u);
+  EXPECT_EQ(groups[0].size() + groups[1].size(), 4u);
+}
+
+TEST(QwcGroupingTest, IdentityTermsExcluded) {
+  PauliSum obs(2);
+  obs.Add(3.0, "II").Add(1.0, "ZI");
+  auto groups = GroupQubitWiseCommuting(obs);
+  ASSERT_EQ(groups.size(), 1u);
+  EXPECT_EQ(groups[0].size(), 1u);
+}
+
+TEST(QwcGroupingTest, MixedAxesOnDifferentQubitsCommute) {
+  PauliSum obs(3);
+  obs.Add(1.0, "XIZ").Add(1.0, "IYZ").Add(1.0, "XYI");
+  // Pairwise QWC: combined basis XYZ covers all three.
+  auto groups = GroupQubitWiseCommuting(obs);
+  ASSERT_EQ(groups.size(), 1u);
+}
+
+TEST(GroupedEstimateTest, MatchesExactWithManyShots) {
+  Circuit c(3);
+  c.H(0).CRY(0, 1, 0.8).CX(1, 2).RZ(2, 0.4);
+  StateVectorSimulator sim;
+  StateVector psi = sim.Run(c).ValueOrDie();
+  PauliSum obs(3);
+  obs.Add(0.5, "ZZI").Add(-0.8, "XIX").Add(0.2, "IZZ").Add(1.5, "III");
+  const double exact = Expectation(psi, obs);
+  Rng rng(21);
+  auto grouped = EstimateExpectationGrouped(psi, obs, 30000, rng);
+  ASSERT_TRUE(grouped.ok());
+  EXPECT_NEAR(grouped.value().value, exact, 0.05);
+}
+
+TEST(GroupedEstimateTest, SpendsFewerShotsThanPerTerm) {
+  Circuit c(2);
+  c.H(0).CX(0, 1);
+  StateVectorSimulator sim;
+  StateVector psi = sim.Run(c).ValueOrDie();
+  PauliSum obs(2);
+  obs.Add(1.0, "ZZ").Add(0.5, "ZI").Add(0.25, "IZ");  // One QWC group.
+  Rng rng(23);
+  auto grouped = EstimateExpectationGrouped(psi, obs, 1000, rng);
+  auto per_term = EstimateExpectation(psi, obs, 1000, rng);
+  ASSERT_TRUE(grouped.ok());
+  ASSERT_TRUE(per_term.ok());
+  EXPECT_EQ(grouped.value().total_shots, 1000);      // 1 group.
+  EXPECT_EQ(per_term.value().total_shots, 3 * 1000);  // 3 terms.
+}
+
+TEST(ShotEstimatorTest, Validation) {
+  StateVector psi(2);
+  Rng rng(1);
+  EXPECT_FALSE(
+      EstimatePauliExpectation(psi, PauliString::Parse("Z").value(), 10, rng)
+          .ok());  // Width mismatch.
+  EXPECT_FALSE(
+      EstimatePauliExpectation(psi, PauliString(2), 0, rng).ok());  // Shots.
+  PauliSum obs(2);
+  obs.Add(1.0, "ZZ");
+  EXPECT_FALSE(EstimateExpectation(psi, obs, 1, rng).ok());
+}
+
+}  // namespace
+}  // namespace qdb

@@ -1,0 +1,221 @@
+// Tests for StateVector: construction, kernels, measurement, sampling.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sim/state_vector.h"
+#include "sim/statevector_simulator.h"
+
+namespace qdb {
+namespace {
+
+constexpr double kInvSqrt2 = 0.70710678118654752440;
+
+TEST(StateVectorTest, InitializesToAllZeros) {
+  StateVector s(3);
+  EXPECT_EQ(s.num_qubits(), 3);
+  EXPECT_EQ(s.dim(), 8u);
+  EXPECT_EQ(s.amplitude(0), Complex(1, 0));
+  for (uint64_t i = 1; i < 8; ++i) EXPECT_EQ(s.amplitude(i), Complex(0, 0));
+}
+
+TEST(StateVectorTest, BasisState) {
+  StateVector s = StateVector::BasisState(2, 3);
+  EXPECT_EQ(s.amplitude(3), Complex(1, 0));
+  EXPECT_EQ(s.amplitude(0), Complex(0, 0));
+}
+
+TEST(StateVectorTest, FromAmplitudesValidation) {
+  EXPECT_FALSE(StateVector::FromAmplitudes({}).ok());
+  EXPECT_FALSE(
+      StateVector::FromAmplitudes({{1, 0}, {0, 0}, {0, 0}}).ok());  // size 3
+  EXPECT_FALSE(StateVector::FromAmplitudes({{2, 0}, {0, 0}}).ok());  // norm 2
+  auto ok = StateVector::FromAmplitudes({{kInvSqrt2, 0}, {0, kInvSqrt2}});
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok.value().num_qubits(), 1);
+}
+
+TEST(StateVectorTest, HadamardOnQubitZero) {
+  StateVector s(2);
+  const Matrix h = GateMatrix(GateType::kH, {});
+  s.Apply1Q(0, h);
+  // Qubit 0 is the high bit: |00⟩ → (|00⟩ + |10⟩)/√2 = indices 0 and 2.
+  EXPECT_NEAR(s.amplitude(0).real(), kInvSqrt2, 1e-12);
+  EXPECT_NEAR(s.amplitude(2).real(), kInvSqrt2, 1e-12);
+  EXPECT_NEAR(std::abs(s.amplitude(1)), 0.0, 1e-12);
+}
+
+TEST(StateVectorTest, BellStateConstruction) {
+  StateVector s(2);
+  s.Apply1Q(0, GateMatrix(GateType::kH, {}));
+  s.ApplyControlled1Q(0, 1, {0, 0}, {1, 0}, {1, 0}, {0, 0});  // CX
+  EXPECT_NEAR(s.Probability(0), 0.5, 1e-12);
+  EXPECT_NEAR(s.Probability(3), 0.5, 1e-12);
+  EXPECT_NEAR(s.Probability(1), 0.0, 1e-12);
+  EXPECT_NEAR(s.Probability(2), 0.0, 1e-12);
+}
+
+TEST(StateVectorTest, DiagonalKernelsMatchDense) {
+  StateVector a(2), b(2);
+  a.Apply1Q(0, GateMatrix(GateType::kH, {}));
+  b.Apply1Q(0, GateMatrix(GateType::kH, {}));
+  const double theta = 0.9;
+  a.ApplyDiagonal1Q(1, std::exp(Complex(0, -theta / 2)),
+                    std::exp(Complex(0, theta / 2)));
+  b.Apply1Q(1, GateMatrix(GateType::kRZ, {theta}));
+  for (uint64_t i = 0; i < 4; ++i) {
+    EXPECT_NEAR(std::abs(a.amplitude(i) - b.amplitude(i)), 0.0, 1e-12);
+  }
+}
+
+TEST(StateVectorTest, SwapExchangesQubits) {
+  StateVector s = StateVector::BasisState(3, 0b100);  // qubit 0 = 1.
+  s.ApplySwap(0, 2);
+  EXPECT_EQ(s.amplitude(0b001), Complex(1, 0));  // qubit 2 = 1 now.
+}
+
+TEST(StateVectorTest, Apply2QGenericMatchesKron) {
+  // Apply a 4x4 on (0, 1) of a 2-qubit register: equals direct matvec.
+  const Matrix u = GateMatrix(GateType::kRXX, {0.8});
+  StateVector s(2);
+  s.Apply1Q(0, GateMatrix(GateType::kH, {}));
+  s.Apply1Q(1, GateMatrix(GateType::kRY, {0.4}));
+  CVector direct = u.Apply(s.amplitudes());
+  s.Apply2Q(0, 1, u);
+  for (uint64_t i = 0; i < 4; ++i) {
+    EXPECT_NEAR(std::abs(s.amplitude(i) - direct[i]), 0.0, 1e-12);
+  }
+}
+
+TEST(StateVectorTest, Apply2QReversedOperandsMatchesSwappedKron) {
+  // Gate on (1, 0): conjugate the matrix by SWAP and compare.
+  const Matrix u = GateMatrix(GateType::kCX, {});
+  const Matrix swap = GateMatrix(GateType::kSwap, {});
+  StateVector s(2);
+  s.Apply1Q(0, GateMatrix(GateType::kH, {}));
+  s.Apply1Q(1, GateMatrix(GateType::kH, {}));
+  s.Apply1Q(1, GateMatrix(GateType::kT, {}));
+  CVector direct = (swap * u * swap).Apply(s.amplitudes());
+  s.Apply2Q(1, 0, u);
+  for (uint64_t i = 0; i < 4; ++i) {
+    EXPECT_NEAR(std::abs(s.amplitude(i) - direct[i]), 0.0, 1e-12);
+  }
+}
+
+TEST(StateVectorTest, MCXFlipsOnlyWhenAllControlsSet) {
+  StateVector s = StateVector::BasisState(3, 0b110);
+  s.ApplyMCX({0, 1}, 2);
+  EXPECT_EQ(s.amplitude(0b111), Complex(1, 0));
+  StateVector t = StateVector::BasisState(3, 0b100);
+  t.ApplyMCX({0, 1}, 2);
+  EXPECT_EQ(t.amplitude(0b100), Complex(1, 0));  // Unchanged.
+}
+
+TEST(StateVectorTest, MCZPhasesAllOnesOnly) {
+  StateVector s(2);
+  s.Apply1Q(0, GateMatrix(GateType::kH, {}));
+  s.Apply1Q(1, GateMatrix(GateType::kH, {}));
+  s.ApplyMCZ({0}, 1);
+  EXPECT_NEAR(s.amplitude(3).real(), -0.5, 1e-12);
+  EXPECT_NEAR(s.amplitude(0).real(), 0.5, 1e-12);
+}
+
+TEST(StateVectorTest, ApplyKQMatchesDenseOnThreeQubits) {
+  const Matrix ccx = GateMatrix(GateType::kCCX, {});
+  StateVector s(3);
+  s.Apply1Q(0, GateMatrix(GateType::kH, {}));
+  s.Apply1Q(1, GateMatrix(GateType::kH, {}));
+  s.Apply1Q(2, GateMatrix(GateType::kRY, {0.3}));
+  CVector direct = ccx.Apply(s.amplitudes());
+  s.ApplyKQ({0, 1, 2}, ccx);
+  for (uint64_t i = 0; i < 8; ++i) {
+    EXPECT_NEAR(std::abs(s.amplitude(i) - direct[i]), 0.0, 1e-12);
+  }
+}
+
+TEST(StateVectorTest, ProbabilityOfOne) {
+  StateVector s(2);
+  s.Apply1Q(1, GateMatrix(GateType::kRY, {M_PI / 2}));
+  EXPECT_NEAR(s.ProbabilityOfOne(1), 0.5, 1e-12);
+  EXPECT_NEAR(s.ProbabilityOfOne(0), 0.0, 1e-12);
+}
+
+TEST(StateVectorTest, MeasureQubitCollapses) {
+  Rng rng(3);
+  StateVector s(2);
+  s.Apply1Q(0, GateMatrix(GateType::kH, {}));
+  const int outcome = s.MeasureQubit(0, rng);
+  EXPECT_NEAR(s.ProbabilityOfOne(0), outcome, 1e-12);
+  EXPECT_NEAR(s.NormValue(), 1.0, 1e-12);
+}
+
+TEST(StateVectorTest, MeasureAllCollapsesToBasisState) {
+  Rng rng(5);
+  StateVector s(3);
+  for (int q = 0; q < 3; ++q) s.Apply1Q(q, GateMatrix(GateType::kH, {}));
+  const uint64_t outcome = s.MeasureAll(rng);
+  EXPECT_EQ(s.amplitude(outcome), Complex(1, 0));
+  EXPECT_NEAR(s.NormValue(), 1.0, 1e-12);
+}
+
+TEST(StateVectorTest, SamplingMatchesProbabilities) {
+  Rng rng(7);
+  StateVector s(1);
+  s.Apply1Q(0, GateMatrix(GateType::kRY, {2.0 * std::acos(std::sqrt(0.7))}));
+  // P(0) = 0.7 by construction.
+  auto counts = s.SampleCounts(rng, 20000);
+  EXPECT_NEAR(counts[0] / 20000.0, 0.7, 0.02);
+}
+
+TEST(StateVectorTest, SampleCountsTotalsShots) {
+  Rng rng(9);
+  StateVector s(3);
+  for (int q = 0; q < 3; ++q) s.Apply1Q(q, GateMatrix(GateType::kH, {}));
+  auto counts = s.SampleCounts(rng, 1000);
+  int total = 0;
+  for (const auto& [_, c] : counts) total += c;
+  EXPECT_EQ(total, 1000);
+}
+
+TEST(StateVectorTest, BitStringRendering) {
+  StateVector s(4);
+  EXPECT_EQ(s.BitString(0b1010), "1010");
+  EXPECT_EQ(s.BitString(0), "0000");
+}
+
+TEST(StateVectorTest, InnerProductWith) {
+  StateVector a(1);
+  StateVector b(1);
+  b.Apply1Q(0, GateMatrix(GateType::kH, {}));
+  EXPECT_NEAR(std::abs(a.InnerProductWith(b)), kInvSqrt2, 1e-12);
+}
+
+TEST(ExpectationTest, SingleQubitZ) {
+  StateVector s(1);
+  EXPECT_NEAR(ExpectationZ(s, 0), 1.0, 1e-12);
+  s.Apply1Q(0, GateMatrix(GateType::kX, {}));
+  EXPECT_NEAR(ExpectationZ(s, 0), -1.0, 1e-12);
+}
+
+TEST(ExpectationTest, PauliStringOnBellState) {
+  StateVector s(2);
+  s.Apply1Q(0, GateMatrix(GateType::kH, {}));
+  s.ApplyControlled1Q(0, 1, {0, 0}, {1, 0}, {1, 0}, {0, 0});
+  // Bell state: ⟨XX⟩ = ⟨ZZ⟩ = 1, ⟨YY⟩ = −1, ⟨ZI⟩ = 0.
+  EXPECT_NEAR(Expectation(s, PauliString::Parse("XX").value()), 1.0, 1e-12);
+  EXPECT_NEAR(Expectation(s, PauliString::Parse("ZZ").value()), 1.0, 1e-12);
+  EXPECT_NEAR(Expectation(s, PauliString::Parse("YY").value()), -1.0, 1e-12);
+  EXPECT_NEAR(Expectation(s, PauliString::Parse("ZI").value()), 0.0, 1e-12);
+}
+
+TEST(ExpectationTest, PauliSumCombinesTerms) {
+  StateVector s(2);
+  PauliSum h(2);
+  h.Add(0.5, "ZI").Add(-2.0, "IZ").Add(3.0, "II");
+  // |00⟩: ⟨ZI⟩ = ⟨IZ⟩ = 1 → 0.5 − 2 + 3 = 1.5.
+  EXPECT_NEAR(Expectation(s, h), 1.5, 1e-12);
+}
+
+}  // namespace
+}  // namespace qdb

@@ -1,0 +1,132 @@
+// Tests for the SVD built on the Hermitian eigensolver.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "linalg/random_unitary.h"
+#include "linalg/svd.h"
+
+namespace qdb {
+namespace {
+
+Matrix RandomComplex(size_t rows, size_t cols, Rng& rng) {
+  Matrix m(rows, cols);
+  for (size_t i = 0; i < rows; ++i) {
+    for (size_t j = 0; j < cols; ++j) {
+      m(i, j) = Complex(rng.Normal(), rng.Normal());
+    }
+  }
+  return m;
+}
+
+TEST(SvdTest, DiagonalMatrix) {
+  Matrix d = Matrix::Diagonal({Complex(3, 0), Complex(1, 0)});
+  auto svd = Svd(d);
+  ASSERT_TRUE(svd.ok());
+  ASSERT_EQ(svd.value().rank(), 2u);
+  EXPECT_NEAR(svd.value().singular_values[0], 3.0, 1e-10);
+  EXPECT_NEAR(svd.value().singular_values[1], 1.0, 1e-10);
+}
+
+TEST(SvdTest, RejectsEmptyMatrix) {
+  EXPECT_FALSE(Svd(Matrix()).ok());
+}
+
+TEST(SvdTest, ZeroMatrixHasRankZero) {
+  auto svd = Svd(Matrix(3, 2));
+  ASSERT_TRUE(svd.ok());
+  EXPECT_EQ(svd.value().rank(), 0u);
+}
+
+class SvdPropertyTest
+    : public ::testing::TestWithParam<std::tuple<int, int, uint64_t>> {};
+
+TEST_P(SvdPropertyTest, ReconstructsAndIsOrthonormal) {
+  const auto& [rows, cols, seed] = GetParam();
+  Rng rng(seed);
+  Matrix a = RandomComplex(rows, cols, rng);
+  auto svd = Svd(a);
+  ASSERT_TRUE(svd.ok()) << svd.status();
+  const auto& result = svd.value();
+  // Reconstruction.
+  EXPECT_TRUE(result.Reconstruct().ApproxEqual(a, 1e-7))
+      << rows << "x" << cols;
+  // Orthonormal columns: U†U = V†V = I_r.
+  Matrix utu = result.u.Adjoint() * result.u;
+  Matrix vtv = result.v.Adjoint() * result.v;
+  EXPECT_TRUE(utu.ApproxEqual(Matrix::Identity(result.rank()), 1e-8));
+  EXPECT_TRUE(vtv.ApproxEqual(Matrix::Identity(result.rank()), 1e-8));
+  // Descending σ.
+  for (size_t i = 1; i < result.rank(); ++i) {
+    EXPECT_LE(result.singular_values[i],
+              result.singular_values[i - 1] + 1e-12);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, SvdPropertyTest,
+    ::testing::Values(std::make_tuple(2, 2, 1ull), std::make_tuple(4, 4, 2ull),
+                      std::make_tuple(6, 3, 3ull), std::make_tuple(3, 6, 4ull),
+                      std::make_tuple(8, 8, 5ull), std::make_tuple(1, 5, 6ull),
+                      std::make_tuple(5, 1, 7ull)));
+
+TEST(SvdTest, LowRankMatrixDetected) {
+  // Rank-1 outer product.
+  Rng rng(9);
+  Matrix u = RandomComplex(5, 1, rng);
+  Matrix v = RandomComplex(1, 4, rng);
+  Matrix a = u * v;
+  auto svd = Svd(a, 1e-9);
+  ASSERT_TRUE(svd.ok());
+  EXPECT_EQ(svd.value().rank(), 1u);
+}
+
+TEST(SvdTest, SingularValuesOfUnitaryAreOnes) {
+  Rng rng(11);
+  Matrix q = RandomUnitary(5, rng);
+  auto svd = Svd(q);
+  ASSERT_TRUE(svd.ok());
+  ASSERT_EQ(svd.value().rank(), 5u);
+  for (double s : svd.value().singular_values) EXPECT_NEAR(s, 1.0, 1e-8);
+}
+
+TEST(TruncatedSvdTest, KeepsLargestAndReportsDiscardedWeight) {
+  Matrix d = Matrix::Diagonal({Complex(4, 0), Complex(2, 0), Complex(1, 0)});
+  double discarded = 0.0;
+  auto svd = TruncatedSvd(d, 1, &discarded);
+  ASSERT_TRUE(svd.ok());
+  ASSERT_EQ(svd.value().rank(), 1u);
+  EXPECT_NEAR(svd.value().singular_values[0], 4.0, 1e-10);
+  EXPECT_NEAR(discarded, 4.0 + 1.0, 1e-9);  // 2² + 1².
+}
+
+TEST(TruncatedSvdTest, NoTruncationWhenRankFits) {
+  Rng rng(13);
+  Matrix a = RandomComplex(4, 4, rng);
+  double discarded = -1.0;
+  auto svd = TruncatedSvd(a, 10, &discarded);
+  ASSERT_TRUE(svd.ok());
+  EXPECT_EQ(discarded, 0.0);
+  EXPECT_TRUE(svd.value().Reconstruct().ApproxEqual(a, 1e-7));
+}
+
+TEST(TruncatedSvdTest, BestRankKApproximationError) {
+  // Eckart–Young: the rank-k SVD truncation error (Frobenius) equals the
+  // root of the discarded squared singular values.
+  Rng rng(15);
+  Matrix a = RandomComplex(6, 6, rng);
+  double discarded = 0.0;
+  auto svd = TruncatedSvd(a, 3, &discarded);
+  ASSERT_TRUE(svd.ok());
+  Matrix error = a - svd.value().Reconstruct();
+  EXPECT_NEAR(error.FrobeniusNorm(), std::sqrt(discarded), 1e-7);
+}
+
+TEST(TruncatedSvdTest, RejectsZeroRank) {
+  EXPECT_FALSE(TruncatedSvd(Matrix::Identity(2), 0).ok());
+}
+
+}  // namespace
+}  // namespace qdb

@@ -1,0 +1,167 @@
+// Tests for the SMO support-vector machine.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "classical/metrics.h"
+#include "classical/svm.h"
+#include "kernel/quantum_kernel.h"
+
+namespace qdb {
+namespace {
+
+Dataset SeparableData(int n, Rng& rng) {
+  return MakeBlobs(n, 2, /*separation=*/4.0, /*stddev=*/0.4, rng);
+}
+
+double TrainAccuracy(const Svm& svm, const Dataset& data) {
+  std::vector<int> preds;
+  for (const auto& x : data.features) {
+    auto p = svm.Predict(x);
+    EXPECT_TRUE(p.ok());
+    preds.push_back(p.value());
+  }
+  return Accuracy(data.labels, preds);
+}
+
+TEST(SvmTest, LinearSeparableReaches100Percent) {
+  Rng rng(3);
+  Dataset data = SeparableData(40, rng);
+  SvmOptions opts;
+  opts.kernel = SvmKernel::kLinear;
+  opts.c = 10.0;
+  auto svm = Svm::Train(data, opts);
+  ASSERT_TRUE(svm.ok()) << svm.status();
+  EXPECT_NEAR(TrainAccuracy(svm.value(), data), 1.0, 1e-12);
+  EXPECT_GT(svm.value().NumSupportVectors(), 0);
+}
+
+TEST(SvmTest, RbfSolvesCircles) {
+  Rng rng(5);
+  Dataset data = MakeCircles(60, 0.05, 0.5, rng);
+  SvmOptions opts;
+  opts.kernel = SvmKernel::kRbf;
+  opts.gamma = 2.0;
+  opts.c = 10.0;
+  auto svm = Svm::Train(data, opts);
+  ASSERT_TRUE(svm.ok());
+  EXPECT_GE(TrainAccuracy(svm.value(), data), 0.9);
+}
+
+TEST(SvmTest, LinearCannotSolveCircles) {
+  Rng rng(5);
+  Dataset data = MakeCircles(60, 0.05, 0.5, rng);
+  SvmOptions opts;
+  opts.kernel = SvmKernel::kLinear;
+  auto svm = Svm::Train(data, opts);
+  ASSERT_TRUE(svm.ok());
+  EXPECT_LE(TrainAccuracy(svm.value(), data), 0.8);
+}
+
+TEST(SvmTest, PrecomputedKernelMatchesRbf) {
+  Rng rng(7);
+  Dataset data = SeparableData(30, rng);
+  const double gamma = 1.5;
+  // Build the RBF Gram matrix manually.
+  const size_t n = data.size();
+  Matrix gram(n, n);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < n; ++j) {
+      double d2 = 0.0;
+      for (size_t f = 0; f < data.features[i].size(); ++f) {
+        const double d = data.features[i][f] - data.features[j][f];
+        d2 += d * d;
+      }
+      gram(i, j) = Complex(std::exp(-gamma * d2), 0.0);
+    }
+  }
+  SvmOptions pre_opts;
+  pre_opts.kernel = SvmKernel::kPrecomputed;
+  pre_opts.c = 5.0;
+  auto pre_svm = Svm::Train(data, pre_opts, &gram);
+  ASSERT_TRUE(pre_svm.ok());
+
+  SvmOptions rbf_opts;
+  rbf_opts.kernel = SvmKernel::kRbf;
+  rbf_opts.gamma = gamma;
+  rbf_opts.c = 5.0;
+  auto rbf_svm = Svm::Train(data, rbf_opts);
+  ASSERT_TRUE(rbf_svm.ok());
+
+  // Predictions on the training set via kernel rows must match the direct
+  // RBF path (same kernel, same data, same seed → same SMO trajectory).
+  for (size_t i = 0; i < n; ++i) {
+    DVector row(n);
+    for (size_t j = 0; j < n; ++j) row[j] = gram(i, j).real();
+    auto direct = rbf_svm.value().Predict(data.features[i]);
+    ASSERT_TRUE(direct.ok());
+    EXPECT_EQ(pre_svm.value().PredictFromKernelRow(row), direct.value());
+  }
+}
+
+TEST(SvmTest, QuantumKernelPipeline) {
+  // Smoke test of the E3 pipeline: angle kernel + precomputed SVM.
+  Rng rng(9);
+  Dataset data = MakeBlobs(24, 2, 3.0, 0.3, rng);
+  MinMaxScale(data, data, 0.0, M_PI);
+  FidelityQuantumKernel kernel = MakeAngleKernel();
+  auto gram = kernel.GramMatrix(data.features);
+  ASSERT_TRUE(gram.ok());
+  SvmOptions opts;
+  opts.kernel = SvmKernel::kPrecomputed;
+  opts.c = 10.0;
+  auto svm = Svm::Train(data, opts, &gram.value());
+  ASSERT_TRUE(svm.ok());
+  int correct = 0;
+  for (size_t i = 0; i < data.size(); ++i) {
+    DVector row(data.size());
+    for (size_t j = 0; j < data.size(); ++j) {
+      row[j] = gram.value()(i, j).real();
+    }
+    if (svm.value().PredictFromKernelRow(row) == data.labels[i]) ++correct;
+  }
+  EXPECT_GE(correct, static_cast<int>(data.size() * 0.9));
+}
+
+TEST(SvmTest, InputValidation) {
+  Dataset tiny;
+  tiny.features = {{0.0}};
+  tiny.labels = {1};
+  EXPECT_FALSE(Svm::Train(tiny, {}).ok());  // Too few samples.
+
+  Rng rng(1);
+  Dataset one_class = MakeBlobs(10, 2, 2.0, 0.3, rng);
+  for (auto& y : one_class.labels) y = 1;
+  EXPECT_FALSE(Svm::Train(one_class, {}).ok());  // Single class.
+
+  Dataset bad_labels = MakeBlobs(10, 2, 2.0, 0.3, rng);
+  bad_labels.labels[0] = 3;
+  EXPECT_FALSE(Svm::Train(bad_labels, {}).ok());
+
+  Dataset ok_data = MakeBlobs(10, 2, 2.0, 0.3, rng);
+  SvmOptions pre;
+  pre.kernel = SvmKernel::kPrecomputed;
+  EXPECT_FALSE(Svm::Train(ok_data, pre).ok());  // Missing Gram.
+  Matrix wrong(3, 3);
+  EXPECT_FALSE(Svm::Train(ok_data, pre, &wrong).ok());  // Wrong shape.
+
+  SvmOptions bad_c;
+  bad_c.c = 0.0;
+  EXPECT_FALSE(Svm::Train(ok_data, bad_c).ok());
+}
+
+TEST(SvmTest, PrecomputedRejectsRawPredict) {
+  Rng rng(11);
+  Dataset data = MakeBlobs(10, 2, 3.0, 0.3, rng);
+  Matrix gram(10, 10);
+  for (int i = 0; i < 10; ++i) gram(i, i) = Complex(1, 0);
+  SvmOptions opts;
+  opts.kernel = SvmKernel::kPrecomputed;
+  auto svm = Svm::Train(data, opts, &gram);
+  ASSERT_TRUE(svm.ok());
+  EXPECT_FALSE(svm.value().Predict(data.features[0]).ok());
+}
+
+}  // namespace
+}  // namespace qdb

@@ -1,0 +1,84 @@
+// Tests for the swap-test overlap estimator.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "algo/swap_test.h"
+#include "linalg/random_unitary.h"
+#include "linalg/vector_ops.h"
+
+namespace qdb {
+namespace {
+
+TEST(SwapTestTest, IdenticalStatesGiveUnitOverlap) {
+  StateVector psi(2);
+  psi.Apply1Q(0, GateMatrix(GateType::kH, {}));
+  auto overlap = SwapTestOverlap(psi, psi);
+  ASSERT_TRUE(overlap.ok());
+  EXPECT_NEAR(overlap.value(), 1.0, 1e-10);
+}
+
+TEST(SwapTestTest, OrthogonalStatesGiveZero) {
+  StateVector zero = StateVector::BasisState(1, 0);
+  StateVector one = StateVector::BasisState(1, 1);
+  auto overlap = SwapTestOverlap(zero, one);
+  ASSERT_TRUE(overlap.ok());
+  EXPECT_NEAR(overlap.value(), 0.0, 1e-10);
+}
+
+class SwapTestPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SwapTestPropertyTest, MatchesDirectFidelity) {
+  // Property: the swap-test statistic equals |⟨ψ|φ⟩|² for random states of
+  // 1–3 qubits.
+  Rng rng(GetParam());
+  const int n = 1 + static_cast<int>(rng.UniformInt(uint64_t{3}));
+  auto psi = StateVector::FromAmplitudes(RandomState(uint64_t{1} << n, rng));
+  auto phi = StateVector::FromAmplitudes(RandomState(uint64_t{1} << n, rng));
+  ASSERT_TRUE(psi.ok());
+  ASSERT_TRUE(phi.ok());
+  auto overlap = SwapTestOverlap(psi.value(), phi.value());
+  ASSERT_TRUE(overlap.ok());
+  const double direct =
+      Fidelity(psi.value().amplitudes(), phi.value().amplitudes());
+  EXPECT_NEAR(overlap.value(), direct, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SwapTestPropertyTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+TEST(SwapTestTest, SampledEstimateConverges) {
+  Rng rng(17);
+  StateVector psi(1);
+  psi.Apply1Q(0, GateMatrix(GateType::kRY, {0.9}));
+  StateVector phi(1);
+  const double direct = Fidelity(psi.amplitudes(), phi.amplitudes());
+  auto sampled = SwapTestOverlapSampled(psi, phi, 20000, rng);
+  ASSERT_TRUE(sampled.ok());
+  EXPECT_NEAR(sampled.value(), direct, 0.03);
+}
+
+TEST(SwapTestTest, WidthMismatchRejected) {
+  StateVector a(1), b(2);
+  EXPECT_FALSE(SwapTestOverlap(a, b).ok());
+}
+
+TEST(SwapTestTest, ShotValidation) {
+  StateVector a(1), b(1);
+  Rng rng(1);
+  EXPECT_FALSE(SwapTestOverlapSampled(a, b, 0, rng).ok());
+}
+
+TEST(SwapTestTest, CircuitShape) {
+  Circuit c = SwapTestCircuit(3);
+  EXPECT_EQ(c.num_qubits(), 7);
+  EXPECT_EQ(c.gates().front().type, GateType::kH);
+  EXPECT_EQ(c.gates().back().type, GateType::kH);
+  int cswaps = 0;
+  for (const auto& g : c.gates()) cswaps += g.type == GateType::kCSwap;
+  EXPECT_EQ(cswaps, 3);
+}
+
+}  // namespace
+}  // namespace qdb

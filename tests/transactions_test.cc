@@ -1,0 +1,126 @@
+// Tests for the transaction-scheduling QUBO.
+
+#include <gtest/gtest.h>
+
+#include "anneal/exhaustive.h"
+#include "anneal/simulated_annealing.h"
+#include "db/transactions.h"
+
+namespace qdb {
+namespace {
+
+TxnScheduleInstance TriangleInstance() {
+  // Three mutually conflicting transactions, three slots: a proper
+  // "coloring" uses all three slots.
+  TxnScheduleInstance inst;
+  inst.num_transactions = 3;
+  inst.num_slots = 3;
+  inst.conflicts = {{0, 1}, {1, 2}, {0, 2}};
+  return inst;
+}
+
+TEST(TxnInstanceTest, ConflictQueries) {
+  TxnScheduleInstance inst = TriangleInstance();
+  EXPECT_TRUE(inst.Conflicts(0, 1));
+  EXPECT_TRUE(inst.Conflicts(1, 0));
+  TxnScheduleInstance sparse;
+  sparse.num_transactions = 3;
+  sparse.num_slots = 2;
+  sparse.conflicts = {{0, 2}};
+  EXPECT_FALSE(sparse.Conflicts(0, 1));
+}
+
+TEST(TxnInstanceTest, ViolationsAndMakespan) {
+  TxnScheduleInstance inst = TriangleInstance();
+  EXPECT_EQ(inst.ConflictViolations({0, 1, 2}), 0);
+  EXPECT_EQ(inst.ConflictViolations({0, 0, 2}), 1);
+  EXPECT_EQ(inst.ConflictViolations({0, 0, 0}), 3);
+  EXPECT_EQ(inst.Makespan({0, 1, 2}), 3);
+  EXPECT_EQ(inst.Makespan({0, 0, 0}), 1);
+}
+
+TEST(TxnInstanceTest, RandomGeneratorDensity) {
+  Rng rng(3);
+  TxnScheduleInstance inst = RandomTxnInstance(20, 4, 0.3, rng);
+  const double expected = 0.3 * 20 * 19 / 2;
+  EXPECT_NEAR(static_cast<double>(inst.conflicts.size()), expected, 30.0);
+}
+
+TEST(TxnQuboTest, GroundStateIsConflictFree) {
+  TxnScheduleInstance inst = TriangleInstance();
+  auto qubo = TxnScheduleQubo::Create(inst);
+  ASSERT_TRUE(qubo.ok());
+  auto ground = ExhaustiveSolveQubo(qubo.value().qubo());
+  ASSERT_TRUE(ground.ok());
+  std::vector<int> slots =
+      qubo.value().Decode(SpinsToBits(ground.value().best_spins));
+  EXPECT_EQ(inst.ConflictViolations(slots), 0);
+  EXPECT_EQ(inst.Makespan(slots), 3);  // Triangle forces all three slots.
+}
+
+TEST(TxnQuboTest, GroundStatePrefersEarlySlots) {
+  // Two independent transactions, three slots: both should land in slot 0.
+  TxnScheduleInstance inst;
+  inst.num_transactions = 2;
+  inst.num_slots = 3;
+  auto qubo = TxnScheduleQubo::Create(inst);
+  ASSERT_TRUE(qubo.ok());
+  auto ground = ExhaustiveSolveQubo(qubo.value().qubo());
+  ASSERT_TRUE(ground.ok());
+  std::vector<int> slots =
+      qubo.value().Decode(SpinsToBits(ground.value().best_spins));
+  EXPECT_EQ(slots, (std::vector<int>{0, 0}));
+}
+
+TEST(TxnQuboTest, DecodeRepairsToLeastConflictingSlot) {
+  TxnScheduleInstance inst = TriangleInstance();
+  auto qubo = TxnScheduleQubo::Create(inst).value();
+  std::vector<uint8_t> zeros(9, 0);
+  std::vector<int> slots = qubo.Decode(zeros);
+  EXPECT_EQ(inst.ConflictViolations(slots), 0);  // Repair can color a triangle.
+}
+
+TEST(TxnQuboTest, AnnealedScheduleMatchesGreedyOrBetter) {
+  Rng rng(9);
+  TxnScheduleInstance inst = RandomTxnInstance(8, 4, 0.35, rng);
+  auto qubo = TxnScheduleQubo::Create(inst);
+  ASSERT_TRUE(qubo.ok());
+  SaOptions opts;
+  opts.num_sweeps = 800;
+  opts.num_restarts = 4;
+  auto annealed = SimulatedAnnealing(qubo.value().qubo().ToIsing(), opts);
+  ASSERT_TRUE(annealed.ok());
+  std::vector<int> slots =
+      qubo.value().Decode(SpinsToBits(annealed.value().best_spins));
+  std::vector<int> greedy = GreedyFirstFitSchedule(inst);
+  EXPECT_LE(inst.ConflictViolations(slots),
+            inst.ConflictViolations(greedy));
+}
+
+TEST(TxnGreedyTest, FirstFitIsConflictFreeWhenSlotsSuffice) {
+  Rng rng(11);
+  TxnScheduleInstance inst = RandomTxnInstance(10, 10, 0.3, rng);
+  std::vector<int> slots = GreedyFirstFitSchedule(inst);
+  EXPECT_EQ(inst.ConflictViolations(slots), 0);
+}
+
+TEST(TxnGreedyTest, OverflowsGracefullyWhenSlotsScarce) {
+  TxnScheduleInstance inst = TriangleInstance();
+  inst.num_slots = 2;  // Triangle is not 2-colorable.
+  std::vector<int> slots = GreedyFirstFitSchedule(inst);
+  EXPECT_EQ(slots.size(), 3u);
+  EXPECT_GE(inst.ConflictViolations(slots), 1);
+}
+
+TEST(TxnQuboTest, Validation) {
+  TxnScheduleInstance bad;
+  EXPECT_FALSE(TxnScheduleQubo::Create(bad).ok());
+  TxnScheduleInstance bad_conflict;
+  bad_conflict.num_transactions = 2;
+  bad_conflict.num_slots = 2;
+  bad_conflict.conflicts = {{0, 5}};
+  EXPECT_FALSE(TxnScheduleQubo::Create(bad_conflict).ok());
+}
+
+}  // namespace
+}  // namespace qdb

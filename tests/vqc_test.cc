@@ -1,0 +1,139 @@
+// Tests for the variational quantum classifier.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "classical/metrics.h"
+#include "variational/vqc.h"
+
+namespace qdb {
+namespace {
+
+double TrainAccuracy(const VqcClassifier& model, const Dataset& data) {
+  std::vector<int> preds;
+  for (const auto& x : data.features) {
+    auto p = model.Predict(x);
+    EXPECT_TRUE(p.ok());
+    preds.push_back(p.value());
+  }
+  return Accuracy(data.labels, preds);
+}
+
+TEST(VqcTest, LearnsSeparableBlobs) {
+  Rng rng(3);
+  Dataset data = MakeBlobs(24, 2, 3.0, 0.4, rng);
+  MinMaxScale(data, data, 0.0, M_PI);
+  VqcOptions opts;
+  opts.ansatz_layers = 1;
+  opts.adam.max_iterations = 60;
+  opts.adam.learning_rate = 0.2;
+  auto model = VqcClassifier::Train(data, opts);
+  ASSERT_TRUE(model.ok()) << model.status();
+  EXPECT_GE(TrainAccuracy(model.value(), data), 0.9);
+  EXPECT_GT(model.value().circuit_evaluations(), 0);
+}
+
+TEST(VqcTest, LossHistoryDecreases) {
+  Rng rng(5);
+  Dataset data = MakeBlobs(16, 2, 3.0, 0.4, rng);
+  MinMaxScale(data, data, 0.0, M_PI);
+  VqcOptions opts;
+  opts.ansatz_layers = 1;
+  opts.adam.max_iterations = 40;
+  opts.adam.learning_rate = 0.2;
+  auto model = VqcClassifier::Train(data, opts);
+  ASSERT_TRUE(model.ok());
+  const auto& hist = model.value().loss_history();
+  ASSERT_GE(hist.size(), 2u);
+  EXPECT_LT(hist.back(), hist.front());
+}
+
+TEST(VqcTest, ReuploadingSolvesXor) {
+  // Data re-uploading gives the circuit enough nonlinearity for XOR.
+  Rng rng(7);
+  Dataset data = MakeXor(24, 0.1, rng);
+  MinMaxScale(data, data, 0.0, M_PI);
+  VqcOptions opts;
+  opts.encoding = VqcEncoding::kReuploading;
+  opts.ansatz_layers = 3;
+  opts.adam.max_iterations = 120;
+  opts.adam.learning_rate = 0.15;
+  opts.seed = 5;
+  auto model = VqcClassifier::Train(data, opts);
+  ASSERT_TRUE(model.ok());
+  EXPECT_GE(TrainAccuracy(model.value(), data), 0.85);
+}
+
+TEST(VqcTest, ScoreIsBoundedExpectation) {
+  Rng rng(9);
+  Dataset data = MakeBlobs(12, 2, 2.0, 0.5, rng);
+  MinMaxScale(data, data, 0.0, M_PI);
+  VqcOptions opts;
+  opts.adam.max_iterations = 10;
+  auto model = VqcClassifier::Train(data, opts);
+  ASSERT_TRUE(model.ok());
+  for (const auto& x : data.features) {
+    auto score = model.value().Score(x);
+    ASSERT_TRUE(score.ok());
+    EXPECT_GE(score.value(), -1.0 - 1e-9);
+    EXPECT_LE(score.value(), 1.0 + 1e-9);
+  }
+}
+
+TEST(VqcTest, ZZFeatureMapEncodingTrains) {
+  Rng rng(11);
+  Dataset data = MakeBlobs(12, 2, 3.0, 0.4, rng);
+  MinMaxScale(data, data, 0.0, 1.0);
+  VqcOptions opts;
+  opts.encoding = VqcEncoding::kZZFeatureMap;
+  opts.ansatz_layers = 1;
+  opts.adam.max_iterations = 40;
+  auto model = VqcClassifier::Train(data, opts);
+  ASSERT_TRUE(model.ok());
+  EXPECT_GE(TrainAccuracy(model.value(), data), 0.7);
+}
+
+TEST(VqcTest, BuildCircuitWidthMatchesFeatures) {
+  Rng rng(13);
+  Dataset data = MakeBlobs(8, 3, 3.0, 0.4, rng);
+  MinMaxScale(data, data, 0.0, M_PI);
+  VqcOptions opts;
+  opts.adam.max_iterations = 2;
+  auto model = VqcClassifier::Train(data, opts);
+  ASSERT_TRUE(model.ok());
+  Circuit c = model.value().BuildCircuit(data.features[0]);
+  EXPECT_EQ(c.num_qubits(), 3);
+  EXPECT_GT(c.num_parameters(), 0);
+}
+
+TEST(VqcTest, InputValidation) {
+  Dataset tiny;
+  tiny.features = {{0.1, 0.2}};
+  tiny.labels = {1};
+  EXPECT_FALSE(VqcClassifier::Train(tiny, {}).ok());
+
+  Rng rng(15);
+  Dataset bad_labels = MakeBlobs(8, 2, 2.0, 0.4, rng);
+  bad_labels.labels[0] = 0;
+  EXPECT_FALSE(VqcClassifier::Train(bad_labels, {}).ok());
+
+  Dataset ok = MakeBlobs(8, 2, 2.0, 0.4, rng);
+  VqcOptions bad_layers;
+  bad_layers.ansatz_layers = 0;
+  EXPECT_FALSE(VqcClassifier::Train(ok, bad_layers).ok());
+}
+
+TEST(VqcTest, PredictRejectsWrongDimension) {
+  Rng rng(17);
+  Dataset data = MakeBlobs(8, 2, 3.0, 0.4, rng);
+  VqcOptions opts;
+  opts.adam.max_iterations = 2;
+  auto model = VqcClassifier::Train(data, opts);
+  ASSERT_TRUE(model.ok());
+  EXPECT_FALSE(model.value().Predict({0.1}).ok());
+  EXPECT_FALSE(model.value().Score({0.1, 0.2, 0.3}).ok());
+}
+
+}  // namespace
+}  // namespace qdb

@@ -1,0 +1,157 @@
+// Tests for the ansatz library and VQE.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "linalg/eigen.h"
+#include "variational/ansatz.h"
+#include "variational/vqe.h"
+
+namespace qdb {
+namespace {
+
+TEST(AnsatzTest, RealAmplitudesParameterCount) {
+  for (int n : {1, 2, 4}) {
+    for (int layers : {0, 1, 3}) {
+      Circuit c = RealAmplitudesAnsatz(n, layers);
+      EXPECT_EQ(c.num_parameters(), RealAmplitudesParamCount(n, layers));
+    }
+  }
+}
+
+TEST(AnsatzTest, EfficientSU2ParameterCount) {
+  Circuit c = EfficientSU2Ansatz(3, 2);
+  EXPECT_EQ(c.num_parameters(), EfficientSU2ParamCount(3, 2));
+  EXPECT_EQ(c.num_parameters(), 18);
+}
+
+TEST(AnsatzTest, FirstParamOffset) {
+  Circuit c = RealAmplitudesAnsatz(2, 1, Entanglement::kLinear, 10);
+  EXPECT_EQ(c.num_parameters(), 10 + RealAmplitudesParamCount(2, 1));
+}
+
+TEST(AnsatzTest, EntanglementPatterns) {
+  auto count_cx = [](const Circuit& c) {
+    int n = 0;
+    for (const auto& g : c.gates()) n += g.type == GateType::kCX;
+    return n;
+  };
+  EXPECT_EQ(count_cx(RealAmplitudesAnsatz(4, 1, Entanglement::kLinear)), 3);
+  EXPECT_EQ(count_cx(RealAmplitudesAnsatz(4, 1, Entanglement::kCircular)), 4);
+  EXPECT_EQ(count_cx(RealAmplitudesAnsatz(4, 1, Entanglement::kFull)), 6);
+}
+
+TEST(AnsatzTest, RandomHardwareEfficientIsSeeded) {
+  Circuit a = RandomHardwareEfficientAnsatz(3, 2, 42);
+  Circuit b = RandomHardwareEfficientAnsatz(3, 2, 42);
+  Circuit c = RandomHardwareEfficientAnsatz(3, 2, 43);
+  EXPECT_EQ(a.ToString(), b.ToString());
+  EXPECT_NE(a.ToString(), c.ToString());
+  EXPECT_EQ(a.num_parameters(), 6);
+}
+
+TEST(ExactGroundStateTest, DiagonalFastPath) {
+  PauliSum h(2);
+  h.Add(1.0, "ZZ").Add(0.5, "ZI");
+  // Energies over basis states: |00⟩: 1.5, |01⟩: −0.5, |10⟩: −1.5, |11⟩: 0.5.
+  auto e = ExactGroundStateEnergy(h);
+  ASSERT_TRUE(e.ok());
+  EXPECT_NEAR(e.value(), -1.5, 1e-10);
+}
+
+TEST(ExactGroundStateTest, NonDiagonalViaEigensolver) {
+  // H = X: ground energy −1.
+  PauliSum h(1);
+  h.Add(1.0, "X");
+  auto e = ExactGroundStateEnergy(h);
+  ASSERT_TRUE(e.ok());
+  EXPECT_NEAR(e.value(), -1.0, 1e-8);
+}
+
+TEST(VqeTest, FindsGroundStateOfSingleQubitField) {
+  // H = Z: ground state |1⟩ with energy −1; RY ansatz can reach it.
+  PauliSum h(1);
+  h.Add(1.0, "Z");
+  Circuit ansatz = RealAmplitudesAnsatz(1, 1);
+  VqeOptions opts;
+  opts.adam.max_iterations = 150;
+  opts.adam.learning_rate = 0.1;
+  auto result = RunVqe(ansatz, h, opts);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_NEAR(result.value().energy, -1.0, 1e-3);
+  EXPECT_GT(result.value().circuit_evaluations, 0);
+}
+
+TEST(VqeTest, TransverseFieldIsingTwoQubits) {
+  // H = −ZZ − 0.5(XI + IX): ground energy −sqrt(1 + 0.25)·... compute via
+  // exact diagonalization and require VQE to match within 1e-2.
+  PauliSum h(2);
+  h.Add(-1.0, "ZZ").Add(-0.5, "XI").Add(-0.5, "IX");
+  auto exact = ExactGroundStateEnergy(h);
+  ASSERT_TRUE(exact.ok());
+
+  Circuit ansatz = EfficientSU2Ansatz(2, 2);
+  VqeOptions opts;
+  opts.adam.max_iterations = 250;
+  opts.adam.learning_rate = 0.1;
+  opts.seed = 3;
+  auto result = RunVqe(ansatz, h, opts);
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(result.value().energy, exact.value(), 1e-2);
+  EXPECT_GE(result.value().energy, exact.value() - 1e-9);  // Variational bound.
+}
+
+TEST(VqeTest, EnergyHistoryDecreasesOverall) {
+  PauliSum h(2);
+  h.Add(-1.0, "ZZ");
+  Circuit ansatz = RealAmplitudesAnsatz(2, 1);
+  VqeOptions opts;
+  opts.adam.max_iterations = 60;
+  auto result = RunVqe(ansatz, h, opts);
+  ASSERT_TRUE(result.ok());
+  const auto& hist = result.value().history;
+  ASSERT_GE(hist.size(), 2u);
+  EXPECT_LT(hist.back(), hist.front() + 1e-9);
+}
+
+TEST(VqeTest, GradientBackendsConvergeToSameEnergy) {
+  PauliSum h(2);
+  h.Add(-1.0, "ZZ").Add(-0.4, "XI").Add(-0.4, "IX");
+  Circuit ansatz = EfficientSU2Ansatz(2, 1);
+  VqeOptions adjoint_opts;
+  adjoint_opts.adam.max_iterations = 120;
+  adjoint_opts.gradient = GradientMethod::kAdjoint;
+  VqeOptions shift_opts = adjoint_opts;
+  shift_opts.gradient = GradientMethod::kParameterShift;
+  auto via_adjoint = RunVqe(ansatz, h, adjoint_opts);
+  auto via_shift = RunVqe(ansatz, h, shift_opts);
+  ASSERT_TRUE(via_adjoint.ok());
+  ASSERT_TRUE(via_shift.ok());
+  // Same seed + exact gradients from both backends ⇒ identical trajectory.
+  EXPECT_NEAR(via_adjoint.value().energy, via_shift.value().energy, 1e-9);
+}
+
+TEST(VqeTest, RejectsMismatchedWidths) {
+  PauliSum h(2);
+  h.Add(1.0, "ZZ");
+  Circuit ansatz = RealAmplitudesAnsatz(3, 1);
+  EXPECT_FALSE(RunVqe(ansatz, h).ok());
+}
+
+TEST(VqeTest, RejectsParameterFreeAnsatz) {
+  PauliSum h(1);
+  h.Add(1.0, "Z");
+  Circuit fixed(1);
+  fixed.H(0);
+  EXPECT_FALSE(RunVqe(fixed, h).ok());
+}
+
+TEST(VqeTest, ExactGroundStateRejectsWideSystems) {
+  PauliSum h(11);
+  h.Add(1.0, PauliString(11));
+  EXPECT_FALSE(ExactGroundStateEnergy(h).ok());
+}
+
+}  // namespace
+}  // namespace qdb
