@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_annealers.dir/bench_annealers.cc.o"
+  "CMakeFiles/bench_annealers.dir/bench_annealers.cc.o.d"
+  "bench_annealers"
+  "bench_annealers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_annealers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

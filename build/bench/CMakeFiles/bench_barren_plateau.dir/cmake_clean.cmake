@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_barren_plateau.dir/bench_barren_plateau.cc.o"
+  "CMakeFiles/bench_barren_plateau.dir/bench_barren_plateau.cc.o.d"
+  "bench_barren_plateau"
+  "bench_barren_plateau.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_barren_plateau.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_encodings.dir/bench_encodings.cc.o"
+  "CMakeFiles/bench_encodings.dir/bench_encodings.cc.o.d"
+  "bench_encodings"
+  "bench_encodings.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_encodings.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

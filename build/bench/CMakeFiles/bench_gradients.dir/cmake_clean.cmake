@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_gradients.dir/bench_gradients.cc.o"
+  "CMakeFiles/bench_gradients.dir/bench_gradients.cc.o.d"
+  "bench_gradients"
+  "bench_gradients.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_gradients.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_grover.dir/bench_grover.cc.o"
+  "CMakeFiles/bench_grover.dir/bench_grover.cc.o.d"
+  "bench_grover"
+  "bench_grover.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_grover.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_hhl.dir/bench_hhl.cc.o"
+  "CMakeFiles/bench_hhl.dir/bench_hhl.cc.o.d"
+  "bench_hhl"
+  "bench_hhl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_hhl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_qaoa_maxcut.dir/bench_qaoa_maxcut.cc.o"
+  "CMakeFiles/bench_qaoa_maxcut.dir/bench_qaoa_maxcut.cc.o.d"
+  "bench_qaoa_maxcut"
+  "bench_qaoa_maxcut.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_qaoa_maxcut.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_qkernel.dir/bench_qkernel.cc.o"
+  "CMakeFiles/bench_qkernel.dir/bench_qkernel.cc.o.d"
+  "bench_qkernel"
+  "bench_qkernel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_qkernel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

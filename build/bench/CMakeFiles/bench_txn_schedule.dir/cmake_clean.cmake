@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_txn_schedule.dir/bench_txn_schedule.cc.o"
+  "CMakeFiles/bench_txn_schedule.dir/bench_txn_schedule.cc.o.d"
+  "bench_txn_schedule"
+  "bench_txn_schedule.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_txn_schedule.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

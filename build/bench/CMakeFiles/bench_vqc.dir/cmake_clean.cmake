@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_vqc.dir/bench_vqc.cc.o"
+  "CMakeFiles/bench_vqc.dir/bench_vqc.cc.o.d"
+  "bench_vqc"
+  "bench_vqc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_vqc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/join_order_quantum.dir/join_order_quantum.cpp.o"
+  "CMakeFiles/join_order_quantum.dir/join_order_quantum.cpp.o.d"
+  "join_order_quantum"
+  "join_order_quantum.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/join_order_quantum.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

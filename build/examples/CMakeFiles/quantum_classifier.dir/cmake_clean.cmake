@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/quantum_classifier.dir/quantum_classifier.cpp.o"
+  "CMakeFiles/quantum_classifier.dir/quantum_classifier.cpp.o.d"
+  "quantum_classifier"
+  "quantum_classifier.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/quantum_classifier.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/selectivity_estimation.dir/selectivity_estimation.cpp.o"
+  "CMakeFiles/selectivity_estimation.dir/selectivity_estimation.cpp.o.d"
+  "selectivity_estimation"
+  "selectivity_estimation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/selectivity_estimation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

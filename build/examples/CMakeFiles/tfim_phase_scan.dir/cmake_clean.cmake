@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tfim_phase_scan.dir/tfim_phase_scan.cpp.o"
+  "CMakeFiles/tfim_phase_scan.dir/tfim_phase_scan.cpp.o.d"
+  "tfim_phase_scan"
+  "tfim_phase_scan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tfim_phase_scan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/transaction_scheduler.dir/transaction_scheduler.cpp.o"
+  "CMakeFiles/transaction_scheduler.dir/transaction_scheduler.cpp.o.d"
+  "transaction_scheduler"
+  "transaction_scheduler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/transaction_scheduler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

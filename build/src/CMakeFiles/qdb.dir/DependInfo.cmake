@@ -1,0 +1,85 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/algo/grover.cc" "src/CMakeFiles/qdb.dir/algo/grover.cc.o" "gcc" "src/CMakeFiles/qdb.dir/algo/grover.cc.o.d"
+  "/root/repo/src/algo/hhl.cc" "src/CMakeFiles/qdb.dir/algo/hhl.cc.o" "gcc" "src/CMakeFiles/qdb.dir/algo/hhl.cc.o.d"
+  "/root/repo/src/algo/phase_estimation.cc" "src/CMakeFiles/qdb.dir/algo/phase_estimation.cc.o" "gcc" "src/CMakeFiles/qdb.dir/algo/phase_estimation.cc.o.d"
+  "/root/repo/src/algo/quantum_counting.cc" "src/CMakeFiles/qdb.dir/algo/quantum_counting.cc.o" "gcc" "src/CMakeFiles/qdb.dir/algo/quantum_counting.cc.o.d"
+  "/root/repo/src/algo/swap_test.cc" "src/CMakeFiles/qdb.dir/algo/swap_test.cc.o" "gcc" "src/CMakeFiles/qdb.dir/algo/swap_test.cc.o.d"
+  "/root/repo/src/anneal/exhaustive.cc" "src/CMakeFiles/qdb.dir/anneal/exhaustive.cc.o" "gcc" "src/CMakeFiles/qdb.dir/anneal/exhaustive.cc.o.d"
+  "/root/repo/src/anneal/parallel_tempering.cc" "src/CMakeFiles/qdb.dir/anneal/parallel_tempering.cc.o" "gcc" "src/CMakeFiles/qdb.dir/anneal/parallel_tempering.cc.o.d"
+  "/root/repo/src/anneal/quantum_annealing.cc" "src/CMakeFiles/qdb.dir/anneal/quantum_annealing.cc.o" "gcc" "src/CMakeFiles/qdb.dir/anneal/quantum_annealing.cc.o.d"
+  "/root/repo/src/anneal/simulated_annealing.cc" "src/CMakeFiles/qdb.dir/anneal/simulated_annealing.cc.o" "gcc" "src/CMakeFiles/qdb.dir/anneal/simulated_annealing.cc.o.d"
+  "/root/repo/src/anneal/tabu.cc" "src/CMakeFiles/qdb.dir/anneal/tabu.cc.o" "gcc" "src/CMakeFiles/qdb.dir/anneal/tabu.cc.o.d"
+  "/root/repo/src/autodiff/adjoint.cc" "src/CMakeFiles/qdb.dir/autodiff/adjoint.cc.o" "gcc" "src/CMakeFiles/qdb.dir/autodiff/adjoint.cc.o.d"
+  "/root/repo/src/autodiff/expectation.cc" "src/CMakeFiles/qdb.dir/autodiff/expectation.cc.o" "gcc" "src/CMakeFiles/qdb.dir/autodiff/expectation.cc.o.d"
+  "/root/repo/src/autodiff/parameter_shift.cc" "src/CMakeFiles/qdb.dir/autodiff/parameter_shift.cc.o" "gcc" "src/CMakeFiles/qdb.dir/autodiff/parameter_shift.cc.o.d"
+  "/root/repo/src/circuit/circuit.cc" "src/CMakeFiles/qdb.dir/circuit/circuit.cc.o" "gcc" "src/CMakeFiles/qdb.dir/circuit/circuit.cc.o.d"
+  "/root/repo/src/circuit/gate.cc" "src/CMakeFiles/qdb.dir/circuit/gate.cc.o" "gcc" "src/CMakeFiles/qdb.dir/circuit/gate.cc.o.d"
+  "/root/repo/src/circuit/passes.cc" "src/CMakeFiles/qdb.dir/circuit/passes.cc.o" "gcc" "src/CMakeFiles/qdb.dir/circuit/passes.cc.o.d"
+  "/root/repo/src/circuit/qasm.cc" "src/CMakeFiles/qdb.dir/circuit/qasm.cc.o" "gcc" "src/CMakeFiles/qdb.dir/circuit/qasm.cc.o.d"
+  "/root/repo/src/classical/dataset.cc" "src/CMakeFiles/qdb.dir/classical/dataset.cc.o" "gcc" "src/CMakeFiles/qdb.dir/classical/dataset.cc.o.d"
+  "/root/repo/src/classical/knn.cc" "src/CMakeFiles/qdb.dir/classical/knn.cc.o" "gcc" "src/CMakeFiles/qdb.dir/classical/knn.cc.o.d"
+  "/root/repo/src/classical/logistic.cc" "src/CMakeFiles/qdb.dir/classical/logistic.cc.o" "gcc" "src/CMakeFiles/qdb.dir/classical/logistic.cc.o.d"
+  "/root/repo/src/classical/metrics.cc" "src/CMakeFiles/qdb.dir/classical/metrics.cc.o" "gcc" "src/CMakeFiles/qdb.dir/classical/metrics.cc.o.d"
+  "/root/repo/src/classical/svm.cc" "src/CMakeFiles/qdb.dir/classical/svm.cc.o" "gcc" "src/CMakeFiles/qdb.dir/classical/svm.cc.o.d"
+  "/root/repo/src/common/rng.cc" "src/CMakeFiles/qdb.dir/common/rng.cc.o" "gcc" "src/CMakeFiles/qdb.dir/common/rng.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/CMakeFiles/qdb.dir/common/status.cc.o" "gcc" "src/CMakeFiles/qdb.dir/common/status.cc.o.d"
+  "/root/repo/src/common/strings.cc" "src/CMakeFiles/qdb.dir/common/strings.cc.o" "gcc" "src/CMakeFiles/qdb.dir/common/strings.cc.o.d"
+  "/root/repo/src/db/cardinality.cc" "src/CMakeFiles/qdb.dir/db/cardinality.cc.o" "gcc" "src/CMakeFiles/qdb.dir/db/cardinality.cc.o.d"
+  "/root/repo/src/db/catalog.cc" "src/CMakeFiles/qdb.dir/db/catalog.cc.o" "gcc" "src/CMakeFiles/qdb.dir/db/catalog.cc.o.d"
+  "/root/repo/src/db/cost_model.cc" "src/CMakeFiles/qdb.dir/db/cost_model.cc.o" "gcc" "src/CMakeFiles/qdb.dir/db/cost_model.cc.o.d"
+  "/root/repo/src/db/index_selection.cc" "src/CMakeFiles/qdb.dir/db/index_selection.cc.o" "gcc" "src/CMakeFiles/qdb.dir/db/index_selection.cc.o.d"
+  "/root/repo/src/db/join_order_dp.cc" "src/CMakeFiles/qdb.dir/db/join_order_dp.cc.o" "gcc" "src/CMakeFiles/qdb.dir/db/join_order_dp.cc.o.d"
+  "/root/repo/src/db/join_order_greedy.cc" "src/CMakeFiles/qdb.dir/db/join_order_greedy.cc.o" "gcc" "src/CMakeFiles/qdb.dir/db/join_order_greedy.cc.o.d"
+  "/root/repo/src/db/join_order_qubo.cc" "src/CMakeFiles/qdb.dir/db/join_order_qubo.cc.o" "gcc" "src/CMakeFiles/qdb.dir/db/join_order_qubo.cc.o.d"
+  "/root/repo/src/db/mqo.cc" "src/CMakeFiles/qdb.dir/db/mqo.cc.o" "gcc" "src/CMakeFiles/qdb.dir/db/mqo.cc.o.d"
+  "/root/repo/src/db/query_graph.cc" "src/CMakeFiles/qdb.dir/db/query_graph.cc.o" "gcc" "src/CMakeFiles/qdb.dir/db/query_graph.cc.o.d"
+  "/root/repo/src/db/transactions.cc" "src/CMakeFiles/qdb.dir/db/transactions.cc.o" "gcc" "src/CMakeFiles/qdb.dir/db/transactions.cc.o.d"
+  "/root/repo/src/encoding/encodings.cc" "src/CMakeFiles/qdb.dir/encoding/encodings.cc.o" "gcc" "src/CMakeFiles/qdb.dir/encoding/encodings.cc.o.d"
+  "/root/repo/src/kernel/alignment.cc" "src/CMakeFiles/qdb.dir/kernel/alignment.cc.o" "gcc" "src/CMakeFiles/qdb.dir/kernel/alignment.cc.o.d"
+  "/root/repo/src/kernel/quantum_kernel.cc" "src/CMakeFiles/qdb.dir/kernel/quantum_kernel.cc.o" "gcc" "src/CMakeFiles/qdb.dir/kernel/quantum_kernel.cc.o.d"
+  "/root/repo/src/linalg/eigen.cc" "src/CMakeFiles/qdb.dir/linalg/eigen.cc.o" "gcc" "src/CMakeFiles/qdb.dir/linalg/eigen.cc.o.d"
+  "/root/repo/src/linalg/matrix.cc" "src/CMakeFiles/qdb.dir/linalg/matrix.cc.o" "gcc" "src/CMakeFiles/qdb.dir/linalg/matrix.cc.o.d"
+  "/root/repo/src/linalg/random_unitary.cc" "src/CMakeFiles/qdb.dir/linalg/random_unitary.cc.o" "gcc" "src/CMakeFiles/qdb.dir/linalg/random_unitary.cc.o.d"
+  "/root/repo/src/linalg/svd.cc" "src/CMakeFiles/qdb.dir/linalg/svd.cc.o" "gcc" "src/CMakeFiles/qdb.dir/linalg/svd.cc.o.d"
+  "/root/repo/src/linalg/vector_ops.cc" "src/CMakeFiles/qdb.dir/linalg/vector_ops.cc.o" "gcc" "src/CMakeFiles/qdb.dir/linalg/vector_ops.cc.o.d"
+  "/root/repo/src/mitigation/readout.cc" "src/CMakeFiles/qdb.dir/mitigation/readout.cc.o" "gcc" "src/CMakeFiles/qdb.dir/mitigation/readout.cc.o.d"
+  "/root/repo/src/mitigation/zne.cc" "src/CMakeFiles/qdb.dir/mitigation/zne.cc.o" "gcc" "src/CMakeFiles/qdb.dir/mitigation/zne.cc.o.d"
+  "/root/repo/src/ops/graph_hamiltonians.cc" "src/CMakeFiles/qdb.dir/ops/graph_hamiltonians.cc.o" "gcc" "src/CMakeFiles/qdb.dir/ops/graph_hamiltonians.cc.o.d"
+  "/root/repo/src/ops/ising.cc" "src/CMakeFiles/qdb.dir/ops/ising.cc.o" "gcc" "src/CMakeFiles/qdb.dir/ops/ising.cc.o.d"
+  "/root/repo/src/ops/model_hamiltonians.cc" "src/CMakeFiles/qdb.dir/ops/model_hamiltonians.cc.o" "gcc" "src/CMakeFiles/qdb.dir/ops/model_hamiltonians.cc.o.d"
+  "/root/repo/src/ops/pauli.cc" "src/CMakeFiles/qdb.dir/ops/pauli.cc.o" "gcc" "src/CMakeFiles/qdb.dir/ops/pauli.cc.o.d"
+  "/root/repo/src/ops/qubo.cc" "src/CMakeFiles/qdb.dir/ops/qubo.cc.o" "gcc" "src/CMakeFiles/qdb.dir/ops/qubo.cc.o.d"
+  "/root/repo/src/optimize/adam.cc" "src/CMakeFiles/qdb.dir/optimize/adam.cc.o" "gcc" "src/CMakeFiles/qdb.dir/optimize/adam.cc.o.d"
+  "/root/repo/src/optimize/gradient_descent.cc" "src/CMakeFiles/qdb.dir/optimize/gradient_descent.cc.o" "gcc" "src/CMakeFiles/qdb.dir/optimize/gradient_descent.cc.o.d"
+  "/root/repo/src/optimize/nelder_mead.cc" "src/CMakeFiles/qdb.dir/optimize/nelder_mead.cc.o" "gcc" "src/CMakeFiles/qdb.dir/optimize/nelder_mead.cc.o.d"
+  "/root/repo/src/optimize/spsa.cc" "src/CMakeFiles/qdb.dir/optimize/spsa.cc.o" "gcc" "src/CMakeFiles/qdb.dir/optimize/spsa.cc.o.d"
+  "/root/repo/src/sim/density_matrix.cc" "src/CMakeFiles/qdb.dir/sim/density_matrix.cc.o" "gcc" "src/CMakeFiles/qdb.dir/sim/density_matrix.cc.o.d"
+  "/root/repo/src/sim/density_simulator.cc" "src/CMakeFiles/qdb.dir/sim/density_simulator.cc.o" "gcc" "src/CMakeFiles/qdb.dir/sim/density_simulator.cc.o.d"
+  "/root/repo/src/sim/mps.cc" "src/CMakeFiles/qdb.dir/sim/mps.cc.o" "gcc" "src/CMakeFiles/qdb.dir/sim/mps.cc.o.d"
+  "/root/repo/src/sim/noise.cc" "src/CMakeFiles/qdb.dir/sim/noise.cc.o" "gcc" "src/CMakeFiles/qdb.dir/sim/noise.cc.o.d"
+  "/root/repo/src/sim/shot_estimator.cc" "src/CMakeFiles/qdb.dir/sim/shot_estimator.cc.o" "gcc" "src/CMakeFiles/qdb.dir/sim/shot_estimator.cc.o.d"
+  "/root/repo/src/sim/state_vector.cc" "src/CMakeFiles/qdb.dir/sim/state_vector.cc.o" "gcc" "src/CMakeFiles/qdb.dir/sim/state_vector.cc.o.d"
+  "/root/repo/src/sim/statevector_simulator.cc" "src/CMakeFiles/qdb.dir/sim/statevector_simulator.cc.o" "gcc" "src/CMakeFiles/qdb.dir/sim/statevector_simulator.cc.o.d"
+  "/root/repo/src/sim/unitary_simulator.cc" "src/CMakeFiles/qdb.dir/sim/unitary_simulator.cc.o" "gcc" "src/CMakeFiles/qdb.dir/sim/unitary_simulator.cc.o.d"
+  "/root/repo/src/variational/ansatz.cc" "src/CMakeFiles/qdb.dir/variational/ansatz.cc.o" "gcc" "src/CMakeFiles/qdb.dir/variational/ansatz.cc.o.d"
+  "/root/repo/src/variational/qaoa.cc" "src/CMakeFiles/qdb.dir/variational/qaoa.cc.o" "gcc" "src/CMakeFiles/qdb.dir/variational/qaoa.cc.o.d"
+  "/root/repo/src/variational/vqc.cc" "src/CMakeFiles/qdb.dir/variational/vqc.cc.o" "gcc" "src/CMakeFiles/qdb.dir/variational/vqc.cc.o.d"
+  "/root/repo/src/variational/vqe.cc" "src/CMakeFiles/qdb.dir/variational/vqe.cc.o" "gcc" "src/CMakeFiles/qdb.dir/variational/vqe.cc.o.d"
+  "/root/repo/src/variational/vqr.cc" "src/CMakeFiles/qdb.dir/variational/vqr.cc.o" "gcc" "src/CMakeFiles/qdb.dir/variational/vqr.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adjoint_test.dir/adjoint_test.cc.o"
+  "CMakeFiles/adjoint_test.dir/adjoint_test.cc.o.d"
+  "adjoint_test"
+  "adjoint_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adjoint_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

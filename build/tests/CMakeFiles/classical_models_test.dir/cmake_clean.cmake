@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/classical_models_test.dir/classical_models_test.cc.o"
+  "CMakeFiles/classical_models_test.dir/classical_models_test.cc.o.d"
+  "classical_models_test"
+  "classical_models_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/classical_models_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

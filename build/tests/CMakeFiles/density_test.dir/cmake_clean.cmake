@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/density_test.dir/density_test.cc.o"
+  "CMakeFiles/density_test.dir/density_test.cc.o.d"
+  "density_test"
+  "density_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/density_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grover_test.dir/grover_test.cc.o"
+  "CMakeFiles/grover_test.dir/grover_test.cc.o.d"
+  "grover_test"
+  "grover_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grover_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

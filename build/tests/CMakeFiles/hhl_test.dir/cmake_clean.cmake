@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hhl_test.dir/hhl_test.cc.o"
+  "CMakeFiles/hhl_test.dir/hhl_test.cc.o.d"
+  "hhl_test"
+  "hhl_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hhl_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/join_order_test.dir/join_order_test.cc.o"
+  "CMakeFiles/join_order_test.dir/join_order_test.cc.o.d"
+  "join_order_test"
+  "join_order_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/join_order_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

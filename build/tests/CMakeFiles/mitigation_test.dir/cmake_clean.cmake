@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mitigation_test.dir/mitigation_test.cc.o"
+  "CMakeFiles/mitigation_test.dir/mitigation_test.cc.o.d"
+  "mitigation_test"
+  "mitigation_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mitigation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mps_test.dir/mps_test.cc.o"
+  "CMakeFiles/mps_test.dir/mps_test.cc.o.d"
+  "mps_test"
+  "mps_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mps_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parallel_tempering_test.dir/parallel_tempering_test.cc.o"
+  "CMakeFiles/parallel_tempering_test.dir/parallel_tempering_test.cc.o.d"
+  "parallel_tempering_test"
+  "parallel_tempering_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parallel_tempering_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

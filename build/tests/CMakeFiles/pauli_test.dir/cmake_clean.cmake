@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pauli_test.dir/pauli_test.cc.o"
+  "CMakeFiles/pauli_test.dir/pauli_test.cc.o.d"
+  "pauli_test"
+  "pauli_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pauli_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

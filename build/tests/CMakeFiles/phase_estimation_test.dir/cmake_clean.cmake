@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/phase_estimation_test.dir/phase_estimation_test.cc.o"
+  "CMakeFiles/phase_estimation_test.dir/phase_estimation_test.cc.o.d"
+  "phase_estimation_test"
+  "phase_estimation_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/phase_estimation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qaoa_test.dir/qaoa_test.cc.o"
+  "CMakeFiles/qaoa_test.dir/qaoa_test.cc.o.d"
+  "qaoa_test"
+  "qaoa_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qaoa_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/quantum_counting_test.dir/quantum_counting_test.cc.o"
+  "CMakeFiles/quantum_counting_test.dir/quantum_counting_test.cc.o.d"
+  "quantum_counting_test"
+  "quantum_counting_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/quantum_counting_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

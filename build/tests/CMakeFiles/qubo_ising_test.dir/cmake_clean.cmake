@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qubo_ising_test.dir/qubo_ising_test.cc.o"
+  "CMakeFiles/qubo_ising_test.dir/qubo_ising_test.cc.o.d"
+  "qubo_ising_test"
+  "qubo_ising_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qubo_ising_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

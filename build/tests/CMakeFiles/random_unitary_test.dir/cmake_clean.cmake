@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/random_unitary_test.dir/random_unitary_test.cc.o"
+  "CMakeFiles/random_unitary_test.dir/random_unitary_test.cc.o.d"
+  "random_unitary_test"
+  "random_unitary_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/random_unitary_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

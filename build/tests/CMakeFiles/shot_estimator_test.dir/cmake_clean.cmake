@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shot_estimator_test.dir/shot_estimator_test.cc.o"
+  "CMakeFiles/shot_estimator_test.dir/shot_estimator_test.cc.o.d"
+  "shot_estimator_test"
+  "shot_estimator_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shot_estimator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/statevector_test.dir/statevector_test.cc.o"
+  "CMakeFiles/statevector_test.dir/statevector_test.cc.o.d"
+  "statevector_test"
+  "statevector_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/statevector_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

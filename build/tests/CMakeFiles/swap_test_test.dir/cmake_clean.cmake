@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swap_test_test.dir/swap_test_test.cc.o"
+  "CMakeFiles/swap_test_test.dir/swap_test_test.cc.o.d"
+  "swap_test_test"
+  "swap_test_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swap_test_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

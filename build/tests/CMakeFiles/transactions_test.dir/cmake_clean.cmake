@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/transactions_test.dir/transactions_test.cc.o"
+  "CMakeFiles/transactions_test.dir/transactions_test.cc.o.d"
+  "transactions_test"
+  "transactions_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/transactions_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

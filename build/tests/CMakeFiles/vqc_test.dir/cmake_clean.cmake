@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vqc_test.dir/vqc_test.cc.o"
+  "CMakeFiles/vqc_test.dir/vqc_test.cc.o.d"
+  "vqc_test"
+  "vqc_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vqc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

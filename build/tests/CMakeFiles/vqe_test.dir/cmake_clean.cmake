@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vqe_test.dir/vqe_test.cc.o"
+  "CMakeFiles/vqe_test.dir/vqe_test.cc.o.d"
+  "vqe_test"
+  "vqe_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vqe_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
