@@ -1,17 +1,44 @@
 // Join-order optimization on the (simulated) quantum annealer: the E7
 // pipeline end-to-end on one star query, with DP and greedy baselines.
+//
+// Observability: run with QDB_TRACE=1 (or pass --trace-out <path>) to dump a
+// Chrome trace-event timeline of the annealing runs for chrome://tracing or
+// https://ui.perfetto.dev.
 
 #include <cstdio>
+#include <cstring>
 
 #include "anneal/quantum_annealing.h"
 #include "anneal/simulated_annealing.h"
 #include "common/strings.h"
+#include "common/timer.h"
 #include "db/join_order_dp.h"
 #include "db/join_order_greedy.h"
 #include "db/join_order_qubo.h"
+#include "obs/obs.h"
 
-int main() {
+namespace {
+
+const char* ParseTraceOut(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--trace-out") == 0 && i + 1 < argc) {
+      return argv[i + 1];
+    }
+    if (std::strncmp(argv[i], "--trace-out=", 12) == 0) {
+      return argv[i] + 12;
+    }
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
   using namespace qdb;
+
+  obs::InitTracingFromEnv();
+  const char* trace_out = ParseTraceOut(argc, argv);
+  if (trace_out != nullptr) obs::EnableTracing();
 
   // A star query over 8 relations (fact table R0 joined to 7 dimensions).
   Rng rng(42);
@@ -19,11 +46,13 @@ int main() {
       RandomQuery(QueryShape::kStar, 8, rng).ValueOrDie();
   std::printf("%s\n", query.ToString().c_str());
 
+  Timer timer;
+
   // Classical baselines.
   DpPlanResult dp = OptimalLeftDeepPlan(query).ValueOrDie();
   GreedyPlanResult greedy = GreedyLeftDeepPlan(query).ValueOrDie();
-  std::printf("optimal DP   : cost %.0f, order [%s]\n", dp.cost,
-              StrJoin(dp.order, ", ").c_str());
+  std::printf("optimal DP   : cost %.0f, order [%s]  (%.1f ms)\n", dp.cost,
+              StrJoin(dp.order, ", ").c_str(), timer.LapMillis());
   std::printf("greedy       : cost %.0f (%.2fx optimal)\n", greedy.cost,
               greedy.cost / dp.cost);
 
@@ -33,15 +62,19 @@ int main() {
               encoding.qubo().num_vars(), encoding.penalty_weight());
 
   // Solve with thermal simulated annealing...
+  timer.Lap();
   SaOptions sa_options;
   sa_options.num_sweeps = 2000;
   sa_options.num_restarts = 4;
   SolveResult sa =
       SimulatedAnnealing(encoding.qubo().ToIsing(), sa_options).ValueOrDie();
+  const double sa_ms = timer.LapMillis();
   auto sa_order = encoding.Decode(SpinsToBits(sa.best_spins));
   double sa_cost = CostOfLeftDeepOrder(query, sa_order).ValueOrDie();
   std::printf("SA  anneal   : cost %.0f (%.2fx optimal), order [%s]\n",
               sa_cost, sa_cost / dp.cost, StrJoin(sa_order, ", ").c_str());
+  std::printf("               %ld sweeps, %.0f%% moves accepted, %.1f ms\n",
+              sa.sweeps, 100.0 * sa.acceptance_ratio(), sa_ms);
 
   // ...and with path-integral simulated *quantum* annealing (the D-Wave
   // stand-in: Trotter replicas coupled by a decaying transverse field).
@@ -52,9 +85,24 @@ int main() {
   SolveResult sqa =
       SimulatedQuantumAnnealing(encoding.qubo().ToIsing(), sqa_options)
           .ValueOrDie();
+  const double sqa_ms = timer.LapMillis();
   auto sqa_order = encoding.Decode(SpinsToBits(sqa.best_spins));
   double sqa_cost = CostOfLeftDeepOrder(query, sqa_order).ValueOrDie();
   std::printf("SQA anneal   : cost %.0f (%.2fx optimal), order [%s]\n",
               sqa_cost, sqa_cost / dp.cost, StrJoin(sqa_order, ", ").c_str());
+  std::printf("               %ld sweeps, %.0f%% moves accepted, %.1f ms\n",
+              sqa.sweeps, 100.0 * sqa.acceptance_ratio(), sqa_ms);
+
+  if (trace_out != nullptr) {
+    obs::TraceLog& log = obs::TraceLog::Global();
+    Status s = log.WriteChromeTrace(trace_out);
+    if (!s.ok()) {
+      std::fprintf(stderr, "trace write failed: %s\n", s.ToString().c_str());
+      return 1;
+    }
+    std::printf("\nwrote %zu trace events to %s (%zu dropped)\n", log.size(),
+                trace_out, log.dropped());
+    std::printf("metrics:\n%s", obs::SummaryText().c_str());
+  }
   return 0;
 }

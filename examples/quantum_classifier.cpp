@@ -1,18 +1,50 @@
 // Quantum machine learning for classification: a variational quantum
 // classifier and a quantum-kernel SVM on the moons dataset, against a
 // classical logistic-regression baseline (the E2/E3 story in one program).
+//
+// Observability: run with QDB_TRACE=1 (or pass --trace-out) to capture a
+// Chrome trace-event timeline of the whole training run —
+//
+//   QDB_TRACE=1 ./quantum_classifier --trace-out trace.json
+//
+// then load trace.json in chrome://tracing or https://ui.perfetto.dev.
 
 #include <cmath>
 #include <cstdio>
+#include <cstring>
 
 #include "classical/logistic.h"
 #include "classical/metrics.h"
 #include "classical/svm.h"
+#include "common/timer.h"
 #include "kernel/quantum_kernel.h"
+#include "obs/obs.h"
 #include "variational/vqc.h"
 
-int main() {
+namespace {
+
+// Returns the value of `--trace-out <path>` / `--trace-out=<path>`, or
+// nullptr when the flag is absent.
+const char* ParseTraceOut(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--trace-out") == 0 && i + 1 < argc) {
+      return argv[i + 1];
+    }
+    if (std::strncmp(argv[i], "--trace-out=", 12) == 0) {
+      return argv[i] + 12;
+    }
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
   using namespace qdb;
+
+  obs::InitTracingFromEnv();
+  const char* trace_out = ParseTraceOut(argc, argv);
+  if (trace_out != nullptr) obs::EnableTracing();
 
   Rng rng(11);
   Dataset all = MakeMoons(48, 0.12, rng);
@@ -31,10 +63,13 @@ int main() {
                 Accuracy(test.labels, test_preds));
   };
 
+  Timer timer;
+
   // Classical linear baseline.
   LogisticRegression logistic = LogisticRegression::Train(train).ValueOrDie();
   report("logistic regression",
          [&](const DVector& x) { return logistic.Predict(x); });
+  std::printf("  (%.1f ms)\n", timer.LapMillis());
 
   // Variational quantum classifier with data re-uploading.
   VqcOptions vqc_options;
@@ -45,8 +80,18 @@ int main() {
   VqcClassifier vqc = VqcClassifier::Train(train, vqc_options).ValueOrDie();
   report("VQC (re-uploading)",
          [&](const DVector& x) { return vqc.Predict(x).ValueOrDie(); });
-  std::printf("  (trained with %ld circuit evaluations)\n",
+  std::printf("  (%.1f ms, %ld circuit evaluations)\n", timer.LapMillis(),
               vqc.circuit_evaluations());
+  const DVector& loss = vqc.loss_history();
+  const DVector& gnorm = vqc.gradient_norm_history();
+  if (!loss.empty()) {
+    std::printf("  loss curve: %.3f -> %.3f over %zu iterations", loss.front(),
+                loss.back(), loss.size());
+    if (!gnorm.empty()) {
+      std::printf("  (final grad norm %.2e)", gnorm.back());
+    }
+    std::printf("\n");
+  }
 
   // Quantum-kernel SVM: fidelity kernel of the ZZ feature map.
   FidelityQuantumKernel kernel = MakeZZFeatureMapKernel(2);
@@ -63,7 +108,20 @@ int main() {
     for (size_t j = 0; j < train.size(); ++j) row[j] = cross(i, j).real();
     test_preds.push_back(svm.PredictFromKernelRow(row));
   }
-  std::printf("%-22s test  %.2f  (%d support vectors)\n", "quantum-kernel SVM",
-              Accuracy(test.labels, test_preds), svm.NumSupportVectors());
+  std::printf("%-22s test  %.2f  (%d support vectors, %.1f ms)\n",
+              "quantum-kernel SVM", Accuracy(test.labels, test_preds),
+              svm.NumSupportVectors(), timer.LapMillis());
+
+  if (trace_out != nullptr) {
+    obs::TraceLog& log = obs::TraceLog::Global();
+    Status s = log.WriteChromeTrace(trace_out);
+    if (!s.ok()) {
+      std::fprintf(stderr, "trace write failed: %s\n", s.ToString().c_str());
+      return 1;
+    }
+    std::printf("\nwrote %zu trace events to %s (%zu dropped)\n", log.size(),
+                trace_out, log.dropped());
+    std::printf("metrics:\n%s", obs::SummaryText().c_str());
+  }
   return 0;
 }

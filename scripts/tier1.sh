@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Tier-1 gate: configure + build + full test suite, then rebuild the
+# observability test under ThreadSanitizer and run it. Run from the repo root:
+#
+#   ./scripts/tier1.sh
+#
+# Build directories: build/ (regular), build-tsan/ (TSan, library + tests
+# only). Both are incremental across invocations.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== tier 1: build + ctest =="
+cmake -B build -S . >/dev/null
+cmake --build build -j
+(cd build && ctest --output-on-failure -j "$(nproc)")
+
+echo
+echo "== tier 1: obs_test under ThreadSanitizer =="
+cmake -B build-tsan -S . \
+  -DQDB_SANITIZE=thread \
+  -DQDB_BUILD_BENCHMARKS=OFF \
+  -DQDB_BUILD_EXAMPLES=OFF >/dev/null
+cmake --build build-tsan -j --target obs_test
+./build-tsan/tests/obs_test
+
+echo
+echo "tier 1 PASS"

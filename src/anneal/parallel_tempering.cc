@@ -3,7 +3,9 @@
 #include <cmath>
 #include <limits>
 
+#include "anneal/solver_metrics.h"
 #include "common/rng.h"
+#include "obs/obs.h"
 
 namespace qdb {
 
@@ -38,8 +40,10 @@ Result<SolveResult> ParallelTempering(const IsingModel& model,
     energies[r] = model.Energy(replicas[r]);
   }
 
+  QDB_TRACE_SCOPE("ParallelTempering", "anneal");
   SolveResult result;
   result.best_energy = std::numeric_limits<double>::infinity();
+  long exchanges = 0;
   auto track_best = [&](int r) {
     if (energies[r] < result.best_energy) {
       result.best_energy = energies[r];
@@ -56,6 +60,9 @@ Result<SolveResult> ParallelTempering(const IsingModel& model,
         if (delta <= 0.0 || rng.Uniform() < std::exp(-betas[r] * delta)) {
           replicas[r][i] = -replicas[r][i];
           energies[r] += delta;
+          ++result.moves_accepted;
+        } else {
+          ++result.moves_rejected;
         }
       }
       track_best(r);
@@ -67,10 +74,13 @@ Result<SolveResult> ParallelTempering(const IsingModel& model,
       if (arg >= 0.0 || rng.Uniform() < std::exp(arg)) {
         std::swap(replicas[r], replicas[r + 1]);
         std::swap(energies[r], energies[r + 1]);
+        ++exchanges;
       }
     }
     ++result.sweeps;
   }
+  RecordSolveMetrics("pt", result);
+  obs::GetCounter("anneal.pt.replica_exchanges")->Increment(exchanges);
   return result;
 }
 

@@ -3,7 +3,9 @@
 #include <cmath>
 #include <limits>
 
+#include "anneal/solver_metrics.h"
 #include "common/rng.h"
+#include "obs/trace.h"
 
 namespace qdb {
 
@@ -33,6 +35,7 @@ Result<SolveResult> SimulatedQuantumAnnealing(const IsingModel& model,
   const double gamma0 = options.gamma_initial * scale;
   const double gamma1 = options.gamma_final * scale;
 
+  QDB_TRACE_SCOPE("SimulatedQuantumAnnealing", "anneal");
   Rng rng(options.seed);
   SolveResult result;
   result.best_energy = std::numeric_limits<double>::infinity();
@@ -69,6 +72,9 @@ Result<SolveResult> SimulatedQuantumAnnealing(const IsingModel& model,
           if (d_action <= 0.0 || rng.Uniform() < std::exp(-d_action)) {
             replicas[k][i] = -replicas[k][i];
             energies[k] += de_classical;
+            ++result.moves_accepted;
+          } else {
+            ++result.moves_rejected;
           }
         }
       }
@@ -86,6 +92,9 @@ Result<SolveResult> SimulatedQuantumAnnealing(const IsingModel& model,
               energies[k] += model.FlipDelta(replicas[k], i);
               replicas[k][i] = -replicas[k][i];
             }
+            ++result.moves_accepted;
+          } else {
+            ++result.moves_rejected;
           }
         }
       }
@@ -98,6 +107,7 @@ Result<SolveResult> SimulatedQuantumAnnealing(const IsingModel& model,
       }
     }
   }
+  RecordSolveMetrics("sqa", result);
   return result;
 }
 

@@ -3,7 +3,9 @@
 #include <cmath>
 #include <limits>
 
+#include "anneal/solver_metrics.h"
 #include "common/rng.h"
+#include "obs/trace.h"
 
 namespace qdb {
 
@@ -27,6 +29,7 @@ Result<SolveResult> SimulatedAnnealing(const IsingModel& model,
           ? std::pow(beta1 / beta0, 1.0 / (options.num_sweeps - 1))
           : 1.0;
 
+  QDB_TRACE_SCOPE("SimulatedAnnealing", "anneal");
   Rng rng(options.seed);
   SolveResult result;
   result.best_energy = std::numeric_limits<double>::infinity();
@@ -42,6 +45,9 @@ Result<SolveResult> SimulatedAnnealing(const IsingModel& model,
         if (delta <= 0.0 || rng.Uniform() < std::exp(-beta * delta)) {
           spins[i] = -spins[i];
           energy += delta;
+          ++result.moves_accepted;
+        } else {
+          ++result.moves_rejected;
         }
       }
       ++result.sweeps;
@@ -52,6 +58,7 @@ Result<SolveResult> SimulatedAnnealing(const IsingModel& model,
       beta *= ratio;
     }
   }
+  RecordSolveMetrics("sa", result);
   return result;
 }
 

@@ -1,0 +1,21 @@
+#include "anneal/solver_metrics.h"
+
+#include "common/strings.h"
+#include "obs/obs.h"
+
+namespace qdb {
+
+void RecordSolveMetrics(const char* solver, const SolveResult& result) {
+  const std::string prefix = StrCat("anneal.", solver);
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+  registry.GetCounter(prefix + ".sweeps")->Increment(result.sweeps);
+  registry.GetCounter(prefix + ".moves_accepted")
+      ->Increment(result.moves_accepted);
+  registry.GetCounter(prefix + ".moves_rejected")
+      ->Increment(result.moves_rejected);
+  registry.GetGauge(prefix + ".best_energy")->Set(result.best_energy);
+  registry.GetGauge(prefix + ".acceptance_ratio")
+      ->Set(result.acceptance_ratio());
+}
+
+}  // namespace qdb

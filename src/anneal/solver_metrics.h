@@ -1,0 +1,20 @@
+/// \file solver_metrics.h
+/// \brief Shared metrics hook for the Ising/QUBO solvers: publishes a
+/// finished SolveResult's totals to the process metrics registry under
+/// `anneal.<solver>.*`. Solvers tally locally in the hot loop and call this
+/// once at the end, so instrumentation adds nothing per sweep.
+
+#ifndef QDB_ANNEAL_SOLVER_METRICS_H_
+#define QDB_ANNEAL_SOLVER_METRICS_H_
+
+#include "anneal/types.h"
+
+namespace qdb {
+
+/// Publishes sweeps / accepted / rejected counters and the best-energy
+/// gauge for `solver` (e.g. "sa", "sqa", "tabu", "pt").
+void RecordSolveMetrics(const char* solver, const SolveResult& result);
+
+}  // namespace qdb
+
+#endif  // QDB_ANNEAL_SOLVER_METRICS_H_

@@ -2,7 +2,9 @@
 
 #include <limits>
 
+#include "anneal/solver_metrics.h"
 #include "common/rng.h"
+#include "obs/trace.h"
 
 namespace qdb {
 
@@ -14,6 +16,7 @@ Result<SolveResult> TabuSearch(const IsingModel& model,
   if (options.tenure < 0) {
     return Status::InvalidArgument("tenure must be non-negative");
   }
+  QDB_TRACE_SCOPE("TabuSearch", "anneal");
   const int n = model.num_spins();
   Rng rng(options.seed);
   SolveResult result;
@@ -47,12 +50,16 @@ Result<SolveResult> TabuSearch(const IsingModel& model,
       energy += best_delta;
       tabu_until[best_move] = iter + options.tenure;
       ++result.sweeps;
+      // One candidate per spin was examined; only the best was taken.
+      ++result.moves_accepted;
+      result.moves_rejected += n - 1;
       if (energy < result.best_energy) {
         result.best_energy = energy;
         result.best_spins = spins;
       }
     }
   }
+  RecordSolveMetrics("tabu", result);
   return result;
 }
 

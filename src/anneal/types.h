@@ -14,6 +14,17 @@ struct SolveResult {
   std::vector<int8_t> best_spins;  ///< Entries ±1.
   double best_energy = 0.0;        ///< Ising energy of best_spins.
   long sweeps = 0;                 ///< Sweeps / iterations performed.
+  /// Move statistics for convergence diagnostics. A "move" is one proposed
+  /// spin flip (or candidate flip, for tabu search); exhaustive enumeration
+  /// proposes no moves and leaves both at zero.
+  long moves_accepted = 0;
+  long moves_rejected = 0;
+
+  /// Fraction of proposed moves accepted over the whole run (0 if none).
+  double acceptance_ratio() const {
+    const long total = moves_accepted + moves_rejected;
+    return total > 0 ? static_cast<double>(moves_accepted) / total : 0.0;
+  }
 };
 
 }  // namespace qdb

@@ -16,6 +16,18 @@ class Timer {
   /// Restarts the measurement window.
   void Reset() { start_ = Clock::now(); }
 
+  /// Elapsed seconds, then restarts the window — for timing consecutive
+  /// phases with one timer: `t.Lap()` after each phase.
+  double Lap() {
+    const Clock::time_point now = Clock::now();
+    const double elapsed = std::chrono::duration<double>(now - start_).count();
+    start_ = now;
+    return elapsed;
+  }
+
+  /// Lap() in milliseconds.
+  double LapMillis() { return Lap() * 1e3; }
+
   /// Elapsed time in seconds.
   double Seconds() const {
     return std::chrono::duration<double>(Clock::now() - start_).count();

@@ -4,6 +4,7 @@
 
 #include "common/strings.h"
 #include "linalg/vector_ops.h"
+#include "obs/trace.h"
 
 namespace qdb {
 
@@ -20,6 +21,7 @@ Circuit BasisEncoding(const std::vector<uint8_t>& bits) {
 Circuit AngleEncoding(const DVector& features, RotationAxis axis,
                       double scale) {
   QDB_CHECK(!features.empty());
+  QDB_TRACE_SCOPE("AngleEncoding", "encoding");
   Circuit c(static_cast<int>(features.size()));
   for (size_t q = 0; q < features.size(); ++q) {
     const int qi = static_cast<int>(q);
@@ -43,6 +45,7 @@ Circuit AngleEncoding(const DVector& features, RotationAxis axis,
 Circuit ZZFeatureMap(const DVector& features, int reps) {
   QDB_CHECK(!features.empty());
   QDB_CHECK_GE(reps, 1);
+  QDB_TRACE_SCOPE("ZZFeatureMap", "encoding");
   const int n = static_cast<int>(features.size());
   Circuit c(n);
   for (int r = 0; r < reps; ++r) {
@@ -107,6 +110,7 @@ Result<CVector> AmplitudeEncodedState(const DVector& x) {
 }
 
 Result<Circuit> AmplitudeEncoding(const DVector& x) {
+  QDB_TRACE_SCOPE("AmplitudeEncoding", "encoding");
   QDB_ASSIGN_OR_RETURN(CVector state, AmplitudeEncodedState(x));
   const size_t dim = state.size();
   int n = 0;

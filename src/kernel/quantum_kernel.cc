@@ -3,9 +3,26 @@
 #include "common/check.h"
 #include "encoding/encodings.h"
 #include "linalg/vector_ops.h"
+#include "obs/obs.h"
 #include "sim/statevector_simulator.h"
 
 namespace qdb {
+
+namespace {
+
+/// Gram / cross-matrix construction counters: how many kernel entries were
+/// computed and how many encoding circuits were simulated to get them.
+struct KernelCounters {
+  obs::Counter* circuit_runs = obs::GetCounter("kernel.circuit_runs");
+  obs::Counter* entries = obs::GetCounter("kernel.entries_computed");
+};
+
+KernelCounters& Counters() {
+  static KernelCounters counters;
+  return counters;
+}
+
+}  // namespace
 
 FidelityQuantumKernel::FidelityQuantumKernel(EncodingFn encoder)
     : encoder_(std::move(encoder)) {
@@ -19,6 +36,7 @@ Result<CVector> FidelityQuantumKernel::EncodedState(const DVector& x) const {
   Circuit circuit = encoder_(x);
   StateVectorSimulator sim;
   QDB_ASSIGN_OR_RETURN(StateVector state, sim.Run(circuit));
+  Counters().circuit_runs->Increment();
   return state.amplitudes();
 }
 
@@ -29,6 +47,7 @@ Result<double> FidelityQuantumKernel::Evaluate(const DVector& x,
   if (phi_x.size() != phi_y.size()) {
     return Status::InvalidArgument("encoded states have different widths");
   }
+  Counters().entries->Increment();
   return Fidelity(phi_x, phi_y);
 }
 
@@ -37,6 +56,7 @@ Result<Matrix> FidelityQuantumKernel::GramMatrix(
   if (xs.empty()) {
     return Status::InvalidArgument("empty data set");
   }
+  QDB_TRACE_SCOPE("FidelityQuantumKernel::GramMatrix", "kernel");
   std::vector<CVector> states;
   states.reserve(xs.size());
   for (const auto& x : xs) {
@@ -55,6 +75,9 @@ Result<Matrix> FidelityQuantumKernel::GramMatrix(
       gram(j, i) = Complex(k, 0.0);
     }
   }
+  // Off-diagonal upper triangle was computed; the diagonal is free.
+  Counters().entries->Increment(
+      static_cast<long>(xs.size() * (xs.size() - 1) / 2));
   return gram;
 }
 
@@ -63,6 +86,7 @@ Result<Matrix> FidelityQuantumKernel::CrossMatrix(
   if (test.empty() || train.empty()) {
     return Status::InvalidArgument("empty data set");
   }
+  QDB_TRACE_SCOPE("FidelityQuantumKernel::CrossMatrix", "kernel");
   std::vector<CVector> train_states;
   train_states.reserve(train.size());
   for (const auto& x : train) {
@@ -79,6 +103,8 @@ Result<Matrix> FidelityQuantumKernel::CrossMatrix(
       cross(i, j) = Complex(Fidelity(phi, train_states[j]), 0.0);
     }
   }
+  Counters().entries->Increment(
+      static_cast<long>(test.size() * train.size()));
   return cross;
 }
 

@@ -1,0 +1,177 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "common/check.h"
+#include "common/strings.h"
+
+namespace qdb {
+namespace obs {
+
+namespace {
+
+/// Escapes a metric name for embedding in a JSON string literal.
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// Formats a double as a JSON number (non-finite values become null, which
+/// strict parsers reject as bare tokens otherwise).
+std::string JsonNumber(double v) {
+  if (!std::isfinite(v)) return "null";
+  return StrFormat("%.17g", v);
+}
+
+}  // namespace
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)), counts_(bounds_.size() + 1) {
+  QDB_CHECK(!bounds_.empty());
+  for (size_t i = 1; i < bounds_.size(); ++i) {
+    QDB_CHECK(bounds_[i - 1] < bounds_[i]) << "bounds must be increasing";
+  }
+}
+
+void Histogram::Observe(double v) {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
+  const size_t bucket = static_cast<size_t>(it - bounds_.begin());
+  counts_[bucket].fetch_add(1, std::memory_order_relaxed);
+  total_.fetch_add(1, std::memory_order_relaxed);
+  // fetch_add on atomic<double> requires C++20 library support; use a CAS
+  // loop so the sum stays exact under concurrent observers everywhere.
+  double cur = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(cur, cur + v, std::memory_order_relaxed)) {
+  }
+}
+
+long Histogram::CountInBucket(size_t i) const {
+  QDB_CHECK(i < counts_.size());
+  return counts_[i].load(std::memory_order_relaxed);
+}
+
+void Histogram::Reset() {
+  for (auto& c : counts_) c.store(0, std::memory_order_relaxed);
+  total_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+std::vector<double> MetricsRegistry::DefaultBounds() {
+  return {1.0, 10.0, 100.0, 1e3, 1e4, 1e5, 1e6};
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name,
+                                         std::vector<double> bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>(std::move(bounds));
+  return slot.get();
+}
+
+std::string MetricsRegistry::ExportText() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  for (const auto& [name, c] : counters_) {
+    out += StrCat(name, " ", c->Value(), "\n");
+  }
+  for (const auto& [name, g] : gauges_) {
+    out += StrCat(name, " ", g->Value(), "\n");
+  }
+  for (const auto& [name, h] : histograms_) {
+    for (size_t i = 0; i < h->bounds().size(); ++i) {
+      out += StrCat(name, "{le=\"", h->bounds()[i], "\"} ",
+                    h->CountInBucket(i), "\n");
+    }
+    out += StrCat(name, "{le=\"+Inf\"} ",
+                  h->CountInBucket(h->bounds().size()), "\n");
+    out += StrCat(name, "_sum ", h->Sum(), "\n");
+    out += StrCat(name, "_count ", h->TotalCount(), "\n");
+  }
+  return out;
+}
+
+std::string MetricsRegistry::ExportJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out = "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, c] : counters_) {
+    if (!first) out += ",";
+    first = false;
+    out += StrCat("\"", JsonEscape(name), "\":", c->Value());
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, g] : gauges_) {
+    if (!first) out += ",";
+    first = false;
+    out += StrCat("\"", JsonEscape(name), "\":", JsonNumber(g->Value()));
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : histograms_) {
+    if (!first) out += ",";
+    first = false;
+    out += StrCat("\"", JsonEscape(name), "\":{\"bounds\":[");
+    for (size_t i = 0; i < h->bounds().size(); ++i) {
+      if (i) out += ",";
+      out += JsonNumber(h->bounds()[i]);
+    }
+    out += "],\"counts\":[";
+    for (size_t i = 0; i <= h->bounds().size(); ++i) {
+      if (i) out += ",";
+      out += StrCat(h->CountInBucket(i));
+    }
+    out += StrCat("],\"sum\":", JsonNumber(h->Sum()),
+                  ",\"count\":", h->TotalCount(), "}");
+  }
+  out += "}}";
+  return out;
+}
+
+void MetricsRegistry::ResetAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, c] : counters_) c->Reset();
+  for (auto& [name, g] : gauges_) g->Reset();
+  for (auto& [name, h] : histograms_) h->Reset();
+}
+
+}  // namespace obs
+}  // namespace qdb

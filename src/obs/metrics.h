@@ -1,0 +1,110 @@
+/// \file metrics.h
+/// \brief Process-wide metrics: named atomic counters, gauges, and
+/// fixed-bucket histograms with text / JSON export.
+///
+/// Hot paths increment metrics through pointers obtained once from the
+/// registry (a mutex-guarded name lookup); the increments themselves are
+/// relaxed atomics, so instrumented loops pay a handful of nanoseconds per
+/// update and never contend on a lock.
+
+#ifndef QDB_OBS_METRICS_H_
+#define QDB_OBS_METRICS_H_
+
+#include <atomic>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace qdb {
+namespace obs {
+
+/// \brief Monotonically increasing count (gate applications, sweeps, …).
+class Counter {
+ public:
+  void Increment(long delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  long Value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<long> value_{0};
+};
+
+/// \brief Last-written double value (best energy, current loss, …).
+class Gauge {
+ public:
+  void Set(double v) { value_.store(v, std::memory_order_relaxed); }
+  double Value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { Set(0.0); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// \brief Fixed-bucket histogram with Prometheus "le" semantics: a sample v
+/// lands in the first bucket whose upper bound satisfies v <= bound; values
+/// above the last bound land in the implicit overflow bucket.
+class Histogram {
+ public:
+  /// `bounds` must be strictly increasing and non-empty.
+  explicit Histogram(std::vector<double> bounds);
+
+  void Observe(double v);
+
+  const std::vector<double>& bounds() const { return bounds_; }
+  /// Count in bucket i; i == bounds().size() is the overflow bucket.
+  long CountInBucket(size_t i) const;
+  long TotalCount() const { return total_.load(std::memory_order_relaxed); }
+  double Sum() const { return sum_.load(std::memory_order_relaxed); }
+  void Reset();
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<std::atomic<long>> counts_;  // bounds_.size() + 1 entries.
+  std::atomic<long> total_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+/// \brief Thread-safe name → metric registry (process singleton).
+///
+/// Get* returns a stable pointer: metrics are never deleted, so callers may
+/// cache the pointer (function-local static) and skip the lookup afterwards.
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& Global();
+
+  Counter* GetCounter(const std::string& name);
+  Gauge* GetGauge(const std::string& name);
+  /// Returns the existing histogram if `name` is already registered (the
+  /// bounds argument is then ignored).
+  Histogram* GetHistogram(const std::string& name,
+                          std::vector<double> bounds = DefaultBounds());
+
+  /// One metric per line, sorted by name: "name value" /
+  /// "name{le="b"} count".
+  std::string ExportText() const;
+  /// {"counters":{...},"gauges":{...},"histograms":{...}}.
+  std::string ExportJson() const;
+
+  /// Zeroes every registered metric (pointers stay valid). Test helper.
+  void ResetAll();
+
+  /// Default latency-style bucket bounds (microseconds, 1 … 1e6).
+  static std::vector<double> DefaultBounds();
+
+ private:
+  MetricsRegistry() = default;
+
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace obs
+}  // namespace qdb
+
+#endif  // QDB_OBS_METRICS_H_

@@ -1,0 +1,27 @@
+#include "obs/obs.h"
+
+#include <cstdio>
+
+#include "common/strings.h"
+
+namespace qdb {
+namespace obs {
+
+std::string SummaryText() { return MetricsRegistry::Global().ExportText(); }
+
+Status WriteMetricsJson(const std::string& path) {
+  const std::string json = MetricsRegistry::Global().ExportJson();
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Status::InvalidArgument(StrCat("cannot open ", path, " for write"));
+  }
+  const size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  const int close_rc = std::fclose(f);
+  if (written != json.size() || close_rc != 0) {
+    return Status::Internal(StrCat("short write to ", path));
+  }
+  return Status::OK();
+}
+
+}  // namespace obs
+}  // namespace qdb

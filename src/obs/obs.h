@@ -1,0 +1,48 @@
+/// \file obs.h
+/// \brief Umbrella header for the qdb observability layer: metrics registry,
+/// trace spans, and exporters. Typical use —
+///
+///   obs::InitTracingFromEnv();                       // honour QDB_TRACE=1
+///   { QDB_TRACE_SCOPE("train", "vqc"); ... }          // RAII span
+///   obs::GetCounter("sim.runs")->Increment();         // named metric
+///   obs::TraceLog::Global().WriteChromeTrace("trace.json");
+///   std::fputs(obs::SummaryText().c_str(), stderr);
+
+#ifndef QDB_OBS_OBS_H_
+#define QDB_OBS_OBS_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace qdb {
+namespace obs {
+
+/// Process-wide metric lookup shorthands. The returned pointers are stable
+/// for the process lifetime; cache them in hot paths.
+inline Counter* GetCounter(const std::string& name) {
+  return MetricsRegistry::Global().GetCounter(name);
+}
+inline Gauge* GetGauge(const std::string& name) {
+  return MetricsRegistry::Global().GetGauge(name);
+}
+inline Histogram* GetHistogram(const std::string& name) {
+  return MetricsRegistry::Global().GetHistogram(name);
+}
+inline Histogram* GetHistogram(const std::string& name,
+                               std::vector<double> bounds) {
+  return MetricsRegistry::Global().GetHistogram(name, std::move(bounds));
+}
+
+/// All registered metrics, one per line, sorted by name.
+std::string SummaryText();
+
+/// Writes the metrics registry as JSON to `path`.
+Status WriteMetricsJson(const std::string& path);
+
+}  // namespace obs
+}  // namespace qdb
+
+#endif  // QDB_OBS_OBS_H_

@@ -1,0 +1,36 @@
+/// \file scoped_timer.h
+/// \brief RAII latency recorder: observes the enclosing scope's duration
+/// (in microseconds) into a Histogram on destruction. Unlike TraceSpan this
+/// is always on — use it where an aggregate latency distribution is wanted
+/// regardless of whether a trace is being captured.
+
+#ifndef QDB_OBS_SCOPED_TIMER_H_
+#define QDB_OBS_SCOPED_TIMER_H_
+
+#include "common/timer.h"
+#include "obs/metrics.h"
+
+namespace qdb {
+namespace obs {
+
+/// \brief Observes scope duration (µs) into `histogram` at scope exit.
+class ScopedHistogramTimer {
+ public:
+  explicit ScopedHistogramTimer(Histogram* histogram)
+      : histogram_(histogram) {}
+  ~ScopedHistogramTimer() {
+    if (histogram_ != nullptr) histogram_->Observe(timer_.Micros());
+  }
+
+  ScopedHistogramTimer(const ScopedHistogramTimer&) = delete;
+  ScopedHistogramTimer& operator=(const ScopedHistogramTimer&) = delete;
+
+ private:
+  Histogram* histogram_;
+  Timer timer_;
+};
+
+}  // namespace obs
+}  // namespace qdb
+
+#endif  // QDB_OBS_SCOPED_TIMER_H_

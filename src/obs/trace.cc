@@ -1,0 +1,160 @@
+#include "obs/trace.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
+#include <map>
+#include <thread>
+
+#include "common/strings.h"
+
+namespace qdb {
+namespace obs {
+
+namespace {
+
+std::atomic<bool> g_tracing_enabled{false};
+
+std::chrono::steady_clock::time_point TraceEpoch() {
+  static const std::chrono::steady_clock::time_point epoch =
+      std::chrono::steady_clock::now();
+  return epoch;
+}
+
+uint64_t CurrentThreadId() {
+  return std::hash<std::thread::id>{}(std::this_thread::get_id());
+}
+
+}  // namespace
+
+bool TracingEnabled() {
+  return g_tracing_enabled.load(std::memory_order_relaxed);
+}
+
+void EnableTracing() {
+  TraceEpoch();  // Pin the epoch no later than the first enable.
+  g_tracing_enabled.store(true, std::memory_order_relaxed);
+}
+
+void DisableTracing() {
+  g_tracing_enabled.store(false, std::memory_order_relaxed);
+}
+
+void InitTracingFromEnv() {
+  const char* value = std::getenv("QDB_TRACE");
+  if (value != nullptr && value[0] != '\0' &&
+      !(value[0] == '0' && value[1] == '\0')) {
+    EnableTracing();
+  }
+}
+
+int64_t TraceNowMicros() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now() - TraceEpoch())
+      .count();
+}
+
+TraceSpan::~TraceSpan() {
+  if (!active_) return;
+  TraceEvent event;
+  event.name = name_;
+  event.category = category_;
+  event.thread_id = CurrentThreadId();
+  event.start_us = start_us_;
+  event.duration_us = TraceNowMicros() - start_us_;
+  TraceLog::Global().Record(event);
+}
+
+TraceLog::TraceLog() : capacity_(1 << 16) { ring_.resize(capacity_); }
+
+TraceLog& TraceLog::Global() {
+  static TraceLog* log = new TraceLog();
+  return *log;
+}
+
+void TraceLog::Record(const TraceEvent& event) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ring_[next_] = event;
+  next_ = (next_ + 1) % capacity_;
+  if (count_ < capacity_) {
+    ++count_;
+  } else {
+    ++dropped_;
+  }
+}
+
+std::vector<TraceEvent> TraceLog::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<TraceEvent> out;
+  out.reserve(count_);
+  const size_t first = (next_ + capacity_ - count_) % capacity_;
+  for (size_t i = 0; i < count_; ++i) {
+    out.push_back(ring_[(first + i) % capacity_]);
+  }
+  return out;
+}
+
+size_t TraceLog::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return count_;
+}
+
+size_t TraceLog::dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dropped_;
+}
+
+void TraceLog::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  next_ = 0;
+  count_ = 0;
+  dropped_ = 0;
+}
+
+void TraceLog::SetCapacity(size_t capacity) {
+  std::lock_guard<std::mutex> lock(mu_);
+  capacity_ = capacity > 0 ? capacity : 1;
+  ring_.assign(capacity_, TraceEvent{});
+  next_ = 0;
+  count_ = 0;
+  dropped_ = 0;
+}
+
+std::string TraceLog::ChromeTraceJson() const {
+  const std::vector<TraceEvent> events = Snapshot();
+  // Renumber thread-id hashes as small consecutive tids for readability.
+  std::map<uint64_t, int> tids;
+  for (const auto& e : events) {
+    tids.emplace(e.thread_id, static_cast<int>(tids.size()) + 1);
+  }
+  std::string out = "{\"traceEvents\":[";
+  bool first = true;
+  for (const auto& e : events) {
+    if (!first) out += ",";
+    first = false;
+    out += StrFormat(
+        "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"X\",\"ts\":%lld,"
+        "\"dur\":%lld,\"pid\":1,\"tid\":%d}",
+        e.name, e.category, static_cast<long long>(e.start_us),
+        static_cast<long long>(e.duration_us), tids.at(e.thread_id));
+  }
+  out += "],\"displayTimeUnit\":\"ms\"}";
+  return out;
+}
+
+Status TraceLog::WriteChromeTrace(const std::string& path) const {
+  const std::string json = ChromeTraceJson();
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Status::InvalidArgument(StrCat("cannot open ", path, " for write"));
+  }
+  const size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  const int close_rc = std::fclose(f);
+  if (written != json.size() || close_rc != 0) {
+    return Status::Internal(StrCat("short write to ", path));
+  }
+  return Status::OK();
+}
+
+}  // namespace obs
+}  // namespace qdb

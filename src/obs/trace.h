@@ -1,0 +1,117 @@
+/// \file trace.h
+/// \brief RAII trace spans recorded into a process-wide ring buffer, with a
+/// Chrome trace-event (chrome://tracing / Perfetto) JSON exporter.
+///
+/// Tracing is off by default. The enabled check is one relaxed atomic load,
+/// so a QDB_TRACE_SCOPE in a hot path costs a single predictable branch when
+/// tracing is disabled and records nothing. Span names and categories must
+/// be string literals (or otherwise outlive the TraceLog): events store the
+/// pointers, not copies.
+
+#ifndef QDB_OBS_TRACE_H_
+#define QDB_OBS_TRACE_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace qdb {
+namespace obs {
+
+/// \brief One completed span: a Chrome trace-event "X" (complete) event.
+struct TraceEvent {
+  const char* name = nullptr;      ///< Span name (string literal).
+  const char* category = nullptr;  ///< Trace-event category (string literal).
+  uint64_t thread_id = 0;          ///< Hash of the recording thread's id.
+  int64_t start_us = 0;            ///< µs since the process trace epoch.
+  int64_t duration_us = 0;         ///< Span duration in µs.
+};
+
+/// True iff spans currently record events (one relaxed atomic load).
+bool TracingEnabled();
+void EnableTracing();
+void DisableTracing();
+/// Enables tracing iff the QDB_TRACE environment variable is set to
+/// anything other than "" or "0".
+void InitTracingFromEnv();
+
+/// \brief Lock-guarded ring buffer of completed spans (process singleton).
+///
+/// When the buffer is full the oldest events are overwritten; dropped()
+/// reports how many were lost so exporters can flag truncation.
+class TraceLog {
+ public:
+  static TraceLog& Global();
+
+  void Record(const TraceEvent& event);
+
+  /// Buffered events, oldest first.
+  std::vector<TraceEvent> Snapshot() const;
+  size_t size() const;
+  /// Events overwritten because the ring was full.
+  size_t dropped() const;
+  void Clear();
+
+  /// Resizes the ring (discards buffered events). Default: 65536 events.
+  void SetCapacity(size_t capacity);
+
+  /// Writes the buffered events as Chrome trace-event JSON
+  /// ({"traceEvents":[...]}), loadable in chrome://tracing and Perfetto.
+  Status WriteChromeTrace(const std::string& path) const;
+  /// The same JSON as a string (exposed for tests and in-process use).
+  std::string ChromeTraceJson() const;
+
+ private:
+  TraceLog();
+
+  mutable std::mutex mu_;
+  std::vector<TraceEvent> ring_;
+  size_t capacity_;
+  size_t next_ = 0;     ///< Ring write cursor.
+  size_t count_ = 0;    ///< Buffered events (<= capacity_).
+  size_t dropped_ = 0;  ///< Overwritten events.
+};
+
+/// Microseconds since the process trace epoch (first use of the clock).
+int64_t TraceNowMicros();
+
+/// \brief Scoped timer: records a TraceEvent from construction to
+/// destruction iff tracing was enabled at construction time.
+class TraceSpan {
+ public:
+  TraceSpan(const char* name, const char* category)
+      : name_(name), category_(category), active_(TracingEnabled()) {
+    if (active_) start_us_ = TraceNowMicros();
+  }
+  ~TraceSpan();
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  const char* name_;
+  const char* category_;
+  bool active_;
+  int64_t start_us_ = 0;
+};
+
+#define QDB_OBS_CONCAT_INNER(a, b) a##b
+#define QDB_OBS_CONCAT(a, b) QDB_OBS_CONCAT_INNER(a, b)
+
+/// Times the enclosing scope as a trace event. `name` and `category` must
+/// be string literals. When tracing is disabled this is one relaxed load
+/// and a branch.
+#define QDB_TRACE_SCOPE(name, category)                              \
+  ::qdb::obs::TraceSpan QDB_OBS_CONCAT(qdb_trace_span_, __LINE__) { \
+    (name), (category)                                               \
+  }
+
+}  // namespace obs
+}  // namespace qdb
+
+#endif  // QDB_OBS_TRACE_H_

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/obs.h"
+
 namespace qdb {
 
 Result<OptimizeResult> MinimizeAdam(const Objective& objective,
@@ -16,19 +18,28 @@ Result<OptimizeResult> MinimizeAdam(const Objective& objective,
       options.beta2 >= 1.0) {
     return Status::InvalidArgument("betas must be in [0, 1)");
   }
+  QDB_TRACE_SCOPE("Adam::Minimize", "optimize");
+  obs::Counter* iteration_counter = obs::GetCounter("optimize.adam.iterations");
+  obs::Gauge* loss_gauge = obs::GetGauge("optimize.adam.last_loss");
   OptimizeResult result;
   result.params = initial;
   DVector m(initial.size(), 0.0);
   DVector v(initial.size(), 0.0);
 
   for (int iter = 1; iter <= options.max_iterations; ++iter) {
+    QDB_TRACE_SCOPE("adam.iteration", "optimize");
     QDB_ASSIGN_OR_RETURN(DVector grad, gradient(result.params));
     double grad_inf = 0.0;
-    for (double g : grad) grad_inf = std::max(grad_inf, std::abs(g));
+    double grad_sq = 0.0;
+    for (double g : grad) {
+      grad_inf = std::max(grad_inf, std::abs(g));
+      grad_sq += g * g;
+    }
     if (grad_inf < options.gradient_tolerance) {
       result.converged = true;
       break;
     }
+    result.gradient_norm_history.push_back(std::sqrt(grad_sq));
     const double bc1 = 1.0 - std::pow(options.beta1, iter);
     const double bc2 = 1.0 - std::pow(options.beta2, iter);
     for (size_t k = 0; k < result.params.size(); ++k) {
@@ -41,8 +52,10 @@ Result<OptimizeResult> MinimizeAdam(const Objective& objective,
           options.learning_rate * m_hat / (std::sqrt(v_hat) + options.epsilon);
     }
     ++result.iterations;
+    iteration_counter->Increment();
     QDB_ASSIGN_OR_RETURN(double value, objective(result.params));
     result.history.push_back(value);
+    loss_gauge->Set(value);
   }
   QDB_ASSIGN_OR_RETURN(result.value, objective(result.params));
   return result;

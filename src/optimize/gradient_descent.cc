@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/trace.h"
+
 namespace qdb {
 
 Result<OptimizeResult> MinimizeGradientDescent(
@@ -14,6 +16,7 @@ Result<OptimizeResult> MinimizeGradientDescent(
   if (options.momentum < 0.0 || options.momentum >= 1.0) {
     return Status::InvalidArgument("momentum must be in [0, 1)");
   }
+  QDB_TRACE_SCOPE("GradientDescent::Minimize", "optimize");
   OptimizeResult result;
   result.params = initial;
   DVector velocity(initial.size(), 0.0);
@@ -21,11 +24,16 @@ Result<OptimizeResult> MinimizeGradientDescent(
   for (int iter = 0; iter < options.max_iterations; ++iter) {
     QDB_ASSIGN_OR_RETURN(DVector grad, gradient(result.params));
     double grad_inf = 0.0;
-    for (double g : grad) grad_inf = std::max(grad_inf, std::abs(g));
+    double grad_sq = 0.0;
+    for (double g : grad) {
+      grad_inf = std::max(grad_inf, std::abs(g));
+      grad_sq += g * g;
+    }
     if (grad_inf < options.gradient_tolerance) {
       result.converged = true;
       break;
     }
+    result.gradient_norm_history.push_back(std::sqrt(grad_sq));
     for (size_t k = 0; k < result.params.size(); ++k) {
       velocity[k] = options.momentum * velocity[k] -
                     options.learning_rate * (k < grad.size() ? grad[k] : 0.0);

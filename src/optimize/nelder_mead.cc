@@ -4,6 +4,8 @@
 #include <cmath>
 #include <numeric>
 
+#include "obs/trace.h"
+
 namespace qdb {
 
 Result<OptimizeResult> MinimizeNelderMead(const Objective& objective,
@@ -13,6 +15,7 @@ Result<OptimizeResult> MinimizeNelderMead(const Objective& objective,
   if (n == 0) {
     return Status::InvalidArgument("Nelder-Mead needs at least one dimension");
   }
+  QDB_TRACE_SCOPE("NelderMead::Minimize", "optimize");
   // Initial simplex: x0 plus one vertex per coordinate offset.
   std::vector<DVector> simplex;
   simplex.push_back(initial);

@@ -27,6 +27,9 @@ struct OptimizeResult {
   bool converged = false;  ///< True if the stopping tolerance was met.
   /// Objective value after each iteration (for convergence plots).
   DVector history;
+  /// ‖∇f‖₂ per iteration, for gradient-based optimizers (empty for the
+  /// derivative-free ones; SPSA records its stochastic two-point estimate).
+  DVector gradient_norm_history;
 };
 
 }  // namespace qdb

@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "obs/trace.h"
+
 namespace qdb {
 
 Result<OptimizeResult> MinimizeSpsa(const Objective& objective,
@@ -10,6 +12,7 @@ Result<OptimizeResult> MinimizeSpsa(const Objective& objective,
   if (options.a <= 0.0 || options.c <= 0.0) {
     return Status::InvalidArgument("SPSA gains a and c must be positive");
   }
+  QDB_TRACE_SCOPE("Spsa::Minimize", "optimize");
   Rng rng(options.seed);
   OptimizeResult result;
   DVector params = initial;
@@ -34,6 +37,9 @@ Result<OptimizeResult> MinimizeSpsa(const Objective& objective,
 
     const double diff = (f_plus - f_minus) / (2.0 * ck);
     for (size_t i = 0; i < n; ++i) params[i] -= ak * diff / delta[i];
+    // ĝ_i = diff / δ_i with δ_i = ±1, so ‖ĝ‖₂ = |diff|·√n.
+    result.gradient_norm_history.push_back(std::abs(diff) *
+                                           std::sqrt(static_cast<double>(n)));
 
     ++result.iterations;
     QDB_ASSIGN_OR_RETURN(double value, objective(params));

@@ -1,10 +1,40 @@
 #include "sim/statevector_simulator.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/strings.h"
+#include "obs/obs.h"
 
 namespace qdb {
+
+namespace {
+
+/// Per-gate-class apply counts plus an amplitude-touch tally. Registry
+/// lookups happen once (function-local static); the hot path pays one
+/// relaxed atomic add per gate, negligible next to the O(2^n) kernel work.
+struct SimCounters {
+  obs::Counter* runs = obs::GetCounter("sim.runs");
+  obs::Counter* diagonal_1q = obs::GetCounter("sim.gates.diagonal_1q");
+  obs::Counter* generic_1q = obs::GetCounter("sim.gates.generic_1q");
+  obs::Counter* controlled_1q = obs::GetCounter("sim.gates.controlled_1q");
+  obs::Counter* diagonal_2q = obs::GetCounter("sim.gates.diagonal_2q");
+  obs::Counter* generic_2q = obs::GetCounter("sim.gates.generic_2q");
+  obs::Counter* swap = obs::GetCounter("sim.gates.swap");
+  obs::Counter* multi_controlled = obs::GetCounter("sim.gates.multi_controlled");
+  obs::Counter* generic_kq = obs::GetCounter("sim.gates.generic_kq");
+  /// Amplitudes read-modify-written across all gate applications (the
+  /// simulator's memory-traffic proxy: diagonal and generic kernels touch
+  /// every amplitude; controlled / swap kernels touch half).
+  obs::Counter* amplitude_touches = obs::GetCounter("sim.amplitude_touches");
+};
+
+SimCounters& Counters() {
+  static SimCounters counters;
+  return counters;
+}
+
+}  // namespace
 
 Result<StateVector> StateVectorSimulator::Run(const Circuit& circuit,
                                               const DVector& params) const {
@@ -26,6 +56,8 @@ Status StateVectorSimulator::RunInPlace(const Circuit& circuit,
         StrCat("circuit references ", circuit.num_parameters(),
                " parameters but only ", params.size(), " were bound"));
   }
+  QDB_TRACE_SCOPE("StateVectorSimulator::Run", "sim");
+  Counters().runs->Increment();
   for (size_t i = 0; i < circuit.gates().size(); ++i) {
     const Gate& gate = circuit.gates()[i];
     DVector angles = circuit.EvaluateAngles(i, params);
@@ -36,29 +68,43 @@ Status StateVectorSimulator::RunInPlace(const Circuit& circuit,
 
 Status StateVectorSimulator::ApplyGate(const Gate& gate, const DVector& angles,
                                        StateVector& state) const {
+  SimCounters& counters = Counters();
+  const long dim = static_cast<long>(state.dim());
   switch (gate.type) {
     case GateType::kI:
       return Status::OK();
     case GateType::kMCX: {
       std::vector<int> controls(gate.qubits.begin(), gate.qubits.end() - 1);
       state.ApplyMCX(controls, gate.qubits.back());
+      counters.multi_controlled->Increment();
+      counters.amplitude_touches->Increment(
+          dim >> std::min<size_t>(controls.size(), 62));
       return Status::OK();
     }
     case GateType::kMCZ: {
       std::vector<int> controls(gate.qubits.begin(), gate.qubits.end() - 1);
       state.ApplyMCZ(controls, gate.qubits.back());
+      counters.multi_controlled->Increment();
+      counters.amplitude_touches->Increment(
+          dim >> std::min<size_t>(controls.size() + 1, 62));
       return Status::OK();
     }
     case GateType::kSwap:
       state.ApplySwap(gate.qubits[0], gate.qubits[1]);
+      counters.swap->Increment();
+      counters.amplitude_touches->Increment(dim / 2);
       return Status::OK();
     case GateType::kCX:
       state.ApplyControlled1Q(gate.qubits[0], gate.qubits[1], {0, 0}, {1, 0},
                               {1, 0}, {0, 0});
+      counters.controlled_1q->Increment();
+      counters.amplitude_touches->Increment(dim / 2);
       return Status::OK();
     case GateType::kCZ:
       state.ApplyDiagonal2Q(gate.qubits[0], gate.qubits[1], {1, 0}, {1, 0},
                             {1, 0}, {-1, 0});
+      counters.diagonal_2q->Increment();
+      counters.amplitude_touches->Increment(dim);
       return Status::OK();
     default:
       break;
@@ -69,15 +115,20 @@ Status StateVectorSimulator::ApplyGate(const Gate& gate, const DVector& angles,
   if (arity == 1) {
     if (IsDiagonalGate(gate.type)) {
       state.ApplyDiagonal1Q(gate.qubits[0], u(0, 0), u(1, 1));
+      counters.diagonal_1q->Increment();
     } else {
       state.Apply1Q(gate.qubits[0], u);
+      counters.generic_1q->Increment();
     }
+    counters.amplitude_touches->Increment(dim);
     return Status::OK();
   }
   if (arity == 2) {
     if (IsDiagonalGate(gate.type)) {
       state.ApplyDiagonal2Q(gate.qubits[0], gate.qubits[1], u(0, 0), u(1, 1),
                             u(2, 2), u(3, 3));
+      counters.diagonal_2q->Increment();
+      counters.amplitude_touches->Increment(dim);
     } else {
       switch (gate.type) {
         case GateType::kCY:
@@ -88,15 +139,21 @@ Status StateVectorSimulator::ApplyGate(const Gate& gate, const DVector& angles,
           // Controlled forms: the 2x2 block lives at rows/cols {2, 3}.
           state.ApplyControlled1Q(gate.qubits[0], gate.qubits[1], u(2, 2),
                                   u(2, 3), u(3, 2), u(3, 3));
+          counters.controlled_1q->Increment();
+          counters.amplitude_touches->Increment(dim / 2);
           break;
         default:
           state.Apply2Q(gate.qubits[0], gate.qubits[1], u);
+          counters.generic_2q->Increment();
+          counters.amplitude_touches->Increment(dim);
           break;
       }
     }
     return Status::OK();
   }
   state.ApplyKQ(gate.qubits, u);
+  counters.generic_kq->Increment();
+  counters.amplitude_touches->Increment(dim);
   return Status::OK();
 }
 

@@ -2,6 +2,7 @@
 
 #include "common/check.h"
 #include "common/rng.h"
+#include "obs/trace.h"
 
 namespace qdb {
 namespace {
@@ -87,6 +88,7 @@ Circuit DataReuploadingCircuit(const DVector& features, int layers,
                                double feature_scale) {
   QDB_CHECK(!features.empty());
   QDB_CHECK_GE(layers, 1);
+  QDB_TRACE_SCOPE("DataReuploadingCircuit", "encoding");
   const int n = static_cast<int>(features.size());
   Circuit c(n);
   int p = 0;

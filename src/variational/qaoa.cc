@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "autodiff/expectation.h"
+#include "obs/trace.h"
 #include "sim/statevector_simulator.h"
 
 namespace qdb {
@@ -66,6 +67,7 @@ Result<std::vector<int8_t>> Qaoa::SampleBest(const DVector& params, int shots,
 }
 
 Result<QaoaResult> Qaoa::Optimize(const QaoaOptions& options) const {
+  QDB_TRACE_SCOPE("Qaoa::Optimize", "train");
   ExpectationFunction f(circuit_, cost_observable_);
   Objective objective = [&f](const DVector& p) { return f.Evaluate(p); };
 
@@ -87,6 +89,7 @@ Result<QaoaResult> Qaoa::Optimize(const QaoaOptions& options) const {
     if (opt.value < result.expected_energy) {
       result.expected_energy = opt.value;
       result.params = std::move(opt.params);
+      result.history = std::move(opt.history);
     }
   }
 

@@ -31,6 +31,8 @@ struct QaoaResult {
   double expected_energy = 0;  ///< ⟨H_C⟩ at the best parameters.
   double best_energy = 0;     ///< Energy of the best sampled configuration.
   std::vector<int8_t> best_spins;  ///< That configuration.
+  /// ⟨H_C⟩ per optimizer iteration of the winning restart.
+  DVector history;
   long circuit_evaluations = 0;
 };
 

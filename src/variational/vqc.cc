@@ -8,6 +8,7 @@
 #include "common/rng.h"
 #include "encoding/encodings.h"
 #include "linalg/vector_ops.h"
+#include "obs/trace.h"
 
 namespace qdb {
 
@@ -54,6 +55,7 @@ Result<VqcClassifier> VqcClassifier::Train(const Dataset& data,
     return Status::InvalidArgument("ansatz_layers must be >= 1");
   }
 
+  QDB_TRACE_SCOPE("VqcClassifier::Train", "train");
   VqcClassifier model;
   model.options_ = options;
   model.num_features_ = data.num_features();
@@ -112,6 +114,7 @@ Result<VqcClassifier> VqcClassifier::Train(const Dataset& data,
 
   model.params_ = std::move(opt.params);
   model.loss_history_ = std::move(opt.history);
+  model.gradient_norm_history_ = std::move(opt.gradient_norm_history);
   for (const auto& fn : sample_fns) {
     model.circuit_evaluations_ += fn.evaluation_count();
   }

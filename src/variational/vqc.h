@@ -54,6 +54,10 @@ class VqcClassifier {
 
   const DVector& params() const { return params_; }
   const DVector& loss_history() const { return loss_history_; }
+  /// ‖∇L‖₂ per training iteration (barren-plateau diagnostics).
+  const DVector& gradient_norm_history() const {
+    return gradient_norm_history_;
+  }
   /// Circuit executions through the expectation path. Note: with the
   /// default adjoint gradient backend, gradient sweeps bypass this counter
   /// (they are two state passes, not circuit evaluations); under
@@ -71,6 +75,7 @@ class VqcClassifier {
   int num_features_ = 0;
   DVector params_;
   DVector loss_history_;
+  DVector gradient_norm_history_;
   long circuit_evaluations_ = 0;
 };
 

@@ -4,6 +4,7 @@
 #include "autodiff/parameter_shift.h"
 #include "common/rng.h"
 #include "linalg/eigen.h"
+#include "obs/trace.h"
 
 namespace qdb {
 
@@ -15,6 +16,7 @@ Result<VqeResult> RunVqe(const Circuit& ansatz, const PauliSum& hamiltonian,
   if (ansatz.num_parameters() == 0) {
     return Status::InvalidArgument("ansatz has no trainable parameters");
   }
+  QDB_TRACE_SCOPE("RunVqe", "train");
   ExpectationFunction f(ansatz, hamiltonian);
 
   Rng rng(options.seed);
@@ -40,6 +42,7 @@ Result<VqeResult> RunVqe(const Circuit& ansatz, const PauliSum& hamiltonian,
   result.energy = opt.value;
   result.params = std::move(opt.params);
   result.history = std::move(opt.history);
+  result.gradient_norms = std::move(opt.gradient_norm_history);
   result.circuit_evaluations = f.evaluation_count();
   return result;
 }

@@ -27,6 +27,7 @@ struct VqeResult {
   double energy = 0.0;       ///< Best variational energy found.
   DVector params;            ///< Parameters achieving it.
   DVector history;           ///< Energy per optimizer iteration.
+  DVector gradient_norms;    ///< ‖∇E‖₂ per optimizer iteration.
   long circuit_evaluations = 0;
 };
 

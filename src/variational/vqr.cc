@@ -7,6 +7,7 @@
 #include "autodiff/parameter_shift.h"
 #include "common/rng.h"
 #include "common/strings.h"
+#include "obs/trace.h"
 #include "variational/ansatz.h"
 
 namespace qdb {
@@ -36,6 +37,7 @@ Result<VqrRegressor> VqrRegressor::Train(const std::vector<DVector>& features,
     }
   }
 
+  QDB_TRACE_SCOPE("VqrRegressor::Train", "train");
   VqrRegressor model;
   model.options_ = options;
   model.num_features_ = d;
@@ -91,6 +93,7 @@ Result<VqrRegressor> VqrRegressor::Train(const std::vector<DVector>& features,
 
   model.params_ = std::move(opt.params);
   model.loss_history_ = std::move(opt.history);
+  model.gradient_norm_history_ = std::move(opt.gradient_norm_history);
   for (const auto& fn : sample_fns) {
     model.circuit_evaluations_ += fn.evaluation_count();
   }

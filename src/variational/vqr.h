@@ -42,6 +42,10 @@ class VqrRegressor {
 
   const DVector& params() const { return params_; }
   const DVector& loss_history() const { return loss_history_; }
+  /// ‖∇L‖₂ per training iteration.
+  const DVector& gradient_norm_history() const {
+    return gradient_norm_history_;
+  }
   /// Circuit executions through the expectation path (see the note on
   /// VqcClassifier::circuit_evaluations about the adjoint backend).
   long circuit_evaluations() const { return circuit_evaluations_; }
@@ -53,6 +57,7 @@ class VqrRegressor {
   int num_features_ = 0;
   DVector params_;
   DVector loss_history_;
+  DVector gradient_norm_history_;
   long circuit_evaluations_ = 0;
 };
 

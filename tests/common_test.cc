@@ -217,6 +217,17 @@ TEST(TimerTest, MeasuresElapsedTime) {
   EXPECT_LT(timer.Seconds(), elapsed + 1.0);
 }
 
+TEST(TimerTest, LapRestartsTheWindow) {
+  Timer timer;
+  volatile double acc = 0.0;
+  for (int i = 0; i < 500000; ++i) acc = acc + std::sqrt(static_cast<double>(i));
+  const double first_lap = timer.Lap();
+  EXPECT_GT(first_lap, 0.0);
+  // Lap restarted the window, so the next reading excludes the burn above.
+  EXPECT_LT(timer.Seconds(), first_lap + 1.0);
+  EXPECT_GE(timer.LapMillis(), 0.0);
+}
+
 TEST(StringsTest, StrCat) {
   EXPECT_EQ(StrCat("a", 1, "b", 2.5), "a1b2.5");
   EXPECT_EQ(StrCat(), "");
