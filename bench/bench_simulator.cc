@@ -145,6 +145,31 @@ void BM_DiagonalGateKernel(benchmark::State& state) {
 
 BENCHMARK(BM_DiagonalGateKernel)->DenseRange(10, 20, 2);
 
+void BM_RunBatch(benchmark::State& state) {
+  // Batched circuit execution across the shared ThreadPool (the Gram-matrix
+  // and gradient fan-out path). Compare against batch_size sequential Run
+  // calls; set QDB_THREADS to vary the pool width.
+  const int n = 12;
+  const int batch_size = static_cast<int>(state.range(0));
+  std::vector<Circuit> circuits;
+  circuits.reserve(batch_size);
+  for (int k = 0; k < batch_size; ++k) {
+    circuits.push_back(RandomDenseCircuit(n, 10, 100 + k));
+  }
+  StateVectorSimulator sim;
+  for (auto _ : state) {
+    auto result = sim.RunBatch(circuits);
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["batch_size"] = batch_size;
+  state.counters["circuits_per_s"] = benchmark::Counter(
+      static_cast<double>(batch_size),
+      benchmark::Counter::kIsIterationInvariantRate);
+}
+
+BENCHMARK(BM_RunBatch)->Arg(1)->Arg(4)->Arg(16)->Arg(64)->Unit(
+    benchmark::kMillisecond);
+
 void BM_PauliExpectation(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));
   StateVector psi(n);

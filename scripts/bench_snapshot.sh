@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Benchmark snapshot: runs the simulator-stack benchmarks that exercise the
+# ThreadPool (E1 simulator, E3 quantum kernel, E4 gradients) and writes one
+# JSON file per suite at the repo root, for before/after comparison across
+# PRs and QDB_THREADS settings:
+#
+#   ./scripts/bench_snapshot.sh                 # default pool width
+#   QDB_THREADS=1 ./scripts/bench_snapshot.sh   # serial baseline
+#
+# Output: BENCH_simulator.json, BENCH_qkernel.json, BENCH_gradients.json.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -S . -DQDB_BUILD_BENCHMARKS=ON >/dev/null
+cmake --build build -j --target bench_simulator --target bench_qkernel \
+  --target bench_gradients
+
+for suite in simulator qkernel gradients; do
+  echo "== bench_${suite} -> BENCH_${suite}.json =="
+  "./build/bench/bench_${suite}" \
+    --benchmark_format=json \
+    --benchmark_out="BENCH_${suite}.json" \
+    --benchmark_out_format=json
+done
+
+echo
+echo "snapshot written: BENCH_simulator.json BENCH_qkernel.json BENCH_gradients.json"

@@ -15,13 +15,16 @@ cmake --build build -j
 (cd build && ctest --output-on-failure -j "$(nproc)")
 
 echo
-echo "== tier 1: obs_test under ThreadSanitizer =="
+echo "== tier 1: concurrency tests under ThreadSanitizer =="
 cmake -B build-tsan -S . \
   -DQDB_SANITIZE=thread \
   -DQDB_BUILD_BENCHMARKS=OFF \
   -DQDB_BUILD_EXAMPLES=OFF >/dev/null
-cmake --build build-tsan -j --target obs_test
+cmake --build build-tsan -j --target obs_test --target thread_pool_test \
+  --target sim_parallel_test
 ./build-tsan/tests/obs_test
+./build-tsan/tests/thread_pool_test
+QDB_THREADS=4 ./build-tsan/tests/sim_parallel_test
 
 echo
 echo "tier 1 PASS"

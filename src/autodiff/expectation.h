@@ -5,7 +5,9 @@
 #ifndef QDB_AUTODIFF_EXPECTATION_H_
 #define QDB_AUTODIFF_EXPECTATION_H_
 
+#include <atomic>
 #include <optional>
+#include <vector>
 
 #include "circuit/circuit.h"
 #include "common/result.h"
@@ -26,6 +28,25 @@ class ExpectationFunction {
   /// The observable width must match the circuit width.
   ExpectationFunction(Circuit circuit, PauliSum observable);
 
+  // The atomic evaluation counter is not movable, so spell the moves out
+  // (carrying the count over). Not thread-safe against concurrent use of
+  // the moved-from object, like any move.
+  ExpectationFunction(ExpectationFunction&& other) noexcept
+      : circuit_(std::move(other.circuit_)),
+        observable_(std::move(other.observable_)),
+        initial_state_(std::move(other.initial_state_)),
+        simulator_(std::move(other.simulator_)),
+        evaluations_(other.evaluations_.load(std::memory_order_relaxed)) {}
+  ExpectationFunction& operator=(ExpectationFunction&& other) noexcept {
+    circuit_ = std::move(other.circuit_);
+    observable_ = std::move(other.observable_);
+    initial_state_ = std::move(other.initial_state_);
+    simulator_ = std::move(other.simulator_);
+    evaluations_.store(other.evaluations_.load(std::memory_order_relaxed),
+                       std::memory_order_relaxed);
+    return *this;
+  }
+
   /// Starts runs from `state` instead of |0...0⟩ (width must match).
   void set_initial_state(StateVector state);
 
@@ -42,19 +63,46 @@ class ExpectationFunction {
   Result<double> EvaluateWithShift(const DVector& params, size_t gate_index,
                                    size_t slot, double delta) const;
 
-  /// Total circuit executions performed through this object.
-  long evaluation_count() const { return evaluations_; }
-  void reset_evaluation_count() { evaluations_ = 0; }
+  /// One shifted evaluation of a batch: the `slot`-th angle of gate
+  /// `gate_index` gets `delta` added to its offset.
+  struct ShiftSpec {
+    size_t gate_index = 0;
+    size_t slot = 0;
+    double delta = 0.0;
+  };
+
+  /// Evaluates every shifted circuit variant (all sharing `params`) as one
+  /// StateVectorSimulator::RunBatch fan-out; entry i answers shifts[i].
+  Result<DVector> EvaluateShiftBatch(const DVector& params,
+                                     const std::vector<ShiftSpec>& shifts) const;
+
+  /// Evaluates E(θ) for every parameter vector of the batch (one circuit,
+  /// many θ) as one parallel fan-out; entry i answers params_list[i].
+  Result<DVector> EvaluateBatch(const std::vector<DVector>& params_list) const;
+
+  /// Total circuit executions performed through this object. Batched
+  /// evaluations may update this from worker threads (the count is atomic).
+  long evaluation_count() const {
+    return evaluations_.load(std::memory_order_relaxed);
+  }
+  void reset_evaluation_count() {
+    evaluations_.store(0, std::memory_order_relaxed);
+  }
 
  private:
   Result<double> RunAndMeasure(const Circuit& circuit,
                                const DVector& params) const;
 
+  /// The circuit with one angle offset shifted; Circuit exposes no mutable
+  /// gate access by design, so the variant is reconstructed gate by gate.
+  Result<Circuit> ShiftedCircuit(size_t gate_index, size_t slot,
+                                 double delta) const;
+
   Circuit circuit_;
   PauliSum observable_;
   std::optional<StateVector> initial_state_;
   StateVectorSimulator simulator_;
-  mutable long evaluations_ = 0;
+  mutable std::atomic<long> evaluations_{0};
 };
 
 }  // namespace qdb

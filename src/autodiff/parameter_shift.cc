@@ -41,43 +41,60 @@ Result<DVector> ParameterShiftGradient(const ExpectationFunction& f,
   const double kFourTermA = (std::sqrt(2.0) + 2.0) / 8.0;
   const double kFourTermB = (std::sqrt(2.0) - 2.0) / 8.0;
 
+  // Pass 1: collect every shifted evaluation the rules call for, in gate
+  // order, so the whole gradient runs as one parallel batch.
+  struct Term {
+    size_t grad_index;
+    double multiplier;
+    ShiftRule rule;
+    size_t first_job;  ///< Index of this term's first entry in `jobs`.
+  };
+  std::vector<ExpectationFunction::ShiftSpec> jobs;
+  std::vector<Term> terms;
   for (size_t gi = 0; gi < circuit.gates().size(); ++gi) {
     const Gate& gate = circuit.gates()[gi];
     for (size_t slot = 0; slot < gate.params.size(); ++slot) {
       const ParamExpr& expr = gate.params[slot];
       if (expr.is_constant() || expr.multiplier == 0.0) continue;
       const ShiftRule rule = RuleFor(gate.type);
-      double dangle = 0.0;
-      switch (rule) {
-        case ShiftRule::kTwoTerm: {
-          QDB_ASSIGN_OR_RETURN(double plus,
-                               f.EvaluateWithShift(params, gi, slot, kHalfPi));
-          QDB_ASSIGN_OR_RETURN(double minus,
-                               f.EvaluateWithShift(params, gi, slot, -kHalfPi));
-          dangle = (plus - minus) / 2.0;
-          break;
-        }
-        case ShiftRule::kFourTerm: {
-          QDB_ASSIGN_OR_RETURN(double p1,
-                               f.EvaluateWithShift(params, gi, slot, kHalfPi));
-          QDB_ASSIGN_OR_RETURN(double m1,
-                               f.EvaluateWithShift(params, gi, slot, -kHalfPi));
-          QDB_ASSIGN_OR_RETURN(
-              double p2, f.EvaluateWithShift(params, gi, slot, kThreeHalfPi));
-          QDB_ASSIGN_OR_RETURN(
-              double m2, f.EvaluateWithShift(params, gi, slot, -kThreeHalfPi));
-          dangle = kFourTermA * (p1 - m1) + kFourTermB * (p2 - m2);
-          break;
-        }
-        case ShiftRule::kUnsupported:
-          return Status::Unimplemented(
-              StrCat("parameter-shift rule not implemented for gate '",
-                     GateTypeName(gate.type),
-                     "' with symbolic parameters; bind it or use "
-                     "FiniteDifferenceGradient"));
+      if (rule == ShiftRule::kUnsupported) {
+        return Status::Unimplemented(
+            StrCat("parameter-shift rule not implemented for gate '",
+                   GateTypeName(gate.type),
+                   "' with symbolic parameters; bind it or use "
+                   "FiniteDifferenceGradient"));
       }
-      grad[expr.index] += expr.multiplier * dangle;
+      terms.push_back({static_cast<size_t>(expr.index), expr.multiplier, rule,
+                       jobs.size()});
+      jobs.push_back({gi, slot, kHalfPi});
+      jobs.push_back({gi, slot, -kHalfPi});
+      if (rule == ShiftRule::kFourTerm) {
+        jobs.push_back({gi, slot, kThreeHalfPi});
+        jobs.push_back({gi, slot, -kThreeHalfPi});
+      }
     }
+  }
+  if (jobs.empty()) return grad;
+
+  QDB_ASSIGN_OR_RETURN(DVector values, f.EvaluateShiftBatch(params, jobs));
+
+  // Pass 2: combine in term order — the arithmetic and its sequence match
+  // the serial rule exactly, so results are thread-count independent.
+  for (const Term& term : terms) {
+    const size_t j = term.first_job;
+    double dangle = 0.0;
+    switch (term.rule) {
+      case ShiftRule::kTwoTerm:
+        dangle = (values[j] - values[j + 1]) / 2.0;
+        break;
+      case ShiftRule::kFourTerm:
+        dangle = kFourTermA * (values[j] - values[j + 1]) +
+                 kFourTermB * (values[j + 2] - values[j + 3]);
+        break;
+      case ShiftRule::kUnsupported:
+        break;  // Rejected in pass 1.
+    }
+    grad[term.grad_index] += term.multiplier * dangle;
   }
   return grad;
 }
@@ -89,14 +106,20 @@ Result<DVector> FiniteDifferenceGradient(const ExpectationFunction& f,
     return Status::InvalidArgument("epsilon must be positive");
   }
   DVector grad(params.size(), 0.0);
-  DVector work = params;
+  if (params.empty()) return grad;
+  // One batch of 2·P perturbed parameter vectors: entries 2k / 2k+1 are the
+  // +ε / −ε variants of parameter k.
+  std::vector<DVector> variants;
+  variants.reserve(2 * params.size());
   for (size_t k = 0; k < params.size(); ++k) {
-    work[k] = params[k] + epsilon;
-    QDB_ASSIGN_OR_RETURN(double plus, f.Evaluate(work));
-    work[k] = params[k] - epsilon;
-    QDB_ASSIGN_OR_RETURN(double minus, f.Evaluate(work));
-    work[k] = params[k];
-    grad[k] = (plus - minus) / (2.0 * epsilon);
+    variants.push_back(params);
+    variants.back()[k] = params[k] + epsilon;
+    variants.push_back(params);
+    variants.back()[k] = params[k] - epsilon;
+  }
+  QDB_ASSIGN_OR_RETURN(DVector values, f.EvaluateBatch(variants));
+  for (size_t k = 0; k < params.size(); ++k) {
+    grad[k] = (values[2 * k] - values[2 * k + 1]) / (2.0 * epsilon);
   }
   return grad;
 }

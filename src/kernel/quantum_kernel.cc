@@ -1,6 +1,7 @@
 #include "kernel/quantum_kernel.h"
 
 #include "common/check.h"
+#include "common/thread_pool.h"
 #include "encoding/encodings.h"
 #include "linalg/vector_ops.h"
 #include "obs/obs.h"
@@ -51,30 +52,50 @@ Result<double> FidelityQuantumKernel::Evaluate(const DVector& x,
   return Fidelity(phi_x, phi_y);
 }
 
+Result<std::vector<CVector>> FidelityQuantumKernel::EncodedStates(
+    const std::vector<DVector>& xs) const {
+  std::vector<Circuit> circuits;
+  circuits.reserve(xs.size());
+  for (const auto& x : xs) {
+    if (x.empty()) {
+      return Status::InvalidArgument("cannot encode an empty feature vector");
+    }
+    circuits.push_back(encoder_(x));
+  }
+  StateVectorSimulator sim;
+  std::vector<CVector> states(xs.size());
+  QDB_RETURN_IF_ERROR(sim.RunBatchReduce(
+      circuits, {}, nullptr, [&states](size_t i, StateVector&& state) {
+        states[i] = std::move(state.amplitudes());
+        return Status::OK();
+      }));
+  Counters().circuit_runs->Increment(static_cast<long>(xs.size()));
+  for (size_t i = 1; i < states.size(); ++i) {
+    if (states[i].size() != states.front().size()) {
+      return Status::InvalidArgument("encoded states have different widths");
+    }
+  }
+  return states;
+}
+
 Result<Matrix> FidelityQuantumKernel::GramMatrix(
     const std::vector<DVector>& xs) const {
   if (xs.empty()) {
     return Status::InvalidArgument("empty data set");
   }
   QDB_TRACE_SCOPE("FidelityQuantumKernel::GramMatrix", "kernel");
-  std::vector<CVector> states;
-  states.reserve(xs.size());
-  for (const auto& x : xs) {
-    QDB_ASSIGN_OR_RETURN(CVector s, EncodedState(x));
-    if (!states.empty() && s.size() != states.front().size()) {
-      return Status::InvalidArgument("encoded states have different widths");
-    }
-    states.push_back(std::move(s));
-  }
+  QDB_ASSIGN_OR_RETURN(std::vector<CVector> states, EncodedStates(xs));
   Matrix gram(xs.size(), xs.size());
-  for (size_t i = 0; i < xs.size(); ++i) {
+  // Row-wise fan-out: task i owns every (i, j) pair with j > i, so writes
+  // are disjoint and the result is identical at any thread count.
+  ThreadPool::Global().RunTasks(xs.size(), [&](size_t i) {
     gram(i, i) = Complex(1.0, 0.0);
     for (size_t j = i + 1; j < xs.size(); ++j) {
       const double k = Fidelity(states[i], states[j]);
       gram(i, j) = Complex(k, 0.0);
       gram(j, i) = Complex(k, 0.0);
     }
-  }
+  });
   // Off-diagonal upper triangle was computed; the diagonal is free.
   Counters().entries->Increment(
       static_cast<long>(xs.size() * (xs.size() - 1) / 2));
@@ -87,22 +108,17 @@ Result<Matrix> FidelityQuantumKernel::CrossMatrix(
     return Status::InvalidArgument("empty data set");
   }
   QDB_TRACE_SCOPE("FidelityQuantumKernel::CrossMatrix", "kernel");
-  std::vector<CVector> train_states;
-  train_states.reserve(train.size());
-  for (const auto& x : train) {
-    QDB_ASSIGN_OR_RETURN(CVector s, EncodedState(x));
-    train_states.push_back(std::move(s));
-  }
+  // One batch over train ∪ test so every encoding circuit fans out together.
+  std::vector<DVector> points = train;
+  points.insert(points.end(), test.begin(), test.end());
+  QDB_ASSIGN_OR_RETURN(std::vector<CVector> states, EncodedStates(points));
   Matrix cross(test.size(), train.size());
-  for (size_t i = 0; i < test.size(); ++i) {
-    QDB_ASSIGN_OR_RETURN(CVector phi, EncodedState(test[i]));
+  ThreadPool::Global().RunTasks(test.size(), [&](size_t i) {
+    const CVector& phi = states[train.size() + i];
     for (size_t j = 0; j < train.size(); ++j) {
-      if (phi.size() != train_states[j].size()) {
-        return Status::InvalidArgument("encoded states have different widths");
-      }
-      cross(i, j) = Complex(Fidelity(phi, train_states[j]), 0.0);
+      cross(i, j) = Complex(Fidelity(phi, states[j]), 0.0);
     }
-  }
+  });
   Counters().entries->Increment(
       static_cast<long>(test.size() * train.size()));
   return cross;

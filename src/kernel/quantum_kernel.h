@@ -34,14 +34,21 @@ class FidelityQuantumKernel {
   Result<double> Evaluate(const DVector& x, const DVector& y) const;
 
   /// Symmetric Gram matrix K_ij = k(x_i, x_j); unit diagonal by
-  /// construction. Each point is encoded exactly once.
+  /// construction. Each point is encoded exactly once; encoding circuits
+  /// run as one StateVectorSimulator::RunBatch and the O(m²) fidelity fill
+  /// fans out row-wise across the shared ThreadPool.
   Result<Matrix> GramMatrix(const std::vector<DVector>& xs) const;
 
-  /// Rectangular kernel K_ij = k(test_i, train_j) for prediction.
+  /// Rectangular kernel K_ij = k(test_i, train_j) for prediction; batched
+  /// and parallelized like GramMatrix.
   Result<Matrix> CrossMatrix(const std::vector<DVector>& test,
                              const std::vector<DVector>& train) const;
 
  private:
+  /// Encodes every point in one parallel batch; all states share one width.
+  Result<std::vector<CVector>> EncodedStates(
+      const std::vector<DVector>& xs) const;
+
   EncodingFn encoder_;
 };
 

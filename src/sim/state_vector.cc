@@ -4,9 +4,39 @@
 #include <cmath>
 
 #include "common/strings.h"
+#include "common/thread_pool.h"
 #include "linalg/vector_ops.h"
 
 namespace qdb {
+
+namespace {
+
+/// Runs an element-wise kernel body over [0, range): split across the
+/// shared pool when the state holds at least kParallelAmplitudeThreshold
+/// amplitudes, serial otherwise. Bodies write disjoint indices, so the
+/// split never changes results.
+template <typename Body>
+void ForKernelRange(uint64_t dim, uint64_t range, Body&& body) {
+  if (dim >= kParallelAmplitudeThreshold) {
+    ThreadPool::Global().ParallelFor(
+        0, range, [&body](uint64_t b, uint64_t e) { body(b, e); });
+  } else {
+    body(0, range);
+  }
+}
+
+/// Sums `fn(begin, end)` over [0, range). Above the threshold the pool's
+/// fixed chunking applies even at QDB_THREADS=1, so the floating-point
+/// combine order — and hence the result — is independent of thread count.
+template <typename T, typename Fn>
+T SumKernelRange(uint64_t dim, uint64_t range, Fn&& fn) {
+  if (dim >= kParallelAmplitudeThreshold) {
+    return ParallelSum<T>(ThreadPool::Global(), 0, range, fn);
+  }
+  return fn(uint64_t{0}, range);
+}
+
+}  // namespace
 
 StateVector::StateVector(int num_qubits) : num_qubits_(num_qubits) {
   QDB_CHECK_GT(num_qubits, 0);
@@ -18,9 +48,12 @@ StateVector::StateVector(int num_qubits) : num_qubits_(num_qubits) {
 Result<StateVector> StateVector::FromAmplitudes(CVector amplitudes,
                                                 double norm_tol) {
   const size_t n = amplitudes.size();
-  if (n == 0 || (n & (n - 1)) != 0) {
+  // A single amplitude (n = 1) passes the power-of-two test but describes a
+  // zero-qubit register; accepting it used to leave dim() = 2 over a
+  // 1-element vector, so every later read walked off the end.
+  if (n < 2 || (n & (n - 1)) != 0) {
     return Status::InvalidArgument(
-        StrCat("amplitude vector size must be a power of two, got ", n));
+        StrCat("amplitude vector size must be a power of two >= 2, got ", n));
   }
   double norm = Norm(amplitudes);
   if (std::abs(norm - 1.0) > norm_tol) {
@@ -29,7 +62,7 @@ Result<StateVector> StateVector::FromAmplitudes(CVector amplitudes,
   }
   int num_qubits = 0;
   while ((size_t{1} << num_qubits) < n) ++num_qubits;
-  StateVector out(std::max(num_qubits, 1));
+  StateVector out(num_qubits);
   out.amps_ = std::move(amplitudes);
   return out;
 }
@@ -54,7 +87,9 @@ double StateVector::Probability(uint64_t index) const {
 
 DVector StateVector::Probabilities() const {
   DVector out(dim());
-  for (uint64_t i = 0; i < dim(); ++i) out[i] = std::norm(amps_[i]);
+  ForKernelRange(dim(), dim(), [&](uint64_t b, uint64_t e) {
+    for (uint64_t i = b; i < e; ++i) out[i] = std::norm(amps_[i]);
+  });
   return out;
 }
 
@@ -62,11 +97,13 @@ double StateVector::ProbabilityOfOne(int qubit) const {
   QDB_CHECK_GE(qubit, 0);
   QDB_CHECK_LT(qubit, num_qubits_);
   const uint64_t mask = uint64_t{1} << BitPos(qubit);
-  double p = 0.0;
-  for (uint64_t i = 0; i < dim(); ++i) {
-    if (i & mask) p += std::norm(amps_[i]);
-  }
-  return p;
+  return SumKernelRange<double>(dim(), dim(), [&](uint64_t b, uint64_t e) {
+    double p = 0.0;
+    for (uint64_t i = b; i < e; ++i) {
+      if (i & mask) p += std::norm(amps_[i]);
+    }
+    return p;
+  });
 }
 
 double StateVector::NormValue() const { return Norm(amps_); }
@@ -87,18 +124,19 @@ void StateVector::Apply1Q(int qubit, Complex m00, Complex m01, Complex m10,
   QDB_CHECK_GE(qubit, 0);
   QDB_CHECK_LT(qubit, num_qubits_);
   const uint64_t stride = uint64_t{1} << BitPos(qubit);
-  const uint64_t n = dim();
-  // Iterate pairs (i, i | stride) where the qubit's bit is 0 in i.
-  for (uint64_t base = 0; base < n; base += 2 * stride) {
-    for (uint64_t offset = 0; offset < stride; ++offset) {
-      const uint64_t i0 = base + offset;
+  // Iterate pairs (i0, i0 | stride) where the qubit's bit is 0 in i0: pair
+  // index p's low BitPos bits are the offset within a block, the rest the
+  // block number, so i0 = (block << (BitPos+1)) | offset.
+  ForKernelRange(dim(), dim() / 2, [&](uint64_t pb, uint64_t pe) {
+    for (uint64_t p = pb; p < pe; ++p) {
+      const uint64_t i0 = ((p & ~(stride - 1)) << 1) | (p & (stride - 1));
       const uint64_t i1 = i0 + stride;
       const Complex a0 = amps_[i0];
       const Complex a1 = amps_[i1];
       amps_[i0] = m00 * a0 + m01 * a1;
       amps_[i1] = m10 * a0 + m11 * a1;
     }
-  }
+  });
 }
 
 void StateVector::Apply1Q(int qubit, const Matrix& u) {
@@ -111,7 +149,9 @@ void StateVector::ApplyDiagonal1Q(int qubit, Complex d0, Complex d1) {
   QDB_CHECK_GE(qubit, 0);
   QDB_CHECK_LT(qubit, num_qubits_);
   const uint64_t mask = uint64_t{1} << BitPos(qubit);
-  for (uint64_t i = 0; i < dim(); ++i) amps_[i] *= (i & mask) ? d1 : d0;
+  ForKernelRange(dim(), dim(), [&](uint64_t b, uint64_t e) {
+    for (uint64_t i = b; i < e; ++i) amps_[i] *= (i & mask) ? d1 : d0;
+  });
 }
 
 void StateVector::ApplyControlled1Q(int control, int target, Complex m00,
@@ -123,10 +163,10 @@ void StateVector::ApplyControlled1Q(int control, int target, Complex m00,
   QDB_CHECK_LT(target, num_qubits_);
   const uint64_t cmask = uint64_t{1} << BitPos(control);
   const uint64_t stride = uint64_t{1} << BitPos(target);
-  const uint64_t n = dim();
-  for (uint64_t base = 0; base < n; base += 2 * stride) {
-    for (uint64_t offset = 0; offset < stride; ++offset) {
-      const uint64_t i0 = base + offset;
+  // Same pair-index walk as Apply1Q, acting only where the control is set.
+  ForKernelRange(dim(), dim() / 2, [&](uint64_t pb, uint64_t pe) {
+    for (uint64_t p = pb; p < pe; ++p) {
+      const uint64_t i0 = ((p & ~(stride - 1)) << 1) | (p & (stride - 1));
       if (!(i0 & cmask)) continue;
       const uint64_t i1 = i0 + stride;
       const Complex a0 = amps_[i0];
@@ -134,7 +174,7 @@ void StateVector::ApplyControlled1Q(int control, int target, Complex m00,
       amps_[i0] = m00 * a0 + m01 * a1;
       amps_[i1] = m10 * a0 + m11 * a1;
     }
-  }
+  });
 }
 
 void StateVector::Apply2Q(int a, int b, const Matrix& u) {
@@ -143,22 +183,30 @@ void StateVector::Apply2Q(int a, int b, const Matrix& u) {
   QDB_CHECK_NE(a, b);
   const uint64_t amask = uint64_t{1} << BitPos(a);
   const uint64_t bmask = uint64_t{1} << BitPos(b);
-  const uint64_t n = dim();
-  for (uint64_t i = 0; i < n; ++i) {
-    if (i & (amask | bmask)) continue;  // i has both operand bits clear.
-    const uint64_t i00 = i;
-    const uint64_t i01 = i | bmask;
-    const uint64_t i10 = i | amask;
-    const uint64_t i11 = i | amask | bmask;
-    const Complex a00 = amps_[i00];
-    const Complex a01 = amps_[i01];
-    const Complex a10 = amps_[i10];
-    const Complex a11 = amps_[i11];
-    amps_[i00] = u(0, 0) * a00 + u(0, 1) * a01 + u(0, 2) * a10 + u(0, 3) * a11;
-    amps_[i01] = u(1, 0) * a00 + u(1, 1) * a01 + u(1, 2) * a10 + u(1, 3) * a11;
-    amps_[i10] = u(2, 0) * a00 + u(2, 1) * a01 + u(2, 2) * a10 + u(2, 3) * a11;
-    amps_[i11] = u(3, 0) * a00 + u(3, 1) * a01 + u(3, 2) * a10 + u(3, 3) * a11;
-  }
+  // Each group of four amplitudes is owned by its unique representative
+  // (both operand bits clear), so chunks over i never touch another chunk's
+  // group even when the partner indices land outside the chunk.
+  ForKernelRange(dim(), dim(), [&](uint64_t lo, uint64_t hi) {
+    for (uint64_t i = lo; i < hi; ++i) {
+      if (i & (amask | bmask)) continue;  // i has both operand bits clear.
+      const uint64_t i00 = i;
+      const uint64_t i01 = i | bmask;
+      const uint64_t i10 = i | amask;
+      const uint64_t i11 = i | amask | bmask;
+      const Complex a00 = amps_[i00];
+      const Complex a01 = amps_[i01];
+      const Complex a10 = amps_[i10];
+      const Complex a11 = amps_[i11];
+      amps_[i00] =
+          u(0, 0) * a00 + u(0, 1) * a01 + u(0, 2) * a10 + u(0, 3) * a11;
+      amps_[i01] =
+          u(1, 0) * a00 + u(1, 1) * a01 + u(1, 2) * a10 + u(1, 3) * a11;
+      amps_[i10] =
+          u(2, 0) * a00 + u(2, 1) * a01 + u(2, 2) * a10 + u(2, 3) * a11;
+      amps_[i11] =
+          u(3, 0) * a00 + u(3, 1) * a01 + u(3, 2) * a10 + u(3, 3) * a11;
+    }
+  });
 }
 
 void StateVector::ApplyDiagonal2Q(int a, int b, Complex d0, Complex d1,
@@ -166,15 +214,17 @@ void StateVector::ApplyDiagonal2Q(int a, int b, Complex d0, Complex d1,
   QDB_CHECK_NE(a, b);
   const uint64_t amask = uint64_t{1} << BitPos(a);
   const uint64_t bmask = uint64_t{1} << BitPos(b);
-  for (uint64_t i = 0; i < dim(); ++i) {
-    const int idx = ((i & amask) ? 2 : 0) | ((i & bmask) ? 1 : 0);
-    switch (idx) {
-      case 0: amps_[i] *= d0; break;
-      case 1: amps_[i] *= d1; break;
-      case 2: amps_[i] *= d2; break;
-      case 3: amps_[i] *= d3; break;
+  ForKernelRange(dim(), dim(), [&](uint64_t lo, uint64_t hi) {
+    for (uint64_t i = lo; i < hi; ++i) {
+      const int idx = ((i & amask) ? 2 : 0) | ((i & bmask) ? 1 : 0);
+      switch (idx) {
+        case 0: amps_[i] *= d0; break;
+        case 1: amps_[i] *= d1; break;
+        case 2: amps_[i] *= d2; break;
+        case 3: amps_[i] *= d3; break;
+      }
     }
-  }
+  });
 }
 
 void StateVector::ApplySwap(int a, int b) {
@@ -249,7 +299,13 @@ void StateVector::ApplyMCZ(const std::vector<int>& controls, int target) {
 }
 
 uint64_t StateVector::SampleOnce(Rng& rng) const {
-  double target = rng.Uniform();
+  // Scale the draw by the total probability mass, exactly as SampleCounts
+  // does: for states whose norm has drifted below 1 an unscaled draw in
+  // [0, 1) silently over-weights the last basis state, making single-shot
+  // measurement disagree in distribution with SampleCounts.
+  double total = 0.0;
+  for (uint64_t i = 0; i < dim(); ++i) total += std::norm(amps_[i]);
+  const double target = rng.Uniform() * total;
   double acc = 0.0;
   for (uint64_t i = 0; i < dim(); ++i) {
     acc += std::norm(amps_[i]);

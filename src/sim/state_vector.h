@@ -20,6 +20,13 @@
 
 namespace qdb {
 
+/// States with at least this many amplitudes run their gate kernels and
+/// probability reductions on the shared ThreadPool; smaller states stay
+/// serial so tiny circuits pay no dispatch cost. Reductions at or above the
+/// threshold always use the pool's fixed chunking, so results are
+/// bit-identical for every QDB_THREADS setting.
+inline constexpr uint64_t kParallelAmplitudeThreshold = uint64_t{1} << 14;
+
 /// \brief The amplitudes of an n-qubit pure state plus the low-level gate
 /// application kernels the simulators are built on.
 class StateVector {

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <optional>
 
 #include "common/strings.h"
+#include "common/thread_pool.h"
 #include "obs/obs.h"
 
 namespace qdb {
@@ -15,6 +17,8 @@ namespace {
 /// relaxed atomic add per gate, negligible next to the O(2^n) kernel work.
 struct SimCounters {
   obs::Counter* runs = obs::GetCounter("sim.runs");
+  obs::Counter* batches = obs::GetCounter("sim.batches");
+  obs::Counter* batch_circuits = obs::GetCounter("sim.batch_circuits");
   obs::Counter* diagonal_1q = obs::GetCounter("sim.gates.diagonal_1q");
   obs::Counter* generic_1q = obs::GetCounter("sim.gates.generic_1q");
   obs::Counter* controlled_1q = obs::GetCounter("sim.gates.controlled_1q");
@@ -64,6 +68,84 @@ Status StateVectorSimulator::RunInPlace(const Circuit& circuit,
     QDB_RETURN_IF_ERROR(ApplyGate(gate, angles, state));
   }
   return Status::OK();
+}
+
+Status StateVectorSimulator::RunBatchReduce(
+    const std::vector<Circuit>& circuits,
+    const std::vector<DVector>& params_list,
+    const StateVector* initial_state,
+    const std::function<Status(size_t, StateVector&&)>& consume) const {
+  const size_t nc = circuits.size();
+  const size_t np = params_list.size();
+  if (nc == 0) return Status::OK();
+  if (nc > 1 && np > 1 && np != nc) {
+    return Status::InvalidArgument(
+        StrCat("batch has ", nc, " circuits but ", np,
+               " parameter vectors (need 0, 1, or one per circuit)"));
+  }
+  const size_t count = std::max(nc, np);
+  QDB_TRACE_SCOPE("StateVectorSimulator::RunBatch", "sim");
+  Counters().batches->Increment();
+  Counters().batch_circuits->Increment(static_cast<long>(count));
+  static const DVector kNoParams;
+  std::vector<Status> statuses(count);
+  ThreadPool::Global().RunTasks(count, [&](size_t i) {
+    QDB_TRACE_SCOPE("StateVectorSimulator::RunBatchTask", "sim");
+    const Circuit& circuit = circuits[nc == 1 ? 0 : i];
+    const DVector& params =
+        np == 0 ? kNoParams : params_list[np == 1 ? 0 : i];
+    StateVector state = initial_state != nullptr
+                            ? *initial_state
+                            : StateVector(circuit.num_qubits());
+    Status status = RunInPlace(circuit, state, params);
+    if (status.ok()) status = consume(i, std::move(state));
+    statuses[i] = std::move(status);
+  });
+  for (Status& status : statuses) {
+    if (!status.ok()) return std::move(status);
+  }
+  return Status::OK();
+}
+
+Result<std::vector<StateVector>> StateVectorSimulator::RunBatch(
+    const std::vector<Circuit>& circuits,
+    const std::vector<DVector>& params_list,
+    const StateVector* initial_state) const {
+  const size_t count = std::max(circuits.size(), params_list.size());
+  std::vector<std::optional<StateVector>> slots(count);
+  QDB_RETURN_IF_ERROR(RunBatchReduce(
+      circuits, params_list, initial_state,
+      [&slots](size_t i, StateVector&& state) {
+        slots[i].emplace(std::move(state));
+        return Status::OK();
+      }));
+  std::vector<StateVector> out;
+  out.reserve(count);
+  for (auto& slot : slots) out.push_back(std::move(*slot));
+  return out;
+}
+
+Result<std::vector<std::map<uint64_t, int>>> StateVectorSimulator::SampleBatch(
+    const std::vector<Circuit>& circuits,
+    const std::vector<DVector>& params_list, int shots, Rng& rng) const {
+  if (shots < 0) {
+    return Status::InvalidArgument("shots must be non-negative");
+  }
+  const size_t count = std::max(circuits.size(), params_list.size());
+  // Split the caller's stream once per task, in batch order, before any
+  // task runs: each task then owns a decorrelated generator whose seed does
+  // not depend on scheduling, so counts are reproducible at any QDB_THREADS.
+  std::vector<Rng> rngs;
+  rngs.reserve(count);
+  for (size_t i = 0; i < count; ++i) rngs.push_back(rng.Split());
+  std::vector<std::map<uint64_t, int>> counts(count);
+  QDB_RETURN_IF_ERROR(RunBatchReduce(
+      circuits, params_list, nullptr,
+      [&counts, &rngs, shots](size_t i, StateVector&& state) {
+        counts[i] = state.SampleCounts(rngs[i], shots);
+        return Status::OK();
+      }));
+  return counts;
 }
 
 Status StateVectorSimulator::ApplyGate(const Gate& gate, const DVector& angles,
@@ -194,12 +276,22 @@ double Expectation(const StateVector& state, const PauliString& pauli) {
     case 2: i_power = {-1.0, 0.0}; break;
     case 3: i_power = {0.0, -1.0}; break;
   }
-  for (uint64_t i = 0; i < dim; ++i) {
-    const int sign_bits =
-        (__builtin_popcountll(i & ymask) + __builtin_popcountll(i & zmask)) & 1;
-    Complex phase = i_power * (sign_bits ? -1.0 : 1.0);
-    acc += std::conj(amps[i ^ xmask]) * phase * amps[i];
-  }
+  auto chunk_sum = [&](uint64_t begin, uint64_t end) {
+    Complex part(0.0, 0.0);
+    for (uint64_t i = begin; i < end; ++i) {
+      const int sign_bits =
+          (__builtin_popcountll(i & ymask) + __builtin_popcountll(i & zmask)) &
+          1;
+      Complex phase = i_power * (sign_bits ? -1.0 : 1.0);
+      part += std::conj(amps[i ^ xmask]) * phase * amps[i];
+    }
+    return part;
+  };
+  // Read-only fan-out; chunked accumulation above the threshold keeps the
+  // combine order fixed for every thread count.
+  acc = dim >= kParallelAmplitudeThreshold
+            ? ParallelSum<Complex>(ThreadPool::Global(), 0, dim, chunk_sum)
+            : chunk_sum(0, dim);
   return acc.real();
 }
 

@@ -5,8 +5,13 @@
 #ifndef QDB_SIM_STATEVECTOR_SIMULATOR_H_
 #define QDB_SIM_STATEVECTOR_SIMULATOR_H_
 
+#include <functional>
+#include <map>
+#include <vector>
+
 #include "circuit/circuit.h"
 #include "common/result.h"
+#include "common/rng.h"
 #include "ops/pauli.h"
 #include "sim/state_vector.h"
 
@@ -34,6 +39,40 @@ class StateVectorSimulator {
   /// Applies a single bound gate to `state`.
   Status ApplyGate(const Gate& gate, const DVector& angles,
                    StateVector& state) const;
+
+  // ---- Batched execution -----------------------------------------------------
+  //
+  // Independent circuit executions fan out across the shared ThreadPool
+  // (kernel Gram matrices, parameter-shift gradients, shot batches).
+  // Broadcast rule: the batch size is max(circuits.size(),
+  // params_list.size()); a 1-element side is reused for every task, and an
+  // empty params_list binds no parameters. Tasks run serially inside a
+  // worker (nested kernels stay inline), so results match a serial loop
+  // bit for bit.
+
+  /// The fused batch primitive: runs each circuit on a worker and hands the
+  /// final state to `consume(index, state)` on that worker instead of
+  /// keeping all 2^n-amplitude states alive. `consume` must be thread-safe
+  /// for distinct indices. Fails with the first (lowest-index) error.
+  Status RunBatchReduce(
+      const std::vector<Circuit>& circuits,
+      const std::vector<DVector>& params_list,
+      const StateVector* initial_state,
+      const std::function<Status(size_t, StateVector&&)>& consume) const;
+
+  /// Runs every circuit of the batch and returns the final states in batch
+  /// order.
+  Result<std::vector<StateVector>> RunBatch(
+      const std::vector<Circuit>& circuits,
+      const std::vector<DVector>& params_list = {},
+      const StateVector* initial_state = nullptr) const;
+
+  /// Runs every circuit and samples `shots` outcomes from its final state.
+  /// `rng` is split once per task in batch order *before* the fan-out, so
+  /// counts are deterministic for a fixed seed regardless of QDB_THREADS.
+  Result<std::vector<std::map<uint64_t, int>>> SampleBatch(
+      const std::vector<Circuit>& circuits,
+      const std::vector<DVector>& params_list, int shots, Rng& rng) const;
 };
 
 /// \brief ⟨ψ|P|ψ⟩ for a single Pauli string (real by Hermiticity).

@@ -7,6 +7,7 @@
 #include "autodiff/parameter_shift.h"
 #include "common/rng.h"
 #include "common/strings.h"
+#include "common/thread_pool.h"
 #include "obs/trace.h"
 #include "variational/ansatz.h"
 
@@ -54,33 +55,57 @@ Result<VqrRegressor> VqrRegressor::Train(const std::vector<DVector>& features,
   }
   const int num_params = sample_fns.front().num_parameters();
 
+  // Samples are independent, so the loss and gradient fan out across the
+  // shared ThreadPool; accumulation stays serial and in sample order,
+  // keeping results thread-count independent.
+  const size_t num_samples = sample_fns.size();
   const double inv_n = 1.0 / static_cast<double>(features.size());
   Objective loss = [&](const DVector& theta) -> Result<double> {
+    std::vector<double> values(num_samples, 0.0);
+    std::vector<Status> statuses(num_samples);
+    ThreadPool::Global().RunTasks(num_samples, [&](size_t i) {
+      Result<double> r = sample_fns[i].Evaluate(theta);
+      if (r.ok()) values[i] = r.value();
+      statuses[i] = r.status();
+    });
     double acc = 0.0;
-    for (size_t i = 0; i < sample_fns.size(); ++i) {
-      QDB_ASSIGN_OR_RETURN(double value, sample_fns[i].Evaluate(theta));
-      const double diff = value - targets[i];
+    for (size_t i = 0; i < num_samples; ++i) {
+      QDB_RETURN_IF_ERROR(statuses[i]);
+      const double diff = values[i] - targets[i];
       acc += diff * diff;
     }
     return acc * inv_n;
   };
   GradientFn grad = [&](const DVector& theta) -> Result<DVector> {
-    DVector total(theta.size(), 0.0);
-    for (size_t i = 0; i < sample_fns.size(); ++i) {
-      double value = 0.0;
-      DVector g;
+    std::vector<double> values(num_samples, 0.0);
+    std::vector<DVector> grads(num_samples);
+    std::vector<Status> statuses(num_samples);
+    ThreadPool::Global().RunTasks(num_samples, [&](size_t i) {
       if (options.gradient == GradientMethod::kAdjoint) {
-        QDB_ASSIGN_OR_RETURN(
-            AdjointResult r,
-            AdjointGradient(sample_fns[i].circuit(), observable, theta));
-        value = r.value;
-        g = std::move(r.gradient);
+        Result<AdjointResult> r =
+            AdjointGradient(sample_fns[i].circuit(), observable, theta);
+        if (r.ok()) {
+          values[i] = r.value().value;
+          grads[i] = std::move(r.value().gradient);
+        }
+        statuses[i] = r.status();
       } else {
-        QDB_ASSIGN_OR_RETURN(value, sample_fns[i].Evaluate(theta));
-        QDB_ASSIGN_OR_RETURN(g, ParameterShiftGradient(sample_fns[i], theta));
+        Result<double> value = sample_fns[i].Evaluate(theta);
+        statuses[i] = value.status();
+        if (!value.ok()) return;
+        values[i] = value.value();
+        Result<DVector> g = ParameterShiftGradient(sample_fns[i], theta);
+        if (g.ok()) grads[i] = std::move(g).value();
+        statuses[i] = g.status();
       }
-      const double coeff = 2.0 * (value - targets[i]) * inv_n;
-      for (size_t k = 0; k < total.size(); ++k) total[k] += coeff * g[k];
+    });
+    DVector total(theta.size(), 0.0);
+    for (size_t i = 0; i < num_samples; ++i) {
+      QDB_RETURN_IF_ERROR(statuses[i]);
+      const double coeff = 2.0 * (values[i] - targets[i]) * inv_n;
+      for (size_t k = 0; k < total.size(); ++k) {
+        total[k] += coeff * grads[i][k];
+      }
     }
     return total;
   };

@@ -36,6 +36,37 @@ TEST(StateVectorTest, FromAmplitudesValidation) {
   EXPECT_EQ(ok.value().num_qubits(), 1);
 }
 
+TEST(StateVectorTest, FromAmplitudesRejectsSingleAmplitude) {
+  // Regression: a length-1 vector is a power of two and has unit norm, but
+  // zero qubits means dim() = 2 while only one amplitude is stored — every
+  // kernel would then read past the end of the buffer.
+  auto r = StateVector::FromAmplitudes({{1, 0}});
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(StateVectorTest, SampleOnceMatchesSampleCountsWhenSubNormalized) {
+  // Regression: SampleOnce used to draw the target against a unit mass while
+  // the CDF only summed to |ψ|² < 1, skewing (or never terminating) draws on
+  // sub-normalized states. Both samplers must agree on the renormalized
+  // distribution P(i) = |a_i|²/Σ|a_j|².
+  const double a0 = std::sqrt(0.5), a1 = 0.4;  // Σ|a|² = 0.66.
+  auto r = StateVector::FromAmplitudes({{a0, 0}, {a1, 0}}, /*norm_tol=*/0.5);
+  ASSERT_TRUE(r.ok());
+  const StateVector& s = r.value();
+  const double p0 = (a0 * a0) / (a0 * a0 + a1 * a1);  // ≈ 0.7576.
+
+  Rng rng_once(11);
+  int zeros = 0;
+  const int shots = 20000;
+  for (int i = 0; i < shots; ++i) zeros += (s.SampleOnce(rng_once) == 0);
+  EXPECT_NEAR(zeros / static_cast<double>(shots), p0, 0.02);
+
+  Rng rng_counts(13);
+  auto counts = s.SampleCounts(rng_counts, shots);
+  EXPECT_NEAR(counts[0] / static_cast<double>(shots), p0, 0.02);
+}
+
 TEST(StateVectorTest, HadamardOnQubitZero) {
   StateVector s(2);
   const Matrix h = GateMatrix(GateType::kH, {});
