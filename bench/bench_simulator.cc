@@ -10,6 +10,7 @@
 
 #include "common/rng.h"
 #include "circuit/circuit.h"
+#include "sim/compiled_circuit.h"
 #include "sim/mps.h"
 #include "sim/statevector_simulator.h"
 
@@ -53,6 +54,59 @@ void BM_StateVectorRandomCircuit(benchmark::State& state) {
 BENCHMARK(BM_StateVectorRandomCircuit)
     ->DenseRange(4, 18, 2)
     ->Unit(benchmark::kMillisecond);
+
+// Compiled-vs-interpreted pair on the same random dense circuit: the
+// interpreted variant forces per-gate dispatch; the compiled variant
+// compiles once outside the timed loop and replays the fused program. The
+// ratio of the two is the headline compilation speedup.
+void BM_InterpretedRandomCircuit(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Circuit c = RandomDenseCircuit(n, 20, 42);
+  StateVectorSimulator sim;
+  sim.set_execution_mode(ExecutionMode::kInterpreted);
+  for (auto _ : state) {
+    auto result = sim.Run(c);
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["qubits"] = n;
+  state.counters["gates"] = static_cast<double>(c.size());
+}
+
+BENCHMARK(BM_InterpretedRandomCircuit)
+    ->DenseRange(4, 18, 2)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_CompiledRandomCircuit(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Circuit c = RandomDenseCircuit(n, 20, 42);
+  const CompiledCircuit program = CompiledCircuit::Compile(c);
+  for (auto _ : state) {
+    StateVector psi(n);
+    Status status = program.Execute(psi);
+    benchmark::DoNotOptimize(status);
+    benchmark::DoNotOptimize(psi);
+  }
+  state.counters["qubits"] = n;
+  state.counters["gates"] = static_cast<double>(c.size());
+  state.counters["compiled_ops"] = static_cast<double>(program.num_ops());
+}
+
+BENCHMARK(BM_CompiledRandomCircuit)
+    ->DenseRange(4, 18, 2)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_CircuitCompile(benchmark::State& state) {
+  // The one-time cost the cache amortizes: lower + fuse, no execution.
+  const int n = static_cast<int>(state.range(0));
+  Circuit c = RandomDenseCircuit(n, 20, 42);
+  for (auto _ : state) {
+    CompiledCircuit program = CompiledCircuit::Compile(c);
+    benchmark::DoNotOptimize(program);
+  }
+  state.counters["gates"] = static_cast<double>(c.size());
+}
+
+BENCHMARK(BM_CircuitCompile)->Arg(8)->Arg(16)->Unit(benchmark::kMicrosecond);
 
 Circuit ShallowChainCircuit(int num_qubits, int depth, uint64_t seed) {
   // Brick-wall nearest-neighbor layers: entanglement grows with depth, not

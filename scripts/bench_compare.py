@@ -1,0 +1,119 @@
+#!/usr/bin/env python3
+"""Compare two benchmark snapshot JSONs (google-benchmark format).
+
+Prints a per-benchmark before/after table for the names present in both
+files and flags regressions where real_time grew by more than the
+threshold (default 10%). Exits non-zero when any regression is flagged, so
+CI and PR workflows can cite the table and fail loudly:
+
+    ./scripts/bench_compare.py BENCH_simulator.json /tmp/new/BENCH_simulator.json
+    ./scripts/bench_compare.py --threshold 0.05 old.json new.json
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_benchmarks(path):
+    """name -> (real_time, time_unit), keeping the first occurrence.
+
+    Aggregate entries (mean/median/stddev repetitions) are skipped so the
+    comparison is raw-run vs raw-run.
+    """
+    with open(path) as f:
+        doc = json.load(f)
+    out = {}
+    for bench in doc.get("benchmarks", []):
+        if bench.get("run_type") == "aggregate":
+            continue
+        name = bench.get("name")
+        if name is None or name in out:
+            continue
+        out[name] = (float(bench["real_time"]), bench.get("time_unit", "ns"))
+    return out
+
+
+def build_context(path):
+    """The build type the snapshot was recorded from.
+
+    Prefers the qdb_build_type stamp written by bench_snapshot.sh (the
+    build type of this repo's library); context.library_build_type only
+    describes how the installed google-benchmark library was compiled.
+    """
+    with open(path) as f:
+        ctx = json.load(f).get("context", {})
+    return ctx.get("qdb_build_type",
+                   ctx.get("library_build_type", "unknown"))
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline", help="older snapshot JSON")
+    parser.add_argument("candidate", help="newer snapshot JSON")
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.10,
+        help="relative real_time growth that counts as a regression "
+        "(default 0.10 = 10%%)",
+    )
+    args = parser.parse_args()
+
+    base = load_benchmarks(args.baseline)
+    cand = load_benchmarks(args.candidate)
+    shared = sorted(set(base) & set(cand))
+    if not shared:
+        print("no shared benchmark names between the two snapshots",
+              file=sys.stderr)
+        return 2
+
+    for path in (args.baseline, args.candidate):
+        build = build_context(path)
+        if build.lower() != "release":
+            print(f"warning: {path} was recorded with "
+                  f"library_build_type={build}", file=sys.stderr)
+
+    name_w = max(len(n) for n in shared)
+    print(f"{'benchmark':<{name_w}}  {'before':>12}  {'after':>12}  "
+          f"{'delta':>8}")
+    regressions = []
+    for name in shared:
+        before, unit_b = base[name]
+        after, unit_a = cand[name]
+        if unit_b != unit_a:
+            print(f"{name:<{name_w}}  (time_unit mismatch: "
+                  f"{unit_b} vs {unit_a})")
+            continue
+        delta = (after - before) / before if before > 0 else float("inf")
+        marker = ""
+        if delta > args.threshold:
+            marker = "  << REGRESSION"
+            regressions.append((name, delta))
+        print(f"{name:<{name_w}}  {before:>10.1f}{unit_b:<2}  "
+              f"{after:>10.1f}{unit_a:<2}  {delta:>+7.1%}{marker}")
+
+    only_base = sorted(set(base) - set(cand))
+    only_cand = sorted(set(cand) - set(base))
+    if only_base:
+        print(f"\nonly in baseline ({len(only_base)}): "
+              + ", ".join(only_base[:8])
+              + (" …" if len(only_base) > 8 else ""))
+    if only_cand:
+        print(f"only in candidate ({len(only_cand)}): "
+              + ", ".join(only_cand[:8])
+              + (" …" if len(only_cand) > 8 else ""))
+
+    if regressions:
+        print(f"\n{len(regressions)} regression(s) above "
+              f"{args.threshold:.0%}:", file=sys.stderr)
+        for name, delta in regressions:
+            print(f"  {name}: {delta:+.1%}", file=sys.stderr)
+        return 1
+    print(f"\nno regressions above {args.threshold:.0%} "
+          f"across {len(shared)} shared benchmarks")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

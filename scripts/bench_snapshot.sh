@@ -8,20 +8,58 @@
 #   QDB_THREADS=1 ./scripts/bench_snapshot.sh   # serial baseline
 #
 # Output: BENCH_simulator.json, BENCH_qkernel.json, BENCH_gradients.json.
+#
+# Snapshots must come from a Release (-O2, no sanitizers, NDEBUG) build —
+# debug-build numbers are not comparable across PRs. The script refuses to
+# record anything else; set QDB_BENCH_ALLOW_DEBUG=1 to override for local
+# experiments (the output is then tagged so it cannot be mistaken for a
+# trustworthy snapshot).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-cmake -B build -S . -DQDB_BUILD_BENCHMARKS=ON >/dev/null
+cmake -B build -S . -DQDB_BUILD_BENCHMARKS=ON -DCMAKE_BUILD_TYPE=Release \
+  >/dev/null
+build_type=$(grep -E '^CMAKE_BUILD_TYPE:' build/CMakeCache.txt |
+  cut -d= -f2)
+if [[ "${build_type}" != "Release" ]]; then
+  if [[ "${QDB_BENCH_ALLOW_DEBUG:-0}" != "1" ]]; then
+    echo "ERROR: build/ is configured as '${build_type:-unset}', not Release." >&2
+    echo "Benchmark snapshots from non-Release builds are not comparable;" >&2
+    echo "reconfigure with -DCMAKE_BUILD_TYPE=Release (or set" >&2
+    echo "QDB_BENCH_ALLOW_DEBUG=1 to record a tagged, untrusted snapshot)." >&2
+    exit 1
+  fi
+  echo "WARNING: recording from a '${build_type}' build; snapshots will be" >&2
+  echo "tagged UNTRUSTED-${build_type} and must not be checked in." >&2
+  tag="UNTRUSTED-${build_type}-"
+else
+  tag=""
+fi
+
 cmake --build build -j --target bench_simulator --target bench_qkernel \
   --target bench_gradients
 
 for suite in simulator qkernel gradients; do
-  echo "== bench_${suite} -> BENCH_${suite}.json =="
+  out="${tag}BENCH_${suite}.json"
+  echo "== bench_${suite} -> ${out} =="
   "./build/bench/bench_${suite}" \
     --benchmark_format=json \
-    --benchmark_out="BENCH_${suite}.json" \
+    --benchmark_out="${out}" \
     --benchmark_out_format=json
+  # google-benchmark's context.library_build_type describes how the
+  # *installed benchmark library* was compiled, not this repo. Stamp the
+  # verified qdb build type so provenance survives in the snapshot itself.
+  python3 - "${out}" "${build_type}" << 'PYEOF'
+import json, sys
+path, build_type = sys.argv[1], sys.argv[2]
+with open(path) as f:
+    doc = json.load(f)
+doc.setdefault("context", {})["qdb_build_type"] = build_type
+with open(path, "w") as f:
+    json.dump(doc, f, indent=2)
+    f.write("\n")
+PYEOF
 done
 
 echo
-echo "snapshot written: BENCH_simulator.json BENCH_qkernel.json BENCH_gradients.json"
+echo "snapshot written: ${tag}BENCH_simulator.json ${tag}BENCH_qkernel.json ${tag}BENCH_gradients.json"

@@ -1,6 +1,7 @@
 #include "circuit/circuit.h"
 
 #include <algorithm>
+#include <cstring>
 #include <sstream>
 
 #include "common/strings.h"
@@ -227,6 +228,35 @@ std::string Circuit::ToString() const {
     os << ";\n";
   }
   return os.str();
+}
+
+std::string Circuit::StructuralFingerprint() const {
+  std::string key;
+  key.reserve(16 + gates_.size() * 24);
+  auto put_i32 = [&key](int32_t v) {
+    char buf[sizeof(v)];
+    std::memcpy(buf, &v, sizeof(v));
+    key.append(buf, sizeof(v));
+  };
+  auto put_f64 = [&key](double v) {
+    char buf[sizeof(v)];
+    std::memcpy(buf, &v, sizeof(v));
+    key.append(buf, sizeof(v));
+  };
+  put_i32(num_qubits_);
+  put_i32(static_cast<int32_t>(gates_.size()));
+  for (const Gate& g : gates_) {
+    key.push_back(static_cast<char>(g.type));
+    key.push_back(static_cast<char>(g.qubits.size()));
+    for (int q : g.qubits) put_i32(q);
+    key.push_back(static_cast<char>(g.params.size()));
+    for (const ParamExpr& p : g.params) {
+      put_i32(p.index);
+      put_f64(p.multiplier);
+      put_f64(p.offset);
+    }
+  }
+  return key;
 }
 
 }  // namespace qdb

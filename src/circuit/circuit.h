@@ -115,6 +115,13 @@ class Circuit {
   /// OpenQASM-flavoured rendering, one gate per line.
   std::string ToString() const;
 
+  /// Byte-exact structural encoding of the circuit: width plus, per gate,
+  /// the type, operand qubits, and raw parameter expressions (index,
+  /// multiplier, offset with bit-exact doubles). Two circuits share a
+  /// fingerprint iff they are gate-for-gate identical — the key the
+  /// compilation cache is built on.
+  std::string StructuralFingerprint() const;
+
  private:
   Circuit& Add1Q(GateType type, int q);
   Circuit& Add2Q(GateType type, int a, int b);

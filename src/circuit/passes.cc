@@ -64,9 +64,17 @@ bool ArePairwiseInverse(const Gate& a, const Gate& b, double tol) {
   if (!SameOperands(a, b)) return false;
   if (a.type == b.type && IsSelfInverse(a.type)) return true;
   if (AdjointType(a.type) == b.type && a.type != b.type) return true;  // S/Sdg, T/Tdg
-  if (a.type == b.type && GateParamCount(a.type) == 1 && IsConstantGate(a) &&
-      IsConstantGate(b)) {
-    return std::abs(a.params[0].offset + b.params[0].offset) <= tol;
+  if (a.type == b.type && GateParamCount(a.type) == 1) {
+    if (IsConstantGate(a) && IsConstantGate(b)) {
+      return std::abs(a.params[0].offset + b.params[0].offset) <= tol;
+    }
+    // Symbolic angles cancel when the expressions are exact negations
+    // (same parameter slot, negated multiplier and offset): the composed
+    // rotation angle is identically zero for every parameter vector.
+    const ParamExpr& pa = a.params[0];
+    const ParamExpr& pb = b.params[0];
+    return pa.index == pb.index && pa.multiplier == -pb.multiplier &&
+           std::abs(pa.offset + pb.offset) <= tol;
   }
   return false;
 }
@@ -126,7 +134,11 @@ Circuit RemoveIdentities(const Circuit& circuit, double tol) {
   std::vector<Gate> out;
   for (const auto& g : circuit.gates()) {
     if (g.type == GateType::kI) continue;
-    if (GateParamCount(g.type) == 1 && IsConstantGate(g) &&
+    // A single-angle rotation whose angle is identically zero — constant
+    // zero, or a symbolic expression with zero multiplier — is an identity
+    // up to global phase for every gate type in the IR.
+    if (GateParamCount(g.type) == 1 &&
+        (IsConstantGate(g) || g.params[0].multiplier == 0.0) &&
         std::abs(g.params[0].offset) <= tol) {
       continue;
     }

@@ -35,8 +35,7 @@ Result<CVector> FidelityQuantumKernel::EncodedState(const DVector& x) const {
     return Status::InvalidArgument("cannot encode an empty feature vector");
   }
   Circuit circuit = encoder_(x);
-  StateVectorSimulator sim;
-  QDB_ASSIGN_OR_RETURN(StateVector state, sim.Run(circuit));
+  QDB_ASSIGN_OR_RETURN(StateVector state, simulator_.Run(circuit));
   Counters().circuit_runs->Increment();
   return state.amplitudes();
 }
@@ -62,9 +61,8 @@ Result<std::vector<CVector>> FidelityQuantumKernel::EncodedStates(
     }
     circuits.push_back(encoder_(x));
   }
-  StateVectorSimulator sim;
   std::vector<CVector> states(xs.size());
-  QDB_RETURN_IF_ERROR(sim.RunBatchReduce(
+  QDB_RETURN_IF_ERROR(simulator_.RunBatchReduce(
       circuits, {}, nullptr, [&states](size_t i, StateVector&& state) {
         states[i] = std::move(state.amplitudes());
         return Status::OK();

@@ -13,6 +13,7 @@
 #include "common/result.h"
 #include "linalg/matrix.h"
 #include "linalg/types.h"
+#include "sim/statevector_simulator.h"
 
 namespace qdb {
 
@@ -26,6 +27,13 @@ class FidelityQuantumKernel {
   using EncodingFn = std::function<Circuit(const DVector&)>;
 
   explicit FidelityQuantumKernel(EncodingFn encoder);
+
+  /// Execution-mode override for the underlying simulator. Encoding
+  /// circuits bake data into constant angles, so Gram/Cross fills win from
+  /// fusion; kInterpreted opts a workload out of compilation entirely.
+  void set_execution_mode(ExecutionMode mode) {
+    simulator_.set_execution_mode(mode);
+  }
 
   /// |φ(x)⟩ as an amplitude vector.
   Result<CVector> EncodedState(const DVector& x) const;
@@ -50,6 +58,7 @@ class FidelityQuantumKernel {
       const std::vector<DVector>& xs) const;
 
   EncodingFn encoder_;
+  StateVectorSimulator simulator_;
 };
 
 /// Convenience factories for the standard encodings of E3/E13.

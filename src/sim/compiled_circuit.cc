@@ -1,0 +1,628 @@
+#include "sim/compiled_circuit.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/strings.h"
+#include "obs/obs.h"
+
+namespace qdb {
+
+namespace {
+
+/// Compilation and replay counters. compile.*/fusion.* track the one-time
+/// lowering work; the sim.gates.* family is shared with the interpreter so
+/// per-kernel-class dashboards stay meaningful across execution modes.
+struct CompiledCounters {
+  obs::Counter* circuits = obs::GetCounter("compile.circuits");
+  obs::Counter* source_gates = obs::GetCounter("compile.source_gates");
+  obs::Counter* ops_emitted = obs::GetCounter("compile.ops_emitted");
+  obs::Counter* cache_hits = obs::GetCounter("compile.cache_hits");
+  obs::Counter* cache_misses = obs::GetCounter("compile.cache_misses");
+  obs::Counter* cache_evictions = obs::GetCounter("compile.cache_evictions");
+  obs::Gauge* cache_size = obs::GetGauge("compile.cache_size");
+  obs::Counter* replays = obs::GetCounter("compile.replays");
+  obs::Counter* fused_1q1q = obs::GetCounter("fusion.fused_1q1q");
+  obs::Counter* fused_diag = obs::GetCounter("fusion.fused_diag");
+  obs::Counter* fused_1q2q = obs::GetCounter("fusion.fused_1q2q");
+  obs::Counter* fused_2q2q = obs::GetCounter("fusion.fused_2q2q");
+  obs::Counter* ops_eliminated = obs::GetCounter("fusion.ops_eliminated");
+  obs::Counter* diagonal_1q = obs::GetCounter("sim.gates.diagonal_1q");
+  obs::Counter* generic_1q = obs::GetCounter("sim.gates.generic_1q");
+  obs::Counter* controlled_1q = obs::GetCounter("sim.gates.controlled_1q");
+  obs::Counter* diagonal_2q = obs::GetCounter("sim.gates.diagonal_2q");
+  obs::Counter* generic_2q = obs::GetCounter("sim.gates.generic_2q");
+  obs::Counter* swap = obs::GetCounter("sim.gates.swap");
+  obs::Counter* multi_controlled = obs::GetCounter("sim.gates.multi_controlled");
+  obs::Counter* generic_kq = obs::GetCounter("sim.gates.generic_kq");
+  obs::Counter* amplitude_touches = obs::GetCounter("sim.amplitude_touches");
+};
+
+CompiledCounters& Counters() {
+  static CompiledCounters counters;
+  return counters;
+}
+
+bool IsControlled2QForm(GateType type) {
+  switch (type) {
+    case GateType::kCY:
+    case GateType::kCH:
+    case GateType::kCRX:
+    case GateType::kCRY:
+    case GateType::kCRZ:
+      return true;
+    default:
+      return false;
+  }
+}
+
+/// Computes the kernel kind and payload for a bound arity-1/2 gate. Mirrors
+/// the dispatch ladder of StateVectorSimulator::ApplyGate exactly, so a
+/// program compiled without fusion issues the same kernel calls with the
+/// same matrix entries as the interpreter.
+void LowerBound(GateType type, const DVector& angles, CompiledOp* op) {
+  const Matrix u = GateMatrix(type, angles);
+  const int arity = GateArity(type);
+  if (arity == 1) {
+    if (IsDiagonalGate(type)) {
+      op->kind = CompiledOpKind::k1QDiag;
+      op->c = {u(0, 0), u(1, 1), Complex(0, 0), Complex(0, 0)};
+    } else {
+      op->kind = CompiledOpKind::k1QDense;
+      op->c = {u(0, 0), u(0, 1), u(1, 0), u(1, 1)};
+    }
+    return;
+  }
+  QDB_CHECK_EQ(arity, 2);
+  if (IsDiagonalGate(type)) {
+    op->kind = CompiledOpKind::k2QDiag;
+    op->c = {u(0, 0), u(1, 1), u(2, 2), u(3, 3)};
+  } else if (IsControlled2QForm(type)) {
+    op->kind = CompiledOpKind::kControlled1Q;
+    op->c = {u(2, 2), u(2, 3), u(3, 2), u(3, 3)};
+  } else {
+    op->kind = CompiledOpKind::k2QDense;
+    op->m = u;
+  }
+}
+
+/// Lowers one gate (constant payloads baked, parametric gates kept symbolic)
+/// and appends the resulting op, or nothing for identities.
+void LowerGate(const Gate& gate, std::vector<CompiledOp>& out) {
+  CompiledOp op;
+  op.src = gate.type;
+  switch (gate.type) {
+    case GateType::kI:
+      return;  // The interpreter skips identities too.
+    case GateType::kMCX:
+      op.kind = CompiledOpKind::kMCX;
+      op.qubits.assign(gate.qubits.begin(), gate.qubits.end() - 1);
+      op.q0 = gate.qubits.back();
+      out.push_back(std::move(op));
+      return;
+    case GateType::kMCZ:
+      op.kind = CompiledOpKind::kMCZ;
+      op.qubits.assign(gate.qubits.begin(), gate.qubits.end() - 1);
+      op.q0 = gate.qubits.back();
+      out.push_back(std::move(op));
+      return;
+    case GateType::kSwap:
+      op.kind = CompiledOpKind::kSwap;
+      op.q0 = gate.qubits[0];
+      op.q1 = gate.qubits[1];
+      out.push_back(std::move(op));
+      return;
+    case GateType::kCX:
+      op.kind = CompiledOpKind::kControlled1Q;
+      op.q0 = gate.qubits[0];
+      op.q1 = gate.qubits[1];
+      op.c = {Complex(0, 0), Complex(1, 0), Complex(1, 0), Complex(0, 0)};
+      out.push_back(std::move(op));
+      return;
+    case GateType::kCZ:
+      op.kind = CompiledOpKind::k2QDiag;
+      op.q0 = gate.qubits[0];
+      op.q1 = gate.qubits[1];
+      op.c = {Complex(1, 0), Complex(1, 0), Complex(1, 0), Complex(-1, 0)};
+      out.push_back(std::move(op));
+      return;
+    default:
+      break;
+  }
+  if (gate.qubits.size() > 2) {
+    // CCX / CSwap: the interpreter's generic k-qubit fallback.
+    op.kind = CompiledOpKind::kKQDense;
+    op.qubits = gate.qubits;
+    op.m = GateMatrix(gate.type, {});
+    out.push_back(std::move(op));
+    return;
+  }
+  op.q0 = gate.qubits[0];
+  if (gate.qubits.size() == 2) op.q1 = gate.qubits[1];
+  bool parametric = false;
+  for (const ParamExpr& p : gate.params) parametric |= !p.is_constant();
+  if (parametric) {
+    // Thin angle → payload evaluator: kind is resolved at replay time from
+    // the same LowerBound ladder, with angles bound from the parameter
+    // vector. Stash a provisional kind so the op is not mistaken for a Nop.
+    op.exprs = gate.params;
+    op.kind = GateArity(gate.type) == 1 ? CompiledOpKind::k1QDense
+                                        : CompiledOpKind::k2QDense;
+  } else {
+    DVector angles;
+    angles.reserve(gate.params.size());
+    for (const ParamExpr& p : gate.params) angles.push_back(p.offset);
+    LowerBound(gate.type, angles, &op);
+  }
+  out.push_back(std::move(op));
+}
+
+// ---- Fusion helpers ---------------------------------------------------------
+
+bool IsConst1Q(const CompiledOp& op) {
+  return !op.parametric() && (op.kind == CompiledOpKind::k1QDense ||
+                              op.kind == CompiledOpKind::k1QDiag);
+}
+
+bool IsConst2QClass(const CompiledOp& op) {
+  if (op.parametric()) return false;
+  switch (op.kind) {
+    case CompiledOpKind::k2QDense:
+    case CompiledOpKind::k2QDiag:
+    case CompiledOpKind::kControlled1Q:
+    case CompiledOpKind::kSwap:
+      return true;
+    default:
+      return false;
+  }
+}
+
+/// The op's full 4x4 matrix in its own (q0 = high bit, q1 = low bit) order.
+Matrix To4x4(const CompiledOp& op) {
+  switch (op.kind) {
+    case CompiledOpKind::k2QDense:
+      return op.m;
+    case CompiledOpKind::k2QDiag:
+      return Matrix::Diagonal({op.c[0], op.c[1], op.c[2], op.c[3]});
+    case CompiledOpKind::kControlled1Q: {
+      Matrix m = Matrix::Identity(4);
+      m(2, 2) = op.c[0];
+      m(2, 3) = op.c[1];
+      m(3, 2) = op.c[2];
+      m(3, 3) = op.c[3];
+      return m;
+    }
+    case CompiledOpKind::kSwap: {
+      Matrix m(4, 4);
+      m(0, 0) = m(3, 3) = Complex(1, 0);
+      m(1, 2) = m(2, 1) = Complex(1, 0);
+      return m;
+    }
+    default:
+      QDB_CHECK(false) << "To4x4 on a non-2Q op";
+      return Matrix();
+  }
+}
+
+/// Embeds a constant 1Q op into the 4x4 of a qubit pair: u ⊗ I when the op
+/// acts on the pair's high qubit, I ⊗ u otherwise.
+Matrix Expand1QTo4x4(const CompiledOp& op, bool on_high) {
+  Matrix u(2, 2);
+  if (op.kind == CompiledOpKind::k1QDiag) {
+    u(0, 0) = op.c[0];
+    u(1, 1) = op.c[1];
+  } else {
+    u(0, 0) = op.c[0];
+    u(0, 1) = op.c[1];
+    u(1, 0) = op.c[2];
+    u(1, 1) = op.c[3];
+  }
+  Matrix out(4, 4);
+  for (int r = 0; r < 4; ++r) {
+    for (int col = 0; col < 4; ++col) {
+      if (on_high) {
+        if ((r & 1) == (col & 1)) out(r, col) = u(r >> 1, col >> 1);
+      } else {
+        if ((r >> 1) == (col >> 1)) out(r, col) = u(r & 1, col & 1);
+      }
+    }
+  }
+  return out;
+}
+
+/// Re-expresses a 4x4 written in (a, b) qubit order in (b, a) order:
+/// M'(r, c) = M(sw(r), sw(c)) with sw exchanging the two index bits.
+Matrix PermutePair(const Matrix& m) {
+  static constexpr int kSw[4] = {0, 2, 1, 3};
+  Matrix out(4, 4);
+  for (int r = 0; r < 4; ++r) {
+    for (int c = 0; c < 4; ++c) out(r, c) = m(kSw[r], kSw[c]);
+  }
+  return out;
+}
+
+/// 2x2 product cur·prev over the array payloads (diagonal ops expand).
+std::array<Complex, 4> Mul2x2(const CompiledOp& cur, const CompiledOp& prev) {
+  auto dense = [](const CompiledOp& op) -> std::array<Complex, 4> {
+    if (op.kind == CompiledOpKind::k1QDiag) {
+      return {op.c[0], Complex(0, 0), Complex(0, 0), op.c[1]};
+    }
+    return op.c;
+  };
+  const std::array<Complex, 4> x = dense(cur);
+  const std::array<Complex, 4> y = dense(prev);
+  return {x[0] * y[0] + x[1] * y[2], x[0] * y[1] + x[1] * y[3],
+          x[2] * y[0] + x[3] * y[2], x[2] * y[1] + x[3] * y[3]};
+}
+
+/// Folds a diagonal 1Q op into a diagonal 2Q payload in place.
+void FoldDiag1QInto2QDiag(const CompiledOp& one_q, bool on_high,
+                          std::array<Complex, 4>& quad) {
+  const Complex d0 = one_q.c[0];
+  const Complex d1 = one_q.c[1];
+  if (on_high) {
+    quad[0] *= d0;
+    quad[1] *= d0;
+    quad[2] *= d1;
+    quad[3] *= d1;
+  } else {
+    quad[0] *= d0;
+    quad[1] *= d1;
+    quad[2] *= d0;
+    quad[3] *= d1;
+  }
+}
+
+/// The deterministic fusion pass: a single forward walk that greedily merges
+/// each constant op into the latest op still touching its qubits. Parametric
+/// ops, MCX/MCZ, and generic k-qubit ops act as barriers on their operands.
+/// The pass is sequential and depends only on the op list, so fused programs
+/// are identical regardless of thread count.
+std::vector<CompiledOp> FusePass(std::vector<CompiledOp> in, int num_qubits,
+                                 CompileStats& stats) {
+  std::vector<CompiledOp> out;
+  out.reserve(in.size());
+  // prevs[i] = the previous last-toucher index of op i's operands at push
+  // time, forming a per-qubit chain so absorbing an op can restore the
+  // qubit's prior frontier.
+  std::vector<std::array<int, 2>> prevs;
+  prevs.reserve(in.size());
+  std::vector<int> last(num_qubits, -1);
+
+  auto push = [&](CompiledOp op, std::initializer_list<int> touched) {
+    const int idx = static_cast<int>(out.size());
+    std::array<int, 2> links = {-1, -1};
+    int li = 0;
+    for (int q : touched) {
+      if (li < 2) links[li++] = last[q];
+      last[q] = idx;
+    }
+    out.push_back(std::move(op));
+    prevs.push_back(links);
+  };
+
+  for (CompiledOp& cur : in) {
+    if (IsConst1Q(cur)) {
+      const int q = cur.q0;
+      const int p = last[q];
+      if (p >= 0) {
+        CompiledOp& prev = out[static_cast<size_t>(p)];
+        if (IsConst1Q(prev)) {
+          // Merge the pair into one 2x2 (diagonal iff both were diagonal).
+          const bool both_diag = cur.kind == CompiledOpKind::k1QDiag &&
+                                 prev.kind == CompiledOpKind::k1QDiag;
+          const std::array<Complex, 4> merged = Mul2x2(cur, prev);
+          if (both_diag) {
+            prev.c = {merged[0], merged[3], Complex(0, 0), Complex(0, 0)};
+          } else {
+            prev.kind = CompiledOpKind::k1QDense;
+            prev.c = merged;
+          }
+          prev.fused_gates += cur.fused_gates;
+          ++stats.fused_1q1q;
+          continue;
+        }
+        // A 1Q op commutes with everything after `prev` (nothing after it
+        // touches q), so it may slide back and compose onto a 2Q-class op.
+        if (IsConst2QClass(prev)) {
+          const bool on_high = prev.q0 == q;
+          if (cur.kind == CompiledOpKind::k1QDiag &&
+              prev.kind == CompiledOpKind::k2QDiag) {
+            FoldDiag1QInto2QDiag(cur, on_high, prev.c);
+            ++stats.fused_diag;
+          } else {
+            prev.m = Expand1QTo4x4(cur, on_high) * To4x4(prev);
+            prev.kind = CompiledOpKind::k2QDense;
+            ++stats.fused_1q2q;
+          }
+          prev.fused_gates += cur.fused_gates;
+          continue;
+        }
+      }
+      push(std::move(cur), {q});
+      continue;
+    }
+
+    if (IsConst2QClass(cur)) {
+      const int a = cur.q0;
+      const int b = cur.q1;
+      // Absorb trailing constant 1Q ops on either operand: nothing between
+      // them and `cur` touches their qubit, so they commute forward.
+      bool dense = false;
+      Matrix cur4;
+      for (bool progressed = true; progressed;) {
+        progressed = false;
+        for (int side = 0; side < 2; ++side) {
+          const int q = side == 0 ? a : b;
+          const int pq = last[q];
+          if (pq < 0 || !IsConst1Q(out[static_cast<size_t>(pq)])) continue;
+          CompiledOp& one_q = out[static_cast<size_t>(pq)];
+          const bool on_high = side == 0;
+          if (!dense && cur.kind == CompiledOpKind::k2QDiag &&
+              one_q.kind == CompiledOpKind::k1QDiag) {
+            FoldDiag1QInto2QDiag(one_q, on_high, cur.c);
+            ++stats.fused_diag;
+          } else {
+            if (!dense) {
+              cur4 = To4x4(cur);
+              dense = true;
+            }
+            cur4 = cur4 * Expand1QTo4x4(one_q, on_high);
+            ++stats.fused_1q2q;
+          }
+          cur.fused_gates += one_q.fused_gates;
+          last[q] = prevs[static_cast<size_t>(pq)][0];
+          one_q.kind = CompiledOpKind::kNop;
+          progressed = true;
+        }
+      }
+      // Pair fusion: the previous op owns exactly this qubit pair and
+      // nothing in between touches either qubit.
+      const int p = last[a];
+      if (p >= 0 && p == last[b]) {
+        CompiledOp& prev = out[static_cast<size_t>(p)];
+        const bool same_pair =
+            IsConst2QClass(prev) && ((prev.q0 == a && prev.q1 == b) ||
+                                     (prev.q0 == b && prev.q1 == a));
+        if (same_pair) {
+          const bool same_order = prev.q0 == a;
+          if (!dense && cur.kind == CompiledOpKind::k2QDiag &&
+              prev.kind == CompiledOpKind::k2QDiag) {
+            static constexpr int kSw[4] = {0, 2, 1, 3};
+            for (int i = 0; i < 4; ++i) {
+              prev.c[i] *= cur.c[same_order ? i : kSw[i]];
+            }
+            ++stats.fused_diag;
+          } else {
+            Matrix cur_m = dense ? std::move(cur4) : To4x4(cur);
+            if (!same_order) cur_m = PermutePair(cur_m);
+            prev.m = cur_m * To4x4(prev);
+            prev.kind = CompiledOpKind::k2QDense;
+            ++stats.fused_2q2q;
+          }
+          prev.fused_gates += cur.fused_gates;
+          continue;
+        }
+      }
+      if (dense) {
+        cur.kind = CompiledOpKind::k2QDense;
+        cur.m = std::move(cur4);
+      }
+      push(std::move(cur), {a, b});
+      continue;
+    }
+
+    // Barrier ops: parametric evaluators, MCX/MCZ, generic kQ. They pin the
+    // frontier of every operand qubit.
+    switch (cur.kind) {
+      case CompiledOpKind::kMCX:
+      case CompiledOpKind::kMCZ:
+      case CompiledOpKind::kKQDense: {
+        std::vector<int> touched = cur.qubits;
+        if (cur.kind != CompiledOpKind::kKQDense) touched.push_back(cur.q0);
+        const int idx = static_cast<int>(out.size());
+        for (int q : touched) last[q] = idx;
+        out.push_back(std::move(cur));
+        prevs.push_back({-1, -1});
+        break;
+      }
+      default: {  // Parametric 1Q/2Q.
+        const int idx = static_cast<int>(out.size());
+        last[cur.q0] = idx;
+        if (GateArity(cur.src) == 2) last[cur.q1] = idx;
+        out.push_back(std::move(cur));
+        prevs.push_back({-1, -1});
+        break;
+      }
+    }
+  }
+
+  // Compact the tombstones left by absorbed 1Q ops.
+  std::vector<CompiledOp> compact;
+  compact.reserve(out.size());
+  for (CompiledOp& op : out) {
+    if (op.kind != CompiledOpKind::kNop) compact.push_back(std::move(op));
+  }
+  return compact;
+}
+
+}  // namespace
+
+CompiledCircuit CompiledCircuit::Compile(const Circuit& circuit,
+                                         const CompileOptions& options) {
+  QDB_TRACE_SCOPE("CompiledCircuit::Compile", "compile");
+  CompiledCircuit compiled;
+  compiled.num_qubits_ = circuit.num_qubits();
+  compiled.num_parameters_ = circuit.num_parameters();
+  compiled.stats_.source_gates = circuit.size();
+
+  std::vector<CompiledOp> ops;
+  ops.reserve(circuit.size());
+  for (const Gate& gate : circuit.gates()) LowerGate(gate, ops);
+  compiled.stats_.lowered_ops = ops.size();
+
+  if (options.fuse) {
+    ops = FusePass(std::move(ops), circuit.num_qubits(), compiled.stats_);
+  }
+  compiled.stats_.emitted_ops = ops.size();
+  compiled.ops_ = std::move(ops);
+
+  CompiledCounters& counters = Counters();
+  counters.circuits->Increment();
+  counters.source_gates->Increment(
+      static_cast<long>(compiled.stats_.source_gates));
+  counters.ops_emitted->Increment(
+      static_cast<long>(compiled.stats_.emitted_ops));
+  counters.fused_1q1q->Increment(static_cast<long>(compiled.stats_.fused_1q1q));
+  counters.fused_diag->Increment(static_cast<long>(compiled.stats_.fused_diag));
+  counters.fused_1q2q->Increment(static_cast<long>(compiled.stats_.fused_1q2q));
+  counters.fused_2q2q->Increment(static_cast<long>(compiled.stats_.fused_2q2q));
+  counters.ops_eliminated->Increment(static_cast<long>(
+      compiled.stats_.lowered_ops - compiled.stats_.emitted_ops));
+  return compiled;
+}
+
+Status CompiledCircuit::Execute(StateVector& state,
+                                const DVector& params) const {
+  if (state.num_qubits() != num_qubits_) {
+    return Status::InvalidArgument(
+        StrCat("state has ", state.num_qubits(),
+               " qubits but compiled circuit has ", num_qubits_));
+  }
+  if (static_cast<int>(params.size()) < num_parameters_) {
+    return Status::InvalidArgument(
+        StrCat("compiled circuit references ", num_parameters_,
+               " parameters but only ", params.size(), " were bound"));
+  }
+  QDB_TRACE_SCOPE("CompiledCircuit::Execute", "sim");
+  CompiledCounters& counters = Counters();
+  counters.replays->Increment();
+  const long dim = static_cast<long>(state.dim());
+  DVector angles;
+  for (const CompiledOp& op : ops_) {
+    const CompiledOp* resolved = &op;
+    CompiledOp bound;
+    if (op.parametric()) {
+      // Thin evaluator: bind the angles and resolve the payload through the
+      // same lowering ladder the interpreter's dispatch follows.
+      angles.clear();
+      for (const ParamExpr& e : op.exprs) angles.push_back(e.Evaluate(params));
+      bound.q0 = op.q0;
+      bound.q1 = op.q1;
+      LowerBound(op.src, angles, &bound);
+      resolved = &bound;
+    }
+    switch (resolved->kind) {
+      case CompiledOpKind::kNop:
+        break;
+      case CompiledOpKind::k1QDense:
+        state.Apply1Q(resolved->q0, resolved->c[0], resolved->c[1],
+                      resolved->c[2], resolved->c[3]);
+        counters.generic_1q->Increment();
+        counters.amplitude_touches->Increment(dim);
+        break;
+      case CompiledOpKind::k1QDiag:
+        state.ApplyDiagonal1Q(resolved->q0, resolved->c[0], resolved->c[1]);
+        counters.diagonal_1q->Increment();
+        counters.amplitude_touches->Increment(dim);
+        break;
+      case CompiledOpKind::kControlled1Q:
+        state.ApplyControlled1Q(resolved->q0, resolved->q1, resolved->c[0],
+                                resolved->c[1], resolved->c[2],
+                                resolved->c[3]);
+        counters.controlled_1q->Increment();
+        counters.amplitude_touches->Increment(dim / 2);
+        break;
+      case CompiledOpKind::k2QDiag:
+        state.ApplyDiagonal2Q(resolved->q0, resolved->q1, resolved->c[0],
+                              resolved->c[1], resolved->c[2], resolved->c[3]);
+        counters.diagonal_2q->Increment();
+        counters.amplitude_touches->Increment(dim);
+        break;
+      case CompiledOpKind::k2QDense:
+        state.Apply2Q(resolved->q0, resolved->q1, resolved->m);
+        counters.generic_2q->Increment();
+        counters.amplitude_touches->Increment(dim);
+        break;
+      case CompiledOpKind::kSwap:
+        state.ApplySwap(resolved->q0, resolved->q1);
+        counters.swap->Increment();
+        counters.amplitude_touches->Increment(dim / 2);
+        break;
+      case CompiledOpKind::kMCX:
+        state.ApplyMCX(resolved->qubits, resolved->q0);
+        counters.multi_controlled->Increment();
+        counters.amplitude_touches->Increment(
+            dim >> std::min<size_t>(resolved->qubits.size(), 62));
+        break;
+      case CompiledOpKind::kMCZ:
+        state.ApplyMCZ(resolved->qubits, resolved->q0);
+        counters.multi_controlled->Increment();
+        counters.amplitude_touches->Increment(
+            dim >> std::min<size_t>(resolved->qubits.size() + 1, 62));
+        break;
+      case CompiledOpKind::kKQDense:
+        state.ApplyKQ(resolved->qubits, resolved->m);
+        counters.generic_kq->Increment();
+        counters.amplitude_touches->Increment(dim);
+        break;
+    }
+  }
+  return Status::OK();
+}
+
+CompilationCache& CompilationCache::Global() {
+  static CompilationCache* cache = new CompilationCache(/*capacity=*/256);
+  return *cache;
+}
+
+std::shared_ptr<const CompiledCircuit> CompilationCache::GetOrCompile(
+    const Circuit& circuit, const CompileOptions& options) {
+  std::string key = circuit.StructuralFingerprint();
+  key.push_back(options.fuse ? '\1' : '\0');
+  CompiledCounters& counters = Counters();
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    counters.cache_hits->Increment();
+    lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
+    return it->second.program;
+  }
+  counters.cache_misses->Increment();
+  auto program = std::make_shared<const CompiledCircuit>(
+      CompiledCircuit::Compile(circuit, options));
+  lru_.push_front(key);
+  entries_[std::move(key)] = Entry{program, lru_.begin()};
+  while (entries_.size() > capacity_) {
+    counters.cache_evictions->Increment();
+    entries_.erase(lru_.back());
+    lru_.pop_back();
+  }
+  counters.cache_size->Set(static_cast<double>(entries_.size()));
+  return program;
+}
+
+void CompilationCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_.clear();
+  lru_.clear();
+  Counters().cache_size->Set(0.0);
+}
+
+size_t CompilationCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+void CompilationCache::set_capacity(size_t capacity) {
+  std::lock_guard<std::mutex> lock(mu_);
+  capacity_ = std::max<size_t>(capacity, 1);
+  while (entries_.size() > capacity_) {
+    Counters().cache_evictions->Increment();
+    entries_.erase(lru_.back());
+    lru_.pop_back();
+  }
+  Counters().cache_size->Set(static_cast<double>(entries_.size()));
+}
+
+}  // namespace qdb

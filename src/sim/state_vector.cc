@@ -183,28 +183,52 @@ void StateVector::Apply2Q(int a, int b, const Matrix& u) {
   QDB_CHECK_NE(a, b);
   const uint64_t amask = uint64_t{1} << BitPos(a);
   const uint64_t bmask = uint64_t{1} << BitPos(b);
-  // Each group of four amplitudes is owned by its unique representative
-  // (both operand bits clear), so chunks over i never touch another chunk's
-  // group even when the partner indices land outside the chunk.
-  ForKernelRange(dim(), dim(), [&](uint64_t lo, uint64_t hi) {
-    for (uint64_t i = lo; i < hi; ++i) {
-      if (i & (amask | bmask)) continue;  // i has both operand bits clear.
+  // Hoist the 16 entries out of the sweep: Matrix::operator() bounds-checks
+  // every access, which would otherwise dominate this (hot, fusion-emitted)
+  // kernel's inner loop. Split into real/imag planes so the row updates
+  // below are plain double arithmetic — std::complex operator* carries an
+  // Annex-G NaN-recovery branch per product that blocks vectorization.
+  double mr[4][4], mi[4][4];
+  for (int r = 0; r < 4; ++r) {
+    for (int col = 0; col < 4; ++col) {
+      const Complex entry = u(r, col);
+      mr[r][col] = entry.real();
+      mi[r][col] = entry.imag();
+    }
+  }
+  // Walk the dim/4 group representatives directly (both operand bits
+  // clear): group index g expands to its representative by depositing a
+  // zero bit at each operand position, so no loop iteration is wasted on a
+  // skipped index. Groups are disjoint, so chunks over g never touch
+  // another chunk's amplitudes and results match the serial walk exactly.
+  const uint64_t lo_pos = BitPos(a) < BitPos(b) ? BitPos(a) : BitPos(b);
+  const uint64_t hi_pos = BitPos(a) < BitPos(b) ? BitPos(b) : BitPos(a);
+  const uint64_t lo_keep = (uint64_t{1} << lo_pos) - 1;
+  const uint64_t mid_keep = ((uint64_t{1} << (hi_pos - 1)) - 1) & ~lo_keep;
+  ForKernelRange(dim(), dim() / 4, [&](uint64_t gb, uint64_t ge) {
+    for (uint64_t g = gb; g < ge; ++g) {
+      const uint64_t i = (g & lo_keep) | ((g & mid_keep) << 1) |
+                         ((g & ~(lo_keep | mid_keep)) << 2);
       const uint64_t i00 = i;
       const uint64_t i01 = i | bmask;
       const uint64_t i10 = i | amask;
       const uint64_t i11 = i | amask | bmask;
-      const Complex a00 = amps_[i00];
-      const Complex a01 = amps_[i01];
-      const Complex a10 = amps_[i10];
-      const Complex a11 = amps_[i11];
-      amps_[i00] =
-          u(0, 0) * a00 + u(0, 1) * a01 + u(0, 2) * a10 + u(0, 3) * a11;
-      amps_[i01] =
-          u(1, 0) * a00 + u(1, 1) * a01 + u(1, 2) * a10 + u(1, 3) * a11;
-      amps_[i10] =
-          u(2, 0) * a00 + u(2, 1) * a01 + u(2, 2) * a10 + u(2, 3) * a11;
-      amps_[i11] =
-          u(3, 0) * a00 + u(3, 1) * a01 + u(3, 2) * a10 + u(3, 3) * a11;
+      const double vr[4] = {amps_[i00].real(), amps_[i01].real(),
+                            amps_[i10].real(), amps_[i11].real()};
+      const double vi[4] = {amps_[i00].imag(), amps_[i01].imag(),
+                            amps_[i10].imag(), amps_[i11].imag()};
+      const uint64_t idx[4] = {i00, i01, i10, i11};
+      for (int r = 0; r < 4; ++r) {
+        // Same products and left-to-right summation order as the
+        // std::complex fast path, so finite results are bit-identical to
+        // the previous complex-arithmetic formulation.
+        double out_r = 0.0, out_i = 0.0;
+        for (int col = 0; col < 4; ++col) {
+          out_r += mr[r][col] * vr[col] - mi[r][col] * vi[col];
+          out_i += mr[r][col] * vi[col] + mi[r][col] * vr[col];
+        }
+        amps_[idx[r]] = Complex(out_r, out_i);
+      }
     }
   });
 }

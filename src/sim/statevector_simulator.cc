@@ -2,11 +2,13 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdlib>
 #include <optional>
 
 #include "common/strings.h"
 #include "common/thread_pool.h"
 #include "obs/obs.h"
+#include "sim/compiled_circuit.h"
 
 namespace qdb {
 
@@ -38,7 +40,37 @@ SimCounters& Counters() {
   return counters;
 }
 
+/// QDB_COMPILE environment override, read once: "0" forces interpreted,
+/// "1" forces compiled, unset/other defers to the auto heuristic.
+std::optional<bool> CompileEnvOverride() {
+  static const std::optional<bool> value = []() -> std::optional<bool> {
+    const char* env = std::getenv("QDB_COMPILE");
+    if (env == nullptr) return std::nullopt;
+    if (env[0] == '0' && env[1] == '\0') return false;
+    if (env[0] == '1' && env[1] == '\0') return true;
+    return std::nullopt;
+  }();
+  return value;
+}
+
 }  // namespace
+
+bool StateVectorSimulator::ShouldCompile(const Circuit& circuit) const {
+  switch (execution_mode_) {
+    case ExecutionMode::kInterpreted:
+      return false;
+    case ExecutionMode::kCompiled:
+      return true;
+    case ExecutionMode::kAuto:
+      break;
+  }
+  if (const std::optional<bool> env = CompileEnvOverride(); env.has_value()) {
+    return *env;
+  }
+  // Single-gate circuits gain nothing from lowering; everything else wins
+  // from fusion and/or the compile-once-replay-many cache.
+  return circuit.size() >= 2;
+}
 
 Result<StateVector> StateVectorSimulator::Run(const Circuit& circuit,
                                               const DVector& params) const {
@@ -62,6 +94,11 @@ Status StateVectorSimulator::RunInPlace(const Circuit& circuit,
   }
   QDB_TRACE_SCOPE("StateVectorSimulator::Run", "sim");
   Counters().runs->Increment();
+  if (ShouldCompile(circuit)) {
+    std::shared_ptr<const CompiledCircuit> program =
+        CompilationCache::Global().GetOrCompile(circuit);
+    return program->Execute(state, params);
+  }
   for (size_t i = 0; i < circuit.gates().size(); ++i) {
     const Gate& gate = circuit.gates()[i];
     DVector angles = circuit.EvaluateAngles(i, params);
@@ -87,6 +124,12 @@ Status StateVectorSimulator::RunBatchReduce(
   QDB_TRACE_SCOPE("StateVectorSimulator::RunBatch", "sim");
   Counters().batches->Increment();
   Counters().batch_circuits->Increment(static_cast<long>(count));
+  // Broadcast batches replay one circuit `count` times: compile it before
+  // the fan-out so workers hit the cache instead of serializing on the
+  // first-miss compile inside the cache lock.
+  if (nc == 1 && ShouldCompile(circuits[0])) {
+    CompilationCache::Global().GetOrCompile(circuits[0]);
+  }
   static const DVector kNoParams;
   std::vector<Status> statuses(count);
   ThreadPool::Global().RunTasks(count, [&](size_t i) {

@@ -11,6 +11,7 @@
 #include "classical/dataset.h"
 #include "common/result.h"
 #include "optimize/adam.h"
+#include "sim/statevector_simulator.h"
 #include "variational/ansatz.h"
 #include "variational/gradient_method.h"
 
@@ -33,6 +34,10 @@ struct VqcOptions {
   GradientMethod gradient = GradientMethod::kAdjoint;
   uint64_t seed = 31;          ///< Initial-parameter draw.
   double init_scale = 0.3;     ///< θ₀ ~ U(−scale, scale).
+  /// Simulator execution mode for the per-sample loss circuits. Training
+  /// re-runs one circuit structure per sample every iteration, so the
+  /// kAuto default compiles each once and replays from the cache.
+  ExecutionMode execution = ExecutionMode::kAuto;
 };
 
 /// \brief A trained variational classifier over ±1 labels.

@@ -1,0 +1,316 @@
+// Interpreted-vs-compiled equivalence for the compiled-circuit engine:
+// without fusion the compiled program must replay the interpreter's exact
+// kernel sequence (bit-identical amplitudes); with fusion results agree to
+// floating-point round-off and stay bit-identical across thread widths.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "circuit/circuit.h"
+#include "common/rng.h"
+#include "common/thread_pool.h"
+#include "sim/compiled_circuit.h"
+#include "sim/state_vector.h"
+#include "sim/statevector_simulator.h"
+
+namespace qdb {
+namespace {
+
+/// Sets the global pool width for one scope, restoring one lane on exit so
+/// tests cannot leak parallelism into each other.
+class ScopedThreads {
+ public:
+  explicit ScopedThreads(int n) { ThreadPool::SetGlobalThreads(n); }
+  ~ScopedThreads() { ThreadPool::SetGlobalThreads(1); }
+};
+
+/// Runs `circuit` through the per-gate interpreter (compilation disabled).
+StateVector RunInterpreted(const Circuit& circuit, const DVector& params = {}) {
+  StateVectorSimulator sim;
+  sim.set_execution_mode(ExecutionMode::kInterpreted);
+  auto result = sim.Run(circuit, params);
+  QDB_CHECK(result.ok()) << result.status().ToString();
+  return std::move(result).value();
+}
+
+/// Runs `circuit` through a freshly compiled program.
+StateVector RunCompiled(const Circuit& circuit, const CompileOptions& options,
+                        const DVector& params = {}) {
+  const CompiledCircuit program = CompiledCircuit::Compile(circuit, options);
+  StateVector state(circuit.num_qubits());
+  Status status = program.Execute(state, params);
+  QDB_CHECK(status.ok()) << status.ToString();
+  return state;
+}
+
+void ExpectBitIdentical(const StateVector& a, const StateVector& b) {
+  ASSERT_EQ(a.dim(), b.dim());
+  for (uint64_t i = 0; i < a.dim(); ++i) {
+    ASSERT_EQ(a.amplitude(i), b.amplitude(i)) << "amplitude " << i;
+  }
+}
+
+void ExpectNear(const StateVector& a, const StateVector& b, double tol) {
+  ASSERT_EQ(a.dim(), b.dim());
+  for (uint64_t i = 0; i < a.dim(); ++i) {
+    ASSERT_NEAR(std::abs(a.amplitude(i) - b.amplitude(i)), 0.0, tol)
+        << "amplitude " << i;
+  }
+}
+
+/// One small circuit per gate type in the IR, prefixed by a dense prelude so
+/// every gate acts on a non-trivial superposition.
+std::vector<Circuit> PerGateCircuits() {
+  std::vector<Circuit> out;
+  auto with_prelude = [](int n) {
+    Circuit c(n);
+    for (int q = 0; q < n; ++q) c.H(q).RY(q, 0.3 * (q + 1));
+    return c;
+  };
+  // Fixed 1Q.
+  for (GateType t : {GateType::kI, GateType::kX, GateType::kY, GateType::kZ,
+                     GateType::kH, GateType::kS, GateType::kSdg, GateType::kT,
+                     GateType::kTdg, GateType::kSX}) {
+    Circuit c = with_prelude(2);
+    c.Append(Gate{t, {1}, {}});
+    out.push_back(std::move(c));
+  }
+  // Parameterized 1Q (constant angles here; symbolic covered separately).
+  out.push_back(with_prelude(2).RX(0, 0.7));
+  out.push_back(with_prelude(2).RY(0, -0.4));
+  out.push_back(with_prelude(2).RZ(0, 1.1));
+  out.push_back(with_prelude(2).P(0, 0.9));
+  out.push_back(with_prelude(2).U(0, ParamExpr::Constant(0.3),
+                                  ParamExpr::Constant(-0.8),
+                                  ParamExpr::Constant(1.2)));
+  // Fixed 2Q, both operand orders.
+  for (GateType t : {GateType::kCX, GateType::kCY, GateType::kCZ,
+                     GateType::kCH, GateType::kSwap}) {
+    Circuit c = with_prelude(3);
+    c.Append(Gate{t, {0, 2}, {}});
+    c.Append(Gate{t, {2, 1}, {}});
+    out.push_back(std::move(c));
+  }
+  // Parameterized 2Q.
+  out.push_back(with_prelude(3).CRX(0, 2, 0.6));
+  out.push_back(with_prelude(3).CRY(2, 0, -0.5));
+  out.push_back(with_prelude(3).CRZ(1, 2, 0.8));
+  out.push_back(with_prelude(3).CP(0, 1, -1.3));
+  out.push_back(with_prelude(3).RXX(0, 2, 0.4));
+  out.push_back(with_prelude(3).RYY(1, 2, -0.9));
+  out.push_back(with_prelude(3).RZZ(0, 1, 1.5));
+  // 3Q and variadic.
+  out.push_back(with_prelude(3).CCX(0, 1, 2));
+  out.push_back(with_prelude(3).CSwap(2, 0, 1));
+  out.push_back(with_prelude(4).MCX({0, 1, 2}, 3));
+  out.push_back(with_prelude(4).MCZ({3, 1}, 0));
+  return out;
+}
+
+TEST(CompiledCircuitTest, EveryGateTypeBitIdenticalWithoutFusion) {
+  for (const Circuit& c : PerGateCircuits()) {
+    const StateVector interpreted = RunInterpreted(c);
+    const StateVector compiled = RunCompiled(c, CompileOptions{.fuse = false});
+    ExpectBitIdentical(interpreted, compiled);
+  }
+}
+
+TEST(CompiledCircuitTest, EveryGateTypeNearIdenticalWithFusion) {
+  for (const Circuit& c : PerGateCircuits()) {
+    const StateVector interpreted = RunInterpreted(c);
+    const StateVector fused = RunCompiled(c, CompileOptions{.fuse = true});
+    ExpectNear(interpreted, fused, 1e-12);
+  }
+}
+
+/// A random circuit mixing every kernel family, with symbolic parameters
+/// when `symbolic` is set.
+Circuit RandomMixedCircuit(int num_qubits, int gates, Rng& rng,
+                           bool symbolic) {
+  Circuit c(num_qubits);
+  int next_param = 0;
+  auto angle = [&]() -> ParamExpr {
+    if (symbolic && rng.UniformInt(uint64_t{2}) == 0) {
+      return ParamExpr::Affine(next_param++, rng.Uniform(0.5, 1.5),
+                               rng.Uniform(-0.3, 0.3));
+    }
+    return ParamExpr::Constant(rng.Uniform(-1.5, 1.5));
+  };
+  for (int g = 0; g < gates; ++g) {
+    const int q = static_cast<int>(rng.UniformInt(uint64_t(num_qubits)));
+    int q2 = static_cast<int>(rng.UniformInt(uint64_t(num_qubits - 1)));
+    if (q2 >= q) ++q2;
+    switch (rng.UniformInt(uint64_t{12})) {
+      case 0: c.H(q); break;
+      case 1: c.X(q); break;
+      case 2: c.T(q); break;
+      case 3: c.RX(q, angle()); break;
+      case 4: c.RY(q, angle()); break;
+      case 5: c.RZ(q, angle()); break;
+      case 6: c.CX(q, q2); break;
+      case 7: c.CZ(q, q2); break;
+      case 8: c.Swap(q, q2); break;
+      case 9: c.CRY(q, q2, angle()); break;
+      case 10: c.RZZ(q, q2, angle()); break;
+      default: c.RXX(q, q2, angle()); break;
+    }
+  }
+  return c;
+}
+
+TEST(CompiledCircuitTest, RandomCircuitsBitIdenticalWithoutFusion) {
+  Rng rng(17);
+  for (int n = 2; n <= 10; ++n) {
+    const Circuit c = RandomMixedCircuit(n, 12 * n, rng, /*symbolic=*/false);
+    ExpectBitIdentical(RunInterpreted(c),
+                       RunCompiled(c, CompileOptions{.fuse = false}));
+  }
+}
+
+TEST(CompiledCircuitTest, RandomCircuitsNearIdenticalWithFusion) {
+  Rng rng(29);
+  for (int n = 2; n <= 10; ++n) {
+    const Circuit c = RandomMixedCircuit(n, 12 * n, rng, /*symbolic=*/false);
+    const CompiledCircuit program = CompiledCircuit::Compile(c);
+    EXPECT_LT(program.num_ops(), c.size()) << "fusion should shrink " << n;
+    StateVector state(n);
+    ASSERT_TRUE(program.Execute(state).ok());
+    ExpectNear(RunInterpreted(c), state, 1e-12);
+  }
+}
+
+TEST(CompiledCircuitTest, ParametricRebindingMatchesInterpreter) {
+  Rng rng(43);
+  const Circuit c = RandomMixedCircuit(6, 60, rng, /*symbolic=*/true);
+  ASSERT_GT(c.num_parameters(), 0);
+  const CompiledCircuit unfused =
+      CompiledCircuit::Compile(c, CompileOptions{.fuse = false});
+  const CompiledCircuit fused = CompiledCircuit::Compile(c);
+  // One compiled program, many parameter vectors: re-binding must track the
+  // interpreter exactly (unfused) / to round-off (fused) on every binding.
+  for (uint64_t seed = 1; seed <= 4; ++seed) {
+    Rng prng(seed);
+    const DVector params =
+        prng.UniformVector(c.num_parameters(), -2.0, 2.0);
+    const StateVector interpreted = RunInterpreted(c, params);
+    StateVector exact(6);
+    ASSERT_TRUE(unfused.Execute(exact, params).ok());
+    ExpectBitIdentical(interpreted, exact);
+    StateVector approx(6);
+    ASSERT_TRUE(fused.Execute(approx, params).ok());
+    ExpectNear(interpreted, approx, 1e-12);
+  }
+}
+
+TEST(CompiledCircuitTest, WideCircuitBitIdenticalAcrossThreadWidths) {
+  // 15 qubits puts every kernel above kParallelAmplitudeThreshold; the
+  // compiled program (fused) must preserve the serial-vs-parallel
+  // bit-identity guarantee, and compiled-vs-interpreted bit-identity
+  // (unfused) must hold at every width.
+  const int n = 15;
+  Circuit c(n);
+  for (int q = 0; q < n; ++q) c.H(q).RY(q, 0.1 * (q + 1));
+  for (int q = 0; q + 1 < n; ++q) c.CX(q, q + 1);
+  for (int q = 0; q < n; ++q) c.RZ(q, 0.05 * (q + 3));
+  c.RZZ(0, 7, 0.4).RXX(1, 8, 0.6).CRZ(4, 10, 0.9);
+
+  ThreadPool::SetGlobalThreads(1);
+  const StateVector serial_fused = RunCompiled(c, CompileOptions{.fuse = true});
+  ExpectBitIdentical(RunInterpreted(c),
+                     RunCompiled(c, CompileOptions{.fuse = false}));
+
+  ScopedThreads threads(4);
+  const StateVector parallel_fused =
+      RunCompiled(c, CompileOptions{.fuse = true});
+  ExpectBitIdentical(serial_fused, parallel_fused);
+  ExpectBitIdentical(RunInterpreted(c),
+                     RunCompiled(c, CompileOptions{.fuse = false}));
+}
+
+TEST(CompiledCircuitTest, SimulatorModesAgree) {
+  Rng rng(7);
+  const Circuit c = RandomMixedCircuit(5, 40, rng, /*symbolic=*/false);
+  StateVectorSimulator interpreted;
+  interpreted.set_execution_mode(ExecutionMode::kInterpreted);
+  StateVectorSimulator compiled;
+  compiled.set_execution_mode(ExecutionMode::kCompiled);
+  auto a = interpreted.Run(c);
+  auto b = compiled.Run(c);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ExpectNear(a.value(), b.value(), 1e-12);
+}
+
+TEST(CompiledCircuitTest, FusionCollapsesKnownPatterns) {
+  // A dense 1Q layer + CX ladder folds into a handful of 4x4 sweeps.
+  Circuit c(4);
+  for (int q = 0; q < 4; ++q) c.H(q).RY(q, 0.2).RZ(q, 0.3);
+  c.CX(0, 1).CX(2, 3);
+  const CompiledCircuit fused = CompiledCircuit::Compile(c);
+  EXPECT_EQ(fused.num_ops(), 2u);  // One dense 4x4 per CX pair.
+  EXPECT_EQ(fused.stats().lowered_ops, c.size());
+
+  // Runs of diagonal gates on one operand pair stay one diagonal sweep.
+  Circuit d(2);
+  d.RZ(0, 0.1).RZ(1, 0.2).CZ(0, 1).RZZ(0, 1, 0.3).T(0).CZ(1, 0);
+  const CompiledCircuit diag = CompiledCircuit::Compile(d);
+  ASSERT_EQ(diag.num_ops(), 1u);
+  EXPECT_EQ(diag.ops()[0].kind, CompiledOpKind::k2QDiag);
+
+  // Parametric gates are barriers: nothing fuses across them.
+  Circuit p(1);
+  p.H(0).RX(0, ParamExpr::Variable(0)).H(0);
+  EXPECT_EQ(CompiledCircuit::Compile(p).num_ops(), 3u);
+}
+
+TEST(CompiledCircuitTest, CacheHitsAndStructuralKeys) {
+  CompilationCache& cache = CompilationCache::Global();
+  cache.Clear();
+
+  Circuit a(3);
+  a.H(0).CX(0, 1).RY(2, ParamExpr::Variable(0));
+  Circuit same(3);
+  same.H(0).CX(0, 1).RY(2, ParamExpr::Variable(0));
+  Circuit different(3);
+  different.H(0).CX(0, 1).RY(2, ParamExpr::Variable(1));
+
+  auto p1 = cache.GetOrCompile(a);
+  auto p2 = cache.GetOrCompile(same);
+  EXPECT_EQ(p1.get(), p2.get());  // Structurally identical → one program.
+  EXPECT_EQ(cache.size(), 1u);
+
+  auto p3 = cache.GetOrCompile(different);
+  EXPECT_NE(p1.get(), p3.get());
+  EXPECT_EQ(cache.size(), 2u);
+
+  // Fuse and no-fuse programs are distinct cache entries.
+  auto p4 = cache.GetOrCompile(a, CompileOptions{.fuse = false});
+  EXPECT_NE(p1.get(), p4.get());
+  EXPECT_EQ(cache.size(), 3u);
+  cache.Clear();
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(CompiledCircuitTest, CacheEvictsLeastRecentlyUsed) {
+  CompilationCache& cache = CompilationCache::Global();
+  cache.Clear();
+  cache.set_capacity(2);
+  Circuit a(1), b(1), c(1);
+  a.H(0).X(0);
+  b.H(0).Y(0);
+  c.H(0).Z(0);
+  auto pa = cache.GetOrCompile(a);
+  auto pb = cache.GetOrCompile(b);
+  cache.GetOrCompile(a);      // Refresh a; b becomes the LRU entry.
+  auto pc = cache.GetOrCompile(c);  // Evicts b.
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.GetOrCompile(a).get(), pa.get());  // Still resident.
+  EXPECT_NE(cache.GetOrCompile(b).get(), pb.get());  // Was recompiled.
+  cache.set_capacity(256);
+  cache.Clear();
+}
+
+}  // namespace
+}  // namespace qdb

@@ -44,6 +44,46 @@ TEST(PassesTest, CancelOppositeRotations) {
   EXPECT_EQ(CancelAdjacentInverses(c).size(), 0u);
 }
 
+TEST(PassesTest, RemoveIdentitiesDropsZeroMultiplierSymbolic) {
+  Circuit c(1);
+  // RX(0·t0 + 0) is the identity for every parameter vector; RX(0·t0 + 0.4)
+  // and RX(1·t0 + 0) are not.
+  c.RX(0, ParamExpr::Affine(0, 0.0, 0.0))
+      .RX(0, ParamExpr::Affine(0, 0.0, 0.4))
+      .RX(0, ParamExpr::Variable(0));
+  Circuit out = RemoveIdentities(c);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_NEAR(out.gates()[0].params[0].offset, 0.4, 1e-15);
+}
+
+TEST(PassesTest, CancelNegatedSymbolicRotations) {
+  Circuit c(1);
+  // RZ(2t0 + 0.3) followed by RZ(−2t0 − 0.3): angle sum ≡ 0 for all t0.
+  c.RZ(0, ParamExpr::Affine(0, 2.0, 0.3))
+      .RZ(0, ParamExpr::Affine(0, -2.0, -0.3));
+  EXPECT_EQ(CancelAdjacentInverses(c).size(), 0u);
+}
+
+TEST(PassesTest, NoCancelForMismatchedSymbolicRotations) {
+  // Different parameter slots, or non-negated multipliers, must survive.
+  Circuit c(1);
+  c.RZ(0, ParamExpr::Affine(0, 2.0, 0.0)).RZ(0, ParamExpr::Affine(1, -2.0, 0.0));
+  EXPECT_EQ(CancelAdjacentInverses(c).size(), 2u);
+  Circuit d(1);
+  d.RZ(0, ParamExpr::Affine(0, 2.0, 0.0)).RZ(0, ParamExpr::Affine(0, 2.0, 0.0));
+  EXPECT_EQ(CancelAdjacentInverses(d).size(), 2u);
+}
+
+TEST(PassesTest, InverseCircuitCancelsSymbolically) {
+  // c · c⁻¹ built with symbolic parameters collapses to nothing — the
+  // pattern ansatz-adjoint constructions produce.
+  Circuit c(2);
+  c.RY(0, ParamExpr::Variable(0)).RZZ(0, 1, ParamExpr::Variable(1)).H(1);
+  Circuit round_trip = c;
+  round_trip.Append(c.Inverse());
+  EXPECT_EQ(CancelAdjacentInverses(round_trip).size(), 0u);
+}
+
 TEST(PassesTest, NoCancellationAcrossInterveningGate) {
   Circuit c(2);
   c.H(0).CX(0, 1).H(0);  // CX touches qubit 0 between the Hs.
