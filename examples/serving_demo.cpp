@@ -1,0 +1,185 @@
+// Inference serving end to end: train two quantum models, package them as
+// artifacts, publish them through the model registry, and drive the
+// inference server with concurrent closed-loop clients.
+//
+// The flow mirrors a database deployment: an offline job trains a model
+// (here a VQC and a quantum-kernel SVM on the moons dataset), persists it
+// as a versioned artifact, and a serving process loads the artifact and
+// answers prediction requests — coalescing concurrent requests into
+// micro-batches over one pre-compiled circuit and memoizing repeated
+// inputs in an LRU result cache.
+//
+// Observability: run with QDB_TRACE=1 (or pass --trace-out) to capture a
+// Chrome trace-event timeline of dispatch and batch execution.
+
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <atomic>
+#include <future>
+#include <thread>
+#include <vector>
+
+#include "classical/svm.h"
+#include "common/timer.h"
+#include "obs/obs.h"
+#include "serve/inference_server.h"
+#include "serve/model_registry.h"
+#include "variational/vqc.h"
+
+namespace {
+
+const char* ParseTraceOut(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--trace-out") == 0 && i + 1 < argc) {
+      return argv[i + 1];
+    }
+    if (std::strncmp(argv[i], "--trace-out=", 12) == 0) {
+      return argv[i] + 12;
+    }
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace qdb;
+
+  obs::InitTracingFromEnv();
+  const char* trace_out = ParseTraceOut(argc, argv);
+  if (trace_out != nullptr) obs::EnableTracing();
+
+  // ---- Offline: train and package ------------------------------------------
+  Rng rng(17);
+  Dataset all = MakeMoons(48, 0.12, rng);
+  auto [train, test] = TrainTestSplit(all, 0.25, rng);
+  MinMaxScale(train, test, 0.0, M_PI);
+  MinMaxScale(train, train, 0.0, M_PI);
+
+  VqcOptions vqc_opts;
+  vqc_opts.adam.max_iterations = 80;
+  auto vqc = VqcClassifier::Train(train, vqc_opts);
+  if (!vqc.ok()) {
+    std::printf("VQC training failed: %s\n", vqc.status().ToString().c_str());
+    return 1;
+  }
+
+  FidelityQuantumKernel kernel = MakeAngleKernel();
+  auto gram = kernel.GramMatrix(train.features);
+  if (!gram.ok()) return 1;
+  SvmOptions svm_opts;
+  svm_opts.kernel = SvmKernel::kPrecomputed;
+  auto svm = Svm::Train(train, svm_opts, &gram.value());
+  if (!svm.ok()) {
+    std::printf("SVM training failed: %s\n", svm.status().ToString().c_str());
+    return 1;
+  }
+
+  // Persist the VQC artifact and load it back — the registry round-trips
+  // models through the same on-disk format a warehouse deployment would use.
+  serve::ModelRegistry registry;
+  serve::ModelArtifact vqc_artifact =
+      serve::MakeVqcArtifact(vqc.value(), "moons-vqc");
+  const std::string artifact_path = "/tmp/qdb_moons_vqc.model";
+  if (auto s = vqc_artifact.SaveToFile(artifact_path); !s.ok()) {
+    std::printf("save failed: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  auto loaded = registry.LoadModel(artifact_path);
+  if (!loaded.ok()) {
+    std::printf("load failed: %s\n", loaded.status().ToString().c_str());
+    return 1;
+  }
+  auto svm_servable = registry.Register(serve::MakeKernelSvmArtifact(
+      svm.value(), train, serve::KernelEncodingKind::kAngle,
+      /*kernel_scale=*/1.0, /*kernel_reps=*/2, "moons-qsvm"));
+  if (!svm_servable.ok()) {
+    std::printf("register failed: %s\n",
+                svm_servable.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("registry: %zu models\n", registry.size());
+  for (const auto& entry : registry.List()) {
+    std::printf("  %-12s v%d  %s\n", entry.name.c_str(), entry.version,
+                serve::ModelTypeName(entry.type));
+  }
+
+  // ---- Online: serve under concurrent load ---------------------------------
+  serve::ServerOptions opts;
+  opts.max_batch_size = 16;
+  opts.max_wait_us = 500;
+  serve::InferenceServer server(registry, opts);
+  if (auto s = server.Start(); !s.ok()) {
+    std::printf("server start failed: %s\n", s.ToString().c_str());
+    return 1;
+  }
+
+  constexpr int kClients = 8;
+  constexpr int kRequestsPerClient = 32;
+  std::atomic<int> correct{0}, failed{0};
+  Timer wall;
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      Rng client_rng(100 + c);
+      for (int i = 0; i < kRequestsPerClient; ++i) {
+        // Closed loop: each client picks a test point (some repeats, so the
+        // result cache sees realistic reuse) and alternates models.
+        const size_t idx = client_rng.UniformInt(0, test.size() - 1);
+        serve::InferenceRequest request;
+        request.model = (i % 2 == 0) ? "moons-vqc" : "moons-qsvm";
+        request.input = test.features[idx];
+        request.timeout_us = 2'000'000;
+        auto response = server.Submit(std::move(request)).get();
+        if (!response.ok()) {
+          failed.fetch_add(1);
+          continue;
+        }
+        if (response.value().result.label == test.labels[idx]) {
+          correct.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  const double elapsed_s = wall.Seconds();
+  server.Shutdown();
+
+  const auto stats = server.stats();
+  const auto cache = server.result_cache().stats();
+  const int total = kClients * kRequestsPerClient;
+  std::printf("\nserved %d requests from %d clients in %.3fs  (%.0f req/s)\n",
+              total, kClients, elapsed_s, total / elapsed_s);
+  std::printf("  accuracy        %.3f\n",
+              static_cast<double>(correct.load()) / (total - failed.load()));
+  std::printf("  batches         %llu  (avg batch %.2f)\n",
+              static_cast<unsigned long long>(stats.batches),
+              stats.batches ? static_cast<double>(stats.completed) /
+                                  static_cast<double>(stats.batches)
+                            : 0.0);
+  std::printf("  cache           %llu hits / %llu misses  (%zu entries)\n",
+              static_cast<unsigned long long>(cache.hits),
+              static_cast<unsigned long long>(cache.misses), cache.size);
+  std::printf("  rejected        %llu,  expired %llu,  failed %d\n",
+              static_cast<unsigned long long>(stats.rejected),
+              static_cast<unsigned long long>(stats.expired), failed.load());
+
+  // Latency profile straight from the serve.* metrics the server exports.
+  if (auto* wait = obs::GetHistogram("serve.queue_wait_us")) {
+    std::printf("  queue wait µs   p50 %.0f   p90 %.0f   p99 %.0f\n",
+                wait->ApproxQuantile(0.50), wait->ApproxQuantile(0.90),
+                wait->ApproxQuantile(0.99));
+  }
+  if (auto* batch = obs::GetHistogram("serve.batch_size")) {
+    std::printf("  batch size      p50 %.1f   p90 %.1f\n",
+                batch->ApproxQuantile(0.50), batch->ApproxQuantile(0.90));
+  }
+
+  if (trace_out != nullptr) {
+    if (auto s = obs::TraceLog::Global().WriteChromeTrace(trace_out); s.ok()) {
+      std::printf("\ntrace written to %s\n", trace_out);
+    }
+  }
+  return failed.load() == 0 ? 0 : 1;
+}

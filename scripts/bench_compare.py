@@ -15,8 +15,14 @@ import json
 import sys
 
 
+# Throughput counters (bigger is better): a drop beyond the threshold is a
+# regression, mirroring the real_time check. The serving suite (E18,
+# BENCH_serve.json) reports req_per_s as its primary metric.
+RATE_COUNTERS = ("req_per_s",)
+
+
 def load_benchmarks(path):
-    """name -> (real_time, time_unit), keeping the first occurrence.
+    """name -> (real_time, time_unit, counters), keeping the first occurrence.
 
     Aggregate entries (mean/median/stddev repetitions) are skipped so the
     comparison is raw-run vs raw-run.
@@ -30,7 +36,13 @@ def load_benchmarks(path):
         name = bench.get("name")
         if name is None or name in out:
             continue
-        out[name] = (float(bench["real_time"]), bench.get("time_unit", "ns"))
+        counters = {
+            key: float(bench[key])
+            for key in RATE_COUNTERS
+            if isinstance(bench.get(key), (int, float))
+        }
+        out[name] = (float(bench["real_time"]), bench.get("time_unit", "ns"),
+                     counters)
     return out
 
 
@@ -79,8 +91,8 @@ def main():
           f"{'delta':>8}")
     regressions = []
     for name in shared:
-        before, unit_b = base[name]
-        after, unit_a = cand[name]
+        before, unit_b, counters_b = base[name]
+        after, unit_a, counters_a = cand[name]
         if unit_b != unit_a:
             print(f"{name:<{name_w}}  (time_unit mismatch: "
                   f"{unit_b} vs {unit_a})")
@@ -92,6 +104,18 @@ def main():
             regressions.append((name, delta))
         print(f"{name:<{name_w}}  {before:>10.1f}{unit_b:<2}  "
               f"{after:>10.1f}{unit_a:<2}  {delta:>+7.1%}{marker}")
+        # Rate counters compare in the opposite direction: a drop is bad.
+        for key in sorted(set(counters_b) & set(counters_a)):
+            rate_b, rate_a = counters_b[key], counters_a[key]
+            if rate_b <= 0:
+                continue
+            rate_delta = (rate_a - rate_b) / rate_b
+            marker = ""
+            if rate_delta < -args.threshold:
+                marker = "  << REGRESSION"
+                regressions.append((f"{name} [{key}]", rate_delta))
+            print(f"{'  ' + key:<{name_w}}  {rate_b:>10.1f}/s  "
+                  f"{rate_a:>10.1f}/s  {rate_delta:>+7.1%}{marker}")
 
     only_base = sorted(set(base) - set(cand))
     only_cand = sorted(set(cand) - set(base))

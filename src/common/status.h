@@ -26,6 +26,8 @@ enum class StatusCode {
   kNotConverged = 6,
   kUnimplemented = 7,
   kInternal = 8,
+  kUnavailable = 9,       ///< Transient overload/shutdown; retry may succeed.
+  kDeadlineExceeded = 10, ///< The request's deadline expired before completion.
 };
 
 /// \brief Returns the canonical lower-case name of a status code
@@ -71,6 +73,12 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

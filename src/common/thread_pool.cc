@@ -136,6 +136,11 @@ void ThreadPool::SetGlobalThreads(int num_threads) {
 
 bool ThreadPool::InWorker() { return t_in_pool_worker; }
 
+size_t ThreadPool::PendingOps() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
+}
+
 uint64_t ThreadPool::ChunkSize(uint64_t range) {
   // At most 64 chunks, each at least 2048 elements: coarse enough that the
   // per-chunk dispatch cost vanishes against the kernel work, fine enough

@@ -80,6 +80,11 @@ class ThreadPool {
   /// coarse tasks (whole circuit executions), not per-element loops.
   void RunTasks(size_t count, const std::function<void(size_t)>& task);
 
+  /// Fan-out ops currently queued and not yet claimed by a lane — a backlog
+  /// indicator for callers that feed the pool from outside (e.g. the serving
+  /// dispatchers), mirroring the pool.queue_depth gauge.
+  size_t PendingOps() const;
+
  private:
   struct Op;  // Shared state of one ParallelForChunks / RunTasks call.
 
@@ -87,7 +92,7 @@ class ThreadPool {
   void Enqueue(int copies, const std::shared_ptr<Op>& op);
 
   std::vector<std::thread> workers_;
-  std::mutex mu_;
+  mutable std::mutex mu_;
   std::condition_variable work_cv_;
   std::deque<std::shared_ptr<Op>> queue_;
   bool stop_ = false;

@@ -122,6 +122,32 @@ Result<Matrix> FidelityQuantumKernel::CrossMatrix(
   return cross;
 }
 
+Result<Matrix> FidelityQuantumKernel::CrossFromEncoded(
+    const std::vector<DVector>& test,
+    const std::vector<CVector>& ref_states) const {
+  if (test.empty() || ref_states.empty()) {
+    return Status::InvalidArgument("empty data set");
+  }
+  QDB_TRACE_SCOPE("FidelityQuantumKernel::CrossFromEncoded", "kernel");
+  QDB_ASSIGN_OR_RETURN(std::vector<CVector> states, EncodedStates(test));
+  for (const auto& ref : ref_states) {
+    if (ref.size() != states.front().size()) {
+      return Status::InvalidArgument(
+          "pre-encoded reference states have a different width than the "
+          "encoded test points");
+    }
+  }
+  Matrix cross(test.size(), ref_states.size());
+  ThreadPool::Global().RunTasks(test.size(), [&](size_t i) {
+    for (size_t j = 0; j < ref_states.size(); ++j) {
+      cross(i, j) = Complex(Fidelity(states[i], ref_states[j]), 0.0);
+    }
+  });
+  Counters().entries->Increment(
+      static_cast<long>(test.size() * ref_states.size()));
+  return cross;
+}
+
 FidelityQuantumKernel MakeAngleKernel(double scale) {
   return FidelityQuantumKernel([scale](const DVector& x) {
     return AngleEncoding(x, RotationAxis::kY, scale);

@@ -52,11 +52,20 @@ class FidelityQuantumKernel {
   Result<Matrix> CrossMatrix(const std::vector<DVector>& test,
                              const std::vector<DVector>& train) const;
 
- private:
   /// Encodes every point in one parallel batch; all states share one width.
+  /// Public so long-lived consumers (the serving layer's kernel models) can
+  /// encode a fixed reference set once and reuse it across requests.
   Result<std::vector<CVector>> EncodedStates(
       const std::vector<DVector>& xs) const;
 
+  /// CrossMatrix against pre-encoded reference states: encodes only `test`
+  /// and fills K_ij = |⟨φ(test_i)|ref_j⟩|². This is the serving hot path —
+  /// a request batch of B points costs B encoding circuits instead of
+  /// B + |ref| as the plain CrossMatrix does.
+  Result<Matrix> CrossFromEncoded(const std::vector<DVector>& test,
+                                  const std::vector<CVector>& ref_states) const;
+
+ private:
   EncodingFn encoder_;
   StateVectorSimulator simulator_;
 };

@@ -69,6 +69,33 @@ long Histogram::CountInBucket(size_t i) const {
   return counts_[i].load(std::memory_order_relaxed);
 }
 
+double Histogram::ApproxQuantile(double q) const {
+  q = std::clamp(q, 0.0, 1.0);
+  // Snapshot the counts once; concurrent Observe calls between loads can
+  // only perturb the estimate by the in-flight samples.
+  std::vector<long> counts(counts_.size());
+  long total = 0;
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    counts[i] = counts_[i].load(std::memory_order_relaxed);
+    total += counts[i];
+  }
+  if (total == 0) return 0.0;
+  const double rank = q * static_cast<double>(total);
+  double cumulative = 0.0;
+  for (size_t i = 0; i < counts.size(); ++i) {
+    const double next = cumulative + static_cast<double>(counts[i]);
+    if (next >= rank && counts[i] > 0) {
+      if (i == bounds_.size()) return bounds_.back();  // Overflow bucket.
+      const double lo = i == 0 ? 0.0 : bounds_[i - 1];
+      const double hi = bounds_[i];
+      const double frac = (rank - cumulative) / static_cast<double>(counts[i]);
+      return lo + frac * (hi - lo);
+    }
+    cumulative = next;
+  }
+  return bounds_.back();
+}
+
 void Histogram::Reset() {
   for (auto& c : counts_) c.store(0, std::memory_order_relaxed);
   total_.store(0, std::memory_order_relaxed);

@@ -57,6 +57,11 @@ class Histogram {
   const std::vector<double>& bounds() const { return bounds_; }
   /// Count in bucket i; i == bounds().size() is the overflow bucket.
   long CountInBucket(size_t i) const;
+  /// Approximate `q`-quantile (q in [0, 1]) by linear interpolation inside
+  /// the bucket holding the target rank (Prometheus histogram_quantile
+  /// semantics). Samples in the overflow bucket clamp to the last bound.
+  /// Returns 0 when the histogram is empty.
+  double ApproxQuantile(double q) const;
   long TotalCount() const { return total_.load(std::memory_order_relaxed); }
   double Sum() const { return sum_.load(std::memory_order_relaxed); }
   void Reset();

@@ -1,0 +1,306 @@
+#include "serve/inference_server.h"
+
+#include "common/strings.h"
+#include "obs/obs.h"
+
+namespace qdb {
+namespace serve {
+
+namespace {
+
+/// serve.* metric handles, resolved once.
+struct ServeMetrics {
+  obs::Gauge* queue_depth = obs::GetGauge("serve.queue_depth");
+  obs::Counter* requests = obs::GetCounter("serve.requests");
+  obs::Counter* rejected = obs::GetCounter("serve.rejected");
+  obs::Counter* expired = obs::GetCounter("serve.deadline_expired");
+  obs::Counter* cache_hits = obs::GetCounter("serve.cache_hits");
+  obs::Counter* cache_misses = obs::GetCounter("serve.cache_misses");
+  obs::Counter* batches = obs::GetCounter("serve.batches");
+  obs::Histogram* batch_size = obs::GetHistogram(
+      "serve.batch_size", {1, 2, 4, 8, 16, 32, 64, 128});
+  obs::Histogram* queue_wait_us = obs::GetHistogram("serve.queue_wait_us");
+};
+
+ServeMetrics& Metrics() {
+  static ServeMetrics metrics;
+  return metrics;
+}
+
+std::future<Result<InferenceResponse>> ImmediateResult(
+    Result<InferenceResponse> result) {
+  std::promise<Result<InferenceResponse>> promise;
+  promise.set_value(std::move(result));
+  return promise.get_future();
+}
+
+long MicrosBetween(std::chrono::steady_clock::time_point from,
+                   std::chrono::steady_clock::time_point to) {
+  return std::chrono::duration_cast<std::chrono::microseconds>(to - from)
+      .count();
+}
+
+}  // namespace
+
+InferenceServer::InferenceServer(ModelRegistry& registry,
+                                 const ServerOptions& options)
+    : registry_(registry),
+      options_(options),
+      result_cache_(options.result_cache_capacity) {}
+
+InferenceServer::~InferenceServer() { Shutdown(); }
+
+Status InferenceServer::Start() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (shut_down_ || stopping_) {
+    return Status::FailedPrecondition("server has been shut down");
+  }
+  if (started_) {
+    return Status::FailedPrecondition("server already started");
+  }
+  started_ = true;
+  const int n = options_.num_dispatchers > 0 ? options_.num_dispatchers : 1;
+  dispatchers_.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    dispatchers_.emplace_back([this] { DispatcherLoop(); });
+  }
+  return Status::OK();
+}
+
+void InferenceServer::Shutdown() {
+  std::vector<std::thread> dispatchers;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (shut_down_) return;
+    accepting_ = false;
+    stopping_ = true;
+    dispatchers.swap(dispatchers_);
+  }
+  queue_cv_.notify_all();
+  for (auto& t : dispatchers) t.join();
+  // Anything still queued was admitted but never started (or a dispatcher
+  // never existed): fail it rather than leaving futures hanging.
+  std::deque<Pending> orphans;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    orphans.swap(queue_);
+    shut_down_ = true;
+  }
+  for (auto& pending : orphans) {
+    pending.promise.set_value(
+        Status::Unavailable("server shut down before the request executed"));
+  }
+  Metrics().queue_depth->Set(0.0);
+}
+
+std::future<Result<InferenceResponse>> InferenceServer::Submit(
+    InferenceRequest request) {
+  QDB_TRACE_SCOPE("InferenceServer::Submit", "serve");
+  Metrics().requests->Increment();
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.submitted;
+  }
+
+  // Resolve the model first: unknown names and malformed inputs should
+  // fail loudly, not occupy queue space.
+  Result<std::shared_ptr<const ServableModel>> servable =
+      registry_.Lookup(request.model, request.version);
+  if (!servable.ok()) {
+    return ImmediateResult(servable.status());
+  }
+  if (Status valid = servable.value()->ValidateInput(request.kind,
+                                                     request.input);
+      !valid.ok()) {
+    return ImmediateResult(std::move(valid));
+  }
+
+  std::string cache_key;
+  if (options_.result_cache_capacity > 0) {
+    cache_key = ResultCache::MakeKey(servable.value()->name(),
+                                     servable.value()->version(),
+                                     request.kind, request.input);
+    if (std::optional<InferenceValue> hit = result_cache_.Lookup(cache_key)) {
+      Metrics().cache_hits->Increment();
+      {
+        std::lock_guard<std::mutex> lock(stats_mu_);
+        ++stats_.cache_hits;
+      }
+      InferenceResponse response;
+      response.result = std::move(*hit);
+      response.model_version = servable.value()->version();
+      response.from_cache = true;
+      return ImmediateResult(std::move(response));
+    }
+    Metrics().cache_misses->Increment();
+  }
+
+  Pending pending;
+  pending.servable = std::move(servable).value();
+  pending.kind = request.kind;
+  pending.input = std::move(request.input);
+  pending.cache_key = std::move(cache_key);
+  pending.admitted = Clock::now();
+  pending.deadline =
+      request.timeout_us > 0
+          ? pending.admitted + std::chrono::microseconds(request.timeout_us)
+          : Clock::time_point::max();
+  std::future<Result<InferenceResponse>> future =
+      pending.promise.get_future();
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!accepting_) {
+      Metrics().rejected->Increment();
+      std::lock_guard<std::mutex> stats_lock(stats_mu_);
+      ++stats_.rejected;
+      pending.promise.set_value(
+          Status::Unavailable("server is shutting down"));
+      return future;
+    }
+    if (queue_.size() >= options_.queue_capacity) {
+      Metrics().rejected->Increment();
+      std::lock_guard<std::mutex> stats_lock(stats_mu_);
+      ++stats_.rejected;
+      pending.promise.set_value(Status::Unavailable(
+          StrCat("request queue is full (", options_.queue_capacity,
+                 " pending); retry with backoff")));
+      return future;
+    }
+    queue_.push_back(std::move(pending));
+    Metrics().queue_depth->Set(static_cast<double>(queue_.size()));
+  }
+  queue_cv_.notify_one();
+  return future;
+}
+
+size_t InferenceServer::queue_depth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
+}
+
+InferenceServer::Stats InferenceServer::stats() const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  return stats_;
+}
+
+void InferenceServer::DispatcherLoop() {
+  while (true) {
+    std::vector<Pending> batch = NextBatch();
+    if (batch.empty()) return;  // Drained and stopping.
+    ExecuteBatch(std::move(batch));
+  }
+}
+
+std::vector<InferenceServer::Pending> InferenceServer::NextBatch() {
+  std::unique_lock<std::mutex> lock(mu_);
+  queue_cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+  if (queue_.empty()) return {};  // stopping_ and nothing left to drain.
+
+  std::vector<Pending> batch;
+  batch.push_back(std::move(queue_.front()));
+  queue_.pop_front();
+  const ServableModel* leader = batch.front().servable.get();
+  const RequestKind kind = batch.front().kind;
+  const Clock::time_point close =
+      Clock::now() + std::chrono::microseconds(options_.max_wait_us);
+
+  // Coalesce until the batch is full or the window closes. Each pass pulls
+  // every compatible request currently queued; between passes we sleep on
+  // the cv so new submissions extend the batch without busy-waiting.
+  while (batch.size() < options_.max_batch_size) {
+    for (auto it = queue_.begin();
+         it != queue_.end() && batch.size() < options_.max_batch_size;) {
+      if (it->servable.get() == leader && it->kind == kind) {
+        batch.push_back(std::move(*it));
+        it = queue_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    if (batch.size() >= options_.max_batch_size || stopping_) break;
+    if (queue_cv_.wait_until(lock, close) == std::cv_status::timeout) {
+      // Window closed; take any stragglers that arrived with the timeout.
+      for (auto it = queue_.begin();
+           it != queue_.end() && batch.size() < options_.max_batch_size;) {
+        if (it->servable.get() == leader && it->kind == kind) {
+          batch.push_back(std::move(*it));
+          it = queue_.erase(it);
+        } else {
+          ++it;
+        }
+      }
+      break;
+    }
+  }
+  Metrics().queue_depth->Set(static_cast<double>(queue_.size()));
+  if (!queue_.empty()) queue_cv_.notify_one();  // Work left for peers.
+  return batch;
+}
+
+void InferenceServer::ExecuteBatch(std::vector<Pending> batch) {
+  QDB_TRACE_SCOPE("InferenceServer::ExecuteBatch", "serve");
+  const Clock::time_point dispatch_time = Clock::now();
+
+  // Cancel expired requests before any simulation happens.
+  std::vector<Pending> live;
+  live.reserve(batch.size());
+  long expired = 0;
+  for (auto& pending : batch) {
+    if (pending.deadline < dispatch_time) {
+      pending.promise.set_value(Status::DeadlineExceeded(StrCat(
+          "request deadline expired after ",
+          MicrosBetween(pending.admitted, dispatch_time),
+          "us in queue; it was cancelled before execution")));
+      ++expired;
+    } else {
+      live.push_back(std::move(pending));
+    }
+  }
+  if (expired > 0) {
+    Metrics().expired->Increment(expired);
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    stats_.expired += expired;
+  }
+  if (live.empty()) return;
+
+  Metrics().batches->Increment();
+  Metrics().batch_size->Observe(static_cast<double>(live.size()));
+  for (const auto& pending : live) {
+    Metrics().queue_wait_us->Observe(static_cast<double>(
+        MicrosBetween(pending.admitted, dispatch_time)));
+  }
+
+  std::vector<DVector> inputs;
+  inputs.reserve(live.size());
+  for (const auto& pending : live) inputs.push_back(pending.input);
+
+  Result<std::vector<InferenceValue>> results =
+      live.front().servable->RunBatch(live.front().kind, inputs);
+  if (!results.ok()) {
+    for (auto& pending : live) {
+      pending.promise.set_value(results.status());
+    }
+    return;
+  }
+
+  for (size_t i = 0; i < live.size(); ++i) {
+    if (!live[i].cache_key.empty()) {
+      result_cache_.Insert(live[i].cache_key, results.value()[i]);
+    }
+    InferenceResponse response;
+    response.result = std::move(results.value()[i]);
+    response.model_version = live[i].servable->version();
+    response.batch_size = live.size();
+    response.queue_wait_us = MicrosBetween(live[i].admitted, dispatch_time);
+    live[i].promise.set_value(std::move(response));
+  }
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    stats_.completed += static_cast<long>(live.size());
+    ++stats_.batches;
+  }
+}
+
+}  // namespace serve
+}  // namespace qdb

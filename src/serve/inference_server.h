@@ -1,0 +1,179 @@
+/// \file inference_server.h
+/// \brief The serving runtime: a bounded request queue, dispatcher threads
+/// that coalesce compatible requests into micro-batches, admission control,
+/// per-request deadlines, and a result cache.
+///
+/// Request lifecycle:
+///
+///   Submit ──▶ admission (resolve model, validate input, cache lookup,
+///              queue-capacity check — overflow fails fast with
+///              kUnavailable) ──▶ bounded queue ──▶ dispatcher pops a
+///              leader, coalesces every queued request for the same
+///              (model version, request kind) for up to max_wait_us or
+///              max_batch_size ──▶ expired requests are cancelled with
+///              kDeadlineExceeded before touching the simulator ──▶ one
+///              ServableModel::RunBatch executes the whole micro-batch ──▶
+///              promises resolve, results enter the cache.
+///
+/// Batching invariant: a micro-batch only ever contains requests for one
+/// servable (one model version) and one request kind, so the whole batch is
+/// B parameter bindings of the same compiled circuit (or B points of one
+/// CrossFromEncoded call). Dispatchers are dedicated threads — not pool
+/// workers — so the batch execution itself still fans out across the shared
+/// qdb::ThreadPool.
+///
+/// Shutdown is a graceful drain: admission stops (new Submits get
+/// kUnavailable), dispatchers finish everything already queued, then join.
+
+#ifndef QDB_SERVE_INFERENCE_SERVER_H_
+#define QDB_SERVE_INFERENCE_SERVER_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/result.h"
+#include "serve/model_registry.h"
+#include "serve/result_cache.h"
+#include "serve/servable.h"
+
+namespace qdb {
+namespace serve {
+
+/// \brief Serving-runtime knobs.
+struct ServerOptions {
+  /// Maximum queued (admitted, not yet executing) requests; Submit beyond
+  /// this fails with kUnavailable.
+  size_t queue_capacity = 256;
+  /// Largest micro-batch a dispatcher will coalesce.
+  size_t max_batch_size = 16;
+  /// How long a dispatcher holds an under-full batch open waiting for
+  /// compatible requests, measured from when the leader was popped.
+  long max_wait_us = 200;
+  /// Dispatcher threads. One is enough for most workloads (execution fans
+  /// out across the ThreadPool regardless); more reduce head-of-line
+  /// blocking across models.
+  int num_dispatchers = 1;
+  /// Result-cache entries; 0 disables the cache.
+  size_t result_cache_capacity = 1024;
+};
+
+/// \brief One inference request. `version` < 0 serves the latest registered
+/// version; `timeout_us` > 0 sets a deadline relative to Submit — a request
+/// still queued past it is cancelled with kDeadlineExceeded and never
+/// reaches the simulator.
+struct InferenceRequest {
+  std::string model;
+  int version = -1;
+  RequestKind kind = RequestKind::kPredict;
+  DVector input;
+  long timeout_us = 0;
+};
+
+/// \brief A completed inference plus serving metadata.
+struct InferenceResponse {
+  InferenceValue result;
+  int model_version = 0;
+  bool from_cache = false;
+  /// Micro-batch size this request executed in (0 for cache hits).
+  size_t batch_size = 0;
+  /// Time from admission to dispatch (0 for cache hits).
+  long queue_wait_us = 0;
+};
+
+/// \brief Dynamic micro-batching inference server over a ModelRegistry.
+///
+/// Thread-safe: any number of client threads may Submit concurrently.
+/// Requests admitted before Start() queue up and execute once started.
+class InferenceServer {
+ public:
+  /// `registry` must outlive the server.
+  explicit InferenceServer(ModelRegistry& registry,
+                           const ServerOptions& options = {});
+  /// Drains and joins (see Shutdown).
+  ~InferenceServer();
+
+  InferenceServer(const InferenceServer&) = delete;
+  InferenceServer& operator=(const InferenceServer&) = delete;
+
+  /// Spawns the dispatcher threads. Fails with kFailedPrecondition if
+  /// already started or already shut down.
+  Status Start();
+
+  /// Graceful drain: stops admission (subsequent Submits fail with
+  /// kUnavailable), lets dispatchers finish every queued request, joins
+  /// them. Requests admitted but never started (Start was not called) fail
+  /// with kUnavailable. Idempotent.
+  void Shutdown();
+
+  /// Admits a request and returns a future for its response. Admission
+  /// failures (unknown model, bad input, full queue, shut down) and cache
+  /// hits resolve the future immediately.
+  std::future<Result<InferenceResponse>> Submit(InferenceRequest request);
+
+  /// Requests currently queued (admitted, not yet dispatched).
+  size_t queue_depth() const;
+
+  /// Monotonic serving tallies (process-lifetime metrics live in qdb::obs;
+  /// these are per-server and race-free to read in tests).
+  struct Stats {
+    long submitted = 0;       ///< Admission attempts.
+    long completed = 0;       ///< Futures resolved with an executed result.
+    long cache_hits = 0;      ///< Resolved from the result cache.
+    long rejected = 0;        ///< kUnavailable at admission (overflow/down).
+    long expired = 0;         ///< Cancelled with kDeadlineExceeded.
+    long batches = 0;         ///< Micro-batches executed.
+  };
+  Stats stats() const;
+
+  const ResultCache& result_cache() const { return result_cache_; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  /// A queued request: resolved servable + promise + timing.
+  struct Pending {
+    std::shared_ptr<const ServableModel> servable;
+    RequestKind kind = RequestKind::kPredict;
+    DVector input;
+    std::string cache_key;  ///< Empty when the cache is disabled.
+    Clock::time_point admitted;
+    Clock::time_point deadline;  ///< Clock::time_point::max() = none.
+    std::promise<Result<InferenceResponse>> promise;
+  };
+
+  void DispatcherLoop();
+  /// Pops a leader and every compatible queued request (same servable, same
+  /// kind), holding the batch open up to max_wait_us. Returns an empty
+  /// vector when the server is fully drained and stopping.
+  std::vector<Pending> NextBatch();
+  void ExecuteBatch(std::vector<Pending> batch);
+
+  ModelRegistry& registry_;
+  const ServerOptions options_;
+  ResultCache result_cache_;
+
+  mutable std::mutex mu_;
+  std::condition_variable queue_cv_;
+  std::deque<Pending> queue_;
+  bool accepting_ = true;
+  bool started_ = false;
+  bool stopping_ = false;
+  bool shut_down_ = false;
+  std::vector<std::thread> dispatchers_;
+
+  // Stats tallies (guarded by stats_mu_ so Stats reads are consistent).
+  mutable std::mutex stats_mu_;
+  Stats stats_;
+};
+
+}  // namespace serve
+}  // namespace qdb
+
+#endif  // QDB_SERVE_INFERENCE_SERVER_H_

@@ -1,0 +1,132 @@
+#include "serve/model_registry.h"
+
+#include "common/strings.h"
+#include "obs/obs.h"
+
+namespace qdb {
+namespace serve {
+
+namespace {
+
+obs::Gauge* RegisteredGauge() {
+  static obs::Gauge* gauge = obs::GetGauge("serve.registry_models");
+  return gauge;
+}
+
+}  // namespace
+
+Result<std::shared_ptr<const ServableModel>> ModelRegistry::Register(
+    ModelArtifact artifact) {
+  if (artifact.name.empty()) {
+    return Status::InvalidArgument("artifact has no name");
+  }
+  if (artifact.version < 0) {
+    return Status::InvalidArgument("artifact version must be >= 0");
+  }
+  // Resolve the version under the lock, but build the servable outside it:
+  // Create() simulates support-vector encodings and compiles circuits,
+  // which must not serialize against lookups. The slot is re-checked on
+  // insert in case of a racing Register on the same name.
+  int version = artifact.version;
+  if (version == 0) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = models_.find(artifact.name);
+    version = it == models_.end() || it->second.empty()
+                  ? 1
+                  : it->second.rbegin()->first + 1;
+  }
+  artifact.version = version;
+  QDB_ASSIGN_OR_RETURN(std::shared_ptr<const ServableModel> servable,
+                       ServableModel::Create(std::move(artifact)));
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto& versions = models_[servable->name()];
+    if (!versions.emplace(version, servable).second) {
+      return Status::AlreadyExists(
+          StrCat("model '", servable->name(), "' version ", version,
+                 " is already registered"));
+    }
+  }
+  RegisteredGauge()->Set(static_cast<double>(size()));
+  return servable;
+}
+
+Result<std::shared_ptr<const ServableModel>> ModelRegistry::Lookup(
+    const std::string& name, int version) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = models_.find(name);
+  if (it == models_.end() || it->second.empty()) {
+    return Status::NotFound(StrCat("no model named '", name, "'"));
+  }
+  if (version < 0) {
+    return it->second.rbegin()->second;
+  }
+  auto vit = it->second.find(version);
+  if (vit == it->second.end()) {
+    return Status::NotFound(
+        StrCat("model '", name, "' has no version ", version));
+  }
+  return vit->second;
+}
+
+Status ModelRegistry::Evict(const std::string& name, int version) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = models_.find(name);
+    if (it == models_.end() || it->second.empty()) {
+      return Status::NotFound(StrCat("no model named '", name, "'"));
+    }
+    if (version < 0) {
+      models_.erase(it);
+    } else {
+      if (it->second.erase(version) == 0) {
+        return Status::NotFound(
+            StrCat("model '", name, "' has no version ", version));
+      }
+      if (it->second.empty()) models_.erase(it);
+    }
+  }
+  RegisteredGauge()->Set(static_cast<double>(size()));
+  return Status::OK();
+}
+
+std::vector<ModelEntry> ModelRegistry::List() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<ModelEntry> out;
+  for (const auto& [name, versions] : models_) {
+    for (const auto& [version, servable] : versions) {
+      ModelEntry entry;
+      entry.name = name;
+      entry.version = version;
+      entry.type = servable->type();
+      entry.num_features = servable->num_features();
+      out.push_back(std::move(entry));
+    }
+  }
+  return out;
+}
+
+size_t ModelRegistry::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t n = 0;
+  for (const auto& [name, versions] : models_) n += versions.size();
+  return n;
+}
+
+Status ModelRegistry::SaveModel(const std::string& name, int version,
+                                const std::string& path) const {
+  QDB_ASSIGN_OR_RETURN(std::shared_ptr<const ServableModel> servable,
+                       Lookup(name, version));
+  return servable->artifact().SaveToFile(path);
+}
+
+Result<std::shared_ptr<const ServableModel>> ModelRegistry::LoadModel(
+    const std::string& path, bool reassign_version) {
+  QDB_ASSIGN_OR_RETURN(ModelArtifact artifact,
+                       ModelArtifact::LoadFromFile(path));
+  if (reassign_version) artifact.version = 0;
+  return Register(std::move(artifact));
+}
+
+}  // namespace serve
+}  // namespace qdb

@@ -1,0 +1,80 @@
+/// \file model_registry.h
+/// \brief Versioned store of servable models: register, look up (latest or
+/// pinned version), evict, and persist to / restore from disk.
+///
+/// Registration turns an artifact into a ServableModel (validating it and
+/// precomputing its inference path) and assigns the next version when the
+/// artifact does not pin one. Lookups hand out shared_ptr<const
+/// ServableModel>, so evicting a model never invalidates requests already
+/// holding it — the servable dies when its last in-flight request drops it.
+
+#ifndef QDB_SERVE_MODEL_REGISTRY_H_
+#define QDB_SERVE_MODEL_REGISTRY_H_
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "serve/model_artifact.h"
+#include "serve/servable.h"
+
+namespace qdb {
+namespace serve {
+
+/// One row of ModelRegistry::List.
+struct ModelEntry {
+  std::string name;
+  int version = 0;
+  ModelType type = ModelType::kVqcClassifier;
+  int num_features = 0;
+};
+
+/// \brief Thread-safe name → version → servable map.
+class ModelRegistry {
+ public:
+  ModelRegistry() = default;
+
+  /// Validates and loads `artifact`. version == 0 assigns (highest existing
+  /// version) + 1; an explicitly pinned version that already exists fails
+  /// with kAlreadyExists. Returns the loaded servable (with its assigned
+  /// version and stamped circuit fingerprint).
+  Result<std::shared_ptr<const ServableModel>> Register(ModelArtifact artifact);
+
+  /// Looks up a model; version < 0 means "latest registered version".
+  Result<std::shared_ptr<const ServableModel>> Lookup(const std::string& name,
+                                                      int version = -1) const;
+
+  /// Removes one version, or every version when version < 0. Fails with
+  /// kNotFound if nothing matched. In-flight requests holding the servable
+  /// are unaffected.
+  Status Evict(const std::string& name, int version = -1);
+
+  /// Every registered (name, version), sorted by name then version.
+  std::vector<ModelEntry> List() const;
+
+  /// Number of registered (name, version) pairs.
+  size_t size() const;
+
+  /// Serializes one registered model's artifact to `path` (the on-disk
+  /// format of model_artifact.h).
+  Status SaveModel(const std::string& name, int version,
+                   const std::string& path) const;
+
+  /// Loads an artifact file and registers it. The file's version is kept if
+  /// free, otherwise registration fails with kAlreadyExists; pass
+  /// reassign_version to force "next version" semantics instead.
+  Result<std::shared_ptr<const ServableModel>> LoadModel(
+      const std::string& path, bool reassign_version = false);
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::map<int, std::shared_ptr<const ServableModel>>>
+      models_;
+};
+
+}  // namespace serve
+}  // namespace qdb
+
+#endif  // QDB_SERVE_MODEL_REGISTRY_H_

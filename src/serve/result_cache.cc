@@ -1,0 +1,73 @@
+#include "serve/result_cache.h"
+
+#include <cstring>
+
+#include "common/strings.h"
+
+namespace qdb {
+namespace serve {
+
+std::string ResultCache::MakeKey(const std::string& model, int version,
+                                 RequestKind kind, const DVector& input) {
+  std::string key = StrCat(model, "\x1f", version, "\x1f",
+                           static_cast<int>(kind), "\x1f");
+  // Raw double bytes: bit-exact identity, no formatting round-trip.
+  const size_t offset = key.size();
+  key.resize(offset + input.size() * sizeof(double));
+  if (!input.empty()) {
+    std::memcpy(key.data() + offset, input.data(),
+                input.size() * sizeof(double));
+  }
+  return key;
+}
+
+std::optional<InferenceValue> ResultCache::Lookup(const std::string& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    ++misses_;
+    return std::nullopt;
+  }
+  ++hits_;
+  lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
+  return it->second.value;
+}
+
+void ResultCache::Insert(const std::string& key, const InferenceValue& value) {
+  if (capacity_ == 0) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    it->second.value = value;
+    lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
+    return;
+  }
+  lru_.push_front(key);
+  entries_[key] = Entry{value, lru_.begin()};
+  while (entries_.size() > capacity_) {
+    entries_.erase(lru_.back());
+    lru_.pop_back();
+    ++evictions_;
+  }
+}
+
+ResultCache::Stats ResultCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Stats s;
+  s.hits = hits_;
+  s.misses = misses_;
+  s.evictions = evictions_;
+  s.size = entries_.size();
+  s.capacity = capacity_;
+  return s;
+}
+
+void ResultCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_.clear();
+  lru_.clear();
+  hits_ = misses_ = evictions_ = 0;
+}
+
+}  // namespace serve
+}  // namespace qdb

@@ -1,0 +1,74 @@
+/// \file result_cache.h
+/// \brief LRU cache of inference results keyed by (model name, version,
+/// request kind, bit-exact input fingerprint).
+///
+/// Simulation is deterministic and served models are immutable once
+/// registered, so a cached response is exactly the response the simulator
+/// would produce — the cache is a pure latency/throughput win for workloads
+/// with repeated queries (e.g. a cardinality model probed with the same
+/// predicate templates). Keys hash the raw bytes of the input doubles, so
+/// only bit-identical inputs hit.
+
+#ifndef QDB_SERVE_RESULT_CACHE_H_
+#define QDB_SERVE_RESULT_CACHE_H_
+
+#include <list>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "linalg/types.h"
+#include "serve/servable.h"
+
+namespace qdb {
+namespace serve {
+
+/// \brief Bounded, thread-safe LRU map from request identity to
+/// InferenceValue. Capacity 0 disables caching entirely (every lookup
+/// misses, inserts are dropped).
+class ResultCache {
+ public:
+  explicit ResultCache(size_t capacity) : capacity_(capacity) {}
+
+  /// Bit-exact cache key for a request.
+  static std::string MakeKey(const std::string& model, int version,
+                             RequestKind kind, const DVector& input);
+
+  /// Returns the cached value and refreshes its LRU position, or nullopt.
+  std::optional<InferenceValue> Lookup(const std::string& key);
+
+  /// Inserts (or refreshes) a value, evicting the least-recently-used
+  /// entry beyond capacity.
+  void Insert(const std::string& key, const InferenceValue& value);
+
+  struct Stats {
+    long hits = 0;
+    long misses = 0;
+    long evictions = 0;
+    size_t size = 0;
+    size_t capacity = 0;
+  };
+  Stats stats() const;
+
+  void Clear();
+
+ private:
+  mutable std::mutex mu_;
+  size_t capacity_;
+  long hits_ = 0;
+  long misses_ = 0;
+  long evictions_ = 0;
+  /// Most-recently-used key at the front.
+  std::list<std::string> lru_;
+  struct Entry {
+    InferenceValue value;
+    std::list<std::string>::iterator lru_pos;
+  };
+  std::unordered_map<std::string, Entry> entries_;
+};
+
+}  // namespace serve
+}  // namespace qdb
+
+#endif  // QDB_SERVE_RESULT_CACHE_H_

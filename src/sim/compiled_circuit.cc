@@ -585,16 +585,19 @@ std::shared_ptr<const CompiledCircuit> CompilationCache::GetOrCompile(
   auto it = entries_.find(key);
   if (it != entries_.end()) {
     counters.cache_hits->Increment();
+    ++hits_;
     lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
     return it->second.program;
   }
   counters.cache_misses->Increment();
+  ++misses_;
   auto program = std::make_shared<const CompiledCircuit>(
       CompiledCircuit::Compile(circuit, options));
   lru_.push_front(key);
   entries_[std::move(key)] = Entry{program, lru_.begin()};
   while (entries_.size() > capacity_) {
     counters.cache_evictions->Increment();
+    ++evictions_;
     entries_.erase(lru_.back());
     lru_.pop_back();
   }
@@ -606,7 +609,21 @@ void CompilationCache::Clear() {
   std::lock_guard<std::mutex> lock(mu_);
   entries_.clear();
   lru_.clear();
+  hits_ = 0;
+  misses_ = 0;
+  evictions_ = 0;
   Counters().cache_size->Set(0.0);
+}
+
+CompilationCache::Stats CompilationCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Stats s;
+  s.hits = hits_;
+  s.misses = misses_;
+  s.evictions = evictions_;
+  s.size = entries_.size();
+  s.capacity = capacity_;
+  return s;
 }
 
 size_t CompilationCache::size() const {
@@ -619,6 +636,7 @@ void CompilationCache::set_capacity(size_t capacity) {
   capacity_ = std::max<size_t>(capacity, 1);
   while (entries_.size() > capacity_) {
     Counters().cache_evictions->Increment();
+    ++evictions_;
     entries_.erase(lru_.back());
     lru_.pop_back();
   }

@@ -138,6 +138,19 @@ class CompiledCircuit {
 /// distinct circuits can never collide onto one program.
 class CompilationCache {
  public:
+  /// Point-in-time cache tallies. Unlike the process-wide compile.cache_*
+  /// metrics (which aggregate over the registry's lifetime and survive
+  /// ResetAll races in tests), these are owned by the cache instance, read
+  /// atomically under its lock, and satisfy hits + misses == lookups and
+  /// size == entries at every observation point.
+  struct Stats {
+    long hits = 0;
+    long misses = 0;
+    long evictions = 0;
+    size_t size = 0;
+    size_t capacity = 0;
+  };
+
   static CompilationCache& Global();
 
   /// Returns the cached program for `circuit`, compiling on miss. Thread-
@@ -146,10 +159,14 @@ class CompilationCache {
   std::shared_ptr<const CompiledCircuit> GetOrCompile(
       const Circuit& circuit, const CompileOptions& options = {});
 
-  /// Drops every cached program (test hook).
+  /// Drops every cached program and zeroes the hit/miss/eviction tallies
+  /// (test hook).
   void Clear();
 
   size_t size() const;
+
+  /// Consistent snapshot of the instance tallies.
+  Stats stats() const;
 
   /// Maximum resident programs; least-recently-used entries evict beyond
   /// it. Default 256.
@@ -160,6 +177,10 @@ class CompilationCache {
 
   mutable std::mutex mu_;
   size_t capacity_;
+  /// Instance tallies behind stats(); guarded by mu_.
+  long hits_ = 0;
+  long misses_ = 0;
+  long evictions_ = 0;
   /// Most-recently-used key at the front.
   std::list<std::string> lru_;
   struct Entry {

@@ -58,6 +58,11 @@ class VqcClassifier {
   Result<int> Predict(const DVector& x) const;
 
   const DVector& params() const { return params_; }
+  /// The hyperparameters the model was trained with — together with
+  /// num_features() and params() these fully determine the inference
+  /// circuit, so serving artifacts can be built from a trained model.
+  const VqcOptions& options() const { return options_; }
+  int num_features() const { return num_features_; }
   const DVector& loss_history() const { return loss_history_; }
   /// ‖∇L‖₂ per training iteration (barren-plateau diagnostics).
   const DVector& gradient_norm_history() const {

@@ -41,6 +41,10 @@ class VqrRegressor {
   Result<double> Predict(const DVector& x) const;
 
   const DVector& params() const { return params_; }
+  /// Trained hyperparameters (see VqcClassifier::options — same role: they
+  /// let the serving layer reconstruct the inference circuit).
+  const VqrOptions& options() const { return options_; }
+  int num_features() const { return num_features_; }
   const DVector& loss_history() const { return loss_history_; }
   /// ‖∇L‖₂ per training iteration.
   const DVector& gradient_norm_history() const {

@@ -39,6 +39,16 @@ TEST(StatusTest, AllFactoryCodes) {
   EXPECT_EQ(Status::NotConverged("x").code(), StatusCode::kNotConverged);
   EXPECT_EQ(Status::Unimplemented("x").code(), StatusCode::kUnimplemented);
   EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+  EXPECT_EQ(Status::Unavailable("x").code(), StatusCode::kUnavailable);
+  EXPECT_EQ(Status::DeadlineExceeded("x").code(),
+            StatusCode::kDeadlineExceeded);
+}
+
+TEST(StatusTest, ServingCodesRenderDistinctly) {
+  EXPECT_EQ(Status::Unavailable("overloaded").ToString(),
+            "unavailable: overloaded");
+  EXPECT_EQ(Status::DeadlineExceeded("too slow").ToString(),
+            "deadline exceeded: too slow");
 }
 
 TEST(StatusTest, EqualityComparesCodeAndMessage) {

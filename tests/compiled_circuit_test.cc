@@ -5,7 +5,9 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cmath>
+#include <thread>
 #include <vector>
 
 #include "circuit/circuit.h"
@@ -308,6 +310,74 @@ TEST(CompiledCircuitTest, CacheEvictsLeastRecentlyUsed) {
   EXPECT_EQ(cache.size(), 2u);
   EXPECT_EQ(cache.GetOrCompile(a).get(), pa.get());  // Still resident.
   EXPECT_NE(cache.GetOrCompile(b).get(), pb.get());  // Was recompiled.
+  cache.set_capacity(256);
+  cache.Clear();
+}
+
+TEST(CompiledCircuitTest, CacheStatsTrackHitsMissesEvictions) {
+  CompilationCache& cache = CompilationCache::Global();
+  cache.Clear();
+  cache.set_capacity(2);
+  Circuit a(1), b(1), c(1);
+  a.H(0).X(0);
+  b.H(0).Y(0);
+  c.H(0).Z(0);
+  cache.GetOrCompile(a);  // miss
+  cache.GetOrCompile(a);  // hit
+  cache.GetOrCompile(b);  // miss
+  cache.GetOrCompile(c);  // miss, evicts a
+  auto stats = cache.stats();
+  EXPECT_EQ(stats.hits, 1);
+  EXPECT_EQ(stats.misses, 3);
+  EXPECT_EQ(stats.evictions, 1);
+  EXPECT_EQ(stats.size, 2u);
+  EXPECT_EQ(stats.capacity, 2u);
+  // Clear zeroes the tallies along with the entries.
+  cache.set_capacity(256);
+  cache.Clear();
+  stats = cache.stats();
+  EXPECT_EQ(stats.hits + stats.misses + stats.evictions, 0);
+  EXPECT_EQ(stats.size, 0u);
+}
+
+TEST(CompiledCircuitTest, ConcurrentEvictionStressIsConsistent) {
+  // Many threads hammering a tiny cache with overlapping circuit sets:
+  // every lookup must return a usable program and the tallies must add up.
+  // Run under TSan (scripts/tier1.sh) this doubles as the data-race gate
+  // for the LRU bookkeeping.
+  CompilationCache& cache = CompilationCache::Global();
+  cache.Clear();
+  cache.set_capacity(4);
+  constexpr int kThreads = 8;
+  constexpr int kIterations = 200;
+  constexpr int kDistinctCircuits = 12;  // 3x capacity: constant eviction.
+  std::vector<Circuit> circuits;
+  for (int i = 0; i < kDistinctCircuits; ++i) {
+    Circuit c(2);
+    c.H(0).CX(0, 1);
+    for (int r = 0; r <= i; ++r) c.RY(1, 0.1 * static_cast<double>(r + 1));
+    circuits.push_back(std::move(c));
+  }
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kIterations; ++i) {
+        const auto& circuit = circuits[(t * 7 + i) % kDistinctCircuits];
+        auto program = cache.GetOrCompile(circuit);
+        if (program == nullptr ||
+            program->num_qubits() != circuit.num_qubits()) {
+          failures.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(failures.load(), 0);
+  const auto stats = cache.stats();
+  EXPECT_EQ(stats.hits + stats.misses, kThreads * kIterations);
+  EXPECT_LE(stats.size, 4u);
+  EXPECT_GT(stats.evictions, 0);
   cache.set_capacity(256);
   cache.Clear();
 }

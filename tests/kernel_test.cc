@@ -96,6 +96,28 @@ TEST(QuantumKernelTest, CrossMatrixMatchesPairwiseEvaluation) {
   }
 }
 
+TEST(QuantumKernelTest, CrossFromEncodedMatchesCrossMatrix) {
+  // The serving hot path: reference states encoded once, reused across
+  // request batches. Must agree with the from-scratch CrossMatrix.
+  FidelityQuantumKernel kernel = MakeZZFeatureMapKernel();
+  auto train = SmallDataset(4, 2, 9);
+  auto test = SmallDataset(3, 2, 10);
+  auto ref = kernel.EncodedStates(train);
+  ASSERT_TRUE(ref.ok());
+  auto fast = kernel.CrossFromEncoded(test, ref.value());
+  auto full = kernel.CrossMatrix(test, train);
+  ASSERT_TRUE(fast.ok() && full.ok());
+  for (size_t i = 0; i < test.size(); ++i) {
+    for (size_t j = 0; j < train.size(); ++j) {
+      EXPECT_NEAR(fast.value()(i, j).real(), full.value()(i, j).real(),
+                  1e-12);
+    }
+  }
+  // Width mismatch between test encoding and reference states is caught.
+  auto bad = kernel.CrossFromEncoded(SmallDataset(2, 3, 11), ref.value());
+  EXPECT_FALSE(bad.ok());
+}
+
 TEST(QuantumKernelTest, EmptyInputsRejected) {
   FidelityQuantumKernel kernel = MakeAngleKernel();
   EXPECT_FALSE(kernel.GramMatrix({}).ok());

@@ -237,6 +237,27 @@ TEST(HistogramTest, ConcurrentObservationsAreLossless) {
   EXPECT_DOUBLE_EQ(h->Sum(), static_cast<double>(kThreads) * kPerThread);
 }
 
+TEST(HistogramTest, ApproxQuantileInterpolatesWithinBuckets) {
+  Histogram h({10.0, 20.0, 40.0});
+  EXPECT_DOUBLE_EQ(h.ApproxQuantile(0.5), 0.0);  // Empty histogram.
+  // 10 samples in (0, 10], 10 in (10, 20].
+  for (int i = 0; i < 10; ++i) h.Observe(5.0);
+  for (int i = 0; i < 10; ++i) h.Observe(15.0);
+  // Median rank sits at the boundary of bucket 0; p75 is midway through
+  // bucket 1 (linear interpolation inside the bucket).
+  EXPECT_DOUBLE_EQ(h.ApproxQuantile(0.5), 10.0);
+  EXPECT_DOUBLE_EQ(h.ApproxQuantile(0.75), 15.0);
+  EXPECT_DOUBLE_EQ(h.ApproxQuantile(1.0), 20.0);
+  EXPECT_DOUBLE_EQ(h.ApproxQuantile(0.0), 0.0);  // Clamped.
+}
+
+TEST(HistogramTest, ApproxQuantileClampsOverflowToLastBound) {
+  Histogram h({1.0, 2.0});
+  h.Observe(100.0);  // Overflow bucket.
+  EXPECT_DOUBLE_EQ(h.ApproxQuantile(0.5), 2.0);
+  EXPECT_DOUBLE_EQ(h.ApproxQuantile(0.99), 2.0);
+}
+
 TEST(HistogramTest, ScopedTimerObservesOnce) {
   Histogram* h = GetHistogram("obs_test.scoped_timer_hist");
   h->Reset();
