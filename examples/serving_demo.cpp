@@ -11,6 +11,15 @@
 //
 // Observability: run with QDB_TRACE=1 (or pass --trace-out) to capture a
 // Chrome trace-event timeline of dispatch and batch execution.
+//
+// Chaos: set QDB_FAULTS to arm seeded fault points across the stack (see
+// fault/fault_injector.h for the grammar and scripts/chaos.sh for the
+// canonical profiles), e.g.
+//
+//   QDB_FAULTS="serve.dispatch:error:0.2:1337" ./serving_demo
+//
+// and watch the retry/breaker/degradation machinery absorb the injected
+// failures.
 
 #include <cmath>
 #include <cstdio>
@@ -22,6 +31,7 @@
 
 #include "classical/svm.h"
 #include "common/timer.h"
+#include "fault/fault_injector.h"
 #include "obs/obs.h"
 #include "serve/inference_server.h"
 #include "serve/model_registry.h"
@@ -49,6 +59,15 @@ int main(int argc, char** argv) {
   obs::InitTracingFromEnv();
   const char* trace_out = ParseTraceOut(argc, argv);
   if (trace_out != nullptr) obs::EnableTracing();
+
+  // Chaos opt-in: arm any fault points listed in QDB_FAULTS (no-op unset).
+  if (auto s = fault::FaultInjector::Global().ArmFromEnv(); !s.ok()) {
+    std::printf("bad QDB_FAULTS: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  for (const auto& point : fault::FaultInjector::Global().ArmedPoints()) {
+    std::printf("chaos: fault point '%s' armed\n", point.c_str());
+  }
 
   // ---- Offline: train and package ------------------------------------------
   Rng rng(17);

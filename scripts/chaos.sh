@@ -1,0 +1,52 @@
+#!/usr/bin/env bash
+# Chaos gate: replay three seeded QDB_FAULTS profiles through the resilience
+# test suite, then (when a TSan build exists) run the fault/retry/breaker
+# tests under ThreadSanitizer. Run from the repo root:
+#
+#   ./scripts/chaos.sh            # uses build/ (and build-tsan/ if present)
+#   BUILD_DIR=out ./scripts/chaos.sh
+#
+# Each profile is a fixed point:kind:probability:seed spec, so a failure here
+# reproduces bit for bit with the printed QDB_FAULTS string. The env-driven
+# test (FaultTest.ChaosProfileFromEnvEveryRequestTerminates) asserts the
+# profile-agnostic invariants: every request terminates with a definitive
+# Status, terminal buckets account for every admission, saves never leave a
+# half-readable artifact, and the run replays identically when re-armed.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${BUILD_DIR:-build}"
+TSAN_DIR="${TSAN_DIR:-build-tsan}"
+FAULT_TEST="$BUILD_DIR/tests/fault_test"
+
+if [[ ! -x "$FAULT_TEST" ]]; then
+  echo "chaos: $FAULT_TEST not built (run scripts/tier1.sh or cmake --build $BUILD_DIR)" >&2
+  exit 1
+fi
+
+declare -A PROFILES=(
+  [error-storm]="serve.dispatch:error:0.2:1337"
+  [latency-spike]="serve.dispatch:latency:0.3:7:2000"
+  [torn-write]="artifact.save:torn_write:0.5:11:0.5"
+)
+
+for name in error-storm latency-spike torn-write; do
+  spec="${PROFILES[$name]}"
+  echo "== chaos: $name  (QDB_FAULTS=$spec) =="
+  QDB_FAULTS="$spec" "$FAULT_TEST" \
+    --gtest_filter='FaultTest.ChaosProfileFromEnvEveryRequestTerminates'
+done
+
+# The deterministic (programmatically armed) resilience suite, faults unset.
+echo "== chaos: seeded resilience suite =="
+"$FAULT_TEST"
+
+if [[ -x "$TSAN_DIR/tests/fault_test" ]]; then
+  echo "== chaos: fault/retry/breaker under ThreadSanitizer =="
+  QDB_THREADS=4 "$TSAN_DIR/tests/fault_test"
+else
+  echo "== chaos: $TSAN_DIR/tests/fault_test not built; skipping TSan pass =="
+fi
+
+echo
+echo "chaos PASS"

@@ -22,12 +22,17 @@ cmake -B build-tsan -S . \
   -DQDB_BUILD_EXAMPLES=OFF >/dev/null
 cmake --build build-tsan -j --target obs_test --target thread_pool_test \
   --target sim_parallel_test --target compiled_circuit_test \
-  --target serve_test
+  --target serve_test --target fault_test
 ./build-tsan/tests/obs_test
 ./build-tsan/tests/thread_pool_test
 QDB_THREADS=4 ./build-tsan/tests/sim_parallel_test
 QDB_THREADS=4 ./build-tsan/tests/compiled_circuit_test
 QDB_THREADS=4 ./build-tsan/tests/serve_test
+QDB_THREADS=4 ./build-tsan/tests/fault_test
+
+echo
+echo "== tier 1: seeded chaos profiles =="
+./scripts/chaos.sh
 
 echo
 echo "tier 1 PASS"

@@ -1,0 +1,120 @@
+#include "common/retry.h"
+
+#include <algorithm>
+#include <thread>
+
+#include "common/strings.h"
+#include "obs/obs.h"
+
+namespace qdb {
+
+namespace {
+
+struct RetryMetrics {
+  obs::Histogram* attempts = obs::GetHistogram(
+      "fault.retry.attempts", {1, 2, 3, 4, 6, 8, 12, 16});
+  obs::Counter* retries = obs::GetCounter("fault.retry.retries");
+  obs::Counter* giveups = obs::GetCounter("fault.retry.giveups");
+  obs::Counter* deadline_cuts = obs::GetCounter("fault.retry.deadline_cuts");
+};
+
+RetryMetrics& Metrics() {
+  static RetryMetrics metrics;
+  return metrics;
+}
+
+void SleepMicros(const RetryPolicy& policy, long us) {
+  if (us <= 0) return;
+  if (policy.sleep_us) {
+    policy.sleep_us(us);
+  } else {
+    std::this_thread::sleep_for(std::chrono::microseconds(us));
+  }
+}
+
+}  // namespace
+
+bool RetryPolicy::IsRetryable(const Status& status) const {
+  if (status.ok()) return false;
+  if (retryable) return retryable(status);
+  return status.code() == StatusCode::kUnavailable;
+}
+
+Backoff::Backoff(const RetryPolicy& policy, Rng rng)
+    : initial_us_(std::max<long>(policy.initial_backoff_us, 0)),
+      max_us_(std::max<long>(policy.max_backoff_us, 0)),
+      multiplier_(policy.backoff_multiplier < 1.0 ? 1.0
+                                                  : policy.backoff_multiplier),
+      jitter_(policy.decorrelated_jitter),
+      rng_(rng) {}
+
+long Backoff::NextDelayUs() {
+  long next;
+  if (prev_us_ <= 0) {
+    next = initial_us_;
+  } else if (jitter_) {
+    // Decorrelated jitter: uniform in [initial, prev * 3].
+    const double hi = static_cast<double>(prev_us_) * 3.0;
+    next = static_cast<long>(
+        rng_.Uniform(static_cast<double>(initial_us_),
+                     std::max(hi, static_cast<double>(initial_us_) + 1.0)));
+  } else {
+    next = static_cast<long>(static_cast<double>(prev_us_) * multiplier_);
+  }
+  next = std::min(std::max(next, initial_us_), max_us_);
+  prev_us_ = next;
+  return next;
+}
+
+Status Retry(const RetryPolicy& policy, Rng& rng,
+             const std::function<Status(int)>& fn,
+             RetryClock::time_point deadline) {
+  const int max_attempts = std::max(policy.max_attempts, 1);
+  Backoff backoff(policy, rng.Split());
+  Status last;
+  int attempt = 0;
+  while (attempt < max_attempts) {
+    if (RetryClock::now() >= deadline) {
+      Metrics().deadline_cuts->Increment();
+      Metrics().attempts->Observe(static_cast<double>(attempt));
+      return Status::DeadlineExceeded(
+          attempt == 0
+              ? "deadline expired before the first attempt"
+              : StrCat("deadline expired after ", attempt, " attempt(s); ",
+                       "last error: ", last.ToString()));
+    }
+    ++attempt;
+    last = fn(attempt);
+    if (last.ok() || !policy.IsRetryable(last)) {
+      if (!last.ok()) Metrics().giveups->Increment();
+      Metrics().attempts->Observe(static_cast<double>(attempt));
+      return last;
+    }
+    if (attempt >= max_attempts) break;
+    const long delay_us = backoff.NextDelayUs();
+    // A sleep that would overshoot the deadline cannot lead to a useful
+    // attempt: stop retrying now rather than waking up too late.
+    if (deadline != RetryClock::time_point::max() &&
+        RetryClock::now() + std::chrono::microseconds(delay_us) >= deadline) {
+      Metrics().deadline_cuts->Increment();
+      Metrics().attempts->Observe(static_cast<double>(attempt));
+      return Status::DeadlineExceeded(
+          StrCat("deadline would expire during the ", delay_us,
+                 "us backoff after attempt ", attempt,
+                 "; last error: ", last.ToString()));
+    }
+    Metrics().retries->Increment();
+    SleepMicros(policy, delay_us);
+  }
+  Metrics().giveups->Increment();
+  Metrics().attempts->Observe(static_cast<double>(attempt));
+  return last;
+}
+
+Status Retry(const RetryPolicy& policy, const std::function<Status(int)>& fn,
+             RetryClock::time_point deadline) {
+  Rng rng(policy.jitter_seed);
+  return Retry(policy, rng, fn, deadline);
+}
+
+}  // namespace qdb

@@ -1,0 +1,107 @@
+/// \file retry.h
+/// \brief Retry(policy, fn): exponential backoff with decorrelated jitter,
+/// a retryable-StatusCode predicate, and deadline awareness.
+///
+/// Jitter is drawn from an explicit Rng seeded by the policy, so retry
+/// schedules are deterministic for a fixed seed — chaos runs that combine
+/// injected faults (fault/fault_injector.h) with retries replay bit-for-bit.
+/// A deadline cuts the loop short *before* the attempt or sleep that cannot
+/// finish in time: callers get kDeadlineExceeded immediately instead of
+/// burning simulator work on a result nobody will wait for.
+
+#ifndef QDB_COMMON_RETRY_H_
+#define QDB_COMMON_RETRY_H_
+
+#include <chrono>
+#include <functional>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "common/status.h"
+
+namespace qdb {
+
+/// \brief Backoff/retry knobs. The defaults suit transient kUnavailable
+/// failures from an overloaded or fault-injected backend.
+struct RetryPolicy {
+  /// Total attempts including the first (1 = no retry).
+  int max_attempts = 4;
+  long initial_backoff_us = 500;
+  double backoff_multiplier = 2.0;
+  long max_backoff_us = 50000;
+  /// Decorrelated jitter (AWS style): each delay is uniform in
+  /// [initial, prev * 3], capped at max. Off = pure exponential.
+  bool decorrelated_jitter = true;
+  /// Seed for the jitter stream when no Rng is supplied to Retry.
+  uint64_t jitter_seed = 0x5EEDBACCull;
+  /// Which failures are worth retrying; null means "kUnavailable only".
+  std::function<bool(const Status&)> retryable;
+  /// Sleep hook for tests (microseconds); null sleeps for real.
+  std::function<void(long)> sleep_us;
+
+  bool IsRetryable(const Status& status) const;
+};
+
+/// \brief Deterministic backoff-delay sequence for one retry loop.
+class Backoff {
+ public:
+  Backoff(const RetryPolicy& policy, Rng rng);
+
+  /// Delay before the next attempt, advancing the jitter stream.
+  long NextDelayUs();
+
+ private:
+  long initial_us_;
+  long max_us_;
+  double multiplier_;
+  bool jitter_;
+  long prev_us_ = 0;
+  Rng rng_;
+};
+
+using RetryClock = std::chrono::steady_clock;
+
+/// Runs fn(attempt) — attempt counts from 1 — until it returns OK, a
+/// non-retryable status, max_attempts is exhausted, or `deadline` would be
+/// crossed by the next backoff sleep (then kDeadlineExceeded, immediately).
+/// Observes the fault.retry.attempts histogram on every exit.
+Status Retry(const RetryPolicy& policy, Rng& rng,
+             const std::function<Status(int)>& fn,
+             RetryClock::time_point deadline = RetryClock::time_point::max());
+
+/// Convenience overload: jitter Rng seeded from policy.jitter_seed.
+Status Retry(const RetryPolicy& policy, const std::function<Status(int)>& fn,
+             RetryClock::time_point deadline = RetryClock::time_point::max());
+
+/// Result-returning variant: the value of the first successful attempt, or
+/// the terminal status of the loop.
+template <typename T>
+Result<T> RetryResult(
+    const RetryPolicy& policy, Rng& rng,
+    const std::function<Result<T>(int)>& fn,
+    RetryClock::time_point deadline = RetryClock::time_point::max()) {
+  std::optional<T> value;
+  Status final_status = Retry(
+      policy, rng,
+      [&](int attempt) {
+        Result<T> result = fn(attempt);
+        if (!result.ok()) return result.status();
+        value = std::move(result).value();
+        return Status::OK();
+      },
+      deadline);
+  if (!final_status.ok()) return final_status;
+  return std::move(*value);
+}
+
+template <typename T>
+Result<T> RetryResult(
+    const RetryPolicy& policy, const std::function<Result<T>(int)>& fn,
+    RetryClock::time_point deadline = RetryClock::time_point::max()) {
+  Rng rng(policy.jitter_seed);
+  return RetryResult<T>(policy, rng, fn, deadline);
+}
+
+}  // namespace qdb
+
+#endif  // QDB_COMMON_RETRY_H_

@@ -1,0 +1,192 @@
+#include "fault/circuit_breaker.h"
+
+#include <algorithm>
+
+#include "common/strings.h"
+#include "obs/obs.h"
+#include "obs/trace.h"
+
+namespace qdb {
+namespace fault {
+
+namespace {
+
+/// Shared fault.breaker.* handles (the per-breaker state gauge is looked up
+/// per instance in the constructor).
+struct BreakerMetrics {
+  obs::Counter* opened = obs::GetCounter("fault.breaker.opened");
+  obs::Counter* closed = obs::GetCounter("fault.breaker.closed");
+  obs::Counter* shed = obs::GetCounter("fault.breaker.shed");
+  obs::Histogram* open_duration_us = obs::GetHistogram(
+      "fault.breaker.open_duration_us",
+      {1000, 10000, 50000, 100000, 500000, 1e6, 5e6});
+};
+
+BreakerMetrics& Metrics() {
+  static BreakerMetrics metrics;
+  return metrics;
+}
+
+double StateValue(BreakerState state) {
+  switch (state) {
+    case BreakerState::kClosed: return 0.0;
+    case BreakerState::kOpen: return 1.0;
+    case BreakerState::kHalfOpen: return 2.0;
+  }
+  return 0.0;
+}
+
+}  // namespace
+
+const char* BreakerStateName(BreakerState state) {
+  switch (state) {
+    case BreakerState::kClosed: return "closed";
+    case BreakerState::kOpen: return "open";
+    case BreakerState::kHalfOpen: return "half_open";
+  }
+  return "closed";
+}
+
+CircuitBreaker::CircuitBreaker(std::string name,
+                               const CircuitBreakerOptions& options)
+    : name_(std::move(name)),
+      options_(options),
+      state_gauge_(obs::GetGauge(StrCat("fault.breaker.state.", name_))),
+      window_(options.window == 0 ? 1 : options.window, 0) {
+  state_gauge_->Set(StateValue(state_));
+}
+
+bool CircuitBreaker::Allow() {
+  std::lock_guard<std::mutex> lock(mu_);
+  const Clock::time_point now = Clock::now();
+  switch (state_) {
+    case BreakerState::kClosed:
+      ++stats_.allowed;
+      return true;
+    case BreakerState::kOpen:
+      if (now - opened_at_ >=
+          std::chrono::microseconds(options_.open_duration_us)) {
+        HalfOpenLocked(now);
+        ++stats_.allowed;
+        return true;  // First probe.
+      }
+      ++stats_.shed;
+      Metrics().shed->Increment();
+      return false;
+    case BreakerState::kHalfOpen:
+      // Probes are rate-limited rather than counted in flight: a probe
+      // whose outcome never comes back (expired in queue, resolved from
+      // cache) cannot wedge the breaker — the next one is due an interval
+      // later.
+      if (now >= next_probe_at_) {
+        next_probe_at_ =
+            now + std::chrono::microseconds(options_.probe_interval_us);
+        ++stats_.allowed;
+        return true;
+      }
+      ++stats_.shed;
+      Metrics().shed->Increment();
+      return false;
+  }
+  return true;
+}
+
+void CircuitBreaker::RecordSuccess(long latency_us) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const bool slow = options_.latency_threshold_us > 0 &&
+                    latency_us > options_.latency_threshold_us;
+  const Clock::time_point now = Clock::now();
+  if (state_ == BreakerState::kHalfOpen) {
+    if (slow) {
+      OpenLocked(now);
+      return;
+    }
+    if (++probe_successes_ >= options_.half_open_probes) CloseLocked(now);
+    return;
+  }
+  PushOutcomeLocked(slow);
+  if (state_ == BreakerState::kClosed && window_count_ >= options_.min_samples &&
+      static_cast<double>(window_failures_) >=
+          options_.failure_threshold * static_cast<double>(window_count_)) {
+    OpenLocked(now);
+  }
+}
+
+void CircuitBreaker::RecordFailure() {
+  std::lock_guard<std::mutex> lock(mu_);
+  const Clock::time_point now = Clock::now();
+  if (state_ == BreakerState::kHalfOpen) {
+    OpenLocked(now);  // The dependency is still sick: back to shedding.
+    return;
+  }
+  PushOutcomeLocked(true);
+  if (state_ == BreakerState::kClosed && window_count_ >= options_.min_samples &&
+      static_cast<double>(window_failures_) >=
+          options_.failure_threshold * static_cast<double>(window_count_)) {
+    OpenLocked(now);
+  }
+}
+
+BreakerState CircuitBreaker::state() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return state_;
+}
+
+CircuitBreaker::Stats CircuitBreaker::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+void CircuitBreaker::OpenLocked(Clock::time_point now) {
+  QDB_TRACE_SCOPE("CircuitBreaker::Open", "fault");
+  state_ = BreakerState::kOpen;
+  opened_at_ = now;
+  probe_successes_ = 0;
+  ++stats_.opened;
+  Metrics().opened->Increment();
+  state_gauge_->Set(StateValue(state_));
+}
+
+void CircuitBreaker::CloseLocked(Clock::time_point now) {
+  QDB_TRACE_SCOPE("CircuitBreaker::Close", "fault");
+  Metrics().open_duration_us->Observe(
+      static_cast<double>(std::chrono::duration_cast<std::chrono::microseconds>(
+                              now - opened_at_)
+                              .count()));
+  state_ = BreakerState::kClosed;
+  probe_successes_ = 0;
+  ResetWindowLocked();
+  ++stats_.closed;
+  Metrics().closed->Increment();
+  state_gauge_->Set(StateValue(state_));
+}
+
+void CircuitBreaker::HalfOpenLocked(Clock::time_point now) {
+  QDB_TRACE_SCOPE("CircuitBreaker::HalfOpen", "fault");
+  state_ = BreakerState::kHalfOpen;
+  probe_successes_ = 0;
+  next_probe_at_ =
+      now + std::chrono::microseconds(options_.probe_interval_us);
+  state_gauge_->Set(StateValue(state_));
+}
+
+void CircuitBreaker::PushOutcomeLocked(bool failure) {
+  if (window_count_ == window_.size()) {
+    window_failures_ -= window_[window_pos_];
+  } else {
+    ++window_count_;
+  }
+  window_[window_pos_] = failure ? 1 : 0;
+  window_failures_ += failure ? 1 : 0;
+  window_pos_ = (window_pos_ + 1) % window_.size();
+}
+
+void CircuitBreaker::ResetWindowLocked() {
+  std::fill(window_.begin(), window_.end(), 0);
+  window_pos_ = 0;
+  window_count_ = 0;
+  window_failures_ = 0;
+}
+
+}  // namespace fault
+}  // namespace qdb

@@ -1,0 +1,115 @@
+/// \file circuit_breaker.h
+/// \brief Per-dependency circuit breaker: closed → open on error-rate (or
+/// slow-call-rate) over a sliding outcome window → timed half-open probes →
+/// closed again after enough probe successes.
+///
+/// The serving dispatcher keeps one breaker per servable, so a poisoned
+/// model version sheds fast with kUnavailable at admission instead of
+/// clogging the request queue with work that will fail anyway. State
+/// transitions emit fault.breaker.* metrics, a per-breaker state gauge
+/// (fault.breaker.state.<name>: 0 closed, 1 open, 2 half-open), an
+/// open-duration histogram, and trace spans.
+
+#ifndef QDB_FAULT_CIRCUIT_BREAKER_H_
+#define QDB_FAULT_CIRCUIT_BREAKER_H_
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace qdb {
+namespace obs {
+class Gauge;
+}  // namespace obs
+
+namespace fault {
+
+enum class BreakerState {
+  kClosed,    ///< Healthy: everything passes, outcomes fill the window.
+  kOpen,      ///< Shedding: Allow() fails until the cooldown elapses.
+  kHalfOpen,  ///< Probing: a trickle of requests tests recovery.
+};
+
+const char* BreakerStateName(BreakerState state);
+
+struct CircuitBreakerOptions {
+  /// Sliding window of most-recent outcomes the failure rate is computed
+  /// over.
+  size_t window = 32;
+  /// Outcomes required in the window before the breaker may open (avoids
+  /// tripping on the first failure of a cold dependency).
+  size_t min_samples = 8;
+  /// Open when failures / outcomes >= this.
+  double failure_threshold = 0.5;
+  /// When > 0, a success slower than this counts as a failure in the
+  /// window (latency-based tripping); the call still succeeds externally.
+  long latency_threshold_us = 0;
+  /// How long the breaker stays open before probing.
+  long open_duration_us = 100000;
+  /// Minimum spacing between half-open probes: lost or cancelled probes
+  /// never wedge the breaker, another probe follows after the interval.
+  long probe_interval_us = 10000;
+  /// Consecutive probe successes required to close.
+  int half_open_probes = 1;
+};
+
+/// \brief Thread-safe breaker state machine. Allow() is one mutex-guarded
+/// check — admission-path cost, not simulator-path cost.
+class CircuitBreaker {
+ public:
+  explicit CircuitBreaker(std::string name,
+                          const CircuitBreakerOptions& options = {});
+
+  /// True when the request may proceed (and, in half-open, claims a probe
+  /// slot); false means shed now with kUnavailable.
+  bool Allow();
+
+  /// Reports one completed call. latency_us participates in latency-based
+  /// tripping when the option is set.
+  void RecordSuccess(long latency_us = 0);
+  void RecordFailure();
+
+  BreakerState state() const;
+  const std::string& name() const { return name_; }
+
+  struct Stats {
+    long allowed = 0;
+    long shed = 0;
+    long opened = 0;
+    long closed = 0;
+  };
+  Stats stats() const;
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  // All transition helpers run with mu_ held.
+  void OpenLocked(Clock::time_point now);
+  void CloseLocked(Clock::time_point now);
+  void HalfOpenLocked(Clock::time_point now);
+  void PushOutcomeLocked(bool failure);
+  void ResetWindowLocked();
+
+  const std::string name_;
+  const CircuitBreakerOptions options_;
+  obs::Gauge* state_gauge_;
+
+  mutable std::mutex mu_;
+  BreakerState state_ = BreakerState::kClosed;
+  /// Ring of recent outcomes (true = failure) and its failure count.
+  std::vector<uint8_t> window_;
+  size_t window_pos_ = 0;
+  size_t window_count_ = 0;
+  size_t window_failures_ = 0;
+  Clock::time_point opened_at_{};
+  Clock::time_point next_probe_at_{};
+  int probe_successes_ = 0;
+  Stats stats_;
+};
+
+}  // namespace fault
+}  // namespace qdb
+
+#endif  // QDB_FAULT_CIRCUIT_BREAKER_H_

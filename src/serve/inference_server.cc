@@ -1,6 +1,10 @@
 #include "serve/inference_server.h"
 
+#include <algorithm>
+
+#include "common/rng.h"
 #include "common/strings.h"
+#include "fault/fault_injector.h"
 #include "obs/obs.h"
 
 namespace qdb {
@@ -14,12 +18,19 @@ struct ServeMetrics {
   obs::Counter* requests = obs::GetCounter("serve.requests");
   obs::Counter* rejected = obs::GetCounter("serve.rejected");
   obs::Counter* expired = obs::GetCounter("serve.deadline_expired");
+  obs::Counter* failed = obs::GetCounter("serve.failed");
+  obs::Counter* retries = obs::GetCounter("serve.retries");
   obs::Counter* cache_hits = obs::GetCounter("serve.cache_hits");
   obs::Counter* cache_misses = obs::GetCounter("serve.cache_misses");
+  obs::Counter* stale_hits = obs::GetCounter("serve.degraded.stale_hits");
+  obs::Counter* window_shrinks =
+      obs::GetCounter("serve.degraded.batch_window_shrinks");
   obs::Counter* batches = obs::GetCounter("serve.batches");
   obs::Histogram* batch_size = obs::GetHistogram(
       "serve.batch_size", {1, 2, 4, 8, 16, 32, 64, 128});
   obs::Histogram* queue_wait_us = obs::GetHistogram("serve.queue_wait_us");
+  obs::Histogram* dispatch_attempts = obs::GetHistogram(
+      "serve.dispatch.attempts", {1, 2, 3, 4, 6, 8, 12, 16});
 };
 
 ServeMetrics& Metrics() {
@@ -77,6 +88,7 @@ void InferenceServer::Shutdown() {
     dispatchers.swap(dispatchers_);
   }
   queue_cv_.notify_all();
+  shutdown_cv_.notify_all();  // Cut retry backoff sleeps short.
   for (auto& t : dispatchers) t.join();
   // Anything still queued was admitted but never started (or a dispatcher
   // never existed): fail it rather than leaving futures hanging.
@@ -85,6 +97,11 @@ void InferenceServer::Shutdown() {
     std::lock_guard<std::mutex> lock(mu_);
     orphans.swap(queue_);
     shut_down_ = true;
+  }
+  if (!orphans.empty()) {
+    Metrics().rejected->Increment(static_cast<long>(orphans.size()));
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    stats_.rejected += static_cast<long>(orphans.size());
   }
   for (auto& pending : orphans) {
     pending.promise.set_value(
@@ -107,20 +124,30 @@ std::future<Result<InferenceResponse>> InferenceServer::Submit(
   Result<std::shared_ptr<const ServableModel>> servable =
       registry_.Lookup(request.model, request.version);
   if (!servable.ok()) {
+    Metrics().rejected->Increment();
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.rejected;
     return ImmediateResult(servable.status());
   }
   if (Status valid = servable.value()->ValidateInput(request.kind,
                                                      request.input);
       !valid.ok()) {
+    Metrics().rejected->Increment();
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.rejected;
     return ImmediateResult(std::move(valid));
   }
 
+  // Fresh cache hits resolve before the breaker sees the request: a cached
+  // answer needs no execution, so it must neither consume a half-open
+  // probe slot nor be shed while the model is open.
   std::string cache_key;
   if (options_.result_cache_capacity > 0) {
     cache_key = ResultCache::MakeKey(servable.value()->name(),
                                      servable.value()->version(),
                                      request.kind, request.input);
-    if (std::optional<InferenceValue> hit = result_cache_.Lookup(cache_key)) {
+    if (std::optional<InferenceValue> hit =
+            result_cache_.Lookup(cache_key, options_.result_cache_ttl_us)) {
       Metrics().cache_hits->Increment();
       {
         std::lock_guard<std::mutex> lock(stats_mu_);
@@ -148,6 +175,24 @@ std::future<Result<InferenceResponse>> InferenceServer::Submit(
   std::future<Result<InferenceResponse>> future =
       pending.promise.get_future();
 
+  // Breaker-open load shedding, with the first rung of the degradation
+  // ladder: a slightly stale cached answer beats an error while the model
+  // recovers.
+  if (options_.enable_breaker &&
+      !BreakerFor(*pending.servable)->Allow()) {
+    if (TryServeStale(pending)) return future;
+    Metrics().rejected->Increment();
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++stats_.rejected;
+    }
+    pending.promise.set_value(Status::Unavailable(
+        StrCat("circuit breaker open for model '", pending.servable->name(),
+               "' v", pending.servable->version(),
+               "; shedding load while it recovers")));
+    return future;
+  }
+
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (!accepting_) {
@@ -159,6 +204,9 @@ std::future<Result<InferenceResponse>> InferenceServer::Submit(
       return future;
     }
     if (queue_.size() >= options_.queue_capacity) {
+      // Queue-pressure degradation: prefer a stale cached answer to a
+      // hard rejection when the backlog is already saturated.
+      if (TryServeStale(pending)) return future;
       Metrics().rejected->Increment();
       std::lock_guard<std::mutex> stats_lock(stats_mu_);
       ++stats_.rejected;
@@ -184,6 +232,43 @@ InferenceServer::Stats InferenceServer::stats() const {
   return stats_;
 }
 
+const fault::CircuitBreaker* InferenceServer::breaker(
+    const std::string& model, int version) const {
+  std::lock_guard<std::mutex> lock(breakers_mu_);
+  auto it = breakers_.find(StrCat(model, ":", version));
+  return it == breakers_.end() ? nullptr : it->second.get();
+}
+
+fault::CircuitBreaker* InferenceServer::BreakerFor(
+    const ServableModel& servable) {
+  const std::string key = StrCat(servable.name(), ":", servable.version());
+  std::lock_guard<std::mutex> lock(breakers_mu_);
+  std::unique_ptr<fault::CircuitBreaker>& slot = breakers_[key];
+  if (slot == nullptr) {
+    slot = std::make_unique<fault::CircuitBreaker>(key, options_.breaker);
+  }
+  return slot.get();
+}
+
+bool InferenceServer::TryServeStale(Pending& pending) {
+  if (pending.cache_key.empty()) return false;
+  std::optional<InferenceValue> hit =
+      result_cache_.LookupStale(pending.cache_key, options_.max_stale_age_us);
+  if (!hit.has_value()) return false;
+  Metrics().stale_hits->Increment();
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.degraded;
+  }
+  InferenceResponse response;
+  response.result = std::move(*hit);
+  response.model_version = pending.servable->version();
+  response.from_cache = true;
+  response.degraded = true;
+  pending.promise.set_value(std::move(response));
+  return true;
+}
+
 void InferenceServer::DispatcherLoop() {
   while (true) {
     std::vector<Pending> batch = NextBatch();
@@ -194,7 +279,22 @@ void InferenceServer::DispatcherLoop() {
 
 std::vector<InferenceServer::Pending> InferenceServer::NextBatch() {
   std::unique_lock<std::mutex> lock(mu_);
-  queue_cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+  // Fault point "serve.queue_wait" injects at most one spurious wakeup per
+  // NextBatch call (bounded so an always-on fault cannot livelock): the
+  // outer loop must tolerate waking with nothing to do.
+  bool woke_spuriously = false;
+  while (true) {
+    queue_cv_.wait(lock, [&] {
+      if (stopping_ || !queue_.empty()) return true;
+      if (!woke_spuriously && fault::SpuriousWake("serve.queue_wait")) {
+        woke_spuriously = true;
+        return true;
+      }
+      return false;
+    });
+    if (stopping_ || !queue_.empty()) break;
+    // Injected spurious wakeup: nothing to do, wait again.
+  }
   if (queue_.empty()) return {};  // stopping_ and nothing left to drain.
 
   std::vector<Pending> batch;
@@ -202,8 +302,19 @@ std::vector<InferenceServer::Pending> InferenceServer::NextBatch() {
   queue_.pop_front();
   const ServableModel* leader = batch.front().servable.get();
   const RequestKind kind = batch.front().kind;
+
+  // Under queue pressure, shrink the coalescing window: clearing backlog
+  // fast matters more than filling each batch to the brim.
+  long wait_us = options_.max_wait_us;
+  if (options_.pressure_watermark > 0 &&
+      static_cast<double>(queue_.size()) >=
+          options_.pressure_watermark *
+              static_cast<double>(options_.queue_capacity)) {
+    wait_us /= 4;
+    Metrics().window_shrinks->Increment();
+  }
   const Clock::time_point close =
-      Clock::now() + std::chrono::microseconds(options_.max_wait_us);
+      Clock::now() + std::chrono::microseconds(wait_us);
 
   // Coalesce until the batch is full or the window closes. Each pass pulls
   // every compatible request currently queued; between passes we sleep on
@@ -238,30 +349,53 @@ std::vector<InferenceServer::Pending> InferenceServer::NextBatch() {
   return batch;
 }
 
-void InferenceServer::ExecuteBatch(std::vector<Pending> batch) {
-  QDB_TRACE_SCOPE("InferenceServer::ExecuteBatch", "serve");
-  const Clock::time_point dispatch_time = Clock::now();
-
-  // Cancel expired requests before any simulation happens.
-  std::vector<Pending> live;
-  live.reserve(batch.size());
-  long expired = 0;
-  for (auto& pending : batch) {
-    if (pending.deadline < dispatch_time) {
-      pending.promise.set_value(Status::DeadlineExceeded(StrCat(
-          "request deadline expired after ",
-          MicrosBetween(pending.admitted, dispatch_time),
-          "us in queue; it was cancelled before execution")));
-      ++expired;
+void InferenceServer::CancelExpired(std::vector<Pending>& live,
+                                    Clock::time_point cutoff,
+                                    const char* why) {
+  const Clock::time_point now = Clock::now();
+  std::vector<Pending> kept;
+  std::vector<Pending> dead;
+  kept.reserve(live.size());
+  for (auto& pending : live) {
+    if (pending.deadline < cutoff) {
+      dead.push_back(std::move(pending));
     } else {
-      live.push_back(std::move(pending));
+      kept.push_back(std::move(pending));
     }
   }
-  if (expired > 0) {
-    Metrics().expired->Increment(expired);
-    std::lock_guard<std::mutex> lock(stats_mu_);
-    stats_.expired += expired;
+  // Stats before promises: a client woken by .get() must already see its
+  // request in a terminal bucket.
+  if (!dead.empty()) {
+    Metrics().expired->Increment(static_cast<long>(dead.size()));
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      stats_.expired += static_cast<long>(dead.size());
+    }
+    for (auto& pending : dead) {
+      pending.promise.set_value(Status::DeadlineExceeded(StrCat(
+          "request deadline expired ", why, " after ",
+          MicrosBetween(pending.admitted, now),
+          "us; it was cancelled before (further) execution")));
+    }
   }
+  live.swap(kept);
+}
+
+void InferenceServer::ExecuteBatch(std::vector<Pending> batch) {
+  QDB_TRACE_SCOPE("InferenceServer::ExecuteBatch", "serve");
+  std::vector<Pending> live = std::move(batch);
+  const std::shared_ptr<const ServableModel> servable = live.front().servable;
+  const RequestKind kind = live.front().kind;
+  fault::CircuitBreaker* breaker =
+      options_.enable_breaker ? BreakerFor(*servable) : nullptr;
+  const int max_attempts = std::max(options_.retry.max_attempts, 1);
+  Rng jitter_rng(options_.retry_jitter_seed +
+                 batch_seq_.fetch_add(1, std::memory_order_relaxed));
+  Backoff backoff(options_.retry, jitter_rng.Split());
+
+  // Cancel expired requests before any simulation happens.
+  const Clock::time_point dispatch_time = Clock::now();
+  CancelExpired(live, dispatch_time, "in queue");
   if (live.empty()) return;
 
   Metrics().batches->Increment();
@@ -271,34 +405,98 @@ void InferenceServer::ExecuteBatch(std::vector<Pending> batch) {
         MicrosBetween(pending.admitted, dispatch_time)));
   }
 
-  std::vector<DVector> inputs;
-  inputs.reserve(live.size());
-  for (const auto& pending : live) inputs.push_back(pending.input);
+  int attempt = 0;
+  Status last;
+  while (true) {
+    ++attempt;
+    std::vector<DVector> inputs;
+    inputs.reserve(live.size());
+    for (const auto& pending : live) inputs.push_back(pending.input);
 
-  Result<std::vector<InferenceValue>> results =
-      live.front().servable->RunBatch(live.front().kind, inputs);
-  if (!results.ok()) {
-    for (auto& pending : live) {
-      pending.promise.set_value(results.status());
+    // Fault point "serve.dispatch" (scoped by model name) fires once per
+    // attempt, so injected transient errors exercise the retry loop and a
+    // target filter poisons one servable while others stay healthy.
+    const Clock::time_point attempt_start = Clock::now();
+    Status injected = fault::MaybeInject("serve.dispatch", servable->name());
+    Result<std::vector<InferenceValue>> results =
+        injected.ok()
+            ? servable->RunBatch(kind, inputs)
+            : Result<std::vector<InferenceValue>>(std::move(injected));
+    const long attempt_us = MicrosBetween(attempt_start, Clock::now());
+    if (breaker != nullptr) {
+      if (results.ok()) {
+        breaker->RecordSuccess(attempt_us);
+      } else {
+        breaker->RecordFailure();
+      }
     }
-    return;
+
+    if (results.ok()) {
+      Metrics().dispatch_attempts->Observe(static_cast<double>(attempt));
+      // Stats before promises: a client woken by .get() must already see
+      // its request in a terminal bucket.
+      {
+        std::lock_guard<std::mutex> lock(stats_mu_);
+        stats_.completed += static_cast<long>(live.size());
+        ++stats_.batches;
+      }
+      for (size_t i = 0; i < live.size(); ++i) {
+        if (!live[i].cache_key.empty()) {
+          result_cache_.Insert(live[i].cache_key, results.value()[i]);
+        }
+        InferenceResponse response;
+        response.result = std::move(results.value()[i]);
+        response.model_version = live[i].servable->version();
+        response.attempts = attempt;
+        response.batch_size = live.size();
+        response.queue_wait_us =
+            MicrosBetween(live[i].admitted, dispatch_time);
+        live[i].promise.set_value(std::move(response));
+      }
+      return;
+    }
+
+    last = results.status();
+    if (!options_.retry.IsRetryable(last) || attempt >= max_attempts) break;
+
+    const long delay_us = backoff.NextDelayUs();
+    Metrics().retries->Increment();
+    // Deadline-aware backoff: a request whose deadline falls inside the
+    // sleep can never see a useful attempt — resolve it now, before the
+    // simulator wastes another pass on it.
+    CancelExpired(live,
+                  Clock::now() + std::chrono::microseconds(delay_us),
+                  "during the retry backoff");
+    if (live.empty()) {
+      Metrics().dispatch_attempts->Observe(static_cast<double>(attempt));
+      return;
+    }
+    {
+      // Interruptible sleep on the dedicated shutdown cv: Shutdown cuts it
+      // short (the remaining attempts then run back to back, keeping the
+      // drain bounded), and Submit's queue_cv_ notifies are never consumed
+      // by a retrying dispatcher.
+      std::unique_lock<std::mutex> lock(mu_);
+      if (!stopping_) {
+        shutdown_cv_.wait_for(lock, std::chrono::microseconds(delay_us),
+                              [this] { return stopping_; });
+      }
+    }
+    CancelExpired(live, Clock::now(), "between retries");
+    if (live.empty()) {
+      Metrics().dispatch_attempts->Observe(static_cast<double>(attempt));
+      return;
+    }
   }
 
-  for (size_t i = 0; i < live.size(); ++i) {
-    if (!live[i].cache_key.empty()) {
-      result_cache_.Insert(live[i].cache_key, results.value()[i]);
-    }
-    InferenceResponse response;
-    response.result = std::move(results.value()[i]);
-    response.model_version = live[i].servable->version();
-    response.batch_size = live.size();
-    response.queue_wait_us = MicrosBetween(live[i].admitted, dispatch_time);
-    live[i].promise.set_value(std::move(response));
-  }
+  Metrics().dispatch_attempts->Observe(static_cast<double>(attempt));
+  Metrics().failed->Increment(static_cast<long>(live.size()));
   {
     std::lock_guard<std::mutex> lock(stats_mu_);
-    stats_.completed += static_cast<long>(live.size());
-    ++stats_.batches;
+    stats_.failed += static_cast<long>(live.size());
+  }
+  for (auto& pending : live) {
+    pending.promise.set_value(last);
   }
 }
 

@@ -24,14 +24,25 @@
 ///
 /// Shutdown is a graceful drain: admission stops (new Submits get
 /// kUnavailable), dispatchers finish everything already queued, then join.
+///
+/// Resilience: batch execution is retried under ServerOptions::retry for
+/// transient (kUnavailable) failures, with deadline-aware backoff — a
+/// request whose deadline cannot survive the next sleep resolves with
+/// kDeadlineExceeded immediately. A per-servable circuit breaker
+/// (fault/circuit_breaker.h) sheds load for a model whose batches keep
+/// failing, and the degradation ladder kicks in under breaker-open or
+/// queue pressure: bounded-staleness cache serving, shrunken coalescing
+/// windows, and (inside ServableModel) compiled→interpreted fallback.
 
 #ifndef QDB_SERVE_INFERENCE_SERVER_H_
 #define QDB_SERVE_INFERENCE_SERVER_H_
 
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <deque>
 #include <future>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -39,6 +50,8 @@
 #include <vector>
 
 #include "common/result.h"
+#include "common/retry.h"
+#include "fault/circuit_breaker.h"
 #include "serve/model_registry.h"
 #include "serve/result_cache.h"
 #include "serve/servable.h"
@@ -62,6 +75,30 @@ struct ServerOptions {
   int num_dispatchers = 1;
   /// Result-cache entries; 0 disables the cache.
   size_t result_cache_capacity = 1024;
+
+  /// Batch-execution retry for transient failures (default: retry
+  /// kUnavailable up to 4 attempts with jittered exponential backoff).
+  RetryPolicy retry;
+  /// Seed for the backoff-jitter streams (per-batch streams are derived
+  /// from it, so retry schedules are deterministic for a fixed seed).
+  uint64_t retry_jitter_seed = 0x7E575EEDull;
+
+  /// Per-servable circuit breakers on the admission path.
+  bool enable_breaker = true;
+  fault::CircuitBreakerOptions breaker;
+
+  /// Fresh-path cache TTL: entries older than this are only eligible for
+  /// degraded (stale) serving. 0 = cache entries never go stale, which
+  /// also disables stale serving (the fresh path already returns them).
+  long result_cache_ttl_us = 0;
+  /// Staleness bound for degraded serving under breaker-open or queue
+  /// pressure; 0 = any age is acceptable when degraded.
+  long max_stale_age_us = 0;
+
+  /// Queue-fill fraction above which dispatchers shrink the batch
+  /// coalescing window to max_wait_us / 4 (throughput over batch quality
+  /// under pressure). <= 0 disables the shrink.
+  double pressure_watermark = 0.5;
 };
 
 /// \brief One inference request. `version` < 0 serves the latest registered
@@ -81,6 +118,11 @@ struct InferenceResponse {
   InferenceValue result;
   int model_version = 0;
   bool from_cache = false;
+  /// True when the response came from the degradation ladder (e.g. a
+  /// stale cache entry served while the model's breaker was open).
+  bool degraded = false;
+  /// Execution attempts the batch took (0 for cache hits, >1 = retried).
+  int attempts = 0;
   /// Micro-batch size this request executed in (0 for cache hits).
   size_t batch_size = 0;
   /// Time from admission to dispatch (0 for cache hits).
@@ -121,18 +163,29 @@ class InferenceServer {
   size_t queue_depth() const;
 
   /// Monotonic serving tallies (process-lifetime metrics live in qdb::obs;
-  /// these are per-server and race-free to read in tests).
+  /// these are per-server and race-free to read in tests). Every submitted
+  /// request lands in exactly one terminal bucket:
+  ///   submitted == completed + cache_hits + degraded + rejected
+  ///                + expired + failed.
   struct Stats {
     long submitted = 0;       ///< Admission attempts.
     long completed = 0;       ///< Futures resolved with an executed result.
-    long cache_hits = 0;      ///< Resolved from the result cache.
-    long rejected = 0;        ///< kUnavailable at admission (overflow/down).
+    long cache_hits = 0;      ///< Resolved fresh from the result cache.
+    long degraded = 0;        ///< Resolved stale via the degradation ladder.
+    long rejected = 0;        ///< Terminal at admission (invalid, overflow,
+                              ///< breaker shed, shut down).
     long expired = 0;         ///< Cancelled with kDeadlineExceeded.
-    long batches = 0;         ///< Micro-batches executed.
+    long failed = 0;          ///< Execution failed after retries.
+    long batches = 0;         ///< Micro-batches executed successfully.
   };
   Stats stats() const;
 
   const ResultCache& result_cache() const { return result_cache_; }
+
+  /// The circuit breaker guarding (model, version), or null if that pair
+  /// has not been submitted to yet (or breakers are disabled).
+  const fault::CircuitBreaker* breaker(const std::string& model,
+                                       int version) const;
 
  private:
   using Clock = std::chrono::steady_clock;
@@ -150,10 +203,23 @@ class InferenceServer {
 
   void DispatcherLoop();
   /// Pops a leader and every compatible queued request (same servable, same
-  /// kind), holding the batch open up to max_wait_us. Returns an empty
-  /// vector when the server is fully drained and stopping.
+  /// kind), holding the batch open up to max_wait_us (shrunk under queue
+  /// pressure). Returns an empty vector when the server is fully drained
+  /// and stopping.
   std::vector<Pending> NextBatch();
+  /// Runs the batch with per-attempt fault injection, breaker outcome
+  /// recording, and deadline-aware retry; resolves every promise.
   void ExecuteBatch(std::vector<Pending> batch);
+
+  /// Lazily creates the breaker for this servable's (name, version).
+  fault::CircuitBreaker* BreakerFor(const ServableModel& servable);
+  /// Resolves `pending` from a stale cache entry within max_stale_age_us,
+  /// marking the response degraded. False when nothing stale is usable.
+  bool TryServeStale(Pending& pending);
+  /// Cancels every request in `live` whose deadline precedes `cutoff` with
+  /// kDeadlineExceeded (`why` names the retry context for the message).
+  void CancelExpired(std::vector<Pending>& live, Clock::time_point cutoff,
+                     const char* why);
 
   ModelRegistry& registry_;
   const ServerOptions options_;
@@ -161,12 +227,24 @@ class InferenceServer {
 
   mutable std::mutex mu_;
   std::condition_variable queue_cv_;
+  /// Dedicated wakeup for backoff sleeps: Shutdown notifies it so retrying
+  /// dispatchers cut their sleeps short, and retry waits never consume a
+  /// Submit notify meant to hand queue_cv_ work to an idle dispatcher.
+  std::condition_variable shutdown_cv_;
   std::deque<Pending> queue_;
   bool accepting_ = true;
   bool started_ = false;
   bool stopping_ = false;
   bool shut_down_ = false;
   std::vector<std::thread> dispatchers_;
+
+  /// name:version → breaker; breakers are created on first submit and live
+  /// for the server lifetime (an evicted model's breaker is just idle).
+  mutable std::mutex breakers_mu_;
+  std::map<std::string, std::unique_ptr<fault::CircuitBreaker>> breakers_;
+
+  /// Per-batch jitter-stream discriminator for retry backoff.
+  std::atomic<uint64_t> batch_seq_{0};
 
   // Stats tallies (guarded by stats_mu_ so Stats reads are consistent).
   mutable std::mutex stats_mu_;

@@ -1,10 +1,13 @@
 #include "serve/model_artifact.h"
 
+#include <chrono>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
+#include <thread>
 
 #include "common/strings.h"
+#include "fault/fault_injector.h"
 #include "serve/servable.h"
 
 namespace qdb {
@@ -396,15 +399,68 @@ Result<ModelArtifact> ModelArtifact::Deserialize(const std::string& text) {
 }
 
 Status ModelArtifact::SaveToFile(const std::string& path) const {
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out) {
-    return Status::InvalidArgument(StrCat("cannot open '", path,
-                                          "' for writing"));
+  const std::string payload = Serialize();
+
+  // Fault point "artifact.save" (scoped by artifact name): an injected
+  // error aborts before any byte is written; a torn write persists only a
+  // prefix of the temp file and "crashes" before the rename below, so the
+  // destination is never left half-written.
+  size_t write_bytes = payload.size();
+  bool torn = false;
+  if (fault::FaultInjector::Global().enabled()) {
+    if (std::optional<fault::FaultSpec> fired =
+            fault::FaultInjector::Global().Sample("artifact.save", name)) {
+      switch (fired->kind) {
+        case fault::FaultKind::kError:
+          return Status(fired->error_code,
+                        StrCat("injected fault at 'artifact.save' for '",
+                               name, "'"));
+        case fault::FaultKind::kLatency:
+          std::this_thread::sleep_for(
+              std::chrono::microseconds(fired->latency_us));
+          break;
+        case fault::FaultKind::kTornWrite:
+          torn = true;
+          write_bytes = static_cast<size_t>(
+              static_cast<double>(payload.size()) * fired->keep_fraction);
+          break;
+        case fault::FaultKind::kSpuriousWake:
+          break;
+      }
+    }
   }
-  out << Serialize();
-  out.flush();
-  if (!out) {
-    return Status::Internal(StrCat("failed writing artifact to '", path, "'"));
+
+  // Crash-safe save: write everything to <path>.tmp, then rename into
+  // place. A crash (or torn write) mid-save leaves at worst a stale or
+  // partial .tmp file — the destination is either absent or a complete,
+  // checksummed artifact.
+  const std::string tmp = StrCat(path, ".tmp");
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      return Status::InvalidArgument(StrCat("cannot open '", tmp,
+                                            "' for writing"));
+    }
+    out.write(payload.data(), static_cast<std::streamsize>(write_bytes));
+    out.flush();
+    if (!out) {
+      out.close();
+      std::remove(tmp.c_str());
+      return Status::Internal(StrCat("failed writing artifact to '", tmp,
+                                     "'"));
+    }
+  }
+  if (torn) {
+    // Simulated crash between the partial write and the rename: the torn
+    // temp file stays on disk, the destination is untouched.
+    return Status::Internal(StrCat(
+        "injected torn write: only ", write_bytes, " of ", payload.size(),
+        " bytes of '", path, "' were persisted before the simulated crash"));
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return Status::Internal(StrCat("failed renaming '", tmp, "' into '",
+                                   path, "'"));
   }
   return Status::OK();
 }

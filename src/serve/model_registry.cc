@@ -1,6 +1,7 @@
 #include "serve/model_registry.h"
 
 #include "common/strings.h"
+#include "fault/fault_injector.h"
 #include "obs/obs.h"
 
 namespace qdb {
@@ -14,6 +15,22 @@ obs::Gauge* RegisteredGauge() {
 }
 
 }  // namespace
+
+RetryPolicy DefaultArtifactLoadRetry() {
+  RetryPolicy policy;
+  policy.max_attempts = 3;
+  policy.initial_backoff_us = 1000;
+  policy.max_backoff_us = 20000;
+  // A torn read of a file being rewritten surfaces as kInvalidArgument
+  // ("artifact corrupted") or kNotFound (tmp not yet renamed), not just
+  // kUnavailable — all three are worth one more look.
+  policy.retryable = [](const Status& status) {
+    return status.code() == StatusCode::kUnavailable ||
+           status.code() == StatusCode::kNotFound ||
+           status.code() == StatusCode::kInvalidArgument;
+  };
+  return policy;
+}
 
 Result<std::shared_ptr<const ServableModel>> ModelRegistry::Register(
     ModelArtifact artifact) {
@@ -121,9 +138,18 @@ Status ModelRegistry::SaveModel(const std::string& name, int version,
 }
 
 Result<std::shared_ptr<const ServableModel>> ModelRegistry::LoadModel(
-    const std::string& path, bool reassign_version) {
-  QDB_ASSIGN_OR_RETURN(ModelArtifact artifact,
-                       ModelArtifact::LoadFromFile(path));
+    const std::string& path, bool reassign_version,
+    const RetryPolicy& retry) {
+  QDB_ASSIGN_OR_RETURN(
+      ModelArtifact artifact,
+      RetryResult<ModelArtifact>(
+          retry, [&path](int) -> Result<ModelArtifact> {
+            // Fault point "artifact.load" (scoped by path) sits inside the
+            // retry loop, so injected transient errors exercise it.
+            QDB_RETURN_IF_ERROR(
+                fault::MaybeInject("artifact.load", path));
+            return ModelArtifact::LoadFromFile(path);
+          }));
   if (reassign_version) artifact.version = 0;
   return Register(std::move(artifact));
 }

@@ -17,11 +17,17 @@
 #include <string>
 #include <vector>
 
+#include "common/retry.h"
 #include "serve/model_artifact.h"
 #include "serve/servable.h"
 
 namespace qdb {
 namespace serve {
+
+/// Retry policy LoadModel uses by default: a few quick attempts covering
+/// transient read failures and torn reads that race an in-progress save
+/// (the writer renames a complete file into place between attempts).
+RetryPolicy DefaultArtifactLoadRetry();
 
 /// One row of ModelRegistry::List.
 struct ModelEntry {
@@ -64,9 +70,12 @@ class ModelRegistry {
 
   /// Loads an artifact file and registers it. The file's version is kept if
   /// free, otherwise registration fails with kAlreadyExists; pass
-  /// reassign_version to force "next version" semantics instead.
+  /// reassign_version to force "next version" semantics instead. The read
+  /// is retried under `retry` so a load racing a crash-safe save (or an
+  /// injected transient fault) settles on the complete artifact.
   Result<std::shared_ptr<const ServableModel>> LoadModel(
-      const std::string& path, bool reassign_version = false);
+      const std::string& path, bool reassign_version = false,
+      const RetryPolicy& retry = DefaultArtifactLoadRetry());
 
  private:
   mutable std::mutex mu_;

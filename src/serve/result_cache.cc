@@ -21,15 +21,36 @@ std::string ResultCache::MakeKey(const std::string& model, int version,
   return key;
 }
 
-std::optional<InferenceValue> ResultCache::Lookup(const std::string& key) {
+std::optional<InferenceValue> ResultCache::Lookup(const std::string& key,
+                                                  long ttl_us) {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = entries_.find(key);
   if (it == entries_.end()) {
     ++misses_;
     return std::nullopt;
   }
+  if (ttl_us > 0 &&
+      Clock::now() - it->second.inserted > std::chrono::microseconds(ttl_us)) {
+    // Too old for the fresh path; left in place (no LRU refresh) so the
+    // degradation ladder can still serve it via LookupStale.
+    ++misses_;
+    return std::nullopt;
+  }
   ++hits_;
   lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
+  return it->second.value;
+}
+
+std::optional<InferenceValue> ResultCache::LookupStale(const std::string& key,
+                                                       long max_age_us) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(key);
+  if (it == entries_.end()) return std::nullopt;
+  if (max_age_us > 0 && Clock::now() - it->second.inserted >
+                            std::chrono::microseconds(max_age_us)) {
+    return std::nullopt;  // Beyond the staleness bound even for degradation.
+  }
+  ++stale_hits_;
   return it->second.value;
 }
 
@@ -39,11 +60,12 @@ void ResultCache::Insert(const std::string& key, const InferenceValue& value) {
   auto it = entries_.find(key);
   if (it != entries_.end()) {
     it->second.value = value;
+    it->second.inserted = Clock::now();
     lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
     return;
   }
   lru_.push_front(key);
-  entries_[key] = Entry{value, lru_.begin()};
+  entries_[key] = Entry{value, lru_.begin(), Clock::now()};
   while (entries_.size() > capacity_) {
     entries_.erase(lru_.back());
     lru_.pop_back();
@@ -56,6 +78,7 @@ ResultCache::Stats ResultCache::stats() const {
   Stats s;
   s.hits = hits_;
   s.misses = misses_;
+  s.stale_hits = stale_hits_;
   s.evictions = evictions_;
   s.size = entries_.size();
   s.capacity = capacity_;
@@ -66,7 +89,7 @@ void ResultCache::Clear() {
   std::lock_guard<std::mutex> lock(mu_);
   entries_.clear();
   lru_.clear();
-  hits_ = misses_ = evictions_ = 0;
+  hits_ = misses_ = stale_hits_ = evictions_ = 0;
 }
 
 }  // namespace serve

@@ -12,6 +12,7 @@
 #ifndef QDB_SERVE_RESULT_CACHE_H_
 #define QDB_SERVE_RESULT_CACHE_H_
 
+#include <chrono>
 #include <list>
 #include <mutex>
 #include <optional>
@@ -36,7 +37,17 @@ class ResultCache {
                              RequestKind kind, const DVector& input);
 
   /// Returns the cached value and refreshes its LRU position, or nullopt.
-  std::optional<InferenceValue> Lookup(const std::string& key);
+  /// A positive `ttl_us` treats entries older than it as misses on this
+  /// fresh-serving path — the entry stays in place (no LRU refresh) so the
+  /// degraded path can still serve it stale; ttl_us == 0 never expires.
+  std::optional<InferenceValue> Lookup(const std::string& key,
+                                       long ttl_us = 0);
+
+  /// Degraded-path lookup: returns the entry regardless of the fresh TTL as
+  /// long as it is at most `max_age_us` old (0 = any age). Counts a stale
+  /// hit, refreshes nothing.
+  std::optional<InferenceValue> LookupStale(const std::string& key,
+                                            long max_age_us);
 
   /// Inserts (or refreshes) a value, evicting the least-recently-used
   /// entry beyond capacity.
@@ -45,6 +56,7 @@ class ResultCache {
   struct Stats {
     long hits = 0;
     long misses = 0;
+    long stale_hits = 0;
     long evictions = 0;
     size_t size = 0;
     size_t capacity = 0;
@@ -54,16 +66,20 @@ class ResultCache {
   void Clear();
 
  private:
+  using Clock = std::chrono::steady_clock;
+
   mutable std::mutex mu_;
   size_t capacity_;
   long hits_ = 0;
   long misses_ = 0;
+  long stale_hits_ = 0;
   long evictions_ = 0;
   /// Most-recently-used key at the front.
   std::list<std::string> lru_;
   struct Entry {
     InferenceValue value;
     std::list<std::string>::iterator lru_pos;
+    Clock::time_point inserted;
   };
   std::unordered_map<std::string, Entry> entries_;
 };

@@ -5,6 +5,7 @@
 #include "common/strings.h"
 #include "common/thread_pool.h"
 #include "encoding/encodings.h"
+#include "fault/fault_injector.h"
 #include "obs/obs.h"
 #include "sim/statevector_simulator.h"
 #include "variational/ansatz.h"
@@ -252,6 +253,10 @@ Result<std::vector<InferenceValue>> ServableModel::RunBatch(
   for (const auto& x : inputs) {
     QDB_RETURN_IF_ERROR(ValidateInput(kind, x));
   }
+  // Fault point "servable.run" (scoped by model name): fires before the
+  // execution tally so tests can assert injected failures never reached
+  // the simulator.
+  QDB_FAULT_POINT_SCOPED("servable.run", artifact_.name);
   batch_executions_.fetch_add(1, std::memory_order_relaxed);
   switch (artifact_.type) {
     case ModelType::kVqcClassifier:
@@ -269,40 +274,69 @@ Result<std::vector<InferenceValue>> ServableModel::RunVariational(
     const std::vector<DVector>& inputs) const {
   const bool classify = artifact_.type == ModelType::kVqcClassifier;
   std::vector<InferenceValue> out(inputs.size());
-  if (program_ != nullptr) {
-    // One compiled program, B feature bindings: each task replays the fused
-    // kernel sequence with the request's features as the parameter vector.
-    std::vector<Status> statuses(inputs.size());
-    ThreadPool::Global().RunTasks(inputs.size(), [&](size_t i) {
-      StateVector state(artifact_.num_features);
-      statuses[i] = program_->Execute(state, inputs[i]);
-      if (!statuses[i].ok()) return;
-      out[i].value = ExpectationZ(state, 0);
-    });
-    for (const auto& status : statuses) QDB_RETURN_IF_ERROR(status);
-  } else {
-    // ZZ path: the feature map is nonlinear in x, so every request gets its
-    // own bound circuit. Interpreted execution keeps these one-shot
-    // circuits out of the compilation cache (every distinct input would be
-    // a new entry and evict programs that will actually be reused).
-    std::vector<Circuit> circuits;
-    circuits.reserve(inputs.size());
-    for (const auto& x : inputs) {
-      QDB_ASSIGN_OR_RETURN(Circuit c, BuildBoundInferenceCircuit(artifact_, x));
-      circuits.push_back(std::move(c));
+  bool use_compiled = program_ != nullptr;
+  if (use_compiled && fault::FaultInjector::Global().enabled() &&
+      fault::FaultInjector::Global()
+          .Sample("servable.compiled_exec", artifact_.name)
+          .has_value()) {
+    use_compiled = false;  // Injected compiled-path fault: degrade below.
+  }
+  if (use_compiled) {
+    Status compiled = RunCompiled(inputs, out);
+    if (!compiled.ok()) use_compiled = false;  // Real fault: degrade too.
+  }
+  if (!use_compiled) {
+    if (program_ != nullptr) {
+      // The compiled path exists but faulted: serve the batch through the
+      // interpreted per-request circuits instead of failing it. (For ZZ
+      // models the interpreted path is the normal path, not degradation.)
+      static obs::Counter* fallbacks =
+          obs::GetCounter("serve.degraded.interpreted_fallbacks");
+      fallbacks->Increment();
     }
-    StateVectorSimulator simulator;
-    simulator.set_execution_mode(ExecutionMode::kInterpreted);
-    QDB_RETURN_IF_ERROR(simulator.RunBatchReduce(
-        circuits, {}, nullptr, [&out](size_t i, StateVector&& state) {
-          out[i].value = ExpectationZ(state, 0);
-          return Status::OK();
-        }));
+    QDB_RETURN_IF_ERROR(RunInterpreted(inputs, out));
   }
   for (auto& v : out) {
     v.label = classify ? (v.value < 0.0 ? -1 : 1) : 0;
   }
   return out;
+}
+
+Status ServableModel::RunCompiled(const std::vector<DVector>& inputs,
+                                  std::vector<InferenceValue>& out) const {
+  // One compiled program, B feature bindings: each task replays the fused
+  // kernel sequence with the request's features as the parameter vector.
+  std::vector<Status> statuses(inputs.size());
+  ThreadPool::Global().RunTasks(inputs.size(), [&](size_t i) {
+    StateVector state(artifact_.num_features);
+    statuses[i] = program_->Execute(state, inputs[i]);
+    if (!statuses[i].ok()) return;
+    out[i].value = ExpectationZ(state, 0);
+  });
+  for (const auto& status : statuses) QDB_RETURN_IF_ERROR(status);
+  return Status::OK();
+}
+
+Status ServableModel::RunInterpreted(const std::vector<DVector>& inputs,
+                                     std::vector<InferenceValue>& out) const {
+  // Per-request bound circuits: the only option for ZZ feature maps (the
+  // map is nonlinear in x) and the fallback when compiled execution
+  // faults. Interpreted execution keeps these one-shot circuits out of the
+  // compilation cache (every distinct input would be a new entry and evict
+  // programs that will actually be reused).
+  std::vector<Circuit> circuits;
+  circuits.reserve(inputs.size());
+  for (const auto& x : inputs) {
+    QDB_ASSIGN_OR_RETURN(Circuit c, BuildBoundInferenceCircuit(artifact_, x));
+    circuits.push_back(std::move(c));
+  }
+  StateVectorSimulator simulator;
+  simulator.set_execution_mode(ExecutionMode::kInterpreted);
+  return simulator.RunBatchReduce(
+      circuits, {}, nullptr, [&out](size_t i, StateVector&& state) {
+        out[i].value = ExpectationZ(state, 0);
+        return Status::OK();
+      });
 }
 
 Result<std::vector<InferenceValue>> ServableModel::RunKernel(

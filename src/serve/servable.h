@@ -92,6 +92,13 @@ class ServableModel {
 
   Result<std::vector<InferenceValue>> RunVariational(
       const std::vector<DVector>& inputs) const;
+  /// Compiled symbolic-program path (program_ must be non-null).
+  Status RunCompiled(const std::vector<DVector>& inputs,
+                     std::vector<InferenceValue>& out) const;
+  /// Interpreted per-request-bound-circuit path: the ZZ default, and the
+  /// degradation fallback when the compiled path faults.
+  Status RunInterpreted(const std::vector<DVector>& inputs,
+                        std::vector<InferenceValue>& out) const;
   Result<std::vector<InferenceValue>> RunKernel(
       RequestKind kind, const std::vector<DVector>& inputs) const;
 

@@ -7,6 +7,7 @@
 
 #include "common/strings.h"
 #include "common/thread_pool.h"
+#include "fault/fault_injector.h"
 #include "obs/obs.h"
 #include "sim/compiled_circuit.h"
 
@@ -121,6 +122,9 @@ Status StateVectorSimulator::RunBatchReduce(
                " parameter vectors (need 0, 1, or one per circuit)"));
   }
   const size_t count = std::max(nc, np);
+  // Fault point "sim.run": lets chaos runs fail or delay whole simulator
+  // batches below the serving layer, exercising its retry path end to end.
+  QDB_FAULT_POINT("sim.run");
   QDB_TRACE_SCOPE("StateVectorSimulator::RunBatch", "sim");
   Counters().batches->Increment();
   Counters().batch_circuits->Increment(static_cast<long>(count));

@@ -75,6 +75,8 @@ class StateVectorSimulator {
   /// final state to `consume(index, state)` on that worker instead of
   /// keeping all 2^n-amplitude states alive. `consume` must be thread-safe
   /// for distinct indices. Fails with the first (lowest-index) error.
+  /// Declares fault point "sim.run" (fault/fault_injector.h), so chaos
+  /// runs can fail or delay whole batches beneath the serving layer.
   Status RunBatchReduce(
       const std::vector<Circuit>& circuits,
       const std::vector<DVector>& params_list,

@@ -18,6 +18,7 @@
 #include "classical/svm.h"
 #include "common/rng.h"
 #include "common/strings.h"
+#include "fault/fault_injector.h"
 #include "kernel/quantum_kernel.h"
 #include "serve/inference_server.h"
 #include "serve/model_artifact.h"
@@ -590,6 +591,81 @@ TEST_F(InferenceServerTest, ConcurrentClientsAllComplete) {
   EXPECT_EQ(ok_count.load(), kClients * kPerClient);
   const auto stats = server.stats();
   EXPECT_EQ(stats.completed + stats.cache_hits, kClients * kPerClient);
+}
+
+TEST_F(InferenceServerTest, ShutdownRaceNeverDropsPromises) {
+  // Clients hammer Submit while another thread calls Shutdown: every future
+  // must still resolve with a definitive Status (a dropped promise would
+  // throw std::future_error(broken_promise) from .get()), and the terminal
+  // buckets must exactly account for every admission attempt.
+  for (int round = 0; round < 5; ++round) {
+    RegisterTiny("m");
+    ServerOptions opts;
+    opts.max_batch_size = 4;
+    opts.max_wait_us = 50;
+    InferenceServer server(registry_, opts);
+    ASSERT_TRUE(server.Start().ok());
+    constexpr int kClients = 4;
+    constexpr int kPerClient = 50;
+    std::atomic<int> resolved{0};
+    std::vector<std::thread> clients;
+    for (int c = 0; c < kClients; ++c) {
+      clients.emplace_back([&, c] {
+        for (int i = 0; i < kPerClient; ++i) {
+          const double a = 0.001 * static_cast<double>(c * kPerClient + i);
+          auto future = server.Submit(Request("m", {a, 1.0 - a}));
+          (void)future.get();  // Throws on a broken promise → test aborts.
+          resolved.fetch_add(1);
+        }
+      });
+    }
+    // Let the race land mid-traffic.
+    std::this_thread::sleep_for(std::chrono::microseconds(200 * round));
+    server.Shutdown();
+    for (auto& t : clients) t.join();
+    EXPECT_EQ(resolved.load(), kClients * kPerClient);
+    const auto stats = server.stats();
+    EXPECT_EQ(stats.submitted, kClients * kPerClient);
+    EXPECT_EQ(stats.submitted, stats.completed + stats.cache_hits +
+                                   stats.degraded + stats.rejected +
+                                   stats.expired + stats.failed)
+        << "every request must land in exactly one terminal bucket";
+  }
+}
+
+TEST_F(InferenceServerTest, DeadlineExpiresMidRetryStopsRetrying) {
+  // Every dispatch attempt fails; the retry backoff (20ms) cannot fit the
+  // 10ms request deadline, so the loop must cut immediately with
+  // kDeadlineExceeded instead of burning through all 10 attempts (~180ms+)
+  // on a result nobody will wait for.
+  fault::FaultInjector::Global().DisarmAll();
+  fault::FaultSpec spec;
+  spec.kind = fault::FaultKind::kError;
+  spec.target = "m";
+  fault::FaultInjector::Global().Arm("serve.dispatch", spec);
+  RegisterTiny("m");
+  ServerOptions opts;
+  opts.max_wait_us = 0;
+  opts.retry.max_attempts = 10;
+  opts.retry.initial_backoff_us = 20000;
+  opts.retry.decorrelated_jitter = false;
+  InferenceServer server(registry_, opts);
+  ASSERT_TRUE(server.Start().ok());
+  const auto start = std::chrono::steady_clock::now();
+  auto response =
+      server.Submit(Request("m", {0.2, 0.8}, /*timeout_us=*/10000)).get();
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  fault::FaultInjector::Global().DisarmAll();
+  ASSERT_FALSE(response.ok());
+  EXPECT_EQ(response.status().code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(servable_->batch_executions(), 0)
+      << "injected dispatch faults fire before the simulator runs";
+  EXPECT_LT(std::chrono::duration_cast<std::chrono::milliseconds>(elapsed)
+                .count(),
+            100)
+      << "the retry loop must stop at the deadline, not run all 10 attempts";
+  server.Shutdown();
+  EXPECT_EQ(server.stats().expired, 1);
 }
 
 TEST_F(InferenceServerTest, QuboConfigModelsAreNotExecutable) {
