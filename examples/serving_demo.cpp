@@ -9,8 +9,12 @@
 // micro-batches over one pre-compiled circuit and memoizing repeated
 // inputs in an LRU result cache.
 //
-// Observability: run with QDB_TRACE=1 (or pass --trace-out) to capture a
-// Chrome trace-event timeline of dispatch and batch execution.
+// Observability: run with QDB_TRACE=1 (or pass --trace-out trace.json) to
+// capture a Chrome trace-event timeline with per-request span trees;
+// --statusz prints the server introspection page (queue, breakers, SLO burn
+// rates, slowest traces) before shutdown; --metrics-out metrics.json dumps
+// the full registry — including the labeled serve.requests{model,kind,
+// outcome} and serve.latency_us{model,outcome} families — as JSON.
 //
 // Chaos: set QDB_FAULTS to arm seeded fault points across the stack (see
 // fault/fault_injector.h for the grammar and scripts/chaos.sh for the
@@ -39,16 +43,25 @@
 
 namespace {
 
-const char* ParseTraceOut(int argc, char** argv) {
+const char* ParseFlagValue(int argc, char** argv, const char* flag) {
+  const size_t flag_len = std::strlen(flag);
   for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--trace-out") == 0 && i + 1 < argc) {
+    if (std::strcmp(argv[i], flag) == 0 && i + 1 < argc) {
       return argv[i + 1];
     }
-    if (std::strncmp(argv[i], "--trace-out=", 12) == 0) {
-      return argv[i] + 12;
+    if (std::strncmp(argv[i], flag, flag_len) == 0 &&
+        argv[i][flag_len] == '=') {
+      return argv[i] + flag_len + 1;
     }
   }
   return nullptr;
+}
+
+bool HasFlag(int argc, char** argv, const char* flag) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], flag) == 0) return true;
+  }
+  return false;
 }
 
 }  // namespace
@@ -57,7 +70,9 @@ int main(int argc, char** argv) {
   using namespace qdb;
 
   obs::InitTracingFromEnv();
-  const char* trace_out = ParseTraceOut(argc, argv);
+  const char* trace_out = ParseFlagValue(argc, argv, "--trace-out");
+  const char* metrics_out = ParseFlagValue(argc, argv, "--metrics-out");
+  const bool show_statusz = HasFlag(argc, argv, "--statusz");
   if (trace_out != nullptr) obs::EnableTracing();
 
   // Chaos opt-in: arm any fault points listed in QDB_FAULTS (no-op unset).
@@ -163,6 +178,13 @@ int main(int argc, char** argv) {
   }
   for (auto& t : clients) t.join();
   const double elapsed_s = wall.Seconds();
+  // Introspection snapshot before shutdown so queue/breaker/SLO state shows
+  // the live server, not the drained one.
+  if (show_statusz) {
+    std::printf("\n%s", server.Statusz().c_str());
+    const auto health = server.Healthz();
+    std::printf("healthz: %s\n", health.ToString().c_str());
+  }
   server.Shutdown();
 
   const auto stats = server.stats();
@@ -198,6 +220,13 @@ int main(int argc, char** argv) {
   if (trace_out != nullptr) {
     if (auto s = obs::TraceLog::Global().WriteChromeTrace(trace_out); s.ok()) {
       std::printf("\ntrace written to %s\n", trace_out);
+    }
+  }
+  if (metrics_out != nullptr) {
+    if (auto s = obs::WriteMetricsJson(metrics_out); s.ok()) {
+      std::printf("metrics written to %s\n", metrics_out);
+    } else {
+      std::printf("metrics write failed: %s\n", s.ToString().c_str());
     }
   }
   return failed.load() == 0 ? 0 : 1;

@@ -3,8 +3,10 @@
 
 Prints a per-benchmark before/after table for the names present in both
 files and flags regressions where real_time grew by more than the
-threshold (default 10%). Exits non-zero when any regression is flagged, so
-CI and PR workflows can cite the table and fail loudly:
+threshold (default 10%). Exits non-zero when any regression is flagged —
+or when a benchmark or rate counter present in the baseline is missing
+from the candidate (a vanished metric must not silently dodge the gate) —
+so CI and PR workflows can cite the table and fail loudly:
 
     ./scripts/bench_compare.py BENCH_simulator.json /tmp/new/BENCH_simulator.json
     ./scripts/bench_compare.py --threshold 0.05 old.json new.json
@@ -90,6 +92,7 @@ def main():
     print(f"{'benchmark':<{name_w}}  {'before':>12}  {'after':>12}  "
           f"{'delta':>8}")
     regressions = []
+    missing = []
     for name in shared:
         before, unit_b, counters_b = base[name]
         after, unit_a, counters_a = cand[name]
@@ -104,6 +107,11 @@ def main():
             regressions.append((name, delta))
         print(f"{name:<{name_w}}  {before:>10.1f}{unit_b:<2}  "
               f"{after:>10.1f}{unit_a:<2}  {delta:>+7.1%}{marker}")
+        # A counter the baseline reported must not vanish from the
+        # candidate: a silently dropped req_per_s would otherwise skip the
+        # throughput check entirely.
+        for key in sorted(set(counters_b) - set(counters_a)):
+            missing.append(f"{name} [{key}] (counter gone from candidate)")
         # Rate counters compare in the opposite direction: a drop is bad.
         for key in sorted(set(counters_b) & set(counters_a)):
             rate_b, rate_a = counters_b[key], counters_a[key]
@@ -119,14 +127,22 @@ def main():
 
     only_base = sorted(set(base) - set(cand))
     only_cand = sorted(set(cand) - set(base))
-    if only_base:
-        print(f"\nonly in baseline ({len(only_base)}): "
-              + ", ".join(only_base[:8])
-              + (" …" if len(only_base) > 8 else ""))
+    missing.extend(f"{name} (benchmark gone from candidate)"
+                   for name in only_base)
     if only_cand:
-        print(f"only in candidate ({len(only_cand)}): "
+        print(f"\nonly in candidate ({len(only_cand)}): "
               + ", ".join(only_cand[:8])
               + (" …" if len(only_cand) > 8 else ""))
+
+    if missing:
+        print(f"\nERROR: {len(missing)} baseline metric(s) disappeared from "
+              f"the candidate snapshot:", file=sys.stderr)
+        for entry in missing:
+            print(f"  {entry}", file=sys.stderr)
+        print("A removed benchmark or counter silently exempts itself from "
+              "regression checks; rename deliberately (update the baseline "
+              "snapshot in the same change) or restore it.", file=sys.stderr)
+        return 1
 
     if regressions:
         print(f"\n{len(regressions)} regression(s) above "

@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # Benchmark snapshot: runs the simulator-stack benchmarks that exercise the
 # ThreadPool (E1 simulator, E3 quantum kernel, E4 gradients) plus the E18
-# inference-serving suite, and writes one
+# inference-serving and E19 observability-overhead suites, and writes one
 # JSON file per suite at the repo root, for before/after comparison across
 # PRs and QDB_THREADS settings:
 #
@@ -9,7 +9,7 @@
 #   QDB_THREADS=1 ./scripts/bench_snapshot.sh   # serial baseline
 #
 # Output: BENCH_simulator.json, BENCH_qkernel.json, BENCH_gradients.json,
-#         BENCH_serve.json.
+#         BENCH_serve.json, BENCH_obs.json.
 #
 # Snapshots must come from a Release (-O2, no sanitizers, NDEBUG) build —
 # debug-build numbers are not comparable across PRs. The script refuses to
@@ -39,9 +39,9 @@ else
 fi
 
 cmake --build build -j --target bench_simulator --target bench_qkernel \
-  --target bench_gradients --target bench_serve
+  --target bench_gradients --target bench_serve --target bench_obs
 
-for suite in simulator qkernel gradients serve; do
+for suite in simulator qkernel gradients serve obs; do
   out="${tag}BENCH_${suite}.json"
   echo "== bench_${suite} -> ${out} =="
   "./build/bench/bench_${suite}" \
@@ -64,4 +64,4 @@ PYEOF
 done
 
 echo
-echo "snapshot written: ${tag}BENCH_simulator.json ${tag}BENCH_qkernel.json ${tag}BENCH_gradients.json ${tag}BENCH_serve.json"
+echo "snapshot written: ${tag}BENCH_simulator.json ${tag}BENCH_qkernel.json ${tag}BENCH_gradients.json ${tag}BENCH_serve.json ${tag}BENCH_obs.json"

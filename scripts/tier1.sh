@@ -1,18 +1,32 @@
 #!/usr/bin/env bash
 # Tier-1 gate: configure + build + full test suite, then rebuild the
-# observability test under ThreadSanitizer and run it. Run from the repo root:
+# concurrency-sensitive tests under ThreadSanitizer and run them, then gate
+# the serving tier's observability overhead. Run from the repo root:
 #
 #   ./scripts/tier1.sh
 #
 # Build directories: build/ (regular), build-tsan/ (TSan, library + tests
 # only). Both are incremental across invocations.
+#
+# On a ctest failure, every test binary leaves a full metrics-registry dump
+# (QDB_METRICS_OUT) under build/Testing/metrics/ — the path is printed so
+# the post-mortem starts from the counters, not from a rerun.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 echo "== tier 1: build + ctest =="
 cmake -B build -S . >/dev/null
 cmake --build build -j
-(cd build && ctest --output-on-failure -j "$(nproc)")
+metrics_dir="$(pwd)/build/Testing/metrics"
+rm -rf "${metrics_dir}" && mkdir -p "${metrics_dir}"
+if ! (cd build &&
+  QDB_METRICS_OUT="${metrics_dir}/" ctest --output-on-failure -j "$(nproc)"); then
+  echo >&2
+  echo "ctest FAILED — per-process metrics dumps for the post-mortem:" >&2
+  echo "  ${metrics_dir}/metrics.<pid>.json" >&2
+  ls -l "${metrics_dir}" >&2 || true
+  exit 1
+fi
 
 echo
 echo "== tier 1: concurrency tests under ThreadSanitizer =="
@@ -20,10 +34,13 @@ cmake -B build-tsan -S . \
   -DQDB_SANITIZE=thread \
   -DQDB_BUILD_BENCHMARKS=OFF \
   -DQDB_BUILD_EXAMPLES=OFF >/dev/null
-cmake --build build-tsan -j --target obs_test --target thread_pool_test \
+cmake --build build-tsan -j --target obs_test --target obs_labels_test \
+  --target slo_test --target thread_pool_test \
   --target sim_parallel_test --target compiled_circuit_test \
   --target serve_test --target fault_test
 ./build-tsan/tests/obs_test
+./build-tsan/tests/obs_labels_test
+./build-tsan/tests/slo_test
 ./build-tsan/tests/thread_pool_test
 QDB_THREADS=4 ./build-tsan/tests/sim_parallel_test
 QDB_THREADS=4 ./build-tsan/tests/compiled_circuit_test
@@ -33,6 +50,46 @@ QDB_THREADS=4 ./build-tsan/tests/fault_test
 echo
 echo "== tier 1: seeded chaos profiles =="
 ./scripts/chaos.sh
+
+echo
+echo "== tier 1: observability overhead gate =="
+# The serving smoke workload (bench_obs E19) runs twice — tracing + labeled
+# metrics off, then on — and the traced req_per_s must stay within 10% of
+# the untraced baseline. This is the acceptance bar for request-scoped
+# tracing: observability that costs double-digit throughput is a regression,
+# not a feature. Uses the regular (non-TSan) build; a Debug build still
+# catches gross regressions since both modes share the build type.
+cmake -B build -S . -DQDB_BUILD_BENCHMARKS=ON >/dev/null
+cmake --build build -j --target bench_obs
+overhead_json="$(pwd)/build/Testing/bench_obs_gate.json"
+./build/bench/bench_obs \
+  --benchmark_filter='BM_ServingWithObservability' \
+  --benchmark_format=json \
+  --benchmark_out="${overhead_json}" \
+  --benchmark_out_format=json
+python3 - "${overhead_json}" << 'PYEOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+rates = {}
+for bench in doc.get("benchmarks", []):
+    if bench.get("run_type") == "aggregate":
+        continue
+    label = bench.get("label")
+    rate = bench.get("req_per_s")
+    if label in ("obs_off", "obs_on") and isinstance(rate, (int, float)):
+        rates[label] = float(rate)
+if set(rates) != {"obs_off", "obs_on"}:
+    sys.exit("overhead gate: bench_obs did not report both obs_off and "
+             "obs_on req_per_s")
+overhead = 1.0 - rates["obs_on"] / rates["obs_off"]
+print(f"serving throughput: obs_off={rates['obs_off']:.0f} req/s  "
+      f"obs_on={rates['obs_on']:.0f} req/s  overhead={overhead:+.1%}")
+if overhead > 0.10:
+    sys.exit(f"overhead gate FAILED: tracing + labeled metrics cost "
+             f"{overhead:.1%} throughput (budget: 10%)")
+print("overhead gate PASS (budget: 10%)")
+PYEOF
 
 echo
 echo "tier 1 PASS"

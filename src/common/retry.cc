@@ -4,6 +4,7 @@
 #include <thread>
 
 #include "common/strings.h"
+#include "obs/labels.h"
 #include "obs/obs.h"
 
 namespace qdb {
@@ -16,11 +17,28 @@ struct RetryMetrics {
   obs::Counter* retries = obs::GetCounter("fault.retry.retries");
   obs::Counter* giveups = obs::GetCounter("fault.retry.giveups");
   obs::Counter* deadline_cuts = obs::GetCounter("fault.retry.deadline_cuts");
+  obs::HistogramFamily* attempts_by_op =
+      obs::MetricsRegistry::Global().GetHistogramFamily(
+          "fault.retry.attempts", {"op"}, {1, 2, 3, 4, 6, 8, 12, 16});
+  obs::CounterFamily* outcomes =
+      obs::MetricsRegistry::Global().GetCounterFamily(
+          "fault.retry.outcomes", {"op", "outcome"});
 };
 
 RetryMetrics& Metrics() {
   static RetryMetrics metrics;
   return metrics;
+}
+
+/// One loop exit: the unlabeled aggregates always, the {op} children when
+/// the policy names its operation.
+void ObserveExit(const RetryPolicy& policy, int attempts,
+                 const char* outcome) {
+  Metrics().attempts->Observe(static_cast<double>(attempts));
+  if (policy.op.empty()) return;
+  Metrics().attempts_by_op->With(policy.op)->Observe(
+      static_cast<double>(attempts));
+  Metrics().outcomes->With(policy.op, outcome)->Increment();
 }
 
 void SleepMicros(const RetryPolicy& policy, long us) {
@@ -76,7 +94,7 @@ Status Retry(const RetryPolicy& policy, Rng& rng,
   while (attempt < max_attempts) {
     if (RetryClock::now() >= deadline) {
       Metrics().deadline_cuts->Increment();
-      Metrics().attempts->Observe(static_cast<double>(attempt));
+      ObserveExit(policy, attempt, "deadline");
       return Status::DeadlineExceeded(
           attempt == 0
               ? "deadline expired before the first attempt"
@@ -87,7 +105,7 @@ Status Retry(const RetryPolicy& policy, Rng& rng,
     last = fn(attempt);
     if (last.ok() || !policy.IsRetryable(last)) {
       if (!last.ok()) Metrics().giveups->Increment();
-      Metrics().attempts->Observe(static_cast<double>(attempt));
+      ObserveExit(policy, attempt, last.ok() ? "ok" : "giveup");
       return last;
     }
     if (attempt >= max_attempts) break;
@@ -97,7 +115,7 @@ Status Retry(const RetryPolicy& policy, Rng& rng,
     if (deadline != RetryClock::time_point::max() &&
         RetryClock::now() + std::chrono::microseconds(delay_us) >= deadline) {
       Metrics().deadline_cuts->Increment();
-      Metrics().attempts->Observe(static_cast<double>(attempt));
+      ObserveExit(policy, attempt, "deadline");
       return Status::DeadlineExceeded(
           StrCat("deadline would expire during the ", delay_us,
                  "us backoff after attempt ", attempt,
@@ -107,7 +125,7 @@ Status Retry(const RetryPolicy& policy, Rng& rng,
     SleepMicros(policy, delay_us);
   }
   Metrics().giveups->Increment();
-  Metrics().attempts->Observe(static_cast<double>(attempt));
+  ObserveExit(policy, attempt, "giveup");
   return last;
 }
 

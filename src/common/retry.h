@@ -14,6 +14,7 @@
 
 #include <chrono>
 #include <functional>
+#include <string>
 
 #include "common/result.h"
 #include "common/rng.h"
@@ -38,6 +39,11 @@ struct RetryPolicy {
   std::function<bool(const Status&)> retryable;
   /// Sleep hook for tests (microseconds); null sleeps for real.
   std::function<void(long)> sleep_us;
+  /// Operation label for dimensional retry metrics: when non-empty, every
+  /// loop exit also lands in fault.retry.attempts{op="..."} (and retries /
+  /// giveups / deadline cuts in fault.retry.outcomes{op,outcome}), so one
+  /// noisy backend is attributable in the export.
+  std::string op;
 
   bool IsRetryable(const Status& status) const;
 };

@@ -55,6 +55,9 @@ std::mutex& GlobalMu() {
 /// none remain; the caller then waits for all copies to retire.
 struct ThreadPool::Op {
   std::function<void()> drain;
+  /// The submitter's ambient trace context, re-installed in each worker so
+  /// fanned-out chunks parent under the submitting request's span tree.
+  obs::RequestContext context;
   std::mutex mu;
   std::condition_variable done_cv;
   int pending = 0;  ///< Enqueued copies not yet finished (guarded by mu).
@@ -90,6 +93,7 @@ void ThreadPool::WorkerLoop() {
       Counters().queue_depth->Set(static_cast<double>(queue_.size()));
     }
     {
+      obs::ContextGuard context_guard(op->context);
       QDB_TRACE_SCOPE("ThreadPool::Task", "pool");
       op->drain();
       Counters().tasks->Increment();
@@ -167,6 +171,7 @@ void ThreadPool::ParallelForChunks(
   Counters().parallel_ops->Increment();
   auto next = std::make_shared<std::atomic<uint64_t>>(0);
   auto op = std::make_shared<Op>();
+  op->context = obs::CurrentContext();  // Captured inside the span above.
   op->drain = [next, num_chunks, &run_chunk] {
     uint64_t ci;
     while ((ci = next->fetch_add(1, std::memory_order_relaxed)) < num_chunks) {
@@ -199,6 +204,7 @@ void ThreadPool::RunTasks(size_t count,
   Counters().parallel_ops->Increment();
   auto next = std::make_shared<std::atomic<size_t>>(0);
   auto op = std::make_shared<Op>();
+  op->context = obs::CurrentContext();  // Captured inside the span above.
   op->drain = [next, count, &task] {
     size_t i;
     while ((i = next->fetch_add(1, std::memory_order_relaxed)) < count) {

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/strings.h"
+#include "obs/labels.h"
 #include "obs/obs.h"
 #include "obs/trace.h"
 
@@ -20,6 +21,14 @@ struct BreakerMetrics {
   obs::Histogram* open_duration_us = obs::GetHistogram(
       "fault.breaker.open_duration_us",
       {1000, 10000, 50000, 100000, 500000, 1e6, 5e6});
+  /// Dimensional view alongside the unlabeled aggregates above (which tests
+  /// and dashboards already key on): which breaker moved where.
+  obs::CounterFamily* transitions =
+      obs::MetricsRegistry::Global().GetCounterFamily(
+          "fault.breaker.transitions", {"breaker", "to"});
+  obs::CounterFamily* shed_by_breaker =
+      obs::MetricsRegistry::Global().GetCounterFamily(
+          "fault.breaker.shed_total", {"breaker"});
 };
 
 BreakerMetrics& Metrics() {
@@ -72,6 +81,7 @@ bool CircuitBreaker::Allow() {
       }
       ++stats_.shed;
       Metrics().shed->Increment();
+      Metrics().shed_by_breaker->With(name_)->Increment();
       return false;
     case BreakerState::kHalfOpen:
       // Probes are rate-limited rather than counted in flight: a probe
@@ -86,6 +96,7 @@ bool CircuitBreaker::Allow() {
       }
       ++stats_.shed;
       Metrics().shed->Increment();
+      Metrics().shed_by_breaker->With(name_)->Increment();
       return false;
   }
   return true;
@@ -144,6 +155,7 @@ void CircuitBreaker::OpenLocked(Clock::time_point now) {
   probe_successes_ = 0;
   ++stats_.opened;
   Metrics().opened->Increment();
+  Metrics().transitions->With(name_, "open")->Increment();
   state_gauge_->Set(StateValue(state_));
 }
 
@@ -158,6 +170,7 @@ void CircuitBreaker::CloseLocked(Clock::time_point now) {
   ResetWindowLocked();
   ++stats_.closed;
   Metrics().closed->Increment();
+  Metrics().transitions->With(name_, "closed")->Increment();
   state_gauge_->Set(StateValue(state_));
 }
 
@@ -167,6 +180,7 @@ void CircuitBreaker::HalfOpenLocked(Clock::time_point now) {
   probe_successes_ = 0;
   next_probe_at_ =
       now + std::chrono::microseconds(options_.probe_interval_us);
+  Metrics().transitions->With(name_, "half_open")->Increment();
   state_gauge_->Set(StateValue(state_));
 }
 

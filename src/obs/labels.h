@@ -1,0 +1,184 @@
+/// \file labels.h
+/// \brief Dimensional metrics: a LabeledFamily<M> maps a bounded set of
+/// label-value tuples (e.g. {model, outcome}) to child metrics, so
+/// per-model / per-outcome counters and latency histograms fall out of the
+/// ordinary text / JSON export.
+///
+/// Cardinality is explicitly capped per family: the first `max_cardinality`
+/// distinct label sets get their own child, every later set is routed to a
+/// shared overflow child whose label values are all "__overflow__" (and the
+/// family counts how many lookups overflowed). A serving tier fed
+/// adversarial or unbounded label values (request ids, raw inputs) therefore
+/// degrades to one coarse bucket instead of growing the registry without
+/// bound — the same containment idea as the bounded request queue.
+///
+/// Cost model: WithLabels is one mutex-guarded hash lookup — O(1) after the
+/// first touch of a label set — and the returned pointer is stable for the
+/// process lifetime, so per-servable hot paths resolve their children once
+/// and then pay only the relaxed-atomic update of the underlying metric.
+
+#ifndef QDB_OBS_LABELS_H_
+#define QDB_OBS_LABELS_H_
+
+#include <algorithm>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/check.h"
+#include "obs/metrics.h"
+
+namespace qdb {
+namespace obs {
+
+/// Default distinct-label-set cap per family; chosen for a serving tier
+/// with tens of models times a handful of outcomes.
+inline constexpr size_t kDefaultLabelCardinality = 64;
+
+/// Label value assigned to every key of a family's overflow child.
+inline constexpr const char* kOverflowLabelValue = "__overflow__";
+
+/// \brief Bounded-cardinality family of labeled child metrics. M is
+/// Counter, Gauge, or Histogram. Thread-safe; children are never deleted.
+template <typename M>
+class LabeledFamily {
+ public:
+  using Factory = std::function<std::unique_ptr<M>()>;
+
+  /// `keys` are the label names, fixed for the family's lifetime; every
+  /// WithLabels call must supply exactly keys().size() values.
+  LabeledFamily(std::string name, std::vector<std::string> keys,
+                size_t max_cardinality, Factory factory)
+      : name_(std::move(name)),
+        keys_(std::move(keys)),
+        max_cardinality_(max_cardinality > 0 ? max_cardinality : 1),
+        factory_(std::move(factory)) {
+    QDB_CHECK(!keys_.empty()) << "a labeled family needs at least one key";
+  }
+
+  /// The child metric for this label-value tuple, creating it on first
+  /// touch. Beyond the cardinality cap, returns the shared overflow child.
+  M* WithLabels(const std::vector<std::string>& values) {
+    QDB_CHECK(values.size() == keys_.size())
+        << "family '" << name_ << "' takes " << keys_.size() << " labels";
+    const std::string key = JoinValues(values);
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = children_.find(key);
+    if (it != children_.end()) return it->second.metric.get();
+    if (children_.size() >= max_cardinality_) {
+      ++overflowed_;
+      return OverflowLocked();
+    }
+    Child child;
+    child.values = values;
+    child.metric = factory_();
+    M* metric = child.metric.get();
+    children_.emplace(key, std::move(child));
+    return metric;
+  }
+
+  /// Convenience for literal label tuples:
+  /// family->With("moons-vqc", "ok")->Increment();
+  template <typename... V>
+  M* With(const V&... values) {
+    return WithLabels(std::vector<std::string>{std::string(values)...});
+  }
+
+  const std::string& name() const { return name_; }
+  const std::vector<std::string>& keys() const { return keys_; }
+  size_t max_cardinality() const { return max_cardinality_; }
+
+  /// Distinct non-overflow label sets seen so far.
+  size_t cardinality() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return children_.size();
+  }
+
+  /// Lookups that were routed to the overflow child.
+  long overflowed() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return overflowed_;
+  }
+
+  /// One exported child: its label values (aligned with keys()) and metric.
+  struct ChildView {
+    std::vector<std::string> values;
+    M* metric;
+  };
+
+  /// Stable snapshot of every child (overflow last when present), sorted by
+  /// label values so exports are deterministic.
+  std::vector<ChildView> Children() const {
+    std::vector<ChildView> out;
+    std::lock_guard<std::mutex> lock(mu_);
+    out.reserve(children_.size() + (overflow_ ? 1 : 0));
+    for (const auto& [key, child] : children_) {
+      out.push_back(ChildView{child.values, child.metric.get()});
+    }
+    std::sort(out.begin(), out.end(),
+              [](const ChildView& a, const ChildView& b) {
+                return a.values < b.values;
+              });
+    if (overflow_) {
+      out.push_back(ChildView{
+          std::vector<std::string>(keys_.size(), kOverflowLabelValue),
+          overflow_.get()});
+    }
+    return out;
+  }
+
+  /// Zeroes every child (pointers stay valid) and the overflow tally; the
+  /// children themselves remain registered. Test helper.
+  void ResetAll() {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto& [key, child] : children_) child.metric->Reset();
+    if (overflow_) overflow_->Reset();
+    overflowed_ = 0;
+  }
+
+ private:
+  struct Child {
+    std::vector<std::string> values;
+    std::unique_ptr<M> metric;
+  };
+
+  static std::string JoinValues(const std::vector<std::string>& values) {
+    std::string key;
+    for (const auto& v : values) {
+      key += v;
+      key += '\x1f';  // Unit separator: cannot collide with metric text.
+    }
+    return key;
+  }
+
+  M* OverflowLocked() {
+    if (!overflow_) overflow_ = factory_();
+    return overflow_.get();
+  }
+
+  const std::string name_;
+  const std::vector<std::string> keys_;
+  const size_t max_cardinality_;
+  const Factory factory_;
+
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, Child> children_;
+  std::unique_ptr<M> overflow_;
+  long overflowed_ = 0;
+};
+
+using CounterFamily = LabeledFamily<Counter>;
+using GaugeFamily = LabeledFamily<Gauge>;
+using HistogramFamily = LabeledFamily<Histogram>;
+
+/// Renders `{k="v",k2="v2"}` for exports and debugging.
+std::string FormatLabels(const std::vector<std::string>& keys,
+                         const std::vector<std::string>& values);
+
+}  // namespace obs
+}  // namespace qdb
+
+#endif  // QDB_OBS_LABELS_H_

@@ -1,11 +1,16 @@
 #include "obs/metrics.h"
 
+#include <sys/stat.h>
+#include <unistd.h>
+
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 
 #include "common/check.h"
 #include "common/strings.h"
+#include "obs/labels.h"
 
 namespace qdb {
 namespace obs {
@@ -96,14 +101,68 @@ double Histogram::ApproxQuantile(double q) const {
   return bounds_.back();
 }
 
+void Histogram::Merge(const Histogram& other) {
+  QDB_CHECK(bounds_ == other.bounds_)
+      << "Histogram::Merge requires identical bounds";
+  long other_total = 0;
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    const long n = other.counts_[i].load(std::memory_order_relaxed);
+    counts_[i].fetch_add(n, std::memory_order_relaxed);
+    other_total += n;
+  }
+  total_.fetch_add(other_total, std::memory_order_relaxed);
+  const double other_sum = other.sum_.load(std::memory_order_relaxed);
+  double cur = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(cur, cur + other_sum,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
 void Histogram::Reset() {
   for (auto& c : counts_) c.store(0, std::memory_order_relaxed);
   total_.store(0, std::memory_order_relaxed);
   sum_.store(0.0, std::memory_order_relaxed);
 }
 
+namespace {
+
+/// At-exit metrics dump, armed by the QDB_METRICS_OUT environment variable:
+/// a failing test or chaos run leaves its full registry as JSON for
+/// post-mortem. A path ending in '/' (or naming an existing directory) gets
+/// a per-process "metrics.<pid>.json" so parallel test binaries don't
+/// clobber each other.
+void DumpMetricsAtExit() {
+  const char* env = std::getenv("QDB_METRICS_OUT");
+  if (env == nullptr || env[0] == '\0') return;
+  std::string path = env;
+  struct stat st {};
+  const bool is_dir = path.back() == '/' ||
+                      (::stat(path.c_str(), &st) == 0 && S_ISDIR(st.st_mode));
+  if (is_dir) {
+    if (path.back() != '/') path += '/';
+    path += StrFormat("metrics.%d.json", static_cast<int>(::getpid()));
+  }
+  const std::string json = MetricsRegistry::Global().ExportJson();
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return;
+  std::fwrite(json.data(), 1, json.size(), f);
+  std::fputc('\n', f);
+  std::fclose(f);
+}
+
+}  // namespace
+
+MetricsRegistry::MetricsRegistry() = default;
+MetricsRegistry::~MetricsRegistry() = default;
+
 MetricsRegistry& MetricsRegistry::Global() {
   static MetricsRegistry* registry = new MetricsRegistry();
+  static const bool dump_armed = [] {
+    const char* env = std::getenv("QDB_METRICS_OUT");
+    if (env != nullptr && env[0] != '\0') std::atexit(DumpMetricsAtExit);
+    return true;
+  }();
+  (void)dump_armed;
   return *registry;
 }
 
@@ -133,14 +192,98 @@ Histogram* MetricsRegistry::GetHistogram(const std::string& name,
   return slot.get();
 }
 
+LabeledFamily<Counter>* MetricsRegistry::GetCounterFamily(
+    const std::string& name, std::vector<std::string> keys,
+    size_t max_cardinality) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counter_families_[name];
+  if (!slot) {
+    slot = std::make_unique<LabeledFamily<Counter>>(
+        name, std::move(keys),
+        max_cardinality > 0 ? max_cardinality : kDefaultLabelCardinality,
+        [] { return std::make_unique<Counter>(); });
+  }
+  return slot.get();
+}
+
+LabeledFamily<Gauge>* MetricsRegistry::GetGaugeFamily(
+    const std::string& name, std::vector<std::string> keys,
+    size_t max_cardinality) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauge_families_[name];
+  if (!slot) {
+    slot = std::make_unique<LabeledFamily<Gauge>>(
+        name, std::move(keys),
+        max_cardinality > 0 ? max_cardinality : kDefaultLabelCardinality,
+        [] { return std::make_unique<Gauge>(); });
+  }
+  return slot.get();
+}
+
+LabeledFamily<Histogram>* MetricsRegistry::GetHistogramFamily(
+    const std::string& name, std::vector<std::string> keys,
+    std::vector<double> bounds, size_t max_cardinality) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histogram_families_[name];
+  if (!slot) {
+    slot = std::make_unique<LabeledFamily<Histogram>>(
+        name, std::move(keys),
+        max_cardinality > 0 ? max_cardinality : kDefaultLabelCardinality,
+        [bounds = std::move(bounds)] {
+          return std::make_unique<Histogram>(bounds);
+        });
+  }
+  return slot.get();
+}
+
+std::string FormatLabels(const std::vector<std::string>& keys,
+                         const std::vector<std::string>& values) {
+  QDB_CHECK(keys.size() == values.size());
+  std::string out = "{";
+  for (size_t i = 0; i < keys.size(); ++i) {
+    if (i) out += ",";
+    out += StrCat(keys[i], "=\"", values[i], "\"");
+  }
+  out += "}";
+  return out;
+}
+
+namespace {
+
+/// "k="v",k2="v2"" — label pairs without the surrounding braces, so
+/// histogram children can append their own le="..." dimension.
+std::string LabelPairs(const std::vector<std::string>& keys,
+                       const std::vector<std::string>& values) {
+  std::string out;
+  for (size_t i = 0; i < keys.size(); ++i) {
+    if (i) out += ",";
+    out += StrCat(keys[i], "=\"", values[i], "\"");
+  }
+  return out;
+}
+
+}  // namespace
+
 std::string MetricsRegistry::ExportText() const {
   std::lock_guard<std::mutex> lock(mu_);
   std::string out;
   for (const auto& [name, c] : counters_) {
     out += StrCat(name, " ", c->Value(), "\n");
   }
+  for (const auto& [name, family] : counter_families_) {
+    for (const auto& child : family->Children()) {
+      out += StrCat(name, FormatLabels(family->keys(), child.values), " ",
+                    child.metric->Value(), "\n");
+    }
+  }
   for (const auto& [name, g] : gauges_) {
     out += StrCat(name, " ", g->Value(), "\n");
+  }
+  for (const auto& [name, family] : gauge_families_) {
+    for (const auto& child : family->Children()) {
+      out += StrCat(name, FormatLabels(family->keys(), child.values), " ",
+                    child.metric->Value(), "\n");
+    }
   }
   for (const auto& [name, h] : histograms_) {
     for (size_t i = 0; i < h->bounds().size(); ++i) {
@@ -151,6 +294,20 @@ std::string MetricsRegistry::ExportText() const {
                   h->CountInBucket(h->bounds().size()), "\n");
     out += StrCat(name, "_sum ", h->Sum(), "\n");
     out += StrCat(name, "_count ", h->TotalCount(), "\n");
+  }
+  for (const auto& [name, family] : histogram_families_) {
+    for (const auto& child : family->Children()) {
+      const std::string pairs = LabelPairs(family->keys(), child.values);
+      const Histogram* h = child.metric;
+      for (size_t i = 0; i < h->bounds().size(); ++i) {
+        out += StrCat(name, "{", pairs, ",le=\"", h->bounds()[i], "\"} ",
+                      h->CountInBucket(i), "\n");
+      }
+      out += StrCat(name, "{", pairs, ",le=\"+Inf\"} ",
+                    h->CountInBucket(h->bounds().size()), "\n");
+      out += StrCat(name, "_sum{", pairs, "} ", h->Sum(), "\n");
+      out += StrCat(name, "_count{", pairs, "} ", h->TotalCount(), "\n");
+    }
   }
   return out;
 }
@@ -189,6 +346,80 @@ std::string MetricsRegistry::ExportJson() const {
     out += StrCat("],\"sum\":", JsonNumber(h->Sum()),
                   ",\"count\":", h->TotalCount(), "}");
   }
+  out += "},\"families\":{";
+  first = true;
+  const auto emit_family_header = [&](const std::string& name,
+                                      const char* type, const auto& family) {
+    if (!first) out += ",";
+    first = false;
+    out += StrCat("\"", JsonEscape(name), "\":{\"type\":\"", type,
+                  "\",\"keys\":[");
+    const auto& keys = family->keys();
+    for (size_t i = 0; i < keys.size(); ++i) {
+      if (i) out += ",";
+      out += StrCat("\"", JsonEscape(keys[i]), "\"");
+    }
+    out += StrCat("],\"max_cardinality\":", family->max_cardinality(),
+                  ",\"overflowed\":", family->overflowed(),
+                  ",\"children\":[");
+  };
+  const auto emit_labels = [&](const std::vector<std::string>& keys,
+                               const std::vector<std::string>& values) {
+    out += "{\"labels\":{";
+    for (size_t i = 0; i < keys.size(); ++i) {
+      if (i) out += ",";
+      out += StrCat("\"", JsonEscape(keys[i]), "\":\"", JsonEscape(values[i]),
+                    "\"");
+    }
+    out += "},";
+  };
+  for (const auto& [name, family] : counter_families_) {
+    emit_family_header(name, "counter", family);
+    bool first_child = true;
+    for (const auto& child : family->Children()) {
+      if (!first_child) out += ",";
+      first_child = false;
+      emit_labels(family->keys(), child.values);
+      out += StrCat("\"value\":", child.metric->Value(), "}");
+    }
+    out += "]}";
+  }
+  for (const auto& [name, family] : gauge_families_) {
+    emit_family_header(name, "gauge", family);
+    bool first_child = true;
+    for (const auto& child : family->Children()) {
+      if (!first_child) out += ",";
+      first_child = false;
+      emit_labels(family->keys(), child.values);
+      out += StrCat("\"value\":", JsonNumber(child.metric->Value()), "}");
+    }
+    out += "]}";
+  }
+  for (const auto& [name, family] : histogram_families_) {
+    emit_family_header(name, "histogram", family);
+    bool first_child = true;
+    for (const auto& child : family->Children()) {
+      if (!first_child) out += ",";
+      first_child = false;
+      emit_labels(family->keys(), child.values);
+      const Histogram* h = child.metric;
+      out += "\"bounds\":[";
+      for (size_t i = 0; i < h->bounds().size(); ++i) {
+        if (i) out += ",";
+        out += JsonNumber(h->bounds()[i]);
+      }
+      out += "],\"counts\":[";
+      for (size_t i = 0; i <= h->bounds().size(); ++i) {
+        if (i) out += ",";
+        out += StrCat(h->CountInBucket(i));
+      }
+      out += StrCat("],\"sum\":", JsonNumber(h->Sum()),
+                    ",\"count\":", h->TotalCount(),
+                    ",\"p50\":", JsonNumber(h->ApproxQuantile(0.5)),
+                    ",\"p99\":", JsonNumber(h->ApproxQuantile(0.99)), "}");
+    }
+    out += "]}";
+  }
   out += "}}";
   return out;
 }
@@ -198,6 +429,9 @@ void MetricsRegistry::ResetAll() {
   for (auto& [name, c] : counters_) c->Reset();
   for (auto& [name, g] : gauges_) g->Reset();
   for (auto& [name, h] : histograms_) h->Reset();
+  for (auto& [name, f] : counter_families_) f->ResetAll();
+  for (auto& [name, f] : gauge_families_) f->ResetAll();
+  for (auto& [name, f] : histogram_families_) f->ResetAll();
 }
 
 }  // namespace obs

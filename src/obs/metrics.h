@@ -20,6 +20,9 @@
 namespace qdb {
 namespace obs {
 
+template <typename M>
+class LabeledFamily;  // labels.h
+
 /// \brief Monotonically increasing count (gate applications, sweeps, …).
 class Counter {
  public:
@@ -53,6 +56,12 @@ class Histogram {
   explicit Histogram(std::vector<double> bounds);
 
   void Observe(double v);
+
+  /// Adds `other`'s buckets, total, and sum into this histogram. Both must
+  /// have identical bounds. Concurrent Observe calls on either side merge
+  /// without loss (per-bucket relaxed adds), though the merged snapshot is
+  /// only instantaneously consistent if the other histogram is quiescent.
+  void Merge(const Histogram& other);
 
   const std::vector<double>& bounds() const { return bounds_; }
   /// Count in bucket i; i == bounds().size() is the overflow bucket.
@@ -88,25 +97,51 @@ class MetricsRegistry {
   Histogram* GetHistogram(const std::string& name,
                           std::vector<double> bounds = DefaultBounds());
 
+  /// Labeled (dimensional) families — see labels.h. As with Get*, the
+  /// first call registers the family (later calls ignore keys / bounds /
+  /// cap and return the existing one) and the pointer is process-stable.
+  LabeledFamily<Counter>* GetCounterFamily(
+      const std::string& name, std::vector<std::string> keys,
+      size_t max_cardinality = 0 /* 0 = kDefaultLabelCardinality */);
+  LabeledFamily<Gauge>* GetGaugeFamily(const std::string& name,
+                                       std::vector<std::string> keys,
+                                       size_t max_cardinality = 0);
+  LabeledFamily<Histogram>* GetHistogramFamily(
+      const std::string& name, std::vector<std::string> keys,
+      std::vector<double> bounds = DefaultBounds(),
+      size_t max_cardinality = 0);
+
   /// One metric per line, sorted by name: "name value" /
-  /// "name{le="b"} count".
+  /// "name{le="b"} count"; labeled children render their label sets inside
+  /// the braces ("name{model="m",outcome="ok"} 42").
   std::string ExportText() const;
-  /// {"counters":{...},"gauges":{...},"histograms":{...}}.
+  /// {"counters":{...},"gauges":{...},"histograms":{...},"families":{...}}.
   std::string ExportJson() const;
 
-  /// Zeroes every registered metric (pointers stay valid). Test helper.
+  /// Zeroes every registered metric, including every labeled child
+  /// (pointers stay valid). Test helper — fixes cross-test metric bleed
+  /// without relative-delta bookkeeping.
   void ResetAll();
+  /// Alias for ResetAll(), the name tests reach for.
+  void Reset() { ResetAll(); }
 
   /// Default latency-style bucket bounds (microseconds, 1 … 1e6).
   static std::vector<double> DefaultBounds();
 
  private:
-  MetricsRegistry() = default;
+  MetricsRegistry();
+  ~MetricsRegistry();  // Defined where LabeledFamily is complete.
 
   mutable std::mutex mu_;
   std::map<std::string, std::unique_ptr<Counter>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>> gauges_;
   std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  std::map<std::string, std::unique_ptr<LabeledFamily<Counter>>>
+      counter_families_;
+  std::map<std::string, std::unique_ptr<LabeledFamily<Gauge>>>
+      gauge_families_;
+  std::map<std::string, std::unique_ptr<LabeledFamily<Histogram>>>
+      histogram_families_;
 };
 
 }  // namespace obs

@@ -1,0 +1,197 @@
+#include "obs/slo.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "common/strings.h"
+#include "obs/labels.h"
+#include "obs/metrics.h"
+
+namespace qdb {
+namespace obs {
+
+namespace {
+
+constexpr long kBucketsPerWindow = 60;
+
+GaugeFamily* BurnRateFamily() {
+  static GaugeFamily* family = MetricsRegistry::Global().GetGaugeFamily(
+      "slo.burn_rate", {"model", "window"});
+  return family;
+}
+
+GaugeFamily* ErrorRateFamily() {
+  static GaugeFamily* family = MetricsRegistry::Global().GetGaugeFamily(
+      "slo.error_rate", {"model", "window"});
+  return family;
+}
+
+GaugeFamily* BreachedFamily() {
+  static GaugeFamily* family =
+      MetricsRegistry::Global().GetGaugeFamily("slo.breached", {"model"});
+  return family;
+}
+
+std::string WindowLabel(long window_s) { return StrCat(window_s, "s"); }
+
+}  // namespace
+
+SloTracker::SloTracker(SloObjective default_objective,
+                       std::vector<long> windows_s)
+    : default_objective_(default_objective), windows_s_(std::move(windows_s)) {
+  QDB_CHECK(!windows_s_.empty()) << "SloTracker needs at least one window";
+  for (size_t i = 0; i < windows_s_.size(); ++i) {
+    QDB_CHECK(windows_s_[i] > 0);
+    if (i > 0) {
+      QDB_CHECK(windows_s_[i - 1] < windows_s_[i])
+          << "windows must be strictly increasing";
+    }
+  }
+}
+
+void SloTracker::SetObjective(const std::string& model,
+                              SloObjective objective) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ModelState& state = StateLocked(model);
+  state.objective = objective;
+  state.objective_set = true;
+}
+
+SloTracker::ModelState& SloTracker::StateLocked(const std::string& model) {
+  auto it = models_.find(model);
+  if (it != models_.end()) return it->second;
+  ModelState state;
+  state.objective = default_objective_;
+  for (long window_s : windows_s_) {
+    WindowRing ring;
+    ring.window_s = window_s;
+    ring.bucket_s = std::max<long>(1, window_s / kBucketsPerWindow);
+    const size_t slots =
+        static_cast<size_t>((window_s + ring.bucket_s - 1) / ring.bucket_s);
+    ring.total.assign(slots, 0);
+    ring.errors.assign(slots, 0);
+    ring.slow.assign(slots, 0);
+    ring.bucket_index.assign(slots, -1);
+    state.rings.push_back(std::move(ring));
+  }
+  return models_.emplace(model, std::move(state)).first->second;
+}
+
+void SloTracker::RecordInRing(WindowRing& ring, int64_t now_us, bool error,
+                              bool slow) {
+  const int64_t bucket = now_us / (static_cast<int64_t>(ring.bucket_s) * 1000000);
+  const size_t slot = static_cast<size_t>(bucket % ring.total.size());
+  if (ring.bucket_index[slot] != bucket) {
+    // The slot last held an aged-out bucket; recycle it.
+    ring.bucket_index[slot] = bucket;
+    ring.total[slot] = 0;
+    ring.errors[slot] = 0;
+    ring.slow[slot] = 0;
+  }
+  ++ring.total[slot];
+  if (error) ++ring.errors[slot];
+  if (slow) ++ring.slow[slot];
+}
+
+void SloTracker::Record(const std::string& model, long latency_us, bool ok,
+                        int64_t now_us) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ModelState& state = StateLocked(model);
+  const bool slow = state.objective.latency_threshold_us > 0 &&
+                    latency_us > state.objective.latency_threshold_us;
+  for (WindowRing& ring : state.rings) {
+    RecordInRing(ring, now_us, !ok, slow);
+  }
+}
+
+SloWindowStatus SloTracker::SummarizeRing(const WindowRing& ring,
+                                          int64_t now_us,
+                                          const SloObjective& objective) {
+  SloWindowStatus status;
+  status.window_s = ring.window_s;
+  const int64_t bucket_us = static_cast<int64_t>(ring.bucket_s) * 1000000;
+  const int64_t now_bucket = now_us / bucket_us;
+  const int64_t oldest =
+      now_bucket - static_cast<int64_t>(ring.total.size()) + 1;
+  for (size_t slot = 0; slot < ring.total.size(); ++slot) {
+    const int64_t bucket = ring.bucket_index[slot];
+    if (bucket < oldest || bucket > now_bucket) continue;  // Aged out.
+    status.total += ring.total[slot];
+    status.errors += ring.errors[slot];
+    status.slow += ring.slow[slot];
+  }
+  if (status.total > 0) {
+    status.error_rate =
+        static_cast<double>(status.errors) / static_cast<double>(status.total);
+    status.slow_rate =
+        static_cast<double>(status.slow) / static_cast<double>(status.total);
+    const double budget = std::max(1e-9, 1.0 - objective.availability);
+    const double bad_rate = objective.latency_threshold_us > 0
+                                ? std::max(status.error_rate, status.slow_rate)
+                                : status.error_rate;
+    status.burn_rate = bad_rate / budget;
+  }
+  return status;
+}
+
+SloModelStatus SloTracker::StatusLocked(const std::string& model,
+                                        const ModelState& state,
+                                        int64_t now_us) const {
+  SloModelStatus status;
+  status.model = model;
+  status.objective = state.objective;
+  bool any_samples = false;
+  bool all_burning = true;
+  for (const WindowRing& ring : state.rings) {
+    SloWindowStatus window =
+        SummarizeRing(ring, now_us, state.objective);
+    if (window.total > 0) {
+      any_samples = true;
+      if (window.burn_rate < 1.0) all_burning = false;
+    }
+    status.windows.push_back(window);
+  }
+  status.breached = any_samples && all_burning;
+  return status;
+}
+
+std::vector<SloModelStatus> SloTracker::Report(int64_t now_us) const {
+  std::vector<SloModelStatus> out;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    out.reserve(models_.size());
+    for (const auto& [model, state] : models_) {
+      out.push_back(StatusLocked(model, state, now_us));
+    }
+  }
+  for (const SloModelStatus& model : out) {
+    for (const SloWindowStatus& window : model.windows) {
+      const std::string label = WindowLabel(window.window_s);
+      BurnRateFamily()->With(model.model, label)->Set(window.burn_rate);
+      ErrorRateFamily()->With(model.model, label)->Set(window.error_rate);
+    }
+    BreachedFamily()->With(model.model)->Set(model.breached ? 1.0 : 0.0);
+  }
+  return out;
+}
+
+SloModelStatus SloTracker::ReportModel(const std::string& model,
+                                       int64_t now_us) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = models_.find(model);
+  if (it == models_.end()) {
+    SloModelStatus status;
+    status.model = model;
+    status.objective = default_objective_;
+    return status;
+  }
+  return StatusLocked(model, it->second, now_us);
+}
+
+void SloTracker::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  models_.clear();
+}
+
+}  // namespace obs
+}  // namespace qdb

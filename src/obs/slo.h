@@ -1,0 +1,128 @@
+/// \file slo.h
+/// \brief Per-model service-level objectives with multi-window burn rates.
+///
+/// An SloTracker records (latency, ok/error) samples per model into bucketed
+/// ring buffers — one ring per configured window — and reports, for each
+/// window, the observed error rate, the latency-threshold violation rate,
+/// and the *burn rate*: error_rate / error_budget, where the budget is
+/// 1 − availability objective. Burn ≥ 1 means the model is consuming its
+/// error budget at least as fast as the objective allows; multi-window
+/// evaluation (the classic 5m + 1h pairing) makes the short window catch
+/// fast regressions while the long window filters one-off blips.
+///
+/// The clock is injected (`now_us`, the caller's monotonic microseconds,
+/// e.g. obs::TraceNowMicros()), so tests drive windows deterministically
+/// without sleeping. Recording is one mutex-guarded bucket update; the
+/// tracker is sized for a serving tier with tens of models, not a per-gate
+/// hot path.
+
+#ifndef QDB_OBS_SLO_H_
+#define QDB_OBS_SLO_H_
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace qdb {
+namespace obs {
+
+/// \brief Targets for one model. Defaults: 99.9% availability, no latency
+/// objective (latency_threshold_us == 0 disables the latency dimension).
+struct SloObjective {
+  double availability = 0.999;      ///< Fraction of requests that must be ok.
+  long latency_threshold_us = 0;    ///< 0 = no latency objective.
+};
+
+/// \brief Burn-rate report for one (model, window) pair.
+struct SloWindowStatus {
+  long window_s = 0;        ///< Window length in seconds.
+  long total = 0;           ///< Samples currently inside the window.
+  long errors = 0;          ///< Failed samples inside the window.
+  long slow = 0;            ///< Samples over the latency threshold.
+  double error_rate = 0.0;  ///< errors / total (0 when empty).
+  double slow_rate = 0.0;   ///< slow / total (0 when empty).
+  /// error_rate / (1 − availability objective). With the latency objective
+  /// enabled, a slow-but-ok request also burns budget (worst of the two
+  /// rates), matching "good request" SLI semantics.
+  double burn_rate = 0.0;
+};
+
+/// \brief Full report for one model.
+struct SloModelStatus {
+  std::string model;
+  SloObjective objective;
+  std::vector<SloWindowStatus> windows;
+  /// True when every window that has samples burns at ≥ 1.0 — the
+  /// multi-window AND that pages only on sustained fast burn.
+  bool breached = false;
+};
+
+/// \brief Tracks per-model SLO compliance over multiple look-back windows.
+/// Thread-safe. Models are registered implicitly on first Record; objectives
+/// can be set per model (SetObjective) or fall back to the default passed at
+/// construction.
+class SloTracker {
+ public:
+  /// `windows_s` must be non-empty, strictly increasing. Each window is
+  /// divided into ~60 buckets (at least 1 s each) that age out as `now_us`
+  /// advances.
+  explicit SloTracker(SloObjective default_objective = SloObjective{},
+                      std::vector<long> windows_s = {300, 3600});
+
+  /// Overrides the objective for one model (affects future Report calls).
+  void SetObjective(const std::string& model, SloObjective objective);
+
+  /// Records one request outcome at injected time `now_us`.
+  void Record(const std::string& model, long latency_us, bool ok,
+              int64_t now_us);
+
+  /// Burn-rate report for every model seen so far, sorted by model name.
+  /// Also publishes slo.burn_rate{model,window} / slo.error_rate{...}
+  /// gauges into the global MetricsRegistry so SLO state rides along in the
+  /// ordinary metrics export.
+  std::vector<SloModelStatus> Report(int64_t now_us) const;
+
+  /// Report for a single model (empty windows if the model is unknown).
+  SloModelStatus ReportModel(const std::string& model, int64_t now_us) const;
+
+  /// Drops all recorded samples and objectives. Test helper.
+  void Reset();
+
+ private:
+  /// One ring of per-bucket tallies covering one window.
+  struct WindowRing {
+    long window_s = 0;
+    long bucket_s = 0;
+    std::vector<long> total;
+    std::vector<long> errors;
+    std::vector<long> slow;
+    std::vector<int64_t> bucket_index;  ///< Absolute bucket each slot holds.
+  };
+
+  struct ModelState {
+    SloObjective objective;
+    bool objective_set = false;
+    std::vector<WindowRing> rings;
+  };
+
+  ModelState& StateLocked(const std::string& model);
+  static void RecordInRing(WindowRing& ring, int64_t now_us, bool error,
+                           bool slow);
+  static SloWindowStatus SummarizeRing(const WindowRing& ring, int64_t now_us,
+                                       const SloObjective& objective);
+  SloModelStatus StatusLocked(const std::string& model,
+                              const ModelState& state, int64_t now_us) const;
+
+  const SloObjective default_objective_;
+  const std::vector<long> windows_s_;
+
+  mutable std::mutex mu_;
+  std::map<std::string, ModelState> models_;
+};
+
+}  // namespace obs
+}  // namespace qdb
+
+#endif  // QDB_OBS_SLO_H_

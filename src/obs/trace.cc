@@ -25,6 +25,29 @@ uint64_t CurrentThreadId() {
   return std::hash<std::thread::id>{}(std::this_thread::get_id());
 }
 
+/// Id stream: one relaxed fetch_add per id, diffused through SplitMix64 so
+/// ids are unique, non-zero, and well spread without any clock reads. The
+/// sequence is deterministic in allocation order, which keeps seeded test
+/// runs reproducible modulo thread interleaving.
+std::atomic<uint64_t> g_id_sequence{1};
+
+uint64_t SplitMix64(uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+uint64_t NextId() {
+  uint64_t id =
+      SplitMix64(g_id_sequence.fetch_add(1, std::memory_order_relaxed));
+  return id != 0 ? id : 1;  // 0 is the "no context" sentinel.
+}
+
+/// The thread's ambient request context. Plain thread_local PODs: reading
+/// and writing them costs a TLS access, paid only when tracing is enabled.
+thread_local RequestContext t_ambient_context;
+
 }  // namespace
 
 bool TracingEnabled() {
@@ -54,14 +77,67 @@ int64_t TraceNowMicros() {
       .count();
 }
 
+RequestContext RequestContext::NewRoot() {
+  RequestContext context;
+  context.trace_id = NextId();
+  context.span_id = NextId();
+  return context;
+}
+
+uint64_t NewSpanId() { return NextId(); }
+
+RequestContext CurrentContext() { return t_ambient_context; }
+
+ContextGuard::ContextGuard(const RequestContext& context)
+    : previous_(t_ambient_context) {
+  t_ambient_context = context;
+}
+
+ContextGuard::~ContextGuard() { t_ambient_context = previous_; }
+
+void RecordSpan(const char* name, const char* category, int64_t start_us,
+                int64_t duration_us, uint64_t trace_id, uint64_t span_id,
+                uint64_t parent_span_id, uint64_t link_trace_id) {
+  if (!TracingEnabled()) return;
+  TraceEvent event;
+  event.name = name;
+  event.category = category;
+  event.thread_id = CurrentThreadId();
+  event.start_us = start_us;
+  event.duration_us = duration_us;
+  event.trace_id = trace_id;
+  event.span_id = span_id;
+  event.parent_span_id = parent_span_id;
+  event.link_trace_id = link_trace_id;
+  TraceLog::Global().Record(event);
+}
+
+TraceSpan::TraceSpan(const char* name, const char* category)
+    : name_(name), category_(category), active_(TracingEnabled()) {
+  if (!active_) return;
+  start_us_ = TraceNowMicros();
+  const RequestContext ambient = t_ambient_context;
+  trace_id_ = ambient.trace_id;
+  parent_span_id_ = ambient.span_id;
+  span_id_ = NextId();
+  // Become the innermost ambient span so nested spans parent under us.
+  // Installed even when trace_id_ == 0: unscoped spans still form a local
+  // parent/child chain, and a ContextGuard deeper in the stack overrides.
+  t_ambient_context = RequestContext{trace_id_, span_id_};
+}
+
 TraceSpan::~TraceSpan() {
   if (!active_) return;
+  t_ambient_context = RequestContext{trace_id_, parent_span_id_};
   TraceEvent event;
   event.name = name_;
   event.category = category_;
   event.thread_id = CurrentThreadId();
   event.start_us = start_us_;
   event.duration_us = TraceNowMicros() - start_us_;
+  event.trace_id = trace_id_;
+  event.span_id = span_id_;
+  event.parent_span_id = parent_span_id_;
   TraceLog::Global().Record(event);
 }
 
@@ -134,9 +210,23 @@ std::string TraceLog::ChromeTraceJson() const {
     first = false;
     out += StrFormat(
         "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"X\",\"ts\":%lld,"
-        "\"dur\":%lld,\"pid\":1,\"tid\":%d}",
+        "\"dur\":%lld,\"pid\":1,\"tid\":%d",
         e.name, e.category, static_cast<long long>(e.start_us),
         static_cast<long long>(e.duration_us), tids.at(e.thread_id));
+    if (e.trace_id != 0 || e.span_id != 0) {
+      out += StrFormat(
+          ",\"args\":{\"trace\":\"%016llx\",\"span\":\"%016llx\","
+          "\"parent\":\"%016llx\"",
+          static_cast<unsigned long long>(e.trace_id),
+          static_cast<unsigned long long>(e.span_id),
+          static_cast<unsigned long long>(e.parent_span_id));
+      if (e.link_trace_id != 0) {
+        out += StrFormat(",\"link\":\"%016llx\"",
+                         static_cast<unsigned long long>(e.link_trace_id));
+      }
+      out += "}";
+    }
+    out += "}";
   }
   out += "],\"displayTimeUnit\":\"ms\"}";
   return out;

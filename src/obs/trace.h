@@ -1,12 +1,24 @@
 /// \file trace.h
 /// \brief RAII trace spans recorded into a process-wide ring buffer, with a
-/// Chrome trace-event (chrome://tracing / Perfetto) JSON exporter.
+/// Chrome trace-event (chrome://tracing / Perfetto) JSON exporter, and
+/// request-scoped causal linkage via RequestContext.
 ///
 /// Tracing is off by default. The enabled check is one relaxed atomic load,
 /// so a QDB_TRACE_SCOPE in a hot path costs a single predictable branch when
 /// tracing is disabled and records nothing. Span names and categories must
 /// be string literals (or otherwise outlive the TraceLog): events store the
 /// pointers, not copies.
+///
+/// Request scoping: a RequestContext is a (trace id, span id) pair minted at
+/// a request boundary (e.g. InferenceServer::Submit) with no clock reads —
+/// ids come from a process-wide SplitMix64 counter stream. A ContextGuard
+/// installs a context as the calling thread's *ambient* context; every
+/// TraceSpan constructed while an ambient context is active records its
+/// trace id and parents itself under the innermost enclosing span, so the
+/// existing QDB_TRACE_SCOPE sites in the simulator, thread pool, and kernel
+/// layers join a request's causal tree automatically. ThreadPool propagates
+/// the submitting thread's ambient context into its workers, so fan-out
+/// stays linked across threads.
 
 #ifndef QDB_OBS_TRACE_H_
 #define QDB_OBS_TRACE_H_
@@ -24,12 +36,19 @@ namespace qdb {
 namespace obs {
 
 /// \brief One completed span: a Chrome trace-event "X" (complete) event.
+/// trace_id == 0 means the span ran outside any request context.
 struct TraceEvent {
   const char* name = nullptr;      ///< Span name (string literal).
   const char* category = nullptr;  ///< Trace-event category (string literal).
   uint64_t thread_id = 0;          ///< Hash of the recording thread's id.
   int64_t start_us = 0;            ///< µs since the process trace epoch.
   int64_t duration_us = 0;         ///< Span duration in µs.
+  uint64_t trace_id = 0;           ///< Request trace this span belongs to.
+  uint64_t span_id = 0;            ///< This span's id within the trace.
+  uint64_t parent_span_id = 0;     ///< Enclosing span (0 = root).
+  /// Cross-trace link: a batch span records one link event per coalesced
+  /// request, carrying that request's trace id here (0 = no link).
+  uint64_t link_trace_id = 0;
 };
 
 /// True iff spans currently record events (one relaxed atomic load).
@@ -39,6 +58,43 @@ void DisableTracing();
 /// Enables tracing iff the QDB_TRACE environment variable is set to
 /// anything other than "" or "0".
 void InitTracingFromEnv();
+
+/// \brief A propagated request identity: which trace events belong to and
+/// which span new child spans hang off. Cheap to mint (one relaxed atomic
+/// fetch_add, no clock reads) and trivially copyable, so it rides along in
+/// queue entries and across dispatcher threads.
+struct RequestContext {
+  uint64_t trace_id = 0;  ///< 0 = no context (events record unscoped).
+  uint64_t span_id = 0;   ///< The span children should parent under.
+
+  bool valid() const { return trace_id != 0; }
+
+  /// Mints a fresh trace with a root span id. Ids are drawn from a
+  /// process-wide SplitMix64 stream — deterministic order, no clock.
+  static RequestContext NewRoot();
+};
+
+/// Allocates a fresh span id from the same stream as RequestContext ids.
+uint64_t NewSpanId();
+
+/// The calling thread's ambient context (invalid when none installed).
+RequestContext CurrentContext();
+
+/// \brief RAII installer of a thread's ambient RequestContext. Restores the
+/// previous ambient context on destruction; used at request boundaries
+/// (batch execution, pool-task fan-out) to extend the causal tree across
+/// threads.
+class ContextGuard {
+ public:
+  explicit ContextGuard(const RequestContext& context);
+  ~ContextGuard();
+
+  ContextGuard(const ContextGuard&) = delete;
+  ContextGuard& operator=(const ContextGuard&) = delete;
+
+ private:
+  RequestContext previous_;
+};
 
 /// \brief Lock-guarded ring buffer of completed spans (process singleton).
 ///
@@ -62,6 +118,8 @@ class TraceLog {
 
   /// Writes the buffered events as Chrome trace-event JSON
   /// ({"traceEvents":[...]}), loadable in chrome://tracing and Perfetto.
+  /// Request-scoped events carry args.trace / args.span / args.parent (hex)
+  /// so one request's causal tree is greppable by trace id.
   Status WriteChromeTrace(const std::string& path) const;
   /// The same JSON as a string (exposed for tests and in-process use).
   std::string ChromeTraceJson() const;
@@ -80,14 +138,22 @@ class TraceLog {
 /// Microseconds since the process trace epoch (first use of the clock).
 int64_t TraceNowMicros();
 
+/// Records a completed span with explicit identity and timing — for spans
+/// whose lifetime crosses threads or scopes (e.g. a request's root span,
+/// started at Submit and recorded wherever the request resolves).
+/// `link_trace_id` attaches a cross-trace link (batch → member). No-op when
+/// tracing is disabled. `name`/`category` must be string literals.
+void RecordSpan(const char* name, const char* category, int64_t start_us,
+                int64_t duration_us, uint64_t trace_id, uint64_t span_id,
+                uint64_t parent_span_id, uint64_t link_trace_id = 0);
+
 /// \brief Scoped timer: records a TraceEvent from construction to
-/// destruction iff tracing was enabled at construction time.
+/// destruction iff tracing was enabled at construction time. While alive it
+/// is the innermost ambient span: nested spans (same thread) and pool tasks
+/// fanned out underneath parent to it.
 class TraceSpan {
  public:
-  TraceSpan(const char* name, const char* category)
-      : name_(name), category_(category), active_(TracingEnabled()) {
-    if (active_) start_us_ = TraceNowMicros();
-  }
+  TraceSpan(const char* name, const char* category);
   ~TraceSpan();
 
   TraceSpan(const TraceSpan&) = delete;
@@ -98,6 +164,9 @@ class TraceSpan {
   const char* category_;
   bool active_;
   int64_t start_us_ = 0;
+  uint64_t trace_id_ = 0;
+  uint64_t span_id_ = 0;
+  uint64_t parent_span_id_ = 0;
 };
 
 #define QDB_OBS_CONCAT_INNER(a, b) a##b

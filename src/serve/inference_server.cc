@@ -1,10 +1,12 @@
 #include "serve/inference_server.h"
 
 #include <algorithm>
+#include <cstring>
 
 #include "common/rng.h"
 #include "common/strings.h"
 #include "fault/fault_injector.h"
+#include "obs/labels.h"
 #include "obs/obs.h"
 
 namespace qdb {
@@ -12,7 +14,9 @@ namespace serve {
 
 namespace {
 
-/// serve.* metric handles, resolved once.
+/// serve.* metric handles, resolved once. The labeled families sit beside
+/// the unlabeled aggregates: aggregates stay cheap and name-stable for
+/// existing dashboards, families carry the per-model / per-outcome cut.
 struct ServeMetrics {
   obs::Gauge* queue_depth = obs::GetGauge("serve.queue_depth");
   obs::Counter* requests = obs::GetCounter("serve.requests");
@@ -31,11 +35,29 @@ struct ServeMetrics {
   obs::Histogram* queue_wait_us = obs::GetHistogram("serve.queue_wait_us");
   obs::Histogram* dispatch_attempts = obs::GetHistogram(
       "serve.dispatch.attempts", {1, 2, 3, 4, 6, 8, 12, 16});
+  obs::CounterFamily* requests_by =
+      obs::MetricsRegistry::Global().GetCounterFamily(
+          "serve.requests", {"model", "kind", "outcome"});
+  obs::HistogramFamily* latency_by =
+      obs::MetricsRegistry::Global().GetHistogramFamily(
+          "serve.latency_us", {"model", "outcome"});
 };
 
 ServeMetrics& Metrics() {
   static ServeMetrics metrics;
   return metrics;
+}
+
+/// Trace-event name for a terminal outcome — events store string-literal
+/// pointers, so the label is mapped back to a literal here.
+const char* OutcomeEventName(const char* outcome) {
+  if (std::strcmp(outcome, "ok") == 0) return "serve.outcome.ok";
+  if (std::strcmp(outcome, "cache_hit") == 0) return "serve.outcome.cache_hit";
+  if (std::strcmp(outcome, "degraded") == 0) return "serve.outcome.degraded";
+  if (std::strcmp(outcome, "rejected") == 0) return "serve.outcome.rejected";
+  if (std::strcmp(outcome, "expired") == 0) return "serve.outcome.expired";
+  if (std::strcmp(outcome, "failed") == 0) return "serve.outcome.failed";
+  return "serve.outcome.other";
 }
 
 std::future<Result<InferenceResponse>> ImmediateResult(
@@ -57,7 +79,37 @@ InferenceServer::InferenceServer(ModelRegistry& registry,
                                  const ServerOptions& options)
     : registry_(registry),
       options_(options),
-      result_cache_(options.result_cache_capacity) {}
+      result_cache_(options.result_cache_capacity) {
+  if (options_.enable_slo) {
+    slo_ = std::make_unique<obs::SloTracker>(options_.slo,
+                                             options_.slo_windows_s);
+  }
+}
+
+void InferenceServer::RecordTerminal(const char* outcome,
+                                     const std::string& model,
+                                     RequestKind kind,
+                                     const obs::RequestContext& ctx,
+                                     int64_t submit_trace_us, long latency_us,
+                                     bool ok) {
+  ServeMetrics& metrics = Metrics();
+  metrics.requests_by->With(model, RequestKindName(kind), outcome)
+      ->Increment();
+  metrics.latency_by->With(model, outcome)
+      ->Observe(static_cast<double>(latency_us));
+  if (slo_ != nullptr) {
+    slo_->Record(model, latency_us, ok, obs::TraceNowMicros());
+  }
+  if (ctx.valid()) {
+    const int64_t now_us = obs::TraceNowMicros();
+    // Instant outcome marker under the root, then the root span itself —
+    // closed here because resolution, not Submit's return, ends a request.
+    obs::RecordSpan(OutcomeEventName(outcome), "serve", now_us, 0,
+                    ctx.trace_id, obs::NewSpanId(), ctx.span_id);
+    obs::RecordSpan("serve.request", "serve", submit_trace_us,
+                    now_us - submit_trace_us, ctx.trace_id, ctx.span_id, 0);
+  }
+}
 
 InferenceServer::~InferenceServer() { Shutdown(); }
 
@@ -104,6 +156,9 @@ void InferenceServer::Shutdown() {
     stats_.rejected += static_cast<long>(orphans.size());
   }
   for (auto& pending : orphans) {
+    RecordTerminal("rejected", pending.servable->name(), pending.kind,
+                   pending.ctx, pending.submit_trace_us,
+                   MicrosBetween(pending.admitted, Clock::now()), false);
     pending.promise.set_value(
         Status::Unavailable("server shut down before the request executed"));
   }
@@ -112,12 +167,26 @@ void InferenceServer::Shutdown() {
 
 std::future<Result<InferenceResponse>> InferenceServer::Submit(
     InferenceRequest request) {
+  // Mint the request's trace identity before any span opens, and install it
+  // as this thread's ambient context: every span below — admission, cache,
+  // breaker, and (via the queue) batch execution — joins this trace.
+  obs::RequestContext ctx;
+  int64_t submit_trace_us = 0;
+  if (obs::TracingEnabled()) {
+    ctx = obs::RequestContext::NewRoot();
+    submit_trace_us = obs::TraceNowMicros();
+  }
+  obs::ContextGuard context_guard(ctx);
   QDB_TRACE_SCOPE("InferenceServer::Submit", "serve");
+  const Clock::time_point submit_time = Clock::now();
   Metrics().requests->Increment();
   {
     std::lock_guard<std::mutex> lock(stats_mu_);
     ++stats_.submitted;
   }
+  const auto elapsed_us = [submit_time] {
+    return MicrosBetween(submit_time, Clock::now());
+  };
 
   // Resolve the model first: unknown names and malformed inputs should
   // fail loudly, not occupy queue space.
@@ -125,16 +194,24 @@ std::future<Result<InferenceResponse>> InferenceServer::Submit(
       registry_.Lookup(request.model, request.version);
   if (!servable.ok()) {
     Metrics().rejected->Increment();
-    std::lock_guard<std::mutex> lock(stats_mu_);
-    ++stats_.rejected;
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++stats_.rejected;
+    }
+    RecordTerminal("rejected", request.model, request.kind, ctx,
+                   submit_trace_us, elapsed_us(), false);
     return ImmediateResult(servable.status());
   }
   if (Status valid = servable.value()->ValidateInput(request.kind,
                                                      request.input);
       !valid.ok()) {
     Metrics().rejected->Increment();
-    std::lock_guard<std::mutex> lock(stats_mu_);
-    ++stats_.rejected;
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++stats_.rejected;
+    }
+    RecordTerminal("rejected", request.model, request.kind, ctx,
+                   submit_trace_us, elapsed_us(), false);
     return ImmediateResult(std::move(valid));
   }
 
@@ -157,6 +234,10 @@ std::future<Result<InferenceResponse>> InferenceServer::Submit(
       response.result = std::move(*hit);
       response.model_version = servable.value()->version();
       response.from_cache = true;
+      response.trace.trace_id = ctx.trace_id;
+      response.trace.total_us = elapsed_us();
+      RecordTerminal("cache_hit", request.model, request.kind, ctx,
+                     submit_trace_us, response.trace.total_us, true);
       return ImmediateResult(std::move(response));
     }
     Metrics().cache_misses->Increment();
@@ -167,11 +248,13 @@ std::future<Result<InferenceResponse>> InferenceServer::Submit(
   pending.kind = request.kind;
   pending.input = std::move(request.input);
   pending.cache_key = std::move(cache_key);
-  pending.admitted = Clock::now();
+  pending.admitted = submit_time;
   pending.deadline =
       request.timeout_us > 0
           ? pending.admitted + std::chrono::microseconds(request.timeout_us)
           : Clock::time_point::max();
+  pending.ctx = ctx;
+  pending.submit_trace_us = submit_trace_us;
   std::future<Result<InferenceResponse>> future =
       pending.promise.get_future();
 
@@ -186,6 +269,8 @@ std::future<Result<InferenceResponse>> InferenceServer::Submit(
       std::lock_guard<std::mutex> lock(stats_mu_);
       ++stats_.rejected;
     }
+    RecordTerminal("rejected", pending.servable->name(), pending.kind, ctx,
+                   submit_trace_us, elapsed_us(), false);
     pending.promise.set_value(Status::Unavailable(
         StrCat("circuit breaker open for model '", pending.servable->name(),
                "' v", pending.servable->version(),
@@ -197,8 +282,12 @@ std::future<Result<InferenceResponse>> InferenceServer::Submit(
     std::lock_guard<std::mutex> lock(mu_);
     if (!accepting_) {
       Metrics().rejected->Increment();
-      std::lock_guard<std::mutex> stats_lock(stats_mu_);
-      ++stats_.rejected;
+      {
+        std::lock_guard<std::mutex> stats_lock(stats_mu_);
+        ++stats_.rejected;
+      }
+      RecordTerminal("rejected", pending.servable->name(), pending.kind, ctx,
+                     submit_trace_us, elapsed_us(), false);
       pending.promise.set_value(
           Status::Unavailable("server is shutting down"));
       return future;
@@ -208,8 +297,12 @@ std::future<Result<InferenceResponse>> InferenceServer::Submit(
       // hard rejection when the backlog is already saturated.
       if (TryServeStale(pending)) return future;
       Metrics().rejected->Increment();
-      std::lock_guard<std::mutex> stats_lock(stats_mu_);
-      ++stats_.rejected;
+      {
+        std::lock_guard<std::mutex> stats_lock(stats_mu_);
+        ++stats_.rejected;
+      }
+      RecordTerminal("rejected", pending.servable->name(), pending.kind, ctx,
+                     submit_trace_us, elapsed_us(), false);
       pending.promise.set_value(Status::Unavailable(
           StrCat("request queue is full (", options_.queue_capacity,
                  " pending); retry with backoff")));
@@ -239,6 +332,107 @@ const fault::CircuitBreaker* InferenceServer::breaker(
   return it == breakers_.end() ? nullptr : it->second.get();
 }
 
+std::string InferenceServer::Statusz() const {
+  std::string out = "=== qdb inference server ===\n";
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    out += StrCat("state: started=", started_ ? 1 : 0,
+                  " accepting=", accepting_ ? 1 : 0,
+                  " stopping=", stopping_ ? 1 : 0,
+                  " shut_down=", shut_down_ ? 1 : 0, "\n");
+    out += StrCat("queue: ", queue_.size(), " / ", options_.queue_capacity,
+                  " (dispatchers=", dispatchers_.size(), ")\n");
+  }
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    out += StrCat("requests: submitted=", stats_.submitted,
+                  " completed=", stats_.completed,
+                  " cache_hits=", stats_.cache_hits,
+                  " degraded=", stats_.degraded,
+                  " rejected=", stats_.rejected,
+                  " expired=", stats_.expired, " failed=", stats_.failed,
+                  " batches=", stats_.batches, "\n");
+  }
+  const ResultCache::Stats cache = result_cache_.stats();
+  out += StrCat("cache: size=", cache.size, "/", cache.capacity,
+                " hits=", cache.hits, " misses=", cache.misses,
+                " stale_hits=", cache.stale_hits,
+                " evictions=", cache.evictions, "\n");
+  {
+    std::lock_guard<std::mutex> lock(breakers_mu_);
+    out += StrCat("breakers: ", breakers_.size(), "\n");
+    for (const auto& [name, breaker] : breakers_) {
+      const fault::CircuitBreaker::Stats bs = breaker->stats();
+      out += StrCat("  ", name, ": ", BreakerStateName(breaker->state()),
+                    " (opened=", bs.opened, " shed=", bs.shed,
+                    " allowed=", bs.allowed, ")\n");
+    }
+  }
+  if (slo_ != nullptr) {
+    out += "slo:\n";
+    for (const obs::SloModelStatus& model :
+         slo_->Report(obs::TraceNowMicros())) {
+      out += StrCat("  ", model.model,
+                    " (availability=", model.objective.availability,
+                    model.breached ? ") BREACHED\n" : ") ok\n");
+      for (const obs::SloWindowStatus& w : model.windows) {
+        out += StrCat("    ", w.window_s, "s: total=", w.total,
+                      " error_rate=", w.error_rate,
+                      " burn_rate=", w.burn_rate, "\n");
+      }
+    }
+  }
+  // Slowest recent request traces, from the ring buffer: grep these ids in
+  // the Chrome-trace export to see the full span tree.
+  std::vector<obs::TraceEvent> roots;
+  for (const obs::TraceEvent& e : obs::TraceLog::Global().Snapshot()) {
+    if (e.name != nullptr && std::strcmp(e.name, "serve.request") == 0) {
+      roots.push_back(e);
+    }
+  }
+  std::sort(roots.begin(), roots.end(),
+            [](const obs::TraceEvent& a, const obs::TraceEvent& b) {
+              return a.duration_us > b.duration_us;
+            });
+  if (!roots.empty()) {
+    out += "slowest recent requests:\n";
+    for (size_t i = 0; i < roots.size() && i < 5; ++i) {
+      out += StrFormat("  trace=%016llx %lldus\n",
+                       static_cast<unsigned long long>(roots[i].trace_id),
+                       static_cast<long long>(roots[i].duration_us));
+    }
+  }
+  return out;
+}
+
+Status InferenceServer::Healthz() const {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (shut_down_ || stopping_) {
+      return Status::Unavailable("server is shut down or draining");
+    }
+    if (!started_) {
+      return Status::FailedPrecondition("server not started");
+    }
+    if (queue_.size() >= options_.queue_capacity) {
+      return Status::Unavailable(
+          StrCat("request queue at capacity (", options_.queue_capacity,
+                 ")"));
+    }
+  }
+  if (slo_ != nullptr) {
+    for (const obs::SloModelStatus& model :
+         slo_->Report(obs::TraceNowMicros())) {
+      if (model.breached) {
+        return Status::Unavailable(
+            StrCat("SLO breached for model '", model.model,
+                   "': error budget burning in every window"));
+      }
+    }
+  }
+  return Status::OK();
+}
+
 fault::CircuitBreaker* InferenceServer::BreakerFor(
     const ServableModel& servable) {
   const std::string key = StrCat(servable.name(), ":", servable.version());
@@ -252,6 +446,10 @@ fault::CircuitBreaker* InferenceServer::BreakerFor(
 
 bool InferenceServer::TryServeStale(Pending& pending) {
   if (pending.cache_key.empty()) return false;
+  // The degradation decision itself is a span: when a request resolves
+  // stale, its trace shows *why* (this rung ran) and *when*.
+  obs::ContextGuard context_guard(pending.ctx);
+  QDB_TRACE_SCOPE("serve.degraded.try_stale", "serve");
   std::optional<InferenceValue> hit =
       result_cache_.LookupStale(pending.cache_key, options_.max_stale_age_us);
   if (!hit.has_value()) return false;
@@ -260,11 +458,16 @@ bool InferenceServer::TryServeStale(Pending& pending) {
     std::lock_guard<std::mutex> lock(stats_mu_);
     ++stats_.degraded;
   }
+  const long latency_us = MicrosBetween(pending.admitted, Clock::now());
+  RecordTerminal("degraded", pending.servable->name(), pending.kind,
+                 pending.ctx, pending.submit_trace_us, latency_us, true);
   InferenceResponse response;
   response.result = std::move(*hit);
   response.model_version = pending.servable->version();
   response.from_cache = true;
   response.degraded = true;
+  response.trace.trace_id = pending.ctx.trace_id;
+  response.trace.total_us = latency_us;
   pending.promise.set_value(std::move(response));
   return true;
 }
@@ -372,6 +575,9 @@ void InferenceServer::CancelExpired(std::vector<Pending>& live,
       stats_.expired += static_cast<long>(dead.size());
     }
     for (auto& pending : dead) {
+      RecordTerminal("expired", pending.servable->name(), pending.kind,
+                     pending.ctx, pending.submit_trace_us,
+                     MicrosBetween(pending.admitted, now), false);
       pending.promise.set_value(Status::DeadlineExceeded(StrCat(
           "request deadline expired ", why, " after ",
           MicrosBetween(pending.admitted, now),
@@ -382,10 +588,14 @@ void InferenceServer::CancelExpired(std::vector<Pending>& live,
 }
 
 void InferenceServer::ExecuteBatch(std::vector<Pending> batch) {
-  QDB_TRACE_SCOPE("InferenceServer::ExecuteBatch", "serve");
   std::vector<Pending> live = std::move(batch);
   const std::shared_ptr<const ServableModel> servable = live.front().servable;
   const RequestKind kind = live.front().kind;
+  // The batch executes inside the leader's trace; every coalesced member is
+  // attached below with a link event carrying its own trace id, so one
+  // batch fans a causal edge into N request trees.
+  obs::ContextGuard context_guard(live.front().ctx);
+  QDB_TRACE_SCOPE("InferenceServer::ExecuteBatch", "serve");
   fault::CircuitBreaker* breaker =
       options_.enable_breaker ? BreakerFor(*servable) : nullptr;
   const int max_attempts = std::max(options_.retry.max_attempts, 1);
@@ -404,8 +614,24 @@ void InferenceServer::ExecuteBatch(std::vector<Pending> batch) {
     Metrics().queue_wait_us->Observe(static_cast<double>(
         MicrosBetween(pending.admitted, dispatch_time)));
   }
+  if (obs::TracingEnabled()) {
+    const int64_t now_us = obs::TraceNowMicros();
+    const obs::RequestContext batch_ctx = obs::CurrentContext();
+    for (const auto& pending : live) {
+      if (!pending.ctx.valid()) continue;
+      // Each member's queue wait, closed at dispatch, in its own trace…
+      obs::RecordSpan("serve.queue_wait", "serve", pending.submit_trace_us,
+                      now_us - pending.submit_trace_us, pending.ctx.trace_id,
+                      obs::NewSpanId(), pending.ctx.span_id);
+      // …and the cross-trace edge: batch span → member trace.
+      obs::RecordSpan("serve.batch.member", "serve", now_us, 0,
+                      batch_ctx.trace_id, obs::NewSpanId(), batch_ctx.span_id,
+                      pending.ctx.trace_id);
+    }
+  }
 
   int attempt = 0;
+  long exec_us_total = 0;
   Status last;
   while (true) {
     ++attempt;
@@ -417,12 +643,16 @@ void InferenceServer::ExecuteBatch(std::vector<Pending> batch) {
     // attempt, so injected transient errors exercise the retry loop and a
     // target filter poisons one servable while others stay healthy.
     const Clock::time_point attempt_start = Clock::now();
-    Status injected = fault::MaybeInject("serve.dispatch", servable->name());
-    Result<std::vector<InferenceValue>> results =
-        injected.ok()
-            ? servable->RunBatch(kind, inputs)
-            : Result<std::vector<InferenceValue>>(std::move(injected));
+    Result<std::vector<InferenceValue>> results = [&] {
+      QDB_TRACE_SCOPE("serve.attempt", "serve");
+      Status injected =
+          fault::MaybeInject("serve.dispatch", servable->name());
+      return injected.ok()
+                 ? servable->RunBatch(kind, inputs)
+                 : Result<std::vector<InferenceValue>>(std::move(injected));
+    }();
     const long attempt_us = MicrosBetween(attempt_start, Clock::now());
+    exec_us_total += attempt_us;
     if (breaker != nullptr) {
       if (results.ok()) {
         breaker->RecordSuccess(attempt_us);
@@ -440,6 +670,7 @@ void InferenceServer::ExecuteBatch(std::vector<Pending> batch) {
         stats_.completed += static_cast<long>(live.size());
         ++stats_.batches;
       }
+      const Clock::time_point resolved_time = Clock::now();
       for (size_t i = 0; i < live.size(); ++i) {
         if (!live[i].cache_key.empty()) {
           result_cache_.Insert(live[i].cache_key, results.value()[i]);
@@ -451,6 +682,16 @@ void InferenceServer::ExecuteBatch(std::vector<Pending> batch) {
         response.batch_size = live.size();
         response.queue_wait_us =
             MicrosBetween(live[i].admitted, dispatch_time);
+        response.trace.trace_id = live[i].ctx.trace_id;
+        response.trace.queue_wait_us = response.queue_wait_us;
+        response.trace.exec_us = exec_us_total;
+        response.trace.retry_backoff_us = live[i].retry_backoff_us;
+        response.trace.attempts = attempt;
+        response.trace.total_us =
+            MicrosBetween(live[i].admitted, resolved_time);
+        RecordTerminal("ok", servable->name(), kind, live[i].ctx,
+                       live[i].submit_trace_us, response.trace.total_us,
+                       true);
         live[i].promise.set_value(std::move(response));
       }
       return;
@@ -471,6 +712,7 @@ void InferenceServer::ExecuteBatch(std::vector<Pending> batch) {
       Metrics().dispatch_attempts->Observe(static_cast<double>(attempt));
       return;
     }
+    const int64_t backoff_start_us = obs::TraceNowMicros();
     {
       // Interruptible sleep on the dedicated shutdown cv: Shutdown cuts it
       // short (the remaining attempts then run back to back, keeping the
@@ -482,6 +724,14 @@ void InferenceServer::ExecuteBatch(std::vector<Pending> batch) {
                               [this] { return stopping_; });
       }
     }
+    if (obs::TracingEnabled()) {
+      const obs::RequestContext batch_ctx = obs::CurrentContext();
+      obs::RecordSpan("serve.retry_backoff", "serve", backoff_start_us,
+                      obs::TraceNowMicros() - backoff_start_us,
+                      batch_ctx.trace_id, obs::NewSpanId(),
+                      batch_ctx.span_id);
+    }
+    for (auto& pending : live) pending.retry_backoff_us += delay_us;
     CancelExpired(live, Clock::now(), "between retries");
     if (live.empty()) {
       Metrics().dispatch_attempts->Observe(static_cast<double>(attempt));
@@ -495,7 +745,11 @@ void InferenceServer::ExecuteBatch(std::vector<Pending> batch) {
     std::lock_guard<std::mutex> lock(stats_mu_);
     stats_.failed += static_cast<long>(live.size());
   }
+  const Clock::time_point failed_time = Clock::now();
   for (auto& pending : live) {
+    RecordTerminal("failed", servable->name(), kind, pending.ctx,
+                   pending.submit_trace_us,
+                   MicrosBetween(pending.admitted, failed_time), false);
     pending.promise.set_value(last);
   }
 }

@@ -52,6 +52,8 @@
 #include "common/result.h"
 #include "common/retry.h"
 #include "fault/circuit_breaker.h"
+#include "obs/slo.h"
+#include "obs/trace.h"
 #include "serve/model_registry.h"
 #include "serve/result_cache.h"
 #include "serve/servable.h"
@@ -99,6 +101,15 @@ struct ServerOptions {
   /// coalescing window to max_wait_us / 4 (throughput over batch quality
   /// under pressure). <= 0 disables the shrink.
   double pressure_watermark = 0.5;
+
+  /// Per-model SLO tracking: every terminal resolution records into an
+  /// obs::SloTracker and burn rates surface as slo.* gauges (after a
+  /// Statusz or SloReport call) and in Statusz().
+  bool enable_slo = true;
+  /// Default objective for models without an explicit SetObjective.
+  obs::SloObjective slo;
+  /// Burn-rate look-back windows, seconds, strictly increasing.
+  std::vector<long> slo_windows_s = {300, 3600};
 };
 
 /// \brief One inference request. `version` < 0 serves the latest registered
@@ -111,6 +122,18 @@ struct InferenceRequest {
   RequestKind kind = RequestKind::kPredict;
   DVector input;
   long timeout_us = 0;
+};
+
+/// \brief Per-request timing breakdown returned with the response. All
+/// timings are wall-clock microseconds; trace_id is 0 when tracing was
+/// disabled at Submit time (the timings are still filled in).
+struct TraceSummary {
+  uint64_t trace_id = 0;       ///< Grep key into the Chrome-trace export.
+  long queue_wait_us = 0;      ///< Admission → dispatch.
+  long exec_us = 0;            ///< Sum of execution attempts.
+  long retry_backoff_us = 0;   ///< Sum of backoff sleeps the request rode.
+  int attempts = 0;            ///< Execution attempts (0 = never executed).
+  long total_us = 0;           ///< Submit → resolution.
 };
 
 /// \brief A completed inference plus serving metadata.
@@ -127,6 +150,8 @@ struct InferenceResponse {
   size_t batch_size = 0;
   /// Time from admission to dispatch (0 for cache hits).
   long queue_wait_us = 0;
+  /// Where the time went (and the trace id to find the span tree).
+  TraceSummary trace;
 };
 
 /// \brief Dynamic micro-batching inference server over a ModelRegistry.
@@ -187,10 +212,23 @@ class InferenceServer {
   const fault::CircuitBreaker* breaker(const std::string& model,
                                        int version) const;
 
+  /// The SLO tracker (null when options.enable_slo is false).
+  const obs::SloTracker* slo_tracker() const { return slo_.get(); }
+
+  /// Human-readable introspection page: queue depth, stats buckets,
+  /// breaker states, degradation tallies, cache stats, per-model SLO burn
+  /// rates, and the slowest recent request traces.
+  std::string Statusz() const;
+
+  /// OK while the server can make progress: started, not shut down, queue
+  /// below capacity, and no model in SLO breach. Otherwise the status
+  /// message names the first failing condition.
+  Status Healthz() const;
+
  private:
   using Clock = std::chrono::steady_clock;
 
-  /// A queued request: resolved servable + promise + timing.
+  /// A queued request: resolved servable + promise + timing + trace.
   struct Pending {
     std::shared_ptr<const ServableModel> servable;
     RequestKind kind = RequestKind::kPredict;
@@ -198,6 +236,10 @@ class InferenceServer {
     std::string cache_key;  ///< Empty when the cache is disabled.
     Clock::time_point admitted;
     Clock::time_point deadline;  ///< Clock::time_point::max() = none.
+    /// Root trace context minted at Submit (invalid if tracing was off).
+    obs::RequestContext ctx;
+    int64_t submit_trace_us = 0;  ///< Root-span start (trace clock).
+    long retry_backoff_us = 0;    ///< Backoff sleeps ridden so far.
     std::promise<Result<InferenceResponse>> promise;
   };
 
@@ -220,6 +262,14 @@ class InferenceServer {
   /// kDeadlineExceeded (`why` names the retry context for the message).
   void CancelExpired(std::vector<Pending>& live, Clock::time_point cutoff,
                      const char* why);
+
+  /// Terminal accounting shared by every resolution path: labeled
+  /// serve.requests / serve.latency_us children, SLO sample, and — when the
+  /// request carries a trace — the outcome marker plus the root
+  /// "serve.request" span. `outcome` must be a string literal.
+  void RecordTerminal(const char* outcome, const std::string& model,
+                      RequestKind kind, const obs::RequestContext& ctx,
+                      int64_t submit_trace_us, long latency_us, bool ok);
 
   ModelRegistry& registry_;
   const ServerOptions options_;
@@ -245,6 +295,9 @@ class InferenceServer {
 
   /// Per-batch jitter-stream discriminator for retry backoff.
   std::atomic<uint64_t> batch_seq_{0};
+
+  /// Per-model SLO burn tracking (null when disabled).
+  std::unique_ptr<obs::SloTracker> slo_;
 
   // Stats tallies (guarded by stats_mu_ so Stats reads are consistent).
   mutable std::mutex stats_mu_;

@@ -6,6 +6,7 @@
 #include "common/thread_pool.h"
 #include "encoding/encodings.h"
 #include "fault/fault_injector.h"
+#include "obs/labels.h"
 #include "obs/obs.h"
 #include "sim/statevector_simulator.h"
 #include "variational/ansatz.h"
@@ -292,9 +293,18 @@ Result<std::vector<InferenceValue>> ServableModel::RunVariational(
       // models the interpreted path is the normal path, not degradation.)
       static obs::Counter* fallbacks =
           obs::GetCounter("serve.degraded.interpreted_fallbacks");
+      static obs::CounterFamily* fallbacks_by_model =
+          obs::MetricsRegistry::Global().GetCounterFamily(
+              "serve.degraded.interpreted_fallbacks", {"model"});
       fallbacks->Increment();
+      fallbacks_by_model->With(artifact_.name)->Increment();
+      // A span (not just a counter): the degradation rung shows up in the
+      // request's trace right where the latency went.
+      QDB_TRACE_SCOPE("serve.degraded.interpreted_fallback", "serve");
+      QDB_RETURN_IF_ERROR(RunInterpreted(inputs, out));
+    } else {
+      QDB_RETURN_IF_ERROR(RunInterpreted(inputs, out));
     }
-    QDB_RETURN_IF_ERROR(RunInterpreted(inputs, out));
   }
   for (auto& v : out) {
     v.label = classify ? (v.value < 0.0 ? -1 : 1) : 0;

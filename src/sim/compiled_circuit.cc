@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "common/strings.h"
+#include "obs/labels.h"
 #include "obs/obs.h"
 
 namespace qdb {
@@ -22,6 +23,9 @@ struct CompiledCounters {
   obs::Counter* cache_evictions = obs::GetCounter("compile.cache_evictions");
   obs::Gauge* cache_size = obs::GetGauge("compile.cache_size");
   obs::Counter* replays = obs::GetCounter("compile.replays");
+  obs::CounterFamily* replays_by_qubits =
+      obs::MetricsRegistry::Global().GetCounterFamily("compile.replays",
+                                                      {"qubits"});
   obs::Counter* fused_1q1q = obs::GetCounter("fusion.fused_1q1q");
   obs::Counter* fused_diag = obs::GetCounter("fusion.fused_diag");
   obs::Counter* fused_1q2q = obs::GetCounter("fusion.fused_1q2q");
@@ -479,6 +483,8 @@ CompiledCircuit CompiledCircuit::Compile(const Circuit& circuit,
   counters.fused_2q2q->Increment(static_cast<long>(compiled.stats_.fused_2q2q));
   counters.ops_eliminated->Increment(static_cast<long>(
       compiled.stats_.lowered_ops - compiled.stats_.emitted_ops));
+  compiled.replays_by_qubits_ =
+      counters.replays_by_qubits->With(StrCat(compiled.num_qubits_));
   return compiled;
 }
 
@@ -497,6 +503,7 @@ Status CompiledCircuit::Execute(StateVector& state,
   QDB_TRACE_SCOPE("CompiledCircuit::Execute", "sim");
   CompiledCounters& counters = Counters();
   counters.replays->Increment();
+  if (replays_by_qubits_ != nullptr) replays_by_qubits_->Increment();
   const long dim = static_cast<long>(state.dim());
   DVector angles;
   for (const CompiledOp& op : ops_) {

@@ -49,6 +49,10 @@
 
 namespace qdb {
 
+namespace obs {
+class Counter;  // obs/metrics.h
+}  // namespace obs
+
 struct CompileOptions {
   /// Run the fusion passes. Disable to get a program that replays the
   /// interpreter's exact kernel sequence (bit-identical results).
@@ -126,6 +130,9 @@ class CompiledCircuit {
   int num_parameters_ = 0;
   std::vector<CompiledOp> ops_;
   CompileStats stats_;
+  /// compile.replays{qubits="n"} child, resolved once at Compile so replay
+  /// pays one relaxed increment, not a label lookup.
+  obs::Counter* replays_by_qubits_ = nullptr;
 };
 
 /// \brief Process-wide LRU cache of compiled programs, keyed by the

@@ -1,0 +1,206 @@
+// Tests for dimensional metrics (obs/labels.h): labeled families, the
+// cardinality cap and overflow routing, export rendering, Histogram::Merge,
+// registry Reset, and concurrent first-touch behaviour (run under TSan in
+// scripts/tier1.sh).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/strings.h"
+#include "obs/labels.h"
+#include "obs/metrics.h"
+
+namespace qdb {
+namespace obs {
+namespace {
+
+TEST(LabeledFamilyTest, DistinctLabelSetsGetDistinctChildren) {
+  LabeledFamily<Counter> family(
+      "test.family", {"model", "outcome"}, 8,
+      [] { return std::make_unique<Counter>(); });
+  Counter* a_ok = family.With("a", "ok");
+  Counter* a_err = family.With("a", "err");
+  Counter* b_ok = family.With("b", "ok");
+  EXPECT_NE(a_ok, a_err);
+  EXPECT_NE(a_ok, b_ok);
+  EXPECT_EQ(family.cardinality(), 3u);
+  // Same tuple → same stable pointer.
+  EXPECT_EQ(family.With("a", "ok"), a_ok);
+  EXPECT_EQ(family.cardinality(), 3u);
+  a_ok->Increment(5);
+  EXPECT_EQ(family.With("a", "ok")->Value(), 5);
+  EXPECT_EQ(family.With("a", "err")->Value(), 0);
+}
+
+TEST(LabeledFamilyTest, ValueJoinCannotCollideAcrossPositions) {
+  LabeledFamily<Counter> family(
+      "test.join", {"k1", "k2"}, 8,
+      [] { return std::make_unique<Counter>(); });
+  // ("ab", "c") and ("a", "bc") must be distinct children.
+  Counter* first = family.With("ab", "c");
+  Counter* second = family.With("a", "bc");
+  EXPECT_NE(first, second);
+  EXPECT_EQ(family.cardinality(), 2u);
+}
+
+TEST(LabeledFamilyTest, CardinalityCapRoutesToOverflowChild) {
+  LabeledFamily<Counter> family(
+      "test.capped", {"id"}, 2, [] { return std::make_unique<Counter>(); });
+  Counter* c0 = family.With("0");
+  Counter* c1 = family.With("1");
+  Counter* over_a = family.With("2");
+  Counter* over_b = family.With("3");
+  EXPECT_NE(c0, c1);
+  EXPECT_EQ(over_a, over_b);  // Both beyond the cap share the overflow child.
+  EXPECT_NE(over_a, c0);
+  EXPECT_EQ(family.cardinality(), 2u);
+  EXPECT_EQ(family.overflowed(), 2);
+  // Established children stay reachable after the cap is hit.
+  EXPECT_EQ(family.With("0"), c0);
+  EXPECT_EQ(family.overflowed(), 2);
+
+  const auto children = family.Children();
+  ASSERT_EQ(children.size(), 3u);
+  EXPECT_EQ(children.back().values,
+            std::vector<std::string>{kOverflowLabelValue});
+}
+
+TEST(LabeledFamilyTest, RegistryExportsLabeledChildren) {
+  auto& registry = MetricsRegistry::Global();
+  CounterFamily* counters = registry.GetCounterFamily(
+      "labels_test.requests", {"model", "outcome"});
+  counters->With("m1", "ok")->Increment(3);
+  counters->With("m1", "err")->Increment();
+  HistogramFamily* latency = registry.GetHistogramFamily(
+      "labels_test.latency_us", {"model"}, {10.0, 100.0, 1000.0});
+  latency->With("m1")->Observe(50.0);
+
+  const std::string text = registry.ExportText();
+  EXPECT_NE(text.find("labels_test.requests{model=\"m1\",outcome=\"ok\"} 3"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("labels_test.requests{model=\"m1\",outcome=\"err\"} 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("labels_test.latency_us{model=\"m1\",le=\"100\"} 1"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("labels_test.latency_us_count{model=\"m1\"} 1"),
+            std::string::npos);
+
+  const std::string json = registry.ExportJson();
+  EXPECT_NE(json.find("\"families\""), std::string::npos);
+  EXPECT_NE(json.find("\"labels_test.requests\""), std::string::npos);
+  EXPECT_NE(json.find("\"keys\":[\"model\",\"outcome\"]"), std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"labels\":{\"model\":\"m1\",\"outcome\":\"ok\"},"
+                      "\"value\":3"),
+            std::string::npos)
+      << json;
+  // Histogram children export derived quantiles for dashboards.
+  EXPECT_NE(json.find("\"p99\""), std::string::npos);
+}
+
+TEST(LabeledFamilyTest, GetFamilyReturnsSameInstanceAndChecksNothingElse) {
+  auto& registry = MetricsRegistry::Global();
+  CounterFamily* first =
+      registry.GetCounterFamily("labels_test.idempotent", {"k"});
+  CounterFamily* second =
+      registry.GetCounterFamily("labels_test.idempotent", {"ignored"});
+  EXPECT_EQ(first, second);
+  EXPECT_EQ(second->keys(), std::vector<std::string>{"k"});
+}
+
+TEST(LabeledFamilyTest, RegistryResetZeroesChildrenButKeepsPointers) {
+  auto& registry = MetricsRegistry::Global();
+  CounterFamily* family =
+      registry.GetCounterFamily("labels_test.reset", {"k"}, 1);
+  Counter* child = family->With("a");
+  child->Increment(7);
+  family->With("b");  // Overflow.
+  EXPECT_EQ(family->overflowed(), 1);
+  registry.Reset();
+  EXPECT_EQ(child->Value(), 0);
+  EXPECT_EQ(family->overflowed(), 0);
+  EXPECT_EQ(family->With("a"), child);  // Pointer stability across Reset.
+}
+
+TEST(HistogramMergeTest, MergeAddsBucketsTotalAndSum) {
+  Histogram a({10.0, 100.0});
+  Histogram b({10.0, 100.0});
+  a.Observe(5.0);
+  a.Observe(50.0);
+  b.Observe(50.0);
+  b.Observe(500.0);
+  a.Merge(b);
+  EXPECT_EQ(a.TotalCount(), 4);
+  EXPECT_EQ(a.CountInBucket(0), 1);  // <= 10
+  EXPECT_EQ(a.CountInBucket(1), 2);  // <= 100
+  EXPECT_EQ(a.CountInBucket(2), 1);  // overflow
+  EXPECT_DOUBLE_EQ(a.Sum(), 605.0);
+  // b is untouched.
+  EXPECT_EQ(b.TotalCount(), 2);
+}
+
+TEST(LabeledFamilyConcurrencyTest, ConcurrentFirstTouchOfSameLabelSet) {
+  LabeledFamily<Counter> family(
+      "test.race.same", {"k"}, 8, [] { return std::make_unique<Counter>(); });
+  constexpr int kThreads = 8;
+  constexpr int kIters = 500;
+  std::vector<std::thread> threads;
+  std::atomic<Counter*> seen{nullptr};
+  std::atomic<bool> mismatch{false};
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kIters; ++i) {
+        Counter* c = family.With("shared");
+        Counter* expected = nullptr;
+        if (!seen.compare_exchange_strong(expected, c) && expected != c) {
+          mismatch.store(true);
+        }
+        c->Increment();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_FALSE(mismatch.load());
+  EXPECT_EQ(family.cardinality(), 1u);
+  EXPECT_EQ(family.With("shared")->Value(), kThreads * kIters);
+}
+
+TEST(LabeledFamilyConcurrencyTest, ConcurrentDistinctSetsRespectTheCap) {
+  constexpr size_t kCap = 16;
+  constexpr int kThreads = 8;
+  constexpr int kSetsPerThread = 32;
+  LabeledFamily<Counter> family(
+      "test.race.distinct", {"k"}, kCap,
+      [] { return std::make_unique<Counter>(); });
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&family, t] {
+      for (int i = 0; i < kSetsPerThread; ++i) {
+        // Overlapping label universes across threads: some first-touch
+        // races on the same set, some purely distinct sets.
+        family.With(StrCat("set-", (t % 2), "-", i))->Increment();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(family.cardinality(), kCap);
+  // 2 universes × 32 sets = 64 distinct tuples; 16 got children, every
+  // lookup of the rest overflowed.
+  EXPECT_GT(family.overflowed(), 0);
+  const auto children = family.Children();
+  EXPECT_EQ(children.size(), kCap + 1);  // + overflow child.
+  long total = 0;
+  for (const auto& child : children) total += child.metric->Value();
+  EXPECT_EQ(total, static_cast<long>(kThreads) * kSetsPerThread);
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace qdb

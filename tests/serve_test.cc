@@ -10,6 +10,7 @@
 #include <cmath>
 #include <fstream>
 #include <future>
+#include <set>
 #include <string>
 #include <thread>
 #include <vector>
@@ -666,6 +667,164 @@ TEST_F(InferenceServerTest, DeadlineExpiresMidRetryStopsRetrying) {
       << "the retry loop must stop at the deadline, not run all 10 attempts";
   server.Shutdown();
   EXPECT_EQ(server.stats().expired, 1);
+}
+
+// ---- Request-scoped tracing -------------------------------------------------
+
+// Trace events for one request, split into the root "serve.request" span
+// (exactly one per submitted request) and everything underneath it.
+struct TraceTree {
+  const obs::TraceEvent* root = nullptr;
+  int root_count = 0;
+  std::vector<const obs::TraceEvent*> children;
+};
+
+TraceTree TreeFor(const std::vector<obs::TraceEvent>& events,
+                  uint64_t trace_id) {
+  TraceTree tree;
+  for (const auto& e : events) {
+    if (e.trace_id != trace_id) continue;
+    if (std::string(e.name) == "serve.request") {
+      tree.root = &e;
+      ++tree.root_count;
+    } else {
+      tree.children.push_back(&e);
+    }
+  }
+  return tree;
+}
+
+TEST_F(InferenceServerTest, EveryRequestYieldsExactlyOneRootSpanTree) {
+  RegisterTiny("m");
+  obs::TraceLog::Global().Clear();
+  obs::EnableTracing();
+  ServerOptions opts;
+  opts.max_batch_size = 8;
+  opts.max_wait_us = 0;
+  constexpr int kRequests = 6;
+  std::vector<InferenceResponse> responses;
+  {
+    InferenceServer server(registry_, opts);
+    // Submit before Start so all six coalesce into one micro-batch: the
+    // batch then has to fan causal edges into six distinct request trees.
+    std::vector<std::future<Result<InferenceResponse>>> futures;
+    for (int i = 0; i < kRequests; ++i) {
+      futures.push_back(
+          server.Submit(Request("m", {0.1 * static_cast<double>(i), 0.5})));
+    }
+    ASSERT_TRUE(server.Start().ok());
+    for (auto& f : futures) {
+      auto response = f.get();
+      ASSERT_TRUE(response.ok()) << response.status();
+      responses.push_back(std::move(response.value()));
+    }
+    server.Shutdown();
+  }
+  obs::DisableTracing();
+  const auto events = obs::TraceLog::Global().Snapshot();
+
+  std::set<uint64_t> trace_ids;
+  for (const auto& response : responses) {
+    ASSERT_NE(response.trace.trace_id, 0u);
+    trace_ids.insert(response.trace.trace_id);
+    EXPECT_GE(response.trace.attempts, 1);
+    // The summary's parts never exceed the end-to-end latency it reports.
+    EXPECT_LE(response.trace.queue_wait_us + response.trace.exec_us,
+              response.trace.total_us);
+  }
+  ASSERT_EQ(trace_ids.size(), responses.size()) << "trace ids must be unique";
+
+  for (uint64_t trace_id : trace_ids) {
+    const TraceTree tree = TreeFor(events, trace_id);
+    ASSERT_EQ(tree.root_count, 1)
+        << StrFormat("trace %016llx needs exactly one serve.request root",
+                     static_cast<unsigned long long>(trace_id));
+    EXPECT_EQ(tree.root->parent_span_id, 0u);
+    EXPECT_FALSE(tree.children.empty());
+
+    // Every non-root event hangs off a span recorded in the same trace —
+    // the tree is causally connected, not a bag of events.
+    std::set<uint64_t> span_ids{tree.root->span_id};
+    for (const auto* child : tree.children) span_ids.insert(child->span_id);
+    long accounted_us = 0;
+    int queue_waits = 0;
+    for (const auto* child : tree.children) {
+      EXPECT_NE(child->parent_span_id, 0u) << child->name;
+      EXPECT_TRUE(span_ids.count(child->parent_span_id))
+          << child->name << " parents outside its trace";
+      const std::string name = child->name;
+      if (name == "serve.queue_wait" || name == "serve.attempt") {
+        accounted_us += child->duration_us;
+      }
+      queue_waits += name == "serve.queue_wait" ? 1 : 0;
+    }
+    EXPECT_EQ(queue_waits, 1);
+    // Queue wait and execution attempts are disjoint sub-intervals of the
+    // root span, so their durations sum to at most the request latency.
+    EXPECT_LE(accounted_us, tree.root->duration_us);
+  }
+
+  // The batch links every coalesced member's trace from the leader's tree.
+  std::set<uint64_t> linked;
+  for (const auto& e : events) {
+    if (std::string(e.name) == "serve.batch.member") {
+      EXPECT_NE(e.link_trace_id, 0u);
+      linked.insert(e.link_trace_id);
+    }
+  }
+  EXPECT_EQ(linked, trace_ids);
+}
+
+TEST_F(InferenceServerTest, RetryStormProducesOneCausallyLinkedTraceTree) {
+  // Every dispatch attempt fails (injected), so one request rides the full
+  // retry ladder to a terminal failure. Its trace must contain the whole
+  // story: attempts, backoff sleeps, and the failure marker, all linked
+  // under a single root span.
+  fault::FaultInjector::Global().DisarmAll();
+  fault::FaultSpec spec;
+  spec.kind = fault::FaultKind::kError;
+  spec.target = "m";
+  fault::FaultInjector::Global().Arm("serve.dispatch", spec);
+  RegisterTiny("m");
+  obs::TraceLog::Global().Clear();
+  obs::EnableTracing();
+  ServerOptions opts;
+  opts.max_wait_us = 0;
+  opts.retry.max_attempts = 3;
+  opts.retry.initial_backoff_us = 200;
+  opts.retry.decorrelated_jitter = false;
+  opts.enable_breaker = false;  // Keep every attempt flowing.
+  InferenceServer server(registry_, opts);
+  ASSERT_TRUE(server.Start().ok());
+  auto response = server.Submit(Request("m", {0.2, 0.8})).get();
+  server.Shutdown();
+  obs::DisableTracing();
+  fault::FaultInjector::Global().DisarmAll();
+  ASSERT_FALSE(response.ok());
+
+  const auto events = obs::TraceLog::Global().Snapshot();
+  // Exactly one root span in the whole log: the one failed request.
+  uint64_t trace_id = 0;
+  for (const auto& e : events) {
+    if (std::string(e.name) == "serve.request") {
+      EXPECT_EQ(trace_id, 0u) << "more than one root span recorded";
+      trace_id = e.trace_id;
+    }
+  }
+  ASSERT_NE(trace_id, 0u);
+  const TraceTree tree = TreeFor(events, trace_id);
+  ASSERT_EQ(tree.root_count, 1);
+  int attempts = 0, backoffs = 0, failed_markers = 0;
+  for (const auto* child : tree.children) {
+    const std::string name = child->name;
+    attempts += name == "serve.attempt" ? 1 : 0;
+    backoffs += name == "serve.retry_backoff" ? 1 : 0;
+    failed_markers += name == "serve.outcome.failed" ? 1 : 0;
+    EXPECT_NE(child->parent_span_id, 0u) << name;
+  }
+  EXPECT_EQ(attempts, 3);
+  EXPECT_EQ(backoffs, 2);  // Sleeps between attempts, not after the last.
+  EXPECT_EQ(failed_markers, 1);
 }
 
 TEST_F(InferenceServerTest, QuboConfigModelsAreNotExecutable) {

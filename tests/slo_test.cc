@@ -1,0 +1,191 @@
+// Tests for qdb::obs::SloTracker: burn-rate math, the latency objective,
+// multi-window breach AND-logic, per-model objectives, and deterministic
+// window aging under the injected clock.
+
+#include "obs/slo.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "obs/labels.h"
+#include "obs/metrics.h"
+
+namespace qdb {
+namespace obs {
+namespace {
+
+constexpr int64_t kSecond = 1'000'000;  // Injected clock is in microseconds.
+
+const SloWindowStatus& Window(const SloModelStatus& status, long window_s) {
+  for (const auto& w : status.windows) {
+    if (w.window_s == window_s) return w;
+  }
+  static SloWindowStatus missing;
+  ADD_FAILURE() << "no window " << window_s << "s for model " << status.model;
+  return missing;
+}
+
+TEST(SloTrackerTest, AllOkRequestsDoNotBurn) {
+  SloTracker tracker(SloObjective{0.999, 0}, {10, 100});
+  int64_t now = 1000 * kSecond;
+  for (int i = 0; i < 50; ++i) tracker.Record("m", 100, /*ok=*/true, now);
+  const SloModelStatus status = tracker.ReportModel("m", now);
+  ASSERT_EQ(status.windows.size(), 2u);
+  EXPECT_EQ(Window(status, 10).total, 50);
+  EXPECT_EQ(Window(status, 10).errors, 0);
+  EXPECT_DOUBLE_EQ(Window(status, 10).burn_rate, 0.0);
+  EXPECT_FALSE(status.breached);
+}
+
+TEST(SloTrackerTest, BurnRateIsErrorRateOverBudget) {
+  // 99% availability → 1% error budget. 10% observed errors → burn 10x.
+  SloTracker tracker(SloObjective{0.99, 0}, {10, 100});
+  int64_t now = 1000 * kSecond;
+  for (int i = 0; i < 90; ++i) tracker.Record("m", 100, true, now);
+  for (int i = 0; i < 10; ++i) tracker.Record("m", 100, false, now);
+  const SloModelStatus status = tracker.ReportModel("m", now);
+  const SloWindowStatus& w = Window(status, 10);
+  EXPECT_EQ(w.total, 100);
+  EXPECT_EQ(w.errors, 10);
+  EXPECT_DOUBLE_EQ(w.error_rate, 0.1);
+  EXPECT_NEAR(w.burn_rate, 10.0, 1e-6);
+  EXPECT_TRUE(status.breached);  // Both windows hold the same samples.
+}
+
+TEST(SloTrackerTest, LatencyObjectiveCountsSlowButOkAsBurn) {
+  SloTracker tracker(SloObjective{0.99, /*latency_threshold_us=*/1000},
+                     {10, 100});
+  int64_t now = 1000 * kSecond;
+  for (int i = 0; i < 95; ++i) tracker.Record("m", 100, true, now);
+  for (int i = 0; i < 5; ++i) tracker.Record("m", 5000, true, now);  // Slow.
+  const SloModelStatus status = tracker.ReportModel("m", now);
+  const SloWindowStatus& w = Window(status, 10);
+  EXPECT_EQ(w.errors, 0);
+  EXPECT_EQ(w.slow, 5);
+  EXPECT_DOUBLE_EQ(w.slow_rate, 0.05);
+  EXPECT_NEAR(w.burn_rate, 5.0, 1e-6);  // slow_rate / 1% budget.
+  EXPECT_TRUE(status.breached);
+}
+
+TEST(SloTrackerTest, NoLatencyObjectiveIgnoresSlowRequests) {
+  SloTracker tracker(SloObjective{0.99, 0}, {10});
+  int64_t now = 1000 * kSecond;
+  for (int i = 0; i < 10; ++i) {
+    tracker.Record("m", 60'000'000, true, now);  // Slow but no objective.
+  }
+  const SloModelStatus status = tracker.ReportModel("m", now);
+  EXPECT_EQ(Window(status, 10).slow, 0);
+  EXPECT_DOUBLE_EQ(Window(status, 10).burn_rate, 0.0);
+  EXPECT_FALSE(status.breached);
+}
+
+TEST(SloTrackerTest, BreachRequiresEverySampledWindowBurning) {
+  // Errors 90 s ago: outside the 10 s window, inside the 100 s one. The
+  // short window is empty (no samples → doesn't veto), so this still
+  // breaches; fresh ok traffic in the short window then clears it.
+  SloTracker tracker(SloObjective{0.99, 0}, {10, 100});
+  int64_t t0 = 1000 * kSecond;
+  for (int i = 0; i < 10; ++i) tracker.Record("m", 100, false, t0);
+  const int64_t now = t0 + 90 * kSecond;
+  SloModelStatus status = tracker.ReportModel("m", now);
+  EXPECT_EQ(Window(status, 10).total, 0);
+  EXPECT_EQ(Window(status, 100).errors, 10);
+  EXPECT_TRUE(status.breached);
+
+  // 100 ok requests now: long window error rate drops to ~9% (burn 9x,
+  // still ≥1) but the short window burns at 0 → multi-window AND clears.
+  for (int i = 0; i < 100; ++i) tracker.Record("m", 100, true, now);
+  status = tracker.ReportModel("m", now);
+  EXPECT_EQ(Window(status, 10).total, 100);
+  EXPECT_DOUBLE_EQ(Window(status, 10).burn_rate, 0.0);
+  EXPECT_GE(Window(status, 100).burn_rate, 1.0);
+  EXPECT_FALSE(status.breached);
+}
+
+TEST(SloTrackerTest, SamplesAgeOutOfTheWindow) {
+  SloTracker tracker(SloObjective{0.99, 0}, {10});
+  int64_t t0 = 1000 * kSecond;
+  for (int i = 0; i < 20; ++i) tracker.Record("m", 100, false, t0);
+  EXPECT_EQ(Window(tracker.ReportModel("m", t0), 10).total, 20);
+  // Advance past the window: every bucket is stale.
+  const int64_t later = t0 + 11 * kSecond;
+  const SloModelStatus status = tracker.ReportModel("m", later);
+  EXPECT_EQ(Window(status, 10).total, 0);
+  EXPECT_DOUBLE_EQ(Window(status, 10).burn_rate, 0.0);
+  EXPECT_FALSE(status.breached);
+}
+
+TEST(SloTrackerTest, RingSlotsRecycleAcrossWrapAround) {
+  // Drive a 10 s window (1 s buckets) for 25 s — slots are reused twice —
+  // recording one error per second. The window must always report ≤ 10
+  // samples, all of them errors.
+  SloTracker tracker(SloObjective{0.99, 0}, {10});
+  int64_t now = 1000 * kSecond;
+  for (int s = 0; s < 25; ++s) {
+    tracker.Record("m", 100, false, now + s * kSecond);
+  }
+  const SloModelStatus status = tracker.ReportModel("m", now + 24 * kSecond);
+  const SloWindowStatus& w = Window(status, 10);
+  EXPECT_LE(w.total, 10);
+  EXPECT_GE(w.total, 9);
+  EXPECT_EQ(w.errors, w.total);
+}
+
+TEST(SloTrackerTest, PerModelObjectiveOverridesDefault) {
+  SloTracker tracker(SloObjective{0.999, 0}, {10});
+  tracker.SetObjective("lenient", SloObjective{0.5, 0});
+  int64_t now = 1000 * kSecond;
+  for (int i = 0; i < 8; ++i) {
+    tracker.Record("lenient", 100, true, now);
+    tracker.Record("strict", 100, true, now);
+  }
+  tracker.Record("lenient", 100, false, now);
+  tracker.Record("strict", 100, false, now);
+  // Same 1/9 error rate; lenient has a 50% budget (burn ~0.22), strict a
+  // 0.1% budget (burn ~111x).
+  const auto lenient = tracker.ReportModel("lenient", now);
+  const auto strict = tracker.ReportModel("strict", now);
+  EXPECT_LT(Window(lenient, 10).burn_rate, 1.0);
+  EXPECT_FALSE(lenient.breached);
+  EXPECT_GT(Window(strict, 10).burn_rate, 100.0);
+  EXPECT_TRUE(strict.breached);
+}
+
+TEST(SloTrackerTest, ReportCoversAllModelsSortedAndPublishesGauges) {
+  SloTracker tracker(SloObjective{0.99, 0}, {10});
+  int64_t now = 1000 * kSecond;
+  tracker.Record("zeta", 100, false, now);
+  tracker.Record("alpha", 100, true, now);
+  const auto report = tracker.Report(now);
+  ASSERT_EQ(report.size(), 2u);
+  EXPECT_EQ(report[0].model, "alpha");
+  EXPECT_EQ(report[1].model, "zeta");
+
+  // Report publishes slo.* gauges into the global registry.
+  auto& registry = MetricsRegistry::Global();
+  auto* burn = registry.GetGaugeFamily("slo.burn_rate", {"model", "window"});
+  EXPECT_GE(burn->With("zeta", "10s")->Value(), 1.0);
+  EXPECT_DOUBLE_EQ(burn->With("alpha", "10s")->Value(), 0.0);
+  auto* breached = registry.GetGaugeFamily("slo.breached", {"model"});
+  EXPECT_DOUBLE_EQ(breached->With("zeta")->Value(), 1.0);
+  EXPECT_DOUBLE_EQ(breached->With("alpha")->Value(), 0.0);
+}
+
+TEST(SloTrackerTest, ResetDropsSamplesAndObjectives) {
+  SloTracker tracker(SloObjective{0.99, 0}, {10});
+  tracker.SetObjective("m", SloObjective{0.5, 0});
+  int64_t now = 1000 * kSecond;
+  tracker.Record("m", 100, false, now);
+  tracker.Reset();
+  const auto report = tracker.Report(now);
+  EXPECT_TRUE(report.empty());
+  // The model is forgotten entirely — unknown models report no windows.
+  const auto status = tracker.ReportModel("m", now);
+  EXPECT_TRUE(status.windows.empty());
+  EXPECT_FALSE(status.breached);
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace qdb
