@@ -12,6 +12,7 @@
 #include "circuit/circuit.h"
 #include "sim/compiled_circuit.h"
 #include "sim/mps.h"
+#include "sim/simd.h"
 #include "sim/statevector_simulator.h"
 
 namespace qdb {
@@ -198,6 +199,96 @@ void BM_DiagonalGateKernel(benchmark::State& state) {
 }
 
 BENCHMARK(BM_DiagonalGateKernel)->DenseRange(10, 20, 2);
+
+void BM_ControlledGateKernel(benchmark::State& state) {
+  // Control above target: the AVX2 per-run control test + vectorized pair
+  // update path (the CX layout the brick circuits use).
+  const int n = static_cast<int>(state.range(0));
+  StateVector psi(n);
+  for (auto _ : state) {
+    psi.ApplyControlled1Q(0, 2, Complex(0, 0), Complex(1, 0), Complex(1, 0),
+                          Complex(0, 0));
+    benchmark::ClobberMemory();
+  }
+  state.counters["qubits"] = n;
+  state.counters["amps_per_s"] = benchmark::Counter(
+      static_cast<double>(uint64_t{1} << (n - 1)),
+      benchmark::Counter::kIsIterationInvariantRate);
+}
+
+BENCHMARK(BM_ControlledGateKernel)->DenseRange(10, 20, 2);
+
+void BM_GateKernelForcedScalar(benchmark::State& state) {
+  // The same dense 1Q sweep as BM_SingleQubitGateKernel but pinned to the
+  // scalar kernels; the ratio against it is the SIMD dispatch gain.
+  const int n = static_cast<int>(state.range(0));
+  if (!simd::SetActiveSimdLevel(simd::SimdLevel::kScalar)) {
+    state.SkipWithError("cannot force scalar dispatch");
+    return;
+  }
+  StateVector psi(n);
+  const Matrix h = GateMatrix(GateType::kH, {});
+  for (auto _ : state) {
+    psi.Apply1Q(0, h);
+    benchmark::ClobberMemory();
+  }
+  simd::ResetSimdLevel();
+  state.counters["qubits"] = n;
+  state.counters["amps_per_s"] = benchmark::Counter(
+      static_cast<double>(uint64_t{1} << n),
+      benchmark::Counter::kIsIterationInvariantRate);
+}
+
+BENCHMARK(BM_GateKernelForcedScalar)->DenseRange(10, 20, 2);
+
+void BM_ProbabilityReduction(benchmark::State& state) {
+  // ProbabilityOfOne = the masked norm² reduction (4-lane protocol).
+  const int n = static_cast<int>(state.range(0));
+  StateVector psi(n);
+  const Matrix h = GateMatrix(GateType::kH, {});
+  for (int q = 0; q < n; ++q) psi.Apply1Q(q, h);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(psi.ProbabilityOfOne(1));
+  }
+  state.counters["qubits"] = n;
+  state.counters["amps_per_s"] = benchmark::Counter(
+      static_cast<double>(uint64_t{1} << n),
+      benchmark::Counter::kIsIterationInvariantRate);
+}
+
+BENCHMARK(BM_ProbabilityReduction)->DenseRange(10, 20, 2);
+
+void BM_MeasureQubit(benchmark::State& state) {
+  // Fused collapse + kept-norm pass followed by the renormalizing divide.
+  const int n = static_cast<int>(state.range(0));
+  const Matrix h = GateMatrix(GateType::kH, {});
+  Rng rng(17);
+  for (auto _ : state) {
+    state.PauseTiming();
+    StateVector psi(n);
+    for (int q = 0; q < n; ++q) psi.Apply1Q(q, h);
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(psi.MeasureQubit(1, rng));
+  }
+  state.counters["qubits"] = n;
+}
+
+BENCHMARK(BM_MeasureQubit)->DenseRange(10, 18, 4)->Unit(benchmark::kMicrosecond);
+
+void BM_SampleOnce(benchmark::State& state) {
+  // CDF build + binary-search draw (was an O(2^n) scan per draw).
+  const int n = static_cast<int>(state.range(0));
+  StateVector psi(n);
+  const Matrix h = GateMatrix(GateType::kH, {});
+  for (int q = 0; q < n; ++q) psi.Apply1Q(q, h);
+  Rng rng(23);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(psi.SampleOnce(rng));
+  }
+  state.counters["qubits"] = n;
+}
+
+BENCHMARK(BM_SampleOnce)->DenseRange(10, 18, 4)->Unit(benchmark::kMicrosecond);
 
 void BM_RunBatch(benchmark::State& state) {
   // Batched circuit execution across the shared ThreadPool (the Gram-matrix

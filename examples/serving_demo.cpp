@@ -207,14 +207,22 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(stats.expired), failed.load());
 
   // Latency profile straight from the serve.* metrics the server exports.
+  // A non-empty overflow bucket means the top quantiles are clamped to the
+  // histogram's last bound; flag them so they are not read as estimates.
   if (auto* wait = obs::GetHistogram("serve.queue_wait_us")) {
-    std::printf("  queue wait µs   p50 %.0f   p90 %.0f   p99 %.0f\n",
+    std::printf("  queue wait µs   p50 %.0f   p90 %.0f   p99 %.0f%s\n",
                 wait->ApproxQuantile(0.50), wait->ApproxQuantile(0.90),
-                wait->ApproxQuantile(0.99));
+                wait->ApproxQuantile(0.99),
+                wait->OverflowCount() > 0 ? "  [clamped]" : "");
+    if (wait->OverflowCount() > 0) {
+      std::printf("                  (%ld samples above last bound %.0f)\n",
+                  wait->OverflowCount(), wait->bounds().back());
+    }
   }
   if (auto* batch = obs::GetHistogram("serve.batch_size")) {
-    std::printf("  batch size      p50 %.1f   p90 %.1f\n",
-                batch->ApproxQuantile(0.50), batch->ApproxQuantile(0.90));
+    std::printf("  batch size      p50 %.1f   p90 %.1f%s\n",
+                batch->ApproxQuantile(0.50), batch->ApproxQuantile(0.90),
+                batch->OverflowCount() > 0 ? "  [clamped]" : "");
   }
 
   if (trace_out != nullptr) {

@@ -36,16 +36,26 @@ cmake -B build-tsan -S . \
   -DQDB_BUILD_EXAMPLES=OFF >/dev/null
 cmake --build build-tsan -j --target obs_test --target obs_labels_test \
   --target slo_test --target thread_pool_test \
-  --target sim_parallel_test --target compiled_circuit_test \
+  --target sim_parallel_test --target simd_equivalence_test \
+  --target compiled_circuit_test \
   --target serve_test --target fault_test
 ./build-tsan/tests/obs_test
 ./build-tsan/tests/obs_labels_test
 ./build-tsan/tests/slo_test
 ./build-tsan/tests/thread_pool_test
 QDB_THREADS=4 ./build-tsan/tests/sim_parallel_test
+QDB_THREADS=4 ./build-tsan/tests/simd_equivalence_test
 QDB_THREADS=4 ./build-tsan/tests/compiled_circuit_test
 QDB_THREADS=4 ./build-tsan/tests/serve_test
 QDB_THREADS=4 ./build-tsan/tests/fault_test
+
+echo
+echo "== tier 1: forced-scalar dispatch (QDB_SIMD=0) =="
+# The SIMD dispatch contract says amplitudes are bit-identical at every
+# level; rerun the kernel-heavy suites with the env override forcing the
+# scalar path so the fallback stays exercised on AVX2 machines.
+QDB_SIMD=0 ./build/tests/statevector_test
+QDB_SIMD=0 ./build/tests/simd_equivalence_test
 
 echo
 echo "== tier 1: seeded chaos profiles =="

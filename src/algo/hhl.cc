@@ -102,7 +102,7 @@ Result<HhlResult> HhlSolve(const Matrix& a, const CVector& b,
     Normalize(normalized_b);
     CVector amps(uint64_t{1} << n, Complex(0.0, 0.0));
     for (size_t i = 0; i < dim; ++i) amps[i] = normalized_b[i];
-    state.amplitudes() = std::move(amps);
+    state.SetAmplitudes(amps);
   }
 
   StateVectorSimulator sim;
@@ -138,7 +138,8 @@ Result<HhlResult> HhlSolve(const Matrix& a, const CVector& b,
           ? options.c_constant
           : 2.0 * M_PI / (t0 * static_cast<double>(clock_size));
   {
-    CVector& amps = state.amplitudes();
+    double* re = state.reals();
+    double* im = state.imags();
     const uint64_t sys_size = uint64_t{1} << m;
     const uint64_t anc_stride = uint64_t{1} << (t + m);
     for (uint64_t y = 1; y < clock_size; ++y) {  // y = 0 → λ = 0: skip.
@@ -151,10 +152,14 @@ Result<HhlResult> HhlSolve(const Matrix& a, const CVector& b,
       for (uint64_t s = 0; s < sys_size; ++s) {
         const uint64_t i0 = y * sys_size + s;       // ancilla = 0
         const uint64_t i1 = i0 + anc_stride;        // ancilla = 1
-        const Complex a0 = amps[i0];
-        const Complex a1 = amps[i1];
-        amps[i0] = cos_theta * a0 - sin_theta * a1;
-        amps[i1] = sin_theta * a0 + cos_theta * a1;
+        const Complex a0(re[i0], im[i0]);
+        const Complex a1(re[i1], im[i1]);
+        const Complex b0 = cos_theta * a0 - sin_theta * a1;
+        const Complex b1 = sin_theta * a0 + cos_theta * a1;
+        re[i0] = b0.real();
+        im[i0] = b0.imag();
+        re[i1] = b1.real();
+        im[i1] = b1.imag();
       }
     }
   }

@@ -33,7 +33,7 @@ Result<StateVector> PrepareJointState(const StateVector& psi,
   }
   // |0⟩_ancilla ⊗ |ψ⟩ ⊗ |φ⟩, then run the swap-test circuit.
   CVector joint = Kron(CVector{Complex(1.0, 0.0), Complex(0.0, 0.0)},
-                       Kron(psi.amplitudes(), phi.amplitudes()));
+                       Kron(psi.ToAmplitudes(), phi.ToAmplitudes()));
   QDB_ASSIGN_OR_RETURN(StateVector state,
                        StateVector::FromAmplitudes(std::move(joint)));
   StateVectorSimulator sim;

@@ -157,11 +157,12 @@ Result<AdjointResult> AdjointGradient(const Circuit& circuit,
       std::max<size_t>(params.size(), circuit.num_parameters()), 0.0);
 
   // φ = H ψ; E = ⟨ψ|φ⟩.
-  CVector phi_amps = ApplyObservable(observable, psi.amplitudes());
-  result.value = InnerOf(psi.amplitudes(), phi_amps).real();
+  CVector psi_amps = psi.ToAmplitudes();
+  CVector phi_amps = ApplyObservable(observable, psi_amps);
+  result.value = InnerOf(psi_amps, phi_amps).real();
   auto phi_sv = StateVector(n);
-  phi_sv.amplitudes() = std::move(phi_amps);  // Not unit norm; kernels are
-                                              // linear so this is fine.
+  phi_sv.SetAmplitudes(phi_amps);  // Not unit norm; kernels are linear so
+                                   // this is fine.
 
   // Backward pass.
   for (int k = static_cast<int>(circuit.size()) - 1; k >= 0; --k) {
@@ -174,7 +175,7 @@ Result<AdjointResult> AdjointGradient(const Circuit& circuit,
       if (expr.is_constant() || expr.multiplier == 0.0) continue;
       QDB_ASSIGN_OR_RETURN(
           double dangle,
-          GeneratorGradient(gate, n, psi.amplitudes(), phi_sv.amplitudes()));
+          GeneratorGradient(gate, n, psi.ToAmplitudes(), phi_sv.ToAmplitudes()));
       result.gradient[expr.index] += expr.multiplier * dangle;
       // All supported gates have exactly one angle slot, and the generator
       // gradient above is with respect to that angle.

@@ -1,0 +1,60 @@
+/// \file aligned.h
+/// \brief Minimal over-aligned allocator so amplitude planes can live in
+/// std::vector while still satisfying SIMD alignment requirements.
+
+#ifndef QDB_COMMON_ALIGNED_H_
+#define QDB_COMMON_ALIGNED_H_
+
+#include <cstddef>
+#include <new>
+#include <vector>
+
+namespace qdb {
+
+/// \brief std::allocator drop-in that over-aligns every allocation to
+/// `Alignment` bytes (a power of two >= alignof(T)). Vectors of amplitudes
+/// built with this allocator start on a cache-line/SIMD-register boundary,
+/// so vector kernels never straddle a line on their first lane.
+template <typename T, std::size_t Alignment>
+class AlignedAllocator {
+ public:
+  static_assert((Alignment & (Alignment - 1)) == 0,
+                "Alignment must be a power of two");
+  static_assert(Alignment >= alignof(T),
+                "Alignment must not weaken the type's natural alignment");
+
+  using value_type = T;
+
+  AlignedAllocator() noexcept = default;
+  template <typename U>
+  AlignedAllocator(const AlignedAllocator<U, Alignment>&) noexcept {}
+
+  template <typename U>
+  struct rebind {
+    using other = AlignedAllocator<U, Alignment>;
+  };
+
+  T* allocate(std::size_t n) {
+    return static_cast<T*>(
+        ::operator new(n * sizeof(T), std::align_val_t(Alignment)));
+  }
+
+  void deallocate(T* p, std::size_t) noexcept {
+    ::operator delete(p, std::align_val_t(Alignment));
+  }
+
+  friend bool operator==(const AlignedAllocator&, const AlignedAllocator&) {
+    return true;
+  }
+  friend bool operator!=(const AlignedAllocator&, const AlignedAllocator&) {
+    return false;
+  }
+};
+
+/// 64-byte-aligned double vector: one amplitude plane (all-real or all-imag)
+/// of a structure-of-arrays state.
+using AlignedDVector = std::vector<double, AlignedAllocator<double, 64>>;
+
+}  // namespace qdb
+
+#endif  // QDB_COMMON_ALIGNED_H_

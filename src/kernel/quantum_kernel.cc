@@ -37,7 +37,7 @@ Result<CVector> FidelityQuantumKernel::EncodedState(const DVector& x) const {
   Circuit circuit = encoder_(x);
   QDB_ASSIGN_OR_RETURN(StateVector state, simulator_.Run(circuit));
   Counters().circuit_runs->Increment();
-  return state.amplitudes();
+  return state.ToAmplitudes();
 }
 
 Result<double> FidelityQuantumKernel::Evaluate(const DVector& x,
@@ -64,7 +64,7 @@ Result<std::vector<CVector>> FidelityQuantumKernel::EncodedStates(
   std::vector<CVector> states(xs.size());
   QDB_RETURN_IF_ERROR(simulator_.RunBatchReduce(
       circuits, {}, nullptr, [&states](size_t i, StateVector&& state) {
-        states[i] = std::move(state.amplitudes());
+        states[i] = state.ToAmplitudes();
         return Status::OK();
       }));
   Counters().circuit_runs->Increment(static_cast<long>(xs.size()));

@@ -294,6 +294,7 @@ std::string MetricsRegistry::ExportText() const {
                   h->CountInBucket(h->bounds().size()), "\n");
     out += StrCat(name, "_sum ", h->Sum(), "\n");
     out += StrCat(name, "_count ", h->TotalCount(), "\n");
+    out += StrCat(name, "_overflow ", h->OverflowCount(), "\n");
   }
   for (const auto& [name, family] : histogram_families_) {
     for (const auto& child : family->Children()) {
@@ -307,6 +308,7 @@ std::string MetricsRegistry::ExportText() const {
                     h->CountInBucket(h->bounds().size()), "\n");
       out += StrCat(name, "_sum{", pairs, "} ", h->Sum(), "\n");
       out += StrCat(name, "_count{", pairs, "} ", h->TotalCount(), "\n");
+      out += StrCat(name, "_overflow{", pairs, "} ", h->OverflowCount(), "\n");
     }
   }
   return out;
@@ -344,7 +346,8 @@ std::string MetricsRegistry::ExportJson() const {
       out += StrCat(h->CountInBucket(i));
     }
     out += StrCat("],\"sum\":", JsonNumber(h->Sum()),
-                  ",\"count\":", h->TotalCount(), "}");
+                  ",\"count\":", h->TotalCount(),
+                  ",\"overflow\":", h->OverflowCount(), "}");
   }
   out += "},\"families\":{";
   first = true;
@@ -415,6 +418,7 @@ std::string MetricsRegistry::ExportJson() const {
       }
       out += StrCat("],\"sum\":", JsonNumber(h->Sum()),
                     ",\"count\":", h->TotalCount(),
+                    ",\"overflow\":", h->OverflowCount(),
                     ",\"p50\":", JsonNumber(h->ApproxQuantile(0.5)),
                     ",\"p99\":", JsonNumber(h->ApproxQuantile(0.99)), "}");
     }

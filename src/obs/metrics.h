@@ -66,6 +66,10 @@ class Histogram {
   const std::vector<double>& bounds() const { return bounds_; }
   /// Count in bucket i; i == bounds().size() is the overflow bucket.
   long CountInBucket(size_t i) const;
+  /// Samples above the last bound. When this is non-zero, every quantile
+  /// whose rank falls in the overflow bucket is clamped to bounds().back()
+  /// and understates the true value — exported so dashboards can flag it.
+  long OverflowCount() const { return CountInBucket(bounds_.size()); }
   /// Approximate `q`-quantile (q in [0, 1]) by linear interpolation inside
   /// the bucket holding the target rank (Prometheus histogram_quantile
   /// semantics). Samples in the overflow bucket clamp to the last bound.

@@ -402,6 +402,22 @@ std::string InferenceServer::Statusz() const {
                        static_cast<long long>(roots[i].duration_us));
     }
   }
+  // Latency quantiles; a "(clamped: ...)" marker means samples overflowed
+  // the histogram's last bound, so high quantiles are lower bounds, not
+  // estimates.
+  out += "latency:\n";
+  for (const char* name : {"serve.queue_wait_us", "serve.batch_size"}) {
+    const obs::Histogram* h = obs::GetHistogram(name);
+    if (h == nullptr || h->TotalCount() == 0) continue;
+    out += StrCat("  ", name, ": p50=", h->ApproxQuantile(0.50),
+                  " p90=", h->ApproxQuantile(0.90),
+                  " p99=", h->ApproxQuantile(0.99));
+    if (h->OverflowCount() > 0) {
+      out += StrCat(" (clamped: ", h->OverflowCount(),
+                    " samples above last bound ", h->bounds().back(), ")");
+    }
+    out += "\n";
+  }
   return out;
 }
 

@@ -1,11 +1,15 @@
 #include "sim/compiled_circuit.h"
 
 #include <algorithm>
+#include <deque>
 #include <utility>
 
 #include "common/strings.h"
+#include "common/thread_pool.h"
 #include "obs/labels.h"
 #include "obs/obs.h"
+#include "sim/kernels.h"
+#include "sim/simd.h"
 
 namespace qdb {
 
@@ -450,6 +454,172 @@ std::vector<CompiledOp> FusePass(std::vector<CompiledOp> in, int num_qubits,
   return compact;
 }
 
+// ---- Cache-blocked execution ------------------------------------------------
+
+/// Amplitude count per block: 2^16 amplitudes are 512 KiB per plane, 1 MiB
+/// across both — an L2-resident working set, so a run of blockable ops
+/// streams the state from memory once per run instead of once per op.
+constexpr int kCacheBlockBits = 16;
+
+/// True when every operand bit of `op` lies below the block boundary, so
+/// the op maps each 2^kCacheBlockBits-amplitude block onto itself and can
+/// be applied block-locally. Swap/MCX/MCZ/kQ kinds act as barriers.
+bool IsBlockable(const CompiledOp& op, int num_qubits) {
+  const auto below = [num_qubits](int q) {
+    return (num_qubits - 1 - q) < kCacheBlockBits;
+  };
+  switch (op.kind) {
+    case CompiledOpKind::k1QDense:
+    case CompiledOpKind::k1QDiag:
+      return below(op.q0);
+    case CompiledOpKind::kControlled1Q:
+    case CompiledOpKind::k2QDiag:
+    case CompiledOpKind::k2QDense:
+      return below(op.q0) && below(op.q1);
+    default:
+      return false;
+  }
+}
+
+/// Applies one resolved, blockable op to the block-aligned amplitude range
+/// [b0, b1). Pair/group subranges of a block are exactly the pairs/groups
+/// whose indices fall inside it (all operand bits sit below the block
+/// boundary), and the range kernels perform the identical per-element
+/// arithmetic the full-state StateVector methods do — so blocked replay is
+/// bit-identical to unblocked replay.
+void ApplyOpToBlock(const CompiledOp& op, int num_qubits, double* re,
+                    double* im, uint64_t b0, uint64_t b1,
+                    simd::SimdLevel lvl) {
+  const auto pos = [num_qubits](int q) { return num_qubits - 1 - q; };
+  switch (op.kind) {
+    case CompiledOpKind::k1QDense: {
+      const uint64_t stride = uint64_t{1} << pos(op.q0);
+      const double m[8] = {op.c[0].real(), op.c[0].imag(), op.c[1].real(),
+                           op.c[1].imag(), op.c[2].real(), op.c[2].imag(),
+                           op.c[3].real(), op.c[3].imag()};
+      simd::Apply1QRange(lvl, re, im, b0 / 2, b1 / 2, stride, m);
+      break;
+    }
+    case CompiledOpKind::k1QDiag: {
+      const uint64_t mask = uint64_t{1} << pos(op.q0);
+      const double d[4] = {op.c[0].real(), op.c[0].imag(), op.c[1].real(),
+                           op.c[1].imag()};
+      simd::Diag1QRange(lvl, re, im, b0, b1, mask, d);
+      break;
+    }
+    case CompiledOpKind::kControlled1Q: {
+      const uint64_t cmask = uint64_t{1} << pos(op.q0);
+      const uint64_t stride = uint64_t{1} << pos(op.q1);
+      const double m[8] = {op.c[0].real(), op.c[0].imag(), op.c[1].real(),
+                           op.c[1].imag(), op.c[2].real(), op.c[2].imag(),
+                           op.c[3].real(), op.c[3].imag()};
+      simd::Controlled1QRange(lvl, re, im, b0 / 2, b1 / 2, stride, cmask, m);
+      break;
+    }
+    case CompiledOpKind::k2QDiag: {
+      const uint64_t amask = uint64_t{1} << pos(op.q0);
+      const uint64_t bmask = uint64_t{1} << pos(op.q1);
+      const double d[8] = {op.c[0].real(), op.c[0].imag(), op.c[1].real(),
+                           op.c[1].imag(), op.c[2].real(), op.c[2].imag(),
+                           op.c[3].real(), op.c[3].imag()};
+      simd::Diag2QRange(lvl, re, im, b0, b1, amask, bmask, d);
+      break;
+    }
+    case CompiledOpKind::k2QDense: {
+      const uint64_t amask = uint64_t{1} << pos(op.q0);
+      const uint64_t bmask = uint64_t{1} << pos(op.q1);
+      const uint64_t lo_pos =
+          std::min<uint64_t>(pos(op.q0), pos(op.q1));
+      const uint64_t hi_pos =
+          std::max<uint64_t>(pos(op.q0), pos(op.q1));
+      const uint64_t lo_keep = (uint64_t{1} << lo_pos) - 1;
+      const uint64_t mid_keep = ((uint64_t{1} << (hi_pos - 1)) - 1) & ~lo_keep;
+      double mr[4][4], mi[4][4];
+      for (int r = 0; r < 4; ++r) {
+        for (int col = 0; col < 4; ++col) {
+          const Complex entry = op.m(r, col);
+          mr[r][col] = entry.real();
+          mi[r][col] = entry.imag();
+        }
+      }
+      simd::Apply2QRange(lvl, re, im, b0 / 4, b1 / 4, amask, bmask, lo_keep,
+                         mid_keep, mr, mi);
+      break;
+    }
+    default:
+      QDB_CHECK(false) << "non-blockable op in a blocked run";
+  }
+}
+
+/// Applies a run of blockable ops block by block: every block gets the full
+/// run applied before the next block is touched, keeping it cache-resident
+/// across the run. Blocks partition the state and each op maps a block onto
+/// itself, so distributing blocks over the pool cannot change results — the
+/// final value of every amplitude is the same op composition, computed with
+/// the same elementary operations, as the op-by-op full-state walk.
+void ExecuteBlockedRun(const std::vector<const CompiledOp*>& run,
+                       StateVector& state) {
+  const int n = state.num_qubits();
+  double* re = state.reals();
+  double* im = state.imags();
+  const simd::SimdLevel lvl = simd::ActiveSimdLevel();
+  const uint64_t block = uint64_t{1} << kCacheBlockBits;
+  const size_t num_blocks = static_cast<size_t>(state.dim() >> kCacheBlockBits);
+  ThreadPool::Global().RunTasks(num_blocks, [&](size_t blk) {
+    const uint64_t b0 = static_cast<uint64_t>(blk) * block;
+    for (const CompiledOp* op : run) {
+      ApplyOpToBlock(*op, n, re, im, b0, b0 + block, lvl);
+    }
+  });
+}
+
+/// Per-op metric increments shared by the blocked and op-at-a-time replay
+/// paths (mirrors the interpreter's tallies).
+void CountOp(const CompiledOp& op, long dim, CompiledCounters& counters) {
+  switch (op.kind) {
+    case CompiledOpKind::kNop:
+      break;
+    case CompiledOpKind::k1QDense:
+      counters.generic_1q->Increment();
+      counters.amplitude_touches->Increment(dim);
+      break;
+    case CompiledOpKind::k1QDiag:
+      counters.diagonal_1q->Increment();
+      counters.amplitude_touches->Increment(dim);
+      break;
+    case CompiledOpKind::kControlled1Q:
+      counters.controlled_1q->Increment();
+      counters.amplitude_touches->Increment(dim / 2);
+      break;
+    case CompiledOpKind::k2QDiag:
+      counters.diagonal_2q->Increment();
+      counters.amplitude_touches->Increment(dim);
+      break;
+    case CompiledOpKind::k2QDense:
+      counters.generic_2q->Increment();
+      counters.amplitude_touches->Increment(dim);
+      break;
+    case CompiledOpKind::kSwap:
+      counters.swap->Increment();
+      counters.amplitude_touches->Increment(dim / 2);
+      break;
+    case CompiledOpKind::kMCX:
+      counters.multi_controlled->Increment();
+      counters.amplitude_touches->Increment(
+          dim >> std::min<size_t>(op.qubits.size(), 62));
+      break;
+    case CompiledOpKind::kMCZ:
+      counters.multi_controlled->Increment();
+      counters.amplitude_touches->Increment(
+          dim >> std::min<size_t>(op.qubits.size() + 1, 62));
+      break;
+    case CompiledOpKind::kKQDense:
+      counters.generic_kq->Increment();
+      counters.amplitude_touches->Increment(dim);
+      break;
+  }
+}
+
 }  // namespace
 
 CompiledCircuit CompiledCircuit::Compile(const Circuit& circuit,
@@ -505,75 +675,89 @@ Status CompiledCircuit::Execute(StateVector& state,
   counters.replays->Increment();
   if (replays_by_qubits_ != nullptr) replays_by_qubits_->Increment();
   const long dim = static_cast<long>(state.dim());
+
+  // Bind parametric ops up front so run detection sees resolved kinds. The
+  // deque gives the bound copies stable addresses.
+  std::deque<CompiledOp> bound_storage;
+  std::vector<const CompiledOp*> resolved;
+  resolved.reserve(ops_.size());
   DVector angles;
   for (const CompiledOp& op : ops_) {
-    const CompiledOp* resolved = &op;
-    CompiledOp bound;
-    if (op.parametric()) {
-      // Thin evaluator: bind the angles and resolve the payload through the
-      // same lowering ladder the interpreter's dispatch follows.
-      angles.clear();
-      for (const ParamExpr& e : op.exprs) angles.push_back(e.Evaluate(params));
-      bound.q0 = op.q0;
-      bound.q1 = op.q1;
-      LowerBound(op.src, angles, &bound);
-      resolved = &bound;
+    if (!op.parametric()) {
+      resolved.push_back(&op);
+      continue;
     }
-    switch (resolved->kind) {
+    // Thin evaluator: bind the angles and resolve the payload through the
+    // same lowering ladder the interpreter's dispatch follows.
+    angles.clear();
+    for (const ParamExpr& e : op.exprs) angles.push_back(e.Evaluate(params));
+    CompiledOp bound;
+    bound.q0 = op.q0;
+    bound.q1 = op.q1;
+    bound.src = op.src;
+    LowerBound(op.src, angles, &bound);
+    bound_storage.push_back(std::move(bound));
+    resolved.push_back(&bound_storage.back());
+  }
+
+  // Cache blocking only pays off when the state exceeds a block; runs of
+  // ≥ 2 consecutive blockable ops are replayed block-at-a-time so the
+  // block's amplitudes stay L2-resident across the whole run.
+  const bool can_block = state.dim() > (uint64_t{1} << kCacheBlockBits);
+  std::vector<const CompiledOp*> run;
+  size_t idx = 0;
+  while (idx < resolved.size()) {
+    const CompiledOp* op = resolved[idx];
+    if (can_block && IsBlockable(*op, num_qubits_)) {
+      size_t end = idx;
+      while (end < resolved.size() &&
+             IsBlockable(*resolved[end], num_qubits_)) {
+        ++end;
+      }
+      if (end - idx >= 2) {
+        run.assign(resolved.begin() + static_cast<ptrdiff_t>(idx),
+                   resolved.begin() + static_cast<ptrdiff_t>(end));
+        ExecuteBlockedRun(run, state);
+        for (size_t i = idx; i < end; ++i) CountOp(*resolved[i], dim, counters);
+        idx = end;
+        continue;
+      }
+    }
+    switch (op->kind) {
       case CompiledOpKind::kNop:
         break;
       case CompiledOpKind::k1QDense:
-        state.Apply1Q(resolved->q0, resolved->c[0], resolved->c[1],
-                      resolved->c[2], resolved->c[3]);
-        counters.generic_1q->Increment();
-        counters.amplitude_touches->Increment(dim);
+        state.Apply1Q(op->q0, op->c[0], op->c[1], op->c[2], op->c[3]);
         break;
       case CompiledOpKind::k1QDiag:
-        state.ApplyDiagonal1Q(resolved->q0, resolved->c[0], resolved->c[1]);
-        counters.diagonal_1q->Increment();
-        counters.amplitude_touches->Increment(dim);
+        state.ApplyDiagonal1Q(op->q0, op->c[0], op->c[1]);
         break;
       case CompiledOpKind::kControlled1Q:
-        state.ApplyControlled1Q(resolved->q0, resolved->q1, resolved->c[0],
-                                resolved->c[1], resolved->c[2],
-                                resolved->c[3]);
-        counters.controlled_1q->Increment();
-        counters.amplitude_touches->Increment(dim / 2);
+        state.ApplyControlled1Q(op->q0, op->q1, op->c[0], op->c[1], op->c[2],
+                                op->c[3]);
         break;
       case CompiledOpKind::k2QDiag:
-        state.ApplyDiagonal2Q(resolved->q0, resolved->q1, resolved->c[0],
-                              resolved->c[1], resolved->c[2], resolved->c[3]);
-        counters.diagonal_2q->Increment();
-        counters.amplitude_touches->Increment(dim);
+        state.ApplyDiagonal2Q(op->q0, op->q1, op->c[0], op->c[1], op->c[2],
+                              op->c[3]);
         break;
       case CompiledOpKind::k2QDense:
-        state.Apply2Q(resolved->q0, resolved->q1, resolved->m);
-        counters.generic_2q->Increment();
-        counters.amplitude_touches->Increment(dim);
+        state.Apply2Q(op->q0, op->q1, op->m);
         break;
       case CompiledOpKind::kSwap:
-        state.ApplySwap(resolved->q0, resolved->q1);
-        counters.swap->Increment();
-        counters.amplitude_touches->Increment(dim / 2);
+        state.ApplySwap(op->q0, op->q1);
         break;
       case CompiledOpKind::kMCX:
-        state.ApplyMCX(resolved->qubits, resolved->q0);
-        counters.multi_controlled->Increment();
-        counters.amplitude_touches->Increment(
-            dim >> std::min<size_t>(resolved->qubits.size(), 62));
+        state.ApplyMCX(op->qubits, op->q0);
         break;
       case CompiledOpKind::kMCZ:
-        state.ApplyMCZ(resolved->qubits, resolved->q0);
-        counters.multi_controlled->Increment();
-        counters.amplitude_touches->Increment(
-            dim >> std::min<size_t>(resolved->qubits.size() + 1, 62));
+        state.ApplyMCZ(op->qubits, op->q0);
         break;
       case CompiledOpKind::kKQDense:
-        state.ApplyKQ(resolved->qubits, resolved->m);
-        counters.generic_kq->Increment();
-        counters.amplitude_touches->Increment(dim);
+        state.ApplyKQ(op->qubits, op->m);
         break;
     }
+    CountOp(*op, dim, counters);
+    ++idx;
   }
   return Status::OK();
 }

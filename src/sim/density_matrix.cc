@@ -14,11 +14,16 @@ DensityMatrix::DensityMatrix(int num_qubits)
 DensityMatrix DensityMatrix::FromStateVector(const StateVector& psi) {
   DensityMatrix rho(psi.num_qubits());
   const uint64_t d = psi.dim();
-  CVector& v = rho.vec_.amplitudes();
-  const CVector& a = psi.amplitudes();
+  double* vr = rho.vec_.reals();
+  double* vi = rho.vec_.imags();
+  const double* ar = psi.reals();
+  const double* ai = psi.imags();
   for (uint64_t r = 0; r < d; ++r) {
+    const Complex row_amp(ar[r], ai[r]);
     for (uint64_t c = 0; c < d; ++c) {
-      v[r * d + c] = a[r] * std::conj(a[c]);
+      const Complex v = row_amp * std::conj(Complex(ar[c], ai[c]));
+      vr[r * d + c] = v.real();
+      vi[r * d + c] = v.imag();
     }
   }
   return rho;
@@ -27,27 +32,29 @@ DensityMatrix DensityMatrix::FromStateVector(const StateVector& psi) {
 Complex DensityMatrix::Element(uint64_t row, uint64_t col) const {
   QDB_CHECK_LT(row, dim());
   QDB_CHECK_LT(col, dim());
-  return vec_.amplitudes()[row * dim() + col];
+  return vec_.amplitude(row * dim() + col);
 }
 
 double DensityMatrix::TraceValue() const {
   const uint64_t d = dim();
   double acc = 0.0;
-  for (uint64_t i = 0; i < d; ++i) acc += vec_.amplitudes()[i * d + i].real();
+  for (uint64_t i = 0; i < d; ++i) acc += vec_.reals()[i * d + i];
   return acc;
 }
 
 double DensityMatrix::Purity() const {
   // Tr(ρ²) = Σ_{rc} |ρ_rc|² for Hermitian ρ — the vectorized L2 norm².
+  const double* re = vec_.reals();
+  const double* im = vec_.imags();
   double acc = 0.0;
-  for (const auto& x : vec_.amplitudes()) acc += std::norm(x);
+  for (uint64_t i = 0; i < vec_.dim(); ++i) acc += re[i] * re[i] + im[i] * im[i];
   return acc;
 }
 
 DVector DensityMatrix::Probabilities() const {
   const uint64_t d = dim();
   DVector out(d);
-  for (uint64_t i = 0; i < d; ++i) out[i] = vec_.amplitudes()[i * d + i].real();
+  for (uint64_t i = 0; i < d; ++i) out[i] = vec_.reals()[i * d + i];
   return out;
 }
 
@@ -58,7 +65,7 @@ double DensityMatrix::ProbabilityOfOne(int qubit) const {
   const uint64_t d = dim();
   double p = 0.0;
   for (uint64_t i = 0; i < d; ++i) {
-    if (i & mask) p += vec_.amplitudes()[i * d + i].real();
+    if (i & mask) p += vec_.reals()[i * d + i];
   }
   return p;
 }
@@ -90,7 +97,7 @@ double DensityMatrix::ExpectationOf(const PauliString& pauli) const {
     const int sign =
         (__builtin_popcountll(i & ymask) + __builtin_popcountll(i & zmask)) & 1;
     const Complex phase = i_power * (sign ? -1.0 : 1.0);
-    acc += vec_.amplitudes()[i * d + (i ^ xmask)] * phase;
+    acc += vec_.amplitude(i * d + (i ^ xmask)) * phase;
   }
   return acc.real();
 }
@@ -121,17 +128,19 @@ void DensityMatrix::ApplyKraus(const std::vector<int>& qubits,
   col_qubits.reserve(qubits.size());
   for (int q : qubits) col_qubits.push_back(q + num_qubits_);
 
-  CVector accumulated(vec_.amplitudes().size(), Complex(0.0, 0.0));
-  const CVector original = vec_.amplitudes();
+  CVector accumulated(vec_.dim(), Complex(0.0, 0.0));
+  const CVector original = vec_.ToAmplitudes();
   for (const auto& k : kraus_ops) {
-    vec_.amplitudes() = original;
+    vec_.SetAmplitudes(original);
     vec_.ApplyKQ(qubits, k);
     vec_.ApplyKQ(col_qubits, k.Conjugate());
+    const double* re = vec_.reals();
+    const double* im = vec_.imags();
     for (size_t i = 0; i < accumulated.size(); ++i) {
-      accumulated[i] += vec_.amplitudes()[i];
+      accumulated[i] += Complex(re[i], im[i]);
     }
   }
-  vec_.amplitudes() = std::move(accumulated);
+  vec_.SetAmplitudes(accumulated);
 }
 
 void DensityMatrix::ApplyMCX(const std::vector<int>& controls, int target) {
@@ -190,7 +199,7 @@ Matrix DensityMatrix::ToMatrix() const {
   Matrix out(d, d);
   for (uint64_t r = 0; r < d; ++r) {
     for (uint64_t c = 0; c < d; ++c) {
-      out(r, c) = vec_.amplitudes()[r * d + c];
+      out(r, c) = vec_.amplitude(r * d + c);
     }
   }
   return out;

@@ -1,0 +1,68 @@
+#include "sim/simd.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+namespace qdb {
+namespace simd {
+
+namespace {
+
+/// Sentinel for "not resolved yet" in the cached level.
+constexpr int kUnresolved = -1;
+
+std::atomic<int> g_level{kUnresolved};
+
+bool EnvForcesScalar() {
+  const char* env = std::getenv("QDB_SIMD");
+  if (env == nullptr) return false;
+  return std::strcmp(env, "0") == 0 || std::strcmp(env, "off") == 0 ||
+         std::strcmp(env, "scalar") == 0;
+}
+
+SimdLevel Resolve() {
+  if (EnvForcesScalar()) return SimdLevel::kScalar;
+  return CpuSupportsAvx2() ? SimdLevel::kAvx2 : SimdLevel::kScalar;
+}
+
+}  // namespace
+
+const char* SimdLevelName(SimdLevel level) {
+  switch (level) {
+    case SimdLevel::kScalar:
+      return "scalar";
+    case SimdLevel::kAvx2:
+      return "avx2";
+  }
+  return "unknown";
+}
+
+bool CpuSupportsAvx2() {
+#if defined(__x86_64__) || defined(__i386__)
+  return __builtin_cpu_supports("avx2") != 0;
+#else
+  return false;
+#endif
+}
+
+SimdLevel ActiveSimdLevel() {
+  int level = g_level.load(std::memory_order_relaxed);
+  if (level == kUnresolved) {
+    // Benign race: every thread resolves to the same value.
+    level = static_cast<int>(Resolve());
+    g_level.store(level, std::memory_order_relaxed);
+  }
+  return static_cast<SimdLevel>(level);
+}
+
+bool SetActiveSimdLevel(SimdLevel level) {
+  if (level == SimdLevel::kAvx2 && !CpuSupportsAvx2()) return false;
+  g_level.store(static_cast<int>(level), std::memory_order_relaxed);
+  return true;
+}
+
+void ResetSimdLevel() { g_level.store(kUnresolved, std::memory_order_relaxed); }
+
+}  // namespace simd
+}  // namespace qdb

@@ -1,0 +1,50 @@
+/// \file simd.h
+/// \brief Runtime SIMD dispatch level for the state-vector kernels.
+///
+/// The amplitude kernels (kernels.h) ship two implementations: a portable
+/// scalar path and an AVX2 path compiled with a per-function target
+/// attribute, so the binary runs on any x86-64 and lights up AVX2 only when
+/// the CPU has it. Both paths execute the same per-element operation
+/// sequence (same products, same left-to-right summation order, no FMA
+/// contraction), so dispatch never changes results — amplitudes are
+/// bit-identical at every level.
+///
+/// Selection order:
+///   1. `QDB_SIMD` env var: "0" / "off" / "scalar" force the scalar path;
+///      "1" / "avx2" / "auto" (or unset) pick the best supported level.
+///   2. CPUID: AVX2 is used only if the CPU reports it.
+/// Tests can override the level in-process via SetActiveSimdLevel.
+
+#ifndef QDB_SIM_SIMD_H_
+#define QDB_SIM_SIMD_H_
+
+namespace qdb {
+namespace simd {
+
+enum class SimdLevel {
+  kScalar = 0,
+  kAvx2 = 1,
+};
+
+/// Human-readable level name ("scalar" / "avx2").
+const char* SimdLevelName(SimdLevel level);
+
+/// True if the executing CPU supports AVX2.
+bool CpuSupportsAvx2();
+
+/// The level kernels dispatch on, resolved once from QDB_SIMD + CPUID
+/// (subsequent calls are a relaxed atomic load).
+SimdLevel ActiveSimdLevel();
+
+/// Test hook: force the dispatch level in-process. Returns false (and
+/// leaves the level unchanged) if the CPU cannot execute the requested
+/// level. Pass-through for kScalar, CPUID-gated for kAvx2.
+bool SetActiveSimdLevel(SimdLevel level);
+
+/// Test hook: drop any override and re-resolve from QDB_SIMD + CPUID.
+void ResetSimdLevel();
+
+}  // namespace simd
+}  // namespace qdb
+
+#endif  // QDB_SIM_SIMD_H_

@@ -6,6 +6,8 @@
 #include "common/strings.h"
 #include "common/thread_pool.h"
 #include "linalg/vector_ops.h"
+#include "sim/kernels.h"
+#include "sim/simd.h"
 
 namespace qdb {
 
@@ -36,13 +38,27 @@ T SumKernelRange(uint64_t dim, uint64_t range, Fn&& fn) {
   return fn(uint64_t{0}, range);
 }
 
+/// Unpacks a 2x2 complex matrix into the interleaved scalar layout the
+/// range kernels take: {m00r, m00i, m01r, m01i, m10r, m10i, m11r, m11i}.
+void Pack1Q(Complex m00, Complex m01, Complex m10, Complex m11, double* m) {
+  m[0] = m00.real();
+  m[1] = m00.imag();
+  m[2] = m01.real();
+  m[3] = m01.imag();
+  m[4] = m10.real();
+  m[5] = m10.imag();
+  m[6] = m11.real();
+  m[7] = m11.imag();
+}
+
 }  // namespace
 
 StateVector::StateVector(int num_qubits) : num_qubits_(num_qubits) {
   QDB_CHECK_GT(num_qubits, 0);
   QDB_CHECK_LE(num_qubits, 30);
-  amps_.assign(dim(), Complex(0.0, 0.0));
-  amps_[0] = Complex(1.0, 0.0);
+  re_.assign(dim(), 0.0);
+  im_.assign(dim(), 0.0);
+  re_[0] = 1.0;
 }
 
 Result<StateVector> StateVector::FromAmplitudes(CVector amplitudes,
@@ -63,32 +79,53 @@ Result<StateVector> StateVector::FromAmplitudes(CVector amplitudes,
   int num_qubits = 0;
   while ((size_t{1} << num_qubits) < n) ++num_qubits;
   StateVector out(num_qubits);
-  out.amps_ = std::move(amplitudes);
+  out.SetAmplitudes(amplitudes);
   return out;
 }
 
 StateVector StateVector::BasisState(int num_qubits, uint64_t index) {
   StateVector out(num_qubits);
   QDB_CHECK_LT(index, out.dim());
-  out.amps_[0] = Complex(0.0, 0.0);
-  out.amps_[index] = Complex(1.0, 0.0);
+  out.re_[0] = 0.0;
+  out.re_[index] = 1.0;
   return out;
 }
 
 Complex StateVector::amplitude(uint64_t index) const {
   QDB_CHECK_LT(index, dim());
-  return amps_[index];
+  return Complex(re_[index], im_[index]);
+}
+
+void StateVector::set_amplitude(uint64_t index, Complex value) {
+  QDB_CHECK_LT(index, dim());
+  re_[index] = value.real();
+  im_[index] = value.imag();
+}
+
+CVector StateVector::ToAmplitudes() const {
+  CVector out(dim());
+  for (uint64_t i = 0; i < dim(); ++i) out[i] = Complex(re_[i], im_[i]);
+  return out;
+}
+
+void StateVector::SetAmplitudes(const CVector& amplitudes) {
+  QDB_CHECK_EQ(amplitudes.size(), dim());
+  for (uint64_t i = 0; i < dim(); ++i) {
+    re_[i] = amplitudes[i].real();
+    im_[i] = amplitudes[i].imag();
+  }
 }
 
 double StateVector::Probability(uint64_t index) const {
   QDB_CHECK_LT(index, dim());
-  return std::norm(amps_[index]);
+  return re_[index] * re_[index] + im_[index] * im_[index];
 }
 
 DVector StateVector::Probabilities() const {
   DVector out(dim());
+  const simd::SimdLevel lvl = simd::ActiveSimdLevel();
   ForKernelRange(dim(), dim(), [&](uint64_t b, uint64_t e) {
-    for (uint64_t i = b; i < e; ++i) out[i] = std::norm(amps_[i]);
+    simd::NormsRange(lvl, re_.data(), im_.data(), b, e, out.data());
   });
   return out;
 }
@@ -97,26 +134,43 @@ double StateVector::ProbabilityOfOne(int qubit) const {
   QDB_CHECK_GE(qubit, 0);
   QDB_CHECK_LT(qubit, num_qubits_);
   const uint64_t mask = uint64_t{1} << BitPos(qubit);
+  const simd::SimdLevel lvl = simd::ActiveSimdLevel();
   return SumKernelRange<double>(dim(), dim(), [&](uint64_t b, uint64_t e) {
-    double p = 0.0;
-    for (uint64_t i = b; i < e; ++i) {
-      if (i & mask) p += std::norm(amps_[i]);
-    }
-    return p;
+    return simd::MaskedNormSqRange(lvl, re_.data(), im_.data(), b, e, mask);
   });
 }
 
-double StateVector::NormValue() const { return Norm(amps_); }
+double StateVector::NormValue() const {
+  // Serial single-accumulator sum in index order: matches Norm(CVector)
+  // on the interleaved representation bit for bit.
+  double acc = 0.0;
+  for (uint64_t i = 0; i < dim(); ++i) {
+    acc += re_[i] * re_[i] + im_[i] * im_[i];
+  }
+  return std::sqrt(acc);
+}
 
 void StateVector::Renormalize() {
   double n = NormValue();
   QDB_CHECK_GT(n, 0.0) << "cannot renormalize the zero vector";
-  for (auto& a : amps_) a /= n;
+  // Per-component IEEE division is order-independent, so this pass can be
+  // chunked and vectorized freely without changing results.
+  const simd::SimdLevel lvl = simd::ActiveSimdLevel();
+  ForKernelRange(dim(), dim(), [&](uint64_t b, uint64_t e) {
+    simd::DivRange(lvl, re_.data(), im_.data(), b, e, n);
+  });
 }
 
 Complex StateVector::InnerProductWith(const StateVector& other) const {
   QDB_CHECK_EQ(num_qubits_, other.num_qubits_);
-  return InnerProduct(amps_, other.amps_);
+  // Same products and summation order as InnerProduct on interleaved
+  // vectors: conj(a)*b = (ar*br + ai*bi, ar*bi - ai*br).
+  double acc_r = 0.0, acc_i = 0.0;
+  for (uint64_t i = 0; i < dim(); ++i) {
+    acc_r += re_[i] * other.re_[i] + im_[i] * other.im_[i];
+    acc_i += re_[i] * other.im_[i] - im_[i] * other.re_[i];
+  }
+  return Complex(acc_r, acc_i);
 }
 
 void StateVector::Apply1Q(int qubit, Complex m00, Complex m01, Complex m10,
@@ -124,18 +178,14 @@ void StateVector::Apply1Q(int qubit, Complex m00, Complex m01, Complex m10,
   QDB_CHECK_GE(qubit, 0);
   QDB_CHECK_LT(qubit, num_qubits_);
   const uint64_t stride = uint64_t{1} << BitPos(qubit);
+  double m[8];
+  Pack1Q(m00, m01, m10, m11, m);
+  const simd::SimdLevel lvl = simd::ActiveSimdLevel();
   // Iterate pairs (i0, i0 | stride) where the qubit's bit is 0 in i0: pair
   // index p's low BitPos bits are the offset within a block, the rest the
   // block number, so i0 = (block << (BitPos+1)) | offset.
   ForKernelRange(dim(), dim() / 2, [&](uint64_t pb, uint64_t pe) {
-    for (uint64_t p = pb; p < pe; ++p) {
-      const uint64_t i0 = ((p & ~(stride - 1)) << 1) | (p & (stride - 1));
-      const uint64_t i1 = i0 + stride;
-      const Complex a0 = amps_[i0];
-      const Complex a1 = amps_[i1];
-      amps_[i0] = m00 * a0 + m01 * a1;
-      amps_[i1] = m10 * a0 + m11 * a1;
-    }
+    simd::Apply1QRange(lvl, re_.data(), im_.data(), pb, pe, stride, m);
   });
 }
 
@@ -149,8 +199,10 @@ void StateVector::ApplyDiagonal1Q(int qubit, Complex d0, Complex d1) {
   QDB_CHECK_GE(qubit, 0);
   QDB_CHECK_LT(qubit, num_qubits_);
   const uint64_t mask = uint64_t{1} << BitPos(qubit);
+  const double d[4] = {d0.real(), d0.imag(), d1.real(), d1.imag()};
+  const simd::SimdLevel lvl = simd::ActiveSimdLevel();
   ForKernelRange(dim(), dim(), [&](uint64_t b, uint64_t e) {
-    for (uint64_t i = b; i < e; ++i) amps_[i] *= (i & mask) ? d1 : d0;
+    simd::Diag1QRange(lvl, re_.data(), im_.data(), b, e, mask, d);
   });
 }
 
@@ -163,17 +215,13 @@ void StateVector::ApplyControlled1Q(int control, int target, Complex m00,
   QDB_CHECK_LT(target, num_qubits_);
   const uint64_t cmask = uint64_t{1} << BitPos(control);
   const uint64_t stride = uint64_t{1} << BitPos(target);
+  double m[8];
+  Pack1Q(m00, m01, m10, m11, m);
+  const simd::SimdLevel lvl = simd::ActiveSimdLevel();
   // Same pair-index walk as Apply1Q, acting only where the control is set.
   ForKernelRange(dim(), dim() / 2, [&](uint64_t pb, uint64_t pe) {
-    for (uint64_t p = pb; p < pe; ++p) {
-      const uint64_t i0 = ((p & ~(stride - 1)) << 1) | (p & (stride - 1));
-      if (!(i0 & cmask)) continue;
-      const uint64_t i1 = i0 + stride;
-      const Complex a0 = amps_[i0];
-      const Complex a1 = amps_[i1];
-      amps_[i0] = m00 * a0 + m01 * a1;
-      amps_[i1] = m10 * a0 + m11 * a1;
-    }
+    simd::Controlled1QRange(lvl, re_.data(), im_.data(), pb, pe, stride, cmask,
+                            m);
   });
 }
 
@@ -185,9 +233,9 @@ void StateVector::Apply2Q(int a, int b, const Matrix& u) {
   const uint64_t bmask = uint64_t{1} << BitPos(b);
   // Hoist the 16 entries out of the sweep: Matrix::operator() bounds-checks
   // every access, which would otherwise dominate this (hot, fusion-emitted)
-  // kernel's inner loop. Split into real/imag planes so the row updates
-  // below are plain double arithmetic — std::complex operator* carries an
-  // Annex-G NaN-recovery branch per product that blocks vectorization.
+  // kernel's inner loop. Real/imag planes so the row updates are plain
+  // double arithmetic — std::complex operator* carries an Annex-G
+  // NaN-recovery branch per product that blocks vectorization.
   double mr[4][4], mi[4][4];
   for (int r = 0; r < 4; ++r) {
     for (int col = 0; col < 4; ++col) {
@@ -205,31 +253,10 @@ void StateVector::Apply2Q(int a, int b, const Matrix& u) {
   const uint64_t hi_pos = BitPos(a) < BitPos(b) ? BitPos(b) : BitPos(a);
   const uint64_t lo_keep = (uint64_t{1} << lo_pos) - 1;
   const uint64_t mid_keep = ((uint64_t{1} << (hi_pos - 1)) - 1) & ~lo_keep;
+  const simd::SimdLevel lvl = simd::ActiveSimdLevel();
   ForKernelRange(dim(), dim() / 4, [&](uint64_t gb, uint64_t ge) {
-    for (uint64_t g = gb; g < ge; ++g) {
-      const uint64_t i = (g & lo_keep) | ((g & mid_keep) << 1) |
-                         ((g & ~(lo_keep | mid_keep)) << 2);
-      const uint64_t i00 = i;
-      const uint64_t i01 = i | bmask;
-      const uint64_t i10 = i | amask;
-      const uint64_t i11 = i | amask | bmask;
-      const double vr[4] = {amps_[i00].real(), amps_[i01].real(),
-                            amps_[i10].real(), amps_[i11].real()};
-      const double vi[4] = {amps_[i00].imag(), amps_[i01].imag(),
-                            amps_[i10].imag(), amps_[i11].imag()};
-      const uint64_t idx[4] = {i00, i01, i10, i11};
-      for (int r = 0; r < 4; ++r) {
-        // Same products and left-to-right summation order as the
-        // std::complex fast path, so finite results are bit-identical to
-        // the previous complex-arithmetic formulation.
-        double out_r = 0.0, out_i = 0.0;
-        for (int col = 0; col < 4; ++col) {
-          out_r += mr[r][col] * vr[col] - mi[r][col] * vi[col];
-          out_i += mr[r][col] * vi[col] + mi[r][col] * vr[col];
-        }
-        amps_[idx[r]] = Complex(out_r, out_i);
-      }
-    }
+    simd::Apply2QRange(lvl, re_.data(), im_.data(), gb, ge, amask, bmask,
+                       lo_keep, mid_keep, mr, mi);
   });
 }
 
@@ -238,16 +265,11 @@ void StateVector::ApplyDiagonal2Q(int a, int b, Complex d0, Complex d1,
   QDB_CHECK_NE(a, b);
   const uint64_t amask = uint64_t{1} << BitPos(a);
   const uint64_t bmask = uint64_t{1} << BitPos(b);
+  const double d[8] = {d0.real(), d0.imag(), d1.real(), d1.imag(),
+                       d2.real(), d2.imag(), d3.real(), d3.imag()};
+  const simd::SimdLevel lvl = simd::ActiveSimdLevel();
   ForKernelRange(dim(), dim(), [&](uint64_t lo, uint64_t hi) {
-    for (uint64_t i = lo; i < hi; ++i) {
-      const int idx = ((i & amask) ? 2 : 0) | ((i & bmask) ? 1 : 0);
-      switch (idx) {
-        case 0: amps_[i] *= d0; break;
-        case 1: amps_[i] *= d1; break;
-        case 2: amps_[i] *= d2; break;
-        case 3: amps_[i] *= d3; break;
-      }
-    }
+    simd::Diag2QRange(lvl, re_.data(), im_.data(), lo, hi, amask, bmask, d);
   });
 }
 
@@ -260,7 +282,8 @@ void StateVector::ApplySwap(int a, int b) {
     const bool bbit = i & bmask;
     if (abit && !bbit) {
       const uint64_t j = (i & ~amask) | bmask;
-      std::swap(amps_[i], amps_[j]);
+      std::swap(re_[i], re_[j]);
+      std::swap(im_[i], im_[j]);
     }
   }
 }
@@ -287,12 +310,13 @@ void StateVector::ApplyKQ(const std::vector<int>& qubits, const Matrix& u) {
         if (g & (uint64_t{1} << (k - 1 - j))) idx |= masks[j];
       }
       indices[g] = idx;
-      old_vals[g] = amps_[idx];
+      old_vals[g] = Complex(re_[idx], im_[idx]);
     }
     for (uint64_t r = 0; r < group; ++r) {
       Complex acc(0.0, 0.0);
       for (uint64_t c = 0; c < group; ++c) acc += u(r, c) * old_vals[c];
-      amps_[indices[r]] = acc;
+      re_[indices[r]] = acc.real();
+      im_[indices[r]] = acc.imag();
     }
   }
 }
@@ -306,7 +330,8 @@ void StateVector::ApplyMCX(const std::vector<int>& controls, int target) {
   const uint64_t tmask = uint64_t{1} << BitPos(target);
   for (uint64_t i = 0; i < dim(); ++i) {
     if ((i & cmask) == cmask && !(i & tmask)) {
-      std::swap(amps_[i], amps_[i | tmask]);
+      std::swap(re_[i], re_[i | tmask]);
+      std::swap(im_[i], im_[i | tmask]);
     }
   }
 }
@@ -318,38 +343,45 @@ void StateVector::ApplyMCZ(const std::vector<int>& controls, int target) {
     mask |= uint64_t{1} << BitPos(c);
   }
   for (uint64_t i = 0; i < dim(); ++i) {
-    if ((i & mask) == mask) amps_[i] = -amps_[i];
+    if ((i & mask) == mask) {
+      re_[i] = -re_[i];
+      im_[i] = -im_[i];
+    }
   }
 }
 
-uint64_t StateVector::SampleOnce(Rng& rng) const {
-  // Scale the draw by the total probability mass, exactly as SampleCounts
-  // does: for states whose norm has drifted below 1 an unscaled draw in
-  // [0, 1) silently over-weights the last basis state, making single-shot
-  // measurement disagree in distribution with SampleCounts.
-  double total = 0.0;
-  for (uint64_t i = 0; i < dim(); ++i) total += std::norm(amps_[i]);
-  const double target = rng.Uniform() * total;
+DVector StateVector::CumulativeProbabilities() const {
+  DVector cdf(dim());
   double acc = 0.0;
   for (uint64_t i = 0; i < dim(); ++i) {
-    acc += std::norm(amps_[i]);
-    if (target < acc) return i;
+    acc += re_[i] * re_[i] + im_[i] * im_[i];
+    cdf[i] = acc;
   }
-  return dim() - 1;  // Floating-point slack: fall to the last state.
+  return cdf;
+}
+
+uint64_t StateVector::SampleOnce(Rng& rng) const {
+  // Same CDF + binary-search path as SampleCounts, and the same draw
+  // semantics the old linear scan had: the scan returned the first index
+  // whose running prefix sum exceeded target, which is exactly
+  // upper_bound on the prefix-sum array. Scaling the draw by the total
+  // mass keeps sub-normalized states sampling in distribution with
+  // SampleCounts instead of over-weighting the last basis state.
+  const DVector cdf = CumulativeProbabilities();
+  const double target = rng.Uniform() * cdf.back();
+  auto it = std::upper_bound(cdf.begin(), cdf.end(), target);
+  uint64_t idx = static_cast<uint64_t>(it - cdf.begin());
+  if (idx >= dim()) idx = dim() - 1;  // Floating-point slack.
+  return idx;
 }
 
 std::map<uint64_t, int> StateVector::SampleCounts(Rng& rng, int shots) const {
   QDB_CHECK_GE(shots, 0);
   std::map<uint64_t, int> counts;
   // CDF + binary search: O(2^n + shots log 2^n).
-  DVector cdf(dim());
-  double acc = 0.0;
-  for (uint64_t i = 0; i < dim(); ++i) {
-    acc += std::norm(amps_[i]);
-    cdf[i] = acc;
-  }
+  const DVector cdf = CumulativeProbabilities();
   for (int s = 0; s < shots; ++s) {
-    double target = rng.Uniform() * acc;
+    double target = rng.Uniform() * cdf.back();
     auto it = std::upper_bound(cdf.begin(), cdf.end(), target);
     uint64_t idx = static_cast<uint64_t>(it - cdf.begin());
     if (idx >= dim()) idx = dim() - 1;
@@ -362,18 +394,30 @@ int StateVector::MeasureQubit(int qubit, Rng& rng) {
   const double p1 = ProbabilityOfOne(qubit);
   const int outcome = rng.Bernoulli(p1) ? 1 : 0;
   const uint64_t mask = uint64_t{1} << BitPos(qubit);
-  for (uint64_t i = 0; i < dim(); ++i) {
-    const bool bit = i & mask;
-    if (bit != (outcome == 1)) amps_[i] = Complex(0.0, 0.0);
-  }
-  Renormalize();
+  const uint64_t keep = (outcome == 1) ? mask : uint64_t{0};
+  const simd::SimdLevel lvl = simd::ActiveSimdLevel();
+  // Fused collapse: one pass zeroes the rejected branch while accumulating
+  // the kept branch's probability mass (deterministic chunking above the
+  // parallel threshold), then one renormalizing division pass — instead of
+  // the old serial zeroing walk plus a full Renormalize re-scan.
+  const double kept =
+      SumKernelRange<double>(dim(), dim(), [&](uint64_t b, uint64_t e) {
+        return simd::CollapseRange(lvl, re_.data(), im_.data(), b, e, mask,
+                                   keep);
+      });
+  QDB_CHECK_GT(kept, 0.0) << "measurement collapsed to a zero-mass branch";
+  const double n = std::sqrt(kept);
+  ForKernelRange(dim(), dim(), [&](uint64_t b, uint64_t e) {
+    simd::DivRange(lvl, re_.data(), im_.data(), b, e, n);
+  });
   return outcome;
 }
 
 uint64_t StateVector::MeasureAll(Rng& rng) {
   const uint64_t outcome = SampleOnce(rng);
-  std::fill(amps_.begin(), amps_.end(), Complex(0.0, 0.0));
-  amps_[outcome] = Complex(1.0, 0.0);
+  std::fill(re_.begin(), re_.end(), 0.0);
+  std::fill(im_.begin(), im_.end(), 0.0);
+  re_[outcome] = 1.0;
   return outcome;
 }
 

@@ -4,6 +4,13 @@
 /// Convention used across qdb: qubit 0 is the *most significant* bit of the
 /// basis index, matching the Kronecker order of GateMatrix and
 /// PauliString::ToMatrix (state ⊗ order q0 ⊗ q1 ⊗ ... ⊗ q_{n-1}).
+///
+/// Storage is structure-of-arrays: two 64-byte-aligned double planes hold
+/// the real and imaginary amplitude components separately, so the SIMD
+/// kernels (sim/kernels.h) stream homogeneous doubles instead of
+/// interleaved std::complex. The complex-vector API survives as a
+/// conversion shim (ToAmplitudes / FromAmplitudes / SetAmplitudes);
+/// serialized artifacts and callers that want CVector are unchanged.
 
 #ifndef QDB_SIM_STATE_VECTOR_H_
 #define QDB_SIM_STATE_VECTOR_H_
@@ -13,6 +20,7 @@
 #include <string>
 #include <vector>
 
+#include "common/aligned.h"
 #include "common/result.h"
 #include "common/rng.h"
 #include "linalg/matrix.h"
@@ -45,9 +53,24 @@ class StateVector {
   int num_qubits() const { return num_qubits_; }
   uint64_t dim() const { return uint64_t{1} << num_qubits_; }
 
-  const CVector& amplitudes() const { return amps_; }
-  CVector& amplitudes() { return amps_; }
+  // ---- Amplitude access ------------------------------------------------------
+
+  /// Raw real/imag planes (length dim(), 64-byte aligned).
+  const double* reals() const { return re_.data(); }
+  double* reals() { return re_.data(); }
+  const double* imags() const { return im_.data(); }
+  double* imags() { return im_.data(); }
+
   Complex amplitude(uint64_t index) const;
+  void set_amplitude(uint64_t index, Complex value);
+
+  /// Materializes the interleaved complex amplitude vector (copy).
+  CVector ToAmplitudes() const;
+
+  /// Overwrites the state from an interleaved complex vector of exactly
+  /// dim() entries. Trusted internal shim: no norm check — callers that
+  /// need validation go through FromAmplitudes.
+  void SetAmplitudes(const CVector& amplitudes);
 
   /// |amplitude|² of one basis state.
   double Probability(uint64_t index) const;
@@ -111,6 +134,9 @@ class StateVector {
   std::map<uint64_t, int> SampleCounts(Rng& rng, int shots) const;
 
   /// Projectively measures one qubit: returns 0/1 and collapses the state.
+  /// Collapse and kept-branch norm accumulation are fused into one pass,
+  /// parallel above kParallelAmplitudeThreshold with the pool's
+  /// deterministic chunking.
   int MeasureQubit(int qubit, Rng& rng);
 
   /// Projectively measures all qubits: returns the basis index and
@@ -124,8 +150,14 @@ class StateVector {
   /// Bit position (from LSB) of `qubit` in the basis index.
   int BitPos(int qubit) const { return num_qubits_ - 1 - qubit; }
 
+  /// Running prefix sums of basis-state probabilities, accumulated serially
+  /// in index order (shared by SampleOnce and SampleCounts so both draw
+  /// from the identical CDF).
+  DVector CumulativeProbabilities() const;
+
   int num_qubits_;
-  CVector amps_;
+  AlignedDVector re_;
+  AlignedDVector im_;
 };
 
 }  // namespace qdb

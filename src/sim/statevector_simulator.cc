@@ -309,7 +309,8 @@ double Expectation(const StateVector& state, const PauliString& pauli) {
         break;
     }
   }
-  const CVector& amps = state.amplitudes();
+  const double* re = state.reals();
+  const double* im = state.imags();
   const uint64_t dim = state.dim();
   Complex acc(0.0, 0.0);
   const int y_count = __builtin_popcountll(ymask);
@@ -324,15 +325,23 @@ double Expectation(const StateVector& state, const PauliString& pauli) {
     case 3: i_power = {0.0, -1.0}; break;
   }
   auto chunk_sum = [&](uint64_t begin, uint64_t end) {
-    Complex part(0.0, 0.0);
+    // Plane arithmetic replicating conj(a[i^xmask]) * phase * a[i] with the
+    // std::complex product order, minus its per-product Annex-G branches.
+    double part_r = 0.0, part_i = 0.0;
     for (uint64_t i = begin; i < end; ++i) {
       const int sign_bits =
           (__builtin_popcountll(i & ymask) + __builtin_popcountll(i & zmask)) &
           1;
-      Complex phase = i_power * (sign_bits ? -1.0 : 1.0);
-      part += std::conj(amps[i ^ xmask]) * phase * amps[i];
+      const double flip = sign_bits ? -1.0 : 1.0;
+      const double pr = i_power.real() * flip;
+      const double pi = i_power.imag() * flip;
+      const uint64_t j = i ^ xmask;
+      const double t1r = re[j] * pr + im[j] * pi;   // (conj(a_j) * phase).re
+      const double t1i = re[j] * pi - im[j] * pr;   // (conj(a_j) * phase).im
+      part_r += t1r * re[i] - t1i * im[i];
+      part_i += t1r * im[i] + t1i * re[i];
     }
-    return part;
+    return Complex(part_r, part_i);
   };
   // Read-only fan-out; chunked accumulation above the threshold keeps the
   // combine order fixed for every thread count.

@@ -35,7 +35,7 @@ TEST(AngleEncodingTest, RyAnglesGiveExpectedProbabilities) {
 TEST(AngleEncodingTest, ScaleMultipliesAngles) {
   StateVector a = RunCircuit(AngleEncoding({0.5}, RotationAxis::kY, 2.0));
   StateVector b = RunCircuit(AngleEncoding({1.0}, RotationAxis::kY, 1.0));
-  EXPECT_NEAR(Fidelity(a.amplitudes(), b.amplitudes()), 1.0, 1e-12);
+  EXPECT_NEAR(Fidelity(a.ToAmplitudes(), b.ToAmplitudes()), 1.0, 1e-12);
 }
 
 TEST(AngleEncodingTest, AxisVariants) {
@@ -53,7 +53,7 @@ TEST(ZZFeatureMapTest, WidthAndDifferentiation) {
   // Different data → different states (the map is injective enough here).
   StateVector a = RunCircuit(ZZFeatureMap({0.3, 0.8}, 2));
   StateVector b = RunCircuit(ZZFeatureMap({0.9, 0.1}, 2));
-  EXPECT_LT(Fidelity(a.amplitudes(), b.amplitudes()), 0.999);
+  EXPECT_LT(Fidelity(a.ToAmplitudes(), b.ToAmplitudes()), 0.999);
 }
 
 TEST(ZZFeatureMapTest, SingleFeatureHasNoEntanglers) {

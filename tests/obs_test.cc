@@ -258,6 +258,36 @@ TEST(HistogramTest, ApproxQuantileClampsOverflowToLastBound) {
   EXPECT_DOUBLE_EQ(h.ApproxQuantile(0.99), 2.0);
 }
 
+TEST(HistogramTest, OverflowCountTracksSamplesAboveLastBound) {
+  Histogram h({1.0, 2.0});
+  EXPECT_EQ(h.OverflowCount(), 0);
+  h.Observe(0.5);
+  h.Observe(2.0);  // le="2" bucket, not overflow.
+  EXPECT_EQ(h.OverflowCount(), 0);
+  h.Observe(2.5);
+  h.Observe(100.0);
+  EXPECT_EQ(h.OverflowCount(), 2);
+  h.Reset();
+  EXPECT_EQ(h.OverflowCount(), 0);
+}
+
+TEST(RegistryTest, ExportsSurfaceHistogramOverflow) {
+  Histogram* h = GetHistogram("obs_test.overflow_hist", {1.0, 2.0});
+  h->Reset();
+  h->Observe(0.5);
+  h->Observe(7.0);  // Overflow: quantiles for this histogram are clamped.
+  h->Observe(9.0);
+
+  const std::string text = MetricsRegistry::Global().ExportText();
+  EXPECT_NE(text.find("obs_test.overflow_hist_overflow 2"), std::string::npos)
+      << text;
+
+  const std::string json = MetricsRegistry::Global().ExportJson();
+  EXPECT_TRUE(JsonChecker(json).Valid()) << json;
+  EXPECT_NE(json.find("\"obs_test.overflow_hist\":{"), std::string::npos);
+  EXPECT_NE(json.find(",\"overflow\":2"), std::string::npos) << json;
+}
+
 TEST(HistogramTest, ScopedTimerObservesOnce) {
   Histogram* h = GetHistogram("obs_test.scoped_timer_hist");
   h->Reset();

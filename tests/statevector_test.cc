@@ -4,6 +4,7 @@
 
 #include <cmath>
 
+#include "common/thread_pool.h"
 #include "sim/state_vector.h"
 #include "sim/statevector_simulator.h"
 
@@ -112,7 +113,7 @@ TEST(StateVectorTest, Apply2QGenericMatchesKron) {
   StateVector s(2);
   s.Apply1Q(0, GateMatrix(GateType::kH, {}));
   s.Apply1Q(1, GateMatrix(GateType::kRY, {0.4}));
-  CVector direct = u.Apply(s.amplitudes());
+  CVector direct = u.Apply(s.ToAmplitudes());
   s.Apply2Q(0, 1, u);
   for (uint64_t i = 0; i < 4; ++i) {
     EXPECT_NEAR(std::abs(s.amplitude(i) - direct[i]), 0.0, 1e-12);
@@ -127,7 +128,7 @@ TEST(StateVectorTest, Apply2QReversedOperandsMatchesSwappedKron) {
   s.Apply1Q(0, GateMatrix(GateType::kH, {}));
   s.Apply1Q(1, GateMatrix(GateType::kH, {}));
   s.Apply1Q(1, GateMatrix(GateType::kT, {}));
-  CVector direct = (swap * u * swap).Apply(s.amplitudes());
+  CVector direct = (swap * u * swap).Apply(s.ToAmplitudes());
   s.Apply2Q(1, 0, u);
   for (uint64_t i = 0; i < 4; ++i) {
     EXPECT_NEAR(std::abs(s.amplitude(i) - direct[i]), 0.0, 1e-12);
@@ -158,7 +159,7 @@ TEST(StateVectorTest, ApplyKQMatchesDenseOnThreeQubits) {
   s.Apply1Q(0, GateMatrix(GateType::kH, {}));
   s.Apply1Q(1, GateMatrix(GateType::kH, {}));
   s.Apply1Q(2, GateMatrix(GateType::kRY, {0.3}));
-  CVector direct = ccx.Apply(s.amplitudes());
+  CVector direct = ccx.Apply(s.ToAmplitudes());
   s.ApplyKQ({0, 1, 2}, ccx);
   for (uint64_t i = 0; i < 8; ++i) {
     EXPECT_NEAR(std::abs(s.amplitude(i) - direct[i]), 0.0, 1e-12);
@@ -207,6 +208,74 @@ TEST(StateVectorTest, SampleCountsTotalsShots) {
   int total = 0;
   for (const auto& [_, c] : counts) total += c;
   EXPECT_EQ(total, 1000);
+}
+
+TEST(StateVectorTest, SampleOnceMatchesLinearScanReference) {
+  // Regression: SampleOnce used an O(2^n) linear scan per draw. It now shares
+  // the prefix-sum CDF + upper_bound path with SampleCounts; for the same Rng
+  // stream the sampled outcomes must be identical to the old scan's
+  // ("first index with target < running sum", falling back to dim()-1).
+  StateVector s(6);
+  for (int q = 0; q < 6; ++q) {
+    s.Apply1Q(q, GateMatrix(GateType::kH, {}));
+    s.Apply1Q(q, GateMatrix(GateType::kRY, {0.3 + 0.17 * q}));
+  }
+  DVector probs = s.Probabilities();
+  double total = 0.0;
+  for (double p : probs) total += p;
+
+  Rng rng_cdf(12345), rng_ref(12345);
+  for (int t = 0; t < 500; ++t) {
+    const uint64_t got = s.SampleOnce(rng_cdf);
+    const double target = rng_ref.Uniform() * total;
+    double acc = 0.0;
+    uint64_t expected = s.dim() - 1;
+    for (uint64_t i = 0; i < s.dim(); ++i) {
+      acc += probs[i];
+      if (target < acc) {
+        expected = i;
+        break;
+      }
+    }
+    ASSERT_EQ(got, expected) << "draw " << t;
+  }
+}
+
+TEST(StateVectorTest, MeasureQubitSerialParallelBitIdentical) {
+  // Regression: the fused collapse + norm pass must give bit-identical
+  // results at every thread width (deterministic chunking), at a size above
+  // kParallelAmplitudeThreshold so the parallel path actually engages.
+  const int n = 15;  // 2^15 amplitudes > threshold of 2^14.
+  auto prepare = [&] {
+    StateVector s(n);
+    for (int q = 0; q < n; ++q) {
+      s.Apply1Q(q, GateMatrix(GateType::kH, {}));
+      s.Apply1Q(q, GateMatrix(GateType::kRY, {0.1 + 0.05 * q}));
+      s.Apply1Q(q, GateMatrix(GateType::kRZ, {0.2 + 0.03 * q}));
+    }
+    return s;
+  };
+
+  ThreadPool::SetGlobalThreads(1);
+  StateVector serial = prepare();
+  Rng rng_serial(77);
+  const int outcome_serial = serial.MeasureQubit(3, rng_serial);
+
+  ThreadPool::SetGlobalThreads(4);
+  StateVector parallel = prepare();
+  Rng rng_parallel(77);
+  const int outcome_parallel = parallel.MeasureQubit(3, rng_parallel);
+  ThreadPool::SetGlobalThreads(1);
+
+  ASSERT_EQ(outcome_serial, outcome_parallel);
+  const double* sr = serial.reals();
+  const double* si = serial.imags();
+  const double* pr = parallel.reals();
+  const double* pi = parallel.imags();
+  for (uint64_t i = 0; i < serial.dim(); ++i) {
+    ASSERT_EQ(sr[i], pr[i]) << "re mismatch at " << i;
+    ASSERT_EQ(si[i], pi[i]) << "im mismatch at " << i;
+  }
 }
 
 TEST(StateVectorTest, BitStringRendering) {

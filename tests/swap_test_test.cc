@@ -41,7 +41,7 @@ TEST_P(SwapTestPropertyTest, MatchesDirectFidelity) {
   auto overlap = SwapTestOverlap(psi.value(), phi.value());
   ASSERT_TRUE(overlap.ok());
   const double direct =
-      Fidelity(psi.value().amplitudes(), phi.value().amplitudes());
+      Fidelity(psi.value().ToAmplitudes(), phi.value().ToAmplitudes());
   EXPECT_NEAR(overlap.value(), direct, 1e-9);
 }
 
@@ -53,7 +53,7 @@ TEST(SwapTestTest, SampledEstimateConverges) {
   StateVector psi(1);
   psi.Apply1Q(0, GateMatrix(GateType::kRY, {0.9}));
   StateVector phi(1);
-  const double direct = Fidelity(psi.amplitudes(), phi.amplitudes());
+  const double direct = Fidelity(psi.ToAmplitudes(), phi.ToAmplitudes());
   auto sampled = SwapTestOverlapSampled(psi, phi, 20000, rng);
   ASSERT_TRUE(sampled.ok());
   EXPECT_NEAR(sampled.value(), direct, 0.03);
