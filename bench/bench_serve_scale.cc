@@ -1,0 +1,225 @@
+// E20 — Serving saturation sweep: sharded queues + work-stealing dispatchers
+// vs the single-queue, single-dispatcher server, under a growing closed-loop
+// client population.
+//
+// The workload is 32 small VQC models (8 qubits — cheap enough that the
+// serving runtime, not the simulator, is the bottleneck) spread evenly
+// across shards by construction: model names are *searched* at setup until
+// ShardFor places exactly kModels / kShards of them on every shard, so the
+// sweep measures sharding, not hash luck. Clients run closed-loop
+// (submit → block → next) round-robin over the model set and measure
+// per-request latency client-side.
+//
+// Why sharding pays on a single core: a lone dispatcher serializes the
+// batch coalescing window (max_wait_us of idle cv-waiting whenever a batch
+// is not full) with execution — every under-full batch costs the whole
+// pipeline its window. With N shards and N dispatchers the OS overlaps one
+// dispatcher's window sleep with another's batch execution, and an idle
+// dispatcher steals a backlogged shard's batch *without* a window at all,
+// so the idle time hides behind useful work. The sweep's acceptance bar
+// (DESIGN.md / EXPERIMENTS.md E20): aggregate throughput rises with shard
+// count at 64+ clients, and p99 at 256 clients for the 8×8 config is at
+// least 2x better than 1×1.
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/strings.h"
+#include "serve/inference_server.h"
+#include "serve/model_registry.h"
+#include "serve/servable.h"
+
+namespace qdb {
+namespace serve {
+namespace {
+
+constexpr int kQubits = 8;
+constexpr int kModels = 32;
+constexpr size_t kPlacementShards = 8;  // The largest swept shard count.
+
+ModelArtifact SmallVqcArtifact(const std::string& name, uint64_t seed) {
+  Rng rng(seed);
+  ModelArtifact a;
+  a.type = ModelType::kVqcClassifier;
+  a.name = name;
+  a.num_features = kQubits;
+  a.encoding = VqcEncoding::kAngle;
+  a.ansatz_layers = 2;
+  a.entanglement = Entanglement::kLinear;
+  a.feature_scale = 1.0;
+  a.params.resize(RealAmplitudesParamCount(kQubits, a.ansatz_layers));
+  for (auto& p : a.params) p = rng.Uniform(-0.5, 0.5);
+  return a;
+}
+
+/// Model names balanced across the largest swept shard count: candidate
+/// names are probed through the server's own routing hash until every
+/// shard owns exactly kModels / kPlacementShards of them. Smaller shard
+/// counts then see a coarser but still deterministic spread.
+std::vector<std::string> BalancedModelNames() {
+  static const std::vector<std::string> names = [] {
+    std::vector<std::string> out;
+    std::vector<int> per_shard(kPlacementShards, 0);
+    const int quota = kModels / static_cast<int>(kPlacementShards);
+    for (int candidate = 0; static_cast<int>(out.size()) < kModels;
+         ++candidate) {
+      const std::string name = StrCat("scale-vqc-", candidate);
+      const size_t shard = InferenceServer::ShardFor(name, 1,
+                                                     kPlacementShards);
+      if (per_shard[shard] >= quota) continue;
+      ++per_shard[shard];
+      out.push_back(name);
+    }
+    return out;
+  }();
+  return names;
+}
+
+std::vector<DVector> MakeQueries(int count, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<DVector> queries(count, DVector(kQubits));
+  for (auto& q : queries) {
+    for (auto& v : q) v = rng.Uniform(0.0, M_PI);
+  }
+  return queries;
+}
+
+void BM_ServeSaturation(benchmark::State& state) {
+  const int num_shards = static_cast<int>(state.range(0));
+  const int num_dispatchers = static_cast<int>(state.range(1));
+  const int clients = static_cast<int>(state.range(2));
+  // Small client counts get more requests each so every configuration
+  // measures at least 64 requests per iteration.
+  const int per_client = std::max(8, 64 / clients);
+  const int total = clients * per_client;
+
+  const std::vector<std::string> names = BalancedModelNames();
+  ModelRegistry registry;
+  for (int m = 0; m < kModels; ++m) {
+    if (!registry.Register(SmallVqcArtifact(names[m], 100 + m)).ok()) {
+      state.SkipWithError("register failed");
+      return;
+    }
+  }
+
+  ServerOptions opts;
+  opts.num_shards = num_shards;
+  opts.num_dispatchers = num_dispatchers;
+  opts.queue_capacity = 4096;
+  opts.max_batch_size = 16;
+  // A deliberately generous coalescing window: the sweep measures how well
+  // each configuration hides it, which is exactly what sharding buys on
+  // one core.
+  opts.max_wait_us = 1000;
+  opts.steal_poll_us = 200;
+  opts.result_cache_capacity = 0;  // Measure the runtime, not memoization.
+  opts.enable_breaker = false;     // No admission noise in the sweep.
+  opts.enable_slo = false;
+  InferenceServer server(registry, opts);
+  if (!server.Start().ok()) {
+    state.SkipWithError("server failed to start");
+    return;
+  }
+
+  const std::vector<DVector> queries = MakeQueries(total, 71);
+  std::vector<double> latencies_us;
+  std::mutex latencies_mu;
+  std::atomic<int> ok_count{0};
+  long requests_done = 0;
+
+  for (auto _ : state) {
+    std::vector<std::thread> threads;
+    threads.reserve(clients);
+    for (int c = 0; c < clients; ++c) {
+      threads.emplace_back([&, c] {
+        std::vector<double> local;
+        local.reserve(per_client);
+        // Each client picks models at random (deterministic per client):
+        // mixed traffic with no lockstep convoys, so batches coalesce only
+        // as well as the runtime's windows genuinely allow.
+        Rng rng(1000 + c);
+        for (int i = 0; i < per_client; ++i) {
+          InferenceRequest request;
+          request.model = names[rng.UniformInt(0, kModels - 1)];
+          request.input = queries[c * per_client + i];
+          const auto start = std::chrono::steady_clock::now();
+          auto response = server.Submit(std::move(request)).get();
+          const auto elapsed = std::chrono::steady_clock::now() - start;
+          if (response.ok()) {
+            ok_count.fetch_add(1, std::memory_order_relaxed);
+            local.push_back(static_cast<double>(
+                std::chrono::duration_cast<std::chrono::microseconds>(
+                    elapsed)
+                    .count()));
+          }
+        }
+        std::lock_guard<std::mutex> lock(latencies_mu);
+        latencies_us.insert(latencies_us.end(), local.begin(), local.end());
+      });
+    }
+    for (auto& t : threads) t.join();
+    requests_done += total;
+  }
+  const auto stats = server.stats();
+  server.Shutdown();
+
+  if (latencies_us.empty() || ok_count.load() != requests_done) {
+    state.SkipWithError("requests failed");
+    return;
+  }
+  std::sort(latencies_us.begin(), latencies_us.end());
+  const size_t p99_index =
+      std::min(latencies_us.size() - 1,
+               static_cast<size_t>(
+                   0.99 * static_cast<double>(latencies_us.size())));
+  state.counters["req_per_s"] = benchmark::Counter(
+      static_cast<double>(requests_done), benchmark::Counter::kIsRate);
+  state.counters["p50_us"] = latencies_us[latencies_us.size() / 2];
+  state.counters["p99_us"] = latencies_us[p99_index];
+  state.counters["shards"] = num_shards;
+  state.counters["dispatchers"] = num_dispatchers;
+  state.counters["clients"] = clients;
+  state.counters["steals"] = static_cast<double>(stats.steals);
+  state.counters["fifo_violations"] =
+      static_cast<double>(stats.fifo_violations);
+  if (stats.batches > 0) {
+    state.counters["avg_batch"] = static_cast<double>(stats.completed) /
+                                  static_cast<double>(stats.batches);
+  }
+  state.SetLabel(StrCat(num_shards, "s/", num_dispatchers, "d/", clients,
+                        "c"));
+}
+
+BENCHMARK(BM_ServeSaturation)
+    // Client saturation sweep: baseline single-queue server…
+    ->Args({1, 1, 1})
+    ->Args({1, 1, 4})
+    ->Args({1, 1, 16})
+    ->Args({1, 1, 64})
+    ->Args({1, 1, 256})
+    // …vs the full sharded configuration at the same client counts…
+    ->Args({8, 8, 1})
+    ->Args({8, 8, 4})
+    ->Args({8, 8, 16})
+    ->Args({8, 8, 64})
+    ->Args({8, 8, 256})
+    // …and the shard-count axis at a fixed 64-client load.
+    ->Args({2, 2, 64})
+    ->Args({4, 4, 64})
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+}  // namespace
+}  // namespace serve
+}  // namespace qdb
+
+BENCHMARK_MAIN();

@@ -9,12 +9,22 @@
 // micro-batches over one pre-compiled circuit and memoizing repeated
 // inputs in an LRU result cache.
 //
+// Load shape: --clients N (default 8) concurrent closed-loop clients;
+// --seconds S runs each client for a wall-clock duration instead of the
+// default fixed 32 requests; --shards / --dispatchers size the sharded
+// serving runtime. Multi-tenancy: clients carry alternating tenant ids,
+// and --quota-rate R (tokens/s, with --quota-burst B) arms per-tenant
+// token buckets — over-budget tenants see "resource exhausted" rejections
+// counted separately from real failures.
+//
 // Observability: run with QDB_TRACE=1 (or pass --trace-out trace.json) to
 // capture a Chrome trace-event timeline with per-request span trees;
-// --statusz prints the server introspection page (queue, breakers, SLO burn
-// rates, slowest traces) before shutdown; --metrics-out metrics.json dumps
-// the full registry — including the labeled serve.requests{model,kind,
-// outcome} and serve.latency_us{model,outcome} families — as JSON.
+// --statusz prints the server introspection page (per-shard queues,
+// per-tenant token buckets, breakers, SLO burn rates, slowest traces)
+// before shutdown; --metrics-out metrics.json dumps the full registry —
+// including the labeled serve.requests{model,kind,outcome},
+// serve.latency_us{model,outcome}, serve.shard.depth{shard}, and
+// serve.quota.rejected{tenant} families — as JSON.
 //
 // Chaos: set QDB_FAULTS to arm seeded fault points across the stack (see
 // fault/fault_injector.h for the grammar and scripts/chaos.sh for the
@@ -62,6 +72,18 @@ bool HasFlag(int argc, char** argv, const char* flag) {
     if (std::strcmp(argv[i], flag) == 0) return true;
   }
   return false;
+}
+
+long ParseLongFlag(int argc, char** argv, const char* flag,
+                   long default_value) {
+  const char* value = ParseFlagValue(argc, argv, flag);
+  return value != nullptr ? std::atol(value) : default_value;
+}
+
+double ParseDoubleFlag(int argc, char** argv, const char* flag,
+                       double default_value) {
+  const char* value = ParseFlagValue(argc, argv, flag);
+  return value != nullptr ? std::atof(value) : default_value;
 }
 
 }  // namespace
@@ -140,34 +162,65 @@ int main(int argc, char** argv) {
   }
 
   // ---- Online: serve under concurrent load ---------------------------------
+  const int num_clients = static_cast<int>(
+      std::max(1l, ParseLongFlag(argc, argv, "--clients", 8)));
+  const double run_seconds =
+      ParseDoubleFlag(argc, argv, "--seconds", 0.0);  // 0 = fixed count.
+  const int requests_per_client = static_cast<int>(
+      std::max(1l, ParseLongFlag(argc, argv, "--requests-per-client", 32)));
+  const double quota_rate =
+      ParseDoubleFlag(argc, argv, "--quota-rate", 0.0);  // 0 = quotas off.
+
   serve::ServerOptions opts;
   opts.max_batch_size = 16;
   opts.max_wait_us = 500;
+  opts.num_shards = static_cast<int>(
+      std::max(1l, ParseLongFlag(argc, argv, "--shards", 1)));
+  opts.num_dispatchers = static_cast<int>(std::max(
+      1l, ParseLongFlag(argc, argv, "--dispatchers", opts.num_shards)));
+  if (quota_rate > 0.0) {
+    opts.enable_quotas = true;
+    opts.quota.default_spec.rate_per_s = quota_rate;
+    opts.quota.default_spec.burst =
+        ParseDoubleFlag(argc, argv, "--quota-burst", 16.0);
+  }
   serve::InferenceServer server(registry, opts);
   if (auto s = server.Start(); !s.ok()) {
     std::printf("server start failed: %s\n", s.ToString().c_str());
     return 1;
   }
 
-  constexpr int kClients = 8;
-  constexpr int kRequestsPerClient = 32;
-  std::atomic<int> correct{0}, failed{0};
+  std::atomic<int> submitted{0}, correct{0}, failed{0}, quota_rejected{0};
   Timer wall;
   std::vector<std::thread> clients;
-  for (int c = 0; c < kClients; ++c) {
+  for (int c = 0; c < num_clients; ++c) {
     clients.emplace_back([&, c] {
       Rng client_rng(100 + c);
-      for (int i = 0; i < kRequestsPerClient; ++i) {
+      // Fixed-count mode runs each client for requests_per_client
+      // requests; --seconds runs a wall-clock duration instead.
+      Timer client_wall;
+      for (int i = 0;
+           run_seconds > 0.0 ? client_wall.Seconds() < run_seconds
+                             : i < requests_per_client;
+           ++i) {
         // Closed loop: each client picks a test point (some repeats, so the
-        // result cache sees realistic reuse) and alternates models.
+        // result cache sees realistic reuse) and alternates models. Clients
+        // split across two tenants so --quota-rate shows per-tenant
+        // shedding in Statusz and the quota.* metric families.
         const size_t idx = client_rng.UniformInt(0, test.size() - 1);
         serve::InferenceRequest request;
         request.model = (i % 2 == 0) ? "moons-vqc" : "moons-qsvm";
+        request.tenant = (c % 2 == 0) ? "tenant-even" : "tenant-odd";
         request.input = test.features[idx];
         request.timeout_us = 2'000'000;
+        submitted.fetch_add(1);
         auto response = server.Submit(std::move(request)).get();
         if (!response.ok()) {
-          failed.fetch_add(1);
+          if (response.status().code() == StatusCode::kResourceExhausted) {
+            quota_rejected.fetch_add(1);
+          } else {
+            failed.fetch_add(1);
+          }
           continue;
         }
         if (response.value().result.label == test.labels[idx]) {
@@ -189,11 +242,15 @@ int main(int argc, char** argv) {
 
   const auto stats = server.stats();
   const auto cache = server.result_cache().stats();
-  const int total = kClients * kRequestsPerClient;
+  const int total = submitted.load();
   std::printf("\nserved %d requests from %d clients in %.3fs  (%.0f req/s)\n",
-              total, kClients, elapsed_s, total / elapsed_s);
+              total, num_clients, elapsed_s, total / elapsed_s);
+  std::printf("  shards          %d  (dispatchers %d)\n", opts.num_shards,
+              opts.num_dispatchers);
+  const int answered = total - failed.load() - quota_rejected.load();
   std::printf("  accuracy        %.3f\n",
-              static_cast<double>(correct.load()) / (total - failed.load()));
+              answered > 0 ? static_cast<double>(correct.load()) / answered
+                           : 0.0);
   std::printf("  batches         %llu  (avg batch %.2f)\n",
               static_cast<unsigned long long>(stats.batches),
               stats.batches ? static_cast<double>(stats.completed) /
@@ -205,6 +262,13 @@ int main(int argc, char** argv) {
   std::printf("  rejected        %llu,  expired %llu,  failed %d\n",
               static_cast<unsigned long long>(stats.rejected),
               static_cast<unsigned long long>(stats.expired), failed.load());
+  if (opts.enable_quotas) {
+    std::printf("  quota rejected  %llu  (tenant buckets at %.1f/s, burst"
+                " %.1f)\n",
+                static_cast<unsigned long long>(stats.quota_rejected),
+                opts.quota.default_spec.rate_per_s,
+                opts.quota.default_spec.burst);
+  }
 
   // Latency profile straight from the serve.* metrics the server exports.
   // A non-empty overflow bucket means the top quantiles are clamped to the

@@ -6,7 +6,10 @@ files and flags regressions where real_time grew by more than the
 threshold (default 10%). Exits non-zero when any regression is flagged —
 or when a benchmark or rate counter present in the baseline is missing
 from the candidate (a vanished metric must not silently dodge the gate) —
-so CI and PR workflows can cite the table and fail loudly:
+so CI and PR workflows can cite the table and fail loudly. Metrics that
+exist only in the candidate are the opposite case: a new benchmark or
+counter starting its history is reported as an informational addition and
+never fails the comparison:
 
     ./scripts/bench_compare.py BENCH_simulator.json /tmp/new/BENCH_simulator.json
     ./scripts/bench_compare.py --threshold 0.05 old.json new.json
@@ -93,6 +96,7 @@ def main():
           f"{'delta':>8}")
     regressions = []
     missing = []
+    added = []
     for name in shared:
         before, unit_b, counters_b = base[name]
         after, unit_a, counters_a = cand[name]
@@ -112,6 +116,12 @@ def main():
         # throughput check entirely.
         for key in sorted(set(counters_b) - set(counters_a)):
             missing.append(f"{name} [{key}] (counter gone from candidate)")
+        # A counter only the candidate reports is an *addition* — a new
+        # metric starting its history, not a vanished baseline. It is
+        # reported for visibility but never fails the gate (there is no
+        # baseline value to regress against).
+        for key in sorted(set(counters_a) - set(counters_b)):
+            added.append(f"{name} [{key}]")
         # Rate counters compare in the opposite direction: a drop is bad.
         for key in sorted(set(counters_b) & set(counters_a)):
             rate_b, rate_a = counters_b[key], counters_a[key]
@@ -129,10 +139,11 @@ def main():
     only_cand = sorted(set(cand) - set(base))
     missing.extend(f"{name} (benchmark gone from candidate)"
                    for name in only_base)
-    if only_cand:
-        print(f"\nonly in candidate ({len(only_cand)}): "
-              + ", ".join(only_cand[:8])
-              + (" …" if len(only_cand) > 8 else ""))
+    added.extend(f"{name} (new benchmark)" for name in only_cand)
+    if added:
+        print(f"\nnew in candidate ({len(added)}, informational): "
+              + ", ".join(added[:8])
+              + (" …" if len(added) > 8 else ""))
 
     if missing:
         print(f"\nERROR: {len(missing)} baseline metric(s) disappeared from "

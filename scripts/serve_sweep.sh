@@ -1,0 +1,122 @@
+#!/usr/bin/env bash
+# Serving saturation sweep (E20): runs bench_serve_scale across the
+# (shards, dispatchers, clients) grid, writes BENCH_serve_scale.json at the
+# repo root, and charts aggregate throughput and client-observed p99 vs
+# client count (single-queue baseline vs fully sharded) and vs shard count
+# at fixed load.
+#
+#   ./scripts/serve_sweep.sh
+#
+# Like bench_snapshot.sh, the sweep refuses to record from a non-Release
+# build (set QDB_BENCH_ALLOW_DEBUG=1 to write a tagged, untrusted file for
+# local experiments).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -S . -DQDB_BUILD_BENCHMARKS=ON -DCMAKE_BUILD_TYPE=Release \
+  >/dev/null
+build_type=$(grep -E '^CMAKE_BUILD_TYPE:' build/CMakeCache.txt |
+  cut -d= -f2)
+if [[ "${build_type}" != "Release" ]]; then
+  if [[ "${QDB_BENCH_ALLOW_DEBUG:-0}" != "1" ]]; then
+    echo "ERROR: build/ is configured as '${build_type:-unset}', not Release." >&2
+    echo "Sweep snapshots from non-Release builds are not comparable;" >&2
+    echo "reconfigure with -DCMAKE_BUILD_TYPE=Release (or set" >&2
+    echo "QDB_BENCH_ALLOW_DEBUG=1 to record a tagged, untrusted snapshot)." >&2
+    exit 1
+  fi
+  tag="UNTRUSTED-${build_type}-"
+else
+  tag=""
+fi
+
+cmake --build build -j --target bench_serve_scale
+
+out="${tag}BENCH_serve_scale.json"
+echo "== bench_serve_scale -> ${out} =="
+./build/bench/bench_serve_scale \
+  --benchmark_format=json \
+  --benchmark_out="${out}" \
+  --benchmark_out_format=json \
+  --benchmark_min_time="${QDB_SWEEP_MIN_TIME:-0.2}"
+
+python3 - "${out}" "${build_type}" << 'PYEOF'
+import json, sys
+
+path, build_type = sys.argv[1], sys.argv[2]
+with open(path) as f:
+    doc = json.load(f)
+# Stamp the verified qdb build type (context.library_build_type describes
+# the installed google-benchmark library, not this repo).
+doc.setdefault("context", {})["qdb_build_type"] = build_type
+with open(path, "w") as f:
+    json.dump(doc, f, indent=2)
+    f.write("\n")
+
+rows = {}
+for b in doc.get("benchmarks", []):
+    if b.get("run_type") == "aggregate":
+        continue
+    key = (int(b["shards"]), int(b["dispatchers"]), int(b["clients"]))
+    rows[key] = {"rps": b["req_per_s"], "p99": b["p99_us"],
+                 "p50": b["p50_us"], "steals": b.get("steals", 0)}
+
+def bar(value, peak, width=40):
+    n = 0 if peak <= 0 else int(round(width * value / peak))
+    return "#" * max(n, 1 if value > 0 else 0)
+
+clients = sorted({c for (_, _, c) in rows})
+configs = [(1, 1), (8, 8)]
+peak_rps = max(r["rps"] for r in rows.values())
+peak_p99 = max(r["p99"] for r in rows.values())
+
+print()
+print("throughput (req/s) vs clients")
+for c in clients:
+    for s, d in configs:
+        r = rows.get((s, d, c))
+        if r is None:
+            continue
+        print(f"  {s}sx{d}d {c:>4} clients {r['rps']:>10.0f} "
+              f"{bar(r['rps'], peak_rps)}")
+print()
+print("client-observed p99 (us) vs clients")
+for c in clients:
+    for s, d in configs:
+        r = rows.get((s, d, c))
+        if r is None:
+            continue
+        print(f"  {s}sx{d}d {c:>4} clients {r['p99']:>10.0f} "
+              f"{bar(r['p99'], peak_p99)}")
+print()
+print("throughput (req/s) vs shard count @ 64 clients")
+for (s, d, c) in sorted(rows):
+    if c != 64 or s != d:
+        continue
+    r = rows[(s, d, c)]
+    print(f"  {s} shards {r['rps']:>10.0f} {bar(r['rps'], peak_rps)}"
+          f"  (p99={r['p99']:.0f}us steals={r['steals']:.0f})")
+
+# E20 acceptance gates (DESIGN.md "Sharded serving & multi-tenancy").
+failures = []
+sharded = [rows.get((s, s, 64)) for s in (1, 2, 4, 8)]
+if all(sharded):
+    rps = [r["rps"] for r in sharded]
+    if not all(a < b for a, b in zip(rps, rps[1:])):
+        failures.append(
+            f"throughput not increasing with shard count @64 clients: {rps}")
+single, full = rows.get((1, 1, 256)), rows.get((8, 8, 256))
+if single and full:
+    ratio = single["p99"] / full["p99"]
+    print(f"\np99 @256 clients: 1x1={single['p99']:.0f}us "
+          f"8x8={full['p99']:.0f}us ({ratio:.1f}x better)")
+    if ratio < 2.0:
+        failures.append(f"p99 @256 clients only {ratio:.1f}x better (< 2x)")
+for f in failures:
+    print(f"SWEEP GATE FAILED: {f}", file=sys.stderr)
+if failures:
+    sys.exit(1)
+print("sweep gates passed")
+PYEOF
+
+echo "sweep written: ${out}"

@@ -38,7 +38,7 @@ cmake --build build-tsan -j --target obs_test --target obs_labels_test \
   --target slo_test --target thread_pool_test \
   --target sim_parallel_test --target simd_equivalence_test \
   --target compiled_circuit_test \
-  --target serve_test --target fault_test
+  --target serve_test --target serve_scale_test --target fault_test
 ./build-tsan/tests/obs_test
 ./build-tsan/tests/obs_labels_test
 ./build-tsan/tests/slo_test
@@ -47,6 +47,7 @@ QDB_THREADS=4 ./build-tsan/tests/sim_parallel_test
 QDB_THREADS=4 ./build-tsan/tests/simd_equivalence_test
 QDB_THREADS=4 ./build-tsan/tests/compiled_circuit_test
 QDB_THREADS=4 ./build-tsan/tests/serve_test
+QDB_THREADS=4 ./build-tsan/tests/serve_scale_test
 QDB_THREADS=4 ./build-tsan/tests/fault_test
 
 echo

@@ -28,6 +28,7 @@ enum class StatusCode {
   kInternal = 8,
   kUnavailable = 9,       ///< Transient overload/shutdown; retry may succeed.
   kDeadlineExceeded = 10, ///< The request's deadline expired before completion.
+  kResourceExhausted = 11, ///< A quota or budget is spent; retry after refill.
 };
 
 /// \brief Returns the canonical lower-case name of a status code
@@ -79,6 +80,9 @@ class Status {
   }
   static Status DeadlineExceeded(std::string msg) {
     return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -5,10 +5,14 @@
 ///
 /// The serving dispatcher keeps one breaker per servable, so a poisoned
 /// model version sheds fast with kUnavailable at admission instead of
-/// clogging the request queue with work that will fail anyway. State
-/// transitions emit fault.breaker.* metrics, a per-breaker state gauge
-/// (fault.breaker.state.<name>: 0 closed, 1 open, 2 half-open), an
-/// open-duration histogram, and trace spans.
+/// clogging the request queue with work that will fail anyway. In the
+/// serving admission ladder the breaker sits *after* tenant quotas
+/// (serve/tenant_quota.h): a quota-shed request never reaches Allow(), so
+/// an over-budget tenant can neither trip a model's breaker nor consume
+/// its half-open probe slots. State transitions emit fault.breaker.*
+/// metrics, a per-breaker state gauge (fault.breaker.state.<name>:
+/// 0 closed, 1 open, 2 half-open), an open-duration histogram, and trace
+/// spans.
 
 #ifndef QDB_FAULT_CIRCUIT_BREAKER_H_
 #define QDB_FAULT_CIRCUIT_BREAKER_H_

@@ -8,6 +8,7 @@
 #include "fault/fault_injector.h"
 #include "obs/labels.h"
 #include "obs/obs.h"
+#include "serve/model_artifact.h"
 
 namespace qdb {
 namespace serve {
@@ -16,11 +17,13 @@ namespace {
 
 /// serve.* metric handles, resolved once. The labeled families sit beside
 /// the unlabeled aggregates: aggregates stay cheap and name-stable for
-/// existing dashboards, families carry the per-model / per-outcome cut.
+/// existing dashboards, families carry the per-model / per-shard /
+/// per-tenant / per-outcome cut.
 struct ServeMetrics {
   obs::Gauge* queue_depth = obs::GetGauge("serve.queue_depth");
   obs::Counter* requests = obs::GetCounter("serve.requests");
   obs::Counter* rejected = obs::GetCounter("serve.rejected");
+  obs::Counter* quota_rejected = obs::GetCounter("serve.quota_rejected");
   obs::Counter* expired = obs::GetCounter("serve.deadline_expired");
   obs::Counter* failed = obs::GetCounter("serve.failed");
   obs::Counter* retries = obs::GetCounter("serve.retries");
@@ -30,6 +33,8 @@ struct ServeMetrics {
   obs::Counter* window_shrinks =
       obs::GetCounter("serve.degraded.batch_window_shrinks");
   obs::Counter* batches = obs::GetCounter("serve.batches");
+  obs::Counter* steals = obs::GetCounter("serve.batch_steals");
+  obs::Counter* fifo_violations = obs::GetCounter("serve.fifo_violations");
   obs::Histogram* batch_size = obs::GetHistogram(
       "serve.batch_size", {1, 2, 4, 8, 16, 32, 64, 128});
   obs::Histogram* queue_wait_us = obs::GetHistogram("serve.queue_wait_us");
@@ -41,6 +46,15 @@ struct ServeMetrics {
   obs::HistogramFamily* latency_by =
       obs::MetricsRegistry::Global().GetHistogramFamily(
           "serve.latency_us", {"model", "outcome"});
+  obs::GaugeFamily* shard_depth_by =
+      obs::MetricsRegistry::Global().GetGaugeFamily("serve.shard.depth",
+                                                    {"shard"});
+  obs::CounterFamily* quota_rejected_by =
+      obs::MetricsRegistry::Global().GetCounterFamily("serve.quota.rejected",
+                                                      {"tenant"});
+  obs::GaugeFamily* quota_tokens_by =
+      obs::MetricsRegistry::Global().GetGaugeFamily("serve.quota.tokens",
+                                                    {"tenant"});
 };
 
 ServeMetrics& Metrics() {
@@ -55,6 +69,9 @@ const char* OutcomeEventName(const char* outcome) {
   if (std::strcmp(outcome, "cache_hit") == 0) return "serve.outcome.cache_hit";
   if (std::strcmp(outcome, "degraded") == 0) return "serve.outcome.degraded";
   if (std::strcmp(outcome, "rejected") == 0) return "serve.outcome.rejected";
+  if (std::strcmp(outcome, "quota_rejected") == 0) {
+    return "serve.outcome.quota_rejected";
+  }
   if (std::strcmp(outcome, "expired") == 0) return "serve.outcome.expired";
   if (std::strcmp(outcome, "failed") == 0) return "serve.outcome.failed";
   return "serve.outcome.other";
@@ -80,10 +97,40 @@ InferenceServer::InferenceServer(ModelRegistry& registry,
     : registry_(registry),
       options_(options),
       result_cache_(options.result_cache_capacity) {
+  const int num_shards = std::max(options_.num_shards, 1);
+  shards_.reserve(num_shards);
+  for (int i = 0; i < num_shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+  if (options_.enable_quotas) {
+    quotas_ = std::make_unique<TenantQuotaManager>(options_.quota);
+  }
   if (options_.enable_slo) {
     slo_ = std::make_unique<obs::SloTracker>(options_.slo,
                                              options_.slo_windows_s);
   }
+}
+
+size_t InferenceServer::ShardFor(const std::string& model, int version,
+                                 size_t num_shards) {
+  if (num_shards <= 1) return 0;
+  // Same key construction as the breaker map and the result cache: one
+  // (model, version) stream hashes to one shard, so its requests always
+  // share a queue and stay coalescible.
+  return static_cast<size_t>(Fnv1a64(StrCat(model, ":", version))) %
+         num_shards;
+}
+
+void InferenceServer::PublishDepth(size_t shard_index) const {
+  const Shard& shard = *shards_[shard_index];
+  Metrics()
+      .shard_depth_by->With(StrCat(shard_index))
+      ->Set(static_cast<double>(shard.depth.load(std::memory_order_relaxed)));
+  size_t total = 0;
+  for (const auto& s : shards_) {
+    total += s->depth.load(std::memory_order_relaxed);
+  }
+  Metrics().queue_depth->Set(static_cast<double>(total));
 }
 
 void InferenceServer::RecordTerminal(const char* outcome,
@@ -114,8 +161,8 @@ void InferenceServer::RecordTerminal(const char* outcome,
 InferenceServer::~InferenceServer() { Shutdown(); }
 
 Status InferenceServer::Start() {
-  std::lock_guard<std::mutex> lock(mu_);
-  if (shut_down_ || stopping_) {
+  std::lock_guard<std::mutex> lock(state_mu_);
+  if (shut_down_ || stopping_.load(std::memory_order_relaxed)) {
     return Status::FailedPrecondition("server has been shut down");
   }
   if (started_) {
@@ -123,9 +170,15 @@ Status InferenceServer::Start() {
   }
   started_ = true;
   const int n = options_.num_dispatchers > 0 ? options_.num_dispatchers : 1;
+  const size_t num_shards = shards_.size();
   dispatchers_.reserve(n);
   for (int i = 0; i < n; ++i) {
-    dispatchers_.emplace_back([this] { DispatcherLoop(); });
+    // Dispatcher i camps on shard i % num_shards; shards beyond the
+    // dispatcher count are served by work-stealing.
+    dispatchers_.emplace_back(
+        [this, home = static_cast<size_t>(i) % num_shards] {
+          DispatcherLoop(home);
+        });
   }
   return Status::OK();
 }
@@ -133,21 +186,37 @@ Status InferenceServer::Start() {
 void InferenceServer::Shutdown() {
   std::vector<std::thread> dispatchers;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::lock_guard<std::mutex> lock(state_mu_);
     if (shut_down_) return;
-    accepting_ = false;
-    stopping_ = true;
+    stopping_.store(true, std::memory_order_relaxed);
     dispatchers.swap(dispatchers_);
   }
-  queue_cv_.notify_all();
+  // Close admission shard by shard. Writing `accepting` under each shard's
+  // lock keeps Submit's check-and-push atomic against the flag flip, and
+  // notifying under the lock guarantees no dispatcher blocks on a cv wait
+  // it entered just before stopping_ was visible.
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    {
+      std::lock_guard<std::mutex> lock(shards_[i]->mu);
+      shards_[i]->accepting = false;
+    }
+    shards_[i]->cv.notify_all();
+  }
   shutdown_cv_.notify_all();  // Cut retry backoff sleeps short.
   for (auto& t : dispatchers) t.join();
   // Anything still queued was admitted but never started (or a dispatcher
   // never existed): fail it rather than leaving futures hanging.
   std::deque<Pending> orphans;
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    std::lock_guard<std::mutex> lock(shards_[i]->mu);
+    while (!shards_[i]->queue.empty()) {
+      orphans.push_back(std::move(shards_[i]->queue.front()));
+      shards_[i]->queue.pop_front();
+    }
+    shards_[i]->depth.store(0, std::memory_order_relaxed);
+  }
   {
-    std::lock_guard<std::mutex> lock(mu_);
-    orphans.swap(queue_);
+    std::lock_guard<std::mutex> lock(state_mu_);
     shut_down_ = true;
   }
   if (!orphans.empty()) {
@@ -162,7 +231,7 @@ void InferenceServer::Shutdown() {
     pending.promise.set_value(
         Status::Unavailable("server shut down before the request executed"));
   }
-  Metrics().queue_depth->Set(0.0);
+  for (size_t i = 0; i < shards_.size(); ++i) PublishDepth(i);
 }
 
 std::future<Result<InferenceResponse>> InferenceServer::Submit(
@@ -188,7 +257,27 @@ std::future<Result<InferenceResponse>> InferenceServer::Submit(
     return MicrosBetween(submit_time, Clock::now());
   };
 
-  // Resolve the model first: unknown names and malformed inputs should
+  // Tenant quota is the first admission rung — before the registry, the
+  // cache, and the breakers. An over-budget tenant therefore cannot trip a
+  // model's breaker, consume a half-open probe slot, or occupy shard
+  // capacity; it is shed at the door with a retryable-after-refill code.
+  // The token is spent even if a later rung rejects the request: quotas
+  // meter admission attempts, not successes.
+  if (quotas_ != nullptr && !quotas_->TryAcquire(request.tenant)) {
+    Metrics().quota_rejected->Increment();
+    Metrics().quota_rejected_by->With(request.tenant)->Increment();
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++stats_.quota_rejected;
+    }
+    RecordTerminal("quota_rejected", request.model, request.kind, ctx,
+                   submit_trace_us, elapsed_us(), false);
+    return ImmediateResult(Status::ResourceExhausted(
+        StrCat("tenant '", request.tenant,
+               "' is out of quota tokens; retry after refill")));
+  }
+
+  // Resolve the model next: unknown names and malformed inputs should
   // fail loudly, not occupy queue space.
   Result<std::shared_ptr<const ServableModel>> servable =
       registry_.Lookup(request.model, request.version);
@@ -278,9 +367,16 @@ std::future<Result<InferenceResponse>> InferenceServer::Submit(
     return future;
   }
 
+  // Route to the (model, version) home shard. The resolved version is used
+  // (not the request's, which may be -1 = latest) so aliases of the same
+  // servable coalesce on the same queue.
+  const size_t shard_index =
+      ShardFor(pending.servable->name(), pending.servable->version(),
+               shards_.size());
+  Shard& shard = *shards_[shard_index];
   {
-    std::lock_guard<std::mutex> lock(mu_);
-    if (!accepting_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    if (!shard.accepting) {
       Metrics().rejected->Increment();
       {
         std::lock_guard<std::mutex> stats_lock(stats_mu_);
@@ -292,9 +388,9 @@ std::future<Result<InferenceResponse>> InferenceServer::Submit(
           Status::Unavailable("server is shutting down"));
       return future;
     }
-    if (queue_.size() >= options_.queue_capacity) {
+    if (shard.queue.size() >= per_shard_capacity()) {
       // Queue-pressure degradation: prefer a stale cached answer to a
-      // hard rejection when the backlog is already saturated.
+      // hard rejection when this shard's backlog is already saturated.
       if (TryServeStale(pending)) return future;
       Metrics().rejected->Increment();
       {
@@ -304,20 +400,43 @@ std::future<Result<InferenceResponse>> InferenceServer::Submit(
       RecordTerminal("rejected", pending.servable->name(), pending.kind, ctx,
                      submit_trace_us, elapsed_us(), false);
       pending.promise.set_value(Status::Unavailable(
-          StrCat("request queue is full (", options_.queue_capacity,
-                 " pending); retry with backoff")));
+          StrCat("request queue shard ", shard_index, " is full (",
+                 per_shard_capacity(), " pending); retry with backoff")));
       return future;
     }
-    queue_.push_back(std::move(pending));
-    Metrics().queue_depth->Set(static_cast<double>(queue_.size()));
+    pending.seq = ++shard.enqueue_seq;
+    shard.queue.push_back(std::move(pending));
+    shard.depth.store(shard.queue.size(), std::memory_order_relaxed);
   }
-  queue_cv_.notify_one();
+  PublishDepth(shard_index);
+  shard.cv.notify_one();
   return future;
 }
 
 size_t InferenceServer::queue_depth() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return queue_.size();
+  size_t total = 0;
+  for (const auto& shard : shards_) {
+    total += shard->depth.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+size_t InferenceServer::max_shard_depth() const {
+  size_t deepest = 0;
+  for (const auto& shard : shards_) {
+    deepest =
+        std::max(deepest, shard->depth.load(std::memory_order_relaxed));
+  }
+  return deepest;
+}
+
+std::vector<size_t> InferenceServer::shard_depths() const {
+  std::vector<size_t> depths;
+  depths.reserve(shards_.size());
+  for (const auto& shard : shards_) {
+    depths.push_back(shard->depth.load(std::memory_order_relaxed));
+  }
+  return depths;
 }
 
 InferenceServer::Stats InferenceServer::stats() const {
@@ -335,13 +454,24 @@ const fault::CircuitBreaker* InferenceServer::breaker(
 std::string InferenceServer::Statusz() const {
   std::string out = "=== qdb inference server ===\n";
   {
-    std::lock_guard<std::mutex> lock(mu_);
-    out += StrCat("state: started=", started_ ? 1 : 0,
-                  " accepting=", accepting_ ? 1 : 0,
-                  " stopping=", stopping_ ? 1 : 0,
+    std::lock_guard<std::mutex> lock(state_mu_);
+    out += StrCat("state: started=", started_ ? 1 : 0, " accepting=",
+                  (started_ && !stopping_.load(std::memory_order_relaxed) &&
+                   !shut_down_)
+                      ? 1
+                      : 0,
+                  " stopping=",
+                  stopping_.load(std::memory_order_relaxed) ? 1 : 0,
                   " shut_down=", shut_down_ ? 1 : 0, "\n");
-    out += StrCat("queue: ", queue_.size(), " / ", options_.queue_capacity,
-                  " (dispatchers=", dispatchers_.size(), ")\n");
+    out += StrCat("queue: ", queue_depth(), " / ", options_.queue_capacity,
+                  " (shards=", shards_.size(),
+                  " dispatchers=", dispatchers_.size(),
+                  " max_shard_depth=", max_shard_depth(), ")\n");
+  }
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    out += StrCat("  shard ", i, ": ",
+                  shards_[i]->depth.load(std::memory_order_relaxed), " / ",
+                  per_shard_capacity(), "\n");
   }
   {
     std::lock_guard<std::mutex> lock(stats_mu_);
@@ -350,8 +480,28 @@ std::string InferenceServer::Statusz() const {
                   " cache_hits=", stats_.cache_hits,
                   " degraded=", stats_.degraded,
                   " rejected=", stats_.rejected,
+                  " quota_rejected=", stats_.quota_rejected,
                   " expired=", stats_.expired, " failed=", stats_.failed,
-                  " batches=", stats_.batches, "\n");
+                  " batches=", stats_.batches, " steals=", stats_.steals,
+                  " fifo_violations=", stats_.fifo_violations, "\n");
+  }
+  if (quotas_ != nullptr) {
+    const std::vector<TenantQuotaManager::TenantState> tenants =
+        quotas_->Snapshot();
+    out += StrCat("tenants: ", tenants.size(), "\n");
+    for (const auto& t : tenants) {
+      if (t.metered) {
+        // Publishing the token gauge here (not on the Submit hot path)
+        // mirrors how SLO burn gauges refresh on Report.
+        Metrics().quota_tokens_by->With(t.tenant)->Set(t.tokens);
+        out += StrCat("  ", t.tenant, ": tokens=", t.tokens, "/", t.burst,
+                      " rate=", t.rate_per_s, "/s admitted=", t.admitted,
+                      " rejected=", t.rejected, "\n");
+      } else {
+        out += StrCat("  ", t.tenant, ": unmetered admitted=", t.admitted,
+                      "\n");
+      }
+    }
   }
   const ResultCache::Stats cache = result_cache_.stats();
   out += StrCat("cache: size=", cache.size, "/", cache.capacity,
@@ -423,17 +573,24 @@ std::string InferenceServer::Statusz() const {
 
 Status InferenceServer::Healthz() const {
   {
-    std::lock_guard<std::mutex> lock(mu_);
-    if (shut_down_ || stopping_) {
+    std::lock_guard<std::mutex> lock(state_mu_);
+    if (shut_down_ || stopping_.load(std::memory_order_relaxed)) {
       return Status::Unavailable("server is shut down or draining");
     }
     if (!started_) {
       return Status::FailedPrecondition("server not started");
     }
-    if (queue_.size() >= options_.queue_capacity) {
-      return Status::Unavailable(
-          StrCat("request queue at capacity (", options_.queue_capacity,
-                 ")"));
+  }
+  // Health keys off the *deepest* shard, not the total: one saturated shard
+  // rejects its models' requests even while the aggregate depth — an
+  // average across healthy shards — still looks fine.
+  const size_t cap = per_shard_capacity();
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    if (shards_[i]->depth.load(std::memory_order_relaxed) >= cap) {
+      return Status::Unavailable(StrCat("queue shard ", i, " at capacity (",
+                                        cap, " of ",
+                                        options_.queue_capacity,
+                                        " total)"));
     }
   }
   if (slo_ != nullptr) {
@@ -488,84 +645,203 @@ bool InferenceServer::TryServeStale(Pending& pending) {
   return true;
 }
 
-void InferenceServer::DispatcherLoop() {
+void InferenceServer::DispatcherLoop(size_t home_shard) {
   while (true) {
-    std::vector<Pending> batch = NextBatch();
+    std::vector<Pending> batch = NextBatch(home_shard);
     if (batch.empty()) return;  // Drained and stopping.
     ExecuteBatch(std::move(batch));
   }
 }
 
-std::vector<InferenceServer::Pending> InferenceServer::NextBatch() {
-  std::unique_lock<std::mutex> lock(mu_);
+std::vector<InferenceServer::Pending> InferenceServer::PopBatchLocked(
+    size_t shard_index, std::unique_lock<std::mutex>& lock,
+    bool allow_window) {
+  Shard& shard = *shards_[shard_index];
+  // Pick the first leader whose stream is not mid-window on another
+  // dispatcher: popping a later same-stream request while its earlier
+  // siblings sit in an open batch would dispatch the stream out of order.
+  auto leader_it = shard.queue.begin();
+  for (; leader_it != shard.queue.end(); ++leader_it) {
+    if (shard.open_streams.count(
+            {static_cast<const void*>(leader_it->servable.get()),
+             static_cast<int>(leader_it->kind)}) == 0) {
+      break;
+    }
+  }
+  if (leader_it == shard.queue.end()) return {};
+  std::vector<Pending> batch;
+  batch.push_back(std::move(*leader_it));
+  shard.queue.erase(leader_it);
+  const ServableModel* leader = batch.front().servable.get();
+  const RequestKind kind = batch.front().kind;
+  const std::pair<const void*, int> stream_key = {
+      static_cast<const void*>(leader), static_cast<int>(kind)};
+  shard.open_streams.insert(stream_key);
+
+  const auto coalesce_pass = [&] {
+    for (auto it = shard.queue.begin();
+         it != shard.queue.end() && batch.size() < options_.max_batch_size;) {
+      if (it->servable.get() == leader && it->kind == kind) {
+        batch.push_back(std::move(*it));
+        it = shard.queue.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  };
+
+  if (allow_window) {
+    // Under shard pressure, shrink the coalescing window: clearing backlog
+    // fast matters more than filling each batch to the brim.
+    long wait_us = options_.max_wait_us;
+    if (options_.pressure_watermark > 0 &&
+        static_cast<double>(shard.queue.size()) >=
+            options_.pressure_watermark *
+                static_cast<double>(per_shard_capacity())) {
+      wait_us /= 4;
+      Metrics().window_shrinks->Increment();
+    }
+    const Clock::time_point close =
+        Clock::now() + std::chrono::microseconds(wait_us);
+
+    // Coalesce until the batch is full or the window closes. Each pass
+    // pulls every compatible request currently queued; between passes we
+    // sleep on the shard cv so new submissions extend the batch without
+    // busy-waiting.
+    while (batch.size() < options_.max_batch_size) {
+      coalesce_pass();
+      if (batch.size() >= options_.max_batch_size ||
+          stopping_.load(std::memory_order_relaxed)) {
+        break;
+      }
+      if (shard.cv.wait_until(lock, close) == std::cv_status::timeout) {
+        // Window closed; take any stragglers that arrived with the timeout.
+        coalesce_pass();
+        break;
+      }
+    }
+  } else {
+    // Stolen (or drain-time) batches close immediately: a thief only
+    // exists because this shard is backlogged while it sat idle, so
+    // clearing queued work beats waiting for stragglers.
+    coalesce_pass();
+  }
+
+  // The batch is final: the stream closes (later arrivals are again fair
+  // game for any popper — they carry higher seqs, so dispatch order holds).
+  shard.open_streams.erase(stream_key);
+
+  // FIFO dispatch audit: within one (servable, kind) stream, batch members
+  // must leave the shard in admission order. Coalescing scans front to
+  // back, streams never migrate shards, and open streams are skipped by
+  // concurrent poppers, so seq numbers popped here must be strictly
+  // increasing per stream — home pop or steal alike.
+  uint64_t& last = shard.last_dispatched[stream_key];
+  long violations = 0;
+  for (const Pending& member : batch) {
+    if (member.seq <= last) {
+      ++violations;
+    } else {
+      last = member.seq;
+    }
+  }
+  if (violations > 0) {
+    Metrics().fifo_violations->Increment(violations);
+    std::lock_guard<std::mutex> stats_lock(stats_mu_);
+    stats_.fifo_violations += violations;
+  }
+
+  shard.depth.store(shard.queue.size(), std::memory_order_relaxed);
+  if (!shard.queue.empty()) shard.cv.notify_one();  // Work left for peers.
+  return batch;
+}
+
+std::vector<InferenceServer::Pending> InferenceServer::NextBatch(
+    size_t home_shard) {
+  Shard& home = *shards_[home_shard];
+  const long poll_us = options_.steal_poll_us > 0 ? options_.steal_poll_us
+                                                  : options_.max_wait_us;
   // Fault point "serve.queue_wait" injects at most one spurious wakeup per
   // NextBatch call (bounded so an always-on fault cannot livelock): the
   // outer loop must tolerate waking with nothing to do.
   bool woke_spuriously = false;
   while (true) {
-    queue_cv_.wait(lock, [&] {
-      if (stopping_ || !queue_.empty()) return true;
-      if (!woke_spuriously && fault::SpuriousWake("serve.queue_wait")) {
-        woke_spuriously = true;
-        return true;
-      }
-      return false;
-    });
-    if (stopping_ || !queue_.empty()) break;
-    // Injected spurious wakeup: nothing to do, wait again.
-  }
-  if (queue_.empty()) return {};  // stopping_ and nothing left to drain.
-
-  std::vector<Pending> batch;
-  batch.push_back(std::move(queue_.front()));
-  queue_.pop_front();
-  const ServableModel* leader = batch.front().servable.get();
-  const RequestKind kind = batch.front().kind;
-
-  // Under queue pressure, shrink the coalescing window: clearing backlog
-  // fast matters more than filling each batch to the brim.
-  long wait_us = options_.max_wait_us;
-  if (options_.pressure_watermark > 0 &&
-      static_cast<double>(queue_.size()) >=
-          options_.pressure_watermark *
-              static_cast<double>(options_.queue_capacity)) {
-    wait_us /= 4;
-    Metrics().window_shrinks->Increment();
-  }
-  const Clock::time_point close =
-      Clock::now() + std::chrono::microseconds(wait_us);
-
-  // Coalesce until the batch is full or the window closes. Each pass pulls
-  // every compatible request currently queued; between passes we sleep on
-  // the cv so new submissions extend the batch without busy-waiting.
-  while (batch.size() < options_.max_batch_size) {
-    for (auto it = queue_.begin();
-         it != queue_.end() && batch.size() < options_.max_batch_size;) {
-      if (it->servable.get() == leader && it->kind == kind) {
-        batch.push_back(std::move(*it));
-        it = queue_.erase(it);
+    {
+      std::unique_lock<std::mutex> lock(home.mu);
+      const auto wake = [&] {
+        if (stopping_.load(std::memory_order_relaxed) ||
+            !home.queue.empty()) {
+          return true;
+        }
+        if (!woke_spuriously && fault::SpuriousWake("serve.queue_wait")) {
+          woke_spuriously = true;
+          return true;
+        }
+        return false;
+      };
+      if (shards_.size() == 1) {
+        // Nothing to steal from: idle exactly like the pre-sharding server
+        // (indefinite wait, no periodic timeout churn — wakeups that cost
+        // real CPU when dispatchers share cores with clients).
+        home.cv.wait(lock, wake);
       } else {
-        ++it;
+        home.cv.wait_for(lock, std::chrono::microseconds(poll_us), wake);
       }
-    }
-    if (batch.size() >= options_.max_batch_size || stopping_) break;
-    if (queue_cv_.wait_until(lock, close) == std::cv_status::timeout) {
-      // Window closed; take any stragglers that arrived with the timeout.
-      for (auto it = queue_.begin();
-           it != queue_.end() && batch.size() < options_.max_batch_size;) {
-        if (it->servable.get() == leader && it->kind == kind) {
-          batch.push_back(std::move(*it));
-          it = queue_.erase(it);
-        } else {
-          ++it;
+      if (!home.queue.empty()) {
+        // Home work coalesces with the normal window: the dispatcher owns
+        // this shard and can afford to wait for stragglers.
+        std::vector<Pending> batch = PopBatchLocked(
+            home_shard, lock, /*allow_window=*/true);
+        if (!batch.empty()) {
+          lock.unlock();
+          PublishDepth(home_shard);
+          return batch;
+        }
+        // Every queued stream is mid-window on a peer. The wait predicate
+        // above is already true (queue non-empty), so looping would spin
+        // on this lock until the peer's window closes — instead sleep
+        // until that batch finalizes (it notifies when work remains) or
+        // the poll interval elapses, then re-evaluate.
+        if (!stopping_.load(std::memory_order_relaxed)) {
+          home.cv.wait_for(lock, std::chrono::microseconds(poll_us));
+          continue;
         }
       }
-      break;
     }
+
+    // Home is empty: scan the other shards for stealable work. A steal
+    // takes the victim's whole front batch (leader plus everything
+    // coalescible, front to back) so same-stream ordering is untouched.
+    const bool stopping = stopping_.load(std::memory_order_relaxed);
+    for (size_t offset = 1; offset < shards_.size() + (stopping ? 1 : 0);
+         ++offset) {
+      // When draining we must also re-check the home shard (offset lands
+      // on it last): a Submit may have raced in after the wait above.
+      const size_t victim_index = (home_shard + offset) % shards_.size();
+      Shard& victim = *shards_[victim_index];
+      // Polling thieves skip a busy victim lock rather than pile onto it;
+      // the drain path must not skip work, so it blocks.
+      std::unique_lock<std::mutex> lock(victim.mu, std::defer_lock);
+      if (stopping) {
+        lock.lock();
+      } else if (!lock.try_lock()) {
+        continue;
+      }
+      if (victim.queue.empty()) continue;
+      std::vector<Pending> batch = PopBatchLocked(
+          victim_index, lock, /*allow_window=*/false);
+      if (batch.empty()) continue;  // Every queued stream is mid-window.
+      lock.unlock();
+      PublishDepth(victim_index);
+      if (victim_index != home_shard) {
+        Metrics().steals->Increment();
+        std::lock_guard<std::mutex> stats_lock(stats_mu_);
+        ++stats_.steals;
+      }
+      return batch;
+    }
+    if (stopping) return {};  // Every shard drained; exit.
   }
-  Metrics().queue_depth->Set(static_cast<double>(queue_.size()));
-  if (!queue_.empty()) queue_cv_.notify_one();  // Work left for peers.
-  return batch;
 }
 
 void InferenceServer::CancelExpired(std::vector<Pending>& live,
@@ -732,12 +1008,15 @@ void InferenceServer::ExecuteBatch(std::vector<Pending> batch) {
     {
       // Interruptible sleep on the dedicated shutdown cv: Shutdown cuts it
       // short (the remaining attempts then run back to back, keeping the
-      // drain bounded), and Submit's queue_cv_ notifies are never consumed
-      // by a retrying dispatcher.
-      std::unique_lock<std::mutex> lock(mu_);
-      if (!stopping_) {
+      // drain bounded), and shard-cv notifies meant to hand work to idle
+      // dispatchers are never consumed by a retrying one.
+      std::unique_lock<std::mutex> lock(backoff_mu_);
+      if (!stopping_.load(std::memory_order_relaxed)) {
         shutdown_cv_.wait_for(lock, std::chrono::microseconds(delay_us),
-                              [this] { return stopping_; });
+                              [this] {
+                                return stopping_.load(
+                                    std::memory_order_relaxed);
+                              });
       }
     }
     if (obs::TracingEnabled()) {

@@ -1,0 +1,117 @@
+#include "serve/tenant_quota.h"
+
+#include <algorithm>
+#include <chrono>
+
+namespace qdb {
+namespace serve {
+
+namespace {
+
+int64_t SteadyNowMicros() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+TenantQuotaManager::TenantQuotaManager(TenantQuotaOptions options,
+                                       ClockFn clock)
+    : options_(std::move(options)),
+      clock_(clock ? std::move(clock) : ClockFn(&SteadyNowMicros)) {}
+
+const TokenBucketSpec& TenantQuotaManager::SpecFor(
+    const std::string& tenant) const {
+  auto it = options_.per_tenant.find(tenant);
+  return it != options_.per_tenant.end() ? it->second : options_.default_spec;
+}
+
+void TenantQuotaManager::RefillLocked(Bucket& bucket, int64_t now_us) {
+  if (!Metered(bucket.spec)) return;
+  const double burst = std::max(bucket.spec.burst, 1.0);
+  if (now_us > bucket.last_refill_us) {
+    const double elapsed_s =
+        static_cast<double>(now_us - bucket.last_refill_us) * 1e-6;
+    bucket.tokens =
+        std::min(burst, bucket.tokens + elapsed_s * bucket.spec.rate_per_s);
+    bucket.last_refill_us = now_us;
+  }
+}
+
+TenantQuotaManager::Bucket& TenantQuotaManager::BucketForLocked(
+    const std::string& tenant, int64_t now_us) {
+  auto it = buckets_.find(tenant);
+  if (it != buckets_.end()) return it->second;
+  // Past the cap, every new tenant id shares one overflow bucket governed
+  // by the default spec: an unbounded id stream gets one coarse shared
+  // budget, not a map that grows per request.
+  std::string key = tenant;
+  const TokenBucketSpec* spec = &SpecFor(tenant);
+  if (buckets_.size() >= std::max<size_t>(options_.max_tenants, 1)) {
+    auto overflow_it = buckets_.find(kOverflowTenant);
+    if (overflow_it != buckets_.end()) return overflow_it->second;
+    key = kOverflowTenant;
+    spec = &options_.default_spec;
+  }
+  Bucket bucket;
+  bucket.spec = *spec;
+  bucket.tokens = std::max(bucket.spec.burst, 1.0);
+  bucket.last_refill_us = now_us;
+  return buckets_.emplace(std::move(key), std::move(bucket)).first->second;
+}
+
+bool TenantQuotaManager::TryAcquire(const std::string& tenant) {
+  const int64_t now_us = clock_();
+  std::lock_guard<std::mutex> lock(mu_);
+  Bucket& bucket = BucketForLocked(tenant, now_us);
+  if (!Metered(bucket.spec)) {
+    ++bucket.admitted;
+    return true;
+  }
+  RefillLocked(bucket, now_us);
+  if (bucket.tokens >= 1.0) {
+    bucket.tokens -= 1.0;
+    ++bucket.admitted;
+    return true;
+  }
+  ++bucket.rejected;
+  return false;
+}
+
+std::vector<TenantQuotaManager::TenantState> TenantQuotaManager::Snapshot()
+    const {
+  const int64_t now_us = clock_();
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<TenantState> out;
+  out.reserve(buckets_.size());
+  for (const auto& [tenant, bucket] : buckets_) {
+    TenantState state;
+    state.tenant = tenant;
+    state.metered = Metered(bucket.spec);
+    state.rate_per_s = bucket.spec.rate_per_s;
+    state.burst = std::max(bucket.spec.burst, 1.0);
+    if (state.metered) {
+      // Report post-refill tokens without mutating the bucket: Statusz must
+      // not change admission outcomes.
+      const double elapsed_s =
+          static_cast<double>(std::max<int64_t>(
+              now_us - bucket.last_refill_us, 0)) *
+          1e-6;
+      state.tokens = std::min(
+          state.burst, bucket.tokens + elapsed_s * bucket.spec.rate_per_s);
+    }
+    state.admitted = bucket.admitted;
+    state.rejected = bucket.rejected;
+    out.push_back(std::move(state));
+  }
+  return out;
+}
+
+size_t TenantQuotaManager::tenant_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return buckets_.size() - buckets_.count(kOverflowTenant);
+}
+
+}  // namespace serve
+}  // namespace qdb

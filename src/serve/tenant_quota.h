@@ -1,0 +1,119 @@
+/// \file tenant_quota.h
+/// \brief Per-tenant token-bucket admission quotas for the serving tier.
+///
+/// Every tenant owns a token bucket: capacity `burst` tokens, refilled
+/// continuously at `rate_per_s` tokens per second. Admitting a request
+/// costs one token; a tenant with an empty bucket is rejected with
+/// kResourceExhausted *before* the request touches the model registry,
+/// the circuit breakers, or a shard queue — quota shedding is the first
+/// admission rung, so a tenant over its budget can neither fill queues
+/// nor trip another tenant's breaker.
+///
+/// Determinism: the manager reads time through an injectable microsecond
+/// clock, so tests drive refill with a hand-advanced counter and assert
+/// token arithmetic exactly. Production servers use the default
+/// steady_clock-backed reader.
+///
+/// Cardinality is bounded the same way obs::LabeledFamily bounds label
+/// sets: the first `max_tenants` distinct tenant ids get their own bucket,
+/// every later tenant shares one overflow bucket (so an adversarial
+/// tenant-id stream degrades to a coarse shared budget instead of growing
+/// the map without bound).
+
+#ifndef QDB_SERVE_TENANT_QUOTA_H_
+#define QDB_SERVE_TENANT_QUOTA_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace qdb {
+namespace serve {
+
+/// One tenant's token-bucket parameters. `rate_per_s <= 0` means the
+/// bucket never refills *and* never limits — the tenant is unmetered
+/// (useful for a default-open policy where only named tenants are
+/// throttled). `burst` is clamped to >= 1 so a metered tenant can always
+/// admit at least one request from a full bucket.
+struct TokenBucketSpec {
+  double rate_per_s = 0.0;  ///< Sustained tokens per second (<= 0: unmetered).
+  double burst = 16.0;      ///< Bucket capacity (peak admission run).
+};
+
+/// Quota-manager configuration: the spec applied to tenants without an
+/// explicit override, per-tenant overrides, and the distinct-tenant cap.
+struct TenantQuotaOptions {
+  TokenBucketSpec default_spec;
+  std::map<std::string, TokenBucketSpec> per_tenant;
+  size_t max_tenants = 256;
+};
+
+/// \brief Thread-safe token-bucket registry keyed by tenant id.
+class TenantQuotaManager {
+ public:
+  /// Microsecond monotonic clock; injectable for deterministic tests.
+  using ClockFn = std::function<int64_t()>;
+
+  /// `clock` defaults to a steady_clock-backed microsecond reader.
+  explicit TenantQuotaManager(TenantQuotaOptions options,
+                              ClockFn clock = nullptr);
+
+  /// Spends one token from `tenant`'s bucket (creating it full on first
+  /// touch). Returns false — and tallies a rejection — when the bucket is
+  /// empty. Unmetered tenants (rate_per_s <= 0 and no override) always
+  /// admit.
+  bool TryAcquire(const std::string& tenant);
+
+  /// Point-in-time view of one bucket, for Statusz and tests.
+  struct TenantState {
+    std::string tenant;
+    double tokens = 0.0;      ///< Tokens after refill at snapshot time.
+    double rate_per_s = 0.0;
+    double burst = 0.0;
+    bool metered = true;      ///< False: this tenant always admits.
+    long admitted = 0;
+    long rejected = 0;
+  };
+
+  /// Every known bucket, sorted by tenant id (the overflow bucket, when
+  /// present, reports under kOverflowTenant).
+  std::vector<TenantState> Snapshot() const;
+
+  /// Distinct (non-overflow) tenants seen so far.
+  size_t tenant_count() const;
+
+  /// Tenant id under which past-the-cap tenants share one bucket.
+  static constexpr const char* kOverflowTenant = "__overflow__";
+
+ private:
+  struct Bucket {
+    TokenBucketSpec spec;
+    double tokens = 0.0;
+    int64_t last_refill_us = 0;
+    long admitted = 0;
+    long rejected = 0;
+  };
+
+  /// Refills `bucket` up to `now_us` (no-op for unmetered specs).
+  static void RefillLocked(Bucket& bucket, int64_t now_us);
+  static bool Metered(const TokenBucketSpec& spec) {
+    return spec.rate_per_s > 0.0;
+  }
+  /// The spec for `tenant`: the per-tenant override or the default.
+  const TokenBucketSpec& SpecFor(const std::string& tenant) const;
+  Bucket& BucketForLocked(const std::string& tenant, int64_t now_us);
+
+  const TenantQuotaOptions options_;
+  const ClockFn clock_;
+
+  mutable std::mutex mu_;
+  std::map<std::string, Bucket> buckets_;
+};
+
+}  // namespace serve
+}  // namespace qdb
+
+#endif  // QDB_SERVE_TENANT_QUOTA_H_

@@ -629,8 +629,10 @@ TEST_F(InferenceServerTest, ShutdownRaceNeverDropsPromises) {
     EXPECT_EQ(stats.submitted, kClients * kPerClient);
     EXPECT_EQ(stats.submitted, stats.completed + stats.cache_hits +
                                    stats.degraded + stats.rejected +
-                                   stats.expired + stats.failed)
+                                   stats.quota_rejected + stats.expired +
+                                   stats.failed)
         << "every request must land in exactly one terminal bucket";
+    EXPECT_EQ(stats.fifo_violations, 0);
   }
 }
 
