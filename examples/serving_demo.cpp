@@ -17,6 +17,14 @@
 // token buckets — over-budget tenants see "resource exhausted" rejections
 // counted separately from real failures.
 //
+// Storage tier: --store-budget-mb M caps the registry's resident model
+// bytes (0 = unlimited); least-recently-served file-backed models are
+// paged out and transparently reloaded on their next request, and the
+// final report (and --statusz) shows budget, residency, evictions,
+// reloads, and cold-start latency. --registry-slices K spreads models
+// over K independently locked registry slices, each owning 1/K of the
+// budget.
+//
 // Observability: run with QDB_TRACE=1 (or pass --trace-out trace.json) to
 // capture a Chrome trace-event timeline with per-request span trees;
 // --statusz prints the server introspection page (per-shard queues,
@@ -134,7 +142,14 @@ int main(int argc, char** argv) {
 
   // Persist the VQC artifact and load it back — the registry round-trips
   // models through the same on-disk format a warehouse deployment would use.
-  serve::ModelRegistry registry;
+  // --store-budget-mb arms the storage tier's byte budget; file-backed
+  // models beyond it are paged out and reload on demand.
+  serve::RegistryOptions registry_opts;
+  registry_opts.store_budget_bytes = static_cast<size_t>(std::max(
+      0l, ParseLongFlag(argc, argv, "--store-budget-mb", 0))) * (1u << 20);
+  registry_opts.num_slices = static_cast<int>(
+      std::max(1l, ParseLongFlag(argc, argv, "--registry-slices", 1)));
+  serve::ModelRegistry registry(registry_opts);
   serve::ModelArtifact vqc_artifact =
       serve::MakeVqcArtifact(vqc.value(), "moons-vqc");
   const std::string artifact_path = "/tmp/qdb_moons_vqc.model";
@@ -287,6 +302,24 @@ int main(int argc, char** argv) {
     std::printf("  batch size      p50 %.1f   p90 %.1f%s\n",
                 batch->ApproxQuantile(0.50), batch->ApproxQuantile(0.90),
                 batch->OverflowCount() > 0 ? "  [clamped]" : "");
+  }
+
+  // Storage-tier residency: what the byte budget did to the model fleet.
+  const serve::StoreStatus store = registry.store_status();
+  if (store.budget_bytes > 0) {
+    std::printf("  store budget    %.1f MiB  (resident %.1f MiB, %zu/%zu "
+                "models, %lld evictions, %lld reloads)\n",
+                static_cast<double>(store.budget_bytes) / (1u << 20),
+                static_cast<double>(store.resident_bytes) / (1u << 20),
+                store.resident_models, store.registered_models,
+                static_cast<long long>(store.evictions),
+                static_cast<long long>(store.reloads));
+    if (auto* cold = obs::GetHistogram("store.cold_start_us");
+        cold != nullptr && cold->TotalCount() > 0) {
+      std::printf("  cold start µs   p50 %.0f   p99 %.0f%s\n",
+                  cold->ApproxQuantile(0.50), cold->ApproxQuantile(0.99),
+                  cold->OverflowCount() > 0 ? "  [clamped]" : "");
+    }
   }
 
   if (trace_out != nullptr) {

@@ -13,6 +13,17 @@ never fails the comparison:
 
     ./scripts/bench_compare.py BENCH_simulator.json /tmp/new/BENCH_simulator.json
     ./scripts/bench_compare.py --threshold 0.05 old.json new.json
+
+When a benchmark (or one of its counters) was deliberately renamed, map
+the baseline name forward instead of losing its history or tripping the
+vanished-metric check:
+
+    ./scripts/bench_compare.py --renames 'BM_Old/8=BM_New/8' old.json new.json
+    ./scripts/bench_compare.py \
+        --renames 'BM_A=BM_B,old_counter=new_counter' old.json new.json
+
+Each mapping is old=new; repeat --renames or separate mappings with
+commas. Whole-benchmark names and counter keys share one namespace.
 """
 
 import argparse
@@ -51,6 +62,51 @@ def load_benchmarks(path):
     return out
 
 
+def parse_renames(entries):
+    """old -> new from repeated/comma-separated old=new mappings."""
+    renames = {}
+    for entry in entries:
+        for mapping in entry.split(","):
+            mapping = mapping.strip()
+            if not mapping:
+                continue
+            old, sep, new = mapping.partition("=")
+            if not sep or not old or not new:
+                raise SystemExit(
+                    f"--renames mapping '{mapping}' must be old=new")
+            if old in renames and renames[old] != new:
+                raise SystemExit(
+                    f"--renames maps '{old}' to both '{renames[old]}' "
+                    f"and '{new}'")
+            renames[old] = new
+    return renames
+
+
+def apply_renames(base, renames):
+    """Rewrites baseline benchmark names and counter keys to candidate names.
+
+    Only the baseline moves: the candidate defines the current naming, and
+    the comparison then lines up as if the baseline had always used it.
+    """
+    out = {}
+    for name, (real_time, unit, counters) in base.items():
+        new_name = renames.get(name, name)
+        if new_name in out:
+            raise SystemExit(
+                f"--renames collides: two baseline benchmarks map to "
+                f"'{new_name}'")
+        new_counters = {}
+        for key, value in counters.items():
+            new_key = renames.get(key, key)
+            if new_key in new_counters:
+                raise SystemExit(
+                    f"--renames collides: two counters of '{name}' map to "
+                    f"'{new_key}'")
+            new_counters[new_key] = value
+        out[new_name] = (real_time, unit, new_counters)
+    return out
+
+
 def build_context(path):
     """The build type the snapshot was recorded from.
 
@@ -75,10 +131,21 @@ def main():
         help="relative real_time growth that counts as a regression "
         "(default 0.10 = 10%%)",
     )
+    parser.add_argument(
+        "--renames",
+        action="append",
+        default=[],
+        metavar="OLD=NEW[,OLD=NEW...]",
+        help="map baseline benchmark names / counter keys to their renamed "
+        "candidate equivalents before comparing (repeatable)",
+    )
     args = parser.parse_args()
 
     base = load_benchmarks(args.baseline)
     cand = load_benchmarks(args.candidate)
+    renames = parse_renames(args.renames)
+    if renames:
+        base = apply_renames(base, renames)
     shared = sorted(set(base) & set(cand))
     if not shared:
         print("no shared benchmark names between the two snapshots",

@@ -9,7 +9,8 @@
 #   QDB_THREADS=1 ./scripts/bench_snapshot.sh   # serial baseline
 #
 # Output: BENCH_simulator.json, BENCH_qkernel.json, BENCH_gradients.json,
-#         BENCH_serve.json, BENCH_obs.json, BENCH_serve_scale.json.
+#         BENCH_serve.json, BENCH_obs.json, BENCH_serve_scale.json,
+#         BENCH_store.json (E21 storage tier).
 #
 # Snapshots must come from a Release (-O2, no sanitizers, NDEBUG) build —
 # debug-build numbers are not comparable across PRs. The script refuses to
@@ -40,9 +41,9 @@ fi
 
 cmake --build build -j --target bench_simulator --target bench_qkernel \
   --target bench_gradients --target bench_serve --target bench_obs \
-  --target bench_serve_scale
+  --target bench_serve_scale --target bench_store
 
-for suite in simulator qkernel gradients serve obs serve_scale; do
+for suite in simulator qkernel gradients serve obs serve_scale store; do
   out="${tag}BENCH_${suite}.json"
   echo "== bench_${suite} -> ${out} =="
   "./build/bench/bench_${suite}" \
@@ -65,4 +66,4 @@ PYEOF
 done
 
 echo
-echo "snapshot written: ${tag}BENCH_simulator.json ${tag}BENCH_qkernel.json ${tag}BENCH_gradients.json ${tag}BENCH_serve.json ${tag}BENCH_obs.json ${tag}BENCH_serve_scale.json"
+echo "snapshot written: ${tag}BENCH_simulator.json ${tag}BENCH_qkernel.json ${tag}BENCH_gradients.json ${tag}BENCH_serve.json ${tag}BENCH_obs.json ${tag}BENCH_serve_scale.json ${tag}BENCH_store.json"

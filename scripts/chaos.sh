@@ -18,9 +18,14 @@ cd "$(dirname "$0")/.."
 BUILD_DIR="${BUILD_DIR:-build}"
 TSAN_DIR="${TSAN_DIR:-build-tsan}"
 FAULT_TEST="$BUILD_DIR/tests/fault_test"
+STORE_TEST="$BUILD_DIR/tests/store_test"
 
 if [[ ! -x "$FAULT_TEST" ]]; then
   echo "chaos: $FAULT_TEST not built (run scripts/tier1.sh or cmake --build $BUILD_DIR)" >&2
+  exit 1
+fi
+if [[ ! -x "$STORE_TEST" ]]; then
+  echo "chaos: $STORE_TEST not built (run scripts/tier1.sh or cmake --build $BUILD_DIR)" >&2
   exit 1
 fi
 
@@ -36,6 +41,15 @@ for name in error-storm latency-spike torn-write; do
   QDB_FAULTS="$spec" "$FAULT_TEST" \
     --gtest_filter='FaultTest.ChaosProfileFromEnvEveryRequestTerminates'
 done
+
+# Storage-tier profile: torn reads of binary artifacts (the load retries,
+# then fails closed with kInvalidArgument) plus latency injected into the
+# async loader's prefetch path. Every prefetch future must settle with a
+# definitive Status and the run must replay bit for bit.
+STORE_PROFILE="store.read:torn_write:0.4:23:0.5,store.prefetch:latency:0.25:29:1500"
+echo "== chaos: store-read-faults  (QDB_FAULTS=$STORE_PROFILE) =="
+QDB_FAULTS="$STORE_PROFILE" "$STORE_TEST" \
+  --gtest_filter='StoreChaosTest.PrefetchUnderReadFaultsEveryLoadTerminates'
 
 # The deterministic (programmatically armed) resilience suite, faults unset.
 echo "== chaos: seeded resilience suite =="

@@ -38,7 +38,8 @@ cmake --build build-tsan -j --target obs_test --target obs_labels_test \
   --target slo_test --target thread_pool_test \
   --target sim_parallel_test --target simd_equivalence_test \
   --target compiled_circuit_test \
-  --target serve_test --target serve_scale_test --target fault_test
+  --target serve_test --target serve_scale_test --target fault_test \
+  --target store_test
 ./build-tsan/tests/obs_test
 ./build-tsan/tests/obs_labels_test
 ./build-tsan/tests/slo_test
@@ -49,6 +50,7 @@ QDB_THREADS=4 ./build-tsan/tests/compiled_circuit_test
 QDB_THREADS=4 ./build-tsan/tests/serve_test
 QDB_THREADS=4 ./build-tsan/tests/serve_scale_test
 QDB_THREADS=4 ./build-tsan/tests/fault_test
+QDB_THREADS=4 ./build-tsan/tests/store_test
 
 echo
 echo "== tier 1: forced-scalar dispatch (QDB_SIMD=0) =="

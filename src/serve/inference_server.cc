@@ -509,6 +509,27 @@ std::string InferenceServer::Statusz() const {
                 " stale_hits=", cache.stale_hits,
                 " evictions=", cache.evictions, "\n");
   {
+    // Storage tier: the registry's byte budget and residency counters,
+    // plus cold-start latency quantiles from the reload path.
+    const StoreStatus store = registry_.store_status();
+    out += StrCat("store: budget_bytes=", store.budget_bytes,
+                  store.budget_bytes == 0 ? " (unlimited)" : "",
+                  " resident_bytes=", store.resident_bytes,
+                  " models=", store.resident_models, "/",
+                  store.registered_models,
+                  " evicted=", store.evicted_models,
+                  " slices=", store.num_slices,
+                  " evictions=", store.evictions,
+                  " reloads=", store.reloads, "\n");
+    const obs::Histogram* cold = obs::GetHistogram("store.cold_start_us");
+    if (cold->TotalCount() > 0) {
+      out += StrCat("  cold_start_us: count=", cold->TotalCount(),
+                    " p50=", cold->ApproxQuantile(0.5),
+                    " p99=", cold->ApproxQuantile(0.99),
+                    cold->OverflowCount() > 0 ? " (clamped)" : "", "\n");
+    }
+  }
+  {
     std::lock_guard<std::mutex> lock(breakers_mu_);
     out += StrCat("breakers: ", breakers_.size(), "\n");
     for (const auto& [name, breaker] : breakers_) {

@@ -1,14 +1,11 @@
 #include "serve/model_artifact.h"
 
-#include <chrono>
-#include <cstdio>
-#include <fstream>
 #include <sstream>
-#include <thread>
+#include <string_view>
 
 #include "common/strings.h"
-#include "fault/fault_injector.h"
 #include "serve/servable.h"
+#include "store/binary_format.h"
 
 namespace qdb {
 namespace serve {
@@ -250,31 +247,65 @@ std::string ModelArtifact::Serialize() const {
 }
 
 Result<ModelArtifact> ModelArtifact::Deserialize(const std::string& text) {
-  // Split into lines; require the trailing checksum line and verify it over
-  // the exact preceding bytes before interpreting anything else.
-  const size_t checksum_pos = text.rfind("checksum ");
-  if (checksum_pos == std::string::npos || checksum_pos == 0 ||
-      text[checksum_pos - 1] != '\n') {
+  // One streaming pass: the final line must be the checksum record, and the
+  // body hash is folded while the body is split into lines — the body is
+  // never copied or re-scanned. The last *line* (not the last occurrence of
+  // "checksum ", which a config key or model name could forge) is the only
+  // place the record is accepted, so a file cut mid-section always fails
+  // with kInvalidArgument here instead of misparsing.
+  constexpr const char kChecksumKey[] = "checksum ";
+  constexpr size_t kChecksumKeyLen = sizeof(kChecksumKey) - 1;
+  if (text.size() < kChecksumKeyLen + 2 || text.back() != '\n') {
     return Status::InvalidArgument("artifact corrupted: missing checksum");
   }
-  const std::string body = text.substr(0, checksum_pos);
+  const size_t prev_newline = text.rfind('\n', text.size() - 2);
+  const size_t final_start =
+      prev_newline == std::string::npos ? 0 : prev_newline + 1;
+  // The checksum record, without its trailing newline.
+  const std::string_view final_line(text.data() + final_start,
+                                    text.size() - 1 - final_start);
+  if (final_line.substr(0, kChecksumKeyLen) != kChecksumKey) {
+    return Status::InvalidArgument("artifact corrupted: missing checksum");
+  }
+  uint64_t stored = 0;
   {
-    std::istringstream is(text.substr(checksum_pos + 9));
-    uint64_t stored = 0;
-    if (!(is >> std::hex >> stored)) {
-      return Status::InvalidArgument("artifact corrupted: unreadable checksum");
+    const std::string_view hex = final_line.substr(kChecksumKeyLen);
+    size_t digits = 0;
+    for (; digits < hex.size() && digits <= 16; ++digits) {
+      const char c = hex[digits];
+      int nibble;
+      if (c >= '0' && c <= '9') {
+        nibble = c - '0';
+      } else if (c >= 'a' && c <= 'f') {
+        nibble = c - 'a' + 10;
+      } else if (c >= 'A' && c <= 'F') {
+        nibble = c - 'A' + 10;
+      } else {
+        break;
+      }
+      stored = stored << 4 | static_cast<uint64_t>(nibble);
     }
-    if (stored != Fnv1a64(body)) {
-      return Status::InvalidArgument(
-          "artifact corrupted: checksum mismatch (file damaged or edited)");
+    if (digits == 0 || digits > 16) {
+      return Status::InvalidArgument("artifact corrupted: unreadable checksum");
     }
   }
 
+  // Hash and line-split the body [0, final_start) in a single walk.
   std::vector<std::string> lines;
-  {
-    std::istringstream is(body);
-    std::string line;
-    while (std::getline(is, line)) lines.push_back(line);
+  uint64_t hash = 1469598103934665603ull;
+  size_t line_start = 0;
+  for (size_t i = 0; i < final_start; ++i) {
+    const unsigned char c = static_cast<unsigned char>(text[i]);
+    hash ^= c;
+    hash *= 1099511628211ull;
+    if (c == '\n') {
+      lines.emplace_back(text, line_start, i - line_start);
+      line_start = i + 1;
+    }
+  }
+  if (stored != hash) {
+    return Status::InvalidArgument(
+        "artifact corrupted: checksum mismatch (file damaged or edited)");
   }
   LineReader reader(std::move(lines));
 
@@ -399,80 +430,16 @@ Result<ModelArtifact> ModelArtifact::Deserialize(const std::string& text) {
 }
 
 Status ModelArtifact::SaveToFile(const std::string& path) const {
-  const std::string payload = Serialize();
-
-  // Fault point "artifact.save" (scoped by artifact name): an injected
-  // error aborts before any byte is written; a torn write persists only a
-  // prefix of the temp file and "crashes" before the rename below, so the
-  // destination is never left half-written.
-  size_t write_bytes = payload.size();
-  bool torn = false;
-  if (fault::FaultInjector::Global().enabled()) {
-    if (std::optional<fault::FaultSpec> fired =
-            fault::FaultInjector::Global().Sample("artifact.save", name)) {
-      switch (fired->kind) {
-        case fault::FaultKind::kError:
-          return Status(fired->error_code,
-                        StrCat("injected fault at 'artifact.save' for '",
-                               name, "'"));
-        case fault::FaultKind::kLatency:
-          std::this_thread::sleep_for(
-              std::chrono::microseconds(fired->latency_us));
-          break;
-        case fault::FaultKind::kTornWrite:
-          torn = true;
-          write_bytes = static_cast<size_t>(
-              static_cast<double>(payload.size()) * fired->keep_fraction);
-          break;
-        case fault::FaultKind::kSpuriousWake:
-          break;
-      }
-    }
-  }
-
-  // Crash-safe save: write everything to <path>.tmp, then rename into
-  // place. A crash (or torn write) mid-save leaves at worst a stale or
-  // partial .tmp file — the destination is either absent or a complete,
-  // checksummed artifact.
-  const std::string tmp = StrCat(path, ".tmp");
-  {
-    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
-    if (!out) {
-      return Status::InvalidArgument(StrCat("cannot open '", tmp,
-                                            "' for writing"));
-    }
-    out.write(payload.data(), static_cast<std::streamsize>(write_bytes));
-    out.flush();
-    if (!out) {
-      out.close();
-      std::remove(tmp.c_str());
-      return Status::Internal(StrCat("failed writing artifact to '", tmp,
-                                     "'"));
-    }
-  }
-  if (torn) {
-    // Simulated crash between the partial write and the rename: the torn
-    // temp file stays on disk, the destination is untouched.
-    return Status::Internal(StrCat(
-        "injected torn write: only ", write_bytes, " of ", payload.size(),
-        " bytes of '", path, "' were persisted before the simulated crash"));
-  }
-  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
-    std::remove(tmp.c_str());
-    return Status::Internal(StrCat("failed renaming '", tmp, "' into '",
-                                   path, "'"));
-  }
-  return Status::OK();
+  // Text format for API compatibility; the storage tier's binary writer is
+  // store::SaveArtifact. Both share the crash-safe tmp+rename path and its
+  // "artifact.save" fault point.
+  return store::AtomicWriteFile(path, Serialize(), name);
 }
 
 Result<ModelArtifact> ModelArtifact::LoadFromFile(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) {
-    return Status::NotFound(StrCat("cannot open artifact file '", path, "'"));
-  }
-  std::ostringstream buffer;
-  buffer << in.rdbuf();
-  return Deserialize(buffer.str());
+  // Sniffs the on-disk format, so files written by either writer load
+  // transparently through every existing call site.
+  return store::LoadArtifact(path);
 }
 
 ModelArtifact MakeVqcArtifact(const VqcClassifier& model, std::string name) {

@@ -7,10 +7,13 @@
 ///
 /// Artifacts are plain data. Turning one into an executable model happens
 /// in servable.h; registering, versioning, and persisting them happens in
-/// model_registry.h. The on-disk format is a line-oriented text file with a
-/// format-version header and a trailing FNV-1a checksum, so corrupted files
-/// and files written by a future incompatible format fail with a Status
-/// instead of producing a silently wrong model.
+/// model_registry.h. Two on-disk formats share one failure contract —
+/// corrupted files fail kInvalidArgument and files written by a future
+/// incompatible format fail kUnimplemented, never a silently wrong model:
+/// the line-oriented text format here (format-version header, %.17g
+/// doubles, trailing FNV-1a checksum) and the sectioned binary format in
+/// store/binary_format.h. LoadFromFile sniffs the magic and reads either;
+/// SaveToFile writes text, store::SaveArtifact picks the format.
 
 #ifndef QDB_SERVE_MODEL_ARTIFACT_H_
 #define QDB_SERVE_MODEL_ARTIFACT_H_

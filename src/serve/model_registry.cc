@@ -1,5 +1,8 @@
 #include "serve/model_registry.h"
 
+#include <algorithm>
+#include <chrono>
+
 #include "common/strings.h"
 #include "fault/fault_injector.h"
 #include "obs/obs.h"
@@ -12,6 +15,53 @@ namespace {
 obs::Gauge* RegisteredGauge() {
   static obs::Gauge* gauge = obs::GetGauge("serve.registry_models");
   return gauge;
+}
+
+obs::Gauge* ResidentBytesGauge() {
+  static obs::Gauge* gauge = obs::GetGauge("store.resident_bytes");
+  return gauge;
+}
+
+obs::Gauge* BudgetBytesGauge() {
+  static obs::Gauge* gauge = obs::GetGauge("store.budget_bytes");
+  return gauge;
+}
+
+obs::Gauge* ResidentModelsGauge() {
+  static obs::Gauge* gauge = obs::GetGauge("store.resident_models");
+  return gauge;
+}
+
+obs::Counter* EvictionsCounter() {
+  static obs::Counter* counter = obs::GetCounter("store.evictions");
+  return counter;
+}
+
+obs::Counter* ReloadsCounter() {
+  static obs::Counter* counter = obs::GetCounter("store.reloads");
+  return counter;
+}
+
+/// Cold-start latency (µs): artifact read + parse + servable build when a
+/// Lookup hits a paged-out model.
+obs::Histogram* ColdStartHistogram() {
+  static obs::Histogram* histogram = obs::GetHistogram(
+      "store.cold_start_us",
+      {50, 100, 250, 500, 1000, 2500, 5000, 10000, 25000, 50000, 100000,
+       250000, 1000000});
+  return histogram;
+}
+
+std::string EntryKey(const std::string& name, int version) {
+  return StrCat(name, ":", version);
+}
+
+/// Inverse of EntryKey. The version is everything after the *last* colon,
+/// so model names containing ':' survive the round trip.
+void SplitEntryKey(const std::string& key, std::string& name, int& version) {
+  const size_t colon = key.rfind(':');
+  name = key.substr(0, colon);
+  version = std::stoi(key.substr(colon + 1));
 }
 
 }  // namespace
@@ -32,6 +82,32 @@ RetryPolicy DefaultArtifactLoadRetry() {
   return policy;
 }
 
+ModelRegistry::ModelRegistry(const RegistryOptions& options)
+    : options_(options) {
+  options_.num_slices = std::max(1, options_.num_slices);
+  const size_t n = static_cast<size_t>(options_.num_slices);
+  // Each slice enforces an equal share of the budget independently, so
+  // slices never take each other's locks. A nonzero budget smaller than
+  // the slice count still budgets each slice (1 byte ≠ unlimited).
+  const size_t per_slice =
+      options_.store_budget_bytes == 0
+          ? 0
+          : std::max<size_t>(1, options_.store_budget_bytes / n);
+  slices_.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    slices_.push_back(std::make_unique<Slice>(per_slice));
+  }
+  BudgetBytesGauge()->Set(static_cast<double>(options_.store_budget_bytes));
+  // Register the cold-start histogram with its µs bounds now, before any
+  // later GetHistogram("store.cold_start_us") call (e.g. Statusz) could
+  // claim the name with default bounds.
+  ColdStartHistogram();
+}
+
+ModelRegistry::Slice& ModelRegistry::SliceFor(const std::string& name) const {
+  return *slices_[Fnv1a64(name) % slices_.size()];
+}
+
 Result<std::shared_ptr<const ServableModel>> ModelRegistry::Register(
     ModelArtifact artifact) {
   if (artifact.name.empty()) {
@@ -40,15 +116,16 @@ Result<std::shared_ptr<const ServableModel>> ModelRegistry::Register(
   if (artifact.version < 0) {
     return Status::InvalidArgument("artifact version must be >= 0");
   }
+  Slice& slice = SliceFor(artifact.name);
   // Resolve the version under the lock, but build the servable outside it:
   // Create() simulates support-vector encodings and compiles circuits,
   // which must not serialize against lookups. The slot is re-checked on
   // insert in case of a racing Register on the same name.
   int version = artifact.version;
   if (version == 0) {
-    std::lock_guard<std::mutex> lock(mu_);
-    auto it = models_.find(artifact.name);
-    version = it == models_.end() || it->second.empty()
+    std::lock_guard<std::mutex> lock(slice.mu);
+    auto it = slice.models.find(artifact.name);
+    version = it == slice.models.end() || it->second.empty()
                   ? 1
                   : it->second.rbegin()->first + 1;
   }
@@ -56,85 +133,237 @@ Result<std::shared_ptr<const ServableModel>> ModelRegistry::Register(
   QDB_ASSIGN_OR_RETURN(std::shared_ptr<const ServableModel> servable,
                        ServableModel::Create(std::move(artifact)));
   {
-    std::lock_guard<std::mutex> lock(mu_);
-    auto& versions = models_[servable->name()];
-    if (!versions.emplace(version, servable).second) {
+    std::lock_guard<std::mutex> lock(slice.mu);
+    auto& versions = slice.models[servable->name()];
+    Entry entry;
+    entry.servable = servable;
+    entry.type = servable->type();
+    entry.num_features = servable->num_features();
+    entry.resident_bytes = servable->ResidentBytes();
+    if (!versions.emplace(version, std::move(entry)).second) {
       return Status::AlreadyExists(
           StrCat("model '", servable->name(), "' version ", version,
                  " is already registered"));
     }
+    const std::string key = EntryKey(servable->name(), version);
+    // In-memory registrations have no artifact file to reload from, so
+    // they are charged but never paged out (soft budget).
+    slice.budget.Add(key, servable->ResidentBytes(), /*evictable=*/false);
+    EnforceBudgetLocked(slice, key);
   }
-  RegisteredGauge()->Set(static_cast<double>(size()));
+  PublishGauges();
+  return servable;
+}
+
+Result<std::shared_ptr<const ServableModel>> ModelRegistry::ReloadLocked(
+    Slice& slice, const std::string& name, int version, Entry& entry) const {
+  if (entry.artifact_path.empty()) {
+    return Status::Internal(
+        StrCat("model '", name, "' version ", version,
+               " is paged out but has no artifact path"));
+  }
+  const auto start = std::chrono::steady_clock::now();
+  QDB_ASSIGN_OR_RETURN(
+      ModelArtifact artifact,
+      RetryResult<ModelArtifact>(
+          DefaultArtifactLoadRetry(),
+          [&entry](int) -> Result<ModelArtifact> {
+            return store::LoadArtifact(entry.artifact_path);
+          }));
+  // The file must still be the model this entry was registered as; a
+  // swapped or repurposed artifact file must not serve under a stale
+  // (name, version).
+  if (artifact.name != name || artifact.version != version) {
+    return Status::FailedPrecondition(
+        StrCat("artifact file '", entry.artifact_path, "' now holds '",
+               artifact.name, "' v", artifact.version, ", not '", name,
+               "' v", version, " — refusing to serve it"));
+  }
+  QDB_ASSIGN_OR_RETURN(std::shared_ptr<const ServableModel> servable,
+                       ServableModel::Create(std::move(artifact)));
+  entry.servable = servable;
+  entry.resident_bytes = servable->ResidentBytes();
+  const std::string key = EntryKey(name, version);
+  slice.budget.Add(key, entry.resident_bytes, /*evictable=*/true,
+                   entry.pinned);
+  slice.reloads++;
+  ReloadsCounter()->Increment();
+  ColdStartHistogram()->Observe(static_cast<double>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - start)
+          .count()));
+  EnforceBudgetLocked(slice, key);
   return servable;
 }
 
 Result<std::shared_ptr<const ServableModel>> ModelRegistry::Lookup(
     const std::string& name, int version) const {
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = models_.find(name);
-  if (it == models_.end() || it->second.empty()) {
-    return Status::NotFound(StrCat("no model named '", name, "'"));
+  Slice& slice = SliceFor(name);
+  bool cold_start = false;
+  Result<std::shared_ptr<const ServableModel>> result = [&]() ->
+      Result<std::shared_ptr<const ServableModel>> {
+    std::lock_guard<std::mutex> lock(slice.mu);
+    auto it = slice.models.find(name);
+    if (it == slice.models.end() || it->second.empty()) {
+      return Status::NotFound(StrCat("no model named '", name, "'"));
+    }
+    std::map<int, Entry>::iterator vit;
+    if (version < 0) {
+      vit = std::prev(it->second.end());
+    } else {
+      vit = it->second.find(version);
+      if (vit == it->second.end()) {
+        return Status::NotFound(
+            StrCat("model '", name, "' has no version ", version));
+      }
+    }
+    Entry& entry = vit->second;
+    if (entry.servable != nullptr) {
+      slice.budget.Touch(EntryKey(name, vit->first));
+      return entry.servable;
+    }
+    // Cold start: the budget paged this version out; reload it here, under
+    // the slice lock, so concurrent lookups of the same model wait for one
+    // reload instead of stampeding the file. Other slices are unaffected.
+    cold_start = true;
+    return ReloadLocked(slice, name, vit->first, entry);
+  }();
+  // Gauges refresh only after a cold start (outside the slice lock —
+  // PublishGauges walks every slice); the warm path stays lock-light.
+  if (cold_start && result.ok()) PublishGauges();
+  return result;
+}
+
+void ModelRegistry::EnforceBudgetLocked(
+    Slice& slice, const std::string& protect_key) const {
+  for (const std::string& victim : slice.budget.PlanEvictions(protect_key)) {
+    std::string name;
+    int version = 0;
+    SplitEntryKey(victim, name, version);
+    auto it = slice.models.find(name);
+    if (it == slice.models.end()) continue;
+    auto vit = it->second.find(version);
+    if (vit == it->second.end()) continue;
+    vit->second.servable.reset();
+    vit->second.resident_bytes = 0;
+    slice.budget.Drop(victim);
+    slice.evictions++;
+    EvictionsCounter()->Increment();
   }
-  if (version < 0) {
-    return it->second.rbegin()->second;
-  }
-  auto vit = it->second.find(version);
-  if (vit == it->second.end()) {
-    return Status::NotFound(
-        StrCat("model '", name, "' has no version ", version));
-  }
-  return vit->second;
 }
 
 Status ModelRegistry::Evict(const std::string& name, int version) {
+  Slice& slice = SliceFor(name);
   {
-    std::lock_guard<std::mutex> lock(mu_);
-    auto it = models_.find(name);
-    if (it == models_.end() || it->second.empty()) {
+    std::lock_guard<std::mutex> lock(slice.mu);
+    auto it = slice.models.find(name);
+    if (it == slice.models.end() || it->second.empty()) {
       return Status::NotFound(StrCat("no model named '", name, "'"));
     }
     if (version < 0) {
-      models_.erase(it);
+      for (const auto& [v, entry] : it->second) {
+        slice.budget.Drop(EntryKey(name, v));
+      }
+      slice.models.erase(it);
     } else {
       if (it->second.erase(version) == 0) {
         return Status::NotFound(
             StrCat("model '", name, "' has no version ", version));
       }
-      if (it->second.empty()) models_.erase(it);
+      slice.budget.Drop(EntryKey(name, version));
+      if (it->second.empty()) slice.models.erase(it);
     }
   }
-  RegisteredGauge()->Set(static_cast<double>(size()));
+  PublishGauges();
+  return Status::OK();
+}
+
+Status ModelRegistry::SetPinned(const std::string& name, int version,
+                                bool pinned) {
+  Slice& slice = SliceFor(name);
+  {
+    std::lock_guard<std::mutex> lock(slice.mu);
+    auto it = slice.models.find(name);
+    if (it == slice.models.end()) {
+      return Status::NotFound(StrCat("no model named '", name, "'"));
+    }
+    auto vit = it->second.find(version);
+    if (vit == it->second.end()) {
+      return Status::NotFound(
+          StrCat("model '", name, "' has no version ", version));
+    }
+    vit->second.pinned = pinned;
+    slice.budget.SetPinned(EntryKey(name, version), pinned);
+    // Unpinning may make an over-budget slice collectable again.
+    if (!pinned) EnforceBudgetLocked(slice, "");
+  }
+  PublishGauges();
   return Status::OK();
 }
 
 std::vector<ModelEntry> ModelRegistry::List() const {
-  std::lock_guard<std::mutex> lock(mu_);
   std::vector<ModelEntry> out;
-  for (const auto& [name, versions] : models_) {
-    for (const auto& [version, servable] : versions) {
-      ModelEntry entry;
-      entry.name = name;
-      entry.version = version;
-      entry.type = servable->type();
-      entry.num_features = servable->num_features();
-      out.push_back(std::move(entry));
+  for (const auto& slice : slices_) {
+    std::lock_guard<std::mutex> lock(slice->mu);
+    for (const auto& [name, versions] : slice->models) {
+      for (const auto& [version, entry] : versions) {
+        ModelEntry row;
+        row.name = name;
+        row.version = version;
+        row.type = entry.type;
+        row.num_features = entry.num_features;
+        row.resident = entry.servable != nullptr;
+        row.pinned = entry.pinned;
+        out.push_back(std::move(row));
+      }
     }
   }
+  std::sort(out.begin(), out.end(),
+            [](const ModelEntry& a, const ModelEntry& b) {
+              return a.name != b.name ? a.name < b.name
+                                      : a.version < b.version;
+            });
   return out;
 }
 
 size_t ModelRegistry::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
   size_t n = 0;
-  for (const auto& [name, versions] : models_) n += versions.size();
+  for (const auto& slice : slices_) {
+    std::lock_guard<std::mutex> lock(slice->mu);
+    for (const auto& [name, versions] : slice->models) n += versions.size();
+  }
   return n;
+}
+
+void ModelRegistry::MarkFileBacked(const std::string& name, int version,
+                                   const std::string& path) const {
+  Slice& slice = SliceFor(name);
+  std::lock_guard<std::mutex> lock(slice.mu);
+  auto it = slice.models.find(name);
+  if (it == slice.models.end()) return;
+  auto vit = it->second.find(version);
+  if (vit == it->second.end()) return;
+  Entry& entry = vit->second;
+  entry.artifact_path = path;
+  if (entry.servable != nullptr) {
+    const std::string key = EntryKey(name, version);
+    slice.budget.Add(key, entry.resident_bytes, /*evictable=*/true,
+                     entry.pinned);
+    // Now that this entry is reloadable it may be paged out — but not
+    // immediately after the save/load that created it.
+    EnforceBudgetLocked(slice, key);
+  }
 }
 
 Status ModelRegistry::SaveModel(const std::string& name, int version,
                                 const std::string& path) const {
   QDB_ASSIGN_OR_RETURN(std::shared_ptr<const ServableModel> servable,
                        Lookup(name, version));
-  return servable->artifact().SaveToFile(path);
+  QDB_RETURN_IF_ERROR(
+      store::SaveArtifact(servable->artifact(), path, options_.save_format));
+  MarkFileBacked(name, servable->version(), path);
+  PublishGauges();
+  return Status::OK();
 }
 
 Result<std::shared_ptr<const ServableModel>> ModelRegistry::LoadModel(
@@ -145,13 +374,49 @@ Result<std::shared_ptr<const ServableModel>> ModelRegistry::LoadModel(
       RetryResult<ModelArtifact>(
           retry, [&path](int) -> Result<ModelArtifact> {
             // Fault point "artifact.load" (scoped by path) sits inside the
-            // retry loop, so injected transient errors exercise it.
+            // retry loop, so injected transient errors exercise it;
+            // store::LoadArtifact adds the lower-level "store.read" point.
             QDB_RETURN_IF_ERROR(
                 fault::MaybeInject("artifact.load", path));
-            return ModelArtifact::LoadFromFile(path);
+            return store::LoadArtifact(path);
           }));
   if (reassign_version) artifact.version = 0;
-  return Register(std::move(artifact));
+  QDB_ASSIGN_OR_RETURN(std::shared_ptr<const ServableModel> servable,
+                       Register(std::move(artifact)));
+  MarkFileBacked(servable->name(), servable->version(), path);
+  PublishGauges();
+  return servable;
+}
+
+StoreStatus ModelRegistry::store_status() const {
+  StoreStatus status;
+  status.budget_bytes = options_.store_budget_bytes;
+  status.num_slices = static_cast<int>(slices_.size());
+  for (const auto& slice : slices_) {
+    std::lock_guard<std::mutex> lock(slice->mu);
+    status.resident_bytes += slice->budget.resident_bytes();
+    status.evictions += slice->evictions;
+    status.reloads += slice->reloads;
+    for (const auto& [name, versions] : slice->models) {
+      for (const auto& [version, entry] : versions) {
+        status.registered_models++;
+        if (entry.servable != nullptr) {
+          status.resident_models++;
+        } else {
+          status.evicted_models++;
+        }
+      }
+    }
+  }
+  return status;
+}
+
+void ModelRegistry::PublishGauges() const {
+  const StoreStatus status = store_status();
+  RegisteredGauge()->Set(static_cast<double>(status.registered_models));
+  ResidentBytesGauge()->Set(static_cast<double>(status.resident_bytes));
+  ResidentModelsGauge()->Set(static_cast<double>(status.resident_models));
+  BudgetBytesGauge()->Set(static_cast<double>(status.budget_bytes));
 }
 
 }  // namespace serve

@@ -1,12 +1,26 @@
 /// \file model_registry.h
 /// \brief Versioned store of servable models: register, look up (latest or
-/// pinned version), evict, and persist to / restore from disk.
+/// pinned version), evict, pin, and persist to / restore from disk under a
+/// byte budget.
 ///
 /// Registration turns an artifact into a ServableModel (validating it and
 /// precomputing its inference path) and assigns the next version when the
 /// artifact does not pin one. Lookups hand out shared_ptr<const
 /// ServableModel>, so evicting a model never invalidates requests already
 /// holding it — the servable dies when its last in-flight request drops it.
+///
+/// The registry is internally sharded into *slices* (FNV-1a of the model
+/// name, all versions of a name on one slice), so artifact loads, cold
+/// starts, and budget bookkeeping on one slice never serialize lookups on
+/// another — the registry-side counterpart of the server's sharded request
+/// queues. Each slice runs its own store::MemoryBudget: models that were
+/// loaded from (or saved to) an artifact file can be paged out under
+/// memory pressure and are transparently reloaded on the next Lookup (a
+/// *cold start*, reported via the store.cold_start_us histogram), so a
+/// registry holding thousands of versions serves with bounded RAM. Models
+/// registered purely from memory have nowhere to reload from and are never
+/// paged out (the budget is soft for them), and pinned models are resident
+/// by fiat.
 
 #ifndef QDB_SERVE_MODEL_REGISTRY_H_
 #define QDB_SERVE_MODEL_REGISTRY_H_
@@ -20,6 +34,8 @@
 #include "common/retry.h"
 #include "serve/model_artifact.h"
 #include "serve/servable.h"
+#include "store/binary_format.h"
+#include "store/memory_budget.h"
 
 namespace qdb {
 namespace serve {
@@ -35,12 +51,41 @@ struct ModelEntry {
   int version = 0;
   ModelType type = ModelType::kVqcClassifier;
   int num_features = 0;
+  bool resident = true;  ///< false = paged out, reloads on next Lookup.
+  bool pinned = false;
 };
 
-/// \brief Thread-safe name → version → servable map.
+/// Construction-time knobs for the registry's storage tier.
+struct RegistryOptions {
+  /// Independent lock+budget slices (clamped to >= 1). Pair with the
+  /// server's shard count to split artifact-load contention.
+  int num_slices = 1;
+  /// Total resident-bytes budget across all slices; 0 = unlimited. Each
+  /// slice enforces budget/num_slices independently.
+  size_t store_budget_bytes = 0;
+  /// Format SaveModel writes. Binary is the storage-tier default; readers
+  /// accept both.
+  store::ArtifactFormat save_format = store::ArtifactFormat::kBinary;
+};
+
+/// Aggregated storage-tier state, also surfaced in InferenceServer::Statusz.
+struct StoreStatus {
+  size_t budget_bytes = 0;    ///< 0 = unlimited.
+  size_t resident_bytes = 0;  ///< Sum of resident servables' estimates.
+  size_t registered_models = 0;
+  size_t resident_models = 0;
+  size_t evicted_models = 0;  ///< Registered but paged out.
+  long evictions = 0;         ///< Budget-driven page-outs since construction.
+  long reloads = 0;           ///< Cold-start reloads since construction.
+  int num_slices = 1;
+};
+
+/// \brief Thread-safe, sliced name → version → servable map with a
+/// byte-budgeted residency policy.
 class ModelRegistry {
  public:
-  ModelRegistry() = default;
+  ModelRegistry() : ModelRegistry(RegistryOptions{}) {}
+  explicit ModelRegistry(const RegistryOptions& options);
 
   /// Validates and loads `artifact`. version == 0 assigns (highest existing
   /// version) + 1; an explicitly pinned version that already exists fails
@@ -48,7 +93,10 @@ class ModelRegistry {
   /// version and stamped circuit fingerprint).
   Result<std::shared_ptr<const ServableModel>> Register(ModelArtifact artifact);
 
-  /// Looks up a model; version < 0 means "latest registered version".
+  /// Looks up a model; version < 0 means "latest registered version". A
+  /// paged-out model is reloaded from its artifact file on the spot (the
+  /// cold-start path): the caller blocks for the reload but concurrent
+  /// lookups on other slices are unaffected.
   Result<std::shared_ptr<const ServableModel>> Lookup(const std::string& name,
                                                       int version = -1) const;
 
@@ -57,30 +105,75 @@ class ModelRegistry {
   /// are unaffected.
   Status Evict(const std::string& name, int version = -1);
 
-  /// Every registered (name, version), sorted by name then version.
+  /// Pins (or unpins) a version: pinned models are never paged out by the
+  /// budget. kNotFound when the version is not registered.
+  Status SetPinned(const std::string& name, int version, bool pinned);
+
+  /// Every registered (name, version), sorted by name then version,
+  /// including paged-out entries.
   std::vector<ModelEntry> List() const;
 
   /// Number of registered (name, version) pairs.
   size_t size() const;
 
-  /// Serializes one registered model's artifact to `path` (the on-disk
-  /// format of model_artifact.h).
+  /// Serializes one registered model's artifact to `path` in
+  /// options().save_format (crash-safe). On success the version becomes
+  /// file-backed: it is now evictable under the budget and reloadable from
+  /// `path`.
   Status SaveModel(const std::string& name, int version,
                    const std::string& path) const;
 
-  /// Loads an artifact file and registers it. The file's version is kept if
-  /// free, otherwise registration fails with kAlreadyExists; pass
-  /// reassign_version to force "next version" semantics instead. The read
-  /// is retried under `retry` so a load racing a crash-safe save (or an
-  /// injected transient fault) settles on the complete artifact.
+  /// Loads an artifact file (either format) and registers it. The file's
+  /// version is kept if free, otherwise registration fails with
+  /// kAlreadyExists; pass reassign_version to force "next version"
+  /// semantics instead. The read is retried under `retry` so a load racing
+  /// a crash-safe save (or an injected transient fault) settles on the
+  /// complete artifact. The registered version is file-backed (evictable).
   Result<std::shared_ptr<const ServableModel>> LoadModel(
       const std::string& path, bool reassign_version = false,
       const RetryPolicy& retry = DefaultArtifactLoadRetry());
 
+  /// Aggregated storage-tier counters across all slices.
+  StoreStatus store_status() const;
+
+  const RegistryOptions& options() const { return options_; }
+  int num_slices() const { return static_cast<int>(slices_.size()); }
+
  private:
-  mutable std::mutex mu_;
-  std::map<std::string, std::map<int, std::shared_ptr<const ServableModel>>>
-      models_;
+  struct Entry {
+    /// Null when paged out; reloaded from artifact_path on demand.
+    std::shared_ptr<const ServableModel> servable;
+    /// Cached so List() works while paged out.
+    ModelType type = ModelType::kVqcClassifier;
+    int num_features = 0;
+    /// Empty = in-memory only: never evictable, nowhere to reload from.
+    std::string artifact_path;
+    size_t resident_bytes = 0;
+    bool pinned = false;
+  };
+  struct Slice {
+    explicit Slice(size_t budget_bytes) : budget(budget_bytes) {}
+    mutable std::mutex mu;
+    std::map<std::string, std::map<int, Entry>> models;
+    store::MemoryBudget budget;
+    long evictions = 0;
+    long reloads = 0;
+  };
+
+  Slice& SliceFor(const std::string& name) const;
+  /// Reloads a paged-out entry from its artifact file. Slice lock held.
+  Result<std::shared_ptr<const ServableModel>> ReloadLocked(
+      Slice& slice, const std::string& name, int version, Entry& entry) const;
+  /// Pages out LRU victims until the slice fits its budget (protecting
+  /// `protect_key`, the entry just touched). Slice lock held.
+  void EnforceBudgetLocked(Slice& slice, const std::string& protect_key) const;
+  /// Marks a registered version file-backed after a successful save/load.
+  void MarkFileBacked(const std::string& name, int version,
+                      const std::string& path) const;
+  void PublishGauges() const;
+
+  RegistryOptions options_;
+  std::vector<std::unique_ptr<Slice>> slices_;
 };
 
 }  // namespace serve

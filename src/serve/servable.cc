@@ -225,6 +225,37 @@ Result<std::shared_ptr<const ServableModel>> ServableModel::Create(
   return std::shared_ptr<const ServableModel>(std::move(servable));
 }
 
+size_t ServableModel::ResidentBytes() const {
+  size_t bytes = sizeof(*this);
+  // Artifact payload.
+  bytes += artifact_.name.capacity();
+  bytes += artifact_.params.capacity() * sizeof(double);
+  bytes += artifact_.support_vectors.capacity() * sizeof(SupportVector);
+  for (const SupportVector& sv : artifact_.support_vectors) {
+    bytes += sv.features.capacity() * sizeof(double);
+  }
+  for (const auto& [key, value] : artifact_.config) {
+    bytes += sizeof(key) + sizeof(value) + key.capacity() + value.capacity();
+  }
+  // Compiled symbolic program (angle / re-uploading / VQR path).
+  if (program_ != nullptr) {
+    bytes += sizeof(CompiledCircuit);
+    bytes += program_->ops().capacity() * sizeof(CompiledOp);
+    for (const CompiledOp& op : program_->ops()) {
+      bytes += op.m.rows() * op.m.cols() * sizeof(Complex);
+      bytes += op.qubits.capacity() * sizeof(int);
+      bytes += op.exprs.capacity() * sizeof(ParamExpr);
+    }
+  }
+  // Pre-encoded support-vector states: 2^num_features amplitudes each —
+  // the dominant term for kernel-SVM servables.
+  bytes += sv_states_.capacity() * sizeof(CVector);
+  for (const CVector& state : sv_states_) {
+    bytes += state.capacity() * sizeof(Complex);
+  }
+  return bytes;
+}
+
 Status ServableModel::ValidateInput(RequestKind kind,
                                     const DVector& input) const {
   if (artifact_.type == ModelType::kQuboConfig) {

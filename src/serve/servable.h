@@ -87,6 +87,14 @@ class ServableModel {
     return batch_executions_.load(std::memory_order_relaxed);
   }
 
+  /// Estimated resident heap footprint of this servable — the artifact's
+  /// payload, the compiled program, and the pre-encoded support-vector
+  /// states (2^num_features amplitudes each, usually the dominant term for
+  /// kernel models). The storage tier's memory budget charges this
+  /// estimate; it deliberately counts owned allocations, not malloc
+  /// overhead, so it is a stable lower bound.
+  size_t ResidentBytes() const;
+
  private:
   ServableModel() = default;
 

@@ -1,0 +1,157 @@
+#include "store/async_loader.h"
+
+#include <utility>
+
+#include "common/strings.h"
+#include "fault/fault_injector.h"
+#include "obs/obs.h"
+
+namespace qdb {
+namespace store {
+
+namespace {
+
+obs::Counter* PrefetchesCounter() {
+  static obs::Counter* counter = obs::GetCounter("store.prefetches");
+  return counter;
+}
+
+obs::Counter* PrefetchFailuresCounter() {
+  static obs::Counter* counter = obs::GetCounter("store.prefetch_failures");
+  return counter;
+}
+
+obs::Gauge* PrefetchQueueGauge() {
+  static obs::Gauge* gauge = obs::GetGauge("store.prefetch_queue");
+  return gauge;
+}
+
+}  // namespace
+
+AsyncModelLoader::AsyncModelLoader(serve::ModelRegistry& registry,
+                                   AsyncLoaderOptions options)
+    : registry_(registry), options_(options) {}
+
+AsyncModelLoader::~AsyncModelLoader() { Shutdown(); }
+
+Status AsyncModelLoader::Start() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (started_) {
+    return Status::FailedPrecondition("async loader already started");
+  }
+  started_ = true;
+  stopping_ = false;
+  worker_ = std::thread([this] { WorkerLoop(); });
+  return Status::OK();
+}
+
+void AsyncModelLoader::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!started_) {
+      // Never started: fail whatever was queued so no future hangs.
+      while (!queue_.empty()) {
+        queue_.front().promise.set_value(
+            Status::Unavailable("async loader shut down before starting"));
+        queue_.pop_front();
+        stats_.failed++;
+      }
+      return;
+    }
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  if (worker_.joinable()) worker_.join();
+  std::lock_guard<std::mutex> lock(mu_);
+  started_ = false;
+  PrefetchQueueGauge()->Set(0.0);
+}
+
+AsyncModelLoader::LoadFuture AsyncModelLoader::Enqueue(Job job) {
+  LoadFuture future = job.promise.get_future();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_) {
+      job.promise.set_value(
+          Status::Unavailable("async loader is shutting down"));
+      return future;
+    }
+    if (queue_.size() >= options_.queue_capacity) {
+      job.promise.set_value(Status::ResourceExhausted(
+          StrCat("prefetch queue is full (", options_.queue_capacity, ")")));
+      return future;
+    }
+    queue_.push_back(std::move(job));
+    stats_.submitted++;
+    PrefetchQueueGauge()->Set(static_cast<double>(queue_.size()));
+  }
+  cv_.notify_one();
+  return future;
+}
+
+AsyncModelLoader::LoadFuture AsyncModelLoader::Prefetch(
+    std::string path, bool reassign_version) {
+  Job job;
+  job.warm = false;
+  job.path_or_name = std::move(path);
+  job.reassign_version = reassign_version;
+  return Enqueue(std::move(job));
+}
+
+AsyncModelLoader::LoadFuture AsyncModelLoader::Warm(std::string name,
+                                                    int version) {
+  Job job;
+  job.warm = true;
+  job.path_or_name = std::move(name);
+  job.version = version;
+  return Enqueue(std::move(job));
+}
+
+Result<AsyncModelLoader::Servable> AsyncModelLoader::RunJob(Job& job) {
+  // Fault point "store.prefetch": chaos profiles stall or fail background
+  // loads here without touching the synchronous serving path.
+  QDB_RETURN_IF_ERROR(fault::MaybeInject("store.prefetch", job.path_or_name));
+  if (job.warm) {
+    return registry_.Lookup(job.path_or_name, job.version);
+  }
+  return registry_.LoadModel(job.path_or_name, job.reassign_version);
+}
+
+void AsyncModelLoader::WorkerLoop() {
+  for (;;) {
+    Job job;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ && drained
+      job = std::move(queue_.front());
+      queue_.pop_front();
+      PrefetchQueueGauge()->Set(static_cast<double>(queue_.size()));
+    }
+    Result<Servable> result = RunJob(job);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (result.ok()) {
+        stats_.completed++;
+        PrefetchesCounter()->Increment();
+      } else {
+        stats_.failed++;
+        PrefetchFailuresCounter()->Increment();
+      }
+    }
+    job.promise.set_value(std::move(result));
+  }
+}
+
+AsyncModelLoader::Stats AsyncModelLoader::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+size_t AsyncModelLoader::queue_depth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
+}
+
+}  // namespace store
+}  // namespace qdb

@@ -1,0 +1,110 @@
+/// \file async_loader.h
+/// \brief Background artifact prefetcher: loads and builds servables off
+/// the request path, with double-buffered promotion into the registry.
+///
+/// The expensive half of a model rollout — reading the artifact, parsing
+/// it, compiling the inference circuit or encoding support-vector states —
+/// runs on the loader's worker thread. Only the final O(1) registry insert
+/// happens at promotion time, and lookups hand out shared_ptr<const
+/// ServableModel>, so a version swap never blocks an in-flight request:
+/// requests already dispatched keep the old buffer (the previous servable)
+/// until they drop it, while new lookups resolve to the freshly promoted
+/// one. Warm() re-residents a paged-out version the same way, making the
+/// next Lookup a cache hit instead of a synchronous cold start.
+///
+/// Each job runs through the "store.prefetch" fault point (scoped by the
+/// artifact path or model name), so chaos profiles can stall or fail
+/// prefetches without touching the serving path.
+
+#ifndef QDB_STORE_ASYNC_LOADER_H_
+#define QDB_STORE_ASYNC_LOADER_H_
+
+#include <condition_variable>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "common/result.h"
+#include "serve/model_registry.h"
+
+namespace qdb {
+namespace store {
+
+struct AsyncLoaderOptions {
+  /// Jobs waiting for the worker; a full queue rejects new prefetches with
+  /// kResourceExhausted rather than buffering unboundedly.
+  size_t queue_capacity = 256;
+};
+
+/// \brief Single-worker async loader over one ModelRegistry.
+///
+/// Thread-safe. Shutdown() (and the destructor) drains queued jobs before
+/// joining, so every returned future settles.
+class AsyncModelLoader {
+ public:
+  using Servable = std::shared_ptr<const serve::ServableModel>;
+  using LoadFuture = std::future<Result<Servable>>;
+
+  explicit AsyncModelLoader(serve::ModelRegistry& registry,
+                            AsyncLoaderOptions options = {});
+  ~AsyncModelLoader();
+
+  AsyncModelLoader(const AsyncModelLoader&) = delete;
+  AsyncModelLoader& operator=(const AsyncModelLoader&) = delete;
+
+  /// Starts the worker thread. kFailedPrecondition if already started.
+  Status Start();
+
+  /// Drains queued jobs, then stops and joins the worker. Idempotent.
+  void Shutdown();
+
+  /// Enqueues "load the artifact at `path` and register it" (the
+  /// registry's LoadModel, including its retry and fault points). The
+  /// future resolves to the promoted servable.
+  LoadFuture Prefetch(std::string path, bool reassign_version = false);
+
+  /// Enqueues "make `name`/`version` resident" (version < 0 = latest): a
+  /// registry Lookup on the worker thread, absorbing any cold-start reload
+  /// off the request path.
+  LoadFuture Warm(std::string name, int version = -1);
+
+  struct Stats {
+    long submitted = 0;
+    long completed = 0;  ///< Futures resolved OK.
+    long failed = 0;     ///< Futures resolved with an error.
+  };
+  Stats stats() const;
+  size_t queue_depth() const;
+
+ private:
+  struct Job {
+    bool warm = false;
+    std::string path_or_name;
+    int version = -1;
+    bool reassign_version = false;
+    std::promise<Result<Servable>> promise;
+  };
+
+  LoadFuture Enqueue(Job job);
+  Result<Servable> RunJob(Job& job);
+  void WorkerLoop();
+
+  serve::ModelRegistry& registry_;
+  const AsyncLoaderOptions options_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Job> queue_;
+  std::thread worker_;
+  bool started_ = false;
+  bool stopping_ = false;
+  Stats stats_;
+};
+
+}  // namespace store
+}  // namespace qdb
+
+#endif  // QDB_STORE_ASYNC_LOADER_H_

@@ -1,0 +1,66 @@
+#include "store/memory_budget.h"
+
+#include <algorithm>
+
+namespace qdb {
+namespace store {
+
+void MemoryBudget::Add(const std::string& key, size_t bytes, bool evictable,
+                       bool pinned) {
+  Item& item = items_[key];
+  resident_bytes_ -= item.bytes;
+  item.bytes = bytes;
+  item.evictable = evictable;
+  item.pinned = pinned;
+  item.tick = ++tick_;
+  resident_bytes_ += bytes;
+}
+
+bool MemoryBudget::Touch(const std::string& key) {
+  auto it = items_.find(key);
+  if (it == items_.end()) return false;
+  it->second.tick = ++tick_;
+  return true;
+}
+
+void MemoryBudget::Drop(const std::string& key) {
+  auto it = items_.find(key);
+  if (it == items_.end()) return;
+  resident_bytes_ -= it->second.bytes;
+  items_.erase(it);
+}
+
+bool MemoryBudget::SetPinned(const std::string& key, bool pinned) {
+  auto it = items_.find(key);
+  if (it == items_.end()) return false;
+  it->second.pinned = pinned;
+  return true;
+}
+
+std::vector<std::string> MemoryBudget::PlanEvictions(
+    const std::string& protect) const {
+  std::vector<std::string> plan;
+  if (budget_bytes_ == 0 || resident_bytes_ <= budget_bytes_) return plan;
+
+  // Victim candidates in LRU order.
+  std::vector<std::pair<uint64_t, const std::string*>> candidates;
+  candidates.reserve(items_.size());
+  for (const auto& [key, item] : items_) {
+    if (!item.evictable || item.pinned) continue;
+    if (!protect.empty() && key == protect) continue;
+    candidates.emplace_back(item.tick, &key);
+  }
+  std::sort(candidates.begin(), candidates.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+
+  size_t would_remain = resident_bytes_;
+  for (const auto& [tick, key] : candidates) {
+    if (would_remain <= budget_bytes_) break;
+    would_remain -= items_.at(*key).bytes;
+    plan.push_back(*key);
+  }
+  return plan;
+}
+
+}  // namespace store
+}  // namespace qdb

@@ -1,0 +1,91 @@
+/// \file memory_budget.h
+/// \brief Byte-budgeted, LRU/pin-aware residency accounting for the model
+/// storage tier.
+///
+/// MemoryBudget is a pure policy object: it tracks which keys are resident,
+/// how many bytes each holds, their recency, and which of them may be paged
+/// out, and answers "who should go to get back under budget". It performs
+/// no eviction itself and takes no locks — the owner (a ModelRegistry
+/// slice) mutates it under its own mutex and acts on the plan. Keeping the
+/// policy free of I/O and synchronization makes it unit-testable in
+/// isolation and lets each registry slice run its own independent budget,
+/// so eviction decisions never serialize across slices.
+///
+/// Semantics:
+///   - budget_bytes == 0 means unlimited: nothing is ever planned for
+///     eviction.
+///   - Only keys added as `evictable` participate in eviction plans. A
+///     model registered directly from memory (no backing artifact file)
+///     cannot be reloaded, so it must never be paged out; the budget is
+///     soft for such keys and resident_bytes may exceed the budget.
+///   - Pinned keys are resident by fiat and are skipped by plans.
+///   - PlanEvictions walks victims in least-recently-used order and stops
+///     as soon as the hypothetical resident size fits the budget.
+
+#ifndef QDB_STORE_MEMORY_BUDGET_H_
+#define QDB_STORE_MEMORY_BUDGET_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace qdb {
+namespace store {
+
+/// \brief Residency ledger + LRU eviction planner for one registry slice.
+/// Not thread-safe; the owner serializes access.
+class MemoryBudget {
+ public:
+  /// `budget_bytes` == 0 disables eviction planning (unlimited).
+  explicit MemoryBudget(size_t budget_bytes = 0)
+      : budget_bytes_(budget_bytes) {}
+
+  /// Upserts a resident key. Re-adding an existing key replaces its byte
+  /// count and flags and bumps its recency (a reload is a use).
+  void Add(const std::string& key, size_t bytes, bool evictable,
+           bool pinned = false);
+
+  /// Bumps recency. Returns false if the key is not resident.
+  bool Touch(const std::string& key);
+
+  /// Removes a key from the ledger (evicted or unregistered). Unknown keys
+  /// are ignored.
+  void Drop(const std::string& key);
+
+  /// Marks a resident key pinned/unpinned. Returns false if not resident.
+  bool SetPinned(const std::string& key, bool pinned);
+
+  /// Keys to evict, least-recently-used first, until the resident size
+  /// would fit the budget. `protect` (when non-empty) is never planned —
+  /// the caller passes the key it just loaded so a single oversized model
+  /// does not evict itself. May return fewer victims than needed when the
+  /// remaining residents are unevictable or pinned (soft budget).
+  std::vector<std::string> PlanEvictions(const std::string& protect = "") const;
+
+  bool over_budget() const {
+    return budget_bytes_ != 0 && resident_bytes_ > budget_bytes_;
+  }
+  size_t budget_bytes() const { return budget_bytes_; }
+  size_t resident_bytes() const { return resident_bytes_; }
+  size_t resident_count() const { return items_.size(); }
+
+ private:
+  struct Item {
+    size_t bytes = 0;
+    uint64_t tick = 0;
+    bool evictable = false;
+    bool pinned = false;
+  };
+
+  size_t budget_bytes_;
+  size_t resident_bytes_ = 0;
+  uint64_t tick_ = 0;
+  std::unordered_map<std::string, Item> items_;
+};
+
+}  // namespace store
+}  // namespace qdb
+
+#endif  // QDB_STORE_MEMORY_BUDGET_H_
