@@ -155,82 +155,120 @@ Result<std::shared_ptr<const ServableModel>> ModelRegistry::Register(
   return servable;
 }
 
-Result<std::shared_ptr<const ServableModel>> ModelRegistry::ReloadLocked(
-    Slice& slice, const std::string& name, int version, Entry& entry) const {
-  if (entry.artifact_path.empty()) {
-    return Status::Internal(
-        StrCat("model '", name, "' version ", version,
-               " is paged out but has no artifact path"));
-  }
-  const auto start = std::chrono::steady_clock::now();
+Result<std::shared_ptr<const ServableModel>> ModelRegistry::ColdStartLoad(
+    const std::string& path, const std::string& name, int version,
+    const std::string& file_name, int file_version) const {
   QDB_ASSIGN_OR_RETURN(
       ModelArtifact artifact,
       RetryResult<ModelArtifact>(
           DefaultArtifactLoadRetry(),
-          [&entry](int) -> Result<ModelArtifact> {
-            return store::LoadArtifact(entry.artifact_path);
+          [&path](int) -> Result<ModelArtifact> {
+            return store::LoadArtifact(path);
           }));
-  // The file must still be the model this entry was registered as; a
-  // swapped or repurposed artifact file must not serve under a stale
+  // The file must still hold the artifact this entry was registered from.
+  // That identity was recorded at MarkFileBacked time and can lag the
+  // registered version (reassign_version loads, files stored with version
+  // 0); a swapped or repurposed artifact file must not serve under a stale
   // (name, version).
-  if (artifact.name != name || artifact.version != version) {
+  if (artifact.name != file_name || artifact.version != file_version) {
     return Status::FailedPrecondition(
-        StrCat("artifact file '", entry.artifact_path, "' now holds '",
-               artifact.name, "' v", artifact.version, ", not '", name,
-               "' v", version, " — refusing to serve it"));
+        StrCat("artifact file '", path, "' now holds '", artifact.name,
+               "' v", artifact.version, ", not '", file_name, "' v",
+               file_version, " — refusing to serve it as '", name, "' v",
+               version));
   }
-  QDB_ASSIGN_OR_RETURN(std::shared_ptr<const ServableModel> servable,
-                       ServableModel::Create(std::move(artifact)));
-  entry.servable = servable;
-  entry.resident_bytes = servable->ResidentBytes();
-  const std::string key = EntryKey(name, version);
-  slice.budget.Add(key, entry.resident_bytes, /*evictable=*/true,
-                   entry.pinned);
-  slice.reloads++;
-  ReloadsCounter()->Increment();
-  ColdStartHistogram()->Observe(static_cast<double>(
-      std::chrono::duration_cast<std::chrono::microseconds>(
-          std::chrono::steady_clock::now() - start)
-          .count()));
-  EnforceBudgetLocked(slice, key);
-  return servable;
+  // Serve under the registered identity, exactly as Register stamped it.
+  artifact.name = name;
+  artifact.version = version;
+  return ServableModel::Create(std::move(artifact));
 }
 
 Result<std::shared_ptr<const ServableModel>> ModelRegistry::Lookup(
     const std::string& name, int version) const {
   Slice& slice = SliceFor(name);
-  bool cold_start = false;
-  Result<std::shared_ptr<const ServableModel>> result = [&]() ->
-      Result<std::shared_ptr<const ServableModel>> {
+  std::string path, file_name;
+  int resolved_version = 0, file_version = 0;
+  {
+    std::unique_lock<std::mutex> lock(slice.mu);
+    for (;;) {
+      auto it = slice.models.find(name);
+      if (it == slice.models.end() || it->second.empty()) {
+        return Status::NotFound(StrCat("no model named '", name, "'"));
+      }
+      std::map<int, Entry>::iterator vit;
+      if (version < 0) {
+        vit = std::prev(it->second.end());
+      } else {
+        vit = it->second.find(version);
+        if (vit == it->second.end()) {
+          return Status::NotFound(
+              StrCat("model '", name, "' has no version ", version));
+        }
+      }
+      Entry& entry = vit->second;
+      if (entry.servable != nullptr) {
+        slice.budget.Touch(EntryKey(name, vit->first));
+        return entry.servable;
+      }
+      if (entry.artifact_path.empty()) {
+        return Status::Internal(
+            StrCat("model '", name, "' version ", vit->first,
+                   " is paged out but has no artifact path"));
+      }
+      if (!entry.loading) {
+        // Claim the cold start: this thread reloads, off-lock.
+        entry.loading = true;
+        path = entry.artifact_path;
+        file_name = entry.file_name;
+        file_version = entry.file_version;
+        resolved_version = vit->first;
+        break;
+      }
+      // Another lookup is already reloading this version. Wait for it to
+      // settle, then re-resolve from scratch — by the time we wake the
+      // entry may be resident, failed (we retry the claim), or erased.
+      slice.cv.wait(lock);
+    }
+  }
+  // Cold start: the budget paged this version out. File I/O, retry
+  // backoff, and the servable build all run outside the slice lock, so a
+  // slow or failing artifact only stalls lookups of this model — the rest
+  // of the slice keeps serving. The loading latch above keeps concurrent
+  // lookups of the same version from stampeding the file.
+  const auto start = std::chrono::steady_clock::now();
+  Result<std::shared_ptr<const ServableModel>> result =
+      ColdStartLoad(path, name, resolved_version, file_name, file_version);
+  {
     std::lock_guard<std::mutex> lock(slice.mu);
     auto it = slice.models.find(name);
-    if (it == slice.models.end() || it->second.empty()) {
-      return Status::NotFound(StrCat("no model named '", name, "'"));
-    }
-    std::map<int, Entry>::iterator vit;
-    if (version < 0) {
-      vit = std::prev(it->second.end());
-    } else {
-      vit = it->second.find(version);
-      if (vit == it->second.end()) {
-        return Status::NotFound(
-            StrCat("model '", name, "' has no version ", version));
+    if (it != slice.models.end()) {
+      auto vit = it->second.find(resolved_version);
+      if (vit != it->second.end()) {
+        Entry& entry = vit->second;
+        entry.loading = false;
+        // Install unless the entry was concurrently erased (Evict) — the
+        // caller still gets the servable it loaded either way.
+        if (result.ok() && entry.servable == nullptr) {
+          entry.servable = result.value();
+          entry.resident_bytes = result.value()->ResidentBytes();
+          const std::string key = EntryKey(name, resolved_version);
+          slice.budget.Add(key, entry.resident_bytes, /*evictable=*/true,
+                           entry.pinned);
+          slice.reloads++;
+          ReloadsCounter()->Increment();
+          ColdStartHistogram()->Observe(static_cast<double>(
+              std::chrono::duration_cast<std::chrono::microseconds>(
+                  std::chrono::steady_clock::now() - start)
+                  .count()));
+          EnforceBudgetLocked(slice, key);
+        }
       }
     }
-    Entry& entry = vit->second;
-    if (entry.servable != nullptr) {
-      slice.budget.Touch(EntryKey(name, vit->first));
-      return entry.servable;
-    }
-    // Cold start: the budget paged this version out; reload it here, under
-    // the slice lock, so concurrent lookups of the same model wait for one
-    // reload instead of stampeding the file. Other slices are unaffected.
-    cold_start = true;
-    return ReloadLocked(slice, name, vit->first, entry);
-  }();
+  }
+  slice.cv.notify_all();
   // Gauges refresh only after a cold start (outside the slice lock —
   // PublishGauges walks every slice); the warm path stays lock-light.
-  if (cold_start && result.ok()) PublishGauges();
+  if (result.ok()) PublishGauges();
   return result;
 }
 
@@ -336,7 +374,9 @@ size_t ModelRegistry::size() const {
 }
 
 void ModelRegistry::MarkFileBacked(const std::string& name, int version,
-                                   const std::string& path) const {
+                                   const std::string& path,
+                                   const std::string& file_name,
+                                   int file_version) const {
   Slice& slice = SliceFor(name);
   std::lock_guard<std::mutex> lock(slice.mu);
   auto it = slice.models.find(name);
@@ -345,6 +385,8 @@ void ModelRegistry::MarkFileBacked(const std::string& name, int version,
   if (vit == it->second.end()) return;
   Entry& entry = vit->second;
   entry.artifact_path = path;
+  entry.file_name = file_name;
+  entry.file_version = file_version;
   if (entry.servable != nullptr) {
     const std::string key = EntryKey(name, version);
     slice.budget.Add(key, entry.resident_bytes, /*evictable=*/true,
@@ -361,7 +403,10 @@ Status ModelRegistry::SaveModel(const std::string& name, int version,
                        Lookup(name, version));
   QDB_RETURN_IF_ERROR(
       store::SaveArtifact(servable->artifact(), path, options_.save_format));
-  MarkFileBacked(name, servable->version(), path);
+  // The file was written from the registered artifact, so the file identity
+  // IS the registered identity.
+  MarkFileBacked(name, servable->version(), path, servable->name(),
+                 servable->version());
   PublishGauges();
   return Status::OK();
 }
@@ -380,10 +425,16 @@ Result<std::shared_ptr<const ServableModel>> ModelRegistry::LoadModel(
                 fault::MaybeInject("artifact.load", path));
             return store::LoadArtifact(path);
           }));
+  // Remember the identity the file actually holds *before* Register
+  // reassigns or auto-assigns the registered version: reloads after a
+  // page-out re-read this same file and must match it as-is on disk.
+  const std::string file_name = artifact.name;
+  const int file_version = artifact.version;
   if (reassign_version) artifact.version = 0;
   QDB_ASSIGN_OR_RETURN(std::shared_ptr<const ServableModel> servable,
                        Register(std::move(artifact)));
-  MarkFileBacked(servable->name(), servable->version(), path);
+  MarkFileBacked(servable->name(), servable->version(), path, file_name,
+                 file_version);
   PublishGauges();
   return servable;
 }

@@ -25,6 +25,7 @@
 #ifndef QDB_SERVE_MODEL_REGISTRY_H_
 #define QDB_SERVE_MODEL_REGISTRY_H_
 
+#include <condition_variable>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -95,8 +96,10 @@ class ModelRegistry {
 
   /// Looks up a model; version < 0 means "latest registered version". A
   /// paged-out model is reloaded from its artifact file on the spot (the
-  /// cold-start path): the caller blocks for the reload but concurrent
-  /// lookups on other slices are unaffected.
+  /// cold-start path): the caller blocks for the reload, concurrent
+  /// lookups of the same version wait for that one reload instead of
+  /// stampeding the file, and — because the reload runs outside the slice
+  /// lock — lookups of every other model proceed unaffected.
   Result<std::shared_ptr<const ServableModel>> Lookup(const std::string& name,
                                                       int version = -1) const;
 
@@ -148,12 +151,25 @@ class ModelRegistry {
     int num_features = 0;
     /// Empty = in-memory only: never evictable, nowhere to reload from.
     std::string artifact_path;
+    /// Identity the artifact *file* holds, recorded when the entry became
+    /// file-backed. May lag the registered version (reassign_version loads
+    /// and files stored with version 0); reloads validate against this,
+    /// then serve under the registered (name, version).
+    std::string file_name;
+    int file_version = 0;
     size_t resident_bytes = 0;
     bool pinned = false;
+    /// True while one Lookup reloads this entry off-lock; concurrent
+    /// lookups of the same version wait on Slice::cv instead of stampeding
+    /// the file or stalling the slice.
+    bool loading = false;
   };
   struct Slice {
     explicit Slice(size_t budget_bytes) : budget(budget_bytes) {}
     mutable std::mutex mu;
+    /// Signalled whenever a cold-start reload settles (install or failure)
+    /// so waiters re-resolve their entry.
+    mutable std::condition_variable cv;
     std::map<std::string, std::map<int, Entry>> models;
     store::MemoryBudget budget;
     long evictions = 0;
@@ -161,15 +177,21 @@ class ModelRegistry {
   };
 
   Slice& SliceFor(const std::string& name) const;
-  /// Reloads a paged-out entry from its artifact file. Slice lock held.
-  Result<std::shared_ptr<const ServableModel>> ReloadLocked(
-      Slice& slice, const std::string& name, int version, Entry& entry) const;
+  /// Loads + validates + builds a servable for a paged-out entry. Runs
+  /// WITHOUT the slice lock (file I/O, retry backoff, and circuit builds
+  /// must not stall the slice); the caller holds the entry's loading latch.
+  Result<std::shared_ptr<const ServableModel>> ColdStartLoad(
+      const std::string& path, const std::string& name, int version,
+      const std::string& file_name, int file_version) const;
   /// Pages out LRU victims until the slice fits its budget (protecting
   /// `protect_key`, the entry just touched). Slice lock held.
   void EnforceBudgetLocked(Slice& slice, const std::string& protect_key) const;
   /// Marks a registered version file-backed after a successful save/load.
+  /// (`file_name`, `file_version`) is the identity stored in the file at
+  /// `path`, which reloads are validated against.
   void MarkFileBacked(const std::string& name, int version,
-                      const std::string& path) const;
+                      const std::string& path, const std::string& file_name,
+                      int file_version) const;
   void PublishGauges() const;
 
   RegistryOptions options_;

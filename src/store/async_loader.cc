@@ -72,11 +72,13 @@ AsyncModelLoader::LoadFuture AsyncModelLoader::Enqueue(Job job) {
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (stopping_) {
+      stats_.rejected++;
       job.promise.set_value(
           Status::Unavailable("async loader is shutting down"));
       return future;
     }
     if (queue_.size() >= options_.queue_capacity) {
+      stats_.rejected++;
       job.promise.set_value(Status::ResourceExhausted(
           StrCat("prefetch queue is full (", options_.queue_capacity, ")")));
       return future;

@@ -71,10 +71,14 @@ class AsyncModelLoader {
   /// off the request path.
   LoadFuture Warm(std::string name, int version = -1);
 
+  /// Once the loader is drained, submitted == completed + failed; jobs
+  /// turned away at Enqueue (queue full or shutting down) count only as
+  /// rejected — they were never accepted.
   struct Stats {
-    long submitted = 0;
+    long submitted = 0;  ///< Jobs accepted into the queue.
     long completed = 0;  ///< Futures resolved OK.
-    long failed = 0;     ///< Futures resolved with an error.
+    long failed = 0;     ///< Accepted jobs whose future resolved with an error.
+    long rejected = 0;   ///< Enqueue refusals (queue full / shutting down).
   };
   Stats stats() const;
   size_t queue_depth() const;

@@ -1,5 +1,9 @@
 #include "store/binary_format.h"
 
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
 #include <chrono>
 #include <cstdio>
 #include <cstring>
@@ -400,6 +404,7 @@ Result<serve::ModelArtifact> DeserializeBinary(const std::string& bytes) {
   };
   std::vector<Entry> entries;
   entries.reserve(section_count);
+  uint32_t seen_known = 0;  // Bitmask over SectionType.
   for (uint32_t i = 0; i < section_count; ++i) {
     const size_t e = kHeaderSize + i * kTableEntrySize;
     uint32_t type = 0;
@@ -416,6 +421,17 @@ Result<serve::ModelArtifact> DeserializeBinary(const std::string& bytes) {
       return Corrupted(StrCat("section ", i,
                               " checksum mismatch (file damaged or edited)"));
     }
+    // The writer emits each known section at most once. A crafted file that
+    // repeats one would append config entries twice or silently overwrite
+    // earlier payloads, so duplicates fail closed; only *unknown* types may
+    // repeat (forward compatibility).
+    if (type >= kSectionMeta && type <= kSectionQuboConfig) {
+      const uint32_t bit = 1u << type;
+      if (seen_known & bit) {
+        return Corrupted(StrCat("duplicate section of type ", type));
+      }
+      seen_known |= bit;
+    }
     entries.push_back({type, static_cast<size_t>(offset),
                        static_cast<size_t>(size)});
   }
@@ -427,10 +443,10 @@ Result<serve::ModelArtifact> DeserializeBinary(const std::string& bytes) {
   bool have_meta = false;
   for (const Entry& e : entries) {
     if (e.type != kSectionMeta) continue;
-    if (have_meta) return Corrupted("duplicate meta section");
     QDB_RETURN_IF_ERROR(
         ParseMetaSection(bytes.substr(e.offset, e.size), a));
     have_meta = true;
+    break;  // Duplicates were rejected above.
   }
   if (!have_meta) return Corrupted("missing meta section");
   for (const Entry& e : entries) {
@@ -492,25 +508,46 @@ Status AtomicWriteFile(const std::string& path, const std::string& payload,
     }
   }
 
-  // Crash-safe save: write everything to <path>.tmp, then rename into
-  // place. A crash (or torn write) mid-save leaves at worst a stale or
-  // partial .tmp file — the destination is either absent or a complete,
-  // checksummed artifact.
+  // Crash-safe save: write everything to <path>.tmp, fsync it, then rename
+  // into place. A crash (or torn write) mid-save leaves at worst a stale
+  // or partial .tmp file — the destination is either absent or a complete,
+  // checksummed artifact. The fsync *before* the rename matters for power
+  // loss, not just process crashes: rename-over is only atomic for bytes
+  // the disk already has, so without it the destination name could land on
+  // unflushed data.
   const std::string tmp = StrCat(path, ".tmp");
-  {
-    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
-    if (!out) {
-      return Status::InvalidArgument(StrCat("cannot open '", tmp,
-                                            "' for writing"));
-    }
-    out.write(payload.data(), static_cast<std::streamsize>(write_bytes));
-    out.flush();
-    if (!out) {
-      out.close();
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    return Status::InvalidArgument(StrCat("cannot open '", tmp,
+                                          "' for writing: ",
+                                          std::strerror(errno)));
+  }
+  size_t written = 0;
+  while (written < write_bytes) {
+    const ssize_t n = ::write(fd, payload.data() + written,
+                              write_bytes - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      const int err = errno;
+      ::close(fd);
       std::remove(tmp.c_str());
       return Status::Internal(StrCat("failed writing artifact to '", tmp,
-                                     "'"));
+                                     "': ", std::strerror(err)));
     }
+    written += static_cast<size_t>(n);
+  }
+  if (::fsync(fd) != 0) {
+    const int err = errno;
+    ::close(fd);
+    std::remove(tmp.c_str());
+    return Status::Internal(StrCat("failed syncing artifact to '", tmp,
+                                   "': ", std::strerror(err)));
+  }
+  if (::close(fd) != 0) {
+    const int err = errno;
+    std::remove(tmp.c_str());
+    return Status::Internal(StrCat("failed closing artifact '", tmp,
+                                   "': ", std::strerror(err)));
   }
   if (torn) {
     // Simulated crash between the partial write and the rename: the torn
@@ -523,6 +560,18 @@ Status AtomicWriteFile(const std::string& path, const std::string& payload,
     std::remove(tmp.c_str());
     return Status::Internal(StrCat("failed renaming '", tmp, "' into '",
                                    path, "'"));
+  }
+  // Persist the rename itself: fsync the parent directory so the new
+  // directory entry survives power loss. Best-effort — some filesystems
+  // refuse fsync on directories, and by this point the data is durable.
+  const size_t slash = path.find_last_of('/');
+  const std::string dir =
+      slash == std::string::npos ? "." : (slash == 0 ? "/"
+                                                     : path.substr(0, slash));
+  const int dir_fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (dir_fd >= 0) {
+    ::fsync(dir_fd);
+    ::close(dir_fd);
   }
   return Status::OK();
 }

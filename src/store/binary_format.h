@@ -66,12 +66,13 @@ Result<serve::ModelArtifact> DeserializeBinary(const std::string& bytes);
 /// reader still validates everything).
 bool LooksBinary(const std::string& bytes);
 
-/// Crash-safe whole-file write: payload goes to `<path>.tmp`, is flushed,
-/// then renamed into place, so the destination is only ever absent or
-/// complete. Runs the "artifact.save" fault point (scoped by
-/// `fault_scope`): injected errors abort before any byte is written and
-/// torn writes persist only a payload prefix of the temp file before a
-/// simulated crash.
+/// Crash-safe whole-file write: payload goes to `<path>.tmp`, is fsync'd,
+/// then renamed into place (with a best-effort fsync of the parent
+/// directory), so the destination is only ever absent or complete — across
+/// process crashes and, on filesystems honoring fsync, power loss. Runs
+/// the "artifact.save" fault point (scoped by `fault_scope`): injected
+/// errors abort before any byte is written and torn writes persist only a
+/// payload prefix of the temp file before a simulated crash.
 Status AtomicWriteFile(const std::string& path, const std::string& payload,
                        const std::string& fault_scope);
 

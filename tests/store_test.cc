@@ -11,11 +11,13 @@
 #include <atomic>
 #include <cmath>
 #include <cstdint>
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <future>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "common/strings.h"
@@ -292,6 +294,97 @@ TEST(BinaryFormatTest, EveryTruncationFailsWithInvalidArgument) {
   }
 }
 
+// (type, payload) pairs from a serialized image's section table.
+std::vector<std::pair<uint32_t, std::string>> ExtractSections(
+    const std::string& bytes) {
+  uint32_t count = 0;
+  std::memcpy(&count, bytes.data() + 16, sizeof(count));
+  std::vector<std::pair<uint32_t, std::string>> sections;
+  for (uint32_t i = 0; i < count; ++i) {
+    const size_t e = 64 + 32 * static_cast<size_t>(i);
+    uint32_t type = 0;
+    uint64_t offset = 0, size = 0;
+    std::memcpy(&type, bytes.data() + e, sizeof(type));
+    std::memcpy(&offset, bytes.data() + e + 8, sizeof(offset));
+    std::memcpy(&size, bytes.data() + e + 16, sizeof(size));
+    sections.emplace_back(type, bytes.substr(static_cast<size_t>(offset),
+                                             static_cast<size_t>(size)));
+  }
+  return sections;
+}
+
+// Builds a format-v1 image from scratch (the writer's layout: 64 B header,
+// 32 B table entries, 64-byte-aligned payloads, FNV-1a checksums) so tests
+// can craft files the library writer would never emit.
+std::string RebuildWithSections(
+    const std::vector<std::pair<uint32_t, std::string>>& sections) {
+  const size_t table_size = sections.size() * 32;
+  size_t cursor = 64 + table_size;
+  std::vector<size_t> offsets(sections.size());
+  for (size_t i = 0; i < sections.size(); ++i) {
+    cursor = (cursor + 63) / 64 * 64;
+    offsets[i] = cursor;
+    cursor += sections[i].second.size();
+  }
+  const uint64_t file_size = cursor;
+  std::string out(64 + table_size, '\0');
+  std::memcpy(&out[0], "QDBSTOR1", 8);
+  const uint32_t version = 1;
+  std::memcpy(&out[8], &version, sizeof(version));
+  const uint32_t count = static_cast<uint32_t>(sections.size());
+  std::memcpy(&out[16], &count, sizeof(count));
+  std::memcpy(&out[24], &file_size, sizeof(file_size));
+  for (size_t i = 0; i < sections.size(); ++i) {
+    const size_t e = 64 + 32 * i;
+    std::memcpy(&out[e], &sections[i].first, sizeof(uint32_t));
+    const uint64_t offset = offsets[i], size = sections[i].second.size();
+    std::memcpy(&out[e + 8], &offset, sizeof(offset));
+    std::memcpy(&out[e + 16], &size, sizeof(size));
+    const uint64_t checksum = serve::Fnv1a64(sections[i].second);
+    std::memcpy(&out[e + 24], &checksum, sizeof(checksum));
+  }
+  const uint64_t header_checksum = serve::Fnv1a64(out);
+  std::memcpy(&out[32], &header_checksum, sizeof(header_checksum));
+  out.resize(file_size, '\0');
+  for (size_t i = 0; i < sections.size(); ++i) {
+    std::memcpy(&out[offsets[i]], sections[i].second.data(),
+                sections[i].second.size());
+  }
+  return out;
+}
+
+// A crafted file repeating a *known* section passes every checksum but
+// must still fail closed: a duplicate config section would append its
+// entries twice, and duplicate meta/params/support-vector/fingerprint
+// sections would silently overwrite earlier payloads. Unknown types may
+// repeat (forward compatibility).
+TEST(BinaryFormatTest, DuplicateKnownSectionIsRejected) {
+  for (const ModelArtifact& a :
+       {AdversarialQuboArtifact("dup-qubo"), TinyVqcArtifact("dup-vqc", 1),
+        TinyKernelArtifact("dup svm")}) {
+    const auto sections = ExtractSections(SerializeBinary(a));
+    // Sanity: the test's builder reproduces a loadable image.
+    ASSERT_TRUE(DeserializeBinary(RebuildWithSections(sections)).ok())
+        << a.name;
+    for (size_t i = 0; i < sections.size(); ++i) {
+      auto dup = sections;
+      dup.push_back(sections[i]);
+      const Result<ModelArtifact> result =
+          DeserializeBinary(RebuildWithSections(dup));
+      ASSERT_FALSE(result.ok())
+          << a.name << ": duplicated section type " << sections[i].first
+          << " was accepted";
+      EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument)
+          << a.name << " → " << result.status();
+    }
+    auto with_unknown = sections;
+    with_unknown.emplace_back(99u, std::string("future-payload"));
+    with_unknown.emplace_back(99u, std::string("future-payload"));
+    EXPECT_TRUE(DeserializeBinary(RebuildWithSections(with_unknown)).ok())
+        << a.name << ": repeated unknown sections must stay readable";
+  }
+}
+
 // A *structurally valid* file from a newer format version is a different
 // failure than corruption: kUnimplemented, so callers can tell "damaged"
 // from "too new".
@@ -540,6 +633,96 @@ TEST(RegistryBudgetTest, ReloadRefusesRepurposedArtifactFile) {
       << result.status();
 }
 
+// Regression: a model loaded with reassign_version registers under a new
+// version while its file keeps the old one. The reload-identity check must
+// compare against the *file's* identity, or the model becomes permanently
+// unserveable the moment the budget pages it out.
+TEST(RegistryBudgetTest, ReassignedVersionReloadsAfterEviction) {
+  RegistryOptions options;
+  options.num_slices = 1;
+  options.store_budget_bytes = 1;
+  ModelRegistry registry(options);
+  const std::string path = TempPath("qdb_store_reassign.model");
+  ASSERT_TRUE(SaveArtifact(TinyVqcArtifact("reassigned", 7), path,
+                           ArtifactFormat::kBinary)
+                  .ok());
+  auto loaded = registry.LoadModel(path, /*reassign_version=*/true);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ(loaded.value()->version(), 1);  // reassigned: file still says 7
+  // Page it out with another file-backed load.
+  const std::string other = TempPath("qdb_store_reassign_other.model");
+  ASSERT_TRUE(SaveArtifact(TinyVqcArtifact("reassign-other", 1), other,
+                           ArtifactFormat::kBinary)
+                  .ok());
+  ASSERT_TRUE(registry.LoadModel(other).ok());
+  const auto reloaded = registry.Lookup("reassigned", 1);
+  ASSERT_TRUE(reloaded.ok()) << reloaded.status();
+  // The reload serves under the *registered* identity, not the file's.
+  EXPECT_EQ(reloaded.value()->name(), "reassigned");
+  EXPECT_EQ(reloaded.value()->version(), 1);
+}
+
+// Same failure mode for a file stored with version 0: Register assigns
+// version 1, the file keeps 0, and the reload must still match.
+TEST(RegistryBudgetTest, VersionZeroFileReloadsAfterEviction) {
+  RegistryOptions options;
+  options.num_slices = 1;
+  options.store_budget_bytes = 1;
+  ModelRegistry registry(options);
+  const std::string path = TempPath("qdb_store_v0_file.model");
+  ASSERT_TRUE(SaveArtifact(TinyVqcArtifact("auto-versioned", 0), path,
+                           ArtifactFormat::kBinary)
+                  .ok());
+  auto loaded = registry.LoadModel(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ(loaded.value()->version(), 1);
+  const std::string other = TempPath("qdb_store_v0_other.model");
+  ASSERT_TRUE(SaveArtifact(TinyVqcArtifact("v0-other", 1), other,
+                           ArtifactFormat::kBinary)
+                  .ok());
+  ASSERT_TRUE(registry.LoadModel(other).ok());
+  const auto reloaded = registry.Lookup("auto-versioned", 1);
+  ASSERT_TRUE(reloaded.ok()) << reloaded.status();
+  EXPECT_EQ(reloaded.value()->version(), 1);
+}
+
+// A missing artifact fails the cold start definitively, releases the
+// per-entry loading latch (the next Lookup retries rather than hanging),
+// leaves other models on the slice serving, and recovers once the file is
+// back.
+TEST(RegistryBudgetTest, FailedReloadReleasesTheLatchAndRecovers) {
+  RegistryOptions options;
+  options.num_slices = 1;
+  options.store_budget_bytes = 1;
+  ModelRegistry registry(options);
+  const std::string a_path = TempPath("qdb_store_latch_a.model");
+  const std::string b_path = TempPath("qdb_store_latch_b.model");
+  ASSERT_TRUE(SaveArtifact(TinyVqcArtifact("latch-a", 1), a_path,
+                           ArtifactFormat::kBinary)
+                  .ok());
+  ASSERT_TRUE(SaveArtifact(TinyVqcArtifact("latch-b", 1), b_path,
+                           ArtifactFormat::kBinary)
+                  .ok());
+  ASSERT_TRUE(registry.LoadModel(a_path).ok());
+  ASSERT_TRUE(registry.LoadModel(b_path).ok());  // pages latch-a out
+  ASSERT_EQ(std::remove(a_path.c_str()), 0);
+  for (int attempt = 0; attempt < 2; ++attempt) {
+    const auto result = registry.Lookup("latch-a", 1);
+    ASSERT_FALSE(result.ok()) << "attempt " << attempt;
+    EXPECT_EQ(result.status().code(), StatusCode::kNotFound)
+        << "attempt " << attempt << " → " << result.status();
+  }
+  // The rest of the slice is unaffected.
+  EXPECT_TRUE(registry.Lookup("latch-b", 1).ok());
+  // Restore the file: the same entry serves again.
+  ASSERT_TRUE(SaveArtifact(TinyVqcArtifact("latch-a", 1), a_path,
+                           ArtifactFormat::kBinary)
+                  .ok());
+  const auto recovered = registry.Lookup("latch-a", 1);
+  ASSERT_TRUE(recovered.ok()) << recovered.status();
+  EXPECT_EQ(recovered.value()->name(), "latch-a");
+}
+
 TEST(RegistryBudgetTest, SlicesSplitTheBudgetIndependently) {
   RegistryOptions options;
   options.num_slices = 4;
@@ -642,6 +825,14 @@ TEST(AsyncLoaderTest, FullQueueRejectsAndShutdownSettlesEverything) {
   const Result<AsyncModelLoader::Servable> drained = first.get();
   ASSERT_FALSE(drained.ok());
   EXPECT_EQ(drained.status().code(), StatusCode::kUnavailable);
+  // The overflow counts as rejected, not submitted/failed, so the books
+  // balance: submitted == completed + failed once drained.
+  const AsyncModelLoader::Stats stats = loader.stats();
+  EXPECT_EQ(stats.submitted, 1);
+  EXPECT_EQ(stats.rejected, 1);
+  EXPECT_EQ(stats.completed, 0);
+  EXPECT_EQ(stats.failed, 1);
+  EXPECT_EQ(stats.submitted, stats.completed + stats.failed);
 }
 
 TEST(AsyncLoaderTest, PrefetchOfMissingFileResolvesWithError) {
@@ -654,6 +845,13 @@ TEST(AsyncLoaderTest, PrefetchOfMissingFileResolvesWithError) {
   EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
   loader.Shutdown();
   EXPECT_EQ(loader.stats().failed, 1);
+  // Post-shutdown enqueues are turned away and tallied as rejections.
+  const Result<AsyncModelLoader::Servable> late =
+      loader.Prefetch(TempPath("qdb_store_late.model")).get();
+  ASSERT_FALSE(late.ok());
+  EXPECT_EQ(late.status().code(), StatusCode::kUnavailable);
+  EXPECT_EQ(loader.stats().rejected, 1);
+  EXPECT_EQ(loader.stats().submitted, 1);
 }
 
 // ---- Concurrency (runs under TSan in tier1) --------------------------------
