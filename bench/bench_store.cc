@@ -1,5 +1,11 @@
 // E21 — Model storage tier: binary vs text artifact load latency, and
 // budgeted serving under memory pressure.
+// E22 — Warm restart: crash-recovery cost as a function of fleet size.
+// BM_WarmRestart journals a fleet of K file-backed models (K = 8/64/256),
+// then measures restart-to-first-inference: open the journaled registry
+// (snapshot + journal replay, entries rebuilt as page-outs), cold-start one
+// model, and run one prediction through it. The recovery_us counter
+// isolates the replay+rebuild share of that wall time.
 //
 // Two questions. (1) What does the binary artifact format buy on the
 // cold-start path? A 12-qubit kernel-SVM artifact with 128 support vectors
@@ -219,6 +225,72 @@ BENCHMARK(BM_BudgetedServing)
     ->Arg(10)
     ->Arg(5)
     ->Unit(benchmark::kMillisecond);
+
+// E22 — restart-to-first-inference. Arg = journaled fleet size.
+void BM_WarmRestart(benchmark::State& state) {
+  const int num_models = static_cast<int>(state.range(0));
+  const std::string dir = StrCat("/tmp/qdb_bench_store_restart_", num_models);
+  (void)std::system(StrCat("rm -rf '", dir, "'").c_str());
+
+  serve::RegistryOptions options;
+  options.journal_dir = dir;
+  {
+    // The "previous process": journal a fleet of durable (saved) models,
+    // every fourth one pinned, then die (scope exit — the journal needs no
+    // clean shutdown, that is the point).
+    serve::ModelRegistry registry(options);
+    for (int i = 0; i < num_models; ++i) {
+      const std::string name = StrCat("restart-", i);
+      if (!registry.Register(FleetArtifact(name, 1)).ok() ||
+          !registry.SaveModel(name, 1,
+                              StrCat(dir, "/m", i, ".model")).ok()) {
+        state.SkipWithError("fleet journaling failed");
+        return;
+      }
+      if (i % 4 == 0 && !registry.SetPinned(name, 1, true).ok()) {
+        state.SkipWithError("fleet pinning failed");
+        return;
+      }
+    }
+  }
+
+  const DVector probe = {0.3, 0.8, 1.2, 0.5};
+  long recovery_us = 0;
+  long recovered = 0;
+  for (auto _ : state) {
+    auto opened = serve::ModelRegistry::OpenJournaled(options);
+    if (!opened.ok()) {
+      state.SkipWithError("journaled open failed");
+      return;
+    }
+    auto servable = opened.value()->Lookup("restart-0", 1);
+    if (!servable.ok()) {
+      state.SkipWithError("recovered model did not cold-start");
+      return;
+    }
+    auto value = servable.value()->RunBatch(serve::RequestKind::kPredict,
+                                            {probe});
+    if (!value.ok()) {
+      state.SkipWithError("recovered model did not serve");
+      return;
+    }
+    benchmark::DoNotOptimize(value.value().data());
+    recovery_us = opened.value()->recovery_report().recovery_us;
+    recovered = opened.value()->recovery_report().recovered_models;
+  }
+  if (recovered != num_models) {
+    state.SkipWithError("recovery lost models");
+    return;
+  }
+  state.counters["fleet_models"] = static_cast<double>(num_models);
+  state.counters["recovered_models"] = static_cast<double>(recovered);
+  state.counters["recovery_us"] = static_cast<double>(recovery_us);
+}
+BENCHMARK(BM_WarmRestart)
+    ->Arg(8)
+    ->Arg(64)
+    ->Arg(256)
+    ->Unit(benchmark::kMicrosecond);
 
 }  // namespace
 }  // namespace store

@@ -42,21 +42,51 @@
 //
 // and watch the retry/breaker/degradation machinery absorb the injected
 // failures.
+//
+// Crash recovery (scripts/crash_recovery.sh drives both modes):
+//
+//   --journal-dir D --crash-rounds N [--ack-log F] [--seed S]
+//     runs a registry mutation workload (register, save, pin, remove) over
+//     a journaled registry, writing a flushed TRY/ACK line per durable
+//     operation to the ack log. Arm a kill fault (e.g.
+//     QDB_FAULTS="store.journal.append:kill:0.05:7:0.5") and the process
+//     dies mid-write with exit 137; the ack log records exactly which
+//     operations were acknowledged before death.
+//
+//   --journal-dir D --recover [--ack-log F]
+//     warm-restarts from the journal, prints one RECOVERED line per
+//     surviving model, starts the server, prefetches the warm set
+//     (StartWarmup) until Healthz reports ready, serves one inference per
+//     recovered model, and — when an ack log is given — verifies the
+//     recovery against it: every acknowledged save (not later removed) is
+//     present, every acknowledged remove is absent, and nothing is served
+//     that was never attempted. Exits non-zero on any violation.
 
 #include <cmath>
 #include <cstdio>
 #include <cstring>
+#include <algorithm>
 #include <atomic>
+#include <chrono>
+#include <fstream>
 #include <future>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "classical/svm.h"
+#include "common/strings.h"
 #include "common/timer.h"
 #include "fault/fault_injector.h"
 #include "obs/obs.h"
 #include "serve/inference_server.h"
 #include "serve/model_registry.h"
+#include "store/async_loader.h"
+#include "variational/ansatz.h"
 #include "variational/vqc.h"
 
 namespace {
@@ -94,6 +124,298 @@ double ParseDoubleFlag(int argc, char** argv, const char* flag,
   return value != nullptr ? std::atof(value) : default_value;
 }
 
+// ---- Crash-recovery modes (scripts/crash_recovery.sh) ----------------------
+
+// A registrable VQC artifact small enough that a crash round is dominated by
+// journal/artifact I/O (the thing under test), not training.
+qdb::serve::ModelArtifact TinyCrashArtifact(const std::string& name,
+                                            qdb::Rng& rng) {
+  qdb::serve::ModelArtifact a;
+  a.type = qdb::serve::ModelType::kVqcClassifier;
+  a.name = name;
+  a.num_features = 2;
+  a.encoding = qdb::VqcEncoding::kAngle;
+  a.ansatz_layers = 1;
+  a.entanglement = qdb::Entanglement::kLinear;
+  a.feature_scale = 0.8;
+  const int count =
+      qdb::RealAmplitudesParamCount(a.num_features, a.ansatz_layers);
+  for (int i = 0; i < count; ++i) {
+    a.params.push_back(rng.Uniform(-1.5, 1.5));
+  }
+  return a;
+}
+
+// One TRY/ACK line, flushed to the kernel before returning so a SIGKILL on
+// the very next instruction cannot lose it. TRY precedes the operation, ACK
+// follows success; the recovery verifier reasons about the gap.
+void AckLine(std::FILE* ack, const char* what, const std::string& name,
+             int version) {
+  if (ack == nullptr) return;
+  std::fprintf(ack, "%s %s %d\n", what, name.c_str(), version);
+  std::fflush(ack);
+}
+
+// Registry mutation workload under an armed kill fault. Exit 0 = workload
+// completed (the fault never fired — still a valid harness sample); exit 137
+// = SIGKILL mid-operation, which is the point.
+int RunCrashWorkload(const std::string& journal_dir,
+                     const std::string& ack_path, long rounds, long seed) {
+  using namespace qdb;
+  std::FILE* ack = nullptr;
+  if (!ack_path.empty()) {
+    ack = std::fopen(ack_path.c_str(), "a");
+    if (ack == nullptr) {
+      std::printf("cannot open ack log %s\n", ack_path.c_str());
+      return 1;
+    }
+  }
+  serve::RegistryOptions opts;
+  opts.journal_dir = journal_dir;
+  // Small compaction interval so the harness's kill points land inside the
+  // snapshot -> journal-reset window, not just mid-append.
+  opts.journal_compact_every = 16;
+  serve::ModelRegistry registry(opts);
+  if (!registry.recovery_report().journaled) {
+    std::printf("journal open failed: %s\n",
+                registry.recovery_report().open_status.ToString().c_str());
+    return 1;
+  }
+
+  Rng rng(static_cast<uint64_t>(seed));
+  const char* kNames[] = {"crash-a", "crash-b", "crash-c",
+                          "crash-d", "crash-e", "crash-f"};
+  // Versions this process saved and has not removed, per name.
+  std::map<std::string, std::vector<int>> live;
+  for (long round = 0; round < rounds; ++round) {
+    const std::string name = kNames[rng.UniformInt(0, 5)];
+    const double roll = rng.Uniform();
+    auto& versions = live[name];
+    if (roll < 0.70 || versions.empty()) {
+      // Register a fresh version and promote it to file-backed (the
+      // durability point). ACK SAVE only after SaveModel returns OK.
+      auto servable = registry.Register(TinyCrashArtifact(name, rng));
+      if (!servable.ok()) continue;
+      const int version = servable.value()->version();
+      const std::string path =
+          qdb::StrCat(journal_dir, "/art_", name, "_v", version, ".model");
+      AckLine(ack, "TRY SAVE", name, version);
+      if (auto s = registry.SaveModel(name, version, path); !s.ok()) {
+        continue;  // No ack: the save may or may not have become durable.
+      }
+      AckLine(ack, "ACK SAVE", name, version);
+      versions.push_back(version);
+    } else if (roll < 0.85) {
+      const int version =
+          versions[static_cast<size_t>(rng.UniformInt(
+              static_cast<int64_t>(0), static_cast<int64_t>(versions.size()) - 1))];
+      const bool pin = rng.Uniform() < 0.5;
+      AckLine(ack, pin ? "TRY PIN" : "TRY UNPIN", name, version);
+      if (registry.SetPinned(name, version, pin).ok()) {
+        AckLine(ack, pin ? "ACK PIN" : "ACK UNPIN", name, version);
+      }
+    } else {
+      // Remove one version, or occasionally every version of the name.
+      const bool all = rng.Uniform() < 0.25;
+      const int version =
+          all ? -1 : versions[static_cast<size_t>(rng.UniformInt(
+              static_cast<int64_t>(0), static_cast<int64_t>(versions.size()) - 1))];
+      AckLine(ack, "TRY REMOVE", name, version);
+      if (registry.Evict(name, version).ok()) {
+        AckLine(ack, "ACK REMOVE", name, version);
+        if (all) {
+          versions.clear();
+        } else {
+          versions.erase(std::find(versions.begin(), versions.end(), version));
+        }
+      }
+    }
+  }
+  const auto* journal = registry.journal();
+  const auto jstats = journal->stats();
+  std::printf("crash workload complete: %ld rounds, %ld journal appends, "
+              "%ld compactions\n",
+              rounds, jstats.appends, jstats.compactions);
+  if (ack != nullptr) std::fclose(ack);
+  return 0;
+}
+
+// The acknowledged-operation ledger, replayed in log order so
+// save/remove/save sequences on a re-used (name, version) resolve to the
+// final state.
+struct AckLedger {
+  std::set<std::pair<std::string, int>> must_present;  ///< ACK SAVE, live.
+  std::set<std::pair<std::string, int>> must_absent;   ///< ACK REMOVE final.
+  std::set<std::pair<std::string, int>> try_saved;     ///< Any TRY SAVE.
+  /// TRY REMOVE without ACK: presence is legitimately ambiguous.
+  std::set<std::pair<std::string, int>> uncertain;
+};
+
+AckLedger ReplayAckLog(const std::string& path) {
+  AckLedger ledger;
+  std::ifstream in(path);
+  std::string op, what, name;
+  int version = 0;
+  while (in >> op >> what >> name >> version) {
+    const bool is_try = op == "TRY";
+    if (what == "SAVE") {
+      const std::pair<std::string, int> key{name, version};
+      if (is_try) {
+        ledger.try_saved.insert(key);
+      } else {
+        ledger.must_present.insert(key);
+        ledger.must_absent.erase(key);
+        ledger.uncertain.erase(key);
+      }
+    } else if (what == "REMOVE") {
+      // version < 0 removes every version of the name.
+      auto matches = [&](const std::pair<std::string, int>& key) {
+        return key.first == name && (version < 0 || key.second == version);
+      };
+      std::vector<std::pair<std::string, int>> hit;
+      for (const auto& key : ledger.must_present) {
+        if (matches(key)) hit.push_back(key);
+      }
+      for (const auto& key : hit) {
+        ledger.must_present.erase(key);
+        if (is_try) {
+          ledger.uncertain.insert(key);
+        } else {
+          ledger.must_absent.insert(key);
+        }
+      }
+      if (!is_try) {
+        // An acked remove settles any earlier try-remove ambiguity too:
+        // the key is now definitely gone.
+        for (auto it = ledger.uncertain.begin();
+             it != ledger.uncertain.end();) {
+          if (matches(*it)) {
+            ledger.must_absent.insert(*it);
+            it = ledger.uncertain.erase(it);
+          } else {
+            ++it;
+          }
+        }
+      }
+    }
+    // PIN/UNPIN lines do not affect presence.
+  }
+  return ledger;
+}
+
+// Warm restart + verification. Non-zero exit on any lost acknowledged save,
+// any resurrected removed model, any phantom, or a server that never
+// reaches ready.
+int RunRecovery(const std::string& journal_dir, const std::string& ack_path) {
+  using namespace qdb;
+  serve::RegistryOptions opts;
+  opts.journal_dir = journal_dir;
+  opts.journal_compact_every = 16;
+  auto opened = serve::ModelRegistry::OpenJournaled(opts);
+  if (!opened.ok()) {
+    std::printf("recovery failed: %s\n", opened.status().ToString().c_str());
+    return 1;
+  }
+  serve::ModelRegistry& registry = *opened.value();
+  const serve::RecoveryReport& report = registry.recovery_report();
+  std::printf("recovery: %ld models in %ld us (replayed %ld records, %ld "
+              "stale, snapshot seq %llu%s, dropped %ld non-durable)\n",
+              report.recovered_models, report.recovery_us,
+              report.replayed_records, report.stale_records,
+              static_cast<unsigned long long>(report.snapshot_sequence),
+              report.tail_truncated ? ", tail truncated" : "",
+              report.dropped_nondurable);
+  std::set<std::pair<std::string, int>> recovered;
+  for (const auto& entry : registry.List()) {
+    recovered.insert({entry.name, entry.version});
+    std::printf("RECOVERED %s %d\n", entry.name.c_str(), entry.version);
+  }
+
+  int violations = 0;
+  if (!ack_path.empty()) {
+    const AckLedger ledger = ReplayAckLog(ack_path);
+    for (const auto& [name, version] : ledger.must_present) {
+      if (recovered.count({name, version}) == 0) {
+        std::printf("VIOLATION lost acknowledged save: %s v%d\n",
+                    name.c_str(), version);
+        ++violations;
+      }
+    }
+    for (const auto& [name, version] : ledger.must_absent) {
+      if (recovered.count({name, version}) != 0) {
+        std::printf("VIOLATION resurrected removed model: %s v%d\n",
+                    name.c_str(), version);
+        ++violations;
+      }
+    }
+    for (const auto& [name, version] : recovered) {
+      if (ledger.try_saved.count({name, version}) == 0) {
+        std::printf("VIOLATION phantom model: %s v%d was never saved\n",
+                    name.c_str(), version);
+        ++violations;
+      }
+    }
+  }
+
+  // Warm restart: prefetch the recovered warm set off the request path and
+  // hold admission until the server reports ready.
+  serve::ServerOptions server_opts;
+  server_opts.max_batch_size = 8;
+  server_opts.max_wait_us = 200;
+  serve::InferenceServer server(registry, server_opts);
+  if (auto s = server.Start(); !s.ok()) {
+    std::printf("server start failed: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  store::AsyncModelLoader loader(registry);
+  if (auto s = loader.Start(); !s.ok()) {
+    std::printf("loader start failed: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  if (auto s = server.StartWarmup(loader); !s.ok()) {
+    std::printf("warmup start failed: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  Timer warm_wall;
+  Status health = server.Healthz();
+  while (!health.ok() && warm_wall.Seconds() < 30.0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    health = server.Healthz();
+  }
+  if (!health.ok()) {
+    std::printf("VIOLATION server never became ready: %s\n",
+                health.ToString().c_str());
+    ++violations;
+  } else {
+    // Every recovered model must actually serve — a manifest entry whose
+    // artifact cannot be loaded is as lost as a missing one.
+    for (const auto& [name, version] : recovered) {
+      serve::InferenceRequest request;
+      request.model = name;
+      request.version = version;
+      request.input = {0.4, 0.9};
+      request.timeout_us = 5'000'000;
+      auto response = server.Submit(std::move(request)).get();
+      if (!response.ok()) {
+        std::printf("VIOLATION recovered model %s v%d does not serve: %s\n",
+                    name.c_str(), version,
+                    response.status().ToString().c_str());
+        ++violations;
+      }
+    }
+  }
+  const auto warm = server.warmup_status();
+  loader.Shutdown();
+  server.Shutdown();
+  if (violations > 0) {
+    std::printf("FAILED: %d violations\n", violations);
+    return 1;
+  }
+  std::printf("READY models=%zu warm_ready=%zu warm_failed=%zu\n",
+              recovered.size(), warm.ready, warm.failed);
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -112,6 +434,22 @@ int main(int argc, char** argv) {
   }
   for (const auto& point : fault::FaultInjector::Global().ArmedPoints()) {
     std::printf("chaos: fault point '%s' armed\n", point.c_str());
+  }
+
+  // ---- Crash-recovery harness modes (see scripts/crash_recovery.sh) -------
+  const long crash_rounds = ParseLongFlag(argc, argv, "--crash-rounds", 0);
+  const bool recover_mode = HasFlag(argc, argv, "--recover");
+  if (crash_rounds > 0 || recover_mode) {
+    const char* journal_dir = ParseFlagValue(argc, argv, "--journal-dir");
+    if (journal_dir == nullptr) {
+      std::printf("--crash-rounds/--recover require --journal-dir\n");
+      return 1;
+    }
+    const char* ack_log = ParseFlagValue(argc, argv, "--ack-log");
+    const std::string ack_path = ack_log != nullptr ? ack_log : "";
+    if (recover_mode) return RunRecovery(journal_dir, ack_path);
+    return RunCrashWorkload(journal_dir, ack_path, crash_rounds,
+                            ParseLongFlag(argc, argv, "--seed", 1));
   }
 
   // ---- Offline: train and package ------------------------------------------

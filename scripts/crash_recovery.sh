@@ -1,0 +1,103 @@
+#!/usr/bin/env bash
+# Crash-recovery gate: SIGKILL serving_demo's journaled registry workload at
+# seeded fault points — mid-journal-append, mid-compaction, mid-artifact-save
+# — then warm-restart from the journal and verify, per run:
+#
+#   * no acknowledged registration is lost (every ACK SAVE not later removed
+#     is recovered),
+#   * no phantom is served (everything recovered was at least attempted),
+#   * no removed model is resurrected (every ACK REMOVE stays gone),
+#   * the server reaches ready and every recovered model answers one
+#     inference.
+#
+# The verification itself lives in serving_demo --recover (it replays the
+# workload's flushed TRY/ACK ledger); this script supplies the kill matrix.
+# Each run is a fixed point:kind:probability:seed spec, so a failure here
+# reproduces bit for bit with the printed QDB_FAULTS string. Run from the
+# repo root:
+#
+#   ./scripts/crash_recovery.sh            # uses build/
+#   BUILD_DIR=out ./scripts/crash_recovery.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${BUILD_DIR:-build}"
+DEMO="$BUILD_DIR/examples/serving_demo"
+ROUNDS="${ROUNDS:-80}"
+
+if [[ ! -x "$DEMO" ]]; then
+  echo "crash_recovery: $DEMO not built (cmake --build $BUILD_DIR)" >&2
+  exit 1
+fi
+
+WORK_ROOT="$(mktemp -d /tmp/qdb_crash_recovery.XXXXXX)"
+trap 'rm -rf "$WORK_ROOT"' EXIT
+
+# Four fault shapes x six seeds = 24 seeded runs. Kill probabilities are
+# per-evaluation, tuned so most (not all) workloads die mid-run; a run the
+# fault misses is still a valid sample — recovery of a cleanly exited
+# journal must also hold. The torn-write profile crashes nothing but leaves
+# a poisoned, torn-tailed journal, exercising truncation on replay.
+PROFILE_NAMES=(journal-append-kill artifact-save-kill compact-kill journal-torn-tail)
+declare -A PROFILES=(
+  [journal-append-kill]='store.journal.append:kill:0.05:SEED:0.5'
+  [artifact-save-kill]='artifact.save:kill:0.04:SEED:0.5'
+  [compact-kill]='store.journal.compact:kill:0.7:SEED:0.5'
+  [journal-torn-tail]='store.journal.append:torn_write:0.08:SEED:0.5'
+)
+SEEDS=(3 7 11 19 23 31)
+
+runs=0
+kills=0
+clean=0
+for name in "${PROFILE_NAMES[@]}"; do
+  for seed in "${SEEDS[@]}"; do
+    spec="${PROFILES[$name]//SEED/$seed}"
+    dir="$WORK_ROOT/$name-$seed"
+    mkdir -p "$dir"
+    runs=$((runs + 1))
+    echo "== crash run $runs: $name seed=$seed  (QDB_FAULTS=$spec) =="
+
+    status=0
+    QDB_FAULTS="$spec" "$DEMO" \
+      --journal-dir "$dir/journal" --crash-rounds "$ROUNDS" \
+      --ack-log "$dir/ack.log" --seed "$seed" \
+      > "$dir/workload.log" 2>&1 || status=$?
+    if [[ "$status" -eq 137 ]]; then
+      kills=$((kills + 1))
+      echo "   workload: killed (exit 137)"
+    elif [[ "$status" -eq 0 ]]; then
+      clean=$((clean + 1))
+      echo "   workload: completed (fault did not fire fatally)"
+    else
+      echo "crash_recovery FAILED: workload exited $status (expected 0 or 137)" >&2
+      cat "$dir/workload.log" >&2
+      exit 1
+    fi
+
+    # Recovery runs fault-free: the crash was the experiment, the restart
+    # must be unconditional.
+    if ! "$DEMO" --journal-dir "$dir/journal" --recover \
+        --ack-log "$dir/ack.log" > "$dir/recover.log" 2>&1; then
+      echo "crash_recovery FAILED: recovery after $name seed=$seed" >&2
+      echo "--- ack ledger ---" >&2
+      cat "$dir/ack.log" >&2 || true
+      echo "--- recovery log ---" >&2
+      cat "$dir/recover.log" >&2
+      exit 1
+    fi
+    grep -E '^(recovery:|READY)' "$dir/recover.log" | sed 's/^/   /'
+  done
+done
+
+# The matrix is only meaningful if it actually produced crashes: with these
+# probabilities a kill-free sweep means the fault points regressed.
+if [[ "$kills" -lt 5 ]]; then
+  echo "crash_recovery FAILED: only $kills/$runs runs were killed —" \
+       "kill fault points are not firing" >&2
+  exit 1
+fi
+
+echo
+echo "crash_recovery PASS: $runs runs ($kills killed, $clean completed)," \
+     "every restart recovered to serving-ready"

@@ -1,12 +1,15 @@
 #!/usr/bin/env bash
 # Tier-1 gate: configure + build + full test suite, then rebuild the
-# concurrency-sensitive tests under ThreadSanitizer and run them, then gate
-# the serving tier's observability overhead. Run from the repo root:
+# concurrency-sensitive tests under ThreadSanitizer and run them, run the
+# storage suites under UndefinedBehaviorSanitizer, replay the seeded chaos
+# profiles, run the kill-9 crash-recovery matrix, and gate the serving
+# tier's observability overhead. Run from the repo root:
 #
 #   ./scripts/tier1.sh
 #
 # Build directories: build/ (regular), build-tsan/ (TSan, library + tests
-# only). Both are incremental across invocations.
+# only), build-ubsan/ (UBSan, storage tests only). All are incremental
+# across invocations.
 #
 # On a ctest failure, every test binary leaves a full metrics-registry dump
 # (QDB_METRICS_OUT) under build/Testing/metrics/ — the path is printed so
@@ -39,7 +42,7 @@ cmake --build build-tsan -j --target obs_test --target obs_labels_test \
   --target sim_parallel_test --target simd_equivalence_test \
   --target compiled_circuit_test \
   --target serve_test --target serve_scale_test --target fault_test \
-  --target store_test
+  --target store_test --target journal_test
 ./build-tsan/tests/obs_test
 ./build-tsan/tests/obs_labels_test
 ./build-tsan/tests/slo_test
@@ -51,6 +54,21 @@ QDB_THREADS=4 ./build-tsan/tests/serve_test
 QDB_THREADS=4 ./build-tsan/tests/serve_scale_test
 QDB_THREADS=4 ./build-tsan/tests/fault_test
 QDB_THREADS=4 ./build-tsan/tests/store_test
+QDB_THREADS=4 ./build-tsan/tests/journal_test
+
+echo
+echo "== tier 1: storage tier under UndefinedBehaviorSanitizer =="
+# The journal parses raw bytes off disk (replay of possibly-torn records);
+# UBSan over the storage suites catches misaligned loads, overflow in
+# offset arithmetic, and enum smuggling that a crash harness would only hit
+# probabilistically.
+cmake -B build-ubsan -S . \
+  -DQDB_SANITIZE=undefined \
+  -DQDB_BUILD_BENCHMARKS=OFF \
+  -DQDB_BUILD_EXAMPLES=OFF >/dev/null
+cmake --build build-ubsan -j --target store_test --target journal_test
+UBSAN_OPTIONS=halt_on_error=1 ./build-ubsan/tests/store_test
+UBSAN_OPTIONS=halt_on_error=1 ./build-ubsan/tests/journal_test
 
 echo
 echo "== tier 1: forced-scalar dispatch (QDB_SIMD=0) =="
@@ -63,6 +81,10 @@ QDB_SIMD=0 ./build/tests/simd_equivalence_test
 echo
 echo "== tier 1: seeded chaos profiles =="
 ./scripts/chaos.sh
+
+echo
+echo "== tier 1: crash recovery (kill -9 matrix) =="
+./scripts/crash_recovery.sh
 
 echo
 echo "== tier 1: observability overhead gate =="

@@ -1,7 +1,10 @@
 #include "fault/fault_injector.h"
 
 #include <chrono>
+#include <csignal>
+#include <cstdio>
 #include <cstdlib>
+#include <set>
 #include <sstream>
 #include <thread>
 
@@ -22,6 +25,9 @@ struct FaultMetrics {
   obs::Counter* injected_torn = obs::GetCounter("fault.injected.torn_write");
   obs::Counter* injected_wake =
       obs::GetCounter("fault.injected.spurious_wake");
+  obs::Counter* injected_kill = obs::GetCounter("fault.injected.kill");
+  /// QDB_FAULTS specs naming a point this binary never registered.
+  obs::Counter* unknown_point = obs::GetCounter("fault.unknown_point");
 };
 
 FaultMetrics& Metrics() {
@@ -35,8 +41,35 @@ obs::Counter* FiredCounter(FaultKind kind) {
     case FaultKind::kLatency: return Metrics().injected_latency;
     case FaultKind::kTornWrite: return Metrics().injected_torn;
     case FaultKind::kSpuriousWake: return Metrics().injected_wake;
+    case FaultKind::kKill: return Metrics().injected_kill;
   }
   return Metrics().injected_error;
+}
+
+/// Fault points compiled into this binary. Call sites declare points as
+/// string literals, so this list is maintained alongside them (fault_test
+/// pins the names that matter to chaos profiles).
+std::set<std::string>& KnownPoints() {
+  static std::set<std::string>* points = new std::set<std::string>{
+      "artifact.load",          // model_registry.cc LoadModel retry loop
+      "artifact.save",          // binary_format.cc AtomicWriteFile
+      "serve.dispatch",         // inference_server.cc batch execution
+      "serve.queue_wait",       // inference_server.cc dispatcher cv wait
+      "servable.compiled_exec", // servable.cc compiled-circuit execution
+      "servable.run",           // servable.cc batch run
+      "sim.run",                // simulator execution
+      "store.journal.append",   // registry_journal.cc record append
+      "store.journal.compact",  // registry_journal.cc snapshot→reset window
+      "store.journal.replay",   // registry_journal.cc journal read at Open
+      "store.prefetch",         // async_loader.cc worker jobs
+      "store.read",             // binary_format.cc ReadFileBytes
+  };
+  return *points;
+}
+
+std::mutex& KnownPointsMu() {
+  static std::mutex* mu = new std::mutex();
+  return *mu;
 }
 
 std::vector<std::string> SplitOn(const std::string& text, char sep) {
@@ -75,6 +108,7 @@ const char* FaultKindName(FaultKind kind) {
     case FaultKind::kLatency: return "latency";
     case FaultKind::kTornWrite: return "torn_write";
     case FaultKind::kSpuriousWake: return "spurious_wake";
+    case FaultKind::kKill: return "kill";
   }
   return "error";
 }
@@ -86,9 +120,29 @@ Result<FaultKind> ParseFaultKind(const std::string& name) {
   if (name == "spurious_wake" || name == "wake") {
     return FaultKind::kSpuriousWake;
   }
+  if (name == "kill") return FaultKind::kKill;
   return Status::InvalidArgument(
       StrCat("unknown fault kind '", name,
-             "' (want error, latency, torn_write, or spurious_wake)"));
+             "' (want error, latency, torn_write, spurious_wake, or kill)"));
+}
+
+void KillProcess() {
+  // SIGKILL cannot be caught or ignored: no atexit handlers, no stream
+  // flushes, no destructors run. The raise only "fails" if signals are
+  // broken entirely, in which case abort keeps the promise of not
+  // returning.
+  std::raise(SIGKILL);
+  std::abort();
+}
+
+bool IsKnownFaultPoint(const std::string& point) {
+  std::lock_guard<std::mutex> lock(KnownPointsMu());
+  return KnownPoints().count(point) > 0;
+}
+
+void RegisterFaultPoint(const std::string& point) {
+  std::lock_guard<std::mutex> lock(KnownPointsMu());
+  KnownPoints().insert(point);
 }
 
 FaultInjector& FaultInjector::Global() {
@@ -177,7 +231,10 @@ Status FaultInjector::ArmFromSpecString(const std::string& specs) {
           spec.latency_us = static_cast<long>(us);
           break;
         }
-        case FaultKind::kTornWrite: {
+        case FaultKind::kTornWrite:
+        case FaultKind::kKill: {
+          // For kill faults the fraction is how much of the payload a write
+          // site persists before the SIGKILL lands.
           QDB_ASSIGN_OR_RETURN(spec.keep_fraction,
                                ParseDoubleField(fields[4], "keep fraction"));
           if (spec.keep_fraction < 0.0 || spec.keep_fraction > 1.0) {
@@ -199,7 +256,22 @@ Status FaultInjector::ArmFromSpecString(const std::string& specs) {
 Status FaultInjector::ArmFromEnv() {
   const char* env = std::getenv("QDB_FAULTS");
   if (env == nullptr || env[0] == '\0') return Status::OK();
-  return ArmFromSpecString(env);
+  QDB_RETURN_IF_ERROR(ArmFromSpecString(env));
+  // A typo'd point name parses fine and arms fine — and then never fires,
+  // which reads as "the system survived chaos" when no chaos ran. Warn
+  // loudly instead of silently blessing the run. The point stays armed: an
+  // out-of-tree call site may still know it.
+  for (const std::string& entry : SplitOn(env, ',')) {
+    if (entry.empty()) continue;
+    const std::string point = SplitOn(entry, ':').front();
+    if (IsKnownFaultPoint(point)) continue;
+    std::fprintf(stderr,
+                 "warning: QDB_FAULTS names fault point '%s', which no call "
+                 "site in this binary registers — it will never fire\n",
+                 point.c_str());
+    Metrics().unknown_point->Increment();
+  }
+  return Status::OK();
 }
 
 std::optional<FaultSpec> FaultInjector::Sample(const char* point,
@@ -230,6 +302,11 @@ Status FaultInjector::Inject(const char* point, const std::string& scope) {
       std::this_thread::sleep_for(
           std::chrono::microseconds(fired->latency_us));
       return Status::OK();
+    case FaultKind::kKill:
+      // A generic point has no payload to half-write: the process dies on
+      // the spot. Write sites that want the partial-persist flavor handle
+      // kKill themselves via Sample.
+      KillProcess();
     case FaultKind::kTornWrite:
     case FaultKind::kSpuriousWake:
       // These kinds need call-site cooperation (Sample); a generic point
@@ -257,6 +334,22 @@ std::vector<std::string> FaultInjector::ArmedPoints() const {
   names.reserve(points_.size());
   for (const auto& [name, armed] : points_) names.push_back(name);
   return names;
+}
+
+std::vector<FaultInjector::ArmedPointStatus> FaultInjector::SnapshotArmed()
+    const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<ArmedPointStatus> out;
+  out.reserve(points_.size());
+  for (const auto& [name, armed] : points_) {
+    ArmedPointStatus status;
+    status.point = name;
+    status.spec = armed.spec;
+    status.evaluations = armed.evaluations;
+    status.fired = armed.fired;
+    out.push_back(std::move(status));
+  }
+  return out;  // std::map iteration is already name-sorted.
 }
 
 }  // namespace fault

@@ -16,14 +16,21 @@
 ///
 ///   point:kind:probability:seed[:value][:target]
 ///
-///   kind   = error | latency | torn_write | spurious_wake
+///   kind   = error | latency | torn_write | spurious_wake | kill
 ///   value  = status-code number for `error` (default 9 = unavailable),
 ///            microseconds for `latency` (default 1000),
-///            kept byte fraction in [0,1] for `torn_write` (default 0.5)
+///            kept byte fraction in [0,1] for `torn_write` (default 0.5),
+///            kept byte fraction in [0,1] for `kill` at write-site points
+///            (default 0.5; elsewhere the process dies before the operation)
 ///   target = scope filter; the fault only fires at call sites whose scope
 ///            string matches exactly (empty = fire everywhere)
 ///
 /// Example: QDB_FAULTS="serve.dispatch:error:0.2:1337,artifact.save:torn_write:1:7:0.4"
+///
+/// ArmFromEnv cross-checks each spec's point name against the registry of
+/// points compiled into this binary (IsKnownFaultPoint): a typo'd name is
+/// still armed, but warned about on stderr and counted in
+/// fault.unknown_point, instead of silently never firing.
 
 #ifndef QDB_FAULT_FAULT_INJECTOR_H_
 #define QDB_FAULT_FAULT_INJECTOR_H_
@@ -48,10 +55,26 @@ enum class FaultKind {
   kLatency,       ///< Sleep for latency_us, then proceed normally.
   kTornWrite,     ///< Writers persist only keep_fraction of their payload.
   kSpuriousWake,  ///< Condition waits return early without a real signal.
+  kKill,          ///< SIGKILL the process — a real crash, not a simulated
+                  ///< one. Write sites first persist keep_fraction of their
+                  ///< payload, so the kill lands mid-write like a power cut.
 };
 
 const char* FaultKindName(FaultKind kind);
 Result<FaultKind> ParseFaultKind(const std::string& name);
+
+/// Dies by SIGKILL — no atexit handlers, no flushes, no destructors — so a
+/// kill fault is indistinguishable from `kill -9` to the recovery path.
+[[noreturn]] void KillProcess();
+
+/// True when `point` names a fault point compiled into this binary. The
+/// call sites declare points as string literals; this registry is the
+/// authoritative list ArmFromEnv validates spec names against.
+bool IsKnownFaultPoint(const std::string& point);
+
+/// Adds `point` to the known-point registry (for out-of-tree call sites
+/// that declare their own points). Idempotent.
+void RegisterFaultPoint(const std::string& point);
 
 /// \brief One armed fault: what to inject, how often, and where.
 struct FaultSpec {
@@ -88,7 +111,9 @@ class FaultInjector {
   Status ArmFromSpecString(const std::string& specs);
   /// Arms from the QDB_FAULTS environment variable; OK no-op when unset.
   /// Call sites opt in explicitly (tests, demos, chaos harnesses) — library
-  /// code never arms faults on its own.
+  /// code never arms faults on its own. Specs naming a point this binary
+  /// never registered are still armed, but warned about on stderr and
+  /// counted in fault.unknown_point (see IsKnownFaultPoint).
   Status ArmFromEnv();
 
   /// True when at least one point is armed (one relaxed atomic load).
@@ -116,6 +141,17 @@ class FaultInjector {
   };
   PointStats stats(const std::string& point) const;
   std::vector<std::string> ArmedPoints() const;
+
+  /// One armed point's spec plus its tallies, for introspection pages
+  /// (InferenceServer::Statusz renders these as its fault block).
+  struct ArmedPointStatus {
+    std::string point;
+    FaultSpec spec;
+    long evaluations = 0;
+    long fired = 0;
+  };
+  /// Every armed point, sorted by name, with a consistent tally snapshot.
+  std::vector<ArmedPointStatus> SnapshotArmed() const;
 
  private:
   struct ArmedPoint {

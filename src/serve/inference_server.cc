@@ -1,6 +1,7 @@
 #include "serve/inference_server.h"
 
 #include <algorithm>
+#include <cmath>
 #include <cstring>
 
 #include "common/rng.h"
@@ -9,6 +10,7 @@
 #include "obs/labels.h"
 #include "obs/obs.h"
 #include "serve/model_artifact.h"
+#include "store/async_loader.h"
 
 namespace qdb {
 namespace serve {
@@ -185,12 +187,17 @@ Status InferenceServer::Start() {
 
 void InferenceServer::Shutdown() {
   std::vector<std::thread> dispatchers;
+  std::thread warmup;
   {
     std::lock_guard<std::mutex> lock(state_mu_);
     if (shut_down_) return;
     stopping_.store(true, std::memory_order_relaxed);
     dispatchers.swap(dispatchers_);
+    warmup.swap(warmup_thread_);
   }
+  // The warmup loop checks stopping_ between prefetches and every accepted
+  // loader job settles its future, so this join is bounded by one job.
+  if (warmup.joinable()) warmup.join();
   // Close admission shard by shard. Writing `accepting` under each shard's
   // lock keeps Submit's check-and-push atomic against the flag flip, and
   // notifying under the lock guarantees no dispatcher blocks on a cv wait
@@ -234,6 +241,63 @@ void InferenceServer::Shutdown() {
   for (size_t i = 0; i < shards_.size(); ++i) PublishDepth(i);
 }
 
+Status InferenceServer::StartWarmup(store::AsyncModelLoader& loader) {
+  std::lock_guard<std::mutex> lock(state_mu_);
+  if (shut_down_ || stopping_.load(std::memory_order_relaxed)) {
+    return Status::FailedPrecondition("server has been shut down");
+  }
+  if (!started_) {
+    return Status::FailedPrecondition("start the server before warming up");
+  }
+  if (warmup_thread_.joinable()) {
+    return Status::FailedPrecondition("warmup is already running");
+  }
+  const std::vector<std::pair<std::string, int>> warm =
+      registry_.RecoveredWarmSet();
+  if (warm.empty()) return Status::OK();
+  const double fraction =
+      std::min(1.0, std::max(0.0, options_.warm_ready_fraction));
+  const size_t needed = static_cast<size_t>(
+      std::ceil(fraction * static_cast<double>(warm.size())));
+  warm_target_.store(warm.size(), std::memory_order_relaxed);
+  warm_ready_.store(0, std::memory_order_relaxed);
+  warm_failed_.store(0, std::memory_order_relaxed);
+  warming_.store(true, std::memory_order_relaxed);
+  warm_admitting_.store(needed == 0, std::memory_order_relaxed);
+  warmup_thread_ = std::thread([this, &loader, warm, needed] {
+    for (const auto& [name, version] : warm) {
+      if (stopping_.load(std::memory_order_relaxed)) break;
+      // Warm() absorbs the cold-start reload on the loader's worker; the
+      // .get() here only paces the warmup loop, it blocks no request.
+      Result<store::AsyncModelLoader::Servable> resident =
+          loader.Warm(name, version).get();
+      if (resident.ok()) {
+        warm_ready_.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        warm_failed_.fetch_add(1, std::memory_order_relaxed);
+      }
+      if (warm_ready_.load(std::memory_order_relaxed) >= needed) {
+        warm_admitting_.store(true, std::memory_order_relaxed);
+      }
+    }
+    // Done (or aborted by shutdown): open admission unconditionally.
+    // Models that failed to warm will cold-start on their first request.
+    warm_admitting_.store(true, std::memory_order_relaxed);
+    warming_.store(false, std::memory_order_relaxed);
+  });
+  return Status::OK();
+}
+
+InferenceServer::WarmupStatus InferenceServer::warmup_status() const {
+  WarmupStatus status;
+  status.active = warming_.load(std::memory_order_relaxed);
+  status.admitting = warm_admitting_.load(std::memory_order_relaxed);
+  status.target = warm_target_.load(std::memory_order_relaxed);
+  status.ready = warm_ready_.load(std::memory_order_relaxed);
+  status.failed = warm_failed_.load(std::memory_order_relaxed);
+  return status;
+}
+
 std::future<Result<InferenceResponse>> InferenceServer::Submit(
     InferenceRequest request) {
   // Mint the request's trace identity before any span opens, and install it
@@ -256,6 +320,27 @@ std::future<Result<InferenceResponse>> InferenceServer::Submit(
   const auto elapsed_us = [submit_time] {
     return MicrosBetween(submit_time, Clock::now());
   };
+
+  // Warm-restart gate: while the warm set is still below the readiness
+  // fraction, every request sheds — serving a half-warmed registry would
+  // cold-start the hottest models on the request path, exactly what the
+  // warmup exists to prevent. Checked before quotas so a warming server
+  // does not burn tenants' tokens on requests it cannot serve.
+  if (warming_.load(std::memory_order_relaxed) &&
+      !warm_admitting_.load(std::memory_order_relaxed)) {
+    Metrics().rejected->Increment();
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++stats_.rejected;
+    }
+    RecordTerminal("rejected", request.model, request.kind, ctx,
+                   submit_trace_us, elapsed_us(), false);
+    return ImmediateResult(Status::Unavailable(
+        StrCat("server is warming up: ",
+               warm_ready_.load(std::memory_order_relaxed), " of ",
+               warm_target_.load(std::memory_order_relaxed),
+               " warm-set models resident; retry shortly")));
+  }
 
   // Tenant quota is the first admission rung — before the registry, the
   // cache, and the breakers. An over-budget tenant therefore cannot trip a
@@ -473,6 +558,12 @@ std::string InferenceServer::Statusz() const {
                   shards_[i]->depth.load(std::memory_order_relaxed), " / ",
                   per_shard_capacity(), "\n");
   }
+  if (const WarmupStatus warm = warmup_status(); warm.target > 0) {
+    out += StrCat("warmup: ", warm.ready, "/", warm.target,
+                  " resident failed=", warm.failed,
+                  " admitting=", warm.admitting ? 1 : 0,
+                  " active=", warm.active ? 1 : 0, "\n");
+  }
   {
     std::lock_guard<std::mutex> lock(stats_mu_);
     out += StrCat("requests: submitted=", stats_.submitted,
@@ -539,6 +630,25 @@ std::string InferenceServer::Statusz() const {
                     " allowed=", bs.allowed, ")\n");
     }
   }
+  {
+    // Armed fault points with per-point trigger counts: a chaos run is
+    // auditable from the same page as everything it perturbs — "the system
+    // survived" means nothing without "and the faults actually fired".
+    const std::vector<fault::FaultInjector::ArmedPointStatus> armed =
+        fault::FaultInjector::Global().SnapshotArmed();
+    out += StrCat("faults: ", armed.size(), " armed\n");
+    for (const auto& point : armed) {
+      out += StrCat("  ", point.point,
+                    ": kind=", fault::FaultKindName(point.spec.kind),
+                    " p=", point.spec.probability,
+                    " evaluations=", point.evaluations,
+                    " fired=", point.fired);
+      if (!point.spec.target.empty()) {
+        out += StrCat(" target=", point.spec.target);
+      }
+      out += "\n";
+    }
+  }
   if (slo_ != nullptr) {
     out += "slo:\n";
     for (const obs::SloModelStatus& model :
@@ -601,6 +711,17 @@ Status InferenceServer::Healthz() const {
     if (!started_) {
       return Status::FailedPrecondition("server not started");
     }
+  }
+  // The warm-restart state is distinct from both "down" and "degraded":
+  // the server is healthy and working, but intentionally not admitting
+  // until the recovered warm set is resident. Orchestrators should treat
+  // it as "starting", not "failing".
+  if (warming_.load(std::memory_order_relaxed) &&
+      !warm_admitting_.load(std::memory_order_relaxed)) {
+    return Status::Unavailable(
+        StrCat("warming: ", warm_ready_.load(std::memory_order_relaxed),
+               " of ", warm_target_.load(std::memory_order_relaxed),
+               " warm-set models resident"));
   }
   // Health keys off the *deepest* shard, not the total: one saturated shard
   // rejects its models' requests even while the aggregate depth — an

@@ -91,6 +91,9 @@
 #include "serve/tenant_quota.h"
 
 namespace qdb {
+namespace store {
+class AsyncModelLoader;  // store/async_loader.h
+}  // namespace store
 namespace serve {
 
 /// \brief Serving-runtime knobs.
@@ -160,6 +163,14 @@ struct ServerOptions {
   obs::SloObjective slo;
   /// Burn-rate look-back windows, seconds, strictly increasing.
   std::vector<long> slo_windows_s = {300, 3600};
+
+  /// Warm-restart admission gate: after StartWarmup, Submit sheds with
+  /// kUnavailable (and Healthz reports the distinct "warming" state) until
+  /// this fraction of the registry's recovered warm set is resident again.
+  /// Clamped to [0, 1]. Warmup *completion* always opens admission, even
+  /// when some prefetches failed — a warm set that cannot fully load must
+  /// degrade to cold starts, not a permanently closed door.
+  double warm_ready_fraction = 1.0;
 };
 
 /// \brief One inference request. `version` < 0 serves the latest registered
@@ -286,16 +297,37 @@ class InferenceServer {
   /// The SLO tracker (null when options.enable_slo is false).
   const obs::SloTracker* slo_tracker() const { return slo_.get(); }
 
+  /// Begins the warm-restart prefetch: snapshots the registry's recovered
+  /// warm set (pinned or previously-resident models) and drives `loader`
+  /// to re-resident each one off the request path. Until
+  /// ceil(warm_ready_fraction × warm set) models are resident, Submit
+  /// sheds with kUnavailable and Healthz reports "warming". OK no-op when
+  /// the warm set is empty. Requires a started server; `loader` must be
+  /// started and outlive the warmup (Shutdown joins the warmup thread).
+  Status StartWarmup(store::AsyncModelLoader& loader);
+
+  /// Warm-restart progress, for Statusz and the crash harness.
+  struct WarmupStatus {
+    bool active = false;    ///< Warmup thread still prefetching.
+    bool admitting = true;  ///< Readiness gate open (no warmup = open).
+    size_t target = 0;      ///< Warm-set size StartWarmup snapshotted.
+    size_t ready = 0;       ///< Prefetches that made a model resident.
+    size_t failed = 0;      ///< Prefetches that failed (degrade to cold).
+  };
+  WarmupStatus warmup_status() const;
+
   /// Human-readable introspection page: per-shard queue depths, stats
   /// buckets, per-tenant token-bucket state, breaker states, degradation
-  /// tallies, cache stats, per-model SLO burn rates, and the slowest
+  /// tallies, cache stats, warm-restart progress, armed fault points with
+  /// per-point trigger counts, per-model SLO burn rates, and the slowest
   /// recent request traces.
   std::string Statusz() const;
 
-  /// OK while the server can make progress: started, not shut down, no
-  /// shard at capacity (a single full shard degrades health even when the
-  /// total backlog looks fine), and no model in SLO breach. Otherwise the
-  /// status message names the first failing condition.
+  /// OK while the server can make progress: started, not shut down, past
+  /// the warm-restart readiness gate, no shard at capacity (a single full
+  /// shard degrades health even when the total backlog looks fine), and no
+  /// model in SLO breach. Otherwise the status message names the first
+  /// failing condition.
   Status Healthz() const;
 
  private:
@@ -396,6 +428,15 @@ class InferenceServer {
   bool shut_down_ = false;
   std::atomic<bool> stopping_{false};
   std::vector<std::thread> dispatchers_;
+  /// Warm-restart state. The thread is guarded by state_mu_ (StartWarmup /
+  /// Shutdown); the gate and tallies are atomics so Submit's check is one
+  /// relaxed load when no warmup ran.
+  std::thread warmup_thread_;
+  std::atomic<bool> warming_{false};
+  std::atomic<bool> warm_admitting_{true};
+  std::atomic<size_t> warm_target_{0};
+  std::atomic<size_t> warm_ready_{0};
+  std::atomic<size_t> warm_failed_{0};
   /// Dedicated wakeup for backoff sleeps: Shutdown notifies it so retrying
   /// dispatchers cut their sleeps short, and retry waits never consume a
   /// shard-cv notify meant to hand work to an idle dispatcher.

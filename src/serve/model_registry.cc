@@ -52,6 +52,16 @@ obs::Histogram* ColdStartHistogram() {
   return histogram;
 }
 
+/// Warm-restart latency (µs): journal replay + entry-table rebuild in the
+/// recovery constructor (prefetch time is separate — see StartWarmup).
+obs::Histogram* RecoveryHistogram() {
+  static obs::Histogram* histogram = obs::GetHistogram(
+      "store.recovery_us",
+      {100, 250, 500, 1000, 2500, 5000, 10000, 25000, 50000, 100000, 250000,
+       1000000, 5000000});
+  return histogram;
+}
+
 std::string EntryKey(const std::string& name, int version) {
   return StrCat(name, ":", version);
 }
@@ -98,10 +108,110 @@ ModelRegistry::ModelRegistry(const RegistryOptions& options)
     slices_.push_back(std::make_unique<Slice>(per_slice));
   }
   BudgetBytesGauge()->Set(static_cast<double>(options_.store_budget_bytes));
-  // Register the cold-start histogram with its µs bounds now, before any
-  // later GetHistogram("store.cold_start_us") call (e.g. Statusz) could
-  // claim the name with default bounds.
+  // Register the cold-start and recovery histograms with their µs bounds
+  // now, before any later GetHistogram call (e.g. Statusz) could claim the
+  // names with default bounds.
   ColdStartHistogram();
+  RecoveryHistogram();
+  if (!options_.journal_dir.empty()) RecoverFromJournal();
+}
+
+Result<std::unique_ptr<ModelRegistry>> ModelRegistry::OpenJournaled(
+    const RegistryOptions& options) {
+  if (options.journal_dir.empty()) {
+    return Status::InvalidArgument(
+        "OpenJournaled requires options.journal_dir");
+  }
+  auto registry = std::make_unique<ModelRegistry>(options);
+  if (!registry->recovery_.journaled) return registry->recovery_.open_status;
+  return registry;
+}
+
+void ModelRegistry::RecoverFromJournal() {
+  const auto start = std::chrono::steady_clock::now();
+  store::JournalOptions journal_options;
+  journal_options.compact_every = options_.journal_compact_every;
+  Result<std::unique_ptr<store::RegistryJournal>> opened =
+      store::RegistryJournal::Open(options_.journal_dir, journal_options);
+  if (!opened.ok()) {
+    recovery_.open_status = opened.status();
+    return;
+  }
+  journal_ = std::move(opened).value();
+  recovery_.journaled = true;
+  const store::JournalRecoveryStats& replay = journal_->recovery_stats();
+  recovery_.replayed_records = replay.replayed_records;
+  recovery_.stale_records = replay.stale_records;
+  recovery_.tail_truncated = replay.tail_truncated;
+  recovery_.snapshot_sequence = replay.snapshot_sequence;
+
+  // Rebuild durable entries as file-backed page-outs: servable == nullptr,
+  // reload-on-Lookup, exactly as if the budget had paged them out moments
+  // ago. The constructor runs single-threaded, but taking the slice locks
+  // costs nothing and keeps the invariants uniform.
+  std::vector<store::ManifestEntry> dropped;
+  for (const store::ManifestEntry& m : journal_->Manifest()) {
+    const bool valid_type =
+        m.model_type <= static_cast<uint32_t>(ModelType::kQuboConfig);
+    if (m.artifact_path.empty() || !valid_type) {
+      // Registered but never promoted (or undecodable): there is no durable
+      // artifact to rebuild from. Dropping it here is the no-phantom
+      // guarantee — an entry that cannot be served must not exist.
+      ++recovery_.dropped_nondurable;
+      dropped.push_back(m);
+      continue;
+    }
+    Slice& slice = SliceFor(m.name);
+    std::lock_guard<std::mutex> lock(slice.mu);
+    Entry entry;
+    entry.type = static_cast<ModelType>(m.model_type);
+    entry.num_features = m.num_features;
+    entry.artifact_path = m.artifact_path;
+    entry.file_name = m.file_name;
+    entry.file_version = m.file_version;
+    entry.pinned = m.pinned;
+    slice.models[m.name][m.version] = std::move(entry);
+    ++recovery_.recovered_models;
+    if (m.pinned || m.hot) recovered_warm_.emplace_back(m.name, m.version);
+  }
+  // Prune the dropped entries from the journal's manifest too, or they
+  // would ride every future snapshot as zombies and be re-dropped on every
+  // recovery. Best-effort: a failed prune just postpones the cleanup.
+  for (const store::ManifestEntry& m : dropped) {
+    store::JournalRecord record;
+    record.event = store::JournalEvent::kRemove;
+    record.name = m.name;
+    record.version = m.version;
+    record.model_type = m.model_type;
+    record.num_features = m.num_features;
+    (void)journal_->Append(std::move(record));
+  }
+
+  recovery_.recovery_us = static_cast<long>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - start)
+          .count());
+  RecoveryHistogram()->Observe(static_cast<double>(recovery_.recovery_us));
+  PublishGauges();
+}
+
+Status ModelRegistry::JournalAppend(store::JournalEvent event,
+                                    const std::string& name, int version,
+                                    ModelType type, int num_features,
+                                    const std::string& path,
+                                    const std::string& file_name,
+                                    int file_version) const {
+  if (journal_ == nullptr) return Status::OK();
+  store::JournalRecord record;
+  record.event = event;
+  record.name = name;
+  record.version = version;
+  record.model_type = static_cast<uint32_t>(type);
+  record.num_features = num_features;
+  record.artifact_path = path;
+  record.file_name = file_name;
+  record.file_version = file_version;
+  return journal_->Append(std::move(record));
 }
 
 ModelRegistry::Slice& ModelRegistry::SliceFor(const std::string& name) const {
@@ -144,6 +254,17 @@ Result<std::shared_ptr<const ServableModel>> ModelRegistry::Register(
       return Status::AlreadyExists(
           StrCat("model '", servable->name(), "' version ", version,
                  " is already registered"));
+    }
+    // Write-ahead: the registration is only acknowledged once journaled.
+    // On append failure the insert rolls back — a mutation the journal
+    // never saw must not survive into a state replay cannot reproduce.
+    if (Status journaled = JournalAppend(
+            store::JournalEvent::kRegister, servable->name(), version,
+            servable->type(), servable->num_features());
+        !journaled.ok()) {
+      versions.erase(version);
+      if (versions.empty()) slice.models.erase(servable->name());
+      return journaled;
     }
     const std::string key = EntryKey(servable->name(), version);
     // In-memory registrations have no artifact file to reload from, so
@@ -287,6 +408,11 @@ void ModelRegistry::EnforceBudgetLocked(
     slice.budget.Drop(victim);
     slice.evictions++;
     EvictionsCounter()->Increment();
+    // Best-effort residency hint for recovery's prefetch set: a failed
+    // append only costs warm-restart freshness, never correctness, so it
+    // must not fail the eviction that already happened.
+    (void)JournalAppend(store::JournalEvent::kEvictToDisk, name, version,
+                        vit->second.type, vit->second.num_features);
   }
 }
 
@@ -299,15 +425,28 @@ Status ModelRegistry::Evict(const std::string& name, int version) {
       return Status::NotFound(StrCat("no model named '", name, "'"));
     }
     if (version < 0) {
+      // Write-ahead: journal the remove before applying it, so a crash
+      // between the two replays the remove (an acknowledged removal must
+      // not resurrect). The inverse crash — removed in memory but not in
+      // the journal — can never happen with this order.
+      const Entry& first = it->second.begin()->second;
+      QDB_RETURN_IF_ERROR(JournalAppend(store::JournalEvent::kRemove, name,
+                                        -1, first.type,
+                                        first.num_features));
       for (const auto& [v, entry] : it->second) {
         slice.budget.Drop(EntryKey(name, v));
       }
       slice.models.erase(it);
     } else {
-      if (it->second.erase(version) == 0) {
+      auto vit = it->second.find(version);
+      if (vit == it->second.end()) {
         return Status::NotFound(
             StrCat("model '", name, "' has no version ", version));
       }
+      QDB_RETURN_IF_ERROR(JournalAppend(store::JournalEvent::kRemove, name,
+                                        version, vit->second.type,
+                                        vit->second.num_features));
+      it->second.erase(vit);
       slice.budget.Drop(EntryKey(name, version));
       if (it->second.empty()) slice.models.erase(it);
     }
@@ -330,6 +469,9 @@ Status ModelRegistry::SetPinned(const std::string& name, int version,
       return Status::NotFound(
           StrCat("model '", name, "' has no version ", version));
     }
+    QDB_RETURN_IF_ERROR(JournalAppend(
+        pinned ? store::JournalEvent::kPin : store::JournalEvent::kUnpin,
+        name, version, vit->second.type, vit->second.num_features));
     vit->second.pinned = pinned;
     slice.budget.SetPinned(EntryKey(name, version), pinned);
     // Unpinning may make an over-budget slice collectable again.
@@ -373,17 +515,24 @@ size_t ModelRegistry::size() const {
   return n;
 }
 
-void ModelRegistry::MarkFileBacked(const std::string& name, int version,
-                                   const std::string& path,
-                                   const std::string& file_name,
-                                   int file_version) const {
+Status ModelRegistry::MarkFileBacked(const std::string& name, int version,
+                                     const std::string& path,
+                                     const std::string& file_name,
+                                     int file_version) const {
   Slice& slice = SliceFor(name);
   std::lock_guard<std::mutex> lock(slice.mu);
   auto it = slice.models.find(name);
-  if (it == slice.models.end()) return;
+  if (it == slice.models.end()) return Status::OK();
   auto vit = it->second.find(version);
-  if (vit == it->second.end()) return;
+  if (vit == it->second.end()) return Status::OK();
   Entry& entry = vit->second;
+  // Promote is THE durability point: only journaled-promoted entries are
+  // rebuilt on recovery. Write-ahead — a failed append leaves the entry
+  // in-memory-only (still servable now, not recoverable later) and the
+  // caller's save/load reports the failure.
+  QDB_RETURN_IF_ERROR(JournalAppend(store::JournalEvent::kPromote, name,
+                                    version, entry.type, entry.num_features,
+                                    path, file_name, file_version));
   entry.artifact_path = path;
   entry.file_name = file_name;
   entry.file_version = file_version;
@@ -395,6 +544,7 @@ void ModelRegistry::MarkFileBacked(const std::string& name, int version,
     // immediately after the save/load that created it.
     EnforceBudgetLocked(slice, key);
   }
+  return Status::OK();
 }
 
 Status ModelRegistry::SaveModel(const std::string& name, int version,
@@ -405,8 +555,9 @@ Status ModelRegistry::SaveModel(const std::string& name, int version,
       store::SaveArtifact(servable->artifact(), path, options_.save_format));
   // The file was written from the registered artifact, so the file identity
   // IS the registered identity.
-  MarkFileBacked(name, servable->version(), path, servable->name(),
-                 servable->version());
+  QDB_RETURN_IF_ERROR(MarkFileBacked(name, servable->version(), path,
+                                     servable->name(),
+                                     servable->version()));
   PublishGauges();
   return Status::OK();
 }
@@ -433,8 +584,8 @@ Result<std::shared_ptr<const ServableModel>> ModelRegistry::LoadModel(
   if (reassign_version) artifact.version = 0;
   QDB_ASSIGN_OR_RETURN(std::shared_ptr<const ServableModel> servable,
                        Register(std::move(artifact)));
-  MarkFileBacked(servable->name(), servable->version(), path, file_name,
-                 file_version);
+  QDB_RETURN_IF_ERROR(MarkFileBacked(servable->name(), servable->version(),
+                                     path, file_name, file_version));
   PublishGauges();
   return servable;
 }

@@ -21,6 +21,17 @@
 /// registered purely from memory have nowhere to reload from and are never
 /// paged out (the budget is soft for them), and pinned models are resident
 /// by fiat.
+///
+/// With RegistryOptions::journal_dir set, the registry is *durable*: every
+/// control-plane transition (register, promote-to-file-backed, pin, unpin,
+/// evict, budget page-out) is recorded write-ahead in a
+/// store::RegistryJournal, and construction replays the directory's
+/// snapshot + journal, rebuilding every previously file-backed entry as a
+/// page-out — resident on first Lookup (or prefetched via
+/// AsyncModelLoader / InferenceServer::StartWarmup). Entries that were
+/// never promoted to a file have no durable artifact and are dropped on
+/// recovery (never served as phantoms). Use OpenJournaled to surface
+/// replay errors; the plain constructor records them in recovery_report().
 
 #ifndef QDB_SERVE_MODEL_REGISTRY_H_
 #define QDB_SERVE_MODEL_REGISTRY_H_
@@ -37,6 +48,7 @@
 #include "serve/servable.h"
 #include "store/binary_format.h"
 #include "store/memory_budget.h"
+#include "store/registry_journal.h"
 
 namespace qdb {
 namespace serve {
@@ -67,6 +79,32 @@ struct RegistryOptions {
   /// Format SaveModel writes. Binary is the storage-tier default; readers
   /// accept both.
   store::ArtifactFormat save_format = store::ArtifactFormat::kBinary;
+  /// Crash-recovery journal directory (store/registry_journal.h). Empty =
+  /// no journal: registry state dies with the process. Non-empty: durable
+  /// mutations are journaled write-ahead and construction warm-restarts
+  /// from the directory's snapshot + journal.
+  std::string journal_dir;
+  /// Auto-compact the journal into a snapshot after this many appends;
+  /// <= 0 never auto-compacts.
+  long journal_compact_every = 1024;
+};
+
+/// What a journaled registry's recovery found (recovery_report()).
+struct RecoveryReport {
+  /// True when the journal opened and replay succeeded; the registry is
+  /// journaling. False with open_status non-OK = recovery failed and the
+  /// registry is running UN-journaled (OpenJournaled turns that into a
+  /// construction error); false with open_status OK = journaling was never
+  /// requested.
+  bool journaled = false;
+  Status open_status;
+  long recovered_models = 0;    ///< Durable entries rebuilt as page-outs.
+  long dropped_nondurable = 0;  ///< Journaled but never promoted: dropped.
+  long replayed_records = 0;
+  long stale_records = 0;  ///< Skipped as already folded into the snapshot.
+  bool tail_truncated = false;
+  uint64_t snapshot_sequence = 0;
+  long recovery_us = 0;  ///< Replay + rebuild time (store.recovery_us).
 };
 
 /// Aggregated storage-tier state, also surfaced in InferenceServer::Statusz.
@@ -87,6 +125,12 @@ class ModelRegistry {
  public:
   ModelRegistry() : ModelRegistry(RegistryOptions{}) {}
   explicit ModelRegistry(const RegistryOptions& options);
+
+  /// Opens a journaled registry: requires options.journal_dir, and turns a
+  /// failed journal open / replay into a construction error instead of the
+  /// plain constructor's silently-unjournaled fallback.
+  static Result<std::unique_ptr<ModelRegistry>> OpenJournaled(
+      const RegistryOptions& options);
 
   /// Validates and loads `artifact`. version == 0 assigns (highest existing
   /// version) + 1; an explicitly pinned version that already exists fails
@@ -139,6 +183,20 @@ class ModelRegistry {
   /// Aggregated storage-tier counters across all slices.
   StoreStatus store_status() const;
 
+  /// How the last construction's journal recovery went (all-zero defaults
+  /// when journaling was never requested).
+  const RecoveryReport& recovery_report() const { return recovery_; }
+
+  /// The (name, version) pairs worth prefetching after a warm restart:
+  /// recovered entries that were pinned or resident when last journaled.
+  /// Empty for unjournaled registries.
+  std::vector<std::pair<std::string, int>> RecoveredWarmSet() const {
+    return recovered_warm_;
+  }
+
+  /// The journal (null when not journaling) — introspection only.
+  const store::RegistryJournal* journal() const { return journal_.get(); }
+
   const RegistryOptions& options() const { return options_; }
   int num_slices() const { return static_cast<int>(slices_.size()); }
 
@@ -188,14 +246,35 @@ class ModelRegistry {
   void EnforceBudgetLocked(Slice& slice, const std::string& protect_key) const;
   /// Marks a registered version file-backed after a successful save/load.
   /// (`file_name`, `file_version`) is the identity stored in the file at
-  /// `path`, which reloads are validated against.
-  void MarkFileBacked(const std::string& name, int version,
-                      const std::string& path, const std::string& file_name,
-                      int file_version) const;
+  /// `path`, which reloads are validated against. Journaled write-ahead
+  /// (the promote event IS the durability point); a failed journal append
+  /// leaves the entry in-memory-only and propagates the error.
+  Status MarkFileBacked(const std::string& name, int version,
+                        const std::string& path,
+                        const std::string& file_name,
+                        int file_version) const;
   void PublishGauges() const;
+
+  /// Journals one event; OK no-op when not journaling.
+  Status JournalAppend(store::JournalEvent event, const std::string& name,
+                       int version, ModelType type, int num_features,
+                       const std::string& path = std::string(),
+                       const std::string& file_name = std::string(),
+                       int file_version = 0) const;
+  /// Opens options_.journal_dir, replays it, and rebuilds every durable
+  /// entry as a file-backed page-out. Called once from the constructor;
+  /// fills recovery_ (including the failure mode: open_status non-OK and
+  /// the registry left un-journaled).
+  void RecoverFromJournal();
 
   RegistryOptions options_;
   std::vector<std::unique_ptr<Slice>> slices_;
+  /// Non-null = journaling. The journal has its own internal lock and
+  /// never calls back into the registry, so appending while holding a
+  /// slice lock cannot deadlock (lock order: slice.mu → journal.mu).
+  std::unique_ptr<store::RegistryJournal> journal_;
+  RecoveryReport recovery_;
+  std::vector<std::pair<std::string, int>> recovered_warm_;
 };
 
 }  // namespace serve

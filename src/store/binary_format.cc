@@ -484,6 +484,7 @@ Status AtomicWriteFile(const std::string& path, const std::string& payload,
   // half-written.
   size_t write_bytes = payload.size();
   bool torn = false;
+  bool kill_after_write = false;
   if (fault::FaultInjector::Global().enabled()) {
     if (std::optional<fault::FaultSpec> fired =
             fault::FaultInjector::Global().Sample("artifact.save",
@@ -499,6 +500,15 @@ Status AtomicWriteFile(const std::string& path, const std::string& payload,
           break;
         case fault::FaultKind::kTornWrite:
           torn = true;
+          write_bytes = static_cast<size_t>(
+              static_cast<double>(payload.size()) * fired->keep_fraction);
+          break;
+        case fault::FaultKind::kKill:
+          // A real crash mid-save: persist keep_fraction of the temp file,
+          // then SIGKILL before the rename — the destination must come
+          // through either absent or complete, exactly like torn_write but
+          // with the whole process actually dying.
+          kill_after_write = true;
           write_bytes = static_cast<size_t>(
               static_cast<double>(payload.size()) * fired->keep_fraction);
           break;
@@ -549,6 +559,7 @@ Status AtomicWriteFile(const std::string& path, const std::string& payload,
     return Status::Internal(StrCat("failed closing artifact '", tmp,
                                    "': ", std::strerror(err)));
   }
+  if (kill_after_write) fault::KillProcess();
   if (torn) {
     // Simulated crash between the partial write and the rename: the torn
     // temp file stays on disk, the destination is untouched.
@@ -597,6 +608,8 @@ Result<std::string> ReadFileBytes(const std::string& path) {
         case fault::FaultKind::kTornWrite:
           keep_fraction = fired->keep_fraction;
           break;
+        case fault::FaultKind::kKill:
+          fault::KillProcess();
         case fault::FaultKind::kSpuriousWake:
           break;
       }

@@ -23,7 +23,7 @@
 #include "common/strings.h"
 #include "fault/circuit_breaker.h"
 #include "fault/fault_injector.h"
-#include "obs/metrics.h"
+#include "obs/obs.h"
 #include "serve/inference_server.h"
 #include "serve/model_artifact.h"
 #include "serve/model_registry.h"
@@ -115,7 +115,87 @@ TEST_F(FaultTest, MalformedSpecsAreRejected) {
   EXPECT_FALSE(injector.ArmFromSpecString("p:latency:1:0:-5").ok());
   EXPECT_FALSE(injector.ArmFromSpecString("p:torn_write:1:0:1.5").ok());
   EXPECT_FALSE(injector.ArmFromSpecString("p:error:notaprob:0").ok());
+  EXPECT_FALSE(injector.ArmFromSpecString("p:kill:1:0:1.5").ok());
   EXPECT_FALSE(injector.enabled()) << "bad specs must not arm anything";
+}
+
+TEST_F(FaultTest, KillKindParsesAndNeverFiresAtZeroProbability) {
+  // Parsing and arming a kill fault must be safe in-process as long as it
+  // cannot fire; probability 0 lets the grammar be covered without dying.
+  ASSERT_TRUE(FaultInjector::Global()
+                  .ArmFromSpecString("store.journal.append:kill:0:5:0.25")
+                  .ok());
+  const auto armed = FaultInjector::Global().SnapshotArmed();
+  ASSERT_EQ(armed.size(), 1u);
+  EXPECT_EQ(armed[0].spec.kind, FaultKind::kKill);
+  EXPECT_EQ(armed[0].spec.keep_fraction, 0.25);
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_FALSE(FaultInjector::Global()
+                     .Sample("store.journal.append", "any")
+                     .has_value());
+  }
+  EXPECT_STREQ(FaultKindName(FaultKind::kKill), "kill");
+  auto parsed = ParseFaultKind("kill");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value(), FaultKind::kKill);
+}
+
+TEST_F(FaultTest, ArmFromEnvWarnsOnUnknownPointButStillArms) {
+  obs::Counter* unknown = obs::GetCounter("fault.unknown_point");
+  const long before = unknown->Value();
+  // One real point, one typo: the typo is armed anyway (maybe the binary is
+  // older than the spec) but warned about and counted.
+  ASSERT_EQ(setenv("QDB_FAULTS",
+                   "serve.dispatch:error:0.1:1,store.jurnal.append:error:0.1:2",
+                   1),
+            0);
+  EXPECT_TRUE(FaultInjector::Global().ArmFromEnv().ok());
+  ASSERT_EQ(unsetenv("QDB_FAULTS"), 0);
+  EXPECT_EQ(unknown->Value(), before + 1);
+  const auto points = FaultInjector::Global().ArmedPoints();
+  ASSERT_EQ(points.size(), 2u);
+  EXPECT_TRUE(IsKnownFaultPoint("serve.dispatch"));
+  EXPECT_TRUE(IsKnownFaultPoint("store.journal.append"));
+  EXPECT_FALSE(IsKnownFaultPoint("store.jurnal.append"));
+}
+
+TEST_F(FaultTest, SnapshotArmedTracksPerPointTallies) {
+  ASSERT_TRUE(
+      FaultInjector::Global()
+          .ArmFromSpecString("alpha.point:error:1:3,beta.point:error:0:4:9:tgt")
+          .ok());
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_FALSE(MaybeInject("alpha.point").ok());
+  }
+  EXPECT_TRUE(MaybeInject("beta.point", "other").ok());  // Scope mismatch.
+  const auto armed = FaultInjector::Global().SnapshotArmed();
+  ASSERT_EQ(armed.size(), 2u);
+  EXPECT_EQ(armed[0].point, "alpha.point");
+  EXPECT_EQ(armed[0].evaluations, 3);
+  EXPECT_EQ(armed[0].fired, 3);
+  EXPECT_EQ(armed[1].point, "beta.point");
+  EXPECT_EQ(armed[1].spec.target, "tgt");
+  EXPECT_EQ(armed[1].evaluations, 0);  // Mismatched scope consumed no draw.
+}
+
+TEST_F(FaultTest, StatuszRendersArmedFaultBlock) {
+  ModelRegistry registry;
+  ASSERT_TRUE(registry.Register(TinyVqcArtifact("statusz-m")).ok());
+  InferenceServer server(registry);
+  ASSERT_TRUE(server.Start().ok());
+  EXPECT_NE(server.Statusz().find("faults: 0 armed"), std::string::npos);
+
+  ASSERT_TRUE(FaultInjector::Global()
+                  .ArmFromSpecString("serve.dispatch:error:0.25:1337")
+                  .ok());
+  (void)server.Submit(Request("statusz-m", {0.4, 0.9}, 500'000)).get();
+  const std::string statusz = server.Statusz();
+  EXPECT_NE(statusz.find("faults: 1 armed"), std::string::npos) << statusz;
+  EXPECT_NE(statusz.find("serve.dispatch: kind=error p=0.25"),
+            std::string::npos)
+      << statusz;
+  EXPECT_NE(statusz.find("evaluations="), std::string::npos);
+  server.Shutdown();
 }
 
 TEST_F(FaultTest, SeededDrawsAreBitReproducible) {

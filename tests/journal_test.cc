@@ -1,0 +1,550 @@
+// Tests for the crash-recovery layer: the registry journal's append/replay
+// round trip, snapshot compaction (including a crash injected into the
+// window between snapshot and journal reset), the byte-level torn-tail fuzz
+// — every truncation offset and every byte flip of the last record must
+// recover the longest valid prefix, never crash, and never resurrect the
+// damaged record — and the journaled ModelRegistry's warm restart: durable
+// entries come back as page-outs, never-promoted entries are dropped (no
+// phantoms), and the server's warmup gate ends with every warm-set model
+// resident.
+
+#include <gtest/gtest.h>
+
+#include <sys/stat.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/strings.h"
+#include "fault/fault_injector.h"
+#include "serve/inference_server.h"
+#include "serve/model_artifact.h"
+#include "serve/model_registry.h"
+#include "store/async_loader.h"
+#include "store/registry_journal.h"
+#include "variational/ansatz.h"
+
+namespace qdb {
+namespace store {
+namespace {
+
+std::string FreshDir(const std::string& name) {
+  const std::string dir = testing::TempDir() + "/" + name;
+  std::string cmd = "rm -rf '" + dir + "'";
+  (void)std::system(cmd.c_str());
+  return dir;  // RegistryJournal::Open / mkdir creates it.
+}
+
+size_t FileSize(const std::string& path) {
+  struct stat st {};
+  EXPECT_EQ(::stat(path.c_str(), &st), 0) << path;
+  return static_cast<size_t>(st.st_size);
+}
+
+std::string ReadAll(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << path;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+void WriteAll(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  ASSERT_TRUE(out.good()) << path;
+}
+
+JournalRecord PromoteRecord(const std::string& name, int version) {
+  JournalRecord record;
+  record.event = JournalEvent::kPromote;
+  record.name = name;
+  record.version = version;
+  record.model_type = 0;
+  record.num_features = 2;
+  record.artifact_path = "/tmp/" + name + ".model";
+  record.file_name = name;
+  record.file_version = version;
+  return record;
+}
+
+std::vector<std::pair<std::string, int>> Keys(
+    const std::vector<ManifestEntry>& manifest) {
+  std::vector<std::pair<std::string, int>> keys;
+  for (const auto& entry : manifest) keys.push_back({entry.name, entry.version});
+  return keys;
+}
+
+serve::ModelArtifact TinyVqcArtifact(const std::string& name) {
+  serve::ModelArtifact a;
+  a.type = serve::ModelType::kVqcClassifier;
+  a.name = name;
+  a.num_features = 2;
+  a.encoding = VqcEncoding::kAngle;
+  a.ansatz_layers = 1;
+  a.entanglement = Entanglement::kLinear;
+  a.feature_scale = 0.8;
+  const int count = RealAmplitudesParamCount(a.num_features, a.ansatz_layers);
+  for (int i = 0; i < count; ++i) {
+    a.params.push_back(0.3 + 0.17 * static_cast<double>(i));
+  }
+  return a;
+}
+
+class JournalTest : public ::testing::Test {
+ protected:
+  void TearDown() override { fault::FaultInjector::Global().DisarmAll(); }
+};
+
+TEST_F(JournalTest, AppendReplayRoundTrip) {
+  const std::string dir = FreshDir("journal_roundtrip");
+  {
+    auto journal = RegistryJournal::Open(dir);
+    ASSERT_TRUE(journal.ok()) << journal.status().ToString();
+    ASSERT_TRUE(journal.value()->Append(PromoteRecord("alpha", 1)).ok());
+    ASSERT_TRUE(journal.value()->Append(PromoteRecord("alpha", 2)).ok());
+    ASSERT_TRUE(journal.value()->Append(PromoteRecord("beta", 1)).ok());
+    JournalRecord pin;
+    pin.event = JournalEvent::kPin;
+    pin.name = "beta";
+    pin.version = 1;
+    ASSERT_TRUE(journal.value()->Append(pin).ok());
+    JournalRecord evict;
+    evict.event = JournalEvent::kEvictToDisk;
+    evict.name = "alpha";
+    evict.version = 1;
+    ASSERT_TRUE(journal.value()->Append(evict).ok());
+  }
+  auto reopened = RegistryJournal::Open(dir);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  const auto& stats = reopened.value()->recovery_stats();
+  EXPECT_EQ(stats.replayed_records, 5);
+  EXPECT_EQ(stats.stale_records, 0);
+  EXPECT_FALSE(stats.tail_truncated);
+
+  const auto manifest = reopened.value()->Manifest();
+  ASSERT_EQ(manifest.size(), 3u);
+  EXPECT_EQ(manifest[0].name, "alpha");
+  EXPECT_EQ(manifest[0].version, 1);
+  EXPECT_FALSE(manifest[0].hot);  // evict-to-disk cleared the hint.
+  EXPECT_EQ(manifest[1].version, 2);
+  EXPECT_TRUE(manifest[1].hot);
+  EXPECT_EQ(manifest[2].name, "beta");
+  EXPECT_TRUE(manifest[2].pinned);
+  EXPECT_EQ(manifest[2].artifact_path, "/tmp/beta.model");
+  EXPECT_EQ(manifest[2].file_version, 1);
+  // Sequences continue after the replayed ones — monotone across restarts.
+  EXPECT_EQ(reopened.value()->stats().next_sequence, 6u);
+}
+
+TEST_F(JournalTest, RemoveOneVersionAndAllVersions) {
+  const std::string dir = FreshDir("journal_remove");
+  auto journal = RegistryJournal::Open(dir);
+  ASSERT_TRUE(journal.ok());
+  for (int v = 1; v <= 3; ++v) {
+    ASSERT_TRUE(journal.value()->Append(PromoteRecord("multi", v)).ok());
+  }
+  ASSERT_TRUE(journal.value()->Append(PromoteRecord("other", 1)).ok());
+
+  JournalRecord remove_one;
+  remove_one.event = JournalEvent::kRemove;
+  remove_one.name = "multi";
+  remove_one.version = 2;
+  ASSERT_TRUE(journal.value()->Append(remove_one).ok());
+  EXPECT_EQ(Keys(journal.value()->Manifest()),
+            (std::vector<std::pair<std::string, int>>{
+                {"multi", 1}, {"multi", 3}, {"other", 1}}));
+
+  JournalRecord remove_all;
+  remove_all.event = JournalEvent::kRemove;
+  remove_all.name = "multi";
+  remove_all.version = -1;
+  ASSERT_TRUE(journal.value()->Append(remove_all).ok());
+  EXPECT_EQ(Keys(journal.value()->Manifest()),
+            (std::vector<std::pair<std::string, int>>{{"other", 1}}));
+
+  // And the removal is durable, not just in-memory.
+  auto reopened = RegistryJournal::Open(dir);
+  ASSERT_TRUE(reopened.ok());
+  EXPECT_EQ(Keys(reopened.value()->Manifest()),
+            (std::vector<std::pair<std::string, int>>{{"other", 1}}));
+}
+
+// Satellite: every truncation offset of the last record must replay to the
+// longest valid prefix — never a crash, never a resurrected damaged record,
+// and the torn bytes must be physically gone afterwards so later appends
+// cannot bury them.
+TEST_F(JournalTest, TornTailFuzzEveryTruncationOffset) {
+  const std::string build_dir = FreshDir("journal_fuzz_build");
+  constexpr int kRecords = 4;
+  std::vector<size_t> size_after_append;
+  {
+    JournalOptions options;
+    options.compact_every = 0;  // Pure journal: no snapshot in the fuzz set.
+    auto journal = RegistryJournal::Open(build_dir, options);
+    ASSERT_TRUE(journal.ok());
+    for (int i = 0; i < kRecords; ++i) {
+      ASSERT_TRUE(
+          journal.value()->Append(PromoteRecord(StrCat("fuzz-", i), 1)).ok());
+      size_after_append.push_back(
+          FileSize(journal.value()->journal_path()));
+    }
+  }
+  const std::string bytes = ReadAll(build_dir + "/journal.log");
+  ASSERT_EQ(bytes.size(), size_after_append.back());
+  const size_t last_start = size_after_append[kRecords - 2];
+
+  // Expected manifests: all records, and all but the damaged last one.
+  std::vector<std::pair<std::string, int>> full_keys, prefix_keys;
+  for (int i = 0; i < kRecords; ++i) full_keys.push_back({StrCat("fuzz-", i), 1});
+  prefix_keys.assign(full_keys.begin(), full_keys.end() - 1);
+
+  const std::string fuzz_dir = FreshDir("journal_fuzz_run");
+  ASSERT_EQ(::mkdir(fuzz_dir.c_str(), 0755), 0);
+  const std::string fuzz_log = fuzz_dir + "/journal.log";
+  for (size_t cut = last_start; cut <= bytes.size(); ++cut) {
+    WriteAll(fuzz_log, bytes.substr(0, cut));
+    JournalOptions options;
+    options.compact_every = 0;
+    auto journal = RegistryJournal::Open(fuzz_dir, options);
+    ASSERT_TRUE(journal.ok())
+        << "cut=" << cut << ": " << journal.status().ToString();
+    const auto& stats = journal.value()->recovery_stats();
+    if (cut == bytes.size()) {
+      EXPECT_EQ(Keys(journal.value()->Manifest()), full_keys);
+      EXPECT_FALSE(stats.tail_truncated);
+    } else {
+      EXPECT_EQ(Keys(journal.value()->Manifest()), prefix_keys)
+          << "cut=" << cut;
+      EXPECT_EQ(stats.tail_truncated, cut != last_start) << "cut=" << cut;
+      // The damaged bytes are gone: the file ends at the last valid record.
+      EXPECT_EQ(FileSize(fuzz_log), last_start) << "cut=" << cut;
+      // And the journal is still writable right where the tail was cut.
+      ASSERT_TRUE(journal.value()->Append(PromoteRecord("patch", 7)).ok());
+      auto again = RegistryJournal::Open(fuzz_dir, options);
+      ASSERT_TRUE(again.ok());
+      auto expected = prefix_keys;
+      expected.push_back({"patch", 7});
+      EXPECT_EQ(Keys(again.value()->Manifest()), expected) << "cut=" << cut;
+    }
+  }
+}
+
+TEST_F(JournalTest, TornTailFuzzEveryByteFlipOfLastRecord) {
+  const std::string build_dir = FreshDir("journal_flip_build");
+  constexpr int kRecords = 3;
+  std::vector<size_t> size_after_append;
+  {
+    JournalOptions options;
+    options.compact_every = 0;
+    auto journal = RegistryJournal::Open(build_dir, options);
+    ASSERT_TRUE(journal.ok());
+    for (int i = 0; i < kRecords; ++i) {
+      ASSERT_TRUE(
+          journal.value()->Append(PromoteRecord(StrCat("flip-", i), 1)).ok());
+      size_after_append.push_back(
+          FileSize(journal.value()->journal_path()));
+    }
+  }
+  const std::string bytes = ReadAll(build_dir + "/journal.log");
+  const size_t last_start = size_after_append[kRecords - 2];
+  std::vector<std::pair<std::string, int>> prefix_keys;
+  for (int i = 0; i < kRecords - 1; ++i) {
+    prefix_keys.push_back({StrCat("flip-", i), 1});
+  }
+
+  const std::string flip_dir = FreshDir("journal_flip_run");
+  ASSERT_EQ(::mkdir(flip_dir.c_str(), 0755), 0);
+  for (size_t pos = last_start; pos < bytes.size(); ++pos) {
+    std::string damaged = bytes;
+    damaged[pos] = static_cast<char>(damaged[pos] ^ 0xFF);
+    WriteAll(flip_dir + "/journal.log", damaged);
+    JournalOptions options;
+    options.compact_every = 0;
+    auto journal = RegistryJournal::Open(flip_dir, options);
+    ASSERT_TRUE(journal.ok())
+        << "pos=" << pos << ": " << journal.status().ToString();
+    // The flipped record fails its checksum (or decodes to garbage): it is
+    // crash debris, dropped, and only the intact prefix survives.
+    EXPECT_EQ(Keys(journal.value()->Manifest()), prefix_keys) << "pos=" << pos;
+    EXPECT_TRUE(journal.value()->recovery_stats().tail_truncated)
+        << "pos=" << pos;
+    EXPECT_EQ(FileSize(flip_dir + "/journal.log"), last_start)
+        << "pos=" << pos;
+  }
+}
+
+TEST_F(JournalTest, ForeignFileRefusesToBeWiped) {
+  const std::string dir = FreshDir("journal_foreign");
+  ASSERT_EQ(::mkdir(dir.c_str(), 0755), 0);
+  WriteAll(dir + "/journal.log",
+           "this is sixteen+ bytes of somebody else's data, not a journal");
+  auto journal = RegistryJournal::Open(dir);
+  ASSERT_FALSE(journal.ok());
+  EXPECT_EQ(journal.status().code(), StatusCode::kInvalidArgument);
+  // The file was not touched.
+  EXPECT_NE(ReadAll(dir + "/journal.log").substr(0, 8), "QDBJRNL1");
+}
+
+TEST_F(JournalTest, CompactionFoldsJournalIntoSnapshot) {
+  const std::string dir = FreshDir("journal_compact");
+  JournalOptions options;
+  options.compact_every = 0;
+  {
+    auto journal = RegistryJournal::Open(dir, options);
+    ASSERT_TRUE(journal.ok());
+    for (int i = 0; i < 5; ++i) {
+      ASSERT_TRUE(
+          journal.value()->Append(PromoteRecord(StrCat("c-", i), 1)).ok());
+    }
+    ASSERT_TRUE(journal.value()->Compact().ok());
+    // Post-compaction appends land in the fresh journal.
+    ASSERT_TRUE(journal.value()->Append(PromoteRecord("late", 1)).ok());
+  }
+  auto reopened = RegistryJournal::Open(dir, options);
+  ASSERT_TRUE(reopened.ok());
+  const auto& stats = reopened.value()->recovery_stats();
+  EXPECT_EQ(stats.snapshot_sequence, 5u);
+  EXPECT_EQ(stats.snapshot_entries, 5);
+  EXPECT_EQ(stats.replayed_records, 1);  // Just "late".
+  EXPECT_EQ(stats.stale_records, 0);
+  EXPECT_EQ(reopened.value()->Manifest().size(), 6u);
+}
+
+// A crash in the window between the snapshot rename and the journal reset
+// leaves BOTH a covering snapshot and the full old journal. Replay must
+// skip every journal record as stale — applying them twice would resurrect
+// removed models.
+TEST_F(JournalTest, CrashBetweenSnapshotAndResetReplaysNothingTwice) {
+  const std::string dir = FreshDir("journal_compact_crash");
+  JournalOptions options;
+  options.compact_every = 0;
+  {
+    auto journal = RegistryJournal::Open(dir, options);
+    ASSERT_TRUE(journal.ok());
+    for (int v = 1; v <= 3; ++v) {
+      ASSERT_TRUE(journal.value()->Append(PromoteRecord("win", v)).ok());
+    }
+    JournalRecord remove;
+    remove.event = JournalEvent::kRemove;
+    remove.name = "win";
+    remove.version = 2;
+    ASSERT_TRUE(journal.value()->Append(remove).ok());
+
+    // Fail the compaction exactly in the crash window: snapshot durable,
+    // old journal (4 records) left in place.
+    fault::FaultSpec spec;
+    spec.kind = fault::FaultKind::kError;
+    spec.probability = 1.0;
+    fault::FaultInjector::Global().Arm("store.journal.compact", spec);
+    EXPECT_FALSE(journal.value()->Compact().ok());
+    fault::FaultInjector::Global().DisarmAll();
+  }
+  ASSERT_GT(FileSize(dir + "/manifest.snapshot"), 0u);
+  ASSERT_GT(FileSize(dir + "/journal.log"), 16u);  // Old records present.
+
+  auto reopened = RegistryJournal::Open(dir, options);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  const auto& stats = reopened.value()->recovery_stats();
+  EXPECT_EQ(stats.snapshot_sequence, 4u);
+  EXPECT_EQ(stats.replayed_records, 0);
+  EXPECT_EQ(stats.stale_records, 4);
+  EXPECT_EQ(Keys(reopened.value()->Manifest()),
+            (std::vector<std::pair<std::string, int>>{{"win", 1}, {"win", 3}}));
+}
+
+TEST_F(JournalTest, TornAppendPoisonsUntilReopen) {
+  const std::string dir = FreshDir("journal_poison");
+  auto journal = RegistryJournal::Open(dir);
+  ASSERT_TRUE(journal.ok());
+  ASSERT_TRUE(journal.value()->Append(PromoteRecord("ok", 1)).ok());
+
+  fault::FaultSpec spec;
+  spec.kind = fault::FaultKind::kTornWrite;
+  spec.probability = 1.0;
+  spec.keep_fraction = 0.5;
+  fault::FaultInjector::Global().Arm("store.journal.append", spec);
+  EXPECT_EQ(journal.value()->Append(PromoteRecord("torn", 1)).code(),
+            StatusCode::kInternal);
+  fault::FaultInjector::Global().DisarmAll();
+
+  // The journal now holds a half-written record, exactly like a crashed
+  // writer. It refuses to bury it under further appends...
+  EXPECT_EQ(journal.value()->Append(PromoteRecord("after", 1)).code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_TRUE(journal.value()->stats().poisoned);
+
+  // ...and a fresh Open truncates the debris and recovers the prefix.
+  journal.value().reset();
+  auto reopened = RegistryJournal::Open(dir);
+  ASSERT_TRUE(reopened.ok());
+  EXPECT_TRUE(reopened.value()->recovery_stats().tail_truncated);
+  EXPECT_EQ(Keys(reopened.value()->Manifest()),
+            (std::vector<std::pair<std::string, int>>{{"ok", 1}}));
+  EXPECT_TRUE(reopened.value()->Append(PromoteRecord("after", 1)).ok());
+}
+
+// ---- Journaled ModelRegistry ----------------------------------------------
+
+TEST_F(JournalTest, JournaledRegistryWarmRestartsDurableEntries) {
+  const std::string dir = FreshDir("registry_recovery");
+  serve::RegistryOptions options;
+  options.journal_dir = dir;
+  {
+    serve::ModelRegistry registry(options);
+    ASSERT_TRUE(registry.recovery_report().journaled);
+    auto a = registry.Register(TinyVqcArtifact("dur-a"));
+    ASSERT_TRUE(a.ok()) << a.status().ToString();
+    auto b = registry.Register(TinyVqcArtifact("dur-b"));
+    ASSERT_TRUE(b.ok());
+    // "ghost" is registered but never saved: no durable artifact exists, so
+    // recovery must drop it rather than serve a phantom.
+    ASSERT_TRUE(registry.Register(TinyVqcArtifact("ghost")).ok());
+    ASSERT_TRUE(registry.SaveModel("dur-a", 1, dir + "/dur-a.model").ok());
+    ASSERT_TRUE(registry.SaveModel("dur-b", 1, dir + "/dur-b.model").ok());
+    ASSERT_TRUE(registry.SetPinned("dur-a", 1, true).ok());
+  }
+
+  auto reopened = serve::ModelRegistry::OpenJournaled(options);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  serve::ModelRegistry& registry = *reopened.value();
+  const serve::RecoveryReport& report = registry.recovery_report();
+  EXPECT_TRUE(report.journaled);
+  EXPECT_EQ(report.recovered_models, 2);
+  EXPECT_EQ(report.dropped_nondurable, 1);
+  EXPECT_GE(report.recovery_us, 0);
+
+  const auto entries = registry.List();
+  ASSERT_EQ(entries.size(), 2u);
+  EXPECT_EQ(entries[0].name, "dur-a");
+  EXPECT_TRUE(entries[0].pinned);
+  EXPECT_FALSE(entries[0].resident);  // Recovered as a page-out.
+  EXPECT_EQ(entries[1].name, "dur-b");
+
+  // The warm set names everything worth prefetching.
+  const auto warm = registry.RecoveredWarmSet();
+  ASSERT_EQ(warm.size(), 2u);
+
+  // A recovered entry cold-starts from its artifact on first lookup.
+  auto servable = registry.Lookup("dur-a", 1);
+  ASSERT_TRUE(servable.ok()) << servable.status().ToString();
+  EXPECT_EQ(servable.value()->name(), "dur-a");
+
+  // The dropped phantom was also pruned from the journal itself: a second
+  // restart must not resurrect it either.
+  auto again = serve::ModelRegistry::OpenJournaled(options);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again.value()->recovery_report().dropped_nondurable, 0);
+  EXPECT_EQ(again.value()->List().size(), 2u);
+}
+
+TEST_F(JournalTest, JournaledRegistryEvictIsDurable) {
+  const std::string dir = FreshDir("registry_evict");
+  serve::RegistryOptions options;
+  options.journal_dir = dir;
+  {
+    serve::ModelRegistry registry(options);
+    ASSERT_TRUE(registry.Register(TinyVqcArtifact("keep")).ok());
+    ASSERT_TRUE(registry.Register(TinyVqcArtifact("drop")).ok());
+    ASSERT_TRUE(registry.SaveModel("keep", 1, dir + "/keep.model").ok());
+    ASSERT_TRUE(registry.SaveModel("drop", 1, dir + "/drop.model").ok());
+    ASSERT_TRUE(registry.Evict("drop", -1).ok());
+  }
+  auto reopened = serve::ModelRegistry::OpenJournaled(options);
+  ASSERT_TRUE(reopened.ok());
+  EXPECT_EQ(reopened.value()->List().size(), 1u);
+  EXPECT_TRUE(reopened.value()->Lookup("keep", 1).ok());
+  EXPECT_EQ(reopened.value()->Lookup("drop", 1).status().code(),
+            StatusCode::kNotFound);
+}
+
+// Write-ahead contract: when the journal append fails, the in-memory
+// mutation must not happen either — otherwise the registry serves state a
+// restart would lose.
+TEST_F(JournalTest, FailedJournalAppendRollsBackTheMutation) {
+  const std::string dir = FreshDir("registry_rollback");
+  serve::RegistryOptions options;
+  options.journal_dir = dir;
+  serve::ModelRegistry registry(options);
+  ASSERT_TRUE(registry.Register(TinyVqcArtifact("pre")).ok());
+
+  fault::FaultSpec spec;
+  spec.kind = fault::FaultKind::kError;
+  spec.probability = 1.0;
+  fault::FaultInjector::Global().Arm("store.journal.append", spec);
+  EXPECT_FALSE(registry.Register(TinyVqcArtifact("blocked")).ok());
+  EXPECT_EQ(registry.size(), 1u);
+  EXPECT_FALSE(registry.SetPinned("pre", 1, true).ok());
+  EXPECT_FALSE(registry.Evict("pre", 1).ok());
+  fault::FaultInjector::Global().DisarmAll();
+
+  // Nothing stuck: the registry still serves and mutates normally.
+  EXPECT_TRUE(registry.Lookup("pre", 1).ok());
+  for (const auto& entry : registry.List()) EXPECT_FALSE(entry.pinned);
+  EXPECT_TRUE(registry.Register(TinyVqcArtifact("post")).ok());
+  EXPECT_EQ(registry.size(), 2u);
+}
+
+TEST_F(JournalTest, WarmupPrefetchesWarmSetAndOpensAdmission) {
+  const std::string dir = FreshDir("registry_warmup");
+  serve::RegistryOptions options;
+  options.journal_dir = dir;
+  {
+    serve::ModelRegistry registry(options);
+    ASSERT_TRUE(registry.Register(TinyVqcArtifact("warm-a")).ok());
+    ASSERT_TRUE(registry.Register(TinyVqcArtifact("warm-b")).ok());
+    ASSERT_TRUE(registry.SaveModel("warm-a", 1, dir + "/a.model").ok());
+    ASSERT_TRUE(registry.SaveModel("warm-b", 1, dir + "/b.model").ok());
+    ASSERT_TRUE(registry.SetPinned("warm-a", 1, true).ok());
+  }
+  auto reopened = serve::ModelRegistry::OpenJournaled(options);
+  ASSERT_TRUE(reopened.ok());
+  serve::ModelRegistry& registry = *reopened.value();
+
+  serve::InferenceServer server(registry);
+  ASSERT_TRUE(server.Start().ok());
+  AsyncModelLoader loader(registry);
+  ASSERT_TRUE(loader.Start().ok());
+  ASSERT_TRUE(server.StartWarmup(loader).ok());
+  // Starting a second warmup while one runs (or after it finished) is an
+  // error, not a double prefetch.
+  EXPECT_FALSE(server.StartWarmup(loader).ok());
+
+  // Warming must converge to: admission open, whole warm set resident.
+  for (int i = 0; i < 2000 && !server.Healthz().ok(); ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_TRUE(server.Healthz().ok());
+  const auto status = server.warmup_status();
+  EXPECT_TRUE(status.admitting);
+  EXPECT_EQ(status.target, 2u);
+  EXPECT_EQ(status.ready, 2u);
+  EXPECT_EQ(status.failed, 0u);
+
+  // Both models are resident without any request having cold-started them.
+  for (const auto& entry : registry.List()) {
+    EXPECT_TRUE(entry.resident) << entry.name;
+  }
+  serve::InferenceRequest request;
+  request.model = "warm-a";
+  request.input = {0.4, 0.9};
+  request.timeout_us = 2'000'000;
+  auto response = server.Submit(std::move(request)).get();
+  EXPECT_TRUE(response.ok()) << response.status().ToString();
+
+  const std::string statusz = server.Statusz();
+  EXPECT_NE(statusz.find("warmup: 2/2 resident"), std::string::npos)
+      << statusz;
+  loader.Shutdown();
+  server.Shutdown();
+}
+
+}  // namespace
+}  // namespace store
+}  // namespace qdb
